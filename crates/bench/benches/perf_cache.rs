@@ -1,0 +1,63 @@
+//! Criterion performance benches for the cache simulator — the innermost
+//! loop of every measurement campaign.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mbcr_cache::{Cache, CacheGeometry, PlacementPolicy, ReplacementPolicy};
+use mbcr_cpu::{campaign, PlatformConfig};
+use mbcr_ir::execute;
+use mbcr_trace::{LineId, SymSeq};
+use std::hint::black_box;
+
+fn line_stream(n: usize) -> Vec<LineId> {
+    // A mix of reuse and streaming, 64 distinct lines.
+    (0..n).map(|i| LineId(((i * 17) % 64) as u64)).collect()
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let stream = line_stream(100_000);
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (label, placement, replacement) in [
+        ("random_random", PlacementPolicy::RandomHash, ReplacementPolicy::Random),
+        ("modulo_lru", PlacementPolicy::Modulo, ReplacementPolicy::Lru),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || Cache::new(CacheGeometry::paper_l1(), placement, replacement, 42),
+                |mut cache| {
+                    for &l in &stream {
+                        black_box(cache.access_line(l));
+                    }
+                    cache
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let bench = mbcr_malardalen::bs::benchmark();
+    let trace = execute(&bench.program, &bench.default_input).expect("run bs").trace;
+    let cfg = PlatformConfig::paper_default();
+    let mut group = c.benchmark_group("campaign");
+    group.throughput(Throughput::Elements(100 * trace.len() as u64));
+    group.bench_function("bs_100_runs", |b| {
+        b.iter(|| black_box(campaign(&cfg, &trace, 100, 7)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache_access, bench_campaign
+}
+criterion_main!(benches);
+
+// Silence the unused-import lint if SymSeq stops being needed.
+#[allow(dead_code)]
+fn _keep(s: &str) -> SymSeq {
+    s.parse().expect("valid")
+}

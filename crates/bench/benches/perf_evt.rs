@@ -1,0 +1,46 @@
+//! Criterion performance benches for the EVT statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbcr_evt::{fit_exp_tail, fit_gumbel, Eccdf, IidReport, TailConfig};
+use mbcr_rng::{Rng64, Xoshiro256PlusPlus};
+use std::hint::black_box;
+
+fn sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256PlusPlus::from_seed(seed);
+    (0..n).map(|_| 2000.0 + rng.exponential(0.01)).collect()
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let s = sample(10_000, 1);
+    c.bench_function("fit_exp_tail_10k", |b| {
+        b.iter(|| black_box(fit_exp_tail(&s, &TailConfig::default()).expect("fit")));
+    });
+    c.bench_function("fit_gumbel_10k_b50", |b| {
+        b.iter(|| black_box(fit_gumbel(&s, 50).expect("fit")));
+    });
+}
+
+fn bench_eccdf(c: &mut Criterion) {
+    let s = sample(100_000, 2);
+    c.bench_function("eccdf_build_100k", |b| {
+        b.iter(|| black_box(Eccdf::new(&s)));
+    });
+    let e = Eccdf::new(&s);
+    c.bench_function("eccdf_quantile", |b| {
+        b.iter(|| black_box(e.quantile(1e-3)));
+    });
+}
+
+fn bench_iid(c: &mut Criterion) {
+    let s = sample(5_000, 3);
+    c.bench_function("iid_report_5k", |b| {
+        b.iter(|| black_box(IidReport::evaluate(&s)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fits, bench_eccdf, bench_iid
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion performance bench for the end-to-end pipeline (quick
+//! configuration) — the cost of one full Figure 3 analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbcr::{analyze_pub_tac, AnalysisConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let bs = mbcr_malardalen::bs::benchmark();
+    let cfg = AnalysisConfig::builder().seed(77).quick().threads(1).build();
+    c.bench_function("analyze_pub_tac_bs_quick", |b| {
+        b.iter(|| black_box(analyze_pub_tac(&bs.program, &bs.default_input, &cfg).expect("ok")));
+    });
+
+    let janne = mbcr_malardalen::janne::benchmark();
+    c.bench_function("analyze_pub_tac_janne_quick", |b| {
+        b.iter(|| {
+            black_box(analyze_pub_tac(&janne.program, &janne.default_input, &cfg).expect("ok"))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion performance benches for the two analyses: PUB transformation
+//! and TAC conflict-group discovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbcr_ir::execute;
+use mbcr_pub::{pub_transform, PubConfig};
+use mbcr_tac::{analyze_lines, TacConfig};
+use std::hint::black_box;
+
+fn bench_pub(c: &mut Criterion) {
+    let suite = mbcr_malardalen::suite();
+    c.bench_function("pub_transform_suite", |b| {
+        b.iter(|| {
+            for bench in &suite {
+                black_box(pub_transform(&bench.program, &PubConfig::paper()).expect("pub"));
+            }
+        });
+    });
+    let bs = mbcr_malardalen::bs::benchmark();
+    c.bench_function("pub_transform_bs_padded", |b| {
+        b.iter(|| {
+            black_box(
+                pub_transform(&bs.program, &PubConfig::with_loop_padding()).expect("pub"),
+            )
+        });
+    });
+}
+
+fn bench_tac(c: &mut Criterion) {
+    let matmult = mbcr_malardalen::matmult::benchmark();
+    let trace = execute(&matmult.program, &matmult.default_input).expect("run").trace;
+    let data = trace.data_lines(32);
+    let instr = trace.instr_lines(32);
+    let cfg = TacConfig::paper_l1();
+    c.bench_function("tac_matmult_dl1", |b| {
+        b.iter(|| black_box(analyze_lines(&data, &cfg)));
+    });
+    c.bench_function("tac_matmult_il1", |b| {
+        b.iter(|| black_box(analyze_lines(&instr, &cfg)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pub, bench_tac
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Paper Table 2 — runs (in thousands) for plain MBPTA on the original
+//! program (`R_orig`), MBPTA on the pubbed program (`R_pub`) and PUB+TAC
+//! (`R_p+t`), across the eleven Mälardalen models.
+//!
+//! Paper values (thousands):
+//!
+//! ```text
+//!            R_orig  R_pub  R_p+t
+//! bs            1      1     40
+//! cnt          10      2     70
+//! fir           6      9    600
+//! janne         3      1    200
+//! crc           3      5     10
+//! edn           1      1     70
+//! insertsort   40     40     80
+//! jfdc          2      2     50
+//! matmult     200    200    200
+//! fdct          8      8      8
+//! ns            3      3    500
+//! ```
+//!
+//! The shape to reproduce: `R_p+t ≥ R_pub` everywhere, with large jumps
+//! where conflict groups exceed a set's capacity; absolute values differ
+//! (different cache contents, scaled workloads).
+
+use mbcr::{analyze_original, analyze_pub_tac};
+use mbcr_bench::{banner, harness_config, in_thousands, write_csv, Table};
+
+const PAPER: [(&str, u32, u32, u32); 11] = [
+    ("bs", 1, 1, 40),
+    ("cnt", 10, 2, 70),
+    ("fir", 6, 9, 600),
+    ("janne", 3, 1, 200),
+    ("crc", 3, 5, 10),
+    ("edn", 1, 1, 70),
+    ("insertsort", 40, 40, 80),
+    ("jfdc", 2, 2, 50),
+    ("matmult", 200, 200, 200),
+    ("fdct", 8, 8, 8),
+    ("ns", 3, 3, 500),
+];
+
+fn main() {
+    banner("Table 2: runs (thousands) for MBPTA, PUB and PUB+TAC");
+    let cfg = harness_config(0x7AB2);
+
+    let mut t = Table::new(&[
+        "benchmark", "R_orig(k)", "R_pub(k)", "R_p+t(k)", "capped", "paper (orig/pub/p+t)",
+    ]);
+    let mut rows = Vec::new();
+    let mut tac_binds = 0usize;
+
+    for b in mbcr_malardalen::suite() {
+        let orig = analyze_original(&b.program, &b.default_input, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let pt = analyze_pub_tac(&b.program, &b.default_input, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let paper = PAPER.iter().find(|p| p.0 == b.name).expect("paper row");
+        t.row(&[
+            b.name,
+            &in_thousands(orig.r_orig as u64),
+            &in_thousands(pt.r_pub as u64),
+            &in_thousands(pt.r_pub_tac),
+            if pt.campaign_capped { "*" } else { "" },
+            &format!("{}/{}/{}", paper.1, paper.2, paper.3),
+        ]);
+        rows.push(format!(
+            "{},{},{},{},{}",
+            b.name, orig.r_orig, pt.r_pub, pt.r_pub_tac, pt.campaign_runs
+        ));
+        if pt.r_pub_tac > pt.r_pub as u64 {
+            tac_binds += 1;
+        }
+        assert!(
+            pt.r_pub_tac >= pt.r_pub as u64,
+            "{}: R_p+t must dominate R_pub",
+            b.name
+        );
+    }
+    t.print();
+    println!("\n(* campaign truncated at max_campaign_runs; the raw TAC requirement is reported)");
+    println!(
+        "TAC raised the requirement beyond MBPTA convergence for {tac_binds}/11 benchmarks \
+         (paper: 8/11)."
+    );
+    assert!(tac_binds >= 3, "TAC should bind for several benchmarks");
+
+    let path = write_csv(
+        "table2_runs.csv",
+        "benchmark,r_orig,r_pub,r_pub_tac,campaign_runs",
+        &rows,
+    );
+    println!("rows written to {}", path.display());
+}

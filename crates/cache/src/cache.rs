@@ -1,0 +1,389 @@
+//! The cache simulator proper.
+
+use mbcr_rng::{derive_seed, Rng64, Xoshiro256PlusPlus};
+use mbcr_trace::{Address, LineId};
+
+use crate::{CacheGeometry, PlacementPolicy, ReplacementPolicy};
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss,
+}
+
+impl AccessOutcome {
+    /// Returns `true` on [`AccessOutcome::Hit`].
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Hit/miss counters of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; `0` for an empty run.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// A set-associative cache with configurable placement and replacement.
+///
+/// The simulator tracks only tags (line ids) — data values are irrelevant to
+/// timing. State is flat `Vec`s for speed: the measurement campaigns replay
+/// millions of accesses.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_cache::{Cache, CacheGeometry, PlacementPolicy, ReplacementPolicy};
+/// use mbcr_trace::LineId;
+///
+/// let mut c = Cache::new(
+///     CacheGeometry::paper_l1(),
+///     PlacementPolicy::RandomHash,
+///     ReplacementPolicy::Random,
+///     42,
+/// );
+/// assert!(!c.access_line(LineId(7)).is_hit()); // cold miss
+/// assert!(c.access_line(LineId(7)).is_hit()); // now cached
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    placement: PlacementPolicy,
+    replacement: ReplacementPolicy,
+    placement_seed: u64,
+    rng: Xoshiro256PlusPlus,
+    /// Tag store: `tags[set * ways + way]`, [`INVALID`] when empty.
+    tags: Vec<u64>,
+    /// Per-way metadata: LRU timestamps or FIFO insertion order.
+    meta: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache, deriving the placement seed and the replacement
+    /// random stream from `seed`.
+    #[must_use]
+    pub fn new(
+        geometry: CacheGeometry,
+        placement: PlacementPolicy,
+        replacement: ReplacementPolicy,
+        seed: u64,
+    ) -> Self {
+        let entries = (geometry.lines()) as usize;
+        Self {
+            geometry,
+            placement,
+            replacement,
+            placement_seed: derive_seed(seed, 0),
+            rng: Xoshiro256PlusPlus::from_seed(derive_seed(seed, 1)),
+            tags: vec![INVALID; entries],
+            meta: vec![0; entries],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// The placement policy.
+    #[must_use]
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// The replacement policy.
+    #[must_use]
+    pub fn replacement(&self) -> ReplacementPolicy {
+        self.replacement
+    }
+
+    /// Hit/miss counters accumulated since the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: Cache::reset_stats
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the hit/miss counters (cache contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates all lines (the paper flushes caches before each run).
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.meta.fill(0);
+        self.clock = 0;
+    }
+
+    /// Flushes and re-randomizes the cache for a new measurement run:
+    /// fresh placement hash seed, fresh replacement stream, zeroed stats.
+    ///
+    /// On a [`PlacementPolicy::Modulo`] cache only the flush has an effect —
+    /// deterministic caches show no run-to-run layout variation, which is the
+    /// contrast the paper draws.
+    pub fn reseed(&mut self, seed: u64) {
+        self.placement_seed = derive_seed(seed, 0);
+        self.rng = Xoshiro256PlusPlus::from_seed(derive_seed(seed, 1));
+        self.flush();
+        self.reset_stats();
+    }
+
+    /// The set index `line` currently maps to.
+    #[inline]
+    #[must_use]
+    pub fn set_of(&self, line: LineId) -> usize {
+        self.placement.set_of(line, self.geometry.sets(), self.placement_seed)
+    }
+
+    /// Accesses a byte address (convenience over [`access_line`]).
+    ///
+    /// [`access_line`]: Cache::access_line
+    pub fn access(&mut self, addr: Address) -> AccessOutcome {
+        self.access_line(addr.line(self.geometry.line_size()))
+    }
+
+    /// Accesses a line: returns hit/miss, updating contents, replacement
+    /// state and statistics.
+    pub fn access_line(&mut self, line: LineId) -> AccessOutcome {
+        let ways = self.geometry.ways() as usize;
+        let set = self.set_of(line);
+        let base = set * ways;
+        self.clock += 1;
+
+        // Hit check.
+        for w in 0..ways {
+            if self.tags[base + w] == line.0 {
+                self.stats.hits += 1;
+                if self.replacement == ReplacementPolicy::Lru {
+                    self.meta[base + w] = self.clock;
+                }
+                return AccessOutcome::Hit;
+            }
+        }
+
+        // Miss: fill an empty way if available, otherwise evict per policy.
+        self.stats.misses += 1;
+        let victim = match (0..ways).find(|&w| self.tags[base + w] == INVALID) {
+            Some(w) => w,
+            None => match self.replacement {
+                ReplacementPolicy::Random => self.rng.below_usize(ways),
+                // LRU evicts the smallest timestamp; FIFO the smallest
+                // insertion order — both are the min over `meta`.
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => (0..ways)
+                    .min_by_key(|&w| self.meta[base + w])
+                    .expect("ways > 0"),
+            },
+        };
+        self.tags[base + victim] = line.0;
+        self.meta[base + victim] = self.clock;
+        AccessOutcome::Miss
+    }
+
+    /// Returns `true` if `line` is currently cached (no state change).
+    #[must_use]
+    pub fn contains(&self, line: LineId) -> bool {
+        let ways = self.geometry.ways() as usize;
+        let base = self.set_of(line) * ways;
+        (0..ways).any(|w| self.tags[base + w] == line.0)
+    }
+
+    /// Number of valid lines currently in the set `line` maps to.
+    #[must_use]
+    pub fn set_occupancy(&self, line: LineId) -> usize {
+        let ways = self.geometry.ways() as usize;
+        let base = self.set_of(line) * ways;
+        (0..ways).filter(|&w| self.tags[base + w] != INVALID).count()
+    }
+
+    /// Replays a line stream from a flushed state and returns the stats of
+    /// just that run (counters are folded into the cumulative stats too).
+    pub fn run_lines(&mut self, lines: &[LineId]) -> CacheStats {
+        self.flush();
+        let before = self.stats;
+        for &l in lines {
+            self.access_line(l);
+        }
+        CacheStats {
+            hits: self.stats.hits - before.hits,
+            misses: self.stats.misses - before.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_trace::SymSeq;
+
+    fn lines(s: &str) -> Vec<LineId> {
+        s.parse::<SymSeq>().unwrap().to_lines()
+    }
+
+    fn one_set(ways: u32) -> CacheGeometry {
+        CacheGeometry::new(u64::from(ways) * 32, ways, 32).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(
+            CacheGeometry::paper_l1(),
+            PlacementPolicy::RandomHash,
+            ReplacementPolicy::Random,
+            1,
+        );
+        assert_eq!(c.access_line(LineId(5)), AccessOutcome::Miss);
+        assert_eq!(c.access_line(LineId(5)), AccessOutcome::Hit);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_section2_counterexample() {
+        // 2-way single set, LRU: {ABCA} -> 4 misses, {ABACA} -> 3 misses.
+        let mut c = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
+        assert_eq!(c.run_lines(&lines("ABCA")).misses, 4);
+        assert_eq!(c.run_lines(&lines("ABACA")).misses, 3);
+    }
+
+    #[test]
+    fn fifo_differs_from_lru() {
+        // 2-way single set. Sequence A B A C A:
+        // LRU: A(m) B(m) A(h) C(m, evict B) A(h) -> 3 misses.
+        // FIFO: A(m) B(m) A(h) C(m, evict A!) A(m, evict B) -> 4 misses.
+        let mut lru = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
+        let mut fifo = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Fifo, 0);
+        assert_eq!(lru.run_lines(&lines("ABACA")).misses, 3);
+        assert_eq!(fifo.run_lines(&lines("ABACA")).misses, 4);
+    }
+
+    #[test]
+    fn working_set_within_ways_never_misses_after_warmup() {
+        // 4-way single set: {ABCD}^k has only 4 cold misses under any policy.
+        for policy in [
+            ReplacementPolicy::Random,
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+        ] {
+            let mut c = Cache::new(one_set(4), PlacementPolicy::Modulo, policy, 7);
+            let s = "ABCD".parse::<SymSeq>().unwrap().repeat(50).to_lines();
+            let stats = c.run_lines(&s);
+            assert_eq!(stats.misses, 4, "{policy:?}");
+            assert_eq!(stats.hits, 196, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn lru_round_robin_thrashes() {
+        // 2-way single set, 3 lines round-robin: LRU always evicts the line
+        // about to be used -> every access misses.
+        let mut c = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
+        let s = "ABC".parse::<SymSeq>().unwrap().repeat(20).to_lines();
+        assert_eq!(c.run_lines(&s).misses, 60);
+    }
+
+    #[test]
+    fn random_replacement_beats_lru_on_round_robin() {
+        // Same pattern: random replacement keeps ~some hits in expectation.
+        let mut hits = 0u64;
+        for seed in 0..200 {
+            let mut c =
+                Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Random, seed);
+            let s = "ABC".parse::<SymSeq>().unwrap().repeat(20).to_lines();
+            hits += c.run_lines(&s).hits;
+        }
+        assert!(hits > 0, "random replacement should produce some hits");
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = Cache::new(
+            CacheGeometry::paper_l1(),
+            PlacementPolicy::Modulo,
+            ReplacementPolicy::Lru,
+            0,
+        );
+        c.access_line(LineId(1));
+        assert!(c.contains(LineId(1)));
+        c.flush();
+        assert!(!c.contains(LineId(1)));
+        assert_eq!(c.access_line(LineId(1)), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn reseed_changes_random_mapping_but_not_modulo() {
+        let g = CacheGeometry::paper_l1();
+        let mut random = Cache::new(g, PlacementPolicy::RandomHash, ReplacementPolicy::Random, 1);
+        let before: Vec<usize> = (0..200).map(|i| random.set_of(LineId(i))).collect();
+        random.reseed(2);
+        let after: Vec<usize> = (0..200).map(|i| random.set_of(LineId(i))).collect();
+        assert_ne!(before, after);
+
+        let mut modulo = Cache::new(g, PlacementPolicy::Modulo, ReplacementPolicy::Lru, 1);
+        let before: Vec<usize> = (0..200).map(|i| modulo.set_of(LineId(i))).collect();
+        modulo.reseed(2);
+        let after: Vec<usize> = (0..200).map(|i| modulo.set_of(LineId(i))).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let g = CacheGeometry::paper_l1();
+        let s = "ABCDEFGH".parse::<SymSeq>().unwrap().repeat(100).to_lines();
+        let mut a = Cache::new(g, PlacementPolicy::RandomHash, ReplacementPolicy::Random, 9);
+        let mut b = Cache::new(g, PlacementPolicy::RandomHash, ReplacementPolicy::Random, 9);
+        assert_eq!(a.run_lines(&s), b.run_lines(&s));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_ways() {
+        let g = CacheGeometry::new(256, 2, 32).unwrap(); // 4 sets
+        let mut c = Cache::new(g, PlacementPolicy::RandomHash, ReplacementPolicy::Random, 3);
+        for i in 0..1000u64 {
+            c.access_line(LineId(i % 37));
+            assert!(c.set_occupancy(LineId(i % 37)) <= 2);
+        }
+    }
+
+    #[test]
+    fn run_lines_reports_per_run_stats() {
+        let mut c = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
+        let first = c.run_lines(&lines("AB"));
+        let second = c.run_lines(&lines("AB"));
+        assert_eq!(first, second, "run_lines flushes, so runs are identical");
+        assert_eq!(c.stats().accesses(), 4, "cumulative stats keep counting");
+    }
+}

@@ -1,0 +1,201 @@
+//! Cache geometry: size, associativity, line size.
+
+use std::fmt;
+
+/// Error constructing a [`CacheGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A parameter was zero.
+    Zero(&'static str),
+    /// `size / (ways * line_size)` is not a positive power of two.
+    InvalidSetCount {
+        /// The computed (possibly fractional) set count numerator.
+        size: u64,
+        /// ways * line_size.
+        way_bytes: u64,
+    },
+    /// A parameter is not a power of two.
+    NotPowerOfTwo(&'static str, u64),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Zero(what) => write!(f, "{what} must be positive"),
+            GeometryError::InvalidSetCount { size, way_bytes } => write!(
+                f,
+                "cache size {size} is not a power-of-two multiple of ways*line_size = {way_bytes}"
+            ),
+            GeometryError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} ({v}) must be a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Geometry of a set-associative cache.
+///
+/// The paper's L1 caches are 4 KB, 2-way, 32 B lines → 64 sets
+/// ([`CacheGeometry::paper_l1`]); its Section 3.1 worked examples use
+/// S = 8 sets and W = 4 ways ([`CacheGeometry::paper_example`]).
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_cache::CacheGeometry;
+/// let g = CacheGeometry::paper_l1();
+/// assert_eq!((g.sets(), g.ways(), g.line_size()), (64, 2, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    ways: u32,
+    line_size: u64,
+    sets: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry after validating that all parameters are positive
+    /// powers of two and that the set count is integral.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if a parameter is zero or not a power of
+    /// two, or if `size_bytes` is not `sets * ways * line_size` for a
+    /// power-of-two `sets`.
+    pub fn new(size_bytes: u64, ways: u32, line_size: u64) -> Result<Self, GeometryError> {
+        if size_bytes == 0 {
+            return Err(GeometryError::Zero("size_bytes"));
+        }
+        if ways == 0 {
+            return Err(GeometryError::Zero("ways"));
+        }
+        if line_size == 0 {
+            return Err(GeometryError::Zero("line_size"));
+        }
+        if !line_size.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("line_size", line_size));
+        }
+        let way_bytes = u64::from(ways) * line_size;
+        if !size_bytes.is_multiple_of(way_bytes) {
+            return Err(GeometryError::InvalidSetCount { size: size_bytes, way_bytes });
+        }
+        let sets = size_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("sets", sets));
+        }
+        Ok(Self { size_bytes, ways, line_size, sets })
+    }
+
+    /// The L1 geometry of the paper's evaluation platform: 4 KB, 2-way,
+    /// 32 B lines (64 sets).
+    #[must_use]
+    pub fn paper_l1() -> Self {
+        Self::new(4096, 2, 32).expect("paper L1 geometry is valid")
+    }
+
+    /// The geometry of the paper's Section 3.1 worked examples: S = 8 sets,
+    /// W = 4 ways (line size 32 B → 1 KB).
+    #[must_use]
+    pub fn paper_example() -> Self {
+        Self::new(8 * 4 * 32, 4, 32).expect("paper example geometry is valid")
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (ways per set).
+    #[must_use]
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Total number of lines the cache can hold.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.sets * u64::from(self.ways)
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        Self::paper_l1()
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B {}-way {}B/line ({} sets)",
+            self.size_bytes, self.ways, self.line_size, self.sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        let l1 = CacheGeometry::paper_l1();
+        assert_eq!(l1.sets(), 64);
+        assert_eq!(l1.lines(), 128);
+        let ex = CacheGeometry::paper_example();
+        assert_eq!((ex.sets(), ex.ways()), (8, 4));
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(matches!(CacheGeometry::new(0, 2, 32), Err(GeometryError::Zero(_))));
+        assert!(matches!(CacheGeometry::new(4096, 0, 32), Err(GeometryError::Zero(_))));
+        assert!(matches!(CacheGeometry::new(4096, 2, 0), Err(GeometryError::Zero(_))));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(CacheGeometry::new(4096, 2, 24).is_err());
+        assert!(CacheGeometry::new(4096 + 64, 2, 32).is_err()); // 65 sets
+        assert!(CacheGeometry::new(96, 2, 32).is_err()); // fractional set count
+        // Odd associativity is fine as long as the set count is a power of 2.
+        assert!(CacheGeometry::new(3 * 64, 3, 32).is_ok());
+    }
+
+    #[test]
+    fn one_set_cache_is_valid() {
+        let g = CacheGeometry::new(64, 2, 32).unwrap();
+        assert_eq!(g.sets(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CacheGeometry::paper_l1().to_string();
+        assert!(s.contains("4096") && s.contains("2-way") && s.contains("64 sets"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CacheGeometry::new(0, 2, 32).unwrap_err();
+        assert!(e.to_string().contains("size_bytes"));
+        let e = CacheGeometry::new(4096, 2, 24).unwrap_err();
+        assert!(e.to_string().contains("power of two"));
+    }
+}

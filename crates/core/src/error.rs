@@ -1,0 +1,77 @@
+//! Unified error type of the analysis pipeline.
+
+use std::fmt;
+
+use mbcr_evt::EvtError;
+use mbcr_ir::{InterpError, ProgramError};
+
+/// Any failure of the end-to-end analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeError {
+    /// Program execution failed (bad inputs, loop bound violation, …).
+    Interp(InterpError),
+    /// Statistical estimation failed (not enough data, …).
+    Evt(EvtError),
+    /// Program transformation produced an invalid program.
+    Program(ProgramError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Interp(e) => write!(f, "program execution failed: {e}"),
+            AnalyzeError::Evt(e) => write!(f, "pWCET estimation failed: {e}"),
+            AnalyzeError::Program(e) => write!(f, "program transformation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Interp(e) => Some(e),
+            AnalyzeError::Evt(e) => Some(e),
+            AnalyzeError::Program(e) => Some(e),
+        }
+    }
+}
+
+impl From<InterpError> for AnalyzeError {
+    fn from(e: InterpError) -> Self {
+        AnalyzeError::Interp(e)
+    }
+}
+
+impl From<EvtError> for AnalyzeError {
+    fn from(e: EvtError) -> Self {
+        AnalyzeError::Evt(e)
+    }
+}
+
+impl From<ProgramError> for AnalyzeError {
+    fn from(e: ProgramError) -> Self {
+        AnalyzeError::Program(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_cause() {
+        let e = AnalyzeError::from(InterpError::DivByZero);
+        assert!(e.to_string().contains("division by zero"));
+        let e = AnalyzeError::from(EvtError::DegenerateSample);
+        assert!(e.to_string().contains("deterministic"));
+        let e = AnalyzeError::from(ProgramError::UnknownVar(1));
+        assert!(e.to_string().contains("v1"));
+    }
+
+    #[test]
+    fn source_is_preserved() {
+        use std::error::Error;
+        let e = AnalyzeError::from(InterpError::DivByZero);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,165 @@
+//! Human-readable analysis reports.
+//!
+//! Renders a [`PubTacAnalysis`] the way a timing engineer would want to read
+//! it: what PUB inserted, what TAC found, how long the campaign was, the
+//! pWCET at the probabilities of interest, and an ASCII sketch of the
+//! pWCET curve against the measured ECCDF (the paper's Figure 4 view).
+
+use std::fmt::Write as _;
+
+use crate::PubTacAnalysis;
+
+/// Renders the full report.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mbcr::prelude::*;
+/// use mbcr::render_report;
+/// # fn demo(analysis: &mbcr::PubTacAnalysis) {
+/// println!("{}", render_report("bs", analysis));
+/// # }
+/// ```
+#[must_use]
+pub fn render_report(name: &str, a: &PubTacAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== pWCET analysis report: {name} ==");
+    let _ = writeln!(
+        out,
+        "PUB   : {} conditionals equalized, {} instrs + {} data refs inserted, \
+         {} widening touches, {} loops padded",
+        a.pub_report.constructs.len(),
+        a.pub_report.total_inserted_instrs(),
+        a.pub_report.total_inserted_data_refs(),
+        a.pub_report.widened_touches,
+        a.pub_report.loops_padded,
+    );
+    let _ = writeln!(
+        out,
+        "TAC   : IL1 {} relevant groups (R = {}), DL1 {} relevant groups (R = {})",
+        a.tac_il1.relevant_groups.len(),
+        a.tac_il1.runs_required,
+        a.tac_dl1.relevant_groups.len(),
+        a.tac_dl1.runs_required,
+    );
+    let _ = writeln!(
+        out,
+        "runs  : R_pub = {}, R_tac = {}, R_p+t = {}, executed = {}{}",
+        a.r_pub,
+        a.r_tac,
+        a.r_pub_tac,
+        a.campaign_runs,
+        if a.campaign_capped { " (capped)" } else { "" },
+    );
+    let sample_max = a.sample.iter().copied().max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "pWCET : {:.0} cycles @1e-12 (PUB-only estimate {:.0}; observed max {sample_max})",
+        a.pwcet_pub_tac, a.pwcet_pub,
+    );
+    let _ = writeln!(
+        out,
+        "iid   : KS p = {:.3}, Ljung-Box p = {:.3}, runs-test p = {:.3}",
+        a.iid.ks.p_value, a.iid.ljung_box.p_value, a.iid.runs.p_value,
+    );
+    out.push('\n');
+    out.push_str(&render_curve(a, 58, 12));
+    out
+}
+
+/// ASCII sketch of the pWCET curve: exceedance probability (log decades,
+/// top = 1) against execution time. `#` marks the fitted pWCET curve, `o`
+/// the empirical ECCDF where the sample still resolves the decade.
+#[must_use]
+pub fn render_curve(a: &PubTacAnalysis, width: usize, decades: u32) -> String {
+    let width = width.max(20);
+    let lo = a.pwcet.eccdf().min();
+    let hi = a.pwcet.quantile(10f64.powi(-(decades as i32))).max(lo + 1.0);
+    let col = |x: f64| {
+        (((x - lo) / (hi - lo)) * (width as f64 - 1.0)).round().clamp(0.0, width as f64 - 1.0)
+            as usize
+    };
+    let n = a.pwcet.eccdf().len() as f64;
+    let mut out = String::new();
+    let _ = writeln!(out, "exceedance   execution time ({lo:.0} .. {hi:.0} cycles)");
+    for d in 0..=decades {
+        let p = 10f64.powi(-(d as i32));
+        // Probability 1 is not a quantile of interest; start at 1e-1-ish.
+        let p = if d == 0 { 0.5 } else { p };
+        let mut row = vec![b' '; width];
+        if p >= 1.0 / n {
+            row[col(a.pwcet.eccdf().quantile(p))] = b'o';
+        }
+        let c = col(a.pwcet.quantile(p));
+        row[c] = b'#';
+        let label = if d == 0 { "  5e-1".to_string() } else { format!("  1e-{d:<2}") };
+        let _ = writeln!(out, "{label:>7} |{}", String::from_utf8_lossy(&row));
+    }
+    out.push_str("         (o = measured ECCDF, # = fitted pWCET curve)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_pub_tac, AnalysisConfig};
+    use mbcr_ir::{Expr, Inputs, ProgramBuilder, Stmt};
+
+    fn analysis() -> PubTacAnalysis {
+        let mut b = ProgramBuilder::new("report_demo");
+        let arr = b.array("arr", 64);
+        let (x, y, i) = (b.var("x"), b.var("y"), b.var("i"));
+        b.push(Stmt::for_(
+            i,
+            Expr::c(0),
+            Expr::c(16),
+            16,
+            vec![Stmt::Assign(y, Expr::var(y).add(Expr::load(arr, Expr::var(i).mul(Expr::c(4)))))],
+        ));
+        b.push(Stmt::if_(
+            Expr::var(x).gt(Expr::c(0)),
+            vec![Stmt::Assign(y, Expr::load(arr, Expr::c(0)))],
+            vec![],
+        ));
+        let p = b.build().unwrap();
+        let cfg = AnalysisConfig::builder().seed(5).quick().threads(1).build();
+        analyze_pub_tac(&p, &Inputs::new().with_var(x, 1), &cfg).unwrap()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let a = analysis();
+        let r = render_report("report_demo", &a);
+        assert!(r.contains("== pWCET analysis report: report_demo =="));
+        assert!(r.contains("PUB   :"));
+        assert!(r.contains("TAC   :"));
+        assert!(r.contains("runs  :"));
+        assert!(r.contains("pWCET :"));
+        assert!(r.contains("iid   :"));
+        assert!(r.contains("# = fitted pWCET curve"));
+    }
+
+    #[test]
+    fn curve_is_monotone_left_to_right() {
+        let a = analysis();
+        let curve = render_curve(&a, 40, 9);
+        // The '#' column must not move left as probability decreases.
+        let mut last = 0usize;
+        for line in curve.lines().filter(|l| l.contains('|')) {
+            let row = line.split('|').nth(1).unwrap_or("");
+            if let Some(pos) = row.find('#') {
+                assert!(pos >= last, "curve went left: {curve}");
+                last = pos;
+            }
+        }
+    }
+
+    #[test]
+    fn curve_width_is_clamped() {
+        let a = analysis();
+        let narrow = render_curve(&a, 1, 3);
+        for line in narrow.lines().filter(|l| l.contains('|')) {
+            assert!(line.len() <= 9 + 20 + 1, "line too long: {line}");
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! In-order processor timing model with IL1/DL1 caches.
+//!
+//! The paper's evaluation platform (Section 4) is a "pipelined in-order
+//! processor with first level instruction (IL1) and data (DL1) caches …
+//! implementing random placement and replacement policies. The content of
+//! cache memories is flushed before each run of a program."
+//!
+//! This crate reproduces those timing semantics:
+//!
+//! * every instruction fetch goes through the IL1, every load/store through
+//!   the DL1;
+//! * an access costs a constant hit or miss latency ([`LatencyConfig`]); the
+//!   in-order pipeline makes execution time additive in those latencies;
+//! * a *measurement run* replays a fixed [`Trace`] after flushing and
+//!   re-randomizing both caches ([`Platform::run_randomized`]), so all
+//!   run-to-run execution-time variability comes from the random cache
+//!   layout — exactly the MBPTA setting;
+//! * a [`campaign`] collects `R` execution times with per-run seeds derived
+//!   deterministically from one master seed (bit-identical results whether
+//!   run serially or with [`campaign_parallel`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mbcr_cpu::{campaign, Platform, PlatformConfig};
+//! use mbcr_trace::{Access, Trace};
+//!
+//! let cfg = PlatformConfig::paper_default();
+//! let trace: Trace = [Access::fetch(0x0), Access::read(0x8000)].into_iter().collect();
+//! let times = campaign(&cfg, &trace, 10, 42);
+//! assert_eq!(times.len(), 10);
+//! // Two cold misses on every run: both accesses miss once each.
+//! let expected = 2 * cfg.latency.il1_miss.max(cfg.latency.dl1_miss);
+//! assert!(times.iter().all(|&t| t == expected));
+//! ```
+
+use mbcr_cache::{Cache, CacheGeometry, PlacementPolicy, ReplacementPolicy};
+use mbcr_rng::derive_seed;
+use mbcr_trace::{AccessKind, Trace};
+
+/// Access latencies (cycles) of the in-order pipeline.
+///
+/// With an in-order single-issue core and blocking caches, execution time is
+/// the sum of per-access latencies; `issue_cycles` adds a fixed per-
+/// instruction cost on top of the fetch latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyConfig {
+    /// Fixed cycles per instruction besides memory (decode/execute).
+    pub issue_cycles: u64,
+    /// IL1 hit latency.
+    pub il1_hit: u64,
+    /// IL1 miss latency (includes the memory round-trip).
+    pub il1_miss: u64,
+    /// DL1 hit latency.
+    pub dl1_hit: u64,
+    /// DL1 miss latency (includes the memory round-trip).
+    pub dl1_miss: u64,
+}
+
+impl LatencyConfig {
+    /// LEON3-like defaults: 1-cycle hits, 100-cycle misses — large enough
+    /// that conflictive cache placements produce the abrupt execution-time
+    /// "knees" the paper studies.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { issue_cycles: 0, il1_hit: 1, il1_miss: 100, dl1_hit: 1, dl1_miss: 100 }
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Full platform configuration: cache geometries, policies and latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformConfig {
+    /// Instruction-cache geometry.
+    pub il1: CacheGeometry,
+    /// Data-cache geometry.
+    pub dl1: CacheGeometry,
+    /// Placement policy for both caches.
+    pub placement: PlacementPolicy,
+    /// Replacement policy for both caches.
+    pub replacement: ReplacementPolicy,
+    /// Pipeline/memory latencies.
+    pub latency: LatencyConfig,
+}
+
+impl PlatformConfig {
+    /// The paper's platform: 4 KB 2-way 32 B/line IL1 and DL1, random
+    /// placement and replacement, caches flushed before each run.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            il1: CacheGeometry::paper_l1(),
+            dl1: CacheGeometry::paper_l1(),
+            placement: PlacementPolicy::RandomHash,
+            replacement: ReplacementPolicy::Random,
+            latency: LatencyConfig::paper_default(),
+        }
+    }
+
+    /// A time-deterministic variant (modulo + LRU) used as the contrast in
+    /// Section 2 experiments — *not* MBPTA-compliant.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        Self {
+            placement: PlacementPolicy::Modulo,
+            replacement: ReplacementPolicy::Lru,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Returns `true` if both policies are time-randomized, i.e. the
+    /// platform is MBPTA-compliant.
+    #[must_use]
+    pub fn is_mbpta_compliant(&self) -> bool {
+        self.placement.is_randomized() && self.replacement.is_randomized()
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The simulated platform: one IL1, one DL1 and the latency model.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    il1: Cache,
+    dl1: Cache,
+    latency: LatencyConfig,
+}
+
+impl Platform {
+    /// Builds a platform; IL1 and DL1 receive independent streams derived
+    /// from `seed`.
+    #[must_use]
+    pub fn new(cfg: &PlatformConfig, seed: u64) -> Self {
+        Self {
+            il1: Cache::new(cfg.il1, cfg.placement, cfg.replacement, derive_seed(seed, 0)),
+            dl1: Cache::new(cfg.dl1, cfg.placement, cfg.replacement, derive_seed(seed, 1)),
+            latency: cfg.latency,
+        }
+    }
+
+    /// The instruction cache.
+    #[must_use]
+    pub fn il1(&self) -> &Cache {
+        &self.il1
+    }
+
+    /// The data cache.
+    #[must_use]
+    pub fn dl1(&self) -> &Cache {
+        &self.dl1
+    }
+
+    /// Executes a trace with the *current* cache state (no flush), returning
+    /// elapsed cycles. Useful for warm-cache experiments.
+    pub fn run(&mut self, trace: &Trace) -> u64 {
+        let mut cycles = 0u64;
+        for access in trace {
+            match access.kind {
+                AccessKind::InstrFetch => {
+                    cycles += self.latency.issue_cycles;
+                    cycles += if self.il1.access(access.addr).is_hit() {
+                        self.latency.il1_hit
+                    } else {
+                        self.latency.il1_miss
+                    };
+                }
+                AccessKind::Read | AccessKind::Write => {
+                    cycles += if self.dl1.access(access.addr).is_hit() {
+                        self.latency.dl1_hit
+                    } else {
+                        self.latency.dl1_miss
+                    };
+                }
+            }
+        }
+        cycles
+    }
+
+    /// One *measurement run* in the paper's sense: flush both caches,
+    /// re-randomize their placement with streams derived from `run_seed`,
+    /// then execute the trace and return its execution time in cycles.
+    pub fn run_randomized(&mut self, trace: &Trace, run_seed: u64) -> u64 {
+        self.il1.reseed(derive_seed(run_seed, 0));
+        self.dl1.reseed(derive_seed(run_seed, 1));
+        self.run(trace)
+    }
+}
+
+/// Collects `runs` execution times of `trace`, with run `i` seeded as
+/// `derive_seed(master_seed, i)`.
+///
+/// On an MBPTA-compliant platform the resulting sample is i.i.d. by
+/// construction (independent placement seeds per run) — the property MBPTA
+/// requires of its input measurements.
+#[must_use]
+pub fn campaign(cfg: &PlatformConfig, trace: &Trace, runs: usize, master_seed: u64) -> Vec<u64> {
+    let mut platform = Platform::new(cfg, master_seed);
+    (0..runs)
+        .map(|i| platform.run_randomized(trace, derive_seed(master_seed, i as u64)))
+        .collect()
+}
+
+/// Collects the execution times of runs `start .. start + runs` of the seed
+/// stream defined by `master_seed` — the incremental form of [`campaign`]
+/// used by the MBPTA convergence procedure (each step extends the same
+/// deterministic stream, so `campaign(n)` equals the concatenation of
+/// slices covering `0..n`).
+#[must_use]
+pub fn campaign_slice(
+    cfg: &PlatformConfig,
+    trace: &Trace,
+    start: usize,
+    runs: usize,
+    master_seed: u64,
+) -> Vec<u64> {
+    let mut platform = Platform::new(cfg, master_seed);
+    (start..start + runs)
+        .map(|i| platform.run_randomized(trace, derive_seed(master_seed, i as u64)))
+        .collect()
+}
+
+/// Parallel version of [`campaign`]: same per-run seeds, so the output is
+/// bit-identical to the serial version, in run-index order.
+///
+/// `threads` is clamped to at least 1; each worker simulates a contiguous
+/// chunk of run indices on its own [`Platform`] clone.
+#[must_use]
+pub fn campaign_parallel(
+    cfg: &PlatformConfig,
+    trace: &Trace,
+    runs: usize,
+    master_seed: u64,
+    threads: usize,
+) -> Vec<u64> {
+    let threads = threads.max(1).min(runs.max(1));
+    if threads <= 1 || runs < 256 {
+        return campaign(cfg, trace, runs, master_seed);
+    }
+    let mut out = vec![0u64; runs];
+    let chunk = runs.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move |_| {
+                let mut platform = Platform::new(cfg, master_seed);
+                for (off, s) in slot.iter_mut().enumerate() {
+                    let i = (start + off) as u64;
+                    *s = platform.run_randomized(trace, derive_seed(master_seed, i));
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_trace::{Access, SymSeq};
+
+    fn sym_trace(s: &str, reps: usize) -> Trace {
+        s.parse::<SymSeq>().unwrap().repeat(reps).to_trace(32)
+    }
+
+    #[test]
+    fn deterministic_platform_has_zero_variability() {
+        let cfg = PlatformConfig::deterministic();
+        let trace = sym_trace("ABCDEFGH", 50);
+        let times = campaign(&cfg, &trace, 20, 7);
+        assert!(times.windows(2).all(|w| w[0] == w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn randomized_platform_varies_across_runs() {
+        let cfg = PlatformConfig::paper_default();
+        // Footprint > 2 ways in some sets with non-trivial probability:
+        // 40 distinct lines in 64 sets.
+        let s: SymSeq = ('A'..='Z').chain('A'..='N').collect::<String>().parse().unwrap();
+        let trace = s.repeat(30).to_trace(32);
+        let times = campaign(&cfg, &trace, 50, 9);
+        let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
+        assert!(distinct.len() > 1, "expected layout-induced variability");
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCAD", 40);
+        assert_eq!(campaign(&cfg, &trace, 25, 3), campaign(&cfg, &trace, 25, 3));
+        // A footprint large enough that layouts (and thus times) must differ
+        // between master seeds.
+        let wide: SymSeq = ('A'..='Z').collect::<String>().parse().unwrap();
+        let wide_trace = wide.repeat(10).to_trace(32);
+        assert_ne!(
+            campaign(&cfg, &wide_trace, 25, 3),
+            campaign(&cfg, &wide_trace, 25, 4)
+        );
+    }
+
+    #[test]
+    fn slices_concatenate_to_full_campaign() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGH", 10);
+        let full = campaign(&cfg, &trace, 120, 13);
+        let mut pieced = campaign_slice(&cfg, &trace, 0, 50, 13);
+        pieced.extend(campaign_slice(&cfg, &trace, 50, 70, 13));
+        assert_eq!(full, pieced);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGHIJ", 20);
+        let serial = campaign(&cfg, &trace, 500, 11);
+        for threads in [2, 3, 8] {
+            assert_eq!(campaign_parallel(&cfg, &trace, 500, 11, threads), serial);
+        }
+    }
+
+    #[test]
+    fn run_separates_instruction_and_data() {
+        // One instruction fetch and one read to the same line id: they go to
+        // different caches, so both miss.
+        let cfg = PlatformConfig::paper_default();
+        let mut p = Platform::new(&cfg, 1);
+        let t: Trace = [Access::fetch(0x100), Access::read(0x100)].into_iter().collect();
+        let cycles = p.run_randomized(&t, 5);
+        assert_eq!(cycles, 200, "two cold misses at 100 cycles each");
+        assert_eq!(p.il1().stats().misses, 1);
+        assert_eq!(p.dl1().stats().misses, 1);
+    }
+
+    #[test]
+    fn hits_cost_hit_latency() {
+        let cfg = PlatformConfig::paper_default();
+        let mut p = Platform::new(&cfg, 1);
+        let t: Trace = [Access::read(0x40), Access::read(0x40), Access::read(0x40)]
+            .into_iter()
+            .collect();
+        let cycles = p.run_randomized(&t, 5);
+        assert_eq!(cycles, 100 + 1 + 1);
+    }
+
+    #[test]
+    fn issue_cycles_add_per_instruction() {
+        let mut cfg = PlatformConfig::paper_default();
+        cfg.latency.issue_cycles = 3;
+        let mut p = Platform::new(&cfg, 1);
+        let t: Trace = [Access::fetch(0x0), Access::fetch(0x4)].into_iter().collect();
+        // First fetch misses (100), second hits same line (1), plus 2*3 issue.
+        assert_eq!(p.run_randomized(&t, 5), 100 + 1 + 6);
+    }
+
+    #[test]
+    fn warm_run_is_faster_than_cold() {
+        let cfg = PlatformConfig::paper_default();
+        let mut p = Platform::new(&cfg, 1);
+        let trace = sym_trace("ABCD", 10);
+        let cold = p.run_randomized(&trace, 77);
+        let warm = p.run(&trace); // no flush
+        assert!(warm < cold, "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn mbpta_compliance_flag() {
+        assert!(PlatformConfig::paper_default().is_mbpta_compliant());
+        assert!(!PlatformConfig::deterministic().is_mbpta_compliant());
+    }
+}

@@ -1,0 +1,200 @@
+//! The MBPTA convergence procedure: how many runs until the pWCET estimate
+//! stabilizes.
+//!
+//! This produces the paper's `R_orig` and `R_pub` (Table 2): starting from
+//! an initial sample, measurements are added in steps; after each step the
+//! pWCET at a check probability is re-estimated, and the campaign stops when
+//! the last few estimates agree within a tolerance and the i.i.d. tests
+//! pass. TAC then potentially *increases* that number to
+//! `R_pub+tac = max(R_pub, R_tac)` to reach cache representativeness.
+
+use crate::exp_tail::{EvtError, TailConfig};
+use crate::iid::IidReport;
+use crate::pwcet::{Dither, FitMethod, Pwcet};
+
+/// Configuration of the convergence procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceConfig {
+    /// Runs collected before the first estimate.
+    pub initial: usize,
+    /// Runs added per step.
+    pub step: usize,
+    /// Hard cap on the campaign length.
+    pub max_runs: usize,
+    /// Exceedance probability at which stability is checked.
+    pub p_check: f64,
+    /// Maximum relative spread of the last estimates to declare stability.
+    pub epsilon: f64,
+    /// Number of consecutive estimates that must agree.
+    pub stable_windows: usize,
+    /// Significance level for the i.i.d. tests.
+    pub alpha_iid: f64,
+    /// Tail-fit configuration.
+    pub tail: TailConfig,
+    /// Fit method.
+    pub method: FitMethod,
+    /// Dithering for the discrete cycle counts.
+    pub dither: Dither,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        Self {
+            initial: 300,
+            step: 100,
+            max_runs: 100_000,
+            p_check: 1e-12,
+            epsilon: 0.02,
+            stable_windows: 4,
+            alpha_iid: 0.01,
+            tail: TailConfig::default(),
+            method: FitMethod::ExpTailCv,
+            dither: Dither::Uniform { seed: 0xD17 },
+        }
+    }
+}
+
+/// Result of a convergence campaign.
+#[derive(Debug, Clone)]
+pub struct ConvergenceOutcome {
+    /// Runs collected when the procedure stopped.
+    pub runs: usize,
+    /// The final pWCET estimate.
+    pub pwcet: Pwcet,
+    /// i.i.d. evidence on the final sample.
+    pub iid: IidReport,
+    /// `(runs, pWCET@p_check)` after each step.
+    pub history: Vec<(usize, f64)>,
+    /// `false` if `max_runs` was reached without stabilizing.
+    pub converged: bool,
+}
+
+/// Runs the convergence procedure, pulling measurements from `sampler`.
+///
+/// `sampler(count)` must return `count` *new* execution times (cycles); it
+/// is called repeatedly and its outputs are accumulated.
+///
+/// # Errors
+///
+/// Propagates [`EvtError::NotEnoughData`] only if even `max_runs`
+/// measurements cannot support a fit; degenerate (deterministic) samples
+/// converge immediately with a constant pWCET.
+pub fn converge(
+    mut sampler: impl FnMut(usize) -> Vec<u64>,
+    cfg: &ConvergenceConfig,
+) -> Result<ConvergenceOutcome, EvtError> {
+    assert!(cfg.initial > 0 && cfg.step > 0, "initial and step must be positive");
+    let mut sample: Vec<u64> = Vec::with_capacity(cfg.initial);
+    sample.extend(sampler(cfg.initial));
+    let mut history: Vec<(usize, f64)> = Vec::new();
+
+    loop {
+        match Pwcet::fit(&sample, cfg.method, &cfg.tail, cfg.dither) {
+            Ok(pwcet) => {
+                let q = pwcet.quantile(cfg.p_check);
+                history.push((sample.len(), q));
+                let stable = history.len() >= cfg.stable_windows && {
+                    let tail = &history[history.len() - cfg.stable_windows..];
+                    let lo = tail.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+                    let hi = tail.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+                    hi > 0.0 && (hi - lo) / hi <= cfg.epsilon
+                };
+                let float_sample: Vec<f64> = sample.iter().map(|&v| v as f64).collect();
+                let iid = IidReport::evaluate(&float_sample);
+                if stable && iid.passed(cfg.alpha_iid) {
+                    return Ok(ConvergenceOutcome {
+                        runs: sample.len(),
+                        pwcet,
+                        iid,
+                        history,
+                        converged: true,
+                    });
+                }
+                if sample.len() >= cfg.max_runs {
+                    return Ok(ConvergenceOutcome {
+                        runs: sample.len(),
+                        pwcet,
+                        iid,
+                        history,
+                        converged: false,
+                    });
+                }
+            }
+            Err(e) => {
+                if sample.len() >= cfg.max_runs {
+                    return Err(e);
+                }
+            }
+        }
+        sample.extend(sampler(cfg.step));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_rng::{Rng64, Xoshiro256PlusPlus};
+
+    fn exp_sampler(seed: u64) -> impl FnMut(usize) -> Vec<u64> {
+        let mut rng = Xoshiro256PlusPlus::from_seed(seed);
+        move |count| (0..count).map(|_| 2000 + rng.exponential(0.01) as u64).collect()
+    }
+
+    #[test]
+    fn converges_on_well_behaved_sample() {
+        let out = converge(exp_sampler(1), &ConvergenceConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.runs >= 300);
+        assert!(out.runs < 20_000, "runs = {}", out.runs);
+        assert!(out.iid.passed(0.01));
+        // History is recorded at every successful step.
+        assert_eq!(out.history.last().unwrap().0, out.runs);
+        assert!(out.pwcet.quantile(1e-12) > 2000.0);
+    }
+
+    #[test]
+    fn deterministic_sample_converges_to_constant() {
+        let out = converge(|count| vec![4242u64; count], &ConvergenceConfig::default())
+            .unwrap();
+        assert!(out.converged);
+        assert_eq!(out.pwcet.quantile(1e-12), 4242.0);
+        assert_eq!(out.runs, 300 + 3 * 100, "stable_windows steps past initial");
+    }
+
+    #[test]
+    fn max_runs_caps_non_converging_campaign() {
+        // A drifting sampler never stabilizes.
+        let mut base = 0u64;
+        let mut rng = Xoshiro256PlusPlus::from_seed(2);
+        let cfg = ConvergenceConfig { max_runs: 1500, ..ConvergenceConfig::default() };
+        let out = converge(
+            |count| {
+                (0..count)
+                    .map(|_| {
+                        base += 40;
+                        base + rng.exponential(0.001) as u64
+                    })
+                    .collect()
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert!(!out.converged);
+        assert!(out.runs >= 1500);
+    }
+
+    #[test]
+    fn stricter_epsilon_needs_more_runs() {
+        let loose = ConvergenceConfig { epsilon: 0.10, ..ConvergenceConfig::default() };
+        let strict = ConvergenceConfig { epsilon: 0.005, ..ConvergenceConfig::default() };
+        let r_loose = converge(exp_sampler(5), &loose).unwrap().runs;
+        let r_strict = converge(exp_sampler(5), &strict).unwrap().runs;
+        assert!(r_strict >= r_loose, "strict {r_strict} vs loose {r_loose}");
+    }
+
+    #[test]
+    fn history_is_monotone_in_runs() {
+        let out = converge(exp_sampler(9), &ConvergenceConfig::default()).unwrap();
+        assert!(out.history.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Gumbel (GEV type I) fitting via block maxima and probability-weighted
+//! moments — the classical EVT route, provided alongside the exponential
+//! tail for the Gumbel-vs-exponential comparison discussed in the paper's
+//! related work (Palma et al., RTSS'17).
+
+use crate::exp_tail::EvtError;
+use crate::stats::mean;
+
+/// Euler–Mascheroni constant.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// A Gumbel distribution fitted to block maxima.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GumbelFit {
+    /// Location parameter (of the block-maximum distribution).
+    pub mu: f64,
+    /// Scale parameter.
+    pub sigma: f64,
+    /// Block size used.
+    pub block_size: usize,
+    /// Number of blocks.
+    pub blocks: usize,
+}
+
+impl GumbelFit {
+    /// The pWCET value at **per-run** exceedance probability `p`.
+    ///
+    /// The fitted distribution models block maxima; a per-run exceedance of
+    /// `p` corresponds to a per-block exceedance of
+    /// `1 − (1 − p)^B ≈ B·p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "exceedance probability must be in (0, 1)");
+        let pb = (1.0 - (1.0 - p).powi(self.block_size as i32)).clamp(f64::MIN_POSITIVE, 1.0);
+        // Gumbel CDF: F(x) = exp(-exp(-(x-mu)/sigma)); invert 1 - F = pb.
+        self.mu - self.sigma * (-(1.0 - pb).ln()).ln()
+    }
+
+    /// Modelled per-run exceedance probability of `x`.
+    #[must_use]
+    pub fn exceedance(&self, x: f64) -> f64 {
+        let f_block = (-(-(x - self.mu) / self.sigma).exp()).exp();
+        // Per-run: 1 - F_block^(1/B).
+        1.0 - f_block.powf(1.0 / self.block_size as f64)
+    }
+}
+
+/// Fits a Gumbel distribution to block maxima of `sample` using
+/// probability-weighted moments (Hosking's estimators):
+///
+/// `σ = (2·b₁ − b₀) / ln 2`, `μ = b₀ − γ·σ`.
+///
+/// # Errors
+///
+/// * [`EvtError::NotEnoughData`] if fewer than 20 blocks are available;
+/// * [`EvtError::DegenerateSample`] if the maxima have no spread.
+pub fn fit_gumbel(sample: &[f64], block_size: usize) -> Result<GumbelFit, EvtError> {
+    let block_size = block_size.max(1);
+    let blocks = sample.len() / block_size;
+    if blocks < 20 {
+        return Err(EvtError::NotEnoughData { needed: 20 * block_size, got: sample.len() });
+    }
+    let mut maxima: Vec<f64> = (0..blocks)
+        .map(|b| {
+            sample[b * block_size..(b + 1) * block_size]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    maxima.sort_by(f64::total_cmp);
+
+    let n = maxima.len() as f64;
+    let b0 = mean(&maxima);
+    let b1 = maxima
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 / (n - 1.0)) * x)
+        .sum::<f64>()
+        / n;
+    let sigma = (2.0 * b1 - b0) / std::f64::consts::LN_2;
+    if sigma.is_nan() || sigma <= 0.0 {
+        return Err(EvtError::DegenerateSample);
+    }
+    let mu = b0 - EULER_GAMMA * sigma;
+    Ok(GumbelFit { mu, sigma, block_size, blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_rng::{Rng64, Xoshiro256PlusPlus};
+
+    #[test]
+    fn recovers_gumbel_parameters() {
+        let (mu, sigma) = (1000.0, 25.0);
+        let mut rng = Xoshiro256PlusPlus::from_seed(17);
+        // Sample Gumbel directly with block size 1: maxima of one value.
+        let sample: Vec<f64> = (0..50_000).map(|_| rng.gumbel(mu, sigma)).collect();
+        let fit = fit_gumbel(&sample, 1).unwrap();
+        assert!((fit.mu - mu).abs() < 1.0, "mu = {}", fit.mu);
+        assert!((fit.sigma - sigma).abs() < 1.0, "sigma = {}", fit.sigma);
+    }
+
+    #[test]
+    fn block_maxima_of_exponential_look_gumbel() {
+        // Max of B exponentials(rate) ~ Gumbel(ln(B)/rate, 1/rate).
+        let rate = 0.1;
+        let block = 50usize;
+        let mut rng = Xoshiro256PlusPlus::from_seed(5);
+        let sample: Vec<f64> = (0..100_000).map(|_| rng.exponential(rate)).collect();
+        let fit = fit_gumbel(&sample, block).unwrap();
+        assert!((fit.sigma - 1.0 / rate).abs() < 1.5, "sigma = {}", fit.sigma);
+        assert!((fit.mu - (block as f64).ln() / rate).abs() < 3.0, "mu = {}", fit.mu);
+    }
+
+    #[test]
+    fn quantile_extrapolates_monotonically() {
+        let mut rng = Xoshiro256PlusPlus::from_seed(23);
+        let sample: Vec<f64> = (0..20_000).map(|_| 100.0 + rng.exponential(0.05)).collect();
+        let fit = fit_gumbel(&sample, 20).unwrap();
+        let q = [1e-6, 1e-9, 1e-12].map(|p| fit.quantile(p));
+        assert!(q[0] < q[1] && q[1] < q[2]);
+        assert!(q[0] > fit.mu);
+    }
+
+    #[test]
+    fn exceedance_roughly_inverts_quantile() {
+        let mut rng = Xoshiro256PlusPlus::from_seed(29);
+        let sample: Vec<f64> = (0..20_000).map(|_| rng.gumbel(500.0, 10.0)).collect();
+        let fit = fit_gumbel(&sample, 10).unwrap();
+        for p in [1e-5, 1e-8] {
+            let x = fit.quantile(p);
+            let back = fit.exceedance(x);
+            assert!((back - p).abs() / p < 0.05, "p = {p}, back = {back}");
+        }
+    }
+
+    #[test]
+    fn not_enough_blocks_errors() {
+        let sample = vec![1.0; 100];
+        assert!(matches!(
+            fit_gumbel(&sample, 10).unwrap_err(),
+            EvtError::NotEnoughData { .. }
+        ));
+    }
+
+    #[test]
+    fn degenerate_maxima_error() {
+        let sample = vec![7.0; 1000];
+        assert_eq!(fit_gumbel(&sample, 10).unwrap_err(), EvtError::DegenerateSample);
+    }
+}

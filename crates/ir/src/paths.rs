@@ -1,0 +1,178 @@
+//! Path records: which way every conditional went, how often every loop
+//! iterated.
+
+use std::fmt;
+
+/// One control-flow decision taken during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Conditional `id` evaluated with the given outcome.
+    Branch {
+        /// Pre-order construct id (see [`crate::layout_program`]).
+        id: u32,
+        /// `true` if the then-branch was taken.
+        taken: bool,
+    },
+    /// Loop `id` exited after `iters` iterations.
+    Loop {
+        /// Pre-order construct id.
+        id: u32,
+        /// Number of completed iterations.
+        iters: u32,
+    },
+}
+
+/// The full control-flow path of one program run.
+///
+/// Two runs follow the same path of the control-flow graph exactly when
+/// their `PathRecord`s are equal. [`path_id`](PathRecord::path_id) condenses
+/// the record into a stable 64-bit fingerprint for grouping runs by path.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_ir::{Decision, PathRecord};
+/// let mut p = PathRecord::new();
+/// p.push(Decision::Branch { id: 0, taken: true });
+/// p.push(Decision::Loop { id: 1, iters: 4 });
+/// assert_eq!(p.to_string(), "b0:T l1:4");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PathRecord {
+    decisions: Vec<Decision>,
+}
+
+impl PathRecord {
+    /// Creates an empty record.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a decision.
+    pub fn push(&mut self, d: Decision) {
+        self.decisions.push(d);
+    }
+
+    /// The decisions in execution order.
+    #[must_use]
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Number of recorded decisions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Returns `true` for a straight-line run (no conditionals or loops).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Stable 64-bit fingerprint of the path (FNV-1a over the decisions).
+    #[must_use]
+    pub fn path_id(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for d in &self.decisions {
+            match *d {
+                Decision::Branch { id, taken } => {
+                    eat(1);
+                    eat(u64::from(id));
+                    eat(u64::from(taken));
+                }
+                Decision::Loop { id, iters } => {
+                    eat(2);
+                    eat(u64::from(id));
+                    eat(u64::from(iters));
+                }
+            }
+        }
+        h
+    }
+
+    /// Total loop iterations across all loops (a crude path-length measure).
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.decisions
+            .iter()
+            .map(|d| match d {
+                Decision::Loop { iters, .. } => u64::from(*iters),
+                Decision::Branch { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Iterations recorded for loop `id` (first exit record), if any.
+    #[must_use]
+    pub fn loop_iters(&self, id: u32) -> Option<u32> {
+        self.decisions.iter().find_map(|d| match *d {
+            Decision::Loop { id: lid, iters } if lid == id => Some(iters),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for PathRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match d {
+                Decision::Branch { id, taken } => {
+                    write!(f, "b{id}:{}", if *taken { 'T' } else { 'F' })?;
+                }
+                Decision::Loop { id, iters } => write!(f, "l{id}:{iters}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_ids_distinguish_paths() {
+        let mut a = PathRecord::new();
+        a.push(Decision::Branch { id: 0, taken: true });
+        let mut b = PathRecord::new();
+        b.push(Decision::Branch { id: 0, taken: false });
+        assert_ne!(a.path_id(), b.path_id());
+        assert_eq!(a.path_id(), a.clone().path_id());
+        assert_ne!(PathRecord::new().path_id(), a.path_id());
+    }
+
+    #[test]
+    fn branch_and_loop_records_do_not_collide_trivially() {
+        let mut a = PathRecord::new();
+        a.push(Decision::Branch { id: 1, taken: false });
+        let mut b = PathRecord::new();
+        b.push(Decision::Loop { id: 1, iters: 0 });
+        assert_ne!(a.path_id(), b.path_id());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut p = PathRecord::new();
+        assert!(p.is_empty());
+        p.push(Decision::Loop { id: 3, iters: 7 });
+        p.push(Decision::Loop { id: 4, iters: 5 });
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_iterations(), 12);
+        assert_eq!(p.loop_iters(3), Some(7));
+        assert_eq!(p.loop_iters(9), None);
+    }
+}

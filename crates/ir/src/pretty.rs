@@ -1,0 +1,188 @@
+//! Pseudo-C pretty-printer for programs.
+//!
+//! Renders the IR back into a C-like surface syntax — invaluable when
+//! inspecting what PUB inserted where. The output is stable, making it
+//! usable in golden tests.
+
+use std::fmt::Write as _;
+
+use crate::expr::Expr;
+use crate::program::Program;
+use crate::stmt::Stmt;
+
+/// Renders a whole program as pseudo-C.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_ir::{pretty_print, Expr, ProgramBuilder, Stmt};
+/// let mut b = ProgramBuilder::new("demo");
+/// let x = b.var("x");
+/// b.push(Stmt::Assign(x, Expr::c(1)));
+/// let p = b.build().unwrap();
+/// assert!(pretty_print(&p).contains("x = 1;"));
+/// ```
+#[must_use]
+pub fn pretty_print(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// program {}", p.name());
+    for a in p.arrays() {
+        let _ = writeln!(out, "int {}[{}]; // base {:#x}", a.name, a.len, a.base);
+    }
+    if !p.var_names().is_empty() {
+        let _ = writeln!(out, "int {};", p.var_names().join(", "));
+    }
+    let _ = writeln!(out, "void {}() {{", p.name());
+    print_stmts(p, p.body(), 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn expr_str(p: &Program, e: &Expr) -> String {
+    // Reuse Expr's Display, then substitute declared names for the generic
+    // v<i>/arr<i> placeholders.
+    let mut s = e.to_string();
+    for (i, name) in p.var_names().iter().enumerate().rev() {
+        s = s.replace(&format!("v{i}"), name);
+    }
+    for (i, a) in p.arrays().iter().enumerate().rev() {
+        s = s.replace(&format!("arr{i}"), &a.name);
+    }
+    s
+}
+
+fn print_stmts(p: &Program, stmts: &[Stmt], depth: usize, out: &mut String) {
+    for s in stmts {
+        print_stmt(p, s, depth, out);
+    }
+}
+
+fn print_stmt(p: &Program, s: &Stmt, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match s {
+        Stmt::Assign(v, e) => {
+            let name = &p.var_names()[v.0 as usize];
+            let _ = writeln!(out, "{name} = {};", expr_str(p, e));
+        }
+        Stmt::Store { array, index, value } => {
+            let name = &p.arrays()[array.0 as usize].name;
+            let _ = writeln!(out, "{name}[{}] = {};", expr_str(p, index), expr_str(p, value));
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            let _ = writeln!(out, "if ({}) {{", expr_str(p, cond));
+            print_stmts(p, then_branch, depth + 1, out);
+            if else_branch.is_empty() {
+                indent(out, depth);
+                out.push_str("}\n");
+            } else {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                print_stmts(p, else_branch, depth + 1, out);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, max_iter, body } => {
+            let _ = writeln!(out, "while ({}) {{ // bound {max_iter}", expr_str(p, cond));
+            print_stmts(p, body, depth + 1, out);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For { var, from, to, max_iter, body } => {
+            let name = &p.var_names()[var.0 as usize];
+            let _ = writeln!(
+                out,
+                "for ({name} = {}; {name} < {}; {name}++) {{ // bound {max_iter}",
+                expr_str(p, from),
+                expr_str(p, to)
+            );
+            print_stmts(p, body, depth + 1, out);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Touch { refs, pad } => {
+            let targets: Vec<String> = refs
+                .iter()
+                .map(|(a, idx)| {
+                    format!("{}[{}]", p.arrays()[a.0 as usize].name, expr_str(p, idx))
+                })
+                .collect();
+            let _ = writeln!(out, "__pub_touch({}); // +{pad} nops", targets.join(", "));
+        }
+        Stmt::Nop { count } => {
+            let _ = writeln!(out, "__pub_nop({count});");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn demo() -> Program {
+        let mut b = ProgramBuilder::new("demo");
+        let a = b.array("tab", 8);
+        let x = b.var("x");
+        let i = b.var("i");
+        b.push(Stmt::for_(
+            i,
+            Expr::c(0),
+            Expr::c(8),
+            8,
+            vec![Stmt::if_(
+                Expr::load(a, Expr::var(i)).gt(Expr::c(0)),
+                vec![Stmt::Assign(x, Expr::var(x).add(Expr::c(1)))],
+                vec![Stmt::store(a, Expr::var(i), Expr::c(0))],
+            )],
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_declarations_and_control_flow() {
+        let text = pretty_print(&demo());
+        assert!(text.contains("int tab[8];"));
+        assert!(text.contains("int x, i;"));
+        assert!(text.contains("for (i = 0; i < 8; i++) { // bound 8"));
+        assert!(text.contains("if ((tab[i] > 0)) {"));
+        assert!(text.contains("x = (x + 1);"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("tab[i] = 0;"));
+    }
+
+    #[test]
+    fn renders_pub_statements() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 4);
+        b.push(Stmt::Touch { refs: vec![(a, Expr::c(0))], pad: 2 });
+        b.push(Stmt::Nop { count: 3 });
+        let text = pretty_print(&b.build().unwrap());
+        assert!(text.contains("__pub_touch(a[0]); // +2 nops"));
+        assert!(text.contains("__pub_nop(3);"));
+    }
+
+    #[test]
+    fn output_is_stable() {
+        assert_eq!(pretty_print(&demo()), pretty_print(&demo()));
+    }
+
+    #[test]
+    fn while_renders_bound() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        b.push(Stmt::while_(
+            Expr::var(x).lt(Expr::c(3)),
+            3,
+            vec![Stmt::Assign(x, Expr::var(x).add(Expr::c(1)))],
+        ));
+        let text = pretty_print(&b.build().unwrap());
+        assert!(text.contains("while ((x < 3)) { // bound 3"));
+    }
+}

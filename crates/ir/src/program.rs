@@ -1,0 +1,439 @@
+//! Programs: declarations, memory layout, and the builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+
+/// Base address of the data segment (arrays).
+pub const DATA_BASE: u64 = 0x8000_0000;
+/// Base address of the code segment.
+pub const CODE_BASE: u64 = 0x0000_1000;
+/// Bytes per instruction.
+pub const INSTR_BYTES: u64 = 4;
+/// Bytes per array element (C `int`).
+pub const ELEM_BYTES: u64 = 4;
+/// Arrays are aligned to this many bytes (one cache line).
+pub const ARRAY_ALIGN: u64 = 32;
+
+/// A scalar variable (register-allocated: reads/writes emit no memory
+/// accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// An array identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// An array declaration: `len` elements of [`ELEM_BYTES`] bytes at `base`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of elements.
+    pub len: u32,
+    /// Base byte address (assigned by [`ProgramBuilder::build`]).
+    pub base: u64,
+}
+
+impl ArrayDecl {
+    /// Byte address of element `index` (no bounds check here; the
+    /// interpreter checks).
+    #[must_use]
+    pub fn elem_addr(&self, index: i64) -> u64 {
+        self.base.wrapping_add((index as u64).wrapping_mul(ELEM_BYTES))
+    }
+}
+
+/// Error validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An expression refers to a variable id ≥ the declared count.
+    UnknownVar(u32),
+    /// A statement or expression refers to an undeclared array.
+    UnknownArray(u32),
+    /// A loop declares a zero maximum iteration count but has a body.
+    ZeroLoopBound,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownVar(v) => write!(f, "unknown variable v{v}"),
+            ProgramError::UnknownArray(a) => write!(f, "unknown array arr{a}"),
+            ProgramError::ZeroLoopBound => write!(f, "loop with zero max_iter"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A validated program: declarations plus the statement tree.
+///
+/// Construct programs with [`ProgramBuilder`]; [`Program::body`] exposes the
+/// statement tree for analyses and transformations (PUB rebuilds it).
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_ir::{Expr, ProgramBuilder, Stmt};
+///
+/// let mut b = ProgramBuilder::new("sum");
+/// let a = b.array("a", 4);
+/// let (i, acc) = (b.var("i"), b.var("acc"));
+/// b.push(Stmt::Assign(acc, Expr::c(0)));
+/// b.push(Stmt::for_(
+///     i,
+///     Expr::c(0),
+///     Expr::c(4),
+///     4,
+///     vec![Stmt::Assign(acc, Expr::var(acc).add(Expr::load(a, Expr::var(i))))],
+/// ));
+/// let p = b.build()?;
+/// assert_eq!(p.arrays().len(), 1);
+/// # Ok::<(), mbcr_ir::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    var_names: Vec<String>,
+    arrays: Vec<ArrayDecl>,
+    body: Vec<Stmt>,
+}
+
+impl Program {
+    /// The program's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of declared scalar variables.
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Declared variable names (indexed by [`Var`] id).
+    #[must_use]
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// Looks up a variable by name.
+    #[must_use]
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.var_names.iter().position(|n| n == name).map(|i| Var(i as u32))
+    }
+
+    /// The array declarations (indexed by [`ArrayId`]).
+    #[must_use]
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Looks up an array by name.
+    #[must_use]
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(|i| ArrayId(i as u32))
+    }
+
+    /// The top-level statement list.
+    #[must_use]
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Builds a new program with the same declarations but a different body
+    /// (used by PUB, which only inserts innocuous statements).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the new body references undeclared
+    /// variables or arrays.
+    pub fn with_body(&self, body: Vec<Stmt>) -> Result<Program, ProgramError> {
+        let p = Program {
+            name: self.name.clone(),
+            var_names: self.var_names.clone(),
+            arrays: self.arrays.clone(),
+            body,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Renames the program (e.g. `bs` → `bs_pub`).
+    #[must_use]
+    pub fn renamed(mut self, name: impl Into<String>) -> Program {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds a new program with additional scalar variables and a new body.
+    ///
+    /// Used by transformations that need scratch state (e.g. PUB's loop
+    /// padding introduces continuation flags). Returns the new program and
+    /// the ids of the added variables, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the new body is invalid.
+    pub fn extended(
+        &self,
+        extra_vars: &[&str],
+        body: Vec<Stmt>,
+    ) -> Result<(Program, Vec<Var>), ProgramError> {
+        let mut var_names = self.var_names.clone();
+        let mut ids = Vec::with_capacity(extra_vars.len());
+        for name in extra_vars {
+            ids.push(Var(var_names.len() as u32));
+            var_names.push((*name).to_string());
+        }
+        let p = Program {
+            name: self.name.clone(),
+            var_names,
+            arrays: self.arrays.clone(),
+            body,
+        };
+        p.validate()?;
+        Ok((p, ids))
+    }
+
+    /// Returns the array whose data segment contains `addr`, if any.
+    ///
+    /// Useful for classifying trace accesses back to program objects.
+    #[must_use]
+    pub fn array_containing(&self, addr: u64) -> Option<ArrayId> {
+        self.arrays.iter().position(|d| {
+            addr >= d.base && addr < d.base + u64::from(d.len) * ELEM_BYTES
+        })
+        .map(|i| ArrayId(i as u32))
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        fn check_expr(e: &Expr, vars: usize, arrays: usize) -> Result<(), ProgramError> {
+            match e {
+                Expr::Const(_) => Ok(()),
+                Expr::Var(v) => {
+                    if (v.0 as usize) < vars {
+                        Ok(())
+                    } else {
+                        Err(ProgramError::UnknownVar(v.0))
+                    }
+                }
+                Expr::Load(a, idx) => {
+                    if (a.0 as usize) >= arrays {
+                        return Err(ProgramError::UnknownArray(a.0));
+                    }
+                    check_expr(idx, vars, arrays)
+                }
+                Expr::Un(_, e) => check_expr(e, vars, arrays),
+                Expr::Bin(_, l, r) => {
+                    check_expr(l, vars, arrays)?;
+                    check_expr(r, vars, arrays)
+                }
+            }
+        }
+        fn check_stmts(stmts: &[Stmt], vars: usize, arrays: usize) -> Result<(), ProgramError> {
+            for s in stmts {
+                match s {
+                    Stmt::Assign(v, e) => {
+                        if (v.0 as usize) >= vars {
+                            return Err(ProgramError::UnknownVar(v.0));
+                        }
+                        check_expr(e, vars, arrays)?;
+                    }
+                    Stmt::Store { array, index, value } => {
+                        if (array.0 as usize) >= arrays {
+                            return Err(ProgramError::UnknownArray(array.0));
+                        }
+                        check_expr(index, vars, arrays)?;
+                        check_expr(value, vars, arrays)?;
+                    }
+                    Stmt::If { cond, then_branch, else_branch } => {
+                        check_expr(cond, vars, arrays)?;
+                        check_stmts(then_branch, vars, arrays)?;
+                        check_stmts(else_branch, vars, arrays)?;
+                    }
+                    Stmt::While { cond, max_iter, body } => {
+                        if *max_iter == 0 && !body.is_empty() {
+                            return Err(ProgramError::ZeroLoopBound);
+                        }
+                        check_expr(cond, vars, arrays)?;
+                        check_stmts(body, vars, arrays)?;
+                    }
+                    Stmt::For { var, from, to, max_iter, body } => {
+                        if (var.0 as usize) >= vars {
+                            return Err(ProgramError::UnknownVar(var.0));
+                        }
+                        if *max_iter == 0 && !body.is_empty() {
+                            return Err(ProgramError::ZeroLoopBound);
+                        }
+                        check_expr(from, vars, arrays)?;
+                        check_expr(to, vars, arrays)?;
+                        check_stmts(body, vars, arrays)?;
+                    }
+                    Stmt::Touch { refs, .. } => {
+                        for (a, idx) in refs {
+                            if (a.0 as usize) >= arrays {
+                                return Err(ProgramError::UnknownArray(a.0));
+                            }
+                            check_expr(idx, vars, arrays)?;
+                        }
+                    }
+                    Stmt::Nop { .. } => {}
+                }
+            }
+            Ok(())
+        }
+        check_stmts(&self.body, self.var_names.len(), self.arrays.len())
+    }
+}
+
+/// Incremental builder for [`Program`].
+///
+/// Allocates variables and arrays, then assembles the body. Array base
+/// addresses are laid out sequentially in the data segment, each aligned to a
+/// cache line ([`ARRAY_ALIGN`]).
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    var_names: Vec<String>,
+    var_index: HashMap<String, Var>,
+    arrays: Vec<(String, u32)>,
+    body: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            var_names: Vec::new(),
+            var_index: HashMap::new(),
+            arrays: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Declares (or retrieves) a scalar variable by name.
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.var_index.get(name) {
+            return v;
+        }
+        let v = Var(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        self.var_index.insert(name.to_string(), v);
+        v
+    }
+
+    /// Declares an array with `len` elements.
+    pub fn array(&mut self, name: &str, len: u32) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push((name.to_string(), len));
+        id
+    }
+
+    /// Appends a statement to the top-level body.
+    pub fn push(&mut self, stmt: Stmt) -> &mut Self {
+        self.body.push(stmt);
+        self
+    }
+
+    /// Appends several statements.
+    pub fn extend(&mut self, stmts: impl IntoIterator<Item = Stmt>) -> &mut Self {
+        self.body.extend(stmts);
+        self
+    }
+
+    /// Finalizes the program: assigns array base addresses and validates all
+    /// references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] on references to undeclared variables or
+    /// arrays, or zero loop bounds.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        let mut base = DATA_BASE;
+        let mut arrays = Vec::with_capacity(self.arrays.len());
+        for (name, len) in self.arrays {
+            arrays.push(ArrayDecl { name, len, base });
+            let bytes = u64::from(len) * ELEM_BYTES;
+            base += bytes.div_ceil(ARRAY_ALIGN) * ARRAY_ALIGN;
+        }
+        let p = Program { name: self.name, var_names: self.var_names, arrays, body: self.body };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_and_aligns_arrays() {
+        let mut b = ProgramBuilder::new("t");
+        let a0 = b.array("a", 3); // 12 bytes -> rounds to 32
+        let a1 = b.array("b", 8); // starts one line later
+        let p = b.build().unwrap();
+        assert_eq!(p.arrays()[a0.0 as usize].base, DATA_BASE);
+        assert_eq!(p.arrays()[a1.0 as usize].base, DATA_BASE + 32);
+        assert_eq!(p.arrays()[a0.0 as usize].elem_addr(2), DATA_BASE + 8);
+    }
+
+    #[test]
+    fn var_is_idempotent_by_name() {
+        let mut b = ProgramBuilder::new("t");
+        let x1 = b.var("x");
+        let y = b.var("y");
+        let x2 = b.var("x");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        let p = b.build().unwrap();
+        assert_eq!(p.var_by_name("y"), Some(y));
+        assert_eq!(p.var_by_name("nope"), None);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_refs() {
+        let mut b = ProgramBuilder::new("t");
+        let _x = b.var("x");
+        b.push(Stmt::Assign(Var(5), Expr::c(0)));
+        assert_eq!(b.build().unwrap_err(), ProgramError::UnknownVar(5));
+
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        b.push(Stmt::Assign(x, Expr::load(ArrayId(0), Expr::c(0))));
+        assert_eq!(b.build().unwrap_err(), ProgramError::UnknownArray(0));
+    }
+
+    #[test]
+    fn validation_rejects_zero_loop_bound() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        b.push(Stmt::while_(Expr::c(0), 0, vec![Stmt::Assign(x, Expr::c(1))]));
+        assert_eq!(b.build().unwrap_err(), ProgramError::ZeroLoopBound);
+    }
+
+    #[test]
+    fn with_body_revalidates() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        b.push(Stmt::Assign(x, Expr::c(0)));
+        let p = b.build().unwrap();
+        assert!(p.with_body(vec![Stmt::Assign(Var(9), Expr::c(0))]).is_err());
+        let p2 = p.with_body(vec![Stmt::Nop { count: 1 }]).unwrap();
+        assert_eq!(p2.body().len(), 1);
+        assert_eq!(p2.name(), "t");
+        assert_eq!(p2.renamed("t_pub").name(), "t_pub");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProgramError::UnknownVar(3).to_string().contains("v3"));
+        assert!(ProgramError::UnknownArray(2).to_string().contains("arr2"));
+    }
+}

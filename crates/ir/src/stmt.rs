@@ -1,0 +1,181 @@
+//! Statements of the mbcr IR.
+
+use crate::expr::Expr;
+use crate::program::{ArrayId, Var};
+
+/// A statement.
+///
+/// The IR is deliberately small — just enough to express the Mälardalen
+/// control structures (straight-line code, two-way conditionals, bounded
+/// `while`/`for` loops) plus the two statement kinds PUB inserts:
+/// [`Touch`](Stmt::Touch) (functionally-innocuous loads of the sibling
+/// branch's operands) and [`Nop`](Stmt::Nop) (instruction-count padding).
+///
+/// Loops carry an explicit `max_iter` bound: the interpreter enforces it
+/// (erroring if exceeded) and PUB's static access signatures unroll to it,
+/// mirroring the paper's requirement that analysis inputs trigger the
+/// highest loop bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign(Var, Expr),
+    /// `array[index] = value` — emits the index/value loads then one write.
+    Store {
+        /// Destination array.
+        array: ArrayId,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// Two-way conditional. `cond != 0` selects `then_branch`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then_branch: Vec<Stmt>,
+        /// Taken when `cond == 0`.
+        else_branch: Vec<Stmt>,
+    },
+    /// Pre-tested loop, at most `max_iter` iterations.
+    While {
+        /// Loop condition, re-evaluated before every iteration.
+        cond: Expr,
+        /// Static bound on the number of iterations.
+        max_iter: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Counted loop: `for var in from..to { body }` (`to` exclusive,
+    /// both evaluated once at entry), at most `max_iter` iterations.
+    For {
+        /// Induction variable.
+        var: Var,
+        /// Initial value (evaluated once).
+        from: Expr,
+        /// Exclusive upper bound (evaluated once).
+        to: Expr,
+        /// Static bound on the number of iterations.
+        max_iter: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// PUB-inserted innocuous loads: reads `array[index]` for each ref,
+    /// discarding the values, plus `pad` extra no-op instructions.
+    ///
+    /// Index expressions are evaluated *silently* (their own `Load` nodes
+    /// emit no trace accesses): the inserted instruction reuses the address
+    /// already computed by the preceding inserted load, exactly one data
+    /// read per ref. Out-of-range indices wrap into the array instead of
+    /// erroring — a touch must never fault.
+    Touch {
+        /// The loads to perform (array, index expression).
+        refs: Vec<(ArrayId, Expr)>,
+        /// Additional instruction-only padding.
+        pad: u32,
+    },
+    /// PUB-inserted instruction padding: `count` no-op instructions.
+    Nop {
+        /// Number of no-op instructions.
+        count: u32,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for [`Stmt::Store`].
+    #[must_use]
+    pub fn store(array: ArrayId, index: Expr, value: Expr) -> Stmt {
+        Stmt::Store { array, index, value }
+    }
+
+    /// Convenience constructor for [`Stmt::If`].
+    #[must_use]
+    pub fn if_(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_branch, else_branch }
+    }
+
+    /// Convenience constructor for [`Stmt::While`].
+    #[must_use]
+    pub fn while_(cond: Expr, max_iter: u32, body: Vec<Stmt>) -> Stmt {
+        Stmt::While { cond, max_iter, body }
+    }
+
+    /// Convenience constructor for [`Stmt::For`].
+    #[must_use]
+    pub fn for_(var: Var, from: Expr, to: Expr, max_iter: u32, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var, from, to, max_iter, body }
+    }
+
+    /// Number of instructions of the statement itself, excluding nested
+    /// bodies (loop headers count their per-check instructions once; see
+    /// [`crate::layout`] for how often each span is fetched).
+    ///
+    /// Uses the RISC cost model of [`Expr::instr_cost`]: a statement
+    /// compiles to its expressions' code plus one instruction for the
+    /// store/move/branch it performs.
+    #[must_use]
+    pub fn own_instr_count(&self) -> u32 {
+        match self {
+            Stmt::Assign(_, e) => e.instr_cost() + 1,
+            Stmt::Store { index, value, .. } => {
+                index.instr_cost() + value.instr_cost() + 2
+            }
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond.instr_cost() + 1,
+            Stmt::For { from, to, .. } => from.instr_cost() + to.instr_cost() + 1,
+            // One instruction per ref (index evaluation is silent register
+            // reuse), plus the padding.
+            Stmt::Touch { refs, pad } => refs.len() as u32 + pad,
+            Stmt::Nop { count } => *count,
+        }
+    }
+
+    /// Returns `true` for statements PUB may insert (they never modify
+    /// program state).
+    #[must_use]
+    pub fn is_innocuous(&self) -> bool {
+        matches!(self, Stmt::Touch { .. } | Stmt::Nop { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn own_instr_counts() {
+        let a = ArrayId(0);
+        let v = Var(0);
+        // RISC cost model: li = 1, load = addr+ld = 2 (+ index code),
+        // operator = 1, plus one store/move/branch per statement.
+        assert_eq!(Stmt::Assign(v, Expr::c(1)).own_instr_count(), 2);
+        assert_eq!(Stmt::Assign(v, Expr::load(a, Expr::c(0))).own_instr_count(), 4);
+        assert_eq!(
+            Stmt::store(a, Expr::c(0), Expr::load(a, Expr::c(1))).own_instr_count(),
+            6
+        );
+        assert_eq!(
+            Stmt::if_(Expr::load(a, Expr::c(0)).gt(Expr::c(0)), vec![], vec![]).own_instr_count(),
+            6
+        );
+        assert_eq!(Stmt::Nop { count: 5 }.own_instr_count(), 5);
+        assert_eq!(
+            Stmt::Touch { refs: vec![(a, Expr::c(0)), (a, Expr::c(1))], pad: 3 }
+                .own_instr_count(),
+            5
+        );
+        // Index evaluation inside a touch is silent: still one instruction.
+        assert_eq!(
+            Stmt::Touch { refs: vec![(a, Expr::load(a, Expr::c(0)))], pad: 0 }
+                .own_instr_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn innocuous_classification() {
+        assert!(Stmt::Nop { count: 1 }.is_innocuous());
+        assert!(Stmt::Touch { refs: vec![], pad: 0 }.is_innocuous());
+        assert!(!Stmt::Assign(Var(0), Expr::c(0)).is_innocuous());
+    }
+}

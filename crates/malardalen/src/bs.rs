@@ -1,0 +1,176 @@
+//! `bs` — binary search over 15 elements (Mälardalen).
+//!
+//! The paper's Section 3.3 running example. The search probes a sorted
+//! 15-entry table; an input key stored at an *even* index is found after
+//! exactly 4 iterations (the maximum), and the 8 even indices yield 8
+//! distinct maximum-iteration paths — the paper's "8 different cases lead
+//! to different paths triggering the maximum number of iterations". The
+//! input vectors are named `v1, v3, …, v15` accordingly.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt, Var};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Number of table entries (as in the original benchmark).
+pub const SIZE: u32 = 15;
+/// Maximum binary-search iterations for 15 entries.
+pub const MAX_ITERS: u32 = 4;
+
+/// Key stored at `index` in the default table.
+#[must_use]
+pub fn key_at(index: u32) -> i64 {
+    4 * i64::from(index) + 2
+}
+
+/// Value stored at `index` in the default table.
+#[must_use]
+pub fn value_at(index: u32) -> i64 {
+    10 * i64::from(index)
+}
+
+/// Builds the `bs` program.
+///
+/// ```c
+/// fvalue = -1; low = 0; up = 14;
+/// while (low <= up) {
+///   mid = (low + up) >> 1;
+///   if (data[mid].key == x) { up = low - 1; fvalue = data[mid].value; }
+///   else if (data[mid].key > x) up = mid - 1;
+///   else low = mid + 1;
+/// }
+/// ```
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("bs");
+    let keys = b.array("keys", SIZE);
+    let values = b.array("values", SIZE);
+    let x = b.var("x");
+    let low = b.var("low");
+    let up = b.var("up");
+    let mid = b.var("mid");
+    let kmid = b.var("kmid");
+    let fvalue = b.var("fvalue");
+
+    b.push(Stmt::Assign(fvalue, Expr::c(-1)));
+    b.push(Stmt::Assign(low, Expr::c(0)));
+    b.push(Stmt::Assign(up, Expr::c(i64::from(SIZE) - 1)));
+    b.push(Stmt::while_(
+        Expr::var(low).le(Expr::var(up)),
+        MAX_ITERS,
+        vec![
+            Stmt::Assign(mid, Expr::var(low).add(Expr::var(up)).shr(Expr::c(1))),
+            Stmt::Assign(kmid, Expr::load(keys, Expr::var(mid))),
+            Stmt::if_(
+                Expr::var(kmid).eq_(Expr::var(x)),
+                vec![
+                    Stmt::Assign(up, Expr::var(low).sub(Expr::c(1))),
+                    Stmt::Assign(fvalue, Expr::load(values, Expr::var(mid))),
+                ],
+                vec![Stmt::if_(
+                    Expr::var(kmid).gt(Expr::var(x)),
+                    vec![Stmt::Assign(up, Expr::var(mid).sub(Expr::c(1)))],
+                    vec![Stmt::Assign(low, Expr::var(mid).add(Expr::c(1)))],
+                )],
+            ),
+        ],
+    ));
+    b.build().expect("bs is well-formed")
+}
+
+fn table_inputs(p: &Program, x_value: i64) -> Inputs {
+    let keys = p.array_by_name("keys").expect("keys array");
+    let values = p.array_by_name("values").expect("values array");
+    let x = p.var_by_name("x").expect("x var");
+    Inputs::new()
+        .with_array(keys, (0..SIZE).map(key_at).collect())
+        .with_array(values, (0..SIZE).map(value_at).collect())
+        .with_var(x, x_value)
+}
+
+/// The default input: vector `v1` (search the key at index 0; maximum
+/// iterations).
+#[must_use]
+pub fn default_input() -> Inputs {
+    table_inputs(&program(), key_at(0))
+}
+
+/// The paper's input vectors `v1, v3, …, v15`: the 8 keys at even indices,
+/// each triggering the maximum number of iterations along a distinct path.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    let p = program();
+    (0..8)
+        .map(|k| NamedInput {
+            name: format!("v{}", 2 * k + 1),
+            inputs: table_inputs(&p, key_at(2 * k)),
+        })
+        .collect()
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "bs",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::MultipathWorstKnown,
+    }
+}
+
+/// The `fvalue` variable (search result) for assertions.
+#[must_use]
+pub fn result_var(p: &Program) -> Var {
+    p.var_by_name("fvalue").expect("fvalue var")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::{execute, group_inputs_by_path};
+
+    #[test]
+    fn finds_every_key() {
+        let p = program();
+        for i in 0..SIZE {
+            let run = execute(&p, &table_inputs(&p, key_at(i))).unwrap();
+            assert_eq!(run.state.var(result_var(&p)), value_at(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn absent_key_yields_minus_one() {
+        let p = program();
+        let run = execute(&p, &table_inputs(&p, 999)).unwrap();
+        assert_eq!(run.state.var(result_var(&p)), -1);
+        let run = execute(&p, &table_inputs(&p, -5)).unwrap();
+        assert_eq!(run.state.var(result_var(&p)), -1);
+    }
+
+    #[test]
+    fn even_indices_take_max_iterations() {
+        let p = program();
+        for k in 0..8 {
+            let run = execute(&p, &table_inputs(&p, key_at(2 * k))).unwrap();
+            assert_eq!(run.path.loop_iters(0), Some(MAX_ITERS), "leaf index {}", 2 * k);
+        }
+        // The root (index 7) is found in one probe.
+        let run = execute(&p, &table_inputs(&p, key_at(7))).unwrap();
+        assert_eq!(run.path.loop_iters(0), Some(1));
+    }
+
+    #[test]
+    fn paper_has_8_distinct_max_iteration_paths() {
+        let p = program();
+        let inputs: Vec<Inputs> = input_vectors().into_iter().map(|n| n.inputs).collect();
+        let groups = group_inputs_by_path(&p, &inputs).unwrap();
+        assert_eq!(groups.len(), 8, "8 distinct paths (paper Section 3.3)");
+    }
+
+    #[test]
+    fn vector_names_match_paper() {
+        let names: Vec<String> = input_vectors().into_iter().map(|n| n.name).collect();
+        assert_eq!(names, vec!["v1", "v3", "v5", "v7", "v9", "v11", "v13", "v15"]);
+    }
+}

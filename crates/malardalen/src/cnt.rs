@@ -1,0 +1,142 @@
+//! `cnt` — counts and sums the non-negative elements of a 10×10 matrix
+//! (Mälardalen `cnt.c`).
+//!
+//! Multipath: every element picks the positive or negative branch. The
+//! default input (all elements non-negative) drives the worst-case path —
+//! the paper lists `cnt` among the multipath benchmarks whose default input
+//! already triggers the worst path.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Matrix side length.
+pub const DIM: u32 = 10;
+
+/// Builds the `cnt` program.
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("cnt");
+    let m = b.array("m", DIM * DIM);
+    let i = b.var("i");
+    let j = b.var("j");
+    let v = b.var("v");
+    let postotal = b.var("postotal");
+    let negtotal = b.var("negtotal");
+    let poscnt = b.var("poscnt");
+    let negcnt = b.var("negcnt");
+
+    let dim = i64::from(DIM);
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(dim),
+        DIM,
+        vec![Stmt::for_(
+            j,
+            Expr::c(0),
+            Expr::c(dim),
+            DIM,
+            vec![
+                Stmt::Assign(
+                    v,
+                    Expr::load(m, Expr::var(i).mul(Expr::c(dim)).add(Expr::var(j))),
+                ),
+                Stmt::if_(
+                    Expr::var(v).ge(Expr::c(0)),
+                    vec![
+                        Stmt::Assign(postotal, Expr::var(postotal).add(Expr::var(v))),
+                        Stmt::Assign(poscnt, Expr::var(poscnt).add(Expr::c(1))),
+                    ],
+                    vec![
+                        Stmt::Assign(negtotal, Expr::var(negtotal).add(Expr::var(v))),
+                        Stmt::Assign(negcnt, Expr::var(negcnt).add(Expr::c(1))),
+                    ],
+                ),
+            ],
+        )],
+    ));
+    b.build().expect("cnt is well-formed")
+}
+
+fn matrix_inputs(p: &Program, values: Vec<i64>) -> Inputs {
+    let m = p.array_by_name("m").expect("m array");
+    Inputs::new().with_array(m, values)
+}
+
+/// Default input: all elements non-negative (worst-case path).
+#[must_use]
+pub fn default_input() -> Inputs {
+    let vals: Vec<i64> = (0..DIM * DIM).map(|k| i64::from(k * 7 % 19 + 1)).collect();
+    matrix_inputs(&program(), vals)
+}
+
+/// Default plus sign-mixed and all-negative variants.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    let p = program();
+    let pos: Vec<i64> = (0..DIM * DIM).map(|k| i64::from(k * 7 % 19 + 1)).collect();
+    let mixed: Vec<i64> = (0..DIM * DIM)
+        .map(|k| {
+            let v = i64::from(k * 7 % 19 + 1);
+            if k % 2 == 0 {
+                v
+            } else {
+                -v
+            }
+        })
+        .collect();
+    let neg: Vec<i64> = pos.iter().map(|&v| -v).collect();
+    vec![
+        NamedInput { name: "all_positive".into(), inputs: matrix_inputs(&p, pos) },
+        NamedInput { name: "mixed".into(), inputs: matrix_inputs(&p, mixed) },
+        NamedInput { name: "all_negative".into(), inputs: matrix_inputs(&p, neg) },
+    ]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "cnt",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::MultipathWorstKnown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn counts_and_sums_match() {
+        let p = program();
+        let run = execute(&p, &default_input()).unwrap();
+        let expected_sum: i64 = (0..DIM * DIM).map(|k| i64::from(k * 7 % 19 + 1)).sum();
+        assert_eq!(run.state.var(p.var_by_name("postotal").unwrap()), expected_sum);
+        assert_eq!(run.state.var(p.var_by_name("poscnt").unwrap()), 100);
+        assert_eq!(run.state.var(p.var_by_name("negcnt").unwrap()), 0);
+    }
+
+    #[test]
+    fn mixed_input_splits_branches() {
+        let p = program();
+        let mixed = &input_vectors()[1];
+        let run = execute(&p, &mixed.inputs).unwrap();
+        assert_eq!(run.state.var(p.var_by_name("poscnt").unwrap()), 50);
+        assert_eq!(run.state.var(p.var_by_name("negcnt").unwrap()), 50);
+        assert!(run.state.var(p.var_by_name("negtotal").unwrap()) < 0);
+    }
+
+    #[test]
+    fn different_signs_take_different_paths() {
+        let p = program();
+        let vecs = input_vectors();
+        let a = execute(&p, &vecs[0].inputs).unwrap();
+        let b = execute(&p, &vecs[2].inputs).unwrap();
+        assert_ne!(a.path.path_id(), b.path.path_id());
+    }
+}

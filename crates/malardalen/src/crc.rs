@@ -1,0 +1,161 @@
+//! `crc` — CRC-CCITT over a 40-byte message, bit by bit (Mälardalen
+//! `crc.c`).
+//!
+//! Multipath: every message bit decides whether the polynomial XOR branch
+//! runs. The worst-case path (all 320 bits trigger the XOR) cannot be told
+//! from code inspection — the paper singles `crc` out as the benchmark
+//! where "we are unable to identify the worst-case path", which is exactly
+//! the situation PUB automates away.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Message length in bytes (as in the original).
+pub const LEN: u32 = 40;
+/// The CCITT polynomial.
+pub const POLY: i64 = 0x1021;
+
+/// Builds the `crc` program.
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("crc");
+    let data = b.array("data", LEN);
+    let out = b.array("out", 1);
+    let i = b.var("i");
+    let j = b.var("j");
+    let c = b.var("c");
+    let crc = b.var("crc");
+    let t = b.var("t");
+
+    b.push(Stmt::Assign(crc, Expr::c(0)));
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(i64::from(LEN)),
+        LEN,
+        vec![
+            Stmt::Assign(c, Expr::load(data, Expr::var(i))),
+            Stmt::for_(
+                j,
+                Expr::c(0),
+                Expr::c(8),
+                8,
+                vec![
+                    // t = ((crc >> 15) ^ (c >> (7 - j))) & 1
+                    Stmt::Assign(
+                        t,
+                        Expr::var(crc)
+                            .shr(Expr::c(15))
+                            .xor(Expr::var(c).shr(Expr::c(7).sub(Expr::var(j))))
+                            .and(Expr::c(1)),
+                    ),
+                    Stmt::Assign(crc, Expr::var(crc).shl(Expr::c(1)).and(Expr::c(0xFFFF))),
+                    Stmt::if_(
+                        Expr::var(t).ne(Expr::c(0)),
+                        vec![Stmt::Assign(crc, Expr::var(crc).xor(Expr::c(POLY)))],
+                        vec![],
+                    ),
+                ],
+            ),
+        ],
+    ));
+    b.push(Stmt::store(out, Expr::c(0), Expr::var(crc)));
+    b.build().expect("crc is well-formed")
+}
+
+fn message_inputs(p: &Program, bytes: Vec<i64>) -> Inputs {
+    let data = p.array_by_name("data").expect("data array");
+    Inputs::new().with_array(data, bytes)
+}
+
+/// Default input: a fixed mixed-content message (the original uses a fixed
+/// ASCII string).
+#[must_use]
+pub fn default_input() -> Inputs {
+    let bytes: Vec<i64> = (0..LEN).map(|k| i64::from((k * 37 + 11) % 256)).collect();
+    message_inputs(&program(), bytes)
+}
+
+/// Default, all-zero (fewest XOR branches) and all-0xFF messages.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    let p = program();
+    let mixed: Vec<i64> = (0..LEN).map(|k| i64::from((k * 37 + 11) % 256)).collect();
+    vec![
+        NamedInput { name: "mixed".into(), inputs: message_inputs(&p, mixed) },
+        NamedInput { name: "zeros".into(), inputs: message_inputs(&p, vec![0; LEN as usize]) },
+        NamedInput { name: "ones".into(), inputs: message_inputs(&p, vec![0xFF; LEN as usize]) },
+    ]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "crc",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::MultipathWorstUnknown,
+    }
+}
+
+/// Reference CRC-CCITT (MSB-first, zero seed) used by the tests.
+#[must_use]
+pub fn reference(bytes: &[u8]) -> u16 {
+    let mut crc: u32 = 0;
+    for &byte in bytes {
+        for bit in 0..8 {
+            let t = ((crc >> 15) ^ (u32::from(byte) >> (7 - bit))) & 1;
+            crc = (crc << 1) & 0xFFFF;
+            if t != 0 {
+                crc ^= 0x1021;
+            }
+        }
+    }
+    crc as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn matches_reference_crc() {
+        let p = program();
+        let out = p.array_by_name("out").unwrap();
+        for v in input_vectors() {
+            let run = execute(&p, &v.inputs).unwrap();
+            let bytes: Vec<u8> = match v.name.as_str() {
+                "mixed" => (0..LEN).map(|k| ((k * 37 + 11) % 256) as u8).collect(),
+                "zeros" => vec![0u8; LEN as usize],
+                "ones" => vec![0xFF; LEN as usize],
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                run.state.array(out)[0],
+                i64::from(reference(&bytes)),
+                "vector {}",
+                v.name
+            );
+        }
+    }
+
+    #[test]
+    fn zero_message_never_takes_xor_branch() {
+        let p = program();
+        let run = execute(&p, &message_inputs(&p, vec![0; LEN as usize])).unwrap();
+        assert_eq!(run.state.array(p.array_by_name("out").unwrap())[0], 0);
+    }
+
+    #[test]
+    fn message_content_changes_the_path() {
+        let p = program();
+        let vecs = input_vectors();
+        let a = execute(&p, &vecs[0].inputs).unwrap();
+        let b = execute(&p, &vecs[1].inputs).unwrap();
+        assert_ne!(a.path.path_id(), b.path.path_id());
+    }
+}

@@ -1,0 +1,148 @@
+//! `edn` — EDN signal-processing kernels: vector multiply-accumulate and an
+//! inner-product FIR (Mälardalen `edn.c`, scaled to 64-element vectors).
+//!
+//! Single path: fixed loop bounds, no data-dependent branches. All
+//! execution-time variability on the randomized platform comes from cache
+//! layout.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Vector length (scaled down from 100/150).
+pub const N: u32 = 64;
+/// FIR taps in the `fir_no_eq` kernel.
+pub const TAPS: u32 = 8;
+
+/// Builds the `edn` program: `vec_mpy1`, `mac` and a small `fir` pass.
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("edn");
+    let a = b.array("a", N);
+    let bb = b.array("b", N);
+    let y = b.array("y", N);
+    let i = b.var("i");
+    let j = b.var("j");
+    let sum = b.var("sum");
+    let acc = b.var("acc");
+
+    let n = i64::from(N);
+    // vec_mpy1: a[i] += (b[i] * 18) >> 15
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(n),
+        N,
+        vec![Stmt::store(
+            a,
+            Expr::var(i),
+            Expr::load(a, Expr::var(i))
+                .add(Expr::load(bb, Expr::var(i)).mul(Expr::c(18)).shr(Expr::c(15))),
+        )],
+    ));
+    // mac: sum += a[i] * b[i]
+    b.push(Stmt::Assign(sum, Expr::c(0)));
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(n),
+        N,
+        vec![Stmt::Assign(
+            sum,
+            Expr::var(sum).add(Expr::load(a, Expr::var(i)).mul(Expr::load(bb, Expr::var(i)))),
+        )],
+    ));
+    // fir_no_eq: y[i] = sum_j a[i+j] * b[j]
+    let outs = i64::from(N - TAPS);
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(outs),
+        N - TAPS,
+        vec![
+            Stmt::Assign(acc, Expr::c(0)),
+            Stmt::for_(
+                j,
+                Expr::c(0),
+                Expr::c(i64::from(TAPS)),
+                TAPS,
+                vec![Stmt::Assign(
+                    acc,
+                    Expr::var(acc).add(
+                        Expr::load(a, Expr::var(i).add(Expr::var(j)))
+                            .mul(Expr::load(bb, Expr::var(j))),
+                    ),
+                )],
+            ),
+            Stmt::store(y, Expr::var(i), Expr::var(acc).shr(Expr::c(3))),
+        ],
+    ));
+    b.push(Stmt::store(y, Expr::c(i64::from(N) - 1), Expr::var(sum).and(Expr::c(0x7FFF_FFFF))));
+    b.build().expect("edn is well-formed")
+}
+
+/// Default input: fixed pseudo-signal contents.
+#[must_use]
+pub fn default_input() -> Inputs {
+    let p = program();
+    let a = p.array_by_name("a").expect("a");
+    let bb = p.array_by_name("b").expect("b");
+    Inputs::new()
+        .with_array(a, (0..N).map(|k| i64::from(k % 23) - 11).collect())
+        .with_array(bb, (0..N).map(|k| i64::from(k * 5 % 31) - 15).collect())
+}
+
+/// Single-path: one canonical vector.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "edn",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::SinglePath,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn mac_matches_reference() {
+        let p = program();
+        let run = execute(&p, &default_input()).unwrap();
+        // Reference on the same data.
+        let mut a: Vec<i64> = (0..N).map(|k| i64::from(k % 23) - 11).collect();
+        let b: Vec<i64> = (0..N).map(|k| i64::from(k * 5 % 31) - 15).collect();
+        for k in 0..N as usize {
+            a[k] += (b[k] * 18) >> 15;
+        }
+        let sum: i64 = (0..N as usize).map(|k| a[k] * b[k]).sum();
+        assert_eq!(run.state.var(p.var_by_name("sum").unwrap()), sum);
+    }
+
+    #[test]
+    fn is_single_path() {
+        let p = program();
+        // Two different data sets must traverse the same path.
+        let alt = {
+            let a = p.array_by_name("a").unwrap();
+            let bb = p.array_by_name("b").unwrap();
+            Inputs::new()
+                .with_array(a, vec![1; N as usize])
+                .with_array(bb, vec![-2; N as usize])
+        };
+        let r1 = execute(&p, &default_input()).unwrap();
+        let r2 = execute(&p, &alt).unwrap();
+        assert_eq!(r1.path.path_id(), r2.path.path_id());
+        assert_eq!(r1.trace.len(), r2.trace.len());
+    }
+}

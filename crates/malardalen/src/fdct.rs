@@ -1,0 +1,154 @@
+//! `fdct` — fast discrete cosine transform on an 8×8 block (Mälardalen
+//! `fdct.c`).
+//!
+//! Same problem as [`crate::jfdc`] but a different implementation (AAN-style
+//! schedule: fewer multiplications, different temporary structure), giving
+//! the suite two single-path kernels with distinct cache footprints — as in
+//! the paper's Table 2, where `fdct` and `jfdc` report different run
+//! requirements.
+
+use mbcr_ir::{ArrayId, Expr, Inputs, Program, ProgramBuilder, Stmt, Var};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Block side length.
+pub const DIM: u32 = 8;
+
+/// AAN scale factors (fixed point, 2^10).
+pub const A1: i64 = 724; // 1/sqrt(2)
+/// `cos(pi/8) * sqrt(2)` style factor.
+pub const A2: i64 = 1338;
+/// Rotation factor.
+pub const A3: i64 = 554;
+
+struct Tmp {
+    s07: Var,
+    s16: Var,
+    s25: Var,
+    s34: Var,
+    d07: Var,
+    d16: Var,
+    d25: Var,
+    d34: Var,
+}
+
+fn lane_pass(block: ArrayId, lane: Var, t: &Tmp, idx: impl Fn(Expr, i64) -> Expr) -> Stmt {
+    let l = |k: i64| Expr::load(block, idx(Expr::var(lane), k));
+    let s = |k: i64, e: Expr| Stmt::store(block, idx(Expr::var(lane), k), e);
+    Stmt::for_(
+        lane,
+        Expr::c(0),
+        Expr::c(i64::from(DIM)),
+        DIM,
+        vec![
+            Stmt::Assign(t.s07, l(0).add(l(7))),
+            Stmt::Assign(t.d07, l(0).sub(l(7))),
+            Stmt::Assign(t.s16, l(1).add(l(6))),
+            Stmt::Assign(t.d16, l(1).sub(l(6))),
+            Stmt::Assign(t.s25, l(2).add(l(5))),
+            Stmt::Assign(t.d25, l(2).sub(l(5))),
+            Stmt::Assign(t.s34, l(3).add(l(4))),
+            Stmt::Assign(t.d34, l(3).sub(l(4))),
+            // AAN: additions first, three multiplications at the end.
+            s(0, Expr::var(t.s07).add(Expr::var(t.s34)).add(Expr::var(t.s16)).add(Expr::var(t.s25))),
+            s(4, Expr::var(t.s07).add(Expr::var(t.s34)).sub(Expr::var(t.s16).add(Expr::var(t.s25)))),
+            s(2, Expr::var(t.s07).sub(Expr::var(t.s34)).mul(Expr::c(A2)).shr(Expr::c(10))),
+            s(6, Expr::var(t.s16).sub(Expr::var(t.s25)).mul(Expr::c(A3)).shr(Expr::c(10))),
+            s(1, Expr::var(t.d07).add(Expr::var(t.d16)).mul(Expr::c(A1)).shr(Expr::c(10))),
+            s(5, Expr::var(t.d25).add(Expr::var(t.d34)).shl(Expr::c(1))),
+            s(3, Expr::var(t.d16).sub(Expr::var(t.d25))),
+            s(7, Expr::var(t.d34).sub(Expr::var(t.d07))),
+        ],
+    )
+}
+
+/// Builds the `fdct` program: row pass then column pass.
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("fdct");
+    let block = b.array("block", DIM * DIM);
+    let lane = b.var("lane");
+    let t = Tmp {
+        s07: b.var("s07"),
+        s16: b.var("s16"),
+        s25: b.var("s25"),
+        s34: b.var("s34"),
+        d07: b.var("d07"),
+        d16: b.var("d16"),
+        d25: b.var("d25"),
+        d34: b.var("d34"),
+    };
+    let dim = i64::from(DIM);
+    b.push(lane_pass(block, lane, &t, move |i, k| i.mul(Expr::c(dim)).add(Expr::c(k))));
+    b.push(lane_pass(block, lane, &t, move |i, k| Expr::c(k * dim).add(i)));
+    b.build().expect("fdct is well-formed")
+}
+
+/// Default input: a deterministic gradient block.
+#[must_use]
+pub fn default_input() -> Inputs {
+    let p = program();
+    let block = p.array_by_name("block").expect("block");
+    Inputs::new().with_array(
+        block,
+        (0..DIM * DIM).map(|k| i64::from(k / DIM) * 16 - 56).collect(),
+    )
+}
+
+/// Single-path: one canonical vector.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "fdct",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::SinglePath,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let p = program();
+        let block = p.array_by_name("block").unwrap();
+        let run = execute(
+            &p,
+            &Inputs::new().with_array(block, vec![0; (DIM * DIM) as usize]),
+        )
+        .unwrap();
+        assert!(run.state.array(block).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn is_single_path() {
+        let p = program();
+        let block = p.array_by_name("block").unwrap();
+        let alt = Inputs::new().with_array(block, vec![-3; (DIM * DIM) as usize]);
+        let r1 = execute(&p, &default_input()).unwrap();
+        let r2 = execute(&p, &alt).unwrap();
+        assert_eq!(r1.path.path_id(), r2.path.path_id());
+        assert_eq!(r1.trace, r2.trace);
+    }
+
+    #[test]
+    fn differs_from_jfdc_footprint() {
+        let r_fdct = execute(&program(), &default_input()).unwrap();
+        let r_jfdc = execute(&crate::jfdc::program(), &crate::jfdc::default_input()).unwrap();
+        assert_ne!(
+            r_fdct.trace.len(),
+            r_jfdc.trace.len(),
+            "the two DCTs are distinct workloads"
+        );
+    }
+}

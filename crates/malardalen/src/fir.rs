@@ -1,0 +1,141 @@
+//! `fir` — finite impulse response filter with output saturation
+//! (Mälardalen `fir.c`, scaled: 64-sample signal, 8 taps).
+//!
+//! Multipath through the per-sample saturation branch; the default input
+//! saturates every output (the longer branch), i.e. the worst-case path.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Signal length (scaled down from 700).
+pub const SIGNAL: u32 = 64;
+/// Number of filter taps (scaled down from 35).
+pub const TAPS: u32 = 8;
+/// Saturation limit.
+pub const SAT: i64 = 65_535;
+
+/// Builds the `fir` program.
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("fir");
+    let input = b.array("input", SIGNAL);
+    let coef = b.array("coef", TAPS);
+    let output = b.array("output", SIGNAL);
+    let i = b.var("i");
+    let j = b.var("j");
+    let acc = b.var("acc");
+
+    let outs = i64::from(SIGNAL - TAPS + 1);
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(outs),
+        SIGNAL - TAPS + 1,
+        vec![
+            Stmt::Assign(acc, Expr::c(0)),
+            Stmt::for_(
+                j,
+                Expr::c(0),
+                Expr::c(i64::from(TAPS)),
+                TAPS,
+                vec![Stmt::Assign(
+                    acc,
+                    Expr::var(acc).add(
+                        Expr::load(input, Expr::var(i).add(Expr::var(j)))
+                            .mul(Expr::load(coef, Expr::var(j))),
+                    ),
+                )],
+            ),
+            Stmt::if_(
+                Expr::var(acc).gt(Expr::c(SAT)),
+                vec![Stmt::Assign(acc, Expr::c(SAT))],
+                vec![],
+            ),
+            Stmt::store(output, Expr::var(i), Expr::var(acc).shr(Expr::c(5))),
+        ],
+    ));
+    b.build().expect("fir is well-formed")
+}
+
+fn signal_inputs(p: &Program, samples: Vec<i64>, taps: Vec<i64>) -> Inputs {
+    let input = p.array_by_name("input").expect("input array");
+    let coef = p.array_by_name("coef").expect("coef array");
+    Inputs::new().with_array(input, samples).with_array(coef, taps)
+}
+
+/// Default input: large samples, every output saturates (worst path).
+#[must_use]
+pub fn default_input() -> Inputs {
+    let p = program();
+    let samples: Vec<i64> = (0..SIGNAL).map(|k| 4000 + i64::from(k) * 3).collect();
+    let taps: Vec<i64> = (0..TAPS).map(|k| 16 + i64::from(k)).collect();
+    signal_inputs(&p, samples, taps)
+}
+
+/// Saturating, non-saturating and mixed signals.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    let p = program();
+    let taps: Vec<i64> = (0..TAPS).map(|k| 16 + i64::from(k)).collect();
+    let hot: Vec<i64> = (0..SIGNAL).map(|k| 4000 + i64::from(k) * 3).collect();
+    let cold: Vec<i64> = (0..SIGNAL).map(|k| i64::from(k % 13)).collect();
+    let mixed: Vec<i64> = (0..SIGNAL)
+        .map(|k| if k % 2 == 0 { 4000 } else { 1 })
+        .collect();
+    vec![
+        NamedInput { name: "saturating".into(), inputs: signal_inputs(&p, hot, taps.clone()) },
+        NamedInput { name: "quiet".into(), inputs: signal_inputs(&p, cold, taps.clone()) },
+        NamedInput { name: "mixed".into(), inputs: signal_inputs(&p, mixed, taps) },
+    ]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "fir",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::MultipathWorstKnown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn saturating_input_clamps_every_output() {
+        let p = program();
+        let run = execute(&p, &default_input()).unwrap();
+        let out = run.state.array(p.array_by_name("output").unwrap());
+        for (k, &o) in out.iter().enumerate().take((SIGNAL - TAPS + 1) as usize) {
+            assert_eq!(o, SAT >> 5, "output {k}");
+        }
+    }
+
+    #[test]
+    fn quiet_input_computes_convolution() {
+        let p = program();
+        let vecs = input_vectors();
+        let run = execute(&p, &vecs[1].inputs).unwrap();
+        let out = run.state.array(p.array_by_name("output").unwrap());
+        // Check one output against a direct computation.
+        let samples: Vec<i64> = (0..SIGNAL).map(|k| i64::from(k % 13)).collect();
+        let taps: Vec<i64> = (0..TAPS).map(|k| 16 + i64::from(k)).collect();
+        let acc: i64 = (0..TAPS as usize).map(|j| samples[j] * taps[j]).sum();
+        assert_eq!(out[0], acc >> 5);
+    }
+
+    #[test]
+    fn saturation_changes_the_path() {
+        let p = program();
+        let vecs = input_vectors();
+        let hot = execute(&p, &vecs[0].inputs).unwrap();
+        let cold = execute(&p, &vecs[1].inputs).unwrap();
+        assert_ne!(hot.path.path_id(), cold.path.path_id());
+    }
+}

@@ -1,0 +1,139 @@
+//! `insertsort` — insertion sort of 10 elements (Mälardalen
+//! `insertsort.c`).
+//!
+//! The default input is fully reversed: every inner-loop check swaps, the
+//! iteration counts are maximal, and the benchmark behaves as single-path —
+//! which is how the paper classifies it (Figure 5 groups `insertsort` with
+//! the single-path benchmarks under default inputs).
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Number of elements (as in the original).
+pub const N: u32 = 10;
+
+/// Builds the `insertsort` program.
+///
+/// The original's `while (j > 0 && a[j-1] > a[j])` short-circuit guard is
+/// expressed as a bounded while over `j > 0` with the comparison inside
+/// (the IR has no short-circuit evaluation; see `mbcr-ir` docs):
+///
+/// ```c
+/// for (i = 1; i < 10; i++) {
+///   j = i;
+///   while (j > 0) {
+///     if (a[j-1] > a[j]) { swap(a, j-1, j); j--; } else j = 0;
+///   }
+/// }
+/// ```
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("insertsort");
+    let a = b.array("a", N);
+    let i = b.var("i");
+    let j = b.var("j");
+    let tmp = b.var("tmp");
+
+    b.push(Stmt::for_(
+        i,
+        Expr::c(1),
+        Expr::c(i64::from(N)),
+        N - 1,
+        vec![
+            Stmt::Assign(j, Expr::var(i)),
+            Stmt::while_(
+                Expr::var(j).gt(Expr::c(0)),
+                N - 1,
+                vec![Stmt::if_(
+                    Expr::load(a, Expr::var(j).sub(Expr::c(1))).gt(Expr::load(a, Expr::var(j))),
+                    vec![
+                        Stmt::Assign(tmp, Expr::load(a, Expr::var(j))),
+                        Stmt::store(
+                            a,
+                            Expr::var(j),
+                            Expr::load(a, Expr::var(j).sub(Expr::c(1))),
+                        ),
+                        Stmt::store(a, Expr::var(j).sub(Expr::c(1)), Expr::var(tmp)),
+                        Stmt::Assign(j, Expr::var(j).sub(Expr::c(1))),
+                    ],
+                    vec![Stmt::Assign(j, Expr::c(0))],
+                )],
+            ),
+        ],
+    ));
+    b.build().expect("insertsort is well-formed")
+}
+
+fn array_inputs(p: &Program, values: Vec<i64>) -> Inputs {
+    Inputs::new().with_array(p.array_by_name("a").expect("a"), values)
+}
+
+/// Default input: reversed order — maximal work, the worst case.
+#[must_use]
+pub fn default_input() -> Inputs {
+    array_inputs(&program(), (0..N).rev().map(i64::from).collect())
+}
+
+/// Reversed (worst), sorted (best) and shuffled inputs.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    let p = program();
+    vec![
+        NamedInput {
+            name: "reversed".into(),
+            inputs: array_inputs(&p, (0..N).rev().map(i64::from).collect()),
+        },
+        NamedInput {
+            name: "sorted".into(),
+            inputs: array_inputs(&p, (0..N).map(i64::from).collect()),
+        },
+        NamedInput {
+            name: "shuffled".into(),
+            inputs: array_inputs(&p, vec![4, 1, 8, 0, 9, 3, 7, 2, 6, 5]),
+        },
+    ]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "insertsort",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::SinglePath,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn sorts_every_vector() {
+        let p = program();
+        let a = p.array_by_name("a").unwrap();
+        for v in input_vectors() {
+            let run = execute(&p, &v.inputs).unwrap();
+            let out = run.state.array(a);
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "vector {}: {out:?}", v.name);
+        }
+    }
+
+    #[test]
+    fn reversed_input_maximizes_inner_iterations() {
+        let p = program();
+        let worst = execute(&p, &default_input()).unwrap();
+        let best = execute(&p, &input_vectors()[1].inputs).unwrap();
+        assert!(
+            worst.path.total_iterations() > best.path.total_iterations(),
+            "reversed {} vs sorted {}",
+            worst.path.total_iterations(),
+            best.path.total_iterations()
+        );
+        assert!(worst.trace.len() > best.trace.len());
+    }
+}

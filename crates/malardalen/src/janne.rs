@@ -1,0 +1,167 @@
+//! `janne` — Jan Gustafsson's `janne_complex.c` (Mälardalen): two nested
+//! loops whose iteration counts depend on each other through conditional
+//! updates. A classic flow-analysis stress test; multipath, and the default
+//! input `(a, b) = (1, 1)` exercises the worst-case path.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Safe bound for the outer loop.
+pub const OUTER_BOUND: u32 = 30;
+/// Safe bound for the inner loop.
+pub const INNER_BOUND: u32 = 30;
+
+/// Builds the `janne` program.
+///
+/// ```c
+/// while (a < 30) {
+///   while (b < a) {
+///     if (b > 5) b = b * 3; else b = b + 2;
+///     if (b >= 10 && b <= 12) a = a + 10; else a = a + 1;
+///   }
+///   a = a + 2;
+///   b = b - 10;
+/// }
+/// ```
+#[must_use]
+pub fn program() -> Program {
+    let mut b_ = ProgramBuilder::new("janne");
+    // A tiny state array keeps the benchmark's data accesses observable in
+    // the DL1 (the original works on registers only; the Mälardalen driver
+    // stores results to memory).
+    let state = b_.array("state", 2);
+    let a = b_.var("a");
+    let b = b_.var("b");
+
+    b_.push(Stmt::while_(
+        Expr::var(a).lt(Expr::c(30)),
+        OUTER_BOUND,
+        vec![
+            Stmt::while_(
+                Expr::var(b).lt(Expr::var(a)),
+                INNER_BOUND,
+                vec![
+                    Stmt::if_(
+                        Expr::var(b).gt(Expr::c(5)),
+                        vec![Stmt::Assign(b, Expr::var(b).mul(Expr::c(3)))],
+                        vec![Stmt::Assign(b, Expr::var(b).add(Expr::c(2)))],
+                    ),
+                    Stmt::if_(
+                        Expr::var(b).ge(Expr::c(10)).and(Expr::var(b).le(Expr::c(12))),
+                        vec![Stmt::Assign(a, Expr::var(a).add(Expr::c(10)))],
+                        vec![Stmt::Assign(a, Expr::var(a).add(Expr::c(1)))],
+                    ),
+                ],
+            ),
+            Stmt::Assign(a, Expr::var(a).add(Expr::c(2))),
+            Stmt::Assign(b, Expr::var(b).sub(Expr::c(10))),
+        ],
+    ));
+    b_.push(Stmt::store(state, Expr::c(0), Expr::var(a)));
+    b_.push(Stmt::store(state, Expr::c(1), Expr::var(b)));
+    b_.build().expect("janne is well-formed")
+}
+
+fn ab_inputs(p: &Program, a: i64, b: i64) -> Inputs {
+    Inputs::new()
+        .with_var(p.var_by_name("a").expect("a"), a)
+        .with_var(p.var_by_name("b").expect("b"), b)
+}
+
+/// Default input `(1, 1)` — the Mälardalen driver's call.
+#[must_use]
+pub fn default_input() -> Inputs {
+    ab_inputs(&program(), 1, 1)
+}
+
+/// A few (a, b) seeds exercising different interleavings.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    let p = program();
+    [(1, 1), (5, 0), (10, 3), (25, 20)]
+        .into_iter()
+        .map(|(a, b)| NamedInput {
+            name: format!("a{a}_b{b}"),
+            inputs: ab_inputs(&p, a, b),
+        })
+        .collect()
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "janne",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::MultipathWorstKnown,
+    }
+}
+
+/// Reference implementation used by the tests.
+#[must_use]
+pub fn reference(mut a: i64, mut b: i64) -> (i64, i64) {
+    while a < 30 {
+        while b < a {
+            if b > 5 {
+                b *= 3;
+            } else {
+                b += 2;
+            }
+            if (10..=12).contains(&b) {
+                a += 10;
+            } else {
+                a += 1;
+            }
+        }
+        a += 2;
+        b -= 10;
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn matches_reference_on_all_vectors() {
+        let p = program();
+        let state = p.array_by_name("state").unwrap();
+        for v in input_vectors() {
+            let run = execute(&p, &v.inputs).unwrap();
+            // Recover the seeds from the name to drive the reference.
+            let parts: Vec<i64> = v
+                .name
+                .trim_start_matches('a')
+                .split("_b")
+                .map(|s| s.parse().unwrap())
+                .collect();
+            let (ra, rb) = reference(parts[0], parts[1]);
+            assert_eq!(run.state.array(state), &[ra, rb], "vector {}", v.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_paths() {
+        let p = program();
+        let vecs = input_vectors();
+        let a = execute(&p, &vecs[0].inputs).unwrap();
+        let b = execute(&p, &vecs[3].inputs).unwrap();
+        assert_ne!(a.path.path_id(), b.path.path_id());
+    }
+
+    #[test]
+    fn loop_bounds_hold_for_a_range_of_seeds() {
+        let p = program();
+        for a in 0..30 {
+            for b in 0..20 {
+                let run = execute(&p, &ab_inputs(&p, a, b));
+                assert!(run.is_ok(), "bounds exceeded for a={a}, b={b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! `jfdc` — JPEG forward DCT on an 8×8 block, integer arithmetic
+//! (Mälardalen `jfdctint.c`).
+//!
+//! Two passes (rows then columns) of fixed-point butterfly operations with
+//! the libjpeg `FIX_*` constants. Single path: no data-dependent control
+//! flow at all.
+
+use mbcr_ir::{ArrayId, Expr, Inputs, Program, ProgramBuilder, Stmt, Var};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Block side length.
+pub const DIM: u32 = 8;
+
+/// libjpeg fixed-point constants (scaled by 2^13).
+pub const FIX_0_541: i64 = 4433;
+/// `FIX_0_765322090`.
+pub const FIX_0_765: i64 = 6270;
+/// `FIX_1_847759065`.
+pub const FIX_1_847: i64 = 15137;
+/// Descale shift applied after each pass.
+pub const PASS_SHIFT: i64 = 2;
+
+struct Vars {
+    t0: Var,
+    t1: Var,
+    t2: Var,
+    t3: Var,
+    d0: Var,
+    d1: Var,
+    d2: Var,
+    d3: Var,
+    z1: Var,
+}
+
+/// One DCT pass over the 8 rows (`stride = 1`) or columns (`stride = 8`)
+/// of the block. `idx(i, k)` returns the index expression of element `k`
+/// of lane `i`.
+fn pass(
+    block: ArrayId,
+    lane: Var,
+    v: &Vars,
+    idx: impl Fn(Expr, i64) -> Expr,
+) -> Stmt {
+    let l = |k: i64| Expr::load(block, idx(Expr::var(lane), k));
+    let s = |k: i64, e: Expr| Stmt::store(block, idx(Expr::var(lane), k), e);
+    Stmt::for_(
+        lane,
+        Expr::c(0),
+        Expr::c(i64::from(DIM)),
+        DIM,
+        vec![
+            // Even part of the jfdctint butterfly.
+            Stmt::Assign(v.t0, l(0).add(l(7))),
+            Stmt::Assign(v.t1, l(1).add(l(6))),
+            Stmt::Assign(v.t2, l(2).add(l(5))),
+            Stmt::Assign(v.t3, l(3).add(l(4))),
+            Stmt::Assign(v.d0, l(0).sub(l(7))),
+            Stmt::Assign(v.d1, l(1).sub(l(6))),
+            Stmt::Assign(v.d2, l(2).sub(l(5))),
+            Stmt::Assign(v.d3, l(3).sub(l(4))),
+            s(0, Expr::var(v.t0).add(Expr::var(v.t3)).add(Expr::var(v.t1)).add(Expr::var(v.t2)).shl(Expr::c(PASS_SHIFT))),
+            s(4, Expr::var(v.t0).add(Expr::var(v.t3)).sub(Expr::var(v.t1)).sub(Expr::var(v.t2)).shl(Expr::c(PASS_SHIFT))),
+            Stmt::Assign(
+                v.z1,
+                Expr::var(v.t0).sub(Expr::var(v.t3)).add(Expr::var(v.t1).sub(Expr::var(v.t2))).mul(Expr::c(FIX_0_541)),
+            ),
+            s(2, Expr::var(v.z1).add(Expr::var(v.t0).sub(Expr::var(v.t3)).mul(Expr::c(FIX_0_765))).shr(Expr::c(13))),
+            s(6, Expr::var(v.z1).sub(Expr::var(v.t1).sub(Expr::var(v.t2)).mul(Expr::c(FIX_1_847))).shr(Expr::c(13))),
+            // Odd part (condensed: same loads/stores, representative ops).
+            s(1, Expr::var(v.d0).add(Expr::var(v.d1).mul(Expr::c(FIX_0_541))).shr(Expr::c(11))),
+            s(3, Expr::var(v.d1).sub(Expr::var(v.d2).mul(Expr::c(FIX_0_765))).shr(Expr::c(11))),
+            s(5, Expr::var(v.d2).add(Expr::var(v.d3).mul(Expr::c(FIX_1_847))).shr(Expr::c(11))),
+            s(7, Expr::var(v.d3).sub(Expr::var(v.d0).mul(Expr::c(FIX_0_541))).shr(Expr::c(11))),
+        ],
+    )
+}
+
+/// Builds the `jfdc` program: row pass then column pass.
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("jfdc");
+    let block = b.array("block", DIM * DIM);
+    let lane = b.var("lane");
+    let v = Vars {
+        t0: b.var("t0"),
+        t1: b.var("t1"),
+        t2: b.var("t2"),
+        t3: b.var("t3"),
+        d0: b.var("d0"),
+        d1: b.var("d1"),
+        d2: b.var("d2"),
+        d3: b.var("d3"),
+        z1: b.var("z1"),
+    };
+    let dim = i64::from(DIM);
+    // Rows: element k of row i is block[i*8 + k].
+    b.push(pass(block, lane, &v, move |i, k| i.mul(Expr::c(dim)).add(Expr::c(k))));
+    // Columns: element k of column i is block[k*8 + i].
+    b.push(pass(block, lane, &v, move |i, k| Expr::c(k * dim).add(i)));
+    b.build().expect("jfdc is well-formed")
+}
+
+/// Default input: a deterministic sample block.
+#[must_use]
+pub fn default_input() -> Inputs {
+    let p = program();
+    let block = p.array_by_name("block").expect("block");
+    Inputs::new().with_array(
+        block,
+        (0..DIM * DIM).map(|k| i64::from(k * 3 % 128) - 64).collect(),
+    )
+}
+
+/// Single-path: one canonical vector.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "jfdc",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::SinglePath,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn runs_and_touches_whole_block() {
+        let p = program();
+        let run = execute(&p, &default_input()).unwrap();
+        // 2 passes * 8 lanes * (16 loads + 8 stores) = 384 data accesses.
+        assert_eq!(run.trace.data_accesses().count(), 384);
+    }
+
+    #[test]
+    fn is_single_path() {
+        let p = program();
+        let block = p.array_by_name("block").unwrap();
+        let alt = Inputs::new().with_array(block, vec![1; (DIM * DIM) as usize]);
+        let r1 = execute(&p, &default_input()).unwrap();
+        let r2 = execute(&p, &alt).unwrap();
+        assert_eq!(r1.path.path_id(), r2.path.path_id());
+        assert_eq!(r1.trace, r2.trace, "identical address sequences");
+    }
+
+    #[test]
+    fn dc_coefficient_scales_total_energy() {
+        // After the row pass, element 0 of each row is the scaled row sum;
+        // running on a constant block must yield a constant-sign DC.
+        let p = program();
+        let block = p.array_by_name("block").unwrap();
+        let run = execute(
+            &p,
+            &Inputs::new().with_array(block, vec![8; (DIM * DIM) as usize]),
+        )
+        .unwrap();
+        let out = run.state.array(block);
+        assert!(out[0] > 0, "DC must be positive for a positive block");
+    }
+}

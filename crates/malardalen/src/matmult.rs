@@ -1,0 +1,132 @@
+//! `matmult` — matrix multiplication (Mälardalen `matmult.c`, scaled from
+//! 20×20 to 8×8 so the full Table 2 campaign stays laptop-sized).
+//!
+//! Single path: three nested fixed-bound loops.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Matrix side length (scaled down from 20).
+pub const DIM: u32 = 8;
+
+/// Builds the `matmult` program (`C = A * B`).
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("matmult");
+    let a = b.array("a", DIM * DIM);
+    let bm = b.array("b", DIM * DIM);
+    let c = b.array("c", DIM * DIM);
+    let i = b.var("i");
+    let j = b.var("j");
+    let k = b.var("k");
+    let sum = b.var("sum");
+
+    let dim = i64::from(DIM);
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(dim),
+        DIM,
+        vec![Stmt::for_(
+            j,
+            Expr::c(0),
+            Expr::c(dim),
+            DIM,
+            vec![
+                Stmt::Assign(sum, Expr::c(0)),
+                Stmt::for_(
+                    k,
+                    Expr::c(0),
+                    Expr::c(dim),
+                    DIM,
+                    vec![Stmt::Assign(
+                        sum,
+                        Expr::var(sum).add(
+                            Expr::load(a, Expr::var(i).mul(Expr::c(dim)).add(Expr::var(k)))
+                                .mul(Expr::load(
+                                    bm,
+                                    Expr::var(k).mul(Expr::c(dim)).add(Expr::var(j)),
+                                )),
+                        ),
+                    )],
+                ),
+                Stmt::store(
+                    c,
+                    Expr::var(i).mul(Expr::c(dim)).add(Expr::var(j)),
+                    Expr::var(sum),
+                ),
+            ],
+        )],
+    ));
+    b.build().expect("matmult is well-formed")
+}
+
+/// Default input: fixed pseudo-random small integers.
+#[must_use]
+pub fn default_input() -> Inputs {
+    let p = program();
+    let a = p.array_by_name("a").expect("a");
+    let bm = p.array_by_name("b").expect("b");
+    Inputs::new()
+        .with_array(a, (0..DIM * DIM).map(|k| i64::from(k % 10)).collect())
+        .with_array(bm, (0..DIM * DIM).map(|k| i64::from(k * 3 % 7)).collect())
+}
+
+/// Single-path: one canonical vector.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "matmult",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::SinglePath,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn multiplies_correctly() {
+        let p = program();
+        let run = execute(&p, &default_input()).unwrap();
+        let av: Vec<i64> = (0..DIM * DIM).map(|k| i64::from(k % 10)).collect();
+        let bv: Vec<i64> = (0..DIM * DIM).map(|k| i64::from(k * 3 % 7)).collect();
+        let c = run.state.array(p.array_by_name("c").unwrap());
+        let d = DIM as usize;
+        for i in 0..d {
+            for j in 0..d {
+                let expect: i64 = (0..d).map(|k| av[i * d + k] * bv[k * d + j]).sum();
+                assert_eq!(c[i * d + j], expect, "C[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn is_single_path_with_fixed_trace_length() {
+        let p = program();
+        let block = |v: i64| {
+            let a = p.array_by_name("a").unwrap();
+            let bm = p.array_by_name("b").unwrap();
+            Inputs::new()
+                .with_array(a, vec![v; (DIM * DIM) as usize])
+                .with_array(bm, vec![v; (DIM * DIM) as usize])
+        };
+        let r1 = execute(&p, &block(1)).unwrap();
+        let r2 = execute(&p, &block(9)).unwrap();
+        assert_eq!(r1.path.path_id(), r2.path.path_id());
+        assert_eq!(r1.trace, r2.trace);
+        // 512 MACs * 2 loads + 64 stores = 1088 data accesses.
+        assert_eq!(r1.trace.data_accesses().count(), 1088);
+    }
+}

@@ -1,0 +1,176 @@
+//! `ns` — nested search through a 4-dimensional array (Mälardalen `ns.c`).
+//!
+//! Four nested loops scan `foo[5][5][5][5]`; the original returns on the
+//! first hit. This model records the hit in a flag and always completes the
+//! scan, matching the worst case (the paper's default input: full
+//! traversal), which makes the benchmark single-path for a given target
+//! presence pattern. The paper's Table 2 reports `ns` as the benchmark
+//! needing the most runs (500k): the deeply nested loop code is re-fetched
+//! hundreds of times, so instruction-cache conflict groups are highly
+//! impactful — reproduce with the `table2_runs` bench.
+
+use mbcr_ir::{Expr, Inputs, Program, ProgramBuilder, Stmt};
+
+use crate::{BenchClass, Benchmark, NamedInput};
+
+/// Extent of each of the four dimensions.
+pub const EXTENT: u32 = 5;
+/// Total number of elements.
+pub const TOTAL: u32 = EXTENT * EXTENT * EXTENT * EXTENT;
+
+/// Builds the `ns` program.
+#[must_use]
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("ns");
+    let keys = b.array("keys", TOTAL);
+    let target = b.var("target");
+    let i = b.var("i");
+    let j = b.var("j");
+    let k = b.var("k");
+    let l = b.var("l");
+    let found = b.var("found");
+    let fi = b.var("fi");
+    let fj = b.var("fj");
+
+    let e = i64::from(EXTENT);
+    let idx = Expr::var(i)
+        .mul(Expr::c(e))
+        .add(Expr::var(j))
+        .mul(Expr::c(e))
+        .add(Expr::var(k))
+        .mul(Expr::c(e))
+        .add(Expr::var(l));
+    b.push(Stmt::Assign(found, Expr::c(0)));
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(e),
+        EXTENT,
+        vec![Stmt::for_(
+            j,
+            Expr::c(0),
+            Expr::c(e),
+            EXTENT,
+            vec![Stmt::for_(
+                k,
+                Expr::c(0),
+                Expr::c(e),
+                EXTENT,
+                vec![Stmt::for_(
+                    l,
+                    Expr::c(0),
+                    Expr::c(e),
+                    EXTENT,
+                    vec![Stmt::if_(
+                        Expr::load(keys, idx.clone())
+                            .eq_(Expr::var(target))
+                            .and(Expr::var(found).eq_(Expr::c(0))),
+                        vec![
+                            Stmt::Assign(found, Expr::c(1)),
+                            Stmt::Assign(fi, Expr::var(i)),
+                            Stmt::Assign(fj, Expr::var(j)),
+                        ],
+                        vec![],
+                    )],
+                )],
+            )],
+        )],
+    ));
+    b.build().expect("ns is well-formed")
+}
+
+fn keys_data() -> Vec<i64> {
+    let mut data: Vec<i64> = (0..TOTAL).map(|t| i64::from(t * 13 % 1000)).collect();
+    *data.last_mut().expect("non-empty") = 9_999; // unique sentinel at the end
+    data
+}
+
+fn search_inputs(p: &Program, target: i64) -> Inputs {
+    let keys = p.array_by_name("keys").expect("keys");
+    Inputs::new()
+        .with_array(keys, keys_data())
+        .with_var(p.var_by_name("target").expect("target"), target)
+}
+
+/// Default input: the target sits at the very last element (full scan, one
+/// hit — the worst case of the original's early-return version).
+#[must_use]
+pub fn default_input() -> Inputs {
+    search_inputs(&program(), 9_999)
+}
+
+/// Target at the end, absent, and in the middle.
+#[must_use]
+pub fn input_vectors() -> Vec<NamedInput> {
+    let p = program();
+    vec![
+        NamedInput { name: "last".into(), inputs: search_inputs(&p, 9_999) },
+        NamedInput { name: "absent".into(), inputs: search_inputs(&p, -1) },
+        NamedInput {
+            name: "middle".into(),
+            inputs: search_inputs(&p, i64::from((TOTAL / 2) * 13 % 1000)),
+        },
+    ]
+}
+
+/// The packaged benchmark.
+#[must_use]
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "ns",
+        program: program(),
+        default_input: default_input(),
+        input_vectors: input_vectors(),
+        class: BenchClass::SinglePath,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::execute;
+
+    #[test]
+    fn finds_the_sentinel_at_the_last_position() {
+        let p = program();
+        let run = execute(&p, &default_input()).unwrap();
+        assert_eq!(run.state.var(p.var_by_name("found").unwrap()), 1);
+        assert_eq!(run.state.var(p.var_by_name("fi").unwrap()), i64::from(EXTENT) - 1);
+        assert_eq!(run.state.var(p.var_by_name("fj").unwrap()), i64::from(EXTENT) - 1);
+    }
+
+    #[test]
+    fn absent_target_finds_nothing() {
+        let p = program();
+        let run = execute(&p, &input_vectors()[1].inputs).unwrap();
+        assert_eq!(run.state.var(p.var_by_name("found").unwrap()), 0);
+    }
+
+    #[test]
+    fn scan_always_reads_every_element() {
+        let p = program();
+        for v in input_vectors() {
+            let run = execute(&p, &v.inputs).unwrap();
+            assert_eq!(
+                run.trace.data_accesses().count(),
+                TOTAL as usize,
+                "vector {}",
+                v.name
+            );
+        }
+    }
+
+    #[test]
+    fn found_flag_keeps_first_match_only() {
+        // Duplicate values: fi/fj must reflect the first match.
+        let p = program();
+        let keys = p.array_by_name("keys").unwrap();
+        let target = p.var_by_name("target").unwrap();
+        let inputs = Inputs::new()
+            .with_array(keys, vec![42; TOTAL as usize])
+            .with_var(target, 42);
+        let run = execute(&p, &inputs).unwrap();
+        assert_eq!(run.state.var(p.var_by_name("fi").unwrap()), 0);
+        assert_eq!(run.state.var(p.var_by_name("fj").unwrap()), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Architectural shape of a trace — the invariants PUB guarantees across
+//! paths of the pubbed program.
+//!
+//! Exact address equality across paths is *not* promised by PUB (diverged
+//! variable values can select different elements of the same array;
+//! different branches occupy different code lines). What is invariant, and
+//! what makes the execution-time distributions of all pubbed paths
+//! upper-bound every original path, is the **shape**: how many instruction
+//! fetches flow to the IL1, and which *arrays* are read in which order by
+//! the DL1. Under random placement, distinct lines of the same array are
+//! exchangeable, so equal shapes imply identically distributed cache
+//! behaviour.
+
+use mbcr_ir::{ArrayId, Program};
+use mbcr_trace::{AccessKind, Trace};
+
+/// One element of a trace's architectural shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeItem {
+    /// An instruction fetch.
+    Fetch,
+    /// A data access attributed to a program array (or `None` if the
+    /// address falls outside every declared array — cannot happen for
+    /// interpreter-emitted traces).
+    Data(Option<ArrayId>),
+}
+
+/// Projects a trace onto its architectural shape.
+#[must_use]
+pub fn access_shape(trace: &Trace, program: &Program) -> Vec<ShapeItem> {
+    trace
+        .iter()
+        .map(|a| match a.kind {
+            AccessKind::InstrFetch => ShapeItem::Fetch,
+            AccessKind::Read | AccessKind::Write => {
+                ShapeItem::Data(program.array_containing(a.addr.0))
+            }
+        })
+        .collect()
+}
+
+/// Summary counts of a shape, for quick cross-path comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShapeSummary {
+    /// Total instruction fetches.
+    pub fetches: u64,
+    /// Data accesses per array id (indexed by array id).
+    pub per_array: Vec<u64>,
+}
+
+/// Summarizes a trace's shape: fetch count and per-array data access counts.
+#[must_use]
+pub fn shape_summary(trace: &Trace, program: &Program) -> ShapeSummary {
+    let mut s = ShapeSummary { fetches: 0, per_array: vec![0; program.arrays().len()] };
+    for a in trace {
+        match a.kind {
+            AccessKind::InstrFetch => s.fetches += 1,
+            AccessKind::Read | AccessKind::Write => {
+                if let Some(id) = program.array_containing(a.addr.0) {
+                    s.per_array[id.0 as usize] += 1;
+                }
+            }
+        }
+    }
+    s
+}
+
+/// The data-access sub-shape only (array sequence, order preserved).
+///
+/// For a pubbed program this sequence is *identical* across all paths that
+/// trigger the maximum loop bounds: PUB equalizes branch token sequences,
+/// and tokens fix the array of every data reference.
+#[must_use]
+pub fn data_shape(trace: &Trace, program: &Program) -> Vec<Option<ArrayId>> {
+    trace
+        .data_accesses()
+        .map(|a| program.array_containing(a.addr.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::{execute, Expr, Inputs, ProgramBuilder, Stmt};
+
+    #[test]
+    fn shape_classifies_accesses() {
+        let mut b = ProgramBuilder::new("t");
+        let a0 = b.array("a0", 4);
+        let a1 = b.array("a1", 4);
+        let x = b.var("x");
+        b.push(Stmt::Assign(x, Expr::load(a0, Expr::c(0))));
+        b.push(Stmt::store(a1, Expr::c(1), Expr::var(x)));
+        let p = b.build().unwrap();
+        let run = execute(&p, &Inputs::new()).unwrap();
+        let shape = access_shape(&run.trace, &p);
+        let data: Vec<_> = shape
+            .iter()
+            .filter_map(|s| match s {
+                ShapeItem::Data(a) => Some(*a),
+                ShapeItem::Fetch => None,
+            })
+            .collect();
+        assert_eq!(data, vec![Some(a0), Some(a1)]);
+
+        let summary = shape_summary(&run.trace, &p);
+        assert_eq!(summary.per_array, vec![1, 1]);
+        assert_eq!(summary.fetches, run.trace.instr_fetches().count() as u64);
+        assert_eq!(data_shape(&run.trace, &p), vec![Some(a0), Some(a1)]);
+    }
+}

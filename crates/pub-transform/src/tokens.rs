@@ -1,0 +1,277 @@
+//! Static access signatures: the token sequences PUB equalizes.
+//!
+//! A statement's **token** is its architectural footprint: the ordered data
+//! references it emits (array + index expression) plus its instruction
+//! count. A branch's **signature** is the list of per-statement token runs,
+//! with loops unrolled to their declared bounds — the paper's assumption
+//! that analysis inputs trigger the highest loop bounds, made explicit.
+//!
+//! Two statements with equal tokens are architecturally exchangeable under
+//! random placement (same data lines touched in the same order, same number
+//! of sequential instruction fetches), even if they compute different
+//! values. That is the equality PUB's merge uses.
+
+use mbcr_ir::{ArrayId, Expr, Stmt};
+
+/// One data reference: which array, and the index expression that selects
+/// the element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRef {
+    /// Referenced array.
+    pub array: ArrayId,
+    /// Index expression (compared structurally).
+    pub index: Expr,
+}
+
+/// The architectural footprint of one executed statement occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Ordered data references (loads in evaluation order; a store's target
+    /// comes last, matching the interpreter's emission order).
+    pub data: Vec<DataRef>,
+    /// Number of instruction fetches.
+    pub instrs: u32,
+}
+
+impl Token {
+    /// Total data references.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// The footprint of one whole statement (loops unrolled to `max_iter`,
+/// conditionals assumed equalized — callers must transform innermost
+/// constructs first).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StmtSig(pub Vec<Token>);
+
+impl StmtSig {
+    /// Total instruction count of the statement.
+    #[must_use]
+    pub fn instr_total(&self) -> u64 {
+        self.0.iter().map(|t| u64::from(t.instrs)).sum()
+    }
+
+    /// Total data-reference count of the statement.
+    #[must_use]
+    pub fn data_total(&self) -> u64 {
+        self.0.iter().map(|t| t.data.len() as u64).sum()
+    }
+}
+
+fn expr_loads(e: &Expr, out: &mut Vec<DataRef>) {
+    e.for_each_load(&mut |array, index| {
+        out.push(DataRef { array, index: index.clone() });
+    });
+}
+
+/// Computes the footprint of a statement.
+///
+/// For conditionals the **then**-branch signature is used; this is only
+/// correct once the conditional has been equalized (both branches share one
+/// flattened token sequence), which the PUB transformation guarantees by
+/// processing constructs innermost-first.
+#[must_use]
+pub fn stmt_sig(s: &Stmt) -> StmtSig {
+    let mut tokens = Vec::new();
+    push_stmt_tokens(s, &mut tokens);
+    StmtSig(tokens)
+}
+
+/// Signature of a statement list (concatenated per-statement signatures).
+#[must_use]
+pub fn seq_sig(stmts: &[Stmt]) -> Vec<StmtSig> {
+    stmts.iter().map(stmt_sig).collect()
+}
+
+fn push_stmt_tokens(s: &Stmt, out: &mut Vec<Token>) {
+    match s {
+        Stmt::Assign(_, e) => {
+            let mut data = Vec::new();
+            expr_loads(e, &mut data);
+            out.push(Token { data, instrs: s.own_instr_count() });
+        }
+        Stmt::Store { array, index, value } => {
+            let mut data = Vec::new();
+            expr_loads(index, &mut data);
+            expr_loads(value, &mut data);
+            data.push(DataRef { array: *array, index: index.clone() });
+            out.push(Token { data, instrs: s.own_instr_count() });
+        }
+        Stmt::Touch { refs, .. } => {
+            let data = refs
+                .iter()
+                .map(|(array, index)| DataRef { array: *array, index: index.clone() })
+                .collect();
+            out.push(Token { data, instrs: s.own_instr_count() });
+        }
+        Stmt::Nop { count } => {
+            out.push(Token { data: Vec::new(), instrs: *count });
+        }
+        Stmt::If { cond, then_branch, .. } => {
+            let mut data = Vec::new();
+            expr_loads(cond, &mut data);
+            out.push(Token { data, instrs: s.own_instr_count() });
+            // Assumes equalized branches: both flatten identically.
+            for inner in then_branch {
+                push_stmt_tokens(inner, out);
+            }
+        }
+        Stmt::While { cond, max_iter, body } => {
+            let header = {
+                let mut data = Vec::new();
+                expr_loads(cond, &mut data);
+                Token { data, instrs: s.own_instr_count() }
+            };
+            out.push(header.clone());
+            for _ in 0..*max_iter {
+                for inner in body {
+                    push_stmt_tokens(inner, out);
+                }
+                out.push(header.clone());
+            }
+        }
+        Stmt::For { from, to, max_iter, body, .. } => {
+            let init = {
+                let mut data = Vec::new();
+                expr_loads(from, &mut data);
+                expr_loads(to, &mut data);
+                Token { data, instrs: s.own_instr_count() }
+            };
+            let iter = Token { data: Vec::new(), instrs: 2 };
+            out.push(init);
+            out.push(iter.clone());
+            for _ in 0..*max_iter {
+                for inner in body {
+                    push_stmt_tokens(inner, out);
+                }
+                out.push(iter.clone());
+            }
+        }
+    }
+}
+
+/// Materializes a signature as functionally-innocuous statements emitting
+/// exactly the same footprint: one [`Stmt::Touch`] per data-carrying token,
+/// one [`Stmt::Nop`] per instruction-only token.
+#[must_use]
+pub fn materialize(sig: &StmtSig) -> Vec<Stmt> {
+    sig.0
+        .iter()
+        .map(|t| {
+            if t.data.is_empty() {
+                Stmt::Nop { count: t.instrs }
+            } else {
+                let refs: Vec<(ArrayId, Expr)> =
+                    t.data.iter().map(|d| (d.array, d.index.clone())).collect();
+                let pad = t.instrs.saturating_sub(refs.len() as u32);
+                Stmt::Touch { refs, pad }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::{ProgramBuilder, Var};
+
+    fn c(v: i64) -> Expr {
+        Expr::c(v)
+    }
+
+    #[test]
+    fn assign_token_orders_loads() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 4);
+        let d = b.array("d", 4);
+        let x = b.var("x");
+        // x = a[d[0]] + a[1]: loads d[0], a[d[0]], a[1]; 4 instrs.
+        let s = Stmt::Assign(
+            x,
+            Expr::load(a, Expr::load(d, c(0))).add(Expr::load(a, c(1))),
+        );
+        let sig = stmt_sig(&s);
+        assert_eq!(sig.0.len(), 1);
+        let tok = &sig.0[0];
+        // a[d[0]] = 5, a[1] = 3, add = 1, move = 1.
+        assert_eq!(tok.instrs, 10);
+        let arrays: Vec<ArrayId> = tok.data.iter().map(|r| r.array).collect();
+        assert_eq!(arrays, vec![d, a, a]);
+    }
+
+    #[test]
+    fn store_target_comes_last() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 4);
+        let _ = b.var("x");
+        let s = Stmt::store(a, c(0), Expr::load(a, c(1)));
+        let sig = stmt_sig(&s);
+        let tok = &sig.0[0];
+        assert_eq!(tok.data.len(), 2);
+        assert_eq!(tok.data[1].index, c(0), "store target last");
+    }
+
+    #[test]
+    fn while_unrolls_to_bound() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 4);
+        let x = b.var("x");
+        let s = Stmt::while_(
+            Expr::var(x).lt(c(3)),
+            3,
+            vec![Stmt::Assign(x, Expr::load(a, c(0)))],
+        );
+        let sig = stmt_sig(&s);
+        // header + 3 * (body + header) = 7 tokens.
+        assert_eq!(sig.0.len(), 7);
+        // header = cmp(2)+branch(1) = 3; body assign = load(3)+move(1) = 4.
+        assert_eq!(sig.instr_total(), 4 * 3 + 3 * 4);
+        assert_eq!(sig.data_total(), 3);
+    }
+
+    #[test]
+    fn for_unrolls_with_init_and_iter() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i");
+        let s = Stmt::for_(i, c(0), c(2), 2, vec![Stmt::Nop { count: 5 }]);
+        let sig = stmt_sig(&s);
+        // init, iter, (body, iter) * 2 = 6 tokens.
+        assert_eq!(sig.0.len(), 6);
+        // init = li+li+set = 3; iter = inc+cmp = 2; body = 5-instr nop.
+        assert_eq!(sig.instr_total(), 3 + 2 + 2 * (5 + 2));
+    }
+
+    #[test]
+    fn materialize_roundtrips_footprint() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 4);
+        let x = b.var("x");
+        let stmts = vec![
+            Stmt::Assign(x, Expr::load(a, Expr::var(Var(0)))),
+            Stmt::Nop { count: 2 },
+        ];
+        let sigs = seq_sig(&stmts);
+        for (orig, sig) in stmts.iter().zip(&sigs) {
+            let mat = materialize(sig);
+            let mat_sig: Vec<StmtSig> = seq_sig(&mat);
+            let flat: Vec<Token> = mat_sig.into_iter().flat_map(|s| s.0).collect();
+            assert_eq!(&flat, &sig.0, "materialized footprint differs for {orig:?}");
+            assert!(mat.iter().all(Stmt::is_innocuous));
+        }
+    }
+
+    #[test]
+    fn equal_tokens_from_different_statements() {
+        // x = a[i] (assign, 3 instrs) vs touch a[i] with 2 pads: same token.
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 4);
+        let x = b.var("x");
+        let i = b.var("i");
+        let assign = Stmt::Assign(x, Expr::load(a, Expr::var(i)));
+        let touch = Stmt::Touch { refs: vec![(a, Expr::var(i))], pad: 2 };
+        assert_eq!(stmt_sig(&assign), stmt_sig(&touch));
+    }
+}

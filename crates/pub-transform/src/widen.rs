@@ -1,0 +1,306 @@
+//! Widening of path-dependent data accesses.
+//!
+//! See [`WidenPolicy`](crate::WidenPolicy) for the motivation. The pass has
+//! two halves:
+//!
+//! 1. a **taint fixpoint** marking every variable whose value can depend on
+//!    branch decisions: variables assigned inside a conditional branch, plus
+//!    anything data-flow-reachable from them;
+//! 2. a **widening rewrite** that prefixes every statement containing a
+//!    data reference with a tainted index by a [`Stmt::Touch`] covering one
+//!    element per cache line of each such array — so all paths touch the
+//!    same line set, restoring the exchangeability that branch equalization
+//!    relies on.
+//!
+//! Widening happens *before* branch equalization; the inserted touches are
+//! ordinary statements that the equalizer then mirrors into sibling
+//! branches like any other footprint.
+
+use std::collections::HashSet;
+
+use mbcr_ir::{ArrayDecl, ArrayId, Expr, Stmt, Var, ARRAY_ALIGN, ELEM_BYTES};
+
+/// Elements per cache line (arrays are line-aligned).
+const ELEMS_PER_LINE: u32 = (ARRAY_ALIGN / ELEM_BYTES) as u32;
+
+/// Computes the set of path-dependent ("tainted") variables of a program
+/// body.
+///
+/// Seed: every variable assigned inside an `if` branch (including loop
+/// induction variables declared there). Propagation: any variable assigned
+/// from an expression referencing a tainted variable, and any `for`
+/// variable whose bounds reference one, until fixpoint.
+#[must_use]
+pub fn path_dependent_vars(stmts: &[Stmt]) -> HashSet<Var> {
+    let mut tainted: HashSet<Var> = HashSet::new();
+    seed(stmts, false, &mut tainted);
+    // Propagate to a fixpoint; bounded by the variable count.
+    loop {
+        let before = tainted.len();
+        propagate(stmts, &mut tainted);
+        if tainted.len() == before {
+            break;
+        }
+    }
+    tainted
+}
+
+fn seed(stmts: &[Stmt], in_branch: bool, tainted: &mut HashSet<Var>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, _) => {
+                if in_branch {
+                    tainted.insert(*v);
+                }
+            }
+            Stmt::Store { .. } | Stmt::Touch { .. } | Stmt::Nop { .. } => {}
+            Stmt::If { then_branch, else_branch, .. } => {
+                seed(then_branch, true, tainted);
+                seed(else_branch, true, tainted);
+            }
+            Stmt::While { body, .. } => seed(body, in_branch, tainted),
+            Stmt::For { var, body, .. } => {
+                if in_branch {
+                    tainted.insert(*var);
+                }
+                seed(body, in_branch, tainted);
+            }
+        }
+    }
+}
+
+fn expr_uses_tainted(e: &Expr, tainted: &HashSet<Var>) -> bool {
+    match e {
+        Expr::Const(_) => false,
+        Expr::Var(v) => tainted.contains(v),
+        Expr::Load(_, idx) => expr_uses_tainted(idx, tainted),
+        Expr::Un(_, e) => expr_uses_tainted(e, tainted),
+        Expr::Bin(_, l, r) => expr_uses_tainted(l, tainted) || expr_uses_tainted(r, tainted),
+    }
+}
+
+fn propagate(stmts: &[Stmt], tainted: &mut HashSet<Var>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                if expr_uses_tainted(e, tainted) {
+                    tainted.insert(*v);
+                }
+            }
+            Stmt::Store { .. } | Stmt::Touch { .. } | Stmt::Nop { .. } => {}
+            Stmt::If { then_branch, else_branch, .. } => {
+                propagate(then_branch, tainted);
+                propagate(else_branch, tainted);
+            }
+            Stmt::While { body, .. } => propagate(body, tainted),
+            Stmt::For { var, from, to, body, .. } => {
+                if expr_uses_tainted(from, tainted) || expr_uses_tainted(to, tainted) {
+                    tainted.insert(*var);
+                }
+                propagate(body, tainted);
+            }
+        }
+    }
+}
+
+/// Collects the arrays accessed through tainted index expressions anywhere
+/// in a statement's own expressions (conditions included; nested bodies are
+/// handled by the recursive rewrite).
+fn tainted_arrays_of_stmt(s: &Stmt, tainted: &HashSet<Var>) -> Vec<ArrayId> {
+    let mut out: Vec<ArrayId> = Vec::new();
+    let mut visit_expr = |e: &Expr| {
+        e.for_each_load(&mut |array, index| {
+            if expr_uses_tainted(index, tainted) && !out.contains(&array) {
+                out.push(array);
+            }
+        });
+    };
+    match s {
+        Stmt::Assign(_, e) => visit_expr(e),
+        Stmt::Store { array, index, value } => {
+            visit_expr(index);
+            visit_expr(value);
+            if expr_uses_tainted(index, tainted) && !out.contains(array) {
+                out.push(*array);
+            }
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => visit_expr(cond),
+        Stmt::For { from, to, .. } => {
+            visit_expr(from);
+            visit_expr(to);
+        }
+        Stmt::Touch { .. } | Stmt::Nop { .. } => {}
+    }
+    out
+}
+
+/// One touch covering every cache line of `decl` (one element per line).
+fn full_array_touch(array: ArrayId, decl: &ArrayDecl) -> Stmt {
+    let refs: Vec<(ArrayId, Expr)> = (0..decl.len)
+        .step_by(ELEMS_PER_LINE as usize)
+        .map(|k| (array, Expr::c(i64::from(k))))
+        .collect();
+    Stmt::Touch { refs, pad: 0 }
+}
+
+/// Rewrites a body, prefixing statements with tainted-index accesses by
+/// full-array touches. Returns the new body and the number of touches
+/// inserted.
+#[must_use]
+pub fn widen_body(
+    stmts: &[Stmt],
+    tainted: &HashSet<Var>,
+    arrays: &[ArrayDecl],
+) -> (Vec<Stmt>, usize) {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut inserted = 0usize;
+    for s in stmts {
+        for array in tainted_arrays_of_stmt(s, tainted) {
+            out.push(full_array_touch(array, &arrays[array.0 as usize]));
+            inserted += 1;
+        }
+        match s {
+            Stmt::If { cond, then_branch, else_branch } => {
+                let (t, nt) = widen_body(then_branch, tainted, arrays);
+                let (e, ne) = widen_body(else_branch, tainted, arrays);
+                inserted += nt + ne;
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_branch: t,
+                    else_branch: e,
+                });
+            }
+            Stmt::While { cond, max_iter, body } => {
+                let (b, n) = widen_body(body, tainted, arrays);
+                inserted += n;
+                out.push(Stmt::While { cond: cond.clone(), max_iter: *max_iter, body: b });
+            }
+            Stmt::For { var, from, to, max_iter, body } => {
+                let (b, n) = widen_body(body, tainted, arrays);
+                inserted += n;
+                out.push(Stmt::For {
+                    var: *var,
+                    from: from.clone(),
+                    to: to.clone(),
+                    max_iter: *max_iter,
+                    body: b,
+                });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    (out, inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::ProgramBuilder;
+
+    fn c(v: i64) -> Expr {
+        Expr::c(v)
+    }
+
+    #[test]
+    fn vars_assigned_in_branches_are_tainted() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        let body = vec![
+            Stmt::Assign(x, c(1)), // top level: clean
+            Stmt::if_(
+                Expr::var(x).gt(c(0)),
+                vec![Stmt::Assign(y, c(2))], // in branch: tainted
+                vec![],
+            ),
+            Stmt::Assign(z, Expr::var(y).add(c(1))), // flows from tainted
+        ];
+        let tainted = path_dependent_vars(&body);
+        assert!(!tainted.contains(&x));
+        assert!(tainted.contains(&y));
+        assert!(tainted.contains(&z), "taint must propagate through assignments");
+    }
+
+    #[test]
+    fn for_vars_with_clean_bounds_stay_clean() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i");
+        let s = b.var("s");
+        let a = b.array("a", 16);
+        let body = vec![Stmt::for_(
+            i,
+            c(0),
+            c(8),
+            8,
+            vec![Stmt::Assign(s, Expr::var(s).add(Expr::load(a, Expr::var(i))))],
+        )];
+        let tainted = path_dependent_vars(&body);
+        assert!(tainted.is_empty(), "single-path code has no taint: {tainted:?}");
+    }
+
+    #[test]
+    fn widening_covers_each_line_once() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 20); // 20 elements = 3 lines (8 per line)
+        let m = b.var("m");
+        let y = b.var("y");
+        let body = vec![
+            Stmt::if_(Expr::var(y).gt(c(0)), vec![Stmt::Assign(m, c(5))], vec![]),
+            Stmt::Assign(y, Expr::load(a, Expr::var(m))), // tainted index
+        ];
+        let p = b.build().unwrap();
+        let tainted = path_dependent_vars(&body);
+        assert!(tainted.contains(&m));
+        let (widened, inserted) = widen_body(&body, &tainted, p.arrays());
+        assert_eq!(inserted, 1);
+        // The touch precedes the load and covers indices 0, 8, 16.
+        let Stmt::Touch { refs, .. } = &widened[1] else {
+            panic!("expected touch before the tainted access, got {:?}", widened[1]);
+        };
+        let idxs: Vec<i64> = refs
+            .iter()
+            .map(|(_, e)| match e {
+                Expr::Const(v) => *v,
+                other => panic!("constant index expected, got {other}"),
+            })
+            .collect();
+        assert_eq!(idxs, vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn clean_indices_are_not_widened() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 16);
+        let i = b.var("i");
+        let s = b.var("s");
+        let body = vec![Stmt::for_(
+            i,
+            c(0),
+            c(8),
+            8,
+            vec![Stmt::Assign(s, Expr::var(s).add(Expr::load(a, Expr::var(i))))],
+        )];
+        let p = b.build().unwrap();
+        let tainted = path_dependent_vars(&body);
+        let (widened, inserted) = widen_body(&body, &tainted, p.arrays());
+        assert_eq!(inserted, 0);
+        assert_eq!(widened.len(), body.len());
+    }
+
+    #[test]
+    fn store_with_tainted_index_is_widened() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 8);
+        let j = b.var("j");
+        let y = b.var("y");
+        let body = vec![
+            Stmt::if_(Expr::var(y).gt(c(0)), vec![Stmt::Assign(j, c(3))], vec![]),
+            Stmt::store(a, Expr::var(j), c(1)),
+        ];
+        let p = b.build().unwrap();
+        let tainted = path_dependent_vars(&body);
+        let (_, inserted) = widen_body(&body, &tainted, p.arrays());
+        assert_eq!(inserted, 1);
+    }
+}

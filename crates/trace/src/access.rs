@@ -1,0 +1,313 @@
+//! Concrete byte-addressed traces.
+
+use std::fmt;
+
+/// A byte address in the simulated memory space.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_trace::Address;
+/// let a = Address(0x1040);
+/// assert_eq!(a.line(32).0, 0x1040 / 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// Returns the cache line this address falls into for the given
+    /// `line_size` (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero.
+    #[inline]
+    #[must_use]
+    pub fn line(self, line_size: u64) -> LineId {
+        assert!(line_size > 0, "line_size must be positive");
+        LineId(self.0 / line_size)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+/// A memory-line identifier (address divided by the line size).
+///
+/// Cache behaviour — and therefore everything TAC reasons about — only
+/// depends on which *line* an access touches, so most analyses work on
+/// `LineId` streams rather than raw addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineId(pub u64);
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// The kind of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// An instruction fetch (routed to the IL1 cache).
+    InstrFetch,
+    /// A data load (routed to the DL1 cache).
+    Read,
+    /// A data store (routed to the DL1 cache; write-allocate).
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for loads and stores.
+    #[must_use]
+    pub fn is_data(self) -> bool {
+        !matches!(self, AccessKind::InstrFetch)
+    }
+}
+
+/// One memory access: an address plus its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The byte address touched.
+    pub addr: Address,
+    /// Fetch, read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates an instruction fetch access.
+    #[must_use]
+    pub fn fetch(addr: u64) -> Self {
+        Self { addr: Address(addr), kind: AccessKind::InstrFetch }
+    }
+
+    /// Creates a data read access.
+    #[must_use]
+    pub fn read(addr: u64) -> Self {
+        Self { addr: Address(addr), kind: AccessKind::Read }
+    }
+
+    /// Creates a data write access.
+    #[must_use]
+    pub fn write(addr: u64) -> Self {
+        Self { addr: Address(addr), kind: AccessKind::Write }
+    }
+}
+
+/// An ordered sequence of memory accesses, as produced by one program run.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_trace::{Access, Trace};
+/// let mut t = Trace::new();
+/// t.push(Access::fetch(0x1000));
+/// t.push(Access::read(0x8000));
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.data_accesses().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { accesses: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends one access.
+    #[inline]
+    pub fn push(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    /// Number of accesses in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Returns `true` if the trace contains no accesses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Iterates over all accesses in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Access> {
+        self.accesses.iter()
+    }
+
+    /// Returns the accesses as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Iterates over the data (read/write) accesses only.
+    pub fn data_accesses(&self) -> impl Iterator<Item = &Access> {
+        self.accesses.iter().filter(|a| a.kind.is_data())
+    }
+
+    /// Iterates over the instruction fetches only.
+    pub fn instr_fetches(&self) -> impl Iterator<Item = &Access> {
+        self.accesses.iter().filter(|a| !a.kind.is_data())
+    }
+
+    /// Projects the trace onto cache lines of the given size, keeping order.
+    #[must_use]
+    pub fn lines(&self, line_size: u64) -> Vec<LineId> {
+        self.accesses.iter().map(|a| a.addr.line(line_size)).collect()
+    }
+
+    /// Projects only the data accesses onto cache lines.
+    #[must_use]
+    pub fn data_lines(&self, line_size: u64) -> Vec<LineId> {
+        self.data_accesses().map(|a| a.addr.line(line_size)).collect()
+    }
+
+    /// Projects only the instruction fetches onto cache lines.
+    #[must_use]
+    pub fn instr_lines(&self, line_size: u64) -> Vec<LineId> {
+        self.instr_fetches().map(|a| a.addr.line(line_size)).collect()
+    }
+
+    /// Number of distinct lines touched (the cache footprint).
+    #[must_use]
+    pub fn unique_lines(&self, line_size: u64) -> usize {
+        let mut lines = self.lines(line_size);
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+
+    /// Returns `true` if `self` is a (not necessarily contiguous)
+    /// supersequence of `other`: `other` can be obtained from `self` by
+    /// deleting accesses. This is the PUB soundness relation: the pubbed
+    /// trace must be obtainable from each original path trace by insertions
+    /// only.
+    #[must_use]
+    pub fn is_supersequence_of(&self, other: &Trace) -> bool {
+        let mut it = other.accesses.iter();
+        let mut need = it.next();
+        for a in &self.accesses {
+            match need {
+                None => return true,
+                Some(n) if a == n => need = it.next(),
+                Some(_) => {}
+            }
+        }
+        need.is_none()
+    }
+}
+
+impl FromIterator<Access> for Trace {
+    fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
+        Self { accesses: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Access> for Trace {
+    fn extend<I: IntoIterator<Item = Access>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Access;
+    type IntoIter = std::slice::Iter<'a, Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Access;
+    type IntoIter = std::vec::IntoIter<Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_to_line() {
+        assert_eq!(Address(0).line(32), LineId(0));
+        assert_eq!(Address(31).line(32), LineId(0));
+        assert_eq!(Address(32).line(32), LineId(1));
+        assert_eq!(Address(0x1040).line(32), LineId(0x82));
+    }
+
+    #[test]
+    #[should_panic(expected = "line_size must be positive")]
+    fn zero_line_size_panics() {
+        let _ = Address(0).line(0);
+    }
+
+    #[test]
+    fn trace_projections() {
+        let t: Trace = [
+            Access::fetch(0),
+            Access::read(64),
+            Access::fetch(4),
+            Access::write(96),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.data_accesses().count(), 2);
+        assert_eq!(t.instr_fetches().count(), 2);
+        assert_eq!(t.lines(32), vec![LineId(0), LineId(2), LineId(0), LineId(3)]);
+        assert_eq!(t.data_lines(32), vec![LineId(2), LineId(3)]);
+        assert_eq!(t.instr_lines(32), vec![LineId(0), LineId(0)]);
+        assert_eq!(t.unique_lines(32), 3);
+    }
+
+    #[test]
+    fn supersequence_relation() {
+        let small: Trace = [Access::read(0), Access::read(64)].into_iter().collect();
+        let big: Trace = [Access::read(0), Access::fetch(4), Access::read(64)]
+            .into_iter()
+            .collect();
+        assert!(big.is_supersequence_of(&small));
+        assert!(!small.is_supersequence_of(&big));
+        assert!(big.is_supersequence_of(&big), "reflexive");
+        assert!(big.is_supersequence_of(&Trace::new()), "empty is subsequence");
+    }
+
+    #[test]
+    fn supersequence_respects_order() {
+        let ab: Trace = [Access::read(0), Access::read(64)].into_iter().collect();
+        let ba: Trace = [Access::read(64), Access::read(0)].into_iter().collect();
+        assert!(!ab.is_supersequence_of(&ba));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Address(0x40).to_string(), "0x40");
+        assert_eq!(LineId(2).to_string(), "L0x2");
+    }
+}

@@ -1,0 +1,281 @@
+//! Sequence analyses feeding TAC: reuse distances, stack distances and
+//! interleaving statistics.
+//!
+//! TAC looks for **groups of addresses that are interleaved with long reuse
+//! distances** (e.g. round-robin traversals): when such a group is randomly
+//! placed into one set and exceeds its associativity, every traversal misses.
+//! The statistics in this module quantify exactly that structure.
+
+use std::collections::HashMap;
+
+use crate::LineId;
+
+/// Per-line summary of a line stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineStats {
+    /// The line.
+    pub line: LineId,
+    /// Number of accesses to it.
+    pub count: usize,
+    /// Position of its first access.
+    pub first_pos: usize,
+    /// Position of its last access.
+    pub last_pos: usize,
+}
+
+/// Counts accesses per line, in order of first appearance.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_trace::analysis::line_stats;
+/// use mbcr_trace::LineId;
+/// let stats = line_stats(&[LineId(7), LineId(3), LineId(7)]);
+/// assert_eq!(stats[0].line, LineId(7));
+/// assert_eq!(stats[0].count, 2);
+/// assert_eq!(stats[1].count, 1);
+/// ```
+#[must_use]
+pub fn line_stats(lines: &[LineId]) -> Vec<LineStats> {
+    let mut index: HashMap<LineId, usize> = HashMap::new();
+    let mut stats: Vec<LineStats> = Vec::new();
+    for (pos, &line) in lines.iter().enumerate() {
+        match index.get(&line) {
+            Some(&i) => {
+                stats[i].count += 1;
+                stats[i].last_pos = pos;
+            }
+            None => {
+                index.insert(line, stats.len());
+                stats.push(LineStats { line, count: 1, first_pos: pos, last_pos: pos });
+            }
+        }
+    }
+    stats
+}
+
+/// Stack distance (LRU distance) of every access: the number of *distinct*
+/// lines touched since the previous access to the same line; `None` for cold
+/// (first) accesses.
+///
+/// A W-way LRU set hits exactly the accesses with stack distance `< W`; for a
+/// random-replacement set the hit probability decays with the distance. TAC's
+/// conflict groups are the ones that force large stack distances within one
+/// set.
+#[must_use]
+pub fn stack_distances(lines: &[LineId]) -> Vec<Option<usize>> {
+    // O(n · u) with a simple LRU stack — u (unique lines) is small in our
+    // workloads; good enough and allocation-light.
+    let mut stack: Vec<LineId> = Vec::new();
+    let mut out = Vec::with_capacity(lines.len());
+    for &line in lines {
+        match stack.iter().position(|&l| l == line) {
+            Some(depth) => {
+                out.push(Some(depth));
+                stack.remove(depth);
+                stack.insert(0, line);
+            }
+            None => {
+                out.push(None);
+                stack.insert(0, line);
+            }
+        }
+    }
+    out
+}
+
+/// Mean stack distance of the warm accesses, or `None` if all are cold.
+#[must_use]
+pub fn mean_stack_distance(lines: &[LineId]) -> Option<f64> {
+    let ds = stack_distances(lines);
+    let warm: Vec<usize> = ds.into_iter().flatten().collect();
+    if warm.is_empty() {
+        return None;
+    }
+    Some(warm.iter().sum::<usize>() as f64 / warm.len() as f64)
+}
+
+/// Interleaving count between two lines: how many times `b` occurs strictly
+/// between two consecutive accesses of `a`.
+///
+/// A high symmetric interleaving count is the signature of the round-robin
+/// patterns the paper describes ("accesses to addresses mapping to those sets
+/// are interleaved with long reuse distances").
+#[must_use]
+pub fn interleaving_count(lines: &[LineId], a: LineId, b: LineId) -> usize {
+    let mut count = 0;
+    let mut seen_a = false;
+    let mut b_since_a = false;
+    for &l in lines {
+        if l == a {
+            if seen_a && b_since_a {
+                count += 1;
+            }
+            seen_a = true;
+            b_since_a = false;
+        } else if l == b {
+            b_since_a = true;
+        }
+    }
+    count
+}
+
+/// Dense pairwise interleaving matrix over the distinct lines of a stream.
+///
+/// `matrix[i][j]` counts occurrences of line `j` between consecutive accesses
+/// of line `i` (at least one per gap). Symmetric-ish for round-robin
+/// patterns; strongly asymmetric for nested-loop patterns.
+#[derive(Debug, Clone)]
+pub struct InterleavingMatrix {
+    /// Distinct lines, in order of first appearance.
+    pub lines: Vec<LineId>,
+    /// `counts[i][j]`: gaps of `lines[i]` containing `lines[j]`.
+    pub counts: Vec<Vec<u32>>,
+}
+
+impl InterleavingMatrix {
+    /// Builds the matrix for a line stream in a single pass:
+    /// O(n · u) time for u distinct lines.
+    #[must_use]
+    pub fn build(stream: &[LineId]) -> Self {
+        let stats = line_stats(stream);
+        let lines: Vec<LineId> = stats.iter().map(|s| s.line).collect();
+        let u = lines.len();
+        let mut idx: HashMap<LineId, usize> = HashMap::with_capacity(u);
+        for (i, &l) in lines.iter().enumerate() {
+            idx.insert(l, i);
+        }
+        let mut counts = vec![vec![0u32; u]; u];
+        // seen_since[i][j]: line j seen since last access of line i.
+        let mut seen_since = vec![vec![false; u]; u];
+        let mut started = vec![false; u];
+        for &l in stream {
+            let i = idx[&l];
+            if started[i] {
+                let row = &mut counts[i];
+                for (j, seen) in seen_since[i].iter_mut().enumerate() {
+                    if *seen {
+                        row[j] += 1;
+                        *seen = false;
+                    }
+                }
+            } else {
+                started[i] = true;
+                for s in seen_since[i].iter_mut() {
+                    *s = false;
+                }
+            }
+            for (k, row) in seen_since.iter_mut().enumerate() {
+                if k != i {
+                    row[i] = true;
+                }
+            }
+        }
+        Self { lines, counts }
+    }
+
+    /// Minimum of the two directed interleaving counts — the "round-robin
+    /// strength" of the pair.
+    #[must_use]
+    pub fn mutual(&self, i: usize, j: usize) -> u32 {
+        self.counts[i][j].min(self.counts[j][i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymSeq;
+
+    fn lines(s: &str) -> Vec<LineId> {
+        s.parse::<SymSeq>().unwrap().to_lines()
+    }
+
+    #[test]
+    fn line_stats_counts_and_positions() {
+        let ls = line_stats(&lines("ABCA"));
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls[0].count, 2);
+        assert_eq!(ls[0].first_pos, 0);
+        assert_eq!(ls[0].last_pos, 3);
+        assert_eq!(ls[1].count, 1);
+    }
+
+    #[test]
+    fn line_stats_empty() {
+        assert!(line_stats(&[]).is_empty());
+    }
+
+    #[test]
+    fn stack_distances_basic() {
+        // A B C A: A's reuse sees {B, C} -> distance 2.
+        let d = stack_distances(&lines("ABCA"));
+        assert_eq!(d, vec![None, None, None, Some(2)]);
+        // A A: immediate reuse -> distance 0.
+        assert_eq!(stack_distances(&lines("AA")), vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn stack_distance_counts_distinct_not_total() {
+        // A B B B A: only one distinct line between the As.
+        let d = stack_distances(&lines("ABBBA"));
+        assert_eq!(d[4], Some(1));
+    }
+
+    #[test]
+    fn mean_stack_distance_cases() {
+        assert_eq!(mean_stack_distance(&lines("ABC")), None);
+        let m = mean_stack_distance(&lines("ABAB")).unwrap();
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaving_count_round_robin() {
+        // {ABCA}^3: every A-gap contains B and C once.
+        let s = "ABCA".parse::<SymSeq>().unwrap().repeat(3).to_lines();
+        let (a, b, c) = (LineId(0), LineId(1), LineId(2));
+        // Gaps of A: [BC], [], [BC], [], [BC], [] -> wait: ABCA ABCA ABCA has
+        // consecutive As at the repeat boundary. A appears 6 times -> 5 gaps,
+        // 3 of which contain B and C.
+        assert_eq!(interleaving_count(&s, a, b), 3);
+        assert_eq!(interleaving_count(&s, a, c), 3);
+        // B's gaps always contain A (and C): B appears 3 times -> 2 gaps.
+        assert_eq!(interleaving_count(&s, b, a), 2);
+    }
+
+    #[test]
+    fn interleaving_matrix_matches_pairwise_counts() {
+        let s = "ABCDEA".parse::<SymSeq>().unwrap().repeat(4).to_lines();
+        let m = InterleavingMatrix::build(&s);
+        for (i, &li) in m.lines.iter().enumerate() {
+            for (j, &lj) in m.lines.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    m.counts[i][j] as usize,
+                    interleaving_count(&s, li, lj),
+                    "mismatch for ({li}, {lj})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_matrix_mutual_symmetric_pattern() {
+        let s = "AB".parse::<SymSeq>().unwrap().repeat(10).to_lines();
+        let m = InterleavingMatrix::build(&s);
+        assert_eq!(m.lines.len(), 2);
+        assert_eq!(m.mutual(0, 1), 9);
+    }
+
+    #[test]
+    fn nested_pattern_is_asymmetric() {
+        // A B A B ... then C only once: C interleaves nothing.
+        let mut s = "AB".parse::<SymSeq>().unwrap().repeat(5).to_lines();
+        s.push(LineId(2));
+        let m = InterleavingMatrix::build(&s);
+        let ci = m.lines.iter().position(|&l| l == LineId(2)).unwrap();
+        assert_eq!(m.counts[ci].iter().sum::<u32>(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Address traces and memory access sequences.
+//!
+//! Everything in the DAC'18 paper is formulated over *sequences of memory
+//! addresses*: PUB inserts accesses into them (`ins(M, x)`), TAC analyses them
+//! for conflict groups, and the cache simulator replays them. This crate is
+//! the shared vocabulary:
+//!
+//! * [`Address`], [`LineId`], [`Access`], [`AccessKind`], [`Trace`] — concrete
+//!   byte-addressed traces as emitted by the IR interpreter;
+//! * [`SymSeq`] — symbolic sequences written like the paper's examples
+//!   (`{ABCA}`, `{ABCDEA}^1000`), with the [`SymSeq::ins`] operator and
+//!   supersequence checks;
+//! * [`scs`](crate::scs) — shortest common supersequence, the minimal
+//!   upper-bounding merge that PUB applies to sibling branches;
+//! * [`analysis`] — reuse distances, stack distances and interleaving
+//!   statistics, the inputs of TAC's conflict-group discovery.
+//!
+//! # Examples
+//!
+//! The paper's Section 2 example: merging the `if` branch `{ABCA}` with the
+//! `else` branch `{BACA}` produces the upper-bound `{ABACA}`:
+//!
+//! ```
+//! use mbcr_trace::{scs::scs2, SymSeq};
+//!
+//! let m_if: SymSeq = "ABCA".parse()?;
+//! let m_else: SymSeq = "BACA".parse()?;
+//! let m_pub = scs2(&m_if, &m_else);
+//! assert_eq!(m_pub.len(), 5); // |ABACA| — minimal supersequence length
+//! assert!(m_pub.is_supersequence_of(&m_if));
+//! assert!(m_pub.is_supersequence_of(&m_else));
+//! # Ok::<(), mbcr_trace::ParseSymSeqError>(())
+//! ```
+
+pub mod analysis;
+mod access;
+pub mod scs;
+mod symbolic;
+
+pub use access::{Access, AccessKind, Address, LineId, Trace};
+pub use symbolic::{ParseSymSeqError, SymSeq, Symbol};

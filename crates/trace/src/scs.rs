@@ -1,0 +1,224 @@
+//! Shortest common supersequence (SCS) — PUB's minimal upper-bounding merge.
+//!
+//! Given the access sequences of the branches of a conditional, PUB inflates
+//! each branch so that every branch's sequence upper-bounds every sibling's.
+//! The *tightest* such merge for two sequences is their shortest common
+//! supersequence, computed here by the classic longest-common-subsequence
+//! (LCS) dynamic program with traceback.
+//!
+//! For `k > 2` branches the exact SCS is NP-hard; [`scs_many`] uses the
+//! standard pairwise folding heuristic, which always yields a *valid* common
+//! supersequence (soundness is preserved; only tightness is heuristic).
+
+use crate::{SymSeq, Symbol};
+
+/// Computes the shortest common supersequence of two sequences.
+///
+/// The result has length `|a| + |b| − |LCS(a, b)|` and contains both `a` and
+/// `b` as subsequences. Ties in the DP are broken toward consuming `a` first,
+/// which makes the output deterministic.
+///
+/// # Examples
+///
+/// The paper's Figure 1(b) example:
+///
+/// ```
+/// use mbcr_trace::scs::scs2;
+/// use mbcr_trace::SymSeq;
+/// let a: SymSeq = "ABCA".parse().unwrap();
+/// let b: SymSeq = "BACA".parse().unwrap();
+/// let m = scs2(&a, &b);
+/// assert_eq!(m.len(), 5);
+/// assert!(m.is_supersequence_of(&a) && m.is_supersequence_of(&b));
+/// ```
+#[must_use]
+pub fn scs2(a: &SymSeq, b: &SymSeq) -> SymSeq {
+    scs2_by(a.symbols(), b.symbols(), |x, y| x == y)
+        .into_iter()
+        .collect()
+}
+
+/// Generic SCS over arbitrary token types with a caller-supplied equality.
+///
+/// PUB at the IR level merges *statement-run tokens* rather than single
+/// accesses; this generic entry point serves both layers.
+pub fn scs2_by<T: Clone>(a: &[T], b: &[T], eq: impl Fn(&T, &T) -> bool) -> Vec<T> {
+    let (n, m) = (a.len(), b.len());
+    // lcs[i][j] = LCS length of a[i..] and b[j..].
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if eq(&a[i], &b[j]) {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(n + m - lcs[0][0] as usize);
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if eq(&a[i], &b[j]) {
+            out.push(a[i].clone());
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            // Consuming from `a` keeps the LCS achievable: emit a[i].
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Length of the longest common subsequence of two symbol slices.
+#[must_use]
+pub fn lcs_len(a: &[Symbol], b: &[Symbol]) -> usize {
+    let m = b.len();
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Folds [`scs2`] over many sequences (pairwise heuristic).
+///
+/// The result is a common supersequence of *all* inputs: each input embeds
+/// into the fold at the step it participates in, and later SCS steps only
+/// insert further elements (supersequence-ness is preserved under further
+/// insertion).
+///
+/// Returns the empty sequence for an empty input set.
+#[must_use]
+pub fn scs_many(seqs: &[SymSeq]) -> SymSeq {
+    let mut it = seqs.iter();
+    let Some(first) = it.next() else {
+        return SymSeq::new();
+    };
+    let mut acc = first.clone();
+    for s in it {
+        acc = scs2(&acc, s);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> SymSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn scs_of_identical_is_identity() {
+        let a = seq("ABCA");
+        assert_eq!(scs2(&a, &a), a);
+    }
+
+    #[test]
+    fn scs_with_empty_is_other() {
+        let a = seq("ABCA");
+        assert_eq!(scs2(&a, &SymSeq::new()), a);
+        assert_eq!(scs2(&SymSeq::new(), &a), a);
+    }
+
+    #[test]
+    fn scs_disjoint_is_concatenation_length() {
+        let a = seq("AB");
+        let b = seq("CD");
+        let m = scs2(&a, &b);
+        assert_eq!(m.len(), 4);
+        assert!(m.is_supersequence_of(&a) && m.is_supersequence_of(&b));
+    }
+
+    #[test]
+    fn paper_figure1b_example() {
+        let m = scs2(&seq("ABCA"), &seq("BACA"));
+        assert_eq!(m.len(), 5, "LCS(ABCA, BACA) = 3 so SCS length is 5");
+        assert!(m.is_supersequence_of(&seq("ABCA")));
+        assert!(m.is_supersequence_of(&seq("BACA")));
+    }
+
+    #[test]
+    fn paper_section311_example() {
+        // M1 = {ABCA}, M2 = {ADEA} -> minimal merge has 6 accesses (ABCDEA-like).
+        let m = scs2(&seq("ABCA"), &seq("ADEA"));
+        assert_eq!(m.len(), 6);
+        assert!(m.is_supersequence_of(&seq("ABCA")));
+        assert!(m.is_supersequence_of(&seq("ADEA")));
+        assert_eq!(m.unique_symbols(), 5);
+    }
+
+    #[test]
+    fn paper_observation4_example() {
+        // M1 = {ABA}, M2 = {ACA}: SCS length 4 (e.g. ABCA or ACBA).
+        let m = scs2(&seq("ABA"), &seq("ACA"));
+        assert_eq!(m.len(), 4);
+        assert!(m.is_supersequence_of(&seq("ABA")));
+        assert!(m.is_supersequence_of(&seq("ACA")));
+    }
+
+    #[test]
+    fn lcs_lengths() {
+        assert_eq!(lcs_len(seq("ABCA").symbols(), seq("BACA").symbols()), 3);
+        assert_eq!(lcs_len(seq("ABC").symbols(), seq("ABC").symbols()), 3);
+        assert_eq!(lcs_len(seq("ABC").symbols(), seq("DEF").symbols()), 0);
+        assert_eq!(lcs_len(&[], seq("ABC").symbols()), 0);
+    }
+
+    #[test]
+    fn scs_many_covers_all_inputs() {
+        let inputs = [seq("ABCA"), seq("ADEA"), seq("AFA")];
+        let m = scs_many(&inputs);
+        for i in &inputs {
+            assert!(m.is_supersequence_of(i), "{m} should cover {i}");
+        }
+        assert!(scs_many(&[]).is_empty());
+        assert_eq!(scs_many(&[seq("XY")]), seq("XY"));
+    }
+
+    #[test]
+    fn scs_length_is_minimal_against_brute_force() {
+        // Exhaustive check on short binary-alphabet sequences: SCS length
+        // must equal |a| + |b| - LCS.
+        let alphabet = [Symbol(0), Symbol(1)];
+        let mut seqs = vec![SymSeq::new()];
+        for len in 1..=4usize {
+            let mut new = Vec::new();
+            for s in &seqs {
+                if s.len() == len - 1 {
+                    for &a in &alphabet {
+                        let mut v = s.symbols().to_vec();
+                        v.push(a);
+                        new.push(SymSeq::from_symbols(v));
+                    }
+                }
+            }
+            seqs.extend(new);
+        }
+        for a in &seqs {
+            for b in &seqs {
+                let m = scs2(a, b);
+                let expect = a.len() + b.len() - lcs_len(a.symbols(), b.symbols());
+                assert_eq!(m.len(), expect, "a={a} b={b} m={m}");
+                assert!(m.is_supersequence_of(a));
+                assert!(m.is_supersequence_of(b));
+            }
+        }
+    }
+}

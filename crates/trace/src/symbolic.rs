@@ -1,0 +1,335 @@
+//! Symbolic access sequences — the paper's `{ABCA}^1000` notation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Access, LineId, Trace};
+
+/// A symbolic address: `A`, `B`, … mapped to small integers.
+///
+/// Symbols stand for *distinct cache lines*; the concrete byte addresses are
+/// irrelevant under random placement (every distinct line receives an
+/// independent uniform set), which is exactly why the paper can reason with
+/// letters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u16);
+
+impl Symbol {
+    /// Returns the conventional letter for small symbol ids (`A`–`Z`), or
+    /// `#<id>` beyond.
+    #[must_use]
+    pub fn letter(self) -> String {
+        if self.0 < 26 {
+            char::from(b'A' + self.0 as u8).to_string()
+        } else {
+            format!("#{}", self.0)
+        }
+    }
+}
+
+/// Error parsing a [`SymSeq`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSymSeqError {
+    offending: char,
+}
+
+impl fmt::Display for ParseSymSeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid symbol {:?}: expected ASCII letters A-Z", self.offending)
+    }
+}
+
+impl std::error::Error for ParseSymSeqError {}
+
+/// A symbolic memory access sequence, e.g. the paper's `{ABCA}`.
+///
+/// Supports the operations the paper defines over sequences:
+/// [`ins`](SymSeq::ins) (insert an address at a position), repetition
+/// (`{ABCA}^1000` via [`repeat`](SymSeq::repeat)), and the supersequence
+/// relation underlying PUB's upper-bounding argument.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_trace::SymSeq;
+/// let m: SymSeq = "ABCA".parse()?;
+/// assert_eq!(m.to_string(), "ABCA");
+/// assert_eq!(m.repeat(2).to_string(), "ABCAABCA");
+/// assert_eq!(m.unique_symbols(), 3);
+/// # Ok::<(), mbcr_trace::ParseSymSeqError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SymSeq {
+    symbols: Vec<Symbol>,
+}
+
+impl SymSeq {
+    /// Creates an empty sequence.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sequence from raw symbols.
+    #[must_use]
+    pub fn from_symbols(symbols: Vec<Symbol>) -> Self {
+        Self { symbols }
+    }
+
+    /// Number of accesses in the sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbols in order.
+    #[must_use]
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Number of distinct symbols (the footprint in cache lines).
+    ///
+    /// TAC's first question about a sequence: does the footprint exceed the
+    /// ways of one cache set?
+    #[must_use]
+    pub fn unique_symbols(&self) -> usize {
+        let mut s: Vec<Symbol> = self.symbols.clone();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    }
+
+    /// The paper's `ins(M, x)` operator: inserts symbol `x` at `position`
+    /// (an index in `0..=len`), preserving the order of all other accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position > len`.
+    #[must_use]
+    pub fn ins(&self, position: usize, x: Symbol) -> SymSeq {
+        assert!(position <= self.symbols.len(), "insert position out of bounds");
+        let mut out = Vec::with_capacity(self.symbols.len() + 1);
+        out.extend_from_slice(&self.symbols[..position]);
+        out.push(x);
+        out.extend_from_slice(&self.symbols[position..]);
+        SymSeq { symbols: out }
+    }
+
+    /// Concatenates `n` copies of the sequence — the paper's `{…}^n`.
+    #[must_use]
+    pub fn repeat(&self, n: usize) -> SymSeq {
+        let mut out = Vec::with_capacity(self.symbols.len() * n);
+        for _ in 0..n {
+            out.extend_from_slice(&self.symbols);
+        }
+        SymSeq { symbols: out }
+    }
+
+    /// Appends another sequence.
+    pub fn extend_with(&mut self, other: &SymSeq) {
+        self.symbols.extend_from_slice(&other.symbols);
+    }
+
+    /// Returns `true` if `other` can be obtained from `self` by deleting
+    /// accesses — equivalently, `self` results from `other` by a chain of
+    /// `ins` applications (Equation 2 of the paper).
+    #[must_use]
+    pub fn is_supersequence_of(&self, other: &SymSeq) -> bool {
+        let mut it = other.symbols.iter();
+        let mut need = it.next();
+        for s in &self.symbols {
+            match need {
+                None => return true,
+                Some(n) if s == n => need = it.next(),
+                Some(_) => {}
+            }
+        }
+        need.is_none()
+    }
+
+    /// Computes one witness chain of `ins` positions transforming `other`
+    /// into `self`, or `None` if `self` is not a supersequence of `other`.
+    ///
+    /// The witness is returned as the indices *in `self`* that do not belong
+    /// to the (greedy, leftmost) embedding of `other`.
+    #[must_use]
+    pub fn insertion_witness(&self, other: &SymSeq) -> Option<Vec<usize>> {
+        let mut inserted = Vec::new();
+        let mut j = 0;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if j < other.symbols.len() && *s == other.symbols[j] {
+                j += 1;
+            } else {
+                inserted.push(i);
+            }
+        }
+        (j == other.symbols.len()).then_some(inserted)
+    }
+
+    /// Lowers the symbolic sequence to a concrete data-read [`Trace`], giving
+    /// symbol `k` the address `k * line_size` (each symbol on its own line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is zero.
+    #[must_use]
+    pub fn to_trace(&self, line_size: u64) -> Trace {
+        assert!(line_size > 0, "line_size must be positive");
+        self.symbols
+            .iter()
+            .map(|s| Access::read(u64::from(s.0) * line_size))
+            .collect()
+    }
+
+    /// Lowers the sequence directly to a cache-line stream (symbol `k` →
+    /// line `k`).
+    #[must_use]
+    pub fn to_lines(&self) -> Vec<LineId> {
+        self.symbols.iter().map(|s| LineId(u64::from(s.0))).collect()
+    }
+}
+
+impl FromStr for SymSeq {
+    type Err = ParseSymSeqError;
+
+    /// Parses letter sequences such as `"ABCA"`. Whitespace is ignored.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut symbols = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            if c.is_ascii_uppercase() {
+                symbols.push(Symbol(u16::from(c as u8 - b'A')));
+            } else {
+                return Err(ParseSymSeqError { offending: c });
+            }
+        }
+        Ok(SymSeq { symbols })
+    }
+}
+
+impl fmt::Display for SymSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.symbols {
+            write!(f, "{}", s.letter())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Symbol> for SymSeq {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
+        Self { symbols: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> SymSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["", "A", "ABCA", "ABCDEFA"] {
+            assert_eq!(seq(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_ignores_whitespace() {
+        assert_eq!(seq("A B\tC A"), seq("ABCA"));
+    }
+
+    #[test]
+    fn parse_rejects_lowercase_and_digits() {
+        assert!("abc".parse::<SymSeq>().is_err());
+        assert!("A1".parse::<SymSeq>().is_err());
+        let err = "A1".parse::<SymSeq>().unwrap_err();
+        assert!(err.to_string().contains('1'));
+    }
+
+    #[test]
+    fn ins_at_every_position() {
+        let m = seq("ABCA");
+        assert_eq!(m.ins(0, Symbol(3)).to_string(), "DABCA");
+        assert_eq!(m.ins(2, Symbol(3)).to_string(), "ABDCA");
+        assert_eq!(m.ins(4, Symbol(3)).to_string(), "ABCAD");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn ins_out_of_bounds_panics() {
+        let _ = seq("AB").ins(3, Symbol(0));
+    }
+
+    #[test]
+    fn repeat_matches_paper_notation() {
+        let m = seq("ABCA").repeat(3);
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.to_string(), "ABCAABCAABCA");
+        assert_eq!(m.unique_symbols(), 3);
+        assert!(seq("AB").repeat(0).is_empty());
+    }
+
+    #[test]
+    fn paper_section2_insertion_example() {
+        // Mif = {ABCA}; Mpub = {ABACA} = ins(Mif, A) at position 2.
+        let m_if = seq("ABCA");
+        let m_pub = m_if.ins(2, Symbol(0));
+        assert_eq!(m_pub.to_string(), "ABACA");
+        assert!(m_pub.is_supersequence_of(&m_if));
+        // Melse = {BACA} is also a subsequence of ABACA.
+        assert!(m_pub.is_supersequence_of(&seq("BACA")));
+    }
+
+    #[test]
+    fn supersequence_edge_cases() {
+        let m = seq("ABCA");
+        assert!(m.is_supersequence_of(&SymSeq::new()));
+        assert!(m.is_supersequence_of(&m));
+        assert!(!seq("AB").is_supersequence_of(&seq("BA")));
+        assert!(!SymSeq::new().is_supersequence_of(&seq("A")));
+    }
+
+    #[test]
+    fn insertion_witness_recovers_positions() {
+        let orig = seq("ABCA");
+        let pubbed = seq("ABACA");
+        let w = pubbed.insertion_witness(&orig).unwrap();
+        assert_eq!(w, vec![2]);
+        assert!(pubbed.insertion_witness(&seq("AAAA")).is_none());
+        // Rebuild via ins() chain and compare.
+        let mut rebuilt = orig.clone();
+        for &pos in &w {
+            rebuilt = rebuilt.ins(pos, pubbed.symbols()[pos]);
+        }
+        assert_eq!(rebuilt, pubbed);
+    }
+
+    #[test]
+    fn to_trace_assigns_distinct_lines() {
+        let t = seq("ABA").to_trace(32);
+        let lines = t.lines(32);
+        assert_eq!(lines[0], lines[2]);
+        assert_ne!(lines[0], lines[1]);
+        assert_eq!(seq("ABA").to_lines(), vec![LineId(0), LineId(1), LineId(0)]);
+    }
+
+    #[test]
+    fn symbol_letters() {
+        assert_eq!(Symbol(0).letter(), "A");
+        assert_eq!(Symbol(25).letter(), "Z");
+        assert_eq!(Symbol(26).letter(), "#26");
+    }
+}

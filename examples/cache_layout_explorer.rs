@@ -1,0 +1,61 @@
+//! Explore TAC's view of a workload: which cache-line conflict groups
+//! exist, how damaging they are, and how many runs they demand.
+//!
+//! Run with `cargo run --release --example cache_layout_explorer [bench]`
+//! (default: all benchmarks).
+
+use mbcr::prelude::*;
+use mbcr_tac::analyze_lines;
+
+fn explore(bench: &mbcr_malardalen::Benchmark) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AnalysisConfig::default();
+    let pubbed = pub_transform(&bench.program, &cfg.pub_cfg)?;
+    let run = execute(&pubbed.program, &bench.default_input)?;
+
+    println!("\n=== {} ===", bench.name);
+    println!(
+        "pubbed trace: {} accesses ({} fetches, {} data)",
+        run.trace.len(),
+        run.trace.instr_fetches().count(),
+        run.trace.data_accesses().count()
+    );
+
+    for (label, stream, geometry) in [
+        ("IL1", run.trace.instr_lines(cfg.platform.il1.line_size()), cfg.platform.il1),
+        ("DL1", run.trace.data_lines(cfg.platform.dl1.line_size()), cfg.platform.dl1),
+    ] {
+        let tac = analyze_lines(&stream, &cfg.tac.for_cache(&geometry, 7));
+        println!(
+            "{label}: {} distinct lines, {} candidate groups, {} relevant, R = {}",
+            tac.unique_lines,
+            tac.groups_evaluated,
+            tac.relevant_groups.len(),
+            tac.runs_required
+        );
+        for class in tac.classes.iter().take(3) {
+            println!(
+                "    class: impact ~{:.0} extra misses, {} groups, p = {:.3e}, R = {}",
+                class.impact, class.group_count, class.prob, class.runs
+            );
+        }
+        for g in tac.relevant_groups.iter().take(3) {
+            println!(
+                "    group {:?}: p = {:.3e}, +{:.0} misses",
+                g.lines.iter().map(|l| l.0).collect::<Vec<_>>(),
+                g.prob,
+                g.extra_misses
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let filter = std::env::args().nth(1);
+    for bench in mbcr_malardalen::suite() {
+        if filter.as_deref().is_none_or(|f| f == bench.name) {
+            explore(&bench)?;
+        }
+    }
+    Ok(())
+}

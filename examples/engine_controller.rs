@@ -1,0 +1,106 @@
+//! A domain-flavoured scenario from the paper's introduction: an automotive
+//! engine-controller task with mode-dependent control paths, analysed
+//! end-to-end.
+//!
+//! The task reads a sensor block, selects one of three control laws
+//! (if/else chain — different table lookups per mode), and writes actuator
+//! commands. The timing engineer cannot enumerate which mode combination is
+//! the worst case — PUB+TAC bounds them all from a single input vector.
+//!
+//! Run with `cargo run --release --example engine_controller`.
+
+use mbcr::prelude::*;
+use mbcr_ir::ProgramBuilder;
+
+fn build_controller() -> (Program, Inputs) {
+    let mut b = ProgramBuilder::new("engine_controller");
+    let sensors = b.array("sensors", 32);
+    let map_low = b.array("map_low", 32);
+    let map_mid = b.array("map_mid", 32);
+    let map_high = b.array("map_high", 32);
+    let actuators = b.array("actuators", 8);
+    let (i, load, rpm, cmd) = (b.var("i"), b.var("load"), b.var("rpm"), b.var("cmd"));
+
+    // Aggregate the sensor block.
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(32),
+        32,
+        vec![Stmt::Assign(load, Expr::var(load).add(Expr::load(sensors, Expr::var(i))))],
+    ));
+    b.push(Stmt::Assign(rpm, Expr::var(load).mul(Expr::c(3)).rem(Expr::c(9000))));
+
+    // Mode-dependent control law: three lookup tables, data-dependent.
+    b.push(Stmt::if_(
+        Expr::var(rpm).lt(Expr::c(2000)),
+        vec![Stmt::Assign(cmd, Expr::load(map_low, Expr::var(rpm).rem(Expr::c(32))))],
+        vec![Stmt::if_(
+            Expr::var(rpm).lt(Expr::c(6000)),
+            vec![Stmt::Assign(
+                cmd,
+                Expr::load(map_mid, Expr::var(rpm).rem(Expr::c(32)))
+                    .add(Expr::load(map_low, Expr::c(0))),
+            )],
+            vec![Stmt::Assign(
+                cmd,
+                Expr::load(map_high, Expr::var(rpm).rem(Expr::c(32)))
+                    .mul(Expr::c(2))
+                    .add(Expr::load(map_mid, Expr::c(0))),
+            )],
+        )],
+    ));
+
+    // Fan the command out to the actuators.
+    b.push(Stmt::for_(
+        i,
+        Expr::c(0),
+        Expr::c(8),
+        8,
+        vec![Stmt::store(actuators, Expr::var(i), Expr::var(cmd).add(Expr::var(i)))],
+    ));
+
+    let program = b.build().expect("controller is well-formed");
+    let inputs = Inputs::new().with_array(sensors, (0..32).map(|k| 40 + k % 7).collect());
+    (program, inputs)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (program, inputs) = build_controller();
+    let cfg = AnalysisConfig::builder().seed(0xEC0).quick().build();
+
+    println!("analysing '{}' with PUB + TAC + MBPTA…", program.name());
+    let analysis = analyze_pub_tac(&program, &inputs, &cfg)?;
+
+    println!("\n-- path coverage (PUB) --");
+    println!("conditionals equalized : {}", analysis.pub_report.constructs.len());
+    println!(
+        "inserted footprint     : {} instructions, {} data refs, {} widening touches",
+        analysis.pub_report.total_inserted_instrs(),
+        analysis.pub_report.total_inserted_data_refs(),
+        analysis.pub_report.widened_touches,
+    );
+
+    println!("\n-- cache representativeness (TAC) --");
+    println!(
+        "IL1: {} conflict groups -> R = {}",
+        analysis.tac_il1.relevant_groups.len(),
+        analysis.tac_il1.runs_required
+    );
+    println!(
+        "DL1: {} conflict groups -> R = {}",
+        analysis.tac_dl1.relevant_groups.len(),
+        analysis.tac_dl1.runs_required
+    );
+
+    println!("\n-- verdict --");
+    println!("R_pub = {}, R_tac = {}, campaign = {} runs", analysis.r_pub, analysis.r_tac, analysis.campaign_runs);
+    println!(
+        "pWCET@1e-12 = {:.0} cycles (highest observed: {})",
+        analysis.pwcet_pub_tac,
+        analysis.sample.iter().max().expect("non-empty"),
+    );
+    println!("\nThis bound holds for *every* mode path and *every* cache layout of");
+    println!("probability above the configured floor — no path enumeration needed.");
+    Ok(())
+}

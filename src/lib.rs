@@ -1,0 +1,27 @@
+//! # mbcr-repro
+//!
+//! Reproduction package for *"Measurement-Based Cache Representativeness on
+//! Multipath Programs"* (Milutinovic, Abella, Mezzetti, Cazorla — DAC 2018).
+//!
+//! This crate is a thin facade over the [`mbcr`] core library and the
+//! [`mbcr_malardalen`] benchmark models; see the workspace `README.md` for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+//!
+//! ```
+//! // The full pipeline of the paper (Figure 3) in a few lines:
+//! use mbcr_repro::prelude::*;
+//!
+//! let program = mbcr_malardalen::bs::program();
+//! let input = mbcr_malardalen::bs::default_input();
+//! let cfg = AnalysisConfig::builder().seed(42).quick().build();
+//! let analysis = analyze_pub_tac(&program, &input, &cfg).unwrap();
+//! assert!(analysis.pwcet_pub_tac > 0.0);
+//! ```
+
+pub use mbcr;
+pub use mbcr_malardalen;
+
+/// Convenience re-exports covering the whole analysis pipeline.
+pub mod prelude {
+    pub use mbcr::prelude::*;
+}

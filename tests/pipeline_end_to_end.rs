@@ -1,0 +1,126 @@
+//! End-to-end pipeline tests on the benchmark suite (quick configuration).
+
+use mbcr::prelude::*;
+
+fn quick(seed: u64) -> AnalysisConfig {
+    AnalysisConfig::builder().seed(seed).quick().threads(2).build()
+}
+
+#[test]
+fn bs_full_pipeline_is_consistent() {
+    let b = mbcr_malardalen::bs::benchmark();
+    let cfg = quick(1);
+    let a = analyze_pub_tac(&b.program, &b.default_input, &cfg).expect("analyze");
+
+    // Internal consistency.
+    assert_eq!(a.sample.len(), a.campaign_runs);
+    assert!(a.r_pub_tac >= a.r_pub as u64);
+    assert!(a.r_pub_tac >= a.r_tac);
+    let max_observed = *a.sample.iter().max().expect("non-empty") as f64;
+    assert!(
+        a.pwcet_pub_tac >= max_observed,
+        "pWCET {:.0} must cover the observed maximum {max_observed}",
+        a.pwcet_pub_tac
+    );
+    // bs has conflictive layouts: TAC must ask for more than MBPTA alone.
+    assert!(a.r_tac > 0, "bs should exhibit conflict groups");
+}
+
+#[test]
+fn original_vs_pub_tac_on_single_path_benchmark() {
+    let b = mbcr_malardalen::fdct::benchmark();
+    let cfg = quick(2);
+    let orig = analyze_original(&b.program, &b.default_input, &cfg).expect("orig");
+    let pt = analyze_pub_tac(&b.program, &b.default_input, &cfg).expect("pub+tac");
+    // Single path: PUB inserted nothing, so the traces and the campaigns
+    // are statistically the same program.
+    assert_eq!(pt.pub_report.constructs.len(), 0);
+    assert_eq!(orig.trace_len, pt.trace_len);
+    let ratio = pt.pwcet_pub / orig.pwcet_at_exceedance;
+    assert!((0.8..1.25).contains(&ratio), "ratio = {ratio}");
+}
+
+#[test]
+fn multipath_combination_is_minimum() {
+    let b = mbcr_malardalen::cnt::benchmark();
+    let cfg = quick(3);
+    let named: Vec<(String, Inputs)> = b
+        .input_vectors
+        .iter()
+        .map(|v| (v.name.clone(), v.inputs.clone()))
+        .collect();
+    let multi = analyze_multipath(&b.program, &named, &cfg).expect("multi");
+    assert_eq!(multi.per_input.len(), 3);
+    let min = multi
+        .per_input
+        .iter()
+        .map(|(_, a)| a.pwcet_pub_tac)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(multi.best_pwcet, min);
+}
+
+#[test]
+fn whole_suite_analyzes_without_error() {
+    let cfg = AnalysisConfig::builder()
+        .seed(4)
+        .quick()
+        .max_campaign_runs(800)
+        .threads(2)
+        .build();
+    for b in mbcr_malardalen::suite() {
+        let a = analyze_pub_tac(&b.program, &b.default_input, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert!(a.pwcet_pub_tac > 0.0, "{}", b.name);
+        assert!(!a.sample.is_empty(), "{}", b.name);
+    }
+}
+
+#[test]
+fn campaigns_pass_iid_checks() {
+    let b = mbcr_malardalen::janne::benchmark();
+    let cfg = quick(5);
+    let a = analyze_pub_tac(&b.program, &b.default_input, &cfg).expect("analyze");
+    // Independent placement seeds per run: i.i.d. by construction.
+    assert!(
+        a.iid.passed(0.001),
+        "iid evidence too weak: ks={:.4} lb={:.4} runs={:.4}",
+        a.iid.ks.p_value,
+        a.iid.ljung_box.p_value,
+        a.iid.runs.p_value
+    );
+}
+
+#[test]
+fn deterministic_platform_yields_degenerate_pwcet() {
+    let b = mbcr_malardalen::bs::benchmark();
+    let mut cfg = quick(6);
+    cfg.platform = PlatformConfig::deterministic();
+    let a = analyze_original(&b.program, &b.default_input, &cfg).expect("analyze");
+    // One cache layout only: the pWCET *is* the constant observed time.
+    assert_eq!(a.pwcet.quantile(1e-12), a.pwcet.eccdf().max());
+}
+
+#[test]
+fn seeds_change_samples_but_not_structure() {
+    let b = mbcr_malardalen::crc::benchmark();
+    let a1 = analyze_pub_tac(&b.program, &b.default_input, &quick(7)).expect("a1");
+    let a2 = analyze_pub_tac(&b.program, &b.default_input, &quick(8)).expect("a2");
+    assert_ne!(a1.sample, a2.sample, "different seeds, different measurements");
+    assert_eq!(a1.trace_len, a2.trace_len, "same program, same trace");
+    assert_eq!(
+        a1.pub_report.constructs.len(),
+        a2.pub_report.constructs.len(),
+        "PUB is deterministic"
+    );
+}
+
+#[test]
+fn exceedance_probability_is_monotone() {
+    let b = mbcr_malardalen::bs::benchmark();
+    let cfg = quick(9);
+    let a = analyze_pub_tac(&b.program, &b.default_input, &cfg).expect("analyze");
+    let q9 = a.pwcet.quantile(1e-9);
+    let q12 = a.pwcet.quantile(1e-12);
+    let q15 = a.pwcet.quantile(1e-15);
+    assert!(q9 <= q12 && q12 <= q15, "{q9} <= {q12} <= {q15}");
+}

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants.
+
+use proptest::prelude::*;
+
+use mbcr::prelude::*;
+use mbcr_ir::execute;
+use mbcr_tac::runs_for_probability;
+use mbcr_trace::scs::{lcs_len, scs2};
+use mbcr_trace::{LineId, SymSeq, Symbol};
+
+fn arb_symseq(max_len: usize, alphabet: u16) -> impl Strategy<Value = SymSeq> {
+    prop::collection::vec(0..alphabet, 0..=max_len)
+        .prop_map(|v| v.into_iter().map(Symbol).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SCS is a common supersequence of both inputs with the minimal length
+    /// |a| + |b| - |LCS(a, b)|.
+    #[test]
+    fn scs_is_minimal_common_supersequence(
+        a in arb_symseq(12, 4),
+        b in arb_symseq(12, 4),
+    ) {
+        let m = scs2(&a, &b);
+        prop_assert!(m.is_supersequence_of(&a));
+        prop_assert!(m.is_supersequence_of(&b));
+        prop_assert_eq!(m.len(), a.len() + b.len() - lcs_len(a.symbols(), b.symbols()));
+    }
+
+    /// The `ins` operator inserts exactly one symbol and preserves order;
+    /// the insertion witness reconstructs the pubbed sequence.
+    #[test]
+    fn ins_and_witness_roundtrip(
+        base in arb_symseq(10, 4),
+        positions in prop::collection::vec((0usize..=10, 0u16..4), 1..5),
+    ) {
+        let mut pubbed = base.clone();
+        for (pos, sym) in positions {
+            let pos = pos.min(pubbed.len());
+            pubbed = pubbed.ins(pos, Symbol(sym));
+        }
+        prop_assert!(pubbed.is_supersequence_of(&base));
+        let witness = pubbed.insertion_witness(&base).expect("supersequence");
+        let mut rebuilt = base.clone();
+        for &pos in &witness {
+            rebuilt = rebuilt.ins(pos, pubbed.symbols()[pos]);
+        }
+        prop_assert_eq!(rebuilt, pubbed);
+    }
+
+    /// Cache invariant: a line just accessed is always resident; occupancy
+    /// never exceeds the way count.
+    #[test]
+    fn cache_invariants_hold_on_random_streams(
+        lines in prop::collection::vec(0u64..40, 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut c = Cache::new(
+            CacheGeometry::new(256, 2, 32).unwrap(), // 4 sets
+            PlacementPolicy::RandomHash,
+            ReplacementPolicy::Random,
+            seed,
+        );
+        for &l in &lines {
+            c.access_line(LineId(l));
+            prop_assert!(c.contains(LineId(l)));
+            prop_assert!(c.set_occupancy(LineId(l)) <= 2);
+        }
+        let stats = c.stats();
+        prop_assert_eq!(stats.accesses(), lines.len() as u64);
+    }
+
+    /// Deterministic caches are seed-independent.
+    #[test]
+    fn modulo_lru_is_seed_independent(
+        lines in prop::collection::vec(0u64..64, 1..200),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let geometry = CacheGeometry::paper_l1();
+        let ids: Vec<LineId> = lines.iter().map(|&l| LineId(l)).collect();
+        let mut a = Cache::new(geometry, PlacementPolicy::Modulo, ReplacementPolicy::Lru, s1);
+        let mut b = Cache::new(geometry, PlacementPolicy::Modulo, ReplacementPolicy::Lru, s2);
+        prop_assert_eq!(a.run_lines(&ids), b.run_lines(&ids));
+    }
+
+    /// ECCDF: quantile and exceedance are mutually consistent and monotone.
+    #[test]
+    fn eccdf_quantile_exceedance_consistency(
+        sample in prop::collection::vec(1u64..100_000, 2..300),
+        p in 0.001f64..1.0,
+    ) {
+        let e = Eccdf::from_u64(&sample);
+        let q = e.quantile(p);
+        prop_assert!(e.exceedance(q) <= p + 1e-12);
+        prop_assert!(q >= e.min() && q <= e.max());
+        // Monotonicity in p.
+        let q_smaller = e.quantile((p / 2.0).max(1e-6));
+        prop_assert!(q_smaller >= q);
+    }
+
+    /// runs_for_probability is antitone in the event probability and
+    /// monotone in the target's strictness.
+    #[test]
+    fn runs_formula_monotonicity(
+        p1 in 1e-6f64..0.5,
+        p2 in 1e-6f64..0.5,
+        t in 1e-12f64..0.1,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(runs_for_probability(lo, t) >= runs_for_probability(hi, t));
+        prop_assert!(runs_for_probability(lo, t) >= runs_for_probability(lo, t * 10.0));
+        // Definition check: (1-p)^R < t at the returned R.
+        let r = runs_for_probability(lo, t);
+        prop_assert!((1.0 - lo).powf(r as f64) < t * (1.0 + 1e-9));
+    }
+}
+
+/// Random two-branch programs: PUB equalizes them and preserves semantics.
+fn arb_branch() -> impl Strategy<Value = Vec<(u8, i64)>> {
+    // Each entry encodes a statement: (kind, operand).
+    prop::collection::vec((0u8..3, 0i64..8), 0..5)
+}
+
+fn build_program(then_spec: &[(u8, i64)], else_spec: &[(u8, i64)]) -> (Program, mbcr_ir::Var) {
+    let mut b = mbcr_ir::ProgramBuilder::new("prop");
+    let arr = b.array("arr", 16);
+    let x = b.var("x");
+    let y = b.var("y");
+    let make = |spec: &[(u8, i64)]| {
+        spec.iter()
+            .map(|&(kind, v)| match kind {
+                0 => Stmt::Assign(y, Expr::var(y).add(Expr::c(v))),
+                1 => Stmt::Assign(y, Expr::var(y).add(Expr::load(arr, Expr::c(v)))),
+                _ => Stmt::store(arr, Expr::c(v), Expr::var(y)),
+            })
+            .collect::<Vec<_>>()
+    };
+    b.push(Stmt::if_(Expr::var(x).gt(Expr::c(0)), make(then_spec), make(else_spec)));
+    (b.build().expect("valid"), x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pub_equalizes_random_two_branch_programs(
+        then_spec in arb_branch(),
+        else_spec in arb_branch(),
+    ) {
+        let (program, x) = build_program(&then_spec, &else_spec);
+        let pubbed = pub_transform(&program, &PubConfig::paper()).expect("pub");
+
+        let t = execute(&pubbed.program, &Inputs::new().with_var(x, 1)).unwrap();
+        let e = execute(&pubbed.program, &Inputs::new().with_var(x, -1)).unwrap();
+        // Equalized: same data lines, same instruction count.
+        prop_assert_eq!(t.trace.data_lines(32), e.trace.data_lines(32));
+        prop_assert_eq!(
+            t.trace.instr_fetches().count(),
+            e.trace.instr_fetches().count()
+        );
+
+        // Both embed the corresponding original path's data lines.
+        for v in [1, -1] {
+            let orig = execute(&program, &Inputs::new().with_var(x, v)).unwrap();
+            let pubt = execute(&pubbed.program, &Inputs::new().with_var(x, v)).unwrap();
+            let ol = orig.trace.data_lines(32);
+            let pl = pubt.trace.data_lines(32);
+            let mut it = ol.iter();
+            let mut need = it.next();
+            for l in &pl {
+                if Some(l) == need {
+                    need = it.next();
+                }
+            }
+            prop_assert!(need.is_none());
+        }
+
+        // Semantics preserved on the executed path.
+        for v in [1, -1] {
+            let orig = execute(&program, &Inputs::new().with_var(x, v)).unwrap();
+            let pubt = execute(&pubbed.program, &Inputs::new().with_var(x, v)).unwrap();
+            let y = program.var_by_name("y").expect("y");
+            prop_assert_eq!(orig.state.var(y), pubt.state.var(y));
+            let arr = program.array_by_name("arr").expect("arr");
+            prop_assert_eq!(orig.state.array(arr), pubt.state.array(arr));
+        }
+    }
+}
