@@ -53,7 +53,9 @@ fn ablate_tail_model(cfg: &AnalysisConfig) {
     println!("\n--- 2. exponential tail (CV) vs Gumbel block maxima ---");
     let b = mbcr_malardalen::bs::benchmark();
     let pubbed = pub_transform(&b.program, &PubConfig::paper()).expect("pub");
-    let trace = execute(&pubbed.program, &b.default_input).expect("run").trace;
+    let trace = execute(&pubbed.program, &b.default_input)
+        .expect("run")
+        .trace;
     let sample = campaign_parallel(&cfg.platform, &trace, scaled(50_000), 0xAB2B, cfg.threads);
 
     let mut t = Table::new(&["model", "pWCET@1e-9", "pWCET@1e-12"]);
@@ -62,9 +64,12 @@ fn ablate_tail_model(cfg: &AnalysisConfig) {
         ("Gumbel b=50", FitMethod::Gumbel { block_size: 50 }),
         ("Gumbel b=200", FitMethod::Gumbel { block_size: 200 }),
     ] {
-        let pw = Pwcet::fit(&sample, method, &TailConfig::default(), Dither::Uniform {
-            seed: 3,
-        })
+        let pw = Pwcet::fit(
+            &sample,
+            method,
+            &TailConfig::default(),
+            Dither::Uniform { seed: 3 },
+        )
         .expect("fit");
         t.row(&[
             label,
@@ -116,8 +121,14 @@ fn ablate_platform(cfg: &AnalysisConfig) {
 
     let mut t = Table::new(&["platform", "distinct times in 1000 runs", "min", "max"]);
     for (label, platform) in [
-        ("random placement+replacement", PlatformConfig::paper_default()),
-        ("modulo + LRU (deterministic)", PlatformConfig::deterministic()),
+        (
+            "random placement+replacement",
+            PlatformConfig::paper_default(),
+        ),
+        (
+            "modulo + LRU (deterministic)",
+            PlatformConfig::deterministic(),
+        ),
     ] {
         let times = campaign_parallel(&platform, &trace, 1000, 0xAB4D, cfg.threads);
         let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();

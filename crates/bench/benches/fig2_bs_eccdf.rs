@@ -25,9 +25,10 @@ fn main() {
     let mut pub_curves: Vec<(String, Eccdf)> = Vec::new();
     for v in &vectors {
         let orig_trace = execute(&program, &v.inputs).expect("run bs").trace;
-        let pub_trace = execute(&pubbed.program, &v.inputs).expect("run bs_pub").trace;
-        let orig_times =
-            campaign_parallel(&cfg.platform, &orig_trace, runs, 0xF162, cfg.threads);
+        let pub_trace = execute(&pubbed.program, &v.inputs)
+            .expect("run bs_pub")
+            .trace;
+        let orig_times = campaign_parallel(&cfg.platform, &orig_trace, runs, 0xF162, cfg.threads);
         let pub_times = campaign_parallel(&cfg.platform, &pub_trace, runs, 0xF162, cfg.threads);
         orig_curves.push((v.name.clone(), Eccdf::from_u64(&orig_times)));
         pub_curves.push((v.name.clone(), Eccdf::from_u64(&pub_times)));
@@ -38,7 +39,10 @@ fn main() {
     let mut t = Table::new(&["path", "kind", "q@1e-1", "q@1e-2", "q@1e-3", "q@1/R", "max"]);
     for (curves, kind) in [(&orig_curves, "orig"), (&pub_curves, "pub")] {
         for (name, e) in curves {
-            let cells: Vec<String> = probes.iter().map(|&p| format!("{:.0}", e.quantile(p))).collect();
+            let cells: Vec<String> = probes
+                .iter()
+                .map(|&p| format!("{:.0}", e.quantile(p)))
+                .collect();
             t.row(&[
                 name,
                 kind,
@@ -80,7 +84,11 @@ fn main() {
     );
     println!(
         "every pubbed path upper-bounds every original path: {}",
-        if all_dominate { "YES (Figure 2 REPRODUCED)" } else { "NO" }
+        if all_dominate {
+            "YES (Figure 2 REPRODUCED)"
+        } else {
+            "NO"
+        }
     );
     assert!(all_dominate, "Figure 2 dominance must hold");
 

@@ -25,7 +25,9 @@ fn main() {
         .into_iter()
         .find(|v| v.name == "v9")
         .expect("v9 exists");
-    let trace = execute(&pubbed.program, &v9.inputs).expect("run bs_pub").trace;
+    let trace = execute(&pubbed.program, &v9.inputs)
+        .expect("run bs_pub")
+        .trace;
 
     // TAC requirement for this path.
     let il1 = analyze_lines(
@@ -48,7 +50,9 @@ fn main() {
 
     // Campaigns: R_pub-sized, TAC-sized (capped) and the long reference.
     let r_pub = 1_000;
-    let r_pt = usize::try_from(r_tac).unwrap_or(usize::MAX).clamp(r_pub, scaled(100_000));
+    let r_pt = usize::try_from(r_tac)
+        .unwrap_or(usize::MAX)
+        .clamp(r_pub, scaled(100_000));
     let long = scaled(600_000);
 
     let times_long = campaign_parallel(&cfg.platform, &trace, long, seed, cfg.threads);
@@ -56,16 +60,24 @@ fn main() {
     let times_pt = &times_long[..r_pt];
 
     let fit = |sample: &[u64]| {
-        Pwcet::fit(sample, FitMethod::ExpTailCv, &TailConfig::default(), Dither::Uniform {
-            seed: 7,
-        })
+        Pwcet::fit(
+            sample,
+            FitMethod::ExpTailCv,
+            &TailConfig::default(),
+            Dither::Uniform { seed: 7 },
+        )
         .expect("fit")
     };
     let pw_pub = fit(times_pub);
     let pw_pt = fit(times_pt);
     let reference = Eccdf::from_u64(&times_long);
 
-    let mut t = Table::new(&["exceedance", "pWCET (R_pub runs)", "pWCET (R_p+t runs)", "long-run ECCDF"]);
+    let mut t = Table::new(&[
+        "exceedance",
+        "pWCET (R_pub runs)",
+        "pWCET (R_p+t runs)",
+        "long-run ECCDF",
+    ]);
     for exp in [3, 6, 9, 12] {
         let p = 10f64.powi(-exp);
         let emp = if p >= 1.0 / long as f64 {
@@ -87,8 +99,14 @@ fn main() {
     // resolve (~2 expected observations in R_p+t runs, ~2·R_pub/R_p+t in
     // R_pub runs).
     let knee_threshold = reference.quantile((2.0 / r_pt as f64).max(5.0 / long as f64));
-    let seen_pub = times_pub.iter().filter(|&&t| t as f64 >= knee_threshold).count();
-    let seen_pt = times_pt.iter().filter(|&&t| t as f64 >= knee_threshold).count();
+    let seen_pub = times_pub
+        .iter()
+        .filter(|&&t| t as f64 >= knee_threshold)
+        .count();
+    let seen_pt = times_pt
+        .iter()
+        .filter(|&&t| t as f64 >= knee_threshold)
+        .count();
     println!(
         "\nknee region (>= {knee_threshold:.0} cycles): {seen_pub} observations in R_pub runs, \
          {seen_pt} in R_p+t runs"
@@ -98,9 +116,16 @@ fn main() {
         "pWCET@1e-12 from R_p+t runs ({:.0}) upper-bounds the long-run maximum ({:.0}): {}",
         pw_pt.quantile(1e-12),
         reference.max(),
-        if covered { "YES (Figure 4 REPRODUCED)" } else { "NO" }
+        if covered {
+            "YES (Figure 4 REPRODUCED)"
+        } else {
+            "NO"
+        }
     );
-    assert!(seen_pt >= seen_pub, "more runs cannot see fewer knee events");
+    assert!(
+        seen_pt >= seen_pub,
+        "more runs cannot see fewer knee events"
+    );
     assert!(covered, "the TAC-sized campaign must cover the knee");
 
     // CSV: both fitted curves + the reference ECCDF.

@@ -31,9 +31,12 @@ fn main() {
     let baseline_runs = scaled(20_000);
 
     let fit = |sample: &[u64]| {
-        Pwcet::fit(sample, FitMethod::ExpTailCv, &TailConfig::default(), Dither::Uniform {
-            seed: 5,
-        })
+        Pwcet::fit(
+            sample,
+            FitMethod::ExpTailCv,
+            &TailConfig::default(),
+            Dither::Uniform { seed: 5 },
+        )
         .expect("fit")
     };
 
@@ -51,10 +54,20 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name))
                 .trace
         };
-        let orig_sample =
-            campaign_parallel(&cfg.platform, &orig_trace, baseline_runs, 0xF165, cfg.threads);
-        let pub_sample =
-            campaign_parallel(&cfg.platform, &pub_trace, baseline_runs, 0xF165, cfg.threads);
+        let orig_sample = campaign_parallel(
+            &cfg.platform,
+            &orig_trace,
+            baseline_runs,
+            0xF165,
+            cfg.threads,
+        );
+        let pub_sample = campaign_parallel(
+            &cfg.platform,
+            &pub_trace,
+            baseline_runs,
+            0xF165,
+            cfg.threads,
+        );
         let pt = analyze_pub_tac(&b.program, &b.default_input, &cfg)
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
 
@@ -73,7 +86,10 @@ fn main() {
             &format!("{r_pub:.2}x"),
             &format!("{r_pt:.2}x"),
         ]);
-        rows.push(format!("{},{},{base:.1},{r_pub:.4},{r_pt:.4}", b.name, class));
+        rows.push(format!(
+            "{},{},{base:.1},{r_pub:.4},{r_pt:.4}",
+            b.name, class
+        ));
 
         if b.class == BenchClass::SinglePath && !(0.85..=1.25).contains(&r_pub) {
             single_path_ok = false;
@@ -88,7 +104,11 @@ fn main() {
     );
     println!(
         "single-path benchmarks kept PUB ratio near 1.0: {}",
-        if single_path_ok { "YES" } else { "SEE NOTES ABOVE" }
+        if single_path_ok {
+            "YES"
+        } else {
+            "SEE NOTES ABOVE"
+        }
     );
 
     let path = write_csv(

@@ -18,8 +18,16 @@ fn bench_cache_access(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_access");
     group.throughput(Throughput::Elements(stream.len() as u64));
     for (label, placement, replacement) in [
-        ("random_random", PlacementPolicy::RandomHash, ReplacementPolicy::Random),
-        ("modulo_lru", PlacementPolicy::Modulo, ReplacementPolicy::Lru),
+        (
+            "random_random",
+            PlacementPolicy::RandomHash,
+            ReplacementPolicy::Random,
+        ),
+        (
+            "modulo_lru",
+            PlacementPolicy::Modulo,
+            ReplacementPolicy::Lru,
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter_batched(
@@ -39,7 +47,9 @@ fn bench_cache_access(c: &mut Criterion) {
 
 fn bench_campaign(c: &mut Criterion) {
     let bench = mbcr_malardalen::bs::benchmark();
-    let trace = execute(&bench.program, &bench.default_input).expect("run bs").trace;
+    let trace = execute(&bench.program, &bench.default_input)
+        .expect("run bs")
+        .trace;
     let cfg = PlatformConfig::paper_default();
     let mut group = c.benchmark_group("campaign");
     group.throughput(Throughput::Elements(100 * trace.len() as u64));

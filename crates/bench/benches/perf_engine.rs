@@ -1,0 +1,102 @@
+//! Criterion performance benches for the batch engine: raw DAG scheduling
+//! overhead, cold sweep throughput, and warm (fully cached) re-runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbcr_engine::{
+    execute_dag, run_sweep, AnalysisKind, ArtifactStore, GeometrySpec, Registry, RunOptions,
+    SweepSpec,
+};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbcr-perf-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Pure scheduling overhead: a 1000-node layered DAG of no-op jobs.
+fn bench_dag_scheduling(c: &mut Criterion) {
+    let layers = 10usize;
+    let per_layer = 100usize;
+    let mut deps: Vec<Vec<usize>> = Vec::with_capacity(layers * per_layer);
+    for layer in 0..layers {
+        for _ in 0..per_layer {
+            if layer == 0 {
+                deps.push(Vec::new());
+            } else {
+                let base = (layer - 1) * per_layer;
+                deps.push(vec![base, base + per_layer / 2]);
+            }
+        }
+    }
+    let mut group = c.benchmark_group("engine_dag");
+    group.throughput(Throughput::Elements(deps.len() as u64));
+    group.bench_function("noop_1000_jobs_8_threads", |b| {
+        b.iter(|| black_box(execute_dag(&deps, 8, |i| i)));
+    });
+    group.finish();
+}
+
+fn tiny_spec(name: &str) -> SweepSpec {
+    SweepSpec::new(name)
+        .benchmarks(["bs", "insertsort"])
+        .geometries([
+            GeometrySpec::paper_l1(),
+            GeometrySpec::parse("2048:2:32").unwrap(),
+        ])
+        .seeds([9])
+        .analyses([AnalysisKind::PubTac])
+}
+
+/// Cold sweep throughput: 4 real PUB+TAC jobs per iteration, `force` so
+/// every iteration re-executes (steady-state engine + pipeline cost).
+fn bench_cold_sweep(c: &mut Criterion) {
+    let spec = tiny_spec("perf-cold");
+    let registry = Registry::malardalen();
+    let dir = tmp_dir("cold");
+    let store = ArtifactStore::open(&dir).expect("store");
+    let opts = RunOptions {
+        threads: 4,
+        force: true,
+    };
+    let mut group = c.benchmark_group("engine_sweep");
+    group.throughput(Throughput::Elements(4));
+    group.bench_function("cold_4_jobs", |b| {
+        b.iter(|| black_box(run_sweep(&spec, &registry, &store, &opts).expect("sweep")));
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm re-run throughput: every job served from the artifact store —
+/// this is the skip-if-cached fast path a resumed campaign takes.
+fn bench_warm_sweep(c: &mut Criterion) {
+    let spec = tiny_spec("perf-warm");
+    let registry = Registry::malardalen();
+    let dir = tmp_dir("warm");
+    let store = ArtifactStore::open(&dir).expect("store");
+    run_sweep(&spec, &registry, &store, &RunOptions::default()).expect("prime the store");
+    let opts = RunOptions {
+        threads: 4,
+        force: false,
+    };
+    let mut group = c.benchmark_group("engine_sweep");
+    group.throughput(Throughput::Elements(4));
+    group.bench_function("warm_4_jobs", |b| {
+        b.iter(|| {
+            let outcome = run_sweep(&spec, &registry, &store, &opts).expect("sweep");
+            assert_eq!(outcome.executed, 0, "warm run must not execute");
+            black_box(outcome)
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dag_scheduling, bench_cold_sweep, bench_warm_sweep
+}
+criterion_main!(benches);

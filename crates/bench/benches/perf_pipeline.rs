@@ -7,7 +7,11 @@ use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let bs = mbcr_malardalen::bs::benchmark();
-    let cfg = AnalysisConfig::builder().seed(77).quick().threads(1).build();
+    let cfg = AnalysisConfig::builder()
+        .seed(77)
+        .quick()
+        .threads(1)
+        .build();
     c.bench_function("analyze_pub_tac_bs_quick", |b| {
         b.iter(|| black_box(analyze_pub_tac(&bs.program, &bs.default_input, &cfg).expect("ok")));
     });

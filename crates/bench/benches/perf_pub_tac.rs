@@ -19,16 +19,16 @@ fn bench_pub(c: &mut Criterion) {
     let bs = mbcr_malardalen::bs::benchmark();
     c.bench_function("pub_transform_bs_padded", |b| {
         b.iter(|| {
-            black_box(
-                pub_transform(&bs.program, &PubConfig::with_loop_padding()).expect("pub"),
-            )
+            black_box(pub_transform(&bs.program, &PubConfig::with_loop_padding()).expect("pub"))
         });
     });
 }
 
 fn bench_tac(c: &mut Criterion) {
     let matmult = mbcr_malardalen::matmult::benchmark();
-    let trace = execute(&matmult.program, &matmult.default_input).expect("run").trace;
+    let trace = execute(&matmult.program, &matmult.default_input)
+        .expect("run")
+        .trace;
     let data = trace.data_lines(32);
     let instr = trace.instr_lines(32);
     let cfg = TacConfig::paper_l1();

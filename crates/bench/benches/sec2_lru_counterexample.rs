@@ -48,9 +48,24 @@ fn main() {
     let time_o = time(orig.len(), rnd_o);
     let time_p = time(pubbed.len(), rnd_p);
 
-    let mut t = Table::new(&["sequence", "LRU misses", "random E[misses]", "random E[cycles]"]);
-    t.row(&[orig, &lru_o.to_string(), &format!("{rnd_o:.3}"), &format!("{time_o:.1}")]);
-    t.row(&[pubbed, &lru_p.to_string(), &format!("{rnd_p:.3}"), &format!("{time_p:.1}")]);
+    let mut t = Table::new(&[
+        "sequence",
+        "LRU misses",
+        "random E[misses]",
+        "random E[cycles]",
+    ]);
+    t.row(&[
+        orig,
+        &lru_o.to_string(),
+        &format!("{rnd_o:.3}"),
+        &format!("{time_o:.1}"),
+    ]);
+    t.row(&[
+        pubbed,
+        &lru_p.to_string(),
+        &format!("{rnd_p:.3}"),
+        &format!("{time_p:.1}"),
+    ]);
     t.print();
 
     println!();
@@ -65,8 +80,15 @@ fn main() {
         time_p >= time_o
     );
 
-    assert_eq!((lru_o, lru_p), (4, 3), "LRU counter-example must match the paper");
+    assert_eq!(
+        (lru_o, lru_p),
+        (4, 3),
+        "LRU counter-example must match the paper"
+    );
     assert!(rnd_p >= rnd_o, "insertion must not reduce expected misses");
-    assert!(time_p > time_o, "insertion must strictly worsen expected time");
+    assert!(
+        time_p > time_o,
+        "insertion must strictly worsen expected time"
+    );
     println!("\nSection 2 counter-example: REPRODUCED");
 }

@@ -31,8 +31,18 @@ fn main() {
     let m_pub = pub_merge(&[seq("ABCA"), seq("ADEA")]).repeat(1000);
 
     let mut t = Table::new(&["sequence", "unique addrs", "R_TAC (ours)", "R_TAC (paper)"]);
-    t.row(&["{ABCA}^1000", "3", &runs(&m1).to_string(), "0 (fits in 4 ways)"]);
-    t.row(&["{ADEA}^1000", "3", &runs(&m2).to_string(), "0 (fits in 4 ways)"]);
+    t.row(&[
+        "{ABCA}^1000",
+        "3",
+        &runs(&m1).to_string(),
+        "0 (fits in 4 ways)",
+    ]);
+    t.row(&[
+        "{ADEA}^1000",
+        "3",
+        &runs(&m2).to_string(),
+        "0 (fits in 4 ways)",
+    ]);
     let r_pub1 = runs(&m_pub);
     t.row(&["pub: {ABCDEA}^1000", "5", &r_pub1.to_string(), "> 84 875"]);
     t.print();

@@ -39,7 +39,13 @@ fn main() {
     let program = mbcr_malardalen::bs::program();
 
     let mut t = Table::new(&[
-        "input", "R_pub(k)", "R_p+t(k)", "pWCET PUB", "pWCET P+T", "paper R(k)", "paper pWCET",
+        "input",
+        "R_pub(k)",
+        "R_p+t(k)",
+        "pWCET PUB",
+        "pWCET P+T",
+        "paper R(k)",
+        "paper pWCET",
     ]);
     let mut rows = Vec::new();
     let mut grew = 0usize;
@@ -74,7 +80,10 @@ fn main() {
         "\nTAC raised the run requirement beyond MBPTA convergence for {grew}/8 vectors \
          (paper: 6/8)."
     );
-    assert!(non_decreasing, "R_p+t = max(R_pub, R_tac) must never shrink");
+    assert!(
+        non_decreasing,
+        "R_p+t = max(R_pub, R_tac) must never shrink"
+    );
     assert!(grew >= 1, "TAC must bind for at least one vector");
 
     let path = write_csv(

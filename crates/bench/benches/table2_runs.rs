@@ -45,7 +45,12 @@ fn main() {
     let cfg = harness_config(0x7AB2);
 
     let mut t = Table::new(&[
-        "benchmark", "R_orig(k)", "R_pub(k)", "R_p+t(k)", "capped", "paper (orig/pub/p+t)",
+        "benchmark",
+        "R_orig(k)",
+        "R_pub(k)",
+        "R_p+t(k)",
+        "capped",
+        "paper (orig/pub/p+t)",
     ]);
     let mut rows = Vec::new();
     let mut tac_binds = 0usize;

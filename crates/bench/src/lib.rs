@@ -91,7 +91,10 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 pub fn banner(title: &str) {
     let line = "=".repeat(title.len() + 4);
     println!("\n{line}\n| {title} |\n{line}");
-    println!("(MBCR_SCALE = {}; campaigns are paper/10 at scale 1)\n", scale());
+    println!(
+        "(MBCR_SCALE = {}; campaigns are paper/10 at scale 1)\n",
+        scale()
+    );
 }
 
 /// Fixed-width table printer.

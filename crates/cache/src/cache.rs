@@ -166,7 +166,8 @@ impl Cache {
     #[inline]
     #[must_use]
     pub fn set_of(&self, line: LineId) -> usize {
-        self.placement.set_of(line, self.geometry.sets(), self.placement_seed)
+        self.placement
+            .set_of(line, self.geometry.sets(), self.placement_seed)
     }
 
     /// Accesses a byte address (convenience over [`access_line`]).
@@ -226,7 +227,9 @@ impl Cache {
     pub fn set_occupancy(&self, line: LineId) -> usize {
         let ways = self.geometry.ways() as usize;
         let base = self.set_of(line) * ways;
-        (0..ways).filter(|&w| self.tags[base + w] != INVALID).count()
+        (0..ways)
+            .filter(|&w| self.tags[base + w] != INVALID)
+            .count()
     }
 
     /// Replays a line stream from a flushed state and returns the stats of
@@ -274,7 +277,12 @@ mod tests {
     #[test]
     fn lru_section2_counterexample() {
         // 2-way single set, LRU: {ABCA} -> 4 misses, {ABACA} -> 3 misses.
-        let mut c = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
+        let mut c = Cache::new(
+            one_set(2),
+            PlacementPolicy::Modulo,
+            ReplacementPolicy::Lru,
+            0,
+        );
         assert_eq!(c.run_lines(&lines("ABCA")).misses, 4);
         assert_eq!(c.run_lines(&lines("ABACA")).misses, 3);
     }
@@ -284,8 +292,18 @@ mod tests {
         // 2-way single set. Sequence A B A C A:
         // LRU: A(m) B(m) A(h) C(m, evict B) A(h) -> 3 misses.
         // FIFO: A(m) B(m) A(h) C(m, evict A!) A(m, evict B) -> 4 misses.
-        let mut lru = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
-        let mut fifo = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Fifo, 0);
+        let mut lru = Cache::new(
+            one_set(2),
+            PlacementPolicy::Modulo,
+            ReplacementPolicy::Lru,
+            0,
+        );
+        let mut fifo = Cache::new(
+            one_set(2),
+            PlacementPolicy::Modulo,
+            ReplacementPolicy::Fifo,
+            0,
+        );
         assert_eq!(lru.run_lines(&lines("ABACA")).misses, 3);
         assert_eq!(fifo.run_lines(&lines("ABACA")).misses, 4);
     }
@@ -310,7 +328,12 @@ mod tests {
     fn lru_round_robin_thrashes() {
         // 2-way single set, 3 lines round-robin: LRU always evicts the line
         // about to be used -> every access misses.
-        let mut c = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
+        let mut c = Cache::new(
+            one_set(2),
+            PlacementPolicy::Modulo,
+            ReplacementPolicy::Lru,
+            0,
+        );
         let s = "ABC".parse::<SymSeq>().unwrap().repeat(20).to_lines();
         assert_eq!(c.run_lines(&s).misses, 60);
     }
@@ -320,8 +343,12 @@ mod tests {
         // Same pattern: random replacement keeps ~some hits in expectation.
         let mut hits = 0u64;
         for seed in 0..200 {
-            let mut c =
-                Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Random, seed);
+            let mut c = Cache::new(
+                one_set(2),
+                PlacementPolicy::Modulo,
+                ReplacementPolicy::Random,
+                seed,
+            );
             let s = "ABC".parse::<SymSeq>().unwrap().repeat(20).to_lines();
             hits += c.run_lines(&s).hits;
         }
@@ -380,7 +407,12 @@ mod tests {
 
     #[test]
     fn run_lines_reports_per_run_stats() {
-        let mut c = Cache::new(one_set(2), PlacementPolicy::Modulo, ReplacementPolicy::Lru, 0);
+        let mut c = Cache::new(
+            one_set(2),
+            PlacementPolicy::Modulo,
+            ReplacementPolicy::Lru,
+            0,
+        );
         let first = c.run_lines(&lines("AB"));
         let second = c.run_lines(&lines("AB"));
         assert_eq!(first, second, "run_lines flushes, so runs are identical");

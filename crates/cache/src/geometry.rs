@@ -80,13 +80,21 @@ impl CacheGeometry {
         }
         let way_bytes = u64::from(ways) * line_size;
         if !size_bytes.is_multiple_of(way_bytes) {
-            return Err(GeometryError::InvalidSetCount { size: size_bytes, way_bytes });
+            return Err(GeometryError::InvalidSetCount {
+                size: size_bytes,
+                way_bytes,
+            });
         }
         let sets = size_bytes / way_bytes;
         if !sets.is_power_of_two() {
             return Err(GeometryError::NotPowerOfTwo("sets", sets));
         }
-        Ok(Self { size_bytes, ways, line_size, sets })
+        Ok(Self {
+            size_bytes,
+            ways,
+            line_size,
+            sets,
+        })
     }
 
     /// The L1 geometry of the paper's evaluation platform: 4 KB, 2-way,
@@ -165,9 +173,18 @@ mod tests {
 
     #[test]
     fn rejects_zero_parameters() {
-        assert!(matches!(CacheGeometry::new(0, 2, 32), Err(GeometryError::Zero(_))));
-        assert!(matches!(CacheGeometry::new(4096, 0, 32), Err(GeometryError::Zero(_))));
-        assert!(matches!(CacheGeometry::new(4096, 2, 0), Err(GeometryError::Zero(_))));
+        assert!(matches!(
+            CacheGeometry::new(0, 2, 32),
+            Err(GeometryError::Zero(_))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 0, 32),
+            Err(GeometryError::Zero(_))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 2, 0),
+            Err(GeometryError::Zero(_))
+        ));
     }
 
     #[test]
@@ -175,7 +192,7 @@ mod tests {
         assert!(CacheGeometry::new(4096, 2, 24).is_err());
         assert!(CacheGeometry::new(4096 + 64, 2, 32).is_err()); // 65 sets
         assert!(CacheGeometry::new(96, 2, 32).is_err()); // fractional set count
-        // Odd associativity is fine as long as the set count is a power of 2.
+                                                         // Odd associativity is fine as long as the set count is a power of 2.
         assert!(CacheGeometry::new(3 * 64, 3, 32).is_ok());
     }
 

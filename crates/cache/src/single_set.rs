@@ -118,7 +118,10 @@ mod tests {
     fn group_within_ways_only_cold_misses() {
         let s = stream("ABCD", 100);
         let g = group(&[0, 1, 2, 3]);
-        assert_eq!(single_run_misses(&s, &g, 4, ReplacementPolicy::Random, 1), 4);
+        assert_eq!(
+            single_run_misses(&s, &g, 4, ReplacementPolicy::Random, 1),
+            4
+        );
         assert!((expected_misses(&s, &g, 4, 16, 1) - 4.0).abs() < 1e-12);
     }
 
@@ -154,7 +157,10 @@ mod tests {
         let g = group(&[0, 1, 2, 3, 4]);
         let lru = single_run_misses(&s, &g, 4, ReplacementPolicy::Lru, 0) as f64;
         let rnd = expected_misses(&s, &g, 4, 32, 7);
-        assert!(rnd < lru, "random {rnd} should beat LRU {lru} on round-robin");
+        assert!(
+            rnd < lru,
+            "random {rnd} should beat LRU {lru} on round-robin"
+        );
         // And still at least one miss per traversal.
         assert!(rnd >= n as f64);
     }
@@ -168,7 +174,10 @@ mod tests {
 
     #[test]
     fn empty_group_or_stream() {
-        assert_eq!(single_run_misses(&[], &group(&[0]), 2, ReplacementPolicy::Random, 0), 0);
+        assert_eq!(
+            single_run_misses(&[], &group(&[0]), 2, ReplacementPolicy::Random, 0),
+            0
+        );
         assert_eq!(
             single_run_misses(&stream("ABC", 5), &[], 2, ReplacementPolicy::Random, 0),
             0
@@ -179,7 +188,10 @@ mod tests {
     fn expected_misses_is_deterministic_in_seed() {
         let s = stream("ABCDEA", 50);
         let g = group(&[0, 1, 2, 3, 4]);
-        assert_eq!(expected_misses(&s, &g, 4, 8, 5), expected_misses(&s, &g, 4, 8, 5));
+        assert_eq!(
+            expected_misses(&s, &g, 4, 8, 5),
+            expected_misses(&s, &g, 4, 8, 5)
+        );
     }
 
     #[test]

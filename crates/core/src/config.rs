@@ -107,6 +107,26 @@ impl AnalysisConfig {
     pub fn builder() -> AnalysisConfigBuilder {
         AnalysisConfigBuilder::default()
     }
+
+    /// A stable digest over every knob that affects analysis *results*
+    /// (`threads` is excluded: campaigns are bit-identical at any thread
+    /// count). Batch drivers key cached artifacts on this, so re-runs with
+    /// an unchanged configuration can skip completed jobs while any knob
+    /// change invalidates them.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let canonical = format!(
+            "{:?}|{:?}|{:?}|{:?}|{}|{}|{}",
+            self.platform,
+            self.pub_cfg,
+            self.tac,
+            self.convergence,
+            self.exceedance,
+            self.seed,
+            self.max_campaign_runs,
+        );
+        mbcr_json::fnv1a(mbcr_json::FNV_OFFSET, &canonical)
+    }
 }
 
 impl Default for AnalysisConfig {
@@ -154,6 +174,15 @@ impl AnalysisConfigBuilder {
     #[must_use]
     pub fn platform(mut self, platform: PlatformConfig) -> Self {
         self.cfg.platform = platform;
+        self
+    }
+
+    /// Sets both L1 geometries at once — the knob a cache-geometry sweep
+    /// varies per job.
+    #[must_use]
+    pub fn l1_geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.cfg.platform.il1 = geometry;
+        self.cfg.platform.dl1 = geometry;
         self
     }
 
@@ -251,6 +280,32 @@ mod tests {
         let cfg = AnalysisConfig::builder().quick().build();
         assert!(cfg.convergence.max_runs <= 4_000);
         assert!(cfg.max_campaign_runs <= 3_000);
+    }
+
+    #[test]
+    fn digest_tracks_result_affecting_knobs_only() {
+        let base = AnalysisConfig::builder().seed(1).build();
+        let same = AnalysisConfig::builder().seed(1).threads(7).build();
+        assert_eq!(
+            base.digest(),
+            same.digest(),
+            "threads must not affect the digest"
+        );
+        let reseeded = AnalysisConfig::builder().seed(2).build();
+        assert_ne!(base.digest(), reseeded.digest());
+        let regeo = AnalysisConfig::builder()
+            .seed(1)
+            .l1_geometry(CacheGeometry::new(2048, 2, 32).unwrap())
+            .build();
+        assert_ne!(base.digest(), regeo.digest());
+    }
+
+    #[test]
+    fn l1_geometry_sets_both_caches() {
+        let g = CacheGeometry::new(2048, 4, 32).unwrap();
+        let cfg = AnalysisConfig::builder().l1_geometry(g).build();
+        assert_eq!(cfg.platform.il1, g);
+        assert_eq!(cfg.platform.dl1, g);
     }
 
     #[test]

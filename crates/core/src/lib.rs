@@ -79,7 +79,10 @@ pub mod prelude {
         MultipathAnalysis, OriginalAnalysis, PubTacAnalysis, TacTuning,
     };
     pub use mbcr_cache::{Cache, CacheGeometry, PlacementPolicy, ReplacementPolicy};
-    pub use mbcr_cpu::{campaign, campaign_parallel, LatencyConfig, Platform, PlatformConfig};
+    pub use mbcr_cpu::{
+        campaign, campaign_parallel, campaign_with, LatencyConfig, Parallelism, Platform,
+        PlatformConfig,
+    };
     pub use mbcr_evt::{ConvergenceConfig, Dither, Eccdf, FitMethod, Pwcet, TailConfig};
     pub use mbcr_ir::{execute, Expr, Inputs, Program, ProgramBuilder, Stmt};
     pub use mbcr_pub::{pub_transform, PubConfig};

@@ -152,11 +152,13 @@ pub fn analyze_pub_tac(
     let dl1_stream = run.trace.data_lines(cfg.platform.dl1.line_size());
     let tac_il1 = analyze_lines(
         &il1_stream,
-        &cfg.tac.for_cache(&cfg.platform.il1, derive_seed(cfg.seed, 1)),
+        &cfg.tac
+            .for_cache(&cfg.platform.il1, derive_seed(cfg.seed, 1)),
     );
     let tac_dl1 = analyze_lines(
         &dl1_stream,
-        &cfg.tac.for_cache(&cfg.platform.dl1, derive_seed(cfg.seed, 2)),
+        &cfg.tac
+            .for_cache(&cfg.platform.dl1, derive_seed(cfg.seed, 2)),
     );
     let r_tac = tac_il1.runs_required.max(tac_dl1.runs_required);
 
@@ -217,7 +219,10 @@ pub fn analyze_multipath(
     inputs: &[(String, Inputs)],
     cfg: &AnalysisConfig,
 ) -> Result<MultipathAnalysis, AnalyzeError> {
-    assert!(!inputs.is_empty(), "analyze_multipath needs at least one input");
+    assert!(
+        !inputs.is_empty(),
+        "analyze_multipath needs at least one input"
+    );
     let mut per_input = Vec::with_capacity(inputs.len());
     for (name, input) in inputs {
         let analysis = analyze_pub_tac(program, input, cfg)?;
@@ -228,7 +233,11 @@ pub fn analyze_multipath(
         .map(|(n, a)| (n.clone(), a.pwcet_pub_tac))
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("non-empty inputs");
-    Ok(MultipathAnalysis { per_input, best_pwcet, best_input })
+    Ok(MultipathAnalysis {
+        per_input,
+        best_pwcet,
+        best_input,
+    })
 }
 
 #[cfg(test)]
@@ -255,14 +264,21 @@ mod tests {
         ));
         b.push(Stmt::if_(
             Expr::var(x).gt(Expr::c(0)),
-            vec![Stmt::Assign(acc, Expr::var(acc).add(Expr::load(big, Expr::c(7))))],
+            vec![Stmt::Assign(
+                acc,
+                Expr::var(acc).add(Expr::load(big, Expr::c(7))),
+            )],
             vec![Stmt::Assign(acc, Expr::var(acc).sub(Expr::c(1)))],
         ));
         (b.build().unwrap(), x)
     }
 
     fn quick_cfg() -> AnalysisConfig {
-        AnalysisConfig::builder().seed(99).quick().threads(2).build()
+        AnalysisConfig::builder()
+            .seed(99)
+            .quick()
+            .threads(2)
+            .build()
     }
 
     #[test]
@@ -291,7 +307,11 @@ mod tests {
     #[test]
     fn campaign_cap_is_honoured() {
         let (p, x) = demo_program();
-        let cfg = AnalysisConfig::builder().seed(3).quick().max_campaign_runs(800).build();
+        let cfg = AnalysisConfig::builder()
+            .seed(3)
+            .quick()
+            .max_campaign_runs(800)
+            .build();
         let a = analyze_pub_tac(&p, &Inputs::new().with_var(x, 1), &cfg).unwrap();
         assert!(a.campaign_runs <= 800);
         if a.r_pub_tac > 800 {
@@ -329,3 +349,33 @@ mod tests {
         assert_eq!(a.r_pub, b.r_pub);
     }
 }
+
+mbcr_json::impl_serialize_struct!(OriginalAnalysis {
+    r_orig,
+    converged,
+    pwcet_at_exceedance,
+    pwcet,
+    iid,
+    trace_len,
+});
+mbcr_json::impl_serialize_struct!(PubTacAnalysis {
+    pub_report,
+    r_pub,
+    tac_il1,
+    tac_dl1,
+    r_tac,
+    r_pub_tac,
+    campaign_runs,
+    campaign_capped,
+    pwcet_pub,
+    pwcet_pub_tac,
+    pwcet,
+    iid,
+    sample,
+    trace_len,
+});
+mbcr_json::impl_serialize_struct!(MultipathAnalysis {
+    per_input,
+    best_pwcet,
+    best_input
+});

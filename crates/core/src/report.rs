@@ -74,14 +74,21 @@ pub fn render_report(name: &str, a: &PubTacAnalysis) -> String {
 pub fn render_curve(a: &PubTacAnalysis, width: usize, decades: u32) -> String {
     let width = width.max(20);
     let lo = a.pwcet.eccdf().min();
-    let hi = a.pwcet.quantile(10f64.powi(-(decades as i32))).max(lo + 1.0);
+    let hi = a
+        .pwcet
+        .quantile(10f64.powi(-(decades as i32)))
+        .max(lo + 1.0);
     let col = |x: f64| {
-        (((x - lo) / (hi - lo)) * (width as f64 - 1.0)).round().clamp(0.0, width as f64 - 1.0)
-            as usize
+        (((x - lo) / (hi - lo)) * (width as f64 - 1.0))
+            .round()
+            .clamp(0.0, width as f64 - 1.0) as usize
     };
     let n = a.pwcet.eccdf().len() as f64;
     let mut out = String::new();
-    let _ = writeln!(out, "exceedance   execution time ({lo:.0} .. {hi:.0} cycles)");
+    let _ = writeln!(
+        out,
+        "exceedance   execution time ({lo:.0} .. {hi:.0} cycles)"
+    );
     for d in 0..=decades {
         let p = 10f64.powi(-(d as i32));
         // Probability 1 is not a quantile of interest; start at 1e-1-ish.
@@ -92,7 +99,11 @@ pub fn render_curve(a: &PubTacAnalysis, width: usize, decades: u32) -> String {
         }
         let c = col(a.pwcet.quantile(p));
         row[c] = b'#';
-        let label = if d == 0 { "  5e-1".to_string() } else { format!("  1e-{d:<2}") };
+        let label = if d == 0 {
+            "  5e-1".to_string()
+        } else {
+            format!("  1e-{d:<2}")
+        };
         let _ = writeln!(out, "{label:>7} |{}", String::from_utf8_lossy(&row));
     }
     out.push_str("         (o = measured ECCDF, # = fitted pWCET curve)\n");
@@ -114,7 +125,10 @@ mod tests {
             Expr::c(0),
             Expr::c(16),
             16,
-            vec![Stmt::Assign(y, Expr::var(y).add(Expr::load(arr, Expr::var(i).mul(Expr::c(4)))))],
+            vec![Stmt::Assign(
+                y,
+                Expr::var(y).add(Expr::load(arr, Expr::var(i).mul(Expr::c(4)))),
+            )],
         ));
         b.push(Stmt::if_(
             Expr::var(x).gt(Expr::c(0)),

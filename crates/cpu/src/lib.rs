@@ -63,7 +63,13 @@ impl LatencyConfig {
     /// "knees" the paper studies.
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { issue_cycles: 0, il1_hit: 1, il1_miss: 100, dl1_hit: 1, dl1_miss: 100 }
+        Self {
+            issue_cycles: 0,
+            il1_hit: 1,
+            il1_miss: 100,
+            dl1_hit: 1,
+            dl1_miss: 100,
+        }
     }
 }
 
@@ -141,8 +147,18 @@ impl Platform {
     #[must_use]
     pub fn new(cfg: &PlatformConfig, seed: u64) -> Self {
         Self {
-            il1: Cache::new(cfg.il1, cfg.placement, cfg.replacement, derive_seed(seed, 0)),
-            dl1: Cache::new(cfg.dl1, cfg.placement, cfg.replacement, derive_seed(seed, 1)),
+            il1: Cache::new(
+                cfg.il1,
+                cfg.placement,
+                cfg.replacement,
+                derive_seed(seed, 0),
+            ),
+            dl1: Cache::new(
+                cfg.dl1,
+                cfg.placement,
+                cfg.replacement,
+                derive_seed(seed, 1),
+            ),
             latency: cfg.latency,
         }
     }
@@ -228,6 +244,55 @@ pub fn campaign_slice(
         .collect()
 }
 
+/// Campaign parallelism knobs, exposed so batch drivers (the sweep engine)
+/// can trade scheduling overhead against intra-campaign parallelism
+/// explicitly instead of relying on hard-coded thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads per campaign (clamped to at least 1).
+    pub threads: usize,
+    /// Campaigns shorter than this run serially: below a few hundred runs
+    /// the thread spawn cost dominates the simulation itself.
+    pub min_parallel_runs: usize,
+}
+
+impl Parallelism {
+    /// One campaign per core (the one-shot CLI default).
+    #[must_use]
+    pub fn per_core() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self {
+            threads,
+            min_parallel_runs: 256,
+        }
+    }
+
+    /// Strictly serial campaigns — what a batch engine wants when it already
+    /// runs one job per core.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_parallel_runs: usize::MAX,
+        }
+    }
+
+    /// A fixed thread count with the default serial cut-off.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            min_parallel_runs: 256,
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::per_core()
+    }
+}
+
 /// Parallel version of [`campaign`]: same per-run seeds, so the output is
 /// bit-identical to the serial version, in run-index order.
 ///
@@ -241,16 +306,35 @@ pub fn campaign_parallel(
     master_seed: u64,
     threads: usize,
 ) -> Vec<u64> {
-    let threads = threads.max(1).min(runs.max(1));
-    if threads <= 1 || runs < 256 {
+    campaign_with(
+        cfg,
+        trace,
+        runs,
+        master_seed,
+        &Parallelism::with_threads(threads),
+    )
+}
+
+/// [`campaign`] under explicit [`Parallelism`] knobs. Output is
+/// bit-identical for every knob setting.
+#[must_use]
+pub fn campaign_with(
+    cfg: &PlatformConfig,
+    trace: &Trace,
+    runs: usize,
+    master_seed: u64,
+    par: &Parallelism,
+) -> Vec<u64> {
+    let threads = par.threads.max(1).min(runs.max(1));
+    if threads <= 1 || runs < par.min_parallel_runs.max(2) {
         return campaign(cfg, trace, runs, master_seed);
     }
     let mut out = vec![0u64; runs];
     let chunk = runs.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
             let start = t * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut platform = Platform::new(cfg, master_seed);
                 for (off, s) in slot.iter_mut().enumerate() {
                     let i = (start + off) as u64;
@@ -258,8 +342,7 @@ pub fn campaign_parallel(
                 }
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
     out
 }
 
@@ -285,7 +368,11 @@ mod tests {
         let cfg = PlatformConfig::paper_default();
         // Footprint > 2 ways in some sets with non-trivial probability:
         // 40 distinct lines in 64 sets.
-        let s: SymSeq = ('A'..='Z').chain('A'..='N').collect::<String>().parse().unwrap();
+        let s: SymSeq = ('A'..='Z')
+            .chain('A'..='N')
+            .collect::<String>()
+            .parse()
+            .unwrap();
         let trace = s.repeat(30).to_trace(32);
         let times = campaign(&cfg, &trace, 50, 9);
         let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
@@ -328,12 +415,38 @@ mod tests {
     }
 
     #[test]
+    fn campaign_with_knobs_matches_serial() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGHIJ", 20);
+        let serial = campaign(&cfg, &trace, 400, 5);
+        assert_eq!(
+            campaign_with(&cfg, &trace, 400, 5, &Parallelism::serial()),
+            serial
+        );
+        assert_eq!(
+            campaign_with(
+                &cfg,
+                &trace,
+                400,
+                5,
+                &Parallelism {
+                    threads: 4,
+                    min_parallel_runs: 100
+                }
+            ),
+            serial
+        );
+    }
+
+    #[test]
     fn run_separates_instruction_and_data() {
         // One instruction fetch and one read to the same line id: they go to
         // different caches, so both miss.
         let cfg = PlatformConfig::paper_default();
         let mut p = Platform::new(&cfg, 1);
-        let t: Trace = [Access::fetch(0x100), Access::read(0x100)].into_iter().collect();
+        let t: Trace = [Access::fetch(0x100), Access::read(0x100)]
+            .into_iter()
+            .collect();
         let cycles = p.run_randomized(&t, 5);
         assert_eq!(cycles, 200, "two cold misses at 100 cycles each");
         assert_eq!(p.il1().stats().misses, 1);
@@ -356,7 +469,9 @@ mod tests {
         let mut cfg = PlatformConfig::paper_default();
         cfg.latency.issue_cycles = 3;
         let mut p = Platform::new(&cfg, 1);
-        let t: Trace = [Access::fetch(0x0), Access::fetch(0x4)].into_iter().collect();
+        let t: Trace = [Access::fetch(0x0), Access::fetch(0x4)]
+            .into_iter()
+            .collect();
         // First fetch misses (100), second hits same line (1), plus 2*3 issue.
         assert_eq!(p.run_randomized(&t, 5), 100 + 1 + 6);
     }

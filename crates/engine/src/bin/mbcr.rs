@@ -1,0 +1,386 @@
+//! `mbcr` — the command-line front end of the batch analysis engine.
+//!
+//! ```text
+//! mbcr list-benchmarks
+//! mbcr analyze bs --seed 42
+//! mbcr sweep --benchmarks bs,cnt --geometries 4096:2:32,2048:2:32 --seeds 1,2
+//! mbcr sweep --spec campaign.json --out mbcr-runs/campaign
+//! mbcr report --out mbcr-runs/campaign
+//! ```
+//!
+//! Argument parsing is hand-rolled: the build environment is offline, so
+//! no `clap`.
+
+use std::process::ExitCode;
+
+use mbcr::{analyze_pub_tac, render_report, AnalysisConfig};
+use mbcr_engine::{
+    aggregate_rows, render_rows, run_sweep, AnalysisKind, ArtifactStore, EngineError, GeometrySpec,
+    InputSelection, JobSummary, Registry, RunOptions, SweepSpec,
+};
+use mbcr_json::{Json, Serialize};
+
+const USAGE: &str = "mbcr — batch PUB + TAC + MBPTA analysis engine (DAC'18 reproduction)
+
+USAGE:
+    mbcr <command> [options]
+
+COMMANDS:
+    list-benchmarks     List the registered benchmarks and their input vectors
+    analyze <bench>     One PUB + TAC + MBPTA analysis, report on stdout
+    sweep               Run a batch campaign into an artifact store
+    report              Re-render the Table 2 summary of an existing run
+    help                Show this message
+
+ANALYZE OPTIONS:
+    --input NAME        Input vector (default: the benchmark default)
+    --geometry S:W:L    Cache geometry, e.g. 4096:2:32 (default: paper)
+    --seed N            Master seed (default: 42)
+    --exceedance P      Reporting exceedance probability (default: 1e-12)
+    --full              Paper-scale campaigns instead of the quick preset
+    --json PATH         Also write the full analysis as JSON
+
+SWEEP OPTIONS:
+    --spec FILE         Load the campaign from a JSON spec file
+    --name NAME         Campaign name (default: 'sweep')
+    --benchmarks A,B    Benchmarks (default: the whole suite)
+    --inputs SEL        'default', 'all', or comma-separated vector names
+    --geometries G,...  Geometries as SIZE:WAYS:LINE or 'paper'
+    --seeds N,...       Master seeds (default: 1816360818)
+    --analyses K,...    original, pub_tac, multipath (default: all three)
+    --max-campaign-runs N  Cap measurement campaigns
+    --full              Paper-scale campaigns instead of the quick preset
+    --out DIR           Artifact store directory (default: mbcr-runs/<name>)
+    --threads N         Worker threads (default: one per core)
+    --force             Re-execute jobs even when cached artifacts exist
+
+REPORT OPTIONS:
+    --out DIR           Artifact store directory to summarize
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("mbcr: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<ExitCode, EngineError> {
+    match args.first().map(String::as_str) {
+        Some("list-benchmarks") => list_benchmarks(),
+        Some("analyze") => analyze(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
+        Some("report") => report(&args[1..]),
+        Some("help" | "--help" | "-h") | None => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => {
+            eprintln!("mbcr: unknown command '{other}'\n");
+            print!("{USAGE}");
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+/// Pulls `--flag value` pairs and bare `--switch`es out of an argument
+/// list, leaving positionals.
+struct Flags<'a> {
+    args: &'a [String],
+    consumed: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Self {
+            args,
+            consumed: vec![false; args.len()],
+        }
+    }
+
+    fn value(&mut self, flag: &str) -> Result<Option<&'a str>, EngineError> {
+        for i in 0..self.args.len() {
+            if self.args[i] == flag && !self.consumed[i] {
+                let value = self
+                    .args
+                    .get(i + 1)
+                    .ok_or_else(|| EngineError::Spec(format!("{flag} needs a value")))?;
+                self.consumed[i] = true;
+                self.consumed[i + 1] = true;
+                return Ok(Some(value));
+            }
+        }
+        Ok(None)
+    }
+
+    fn switch(&mut self, flag: &str) -> bool {
+        for i in 0..self.args.len() {
+            if self.args[i] == flag && !self.consumed[i] {
+                self.consumed[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn positionals(&self) -> Vec<&'a str> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|&(i, a)| !self.consumed[i] && !a.starts_with("--"))
+            .map(|(_, a)| a.as_str())
+            .collect()
+    }
+
+    fn reject_unknown(&self) -> Result<(), EngineError> {
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.consumed[i] && a.starts_with("--") {
+                return Err(EngineError::Spec(format!("unknown option '{a}'")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_u64(flag: &str, text: &str) -> Result<u64, EngineError> {
+    text.parse()
+        .map_err(|_| EngineError::Spec(format!("{flag}: '{text}' is not an integer")))
+}
+
+fn list_benchmarks() -> Result<ExitCode, EngineError> {
+    let registry = Registry::malardalen();
+    println!("{:<12} {:<26} inputs", "name", "class");
+    println!("{}", "-".repeat(60));
+    for b in registry.iter() {
+        let vectors: Vec<&str> = b.input_vectors.iter().map(|v| v.name.as_str()).collect();
+        let inputs = if vectors.is_empty() {
+            "default".to_string()
+        } else {
+            vectors.join(", ")
+        };
+        println!("{:<12} {:<26} {inputs}", b.name, format!("{:?}", b.class));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn analyze(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let input = flags.value("--input")?.unwrap_or("default").to_string();
+    let geometry = match flags.value("--geometry")? {
+        Some(text) => GeometrySpec::parse(text)?,
+        None => GeometrySpec::paper_l1(),
+    };
+    let seed = match flags.value("--seed")? {
+        Some(text) => parse_u64("--seed", text)?,
+        None => 42,
+    };
+    let exceedance = match flags.value("--exceedance")? {
+        Some(text) => text
+            .parse::<f64>()
+            .ok()
+            .filter(|p| *p > 0.0 && *p < 1.0)
+            .ok_or_else(|| EngineError::Spec(format!("--exceedance: bad value '{text}'")))?,
+        None => 1e-12,
+    };
+    let full = flags.switch("--full");
+    let json_path = flags.value("--json")?.map(str::to_string);
+    flags.reject_unknown()?;
+    let positionals = flags.positionals();
+    let [bench_name] = positionals.as_slice() else {
+        return Err(EngineError::Spec(
+            "analyze needs exactly one benchmark name".into(),
+        ));
+    };
+
+    let registry = Registry::malardalen();
+    let benchmark = registry
+        .get(bench_name)
+        .ok_or_else(|| EngineError::UnknownBenchmark((*bench_name).to_string()))?;
+    let inputs = if input == "default" {
+        &benchmark.default_input
+    } else {
+        benchmark
+            .input_vectors
+            .iter()
+            .find(|v| v.name == input)
+            .map(|v| &v.inputs)
+            .ok_or_else(|| EngineError::UnknownInput {
+                benchmark: benchmark.name.to_string(),
+                input: input.clone(),
+            })?
+    };
+    let mut builder = AnalysisConfig::builder()
+        .seed(seed)
+        .l1_geometry(geometry.geometry()?)
+        .exceedance(exceedance);
+    if !full {
+        builder = builder.quick();
+    }
+    let cfg = builder.build();
+    let analysis = analyze_pub_tac(&benchmark.program, inputs, &cfg)
+        .map_err(|e| EngineError::Analysis(e.to_string()))?;
+    print!("{}", render_report(benchmark.name, &analysis));
+    if let Some(path) = json_path {
+        std::fs::write(&path, analysis.to_json().to_pretty())?;
+        println!("\nfull analysis written to {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn split_list(text: &str) -> Vec<String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn spec_from_flags(flags: &mut Flags<'_>) -> Result<SweepSpec, EngineError> {
+    let mut spec = match flags.value("--spec")? {
+        Some(path) => SweepSpec::load(path)?,
+        None => SweepSpec::new("sweep"),
+    };
+    if let Some(name) = flags.value("--name")? {
+        spec.name = name.to_string();
+    }
+    if let Some(benchmarks) = flags.value("--benchmarks")? {
+        spec.benchmarks = split_list(benchmarks);
+    }
+    if let Some(inputs) = flags.value("--inputs")? {
+        spec.inputs = match inputs {
+            "default" => InputSelection::Default,
+            "all" => InputSelection::All,
+            names => InputSelection::Named(split_list(names)),
+        };
+    }
+    if let Some(geometries) = flags.value("--geometries")? {
+        spec.geometries = split_list(geometries)
+            .iter()
+            .map(|g| GeometrySpec::parse(g))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(seeds) = flags.value("--seeds")? {
+        spec.seeds = split_list(seeds)
+            .iter()
+            .map(|s| parse_u64("--seeds", s))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(analyses) = flags.value("--analyses")? {
+        spec.analyses = split_list(analyses)
+            .iter()
+            .map(|a| AnalysisKind::parse(a))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(cap) = flags.value("--max-campaign-runs")? {
+        spec.max_campaign_runs = Some(parse_u64("--max-campaign-runs", cap)? as usize);
+    }
+    if flags.switch("--full") {
+        spec.quick = false;
+    }
+    Ok(spec)
+}
+
+fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let spec = spec_from_flags(&mut flags)?;
+    let out = flags
+        .value("--out")?
+        .map_or_else(|| format!("mbcr-runs/{}", spec.name), str::to_string);
+    let threads = match flags.value("--threads")? {
+        Some(text) => parse_u64("--threads", text)? as usize,
+        None => 0,
+    };
+    let force = flags.switch("--force");
+    flags.reject_unknown()?;
+    if let Some(extra) = flags.positionals().first() {
+        return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
+    }
+
+    let store = ArtifactStore::open(&out)?;
+    let registry = Registry::malardalen();
+    println!(
+        "sweep '{}': {} benchmark(s) × {} geometr(ies) × {} seed(s) -> {}",
+        spec.name,
+        if spec.benchmarks.is_empty() {
+            registry.len()
+        } else {
+            spec.benchmarks.len()
+        },
+        spec.geometries.len(),
+        spec.seeds.len(),
+        store.root().display(),
+    );
+    let outcome = run_sweep(&spec, &registry, &store, &RunOptions { threads, force })?;
+    print!("{}", render_rows(&outcome.rows));
+    println!(
+        "\n{} executed, {} cached, {} failed in {:.1}s ({} artifacts under {})",
+        outcome.executed,
+        outcome.skipped,
+        outcome.failed,
+        outcome.elapsed.as_secs_f64(),
+        outcome.records.len(),
+        store.root().display(),
+    );
+    for record in outcome.records.iter().filter(|r| r.error.is_some()) {
+        eprintln!(
+            "failed: {} — {}",
+            record.label,
+            record.error.as_deref().unwrap_or("")
+        );
+    }
+    Ok(if outcome.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn report(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let out = flags
+        .value("--out")?
+        .ok_or_else(|| EngineError::Spec("report needs --out DIR".into()))?
+        .to_string();
+    flags.reject_unknown()?;
+
+    let store = ArtifactStore::open(&out)?;
+    let manifest = store
+        .load_manifest()
+        .ok_or_else(|| EngineError::Spec(format!("no manifest under '{out}'")))?;
+    let spec_name = manifest
+        .get("spec")
+        .and_then(|s| s.get("name"))
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let empty: [Json; 0] = [];
+    let jobs: &[Json] = manifest
+        .get("jobs")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let summaries: Vec<JobSummary> = jobs
+        .iter()
+        .filter_map(|j| j.get("summary").and_then(JobSummary::from_json))
+        .collect();
+    let counts = |k: &str| {
+        manifest
+            .get("counts")
+            .and_then(|c| c.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    println!(
+        "run '{}' at {}: {} jobs ({} executed, {} cached, {} failed)\n",
+        spec_name,
+        store.root().display(),
+        jobs.len(),
+        counts("executed"),
+        counts("skipped"),
+        counts("failed"),
+    );
+    print!("{}", render_rows(&aggregate_rows(&summaries)));
+    Ok(ExitCode::SUCCESS)
+}

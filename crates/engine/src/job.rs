@@ -1,0 +1,334 @@
+//! Jobs: the unit of scheduling, keying and caching.
+//!
+//! A [`JobSpec`] is one analysis of one benchmark under one geometry and
+//! seed. Its [`key`](JobSpec::key) is a content hash over everything that
+//! affects the result — benchmark, input, kind, and the full
+//! [`AnalysisConfig` digest](mbcr::AnalysisConfig::digest) — so a cached
+//! artifact is reusable exactly when a re-run would reproduce it
+//! bit-for-bit, and any knob change invalidates it.
+
+use mbcr_json::{fnv1a, impl_serialize_struct, Json, FNV_OFFSET};
+use mbcr_rng::derive_seed;
+
+use crate::{AnalysisKind, GeometrySpec};
+
+/// Schema tag baked into job keys and artifacts; bump on layout changes to
+/// invalidate old artifact stores wholesale.
+pub const SCHEMA: &str = "mbcr-engine/1";
+
+/// What one job computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// Plain MBPTA on the original program, default input.
+    Original,
+    /// PUB + TAC + MBPTA on the pubbed path selected by the named input.
+    PubTac {
+        /// Input-vector name (`"default"` for the benchmark default).
+        input: String,
+    },
+    /// Corollary 2 min-combination over the cell's `PubTac` results.
+    MultipathCombine,
+}
+
+impl JobKind {
+    /// Stable spelling for keys, manifests and reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Original => AnalysisKind::Original.name(),
+            JobKind::PubTac { .. } => AnalysisKind::PubTac.name(),
+            JobKind::MultipathCombine => AnalysisKind::Multipath.name(),
+        }
+    }
+
+    /// The input-vector name, when the kind has one.
+    #[must_use]
+    pub fn input(&self) -> Option<&str> {
+        match self {
+            JobKind::PubTac { input } => Some(input),
+            _ => None,
+        }
+    }
+}
+
+/// One schedulable analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name (resolved against the registry at execution time).
+    pub benchmark: String,
+    /// Cache geometry of this cell.
+    pub geometry: GeometrySpec,
+    /// The sweep's master seed for this cell.
+    pub master_seed: u64,
+    /// What to compute.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// Human-readable identity, unique within a sweep
+    /// (`"pub_tac/bs:v3/4096B-2w-32B/s42"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        let input = self
+            .kind
+            .input()
+            .map(|i| format!(":{i}"))
+            .unwrap_or_default();
+        format!(
+            "{}/{}{}/{}/s{}",
+            self.kind.name(),
+            self.benchmark,
+            input,
+            self.geometry.label(),
+            self.master_seed
+        )
+    }
+
+    /// The job's campaign seed: derived from the master seed and the job
+    /// identity with [`mbcr_rng::derive_seed`], so every job draws a
+    /// decorrelated, reproducible seed stream no matter how the sweep is
+    /// scheduled or partitioned.
+    #[must_use]
+    pub fn job_seed(&self) -> u64 {
+        let identity = format!(
+            "{}/{}{}{}",
+            self.kind.name(),
+            self.benchmark,
+            self.kind
+                .input()
+                .map(|i| format!(":{i}"))
+                .unwrap_or_default(),
+            self.geometry.label(),
+        );
+        derive_seed(self.master_seed, fnv1a(FNV_OFFSET, &identity))
+    }
+
+    /// Content-hash artifact key: 32 hex chars over the schema tag, the
+    /// job label and `config_digest`. Two jobs share a key exactly when
+    /// they would produce identical artifacts.
+    #[must_use]
+    pub fn key(&self, config_digest: u64) -> String {
+        let canonical = format!("{SCHEMA}|{}|{config_digest:016x}", self.label());
+        let lo = fnv1a(FNV_OFFSET, &canonical);
+        let hi = fnv1a(0x6C62_272E_07BB_0142, &canonical);
+        format!("{hi:016x}{lo:016x}")
+    }
+}
+
+/// The DAG a [`crate::SweepSpec`] expands into: `deps[i]` lists the job
+/// indices that must complete before job `i` may run (multipath combine
+/// jobs depend on their cell's `PubTac` jobs).
+#[derive(Debug, Clone, Default)]
+pub struct JobGraph {
+    /// The jobs, in deterministic expansion order.
+    pub jobs: Vec<JobSpec>,
+    /// Dependency edges, parallel to `jobs`.
+    pub deps: Vec<Vec<usize>>,
+}
+
+impl JobGraph {
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the graph is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// The flat, numeric summary of one finished job — what the manifest, the
+/// Table 2 aggregation and downstream combine jobs consume without
+/// re-reading full artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// Artifact key.
+    pub key: String,
+    /// Job kind name.
+    pub kind: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Input-vector name, when the kind has one.
+    pub input: Option<String>,
+    /// Geometry label.
+    pub geometry: String,
+    /// The sweep's master seed.
+    pub master_seed: u64,
+    /// The derived per-job campaign seed.
+    pub job_seed: u64,
+    /// `R_orig` (original jobs).
+    pub r_orig: Option<u64>,
+    /// `R_pub` (pub_tac jobs).
+    pub r_pub: Option<u64>,
+    /// `R_tac` (pub_tac jobs).
+    pub r_tac: Option<u64>,
+    /// `R_pub+tac` (pub_tac jobs).
+    pub r_pub_tac: Option<u64>,
+    /// Executed campaign length (pub_tac jobs).
+    pub campaign_runs: Option<u64>,
+    /// Whether the campaign hit the configured cap.
+    pub campaign_capped: Option<bool>,
+    /// Whether MBPTA convergence was reached (original jobs).
+    pub converged: Option<bool>,
+    /// Headline pWCET at the spec's exceedance probability.
+    pub pwcet: f64,
+    /// PUB-only pWCET (pub_tac jobs — the paper's "PUB" column).
+    pub pwcet_pub: Option<f64>,
+    /// Input achieving the combined minimum (multipath jobs).
+    pub best_input: Option<String>,
+    /// Replayed trace length.
+    pub trace_len: Option<u64>,
+}
+
+impl_serialize_struct!(JobSummary {
+    key,
+    kind,
+    benchmark,
+    input,
+    geometry,
+    master_seed,
+    job_seed,
+    r_orig,
+    r_pub,
+    r_tac,
+    r_pub_tac,
+    campaign_runs,
+    campaign_capped,
+    converged,
+    pwcet,
+    pwcet_pub,
+    best_input,
+    trace_len,
+});
+
+impl JobSummary {
+    /// An all-`None` summary for `kind` (callers fill in what they have).
+    #[must_use]
+    pub fn empty(key: String, job: &JobSpec) -> Self {
+        Self {
+            key,
+            kind: job.kind.name().to_string(),
+            benchmark: job.benchmark.clone(),
+            input: job.kind.input().map(str::to_string),
+            geometry: job.geometry.label(),
+            master_seed: job.master_seed,
+            job_seed: job.job_seed(),
+            r_orig: None,
+            r_pub: None,
+            r_tac: None,
+            r_pub_tac: None,
+            campaign_runs: None,
+            campaign_capped: None,
+            converged: None,
+            pwcet: f64::NAN,
+            pwcet_pub: None,
+            best_input: None,
+            trace_len: None,
+        }
+    }
+
+    /// Reads a summary back from its JSON form.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let str_field = |k: &str| v.get(k).and_then(Json::as_str).map(str::to_string);
+        let opt_u64 = |k: &str| v.get(k).and_then(Json::as_u64);
+        Some(Self {
+            key: str_field("key")?,
+            kind: str_field("kind")?,
+            benchmark: str_field("benchmark")?,
+            input: str_field("input"),
+            geometry: str_field("geometry")?,
+            master_seed: opt_u64("master_seed")?,
+            job_seed: opt_u64("job_seed")?,
+            r_orig: opt_u64("r_orig"),
+            r_pub: opt_u64("r_pub"),
+            r_tac: opt_u64("r_tac"),
+            r_pub_tac: opt_u64("r_pub_tac"),
+            campaign_runs: opt_u64("campaign_runs"),
+            campaign_capped: v.get("campaign_capped").and_then(Json::as_bool),
+            converged: v.get("converged").and_then(Json::as_bool),
+            pwcet: v.get("pwcet").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            pwcet_pub: v.get("pwcet_pub").and_then(Json::as_f64),
+            best_input: str_field("best_input"),
+            trace_len: opt_u64("trace_len"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(kind: JobKind) -> JobSpec {
+        JobSpec {
+            benchmark: "bs".into(),
+            geometry: GeometrySpec::paper_l1(),
+            master_seed: 42,
+            kind,
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_per_dimension() {
+        let a = job(JobKind::PubTac { input: "v1".into() });
+        let mut b = a.clone();
+        b.benchmark = "crc".into();
+        let mut c = a.clone();
+        c.geometry = GeometrySpec {
+            size_bytes: 2048,
+            ways: 2,
+            line_size: 32,
+        };
+        let mut d = a.clone();
+        d.kind = JobKind::PubTac { input: "v3".into() };
+        let labels: std::collections::HashSet<String> =
+            [&a, &b, &c, &d].iter().map(|j| j.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn job_seed_is_deterministic_and_identity_sensitive() {
+        let a = job(JobKind::Original);
+        assert_eq!(a.job_seed(), a.job_seed());
+        let mut other_bench = a.clone();
+        other_bench.benchmark = "fir".into();
+        assert_ne!(a.job_seed(), other_bench.job_seed());
+        let mut other_seed = a.clone();
+        other_seed.master_seed = 43;
+        assert_ne!(a.job_seed(), other_seed.job_seed());
+    }
+
+    #[test]
+    fn key_tracks_config_digest() {
+        let a = job(JobKind::Original);
+        assert_eq!(a.key(1), a.key(1));
+        assert_ne!(a.key(1), a.key(2));
+        assert_eq!(a.key(7).len(), 32);
+        assert!(a.key(7).bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn summary_json_roundtrip() {
+        let j = job(JobKind::PubTac { input: "v1".into() });
+        let mut s = JobSummary::empty(j.key(9), &j);
+        s.r_pub = Some(300);
+        s.r_tac = Some(17_000);
+        s.pwcet = 12_345.5;
+        s.campaign_capped = Some(true);
+        let text = mbcr_json::Serialize::to_json(&s).to_compact();
+        let back = JobSummary::from_json(&mbcr_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn nan_pwcet_survives_roundtrip_as_nan() {
+        let j = job(JobKind::Original);
+        let s = JobSummary::empty(j.key(1), &j);
+        let text = mbcr_json::Serialize::to_json(&s).to_compact();
+        let back = JobSummary::from_json(&mbcr_json::parse(&text).unwrap()).unwrap();
+        assert!(back.pwcet.is_nan());
+    }
+}

@@ -1,0 +1,237 @@
+//! A work-stealing DAG executor on OS threads.
+//!
+//! Each worker owns a deque: it pushes jobs it unblocks onto its own queue
+//! (locality — a combine job runs where its last dependency finished) and
+//! steals from the back of a sibling's queue when it runs dry. No job runs
+//! before all of its dependencies; results land in submission order, so
+//! output is deterministic regardless of the interleaving.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Executes `deps.len()` jobs respecting the dependency edges, with up to
+/// `threads` workers. `run(i)` is called exactly once per job, only after
+/// every job in `deps[i]` has completed; the result vector is indexed by
+/// job.
+///
+/// # Panics
+///
+/// Panics on malformed graphs: out-of-range or self dependencies, or a
+/// dependency cycle (detected as jobs left unexecuted when the pool
+/// drains).
+pub fn execute_dag<R, F>(deps: &[Vec<usize>], threads: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = deps.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending_counts = vec![0usize; n];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            assert!(d < n, "job {i} depends on out-of-range job {d}");
+            assert!(d != i, "job {i} depends on itself");
+            dependents[d].push(i);
+            pending_counts[i] += 1;
+        }
+    }
+    // Kahn pre-check: a cycle would leave the pool spinning forever, so
+    // reject it before spawning workers.
+    {
+        let mut indegree = pending_counts.clone();
+        let mut ready: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = ready.pop_front() {
+            seen += 1;
+            for &dependent in &dependents[i] {
+                indegree[dependent] -= 1;
+                if indegree[dependent] == 0 {
+                    ready.push_back(dependent);
+                }
+            }
+        }
+        assert!(
+            seen == n,
+            "dependency cycle: only {seen} of {n} jobs are reachable"
+        );
+    }
+
+    let pending: Vec<AtomicUsize> = pending_counts.into_iter().map(AtomicUsize::new).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    let remaining = AtomicUsize::new(n);
+    let idle = (Mutex::new(()), Condvar::new());
+
+    // Seed the initially-ready jobs round-robin across the workers.
+    {
+        let mut worker = 0usize;
+        for (i, count) in pending.iter().enumerate() {
+            if count.load(Ordering::Relaxed) == 0 {
+                queues[worker % threads]
+                    .lock()
+                    .expect("queue poisoned")
+                    .push_back(i);
+                worker += 1;
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let run = &run;
+            let queues = &queues;
+            let pending = &pending;
+            let dependents = &dependents;
+            let results = &results;
+            let remaining = &remaining;
+            let idle = &idle;
+            scope.spawn(move || loop {
+                if remaining.load(Ordering::Acquire) == 0 {
+                    idle.1.notify_all();
+                    return;
+                }
+                // Own queue first (LIFO: freshest unblocked work, warm
+                // caches), then steal the oldest entry from a sibling.
+                let job = queues[me]
+                    .lock()
+                    .expect("queue poisoned")
+                    .pop_back()
+                    .or_else(|| {
+                        (1..threads).find_map(|offset| {
+                            queues[(me + offset) % threads]
+                                .lock()
+                                .expect("queue poisoned")
+                                .pop_front()
+                        })
+                    });
+                let Some(job) = job else {
+                    let guard = idle.0.lock().expect("idle lock poisoned");
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        idle.1.notify_all();
+                        return;
+                    }
+                    // Timed wait: a sibling may have pushed between our
+                    // steal sweep and this lock.
+                    let _unused = idle
+                        .1
+                        .wait_timeout(guard, Duration::from_millis(2))
+                        .expect("idle lock poisoned");
+                    continue;
+                };
+                let result = run(job);
+                *results[job].lock().expect("result slot poisoned") = Some(result);
+                let mut unblocked = 0usize;
+                for &dependent in &dependents[job] {
+                    if pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        queues[me]
+                            .lock()
+                            .expect("queue poisoned")
+                            .push_back(dependent);
+                        unblocked += 1;
+                    }
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 || unblocked > 0 {
+                    idle.1.notify_all();
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("dependency cycle: job never became ready")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let out: Vec<u32> = execute_dag(&[], 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn independent_jobs_all_run_once() {
+        let deps: Vec<Vec<usize>> = vec![Vec::new(); 100];
+        let calls = AtomicU64::new(0);
+        let out = execute_dag(&deps, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dependencies_complete_first() {
+        // Chain 0 -> 1 -> 2 plus a fan-in job 3 depending on everything.
+        let deps = vec![vec![], vec![0], vec![1], vec![0, 1, 2]];
+        let order = Mutex::new(Vec::new());
+        execute_dag(&deps, 4, |i| {
+            order.lock().unwrap().push(i);
+        });
+        let order = order.into_inner().unwrap();
+        let position = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(position(0) < position(1));
+        assert!(position(1) < position(2));
+        assert_eq!(position(3), 3);
+    }
+
+    #[test]
+    fn wide_diamond_under_contention() {
+        // 1 source -> 200 middles -> 1 sink, 8 workers.
+        let n = 202;
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for middle in deps.iter_mut().take(201).skip(1) {
+            *middle = vec![0];
+        }
+        deps[201] = (1..=200).collect();
+        let out = execute_dag(&deps, 8, |i| i as u64);
+        assert_eq!(out.len(), n);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn single_thread_executes_in_topological_order() {
+        let deps = vec![vec![1], vec![], vec![0]]; // 1 -> 0 -> 2
+        let order = Mutex::new(Vec::new());
+        execute_dag(&deps, 1, |i| {
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(order.into_inner().unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn rejects_out_of_range_dependency() {
+        execute_dag(&[vec![5]], 1, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on itself")]
+    fn rejects_self_dependency() {
+        execute_dag(&[vec![0]], 1, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn rejects_cycles() {
+        execute_dag(&[vec![1], vec![0]], 2, |_| ());
+    }
+}

@@ -1,0 +1,93 @@
+//! The benchmark registry a sweep resolves names against.
+//!
+//! Defaults to the Mälardalen suite, but any [`Benchmark`] — including
+//! custom programs built with `mbcr_ir::ProgramBuilder` — can be inserted,
+//! so the engine schedules arbitrary workloads, not just the paper's.
+
+use mbcr_malardalen::Benchmark;
+
+/// A name → [`Benchmark`] mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    benchmarks: Vec<Benchmark>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The Mälardalen suite, in the paper's Table 2 order.
+    #[must_use]
+    pub fn malardalen() -> Self {
+        Self {
+            benchmarks: mbcr_malardalen::suite(),
+        }
+    }
+
+    /// Inserts (or replaces, by name) a benchmark.
+    pub fn insert(&mut self, benchmark: Benchmark) {
+        if let Some(slot) = self
+            .benchmarks
+            .iter_mut()
+            .find(|b| b.name == benchmark.name)
+        {
+            *slot = benchmark;
+        } else {
+            self.benchmarks.push(benchmark);
+        }
+    }
+
+    /// Looks a benchmark up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Benchmark> {
+        self.benchmarks.iter().find(|b| b.name == name)
+    }
+
+    /// The registered names, in insertion order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.benchmarks.iter().map(|b| b.name).collect()
+    }
+
+    /// Iterates the registered benchmarks.
+    pub fn iter(&self) -> impl Iterator<Item = &Benchmark> {
+        self.benchmarks.iter()
+    }
+
+    /// Number of registered benchmarks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.benchmarks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malardalen_registry_matches_suite() {
+        let r = Registry::malardalen();
+        assert_eq!(r.len(), 11);
+        assert!(r.get("bs").is_some());
+        assert!(r.get("nope").is_none());
+        assert_eq!(r.names()[0], "bs");
+    }
+
+    #[test]
+    fn insert_replaces_by_name() {
+        let mut r = Registry::empty();
+        r.insert(mbcr_malardalen::bs::benchmark());
+        r.insert(mbcr_malardalen::bs::benchmark());
+        assert_eq!(r.len(), 1);
+    }
+}

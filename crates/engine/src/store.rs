@@ -1,0 +1,320 @@
+//! The content-addressed artifact store.
+//!
+//! One sweep run owns one directory:
+//!
+//! ```text
+//! <run-dir>/
+//!   manifest.json          # spec + per-job status and summaries
+//!   table2.csv             # the paper's Table 2 layout, one row per cell
+//!   jobs/<key>.json        # full analysis result, keyed by content hash
+//!   jobs/<key>.samples.csv # execution-time sample of the final campaign
+//! ```
+//!
+//! Job keys hash everything result-affecting ([`crate::JobSpec::key`]), so
+//! `has_artifact` is the whole cache policy: a present artifact is, by
+//! construction, the artifact a re-run would produce.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use mbcr_json::{csv_field, Json};
+
+use crate::JobSummary;
+
+/// Handle on a run directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a run directory.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("jobs"))?;
+        Ok(Self { root })
+    }
+
+    /// The run directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of a job's JSON artifact.
+    #[must_use]
+    pub fn job_path(&self, key: &str) -> PathBuf {
+        self.root.join("jobs").join(format!("{key}.json"))
+    }
+
+    /// Path of a job's sample CSV.
+    #[must_use]
+    pub fn sample_path(&self, key: &str) -> PathBuf {
+        self.root.join("jobs").join(format!("{key}.samples.csv"))
+    }
+
+    /// Path of the manifest.
+    #[must_use]
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    /// Path of the Table 2 CSV.
+    #[must_use]
+    pub fn table2_path(&self) -> PathBuf {
+        self.root.join("table2.csv")
+    }
+
+    /// Whether a completed artifact exists for `key`.
+    #[must_use]
+    pub fn has_artifact(&self, key: &str) -> bool {
+        self.job_path(key).is_file()
+    }
+
+    /// Writes a job artifact (atomically: temp file + rename) and, when
+    /// given, its sample CSV.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failures.
+    pub fn write_job(
+        &self,
+        key: &str,
+        summary: &JobSummary,
+        result: Json,
+        sample: Option<&[u64]>,
+    ) -> io::Result<()> {
+        if let Some(sample) = sample {
+            let mut csv = String::with_capacity(sample.len() * 8 + 16);
+            csv.push_str("run,cycles\n");
+            for (i, cycles) in sample.iter().enumerate() {
+                csv.push_str(&format!("{i},{cycles}\n"));
+            }
+            write_atomic(&self.sample_path(key), csv.as_bytes())?;
+        }
+        let artifact = Json::Obj(vec![
+            ("schema".to_string(), crate::SCHEMA.into()),
+            (
+                "summary".to_string(),
+                mbcr_json::Serialize::to_json(summary),
+            ),
+            ("result".to_string(), result),
+        ]);
+        write_atomic(&self.job_path(key), artifact.to_pretty().as_bytes())
+    }
+
+    /// Loads the summary block of a cached artifact. Returns `None` when
+    /// the artifact is missing, unparsable, or from another schema — the
+    /// caller then simply re-executes the job.
+    #[must_use]
+    pub fn load_summary(&self, key: &str) -> Option<JobSummary> {
+        let text = fs::read_to_string(self.job_path(key)).ok()?;
+        let doc = mbcr_json::parse(&text).ok()?;
+        if doc.get("schema")?.as_str()? != crate::SCHEMA {
+            return None;
+        }
+        JobSummary::from_json(doc.get("summary")?)
+    }
+
+    /// Writes the run manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failures.
+    pub fn write_manifest(&self, manifest: &Json) -> io::Result<()> {
+        write_atomic(&self.manifest_path(), manifest.to_pretty().as_bytes())
+    }
+
+    /// Loads the run manifest, if one exists and parses.
+    #[must_use]
+    pub fn load_manifest(&self) -> Option<Json> {
+        let text = fs::read_to_string(self.manifest_path()).ok()?;
+        mbcr_json::parse(&text).ok()
+    }
+
+    /// Writes the Table 2 CSV (the paper's layout, plus provenance
+    /// columns).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on filesystem failures.
+    pub fn write_table2(&self, rows: &[Table2Row]) -> io::Result<()> {
+        let mut csv = String::from(
+            "benchmark,input,geometry,seed,R_orig,R_pub,R_tac,R_pub_tac,\
+             pwcet_orig,pwcet_pub,pwcet_pub_tac,pwcet_multipath\n",
+        );
+        for row in rows {
+            csv.push_str(&row.csv_line());
+            csv.push('\n');
+        }
+        write_atomic(&self.table2_path(), csv.as_bytes())
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Unique per writer: two pool workers may target the same path (e.g. a
+    // spec that names the same cell twice), and sharing one temp file would
+    // interleave their bytes.
+    static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp{serial}"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// One row of the Table 2 aggregation: a (benchmark, input, geometry,
+/// seed) cell with the paper's run-count and pWCET columns. Columns a cell
+/// did not compute (e.g. `R_orig` in a PUB-only sweep) stay empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Input-vector name.
+    pub input: String,
+    /// Geometry label.
+    pub geometry: String,
+    /// Master seed of the cell.
+    pub seed: u64,
+    /// Runs to plain-MBPTA convergence on the original program.
+    pub r_orig: Option<u64>,
+    /// Runs to MBPTA convergence on the pubbed path.
+    pub r_pub: Option<u64>,
+    /// TAC's representativeness requirement.
+    pub r_tac: Option<u64>,
+    /// `max(R_pub, R_tac)`.
+    pub r_pub_tac: Option<u64>,
+    /// pWCET of the original program (baseline column).
+    pub pwcet_orig: Option<f64>,
+    /// pWCET after PUB only.
+    pub pwcet_pub: Option<f64>,
+    /// pWCET after PUB + TAC (the paper's "P+T" column).
+    pub pwcet_pub_tac: Option<f64>,
+    /// Corollary 2 multipath combination, when computed.
+    pub pwcet_multipath: Option<f64>,
+}
+
+impl Table2Row {
+    fn fmt_u64(v: Option<u64>) -> String {
+        v.map(|v| v.to_string()).unwrap_or_default()
+    }
+
+    fn fmt_f64(v: Option<f64>) -> String {
+        v.filter(|v| v.is_finite())
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_default()
+    }
+
+    /// The row's 12 column values, unquoted, in header order.
+    #[must_use]
+    pub fn cells(&self) -> [String; 12] {
+        [
+            self.benchmark.clone(),
+            self.input.clone(),
+            self.geometry.clone(),
+            self.seed.to_string(),
+            Self::fmt_u64(self.r_orig),
+            Self::fmt_u64(self.r_pub),
+            Self::fmt_u64(self.r_tac),
+            Self::fmt_u64(self.r_pub_tac),
+            Self::fmt_f64(self.pwcet_orig),
+            Self::fmt_f64(self.pwcet_pub),
+            Self::fmt_f64(self.pwcet_pub_tac),
+            Self::fmt_f64(self.pwcet_multipath),
+        ]
+    }
+
+    /// The row as a CSV line (no trailing newline; fields quoted per
+    /// RFC 4180 where needed).
+    #[must_use]
+    pub fn csv_line(&self) -> String {
+        self.cells().map(|cell| csv_field(&cell)).join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeometrySpec, JobKind, JobSpec};
+
+    fn tmp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("mbcr-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).expect("open store")
+    }
+
+    fn demo_summary(store_key: &str) -> JobSummary {
+        let job = JobSpec {
+            benchmark: "bs".into(),
+            geometry: GeometrySpec::paper_l1(),
+            master_seed: 1,
+            kind: JobKind::PubTac {
+                input: "default".into(),
+            },
+        };
+        let mut s = JobSummary::empty(store_key.to_string(), &job);
+        s.pwcet = 1000.5;
+        s.r_pub = Some(300);
+        s
+    }
+
+    #[test]
+    fn artifact_roundtrip_and_cache_check() {
+        let store = tmp_store("roundtrip");
+        let key = "00112233445566778899aabbccddeeff";
+        assert!(!store.has_artifact(key));
+        let summary = demo_summary(key);
+        store
+            .write_job(key, &summary, Json::Obj(vec![]), Some(&[10, 20, 30]))
+            .expect("write");
+        assert!(store.has_artifact(key));
+        assert_eq!(store.load_summary(key).expect("summary"), summary);
+        let csv = fs::read_to_string(store.sample_path(key)).expect("csv");
+        assert_eq!(csv, "run,cycles\n0,10\n1,20\n2,30\n");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn foreign_schema_is_not_a_cache_hit() {
+        let store = tmp_store("schema");
+        let key = "f00d";
+        fs::write(
+            store.job_path(key),
+            r#"{"schema": "other/9", "summary": {}}"#,
+        )
+        .expect("write");
+        assert!(store.load_summary(key).is_none());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn table2_rows_render_empty_columns() {
+        let row = Table2Row {
+            benchmark: "bs".into(),
+            input: "default".into(),
+            geometry: "4096B-2w-32B".into(),
+            seed: 42,
+            r_orig: Some(310),
+            r_pub: Some(300),
+            r_tac: None,
+            r_pub_tac: None,
+            pwcet_orig: Some(9170.0),
+            pwcet_pub: None,
+            pwcet_pub_tac: None,
+            pwcet_multipath: None,
+        };
+        assert_eq!(
+            row.csv_line(),
+            "bs,default,4096B-2w-32B,42,310,300,,,9170.0,,,"
+        );
+    }
+}

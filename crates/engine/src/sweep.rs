@@ -1,0 +1,670 @@
+//! Sweep execution: spec → job DAG → work-stealing pool → artifact store.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mbcr::{analyze_original, analyze_pub_tac, AnalysisConfig};
+use mbcr_ir::Inputs;
+use mbcr_json::{Json, Serialize};
+use mbcr_malardalen::Benchmark;
+
+use crate::{
+    execute_dag, AnalysisKind, ArtifactStore, EngineError, InputSelection, JobGraph, JobKind,
+    JobSpec, JobSummary, Registry, SweepSpec, Table2Row,
+};
+
+/// Execution options orthogonal to the spec (they never affect results,
+/// only scheduling and caching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunOptions {
+    /// Worker threads for the job pool; `0` means one per core.
+    pub threads: usize,
+    /// Re-execute jobs even when a cached artifact exists.
+    pub force: bool,
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran in this invocation.
+    Executed,
+    /// Satisfied from the artifact store.
+    Skipped,
+    /// The analysis (or a dependency) failed.
+    Failed,
+}
+
+impl JobStatus {
+    /// Stable spelling for manifests.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Executed => "executed",
+            JobStatus::Skipped => "skipped",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Per-job outcome, as recorded in the manifest.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Artifact key.
+    pub key: String,
+    /// Human-readable job identity.
+    pub label: String,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Failure message, when failed.
+    pub error: Option<String>,
+    /// The result summary, when not failed.
+    pub summary: Option<JobSummary>,
+}
+
+impl Serialize for JobRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("key".to_string(), self.key.as_str().into()),
+            ("label".to_string(), self.label.as_str().into()),
+            ("status".to_string(), self.status.name().into()),
+            ("error".to_string(), Serialize::to_json(&self.error)),
+            ("summary".to_string(), Serialize::to_json(&self.summary)),
+        ])
+    }
+}
+
+/// What a whole sweep produced.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Jobs executed in this invocation.
+    pub executed: usize,
+    /// Jobs satisfied from the artifact store.
+    pub skipped: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Per-job records, in expansion order.
+    pub records: Vec<JobRecord>,
+    /// The Table 2 aggregation, one row per (benchmark, input, geometry,
+    /// seed) cell.
+    pub rows: Vec<Table2Row>,
+    /// Wall-clock time of this invocation.
+    pub elapsed: Duration,
+}
+
+fn resolve_input<'b>(benchmark: &'b Benchmark, name: &str) -> Result<&'b Inputs, EngineError> {
+    if name == "default" {
+        return Ok(&benchmark.default_input);
+    }
+    benchmark
+        .input_vectors
+        .iter()
+        .find(|v| v.name == name)
+        .map(|v| &v.inputs)
+        .ok_or_else(|| EngineError::UnknownInput {
+            benchmark: benchmark.name.to_string(),
+            input: name.to_string(),
+        })
+}
+
+fn selected_inputs(spec: &SweepSpec, benchmark: &Benchmark) -> Result<Vec<String>, EngineError> {
+    match &spec.inputs {
+        // Always the benchmark's `default_input` — the same input the cell's
+        // Original job analyses, so the R_orig and R_pub columns of one
+        // Table 2 row never come from different inputs.
+        InputSelection::Default => Ok(vec!["default".to_string()]),
+        InputSelection::All => {
+            if benchmark.input_vectors.is_empty() {
+                Ok(vec!["default".to_string()])
+            } else {
+                Ok(benchmark
+                    .input_vectors
+                    .iter()
+                    .map(|v| v.name.clone())
+                    .collect())
+            }
+        }
+        InputSelection::Named(names) => {
+            for name in names {
+                resolve_input(benchmark, name)?;
+            }
+            Ok(names.clone())
+        }
+    }
+}
+
+fn dedup_preserving<T: PartialEq + Clone>(items: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    for item in items {
+        if !out.contains(item) {
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+/// Expands a spec into its job DAG: the full benchmarks × inputs ×
+/// geometries × seeds cross product, with one `MultipathCombine` node per
+/// cell that has at least two pubbed paths to combine (Corollary 2 is the
+/// identity on a single path).
+///
+/// # Errors
+///
+/// [`EngineError::UnknownBenchmark`] / [`EngineError::UnknownInput`] /
+/// [`EngineError::Spec`] on names that do not resolve.
+pub fn expand(spec: &SweepSpec, registry: &Registry) -> Result<JobGraph, EngineError> {
+    let benchmarks: Vec<String> = if spec.benchmarks.is_empty() {
+        registry.names().iter().map(ToString::to_string).collect()
+    } else {
+        dedup_preserving(&spec.benchmarks)
+    };
+    if benchmarks.is_empty() {
+        return Err(EngineError::Spec("no benchmarks to sweep".into()));
+    }
+    // Duplicate dimension entries would create jobs with identical keys
+    // racing on the same artifacts; one copy carries all the information.
+    let geometries = dedup_preserving(&spec.geometries);
+    let seeds = dedup_preserving(&spec.seeds);
+    let wants = |kind: AnalysisKind| spec.analyses.contains(&kind);
+    let mut graph = JobGraph::default();
+    for name in &benchmarks {
+        let benchmark = registry
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownBenchmark(name.clone()))?;
+        let inputs = dedup_preserving(&selected_inputs(spec, benchmark)?);
+        for geometry in &geometries {
+            for &master_seed in &seeds {
+                let cell = |kind: JobKind| JobSpec {
+                    benchmark: name.clone(),
+                    geometry: *geometry,
+                    master_seed,
+                    kind,
+                };
+                if wants(AnalysisKind::Original) {
+                    graph.jobs.push(cell(JobKind::Original));
+                    graph.deps.push(Vec::new());
+                }
+                let mut pub_tac_ids = Vec::new();
+                if wants(AnalysisKind::PubTac) || wants(AnalysisKind::Multipath) {
+                    for input in &inputs {
+                        pub_tac_ids.push(graph.jobs.len());
+                        graph.jobs.push(cell(JobKind::PubTac {
+                            input: input.clone(),
+                        }));
+                        graph.deps.push(Vec::new());
+                    }
+                }
+                if wants(AnalysisKind::Multipath) && pub_tac_ids.len() >= 2 {
+                    graph.jobs.push(cell(JobKind::MultipathCombine));
+                    graph.deps.push(pub_tac_ids);
+                }
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Runs a sweep end-to-end: expand, schedule on the work-stealing pool,
+/// persist artifacts, aggregate Table 2, write the manifest.
+///
+/// Completed jobs found in `store` are skipped unless
+/// [`RunOptions::force`]; a second invocation with an unchanged spec
+/// therefore executes nothing and still reproduces every row.
+///
+/// # Errors
+///
+/// Spec/expansion errors and store I/O errors fail the sweep as a whole.
+/// *Analysis* failures do not: they mark the affected job (and its
+/// dependents) failed in the outcome and manifest.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    registry: &Registry,
+    store: &ArtifactStore,
+    opts: &RunOptions,
+) -> Result<SweepOutcome, EngineError> {
+    let start = Instant::now();
+    let graph = expand(spec, registry)?;
+
+    // Per-job config + content key. Combine jobs have no config of their
+    // own: their key hashes the dependency keys, so invalidation cascades.
+    let mut cfgs: Vec<Option<AnalysisConfig>> = Vec::with_capacity(graph.len());
+    let mut keys: Vec<String> = Vec::with_capacity(graph.len());
+    for (i, job) in graph.jobs.iter().enumerate() {
+        match job.kind {
+            JobKind::MultipathCombine => {
+                let mut digest = mbcr_json::FNV_OFFSET;
+                for &dep in &graph.deps[i] {
+                    digest = mbcr_json::fnv1a(digest, &keys[dep]);
+                }
+                cfgs.push(None);
+                keys.push(job.key(digest));
+            }
+            _ => {
+                let cfg = spec.analysis_config(&job.geometry, job.job_seed())?;
+                keys.push(job.key(cfg.digest()));
+                cfgs.push(Some(cfg));
+            }
+        }
+    }
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        opts.threads
+    };
+
+    // Completed summaries, readable by dependents while the pool runs.
+    let slots: Vec<Mutex<Option<JobSummary>>> =
+        (0..graph.len()).map(|_| Mutex::new(None)).collect();
+
+    let records = execute_dag(&graph.deps, threads, |i| {
+        let job = &graph.jobs[i];
+        let key = &keys[i];
+        let record = |status, error, summary: Option<JobSummary>| JobRecord {
+            key: key.clone(),
+            label: job.label(),
+            status,
+            error,
+            summary,
+        };
+        if !opts.force && store.has_artifact(key) {
+            if let Some(summary) = store.load_summary(key) {
+                *slots[i].lock().expect("slot poisoned") = Some(summary.clone());
+                return record(JobStatus::Skipped, None, Some(summary));
+            }
+        }
+        match execute_job(
+            job,
+            key,
+            cfgs[i].as_ref(),
+            &graph.deps[i],
+            &slots,
+            registry,
+            store,
+        ) {
+            Ok(summary) => {
+                *slots[i].lock().expect("slot poisoned") = Some(summary.clone());
+                record(JobStatus::Executed, None, Some(summary))
+            }
+            Err(e) => record(JobStatus::Failed, Some(e.to_string()), None),
+        }
+    });
+
+    let executed = records
+        .iter()
+        .filter(|r| r.status == JobStatus::Executed)
+        .count();
+    let skipped = records
+        .iter()
+        .filter(|r| r.status == JobStatus::Skipped)
+        .count();
+    let failed = records
+        .iter()
+        .filter(|r| r.status == JobStatus::Failed)
+        .count();
+
+    let summaries: Vec<JobSummary> = records.iter().filter_map(|r| r.summary.clone()).collect();
+    let rows = aggregate_rows(&summaries);
+    store.write_table2(&rows)?;
+    store.write_manifest(&Json::Obj(vec![
+        ("schema".to_string(), crate::SCHEMA.into()),
+        ("spec".to_string(), spec.to_json()),
+        (
+            "counts".to_string(),
+            Json::Obj(vec![
+                ("executed".to_string(), Json::UInt(executed as u64)),
+                ("skipped".to_string(), Json::UInt(skipped as u64)),
+                ("failed".to_string(), Json::UInt(failed as u64)),
+            ]),
+        ),
+        ("jobs".to_string(), Serialize::to_json(&records)),
+    ]))?;
+
+    Ok(SweepOutcome {
+        executed,
+        skipped,
+        failed,
+        records,
+        rows,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn execute_job(
+    job: &JobSpec,
+    key: &str,
+    cfg: Option<&AnalysisConfig>,
+    deps: &[usize],
+    slots: &[Mutex<Option<JobSummary>>],
+    registry: &Registry,
+    store: &ArtifactStore,
+) -> Result<JobSummary, EngineError> {
+    let benchmark = registry
+        .get(&job.benchmark)
+        .ok_or_else(|| EngineError::UnknownBenchmark(job.benchmark.clone()))?;
+    let mut summary = JobSummary::empty(key.to_string(), job);
+    match &job.kind {
+        JobKind::Original => {
+            let cfg = cfg.expect("original jobs carry a config");
+            let analysis = analyze_original(&benchmark.program, &benchmark.default_input, cfg)
+                .map_err(|e| EngineError::Analysis(format!("{}: {e}", job.label())))?;
+            summary.r_orig = Some(analysis.r_orig as u64);
+            summary.converged = Some(analysis.converged);
+            summary.pwcet = analysis.pwcet_at_exceedance;
+            summary.trace_len = Some(analysis.trace_len as u64);
+            store.write_job(key, &summary, analysis.to_json(), None)?;
+        }
+        JobKind::PubTac { input } => {
+            let cfg = cfg.expect("pub_tac jobs carry a config");
+            let inputs = resolve_input(benchmark, input)?;
+            let analysis = analyze_pub_tac(&benchmark.program, inputs, cfg)
+                .map_err(|e| EngineError::Analysis(format!("{}: {e}", job.label())))?;
+            summary.r_pub = Some(analysis.r_pub as u64);
+            summary.r_tac = Some(analysis.r_tac);
+            summary.r_pub_tac = Some(analysis.r_pub_tac);
+            summary.campaign_runs = Some(analysis.campaign_runs as u64);
+            summary.campaign_capped = Some(analysis.campaign_capped);
+            summary.pwcet = analysis.pwcet_pub_tac;
+            summary.pwcet_pub = Some(analysis.pwcet_pub);
+            summary.trace_len = Some(analysis.trace_len as u64);
+            let sample = analysis.sample.clone();
+            store.write_job(key, &summary, analysis.to_json(), Some(&sample))?;
+        }
+        JobKind::MultipathCombine => {
+            // Corollary 2: every pubbed path upper-bounds all original
+            // paths, so the tightest (lowest) estimate is kept.
+            let mut per_input: Vec<(String, f64)> = Vec::with_capacity(deps.len());
+            for &dep in deps {
+                let dep_summary = slots[dep]
+                    .lock()
+                    .expect("slot poisoned")
+                    .clone()
+                    .ok_or_else(|| {
+                        EngineError::Analysis(format!(
+                            "{}: dependency failed, nothing to combine",
+                            job.label()
+                        ))
+                    })?;
+                per_input.push((dep_summary.input.unwrap_or_default(), dep_summary.pwcet));
+            }
+            let (best_input, best_pwcet) = per_input
+                .iter()
+                .cloned()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("combine jobs have at least two dependencies");
+            summary.pwcet = best_pwcet;
+            summary.best_input = Some(best_input.clone());
+            let result = Json::Obj(vec![
+                (
+                    "per_input".to_string(),
+                    Json::Obj(
+                        per_input
+                            .iter()
+                            .map(|(name, pwcet)| (name.clone(), Json::Num(*pwcet)))
+                            .collect(),
+                    ),
+                ),
+                ("best_input".to_string(), best_input.into()),
+                ("best_pwcet".to_string(), Json::Num(best_pwcet)),
+            ]);
+            store.write_job(key, &summary, result, None)?;
+        }
+    }
+    Ok(summary)
+}
+
+/// Collapses job summaries into the paper's Table 2 layout: one row per
+/// (benchmark, input, geometry, seed) cell, with the `R_orig` baseline and
+/// the multipath combination attached to every input row of their cell.
+/// Works from summaries alone, so `mbcr report` can rebuild the table from
+/// a manifest without re-running anything.
+#[must_use]
+pub fn aggregate_rows(summaries: &[JobSummary]) -> Vec<Table2Row> {
+    let mut rows: Vec<Table2Row> = Vec::new();
+    let same_cell = |r: &Table2Row, s: &JobSummary| {
+        r.benchmark == s.benchmark && r.geometry == s.geometry && r.seed == s.master_seed
+    };
+    let ensure_row = |rows: &mut Vec<Table2Row>, s: &JobSummary, input: &str| -> usize {
+        if let Some(at) = rows
+            .iter()
+            .position(|r| same_cell(r, s) && r.input == input)
+        {
+            return at;
+        }
+        rows.push(Table2Row {
+            benchmark: s.benchmark.clone(),
+            input: input.to_string(),
+            geometry: s.geometry.clone(),
+            seed: s.master_seed,
+            r_orig: None,
+            r_pub: None,
+            r_tac: None,
+            r_pub_tac: None,
+            pwcet_orig: None,
+            pwcet_pub: None,
+            pwcet_pub_tac: None,
+            pwcet_multipath: None,
+        });
+        rows.len() - 1
+    };
+
+    // Input rows first, then cell-wide columns onto every row of the cell.
+    for s in summaries.iter().filter(|s| s.kind == "pub_tac") {
+        let input = s.input.clone().unwrap_or_else(|| "default".to_string());
+        let at = ensure_row(&mut rows, s, &input);
+        rows[at].r_pub = s.r_pub;
+        rows[at].r_tac = s.r_tac;
+        rows[at].r_pub_tac = s.r_pub_tac;
+        rows[at].pwcet_pub = s.pwcet_pub;
+        rows[at].pwcet_pub_tac = Some(s.pwcet);
+    }
+    for s in summaries {
+        match s.kind.as_str() {
+            "original" => {
+                let mut hit = false;
+                for row in rows.iter_mut().filter(|r| same_cell(r, s)) {
+                    row.r_orig = s.r_orig;
+                    row.pwcet_orig = Some(s.pwcet);
+                    hit = true;
+                }
+                if !hit {
+                    let at = ensure_row(&mut rows, s, "default");
+                    rows[at].r_orig = s.r_orig;
+                    rows[at].pwcet_orig = Some(s.pwcet);
+                }
+            }
+            "multipath" => {
+                for row in rows.iter_mut().filter(|r| same_cell(r, s)) {
+                    row.pwcet_multipath = Some(s.pwcet);
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Renders rows as an aligned text table for terminals.
+#[must_use]
+pub fn render_rows(rows: &[Table2Row]) -> String {
+    let headers = [
+        "benchmark",
+        "input",
+        "geometry",
+        "seed",
+        "R_orig",
+        "R_pub",
+        "R_tac",
+        "R_p+t",
+        "pWCET_orig",
+        "pWCET_pub",
+        "pWCET_p+t",
+        "pWCET_multi",
+    ];
+    let mut cells: Vec<Vec<String>> = vec![headers.iter().map(ToString::to_string).collect()];
+    for row in rows {
+        cells.push(row.cells().to_vec());
+    }
+    let widths: Vec<usize> = (0..headers.len())
+        .map(|c| {
+            cells
+                .iter()
+                .map(|r| r.get(c).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = String::new();
+    for (i, row) in cells.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[c]));
+        }
+        out.push('\n');
+        if i == 0 {
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeometrySpec;
+
+    fn two_geometry_spec() -> SweepSpec {
+        SweepSpec::new("expand-test")
+            .benchmarks(["bs"])
+            .geometries([
+                GeometrySpec::paper_l1(),
+                GeometrySpec {
+                    size_bytes: 2048,
+                    ways: 2,
+                    line_size: 32,
+                },
+            ])
+            .seeds([1, 2])
+    }
+
+    #[test]
+    fn expansion_covers_the_cross_product() {
+        let registry = Registry::malardalen();
+        let graph = expand(&two_geometry_spec(), &registry).unwrap();
+        // Default inputs → one pub_tac per cell, no combine (single path),
+        // plus one original per cell: 2 geometries × 2 seeds × 2 jobs.
+        assert_eq!(graph.len(), 8);
+        assert!(graph.deps.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn multipath_cells_gain_combine_nodes_with_deps() {
+        let registry = Registry::malardalen();
+        let spec = SweepSpec::new("mp")
+            .benchmarks(["bs"])
+            .inputs(InputSelection::All)
+            .seeds([7]);
+        let graph = expand(&spec, &registry).unwrap();
+        let n_inputs = registry.get("bs").unwrap().input_vectors.len();
+        assert!(n_inputs >= 2, "bs is multipath");
+        // original + n pub_tac + combine.
+        assert_eq!(graph.len(), 1 + n_inputs + 1);
+        let combine = graph.len() - 1;
+        assert_eq!(graph.jobs[combine].kind, JobKind::MultipathCombine);
+        assert_eq!(graph.deps[combine].len(), n_inputs);
+    }
+
+    #[test]
+    fn duplicate_dimensions_are_deduplicated() {
+        let registry = Registry::malardalen();
+        let spec = SweepSpec::new("dup")
+            .benchmarks(["bs", "bs"])
+            .geometries([GeometrySpec::paper_l1(), GeometrySpec::paper_l1()])
+            .seeds([1, 1])
+            .analyses([AnalysisKind::PubTac]);
+        let graph = expand(&spec, &registry).unwrap();
+        assert_eq!(graph.len(), 1, "identical cells must collapse to one job");
+    }
+
+    #[test]
+    fn default_selection_analyzes_the_default_input() {
+        let registry = Registry::malardalen();
+        let spec = SweepSpec::new("d")
+            .benchmarks(["bs"])
+            .seeds([1])
+            .analyses([AnalysisKind::PubTac]);
+        let graph = expand(&spec, &registry).unwrap();
+        assert_eq!(
+            graph.jobs[0].kind,
+            JobKind::PubTac {
+                input: "default".into()
+            },
+            "Default selection must use the same input as Original jobs"
+        );
+    }
+
+    #[test]
+    fn render_rows_survives_commas_in_names() {
+        let row = Table2Row {
+            benchmark: "ecu,task".into(),
+            input: "v\"1".into(),
+            geometry: "4096B-2w-32B".into(),
+            seed: 1,
+            r_orig: None,
+            r_pub: Some(300),
+            r_tac: Some(400),
+            r_pub_tac: Some(400),
+            pwcet_orig: None,
+            pwcet_pub: None,
+            pwcet_pub_tac: Some(9000.0),
+            pwcet_multipath: None,
+        };
+        let text = render_rows(std::slice::from_ref(&row));
+        assert!(
+            text.contains("ecu,task"),
+            "terminal table shows the raw name"
+        );
+        assert!(row.csv_line().starts_with("\"ecu,task\","), "CSV quotes it");
+    }
+
+    #[test]
+    fn expansion_rejects_unknown_names() {
+        let registry = Registry::malardalen();
+        let unknown_bench = SweepSpec::new("x").benchmarks(["nope"]);
+        assert!(matches!(
+            expand(&unknown_bench, &registry),
+            Err(EngineError::UnknownBenchmark(_))
+        ));
+        let unknown_input = SweepSpec::new("x")
+            .benchmarks(["bs"])
+            .inputs(InputSelection::Named(vec!["v999".into()]));
+        assert!(matches!(
+            expand(&unknown_input, &registry),
+            Err(EngineError::UnknownInput { .. })
+        ));
+    }
+
+    #[test]
+    fn render_rows_aligns_columns() {
+        let rows = vec![Table2Row {
+            benchmark: "bs".into(),
+            input: "default".into(),
+            geometry: "4096B-2w-32B".into(),
+            seed: 42,
+            r_orig: Some(310),
+            r_pub: Some(300),
+            r_tac: Some(17_000),
+            r_pub_tac: Some(17_000),
+            pwcet_orig: Some(9170.0),
+            pwcet_pub: Some(9426.0),
+            pwcet_pub_tac: Some(9468.0),
+            pwcet_multipath: None,
+        }];
+        let text = render_rows(&rows);
+        assert!(text.contains("R_tac"));
+        assert!(text.contains("17000"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

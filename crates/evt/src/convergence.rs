@@ -83,7 +83,10 @@ pub fn converge(
     mut sampler: impl FnMut(usize) -> Vec<u64>,
     cfg: &ConvergenceConfig,
 ) -> Result<ConvergenceOutcome, EvtError> {
-    assert!(cfg.initial > 0 && cfg.step > 0, "initial and step must be positive");
+    assert!(
+        cfg.initial > 0 && cfg.step > 0,
+        "initial and step must be positive"
+    );
     let mut sample: Vec<u64> = Vec::with_capacity(cfg.initial);
     sample.extend(sampler(cfg.initial));
     let mut history: Vec<(usize, f64)> = Vec::new();
@@ -96,7 +99,10 @@ pub fn converge(
                 let stable = history.len() >= cfg.stable_windows && {
                     let tail = &history[history.len() - cfg.stable_windows..];
                     let lo = tail.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
-                    let hi = tail.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+                    let hi = tail
+                        .iter()
+                        .map(|&(_, v)| v)
+                        .fold(f64::NEG_INFINITY, f64::max);
                     hi > 0.0 && (hi - lo) / hi <= cfg.epsilon
                 };
                 let float_sample: Vec<f64> = sample.iter().map(|&v| v as f64).collect();
@@ -137,7 +143,11 @@ mod tests {
 
     fn exp_sampler(seed: u64) -> impl FnMut(usize) -> Vec<u64> {
         let mut rng = Xoshiro256PlusPlus::from_seed(seed);
-        move |count| (0..count).map(|_| 2000 + rng.exponential(0.01) as u64).collect()
+        move |count| {
+            (0..count)
+                .map(|_| 2000 + rng.exponential(0.01) as u64)
+                .collect()
+        }
     }
 
     #[test]
@@ -154,8 +164,7 @@ mod tests {
 
     #[test]
     fn deterministic_sample_converges_to_constant() {
-        let out = converge(|count| vec![4242u64; count], &ConvergenceConfig::default())
-            .unwrap();
+        let out = converge(|count| vec![4242u64; count], &ConvergenceConfig::default()).unwrap();
         assert!(out.converged);
         assert_eq!(out.pwcet.quantile(1e-12), 4242.0);
         assert_eq!(out.runs, 300 + 3 * 100, "stable_windows steps past initial");
@@ -166,7 +175,10 @@ mod tests {
         // A drifting sampler never stabilizes.
         let mut base = 0u64;
         let mut rng = Xoshiro256PlusPlus::from_seed(2);
-        let cfg = ConvergenceConfig { max_runs: 1500, ..ConvergenceConfig::default() };
+        let cfg = ConvergenceConfig {
+            max_runs: 1500,
+            ..ConvergenceConfig::default()
+        };
         let out = converge(
             |count| {
                 (0..count)
@@ -185,8 +197,14 @@ mod tests {
 
     #[test]
     fn stricter_epsilon_needs_more_runs() {
-        let loose = ConvergenceConfig { epsilon: 0.10, ..ConvergenceConfig::default() };
-        let strict = ConvergenceConfig { epsilon: 0.005, ..ConvergenceConfig::default() };
+        let loose = ConvergenceConfig {
+            epsilon: 0.10,
+            ..ConvergenceConfig::default()
+        };
+        let strict = ConvergenceConfig {
+            epsilon: 0.005,
+            ..ConvergenceConfig::default()
+        };
         let r_loose = converge(exp_sampler(5), &loose).unwrap().runs;
         let r_strict = converge(exp_sampler(5), &strict).unwrap().runs;
         assert!(r_strict >= r_loose, "strict {r_strict} vs loose {r_loose}");

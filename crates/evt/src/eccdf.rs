@@ -78,7 +78,10 @@ impl Eccdf {
     /// Panics unless `0 < p <= 1`.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 1.0, "exceedance probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "exceedance probability must be in (0, 1]"
+        );
         let n = self.sorted.len();
         // Need #{ > x } <= p*n, i.e. at least n - floor(p*n) samples <= x.
         let allowed_above = (p * n as f64).floor() as usize;
@@ -141,6 +144,15 @@ impl Eccdf {
         probes
             .iter()
             .all(|&p| self.quantile(p) >= other.quantile(p) - slack)
+    }
+}
+
+impl mbcr_json::Serialize for Eccdf {
+    fn to_json(&self) -> mbcr_json::Json {
+        mbcr_json::Json::Obj(vec![(
+            "values".to_string(),
+            mbcr_json::Serialize::to_json(&self.sorted),
+        )])
     }
 }
 

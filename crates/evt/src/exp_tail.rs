@@ -33,10 +33,16 @@ impl std::fmt::Display for EvtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvtError::NotEnoughData { needed, got } => {
-                write!(f, "not enough data: need at least {needed} samples, got {got}")
+                write!(
+                    f,
+                    "not enough data: need at least {needed} samples, got {got}"
+                )
             }
             EvtError::DegenerateSample => {
-                write!(f, "sample variance is zero: execution time is deterministic")
+                write!(
+                    f,
+                    "sample variance is zero: execution time is deterministic"
+                )
             }
         }
     }
@@ -58,7 +64,11 @@ pub struct TailConfig {
 
 impl Default for TailConfig {
     fn default() -> Self {
-        Self { min_tail: 25, max_tail_fraction: 0.25, z: 1.96 }
+        Self {
+            min_tail: 25,
+            max_tail_fraction: 0.25,
+            z: 1.96,
+        }
     }
 }
 
@@ -92,7 +102,10 @@ impl ExpTailFit {
     /// Panics unless `0 < p < 1`.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "exceedance probability must be in (0, 1)");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "exceedance probability must be in (0, 1)"
+        );
         if p >= self.zeta {
             return self.u;
         }
@@ -165,7 +178,12 @@ pub fn fit_exp_tail(sample: &[f64], cfg: &TailConfig) -> Result<ExpTailFit, EvtE
         }
         match &best {
             Some(b) if (b.cv - 1.0).abs() <= (cv - 1.0).abs() => {}
-            _ => best = Some(ExpTailFit { forced: true, ..fit }),
+            _ => {
+                best = Some(ExpTailFit {
+                    forced: true,
+                    ..fit
+                })
+            }
         }
     }
     if all_degenerate {
@@ -256,3 +274,12 @@ mod tests {
         assert_eq!(a, b);
     }
 }
+
+mbcr_json::impl_serialize_struct!(ExpTailFit {
+    u,
+    sigma,
+    zeta,
+    n_tail,
+    cv,
+    forced
+});

@@ -34,7 +34,10 @@ impl GumbelFit {
     /// Panics unless `0 < p < 1`.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "exceedance probability must be in (0, 1)");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "exceedance probability must be in (0, 1)"
+        );
         let pb = (1.0 - (1.0 - p).powi(self.block_size as i32)).clamp(f64::MIN_POSITIVE, 1.0);
         // Gumbel CDF: F(x) = exp(-exp(-(x-mu)/sigma)); invert 1 - F = pb.
         self.mu - self.sigma * (-(1.0 - pb).ln()).ln()
@@ -62,7 +65,10 @@ pub fn fit_gumbel(sample: &[f64], block_size: usize) -> Result<GumbelFit, EvtErr
     let block_size = block_size.max(1);
     let blocks = sample.len() / block_size;
     if blocks < 20 {
-        return Err(EvtError::NotEnoughData { needed: 20 * block_size, got: sample.len() });
+        return Err(EvtError::NotEnoughData {
+            needed: 20 * block_size,
+            got: sample.len(),
+        });
     }
     let mut maxima: Vec<f64> = (0..blocks)
         .map(|b| {
@@ -87,7 +93,12 @@ pub fn fit_gumbel(sample: &[f64], block_size: usize) -> Result<GumbelFit, EvtErr
         return Err(EvtError::DegenerateSample);
     }
     let mu = b0 - EULER_GAMMA * sigma;
-    Ok(GumbelFit { mu, sigma, block_size, blocks })
+    Ok(GumbelFit {
+        mu,
+        sigma,
+        block_size,
+        blocks,
+    })
 }
 
 #[cfg(test)]
@@ -114,8 +125,16 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::from_seed(5);
         let sample: Vec<f64> = (0..100_000).map(|_| rng.exponential(rate)).collect();
         let fit = fit_gumbel(&sample, block).unwrap();
-        assert!((fit.sigma - 1.0 / rate).abs() < 1.5, "sigma = {}", fit.sigma);
-        assert!((fit.mu - (block as f64).ln() / rate).abs() < 3.0, "mu = {}", fit.mu);
+        assert!(
+            (fit.sigma - 1.0 / rate).abs() < 1.5,
+            "sigma = {}",
+            fit.sigma
+        );
+        assert!(
+            (fit.mu - (block as f64).ln() / rate).abs() < 3.0,
+            "mu = {}",
+            fit.mu
+        );
     }
 
     #[test]
@@ -152,6 +171,16 @@ mod tests {
     #[test]
     fn degenerate_maxima_error() {
         let sample = vec![7.0; 1000];
-        assert_eq!(fit_gumbel(&sample, 10).unwrap_err(), EvtError::DegenerateSample);
+        assert_eq!(
+            fit_gumbel(&sample, 10).unwrap_err(),
+            EvtError::DegenerateSample
+        );
     }
 }
+
+mbcr_json::impl_serialize_struct!(GumbelFit {
+    mu,
+    sigma,
+    block_size,
+    blocks
+});

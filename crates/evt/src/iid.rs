@@ -30,7 +30,10 @@ pub struct TestResult {
 /// Panics if either sample is empty.
 #[must_use]
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
-    assert!(!a.is_empty() && !b.is_empty(), "KS test needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS test needs non-empty samples"
+    );
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
     sa.sort_by(f64::total_cmp);
@@ -51,7 +54,10 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
     let ne = (na * nb / (na + nb)).sqrt();
     // Asymptotic p-value with the standard small-sample correction.
     let lambda = (ne + 0.12 + 0.11 / ne) * d;
-    TestResult { statistic: d, p_value: kolmogorov_sf(lambda) }
+    TestResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    }
 }
 
 /// Ljung–Box portmanteau test for autocorrelation up to `lags`.
@@ -65,25 +71,31 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
 #[must_use]
 pub fn ljung_box(sample: &[f64], lags: usize) -> TestResult {
     assert!(lags > 0, "ljung_box needs at least one lag");
-    assert!(sample.len() > lags + 1, "sample too short for the requested lags");
+    assert!(
+        sample.len() > lags + 1,
+        "sample too short for the requested lags"
+    );
     let n = sample.len() as f64;
     let m = mean(sample);
     let denom: f64 = sample.iter().map(|x| (x - m) * (x - m)).sum();
     if denom == 0.0 {
         // Constant series: no evidence of autocorrelation.
-        return TestResult { statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let mut q = 0.0;
     for k in 1..=lags {
-        let num: f64 = sample
-            .windows(k + 1)
-            .map(|w| (w[0] - m) * (w[k] - m))
-            .sum();
+        let num: f64 = sample.windows(k + 1).map(|w| (w[0] - m) * (w[k] - m)).sum();
         let rho = num / denom;
         q += rho * rho / (n - k as f64);
     }
     q *= n * (n + 2.0);
-    TestResult { statistic: q, p_value: chi2_sf(q, lags as u32) }
+    TestResult {
+        statistic: q,
+        p_value: chi2_sf(q, lags as u32),
+    }
 }
 
 /// Wald–Wolfowitz runs test: counts runs above/below the median and
@@ -102,9 +114,16 @@ pub fn runs_test(sample: &[f64]) -> TestResult {
     let mut sorted = sample.to_vec();
     sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
-    let signs: Vec<bool> = sample.iter().filter(|&&x| x != median).map(|&x| x > median).collect();
+    let signs: Vec<bool> = sample
+        .iter()
+        .filter(|&&x| x != median)
+        .map(|&x| x > median)
+        .collect();
     if signs.len() < 2 {
-        return TestResult { statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let n1 = signs.iter().filter(|&&s| s).count() as f64;
     let n2 = signs.len() as f64 - n1;
@@ -112,17 +131,25 @@ pub fn runs_test(sample: &[f64]) -> TestResult {
         // After dropping median ties only one side remains — common for
         // heavily discrete samples whose mode is the median. The run
         // structure is degenerate and carries no evidence of dependence.
-        return TestResult { statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let runs = 1.0 + signs.windows(2).filter(|w| w[0] != w[1]).count() as f64;
     let expected = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
-    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2)
-        / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2) / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
     if var <= 0.0 {
-        return TestResult { statistic: 0.0, p_value: 1.0 };
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let z = (runs - expected) / var.sqrt();
-    TestResult { statistic: z, p_value: normal_two_sided_p(z) }
+    TestResult {
+        statistic: z,
+        p_value: normal_two_sided_p(z),
+    }
 }
 
 /// Combined i.i.d. evidence for one measurement sample.
@@ -145,14 +172,24 @@ impl IidReport {
     /// Panics if the sample has fewer than 12 values.
     #[must_use]
     pub fn evaluate(sample: &[f64]) -> Self {
-        assert!(sample.len() >= 12, "IID evaluation needs at least 12 samples");
+        assert!(
+            sample.len() >= 12,
+            "IID evaluation needs at least 12 samples"
+        );
         let half = sample.len() / 2;
         let lags = (sample.len() / 5).clamp(2, 20);
         // A constant sample is trivially i.i.d.: every test reports "no
         // evidence against".
         if variance(sample) == 0.0 {
-            let pass = TestResult { statistic: 0.0, p_value: 1.0 };
-            return Self { ks: pass, ljung_box: pass, runs: pass };
+            let pass = TestResult {
+                statistic: 0.0,
+                p_value: 1.0,
+            };
+            return Self {
+                ks: pass,
+                ljung_box: pass,
+                runs: pass,
+            };
         }
         Self {
             ks: ks_two_sample(&sample[..half], &sample[half..]),
@@ -262,3 +299,10 @@ mod tests {
         }
     }
 }
+
+mbcr_json::impl_serialize_struct!(TestResult { statistic, p_value });
+mbcr_json::impl_serialize_struct!(IidReport {
+    ks,
+    ljung_box,
+    runs
+});

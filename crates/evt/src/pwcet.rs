@@ -145,7 +145,10 @@ impl Pwcet {
     /// Panics unless `0 < p < 1`.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "exceedance probability must be in (0, 1)");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "exceedance probability must be in (0, 1)"
+        );
         match &self.tail {
             TailModel::Degenerate => self.eccdf.max(),
             TailModel::ExpTail(f) => {
@@ -161,7 +164,9 @@ impl Pwcet {
                 // Use the empirical body where the sample still resolves p.
                 let resolvable = 10.0 / self.eccdf.len() as f64;
                 if p >= resolvable {
-                    self.eccdf.quantile(p).max(g.quantile(p).min(self.eccdf.max()))
+                    self.eccdf
+                        .quantile(p)
+                        .max(g.quantile(p).min(self.eccdf.max()))
                 } else {
                     g.quantile(p)
                 }
@@ -206,14 +211,21 @@ mod tests {
 
     fn sample(n: usize, seed: u64) -> Vec<u64> {
         let mut rng = Xoshiro256PlusPlus::from_seed(seed);
-        (0..n).map(|_| 1000 + rng.exponential(0.02) as u64).collect()
+        (0..n)
+            .map(|_| 1000 + rng.exponential(0.02) as u64)
+            .collect()
     }
 
     #[test]
     fn body_matches_empirical_tail_extrapolates() {
         let s = sample(10_000, 3);
-        let p = Pwcet::fit(&s, FitMethod::ExpTailCv, &TailConfig::default(), Dither::None)
-            .unwrap();
+        let p = Pwcet::fit(
+            &s,
+            FitMethod::ExpTailCv,
+            &TailConfig::default(),
+            Dither::None,
+        )
+        .unwrap();
         // Body: median must equal the empirical median.
         assert_eq!(p.quantile(0.5), p.eccdf().quantile(0.5));
         // Tail: beyond the sample resolution the estimate exceeds the max.
@@ -223,8 +235,13 @@ mod tests {
     #[test]
     fn degenerate_sample_yields_constant() {
         let s = vec![777u64; 500];
-        let p = Pwcet::fit(&s, FitMethod::ExpTailCv, &TailConfig::default(), Dither::None)
-            .unwrap();
+        let p = Pwcet::fit(
+            &s,
+            FitMethod::ExpTailCv,
+            &TailConfig::default(),
+            Dither::None,
+        )
+        .unwrap();
         assert_eq!(*p.tail(), TailModel::Degenerate);
         assert_eq!(p.quantile(1e-12), 777.0);
         assert_eq!(p.exceedance(777.0), 0.0);
@@ -265,7 +282,12 @@ mod tests {
     #[test]
     fn empty_sample_is_an_error() {
         assert!(matches!(
-            Pwcet::fit(&[], FitMethod::ExpTailCv, &TailConfig::default(), Dither::None),
+            Pwcet::fit(
+                &[],
+                FitMethod::ExpTailCv,
+                &TailConfig::default(),
+                Dither::None
+            ),
             Err(EvtError::NotEnoughData { .. })
         ));
     }
@@ -273,12 +295,39 @@ mod tests {
     #[test]
     fn exceedance_and_quantile_are_consistent() {
         let s = sample(8_000, 11);
-        let p = Pwcet::fit(&s, FitMethod::ExpTailCv, &TailConfig::default(), Dither::None)
-            .unwrap();
+        let p = Pwcet::fit(
+            &s,
+            FitMethod::ExpTailCv,
+            &TailConfig::default(),
+            Dither::None,
+        )
+        .unwrap();
         for prob in [1e-6, 1e-9] {
             let x = p.quantile(prob);
             let back = p.exceedance(x);
-            assert!((back - prob).abs() / prob < 0.01, "prob = {prob}, back = {back}");
+            assert!(
+                (back - prob).abs() / prob < 0.01,
+                "prob = {prob}, back = {back}"
+            );
+        }
+    }
+}
+
+mbcr_json::impl_serialize_struct!(Pwcet { eccdf, tail });
+
+impl mbcr_json::Serialize for TailModel {
+    fn to_json(&self) -> mbcr_json::Json {
+        use mbcr_json::Json;
+        match self {
+            TailModel::ExpTail(fit) => Json::Obj(vec![
+                ("kind".to_string(), "exp_tail".into()),
+                ("fit".to_string(), mbcr_json::Serialize::to_json(fit)),
+            ]),
+            TailModel::Gumbel(fit) => Json::Obj(vec![
+                ("kind".to_string(), "gumbel".into()),
+                ("fit".to_string(), mbcr_json::Serialize::to_json(fit)),
+            ]),
+            TailModel::Degenerate => Json::Obj(vec![("kind".to_string(), "degenerate".into())]),
         }
     }
 }

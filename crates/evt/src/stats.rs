@@ -151,8 +151,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -231,7 +230,13 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n-1)!
-        for (n, fact) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+        for (n, fact) in [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ] {
             assert!((ln_gamma(n) - f64::ln(fact)).abs() < 1e-10, "n = {n}");
         }
         // Γ(1/2) = sqrt(pi).

@@ -31,7 +31,9 @@ pub struct InterpConfig {
 
 impl Default for InterpConfig {
     fn default() -> Self {
-        Self { max_trace_len: 50_000_000 }
+        Self {
+            max_trace_len: 50_000_000,
+        }
     }
 }
 
@@ -168,15 +170,25 @@ impl fmt::Display for InterpError {
                 write!(f, "index {index} out of bounds for arr{}", array.0)
             }
             InterpError::LoopBoundExceeded { id, max_iter } => {
-                write!(f, "loop {id} exceeded its declared bound of {max_iter} iterations")
+                write!(
+                    f,
+                    "loop {id} exceeded its declared bound of {max_iter} iterations"
+                )
             }
             InterpError::ForRangeExceedsBound { id, span, max_iter } => {
-                write!(f, "for-loop {id} range of {span} iterations exceeds bound {max_iter}")
+                write!(
+                    f,
+                    "for-loop {id} range of {span} iterations exceeds bound {max_iter}"
+                )
             }
             InterpError::TraceLimitExceeded { limit } => {
                 write!(f, "trace exceeded the configured limit of {limit} accesses")
             }
-            InterpError::ArrayLengthMismatch { array, expected, got } => write!(
+            InterpError::ArrayLengthMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
                 f,
                 "input for arr{} has {got} elements, declaration says {expected}",
                 array.0
@@ -223,8 +235,11 @@ pub fn execute_with(
     for &(v, val) in inputs.vars() {
         vars[v.0 as usize] = val;
     }
-    let mut arrays: Vec<Vec<i64>> =
-        program.arrays().iter().map(|d| vec![0i64; d.len as usize]).collect();
+    let mut arrays: Vec<Vec<i64>> = program
+        .arrays()
+        .iter()
+        .map(|d| vec![0i64; d.len as usize])
+        .collect();
     for (a, values) in inputs.arrays() {
         let decl = &program.arrays()[a.0 as usize];
         if values.len() != decl.len as usize {
@@ -244,7 +259,11 @@ pub fn execute_with(
         path: PathRecord::new(),
     };
     interp.exec_stmts(program.body(), &layout.nodes)?;
-    Ok(Run { trace: interp.trace, path: interp.path, state: interp.state })
+    Ok(Run {
+        trace: interp.trace,
+        path: interp.path,
+        state: interp.state,
+    })
 }
 
 /// Emission cursor over one statement's instruction span: interleaves the
@@ -286,7 +305,9 @@ struct Interp<'p> {
 impl Interp<'_> {
     fn check_limit(&self) -> Result<(), InterpError> {
         if self.trace.len() > self.cfg.max_trace_len {
-            Err(InterpError::TraceLimitExceeded { limit: self.cfg.max_trace_len })
+            Err(InterpError::TraceLimitExceeded {
+                limit: self.cfg.max_trace_len,
+            })
         } else {
             Ok(())
         }
@@ -301,7 +322,10 @@ impl Interp<'_> {
                 cur.fetch(&mut self.trace); // the load instruction itself
                 let decl = &self.program.arrays()[a.0 as usize];
                 if i < 0 || i >= i64::from(decl.len) {
-                    return Err(InterpError::IndexOutOfBounds { array: *a, index: i });
+                    return Err(InterpError::IndexOutOfBounds {
+                        array: *a,
+                        index: i,
+                    });
                 }
                 self.trace.push(Access::read(decl.elem_addr(i)));
                 Ok(self.state.arrays[a.0 as usize][i as usize])
@@ -428,14 +452,24 @@ impl Interp<'_> {
                 self.state.vars[v.0 as usize] = val;
                 Ok(())
             }
-            (Stmt::Store { array, index, value }, LayoutNode::Leaf(span)) => {
+            (
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                },
+                LayoutNode::Leaf(span),
+            ) => {
                 let mut cur = Cursor::new(*span);
                 let i = self.eval(index, &mut cur)?;
                 let val = self.eval(value, &mut cur)?;
                 cur.finish(&mut self.trace);
                 let decl = &self.program.arrays()[array.0 as usize];
                 if i < 0 || i >= i64::from(decl.len) {
-                    return Err(InterpError::IndexOutOfBounds { array: *array, index: i });
+                    return Err(InterpError::IndexOutOfBounds {
+                        array: *array,
+                        index: i,
+                    });
                 }
                 self.state.arrays[array.0 as usize][i as usize] = val;
                 self.trace.push(Access::write(decl.elem_addr(i)));
@@ -467,8 +501,17 @@ impl Interp<'_> {
                 Ok(())
             }
             (
-                Stmt::If { cond, then_branch, else_branch },
-                LayoutNode::If { id, header, then_branch: tn, else_branch: en },
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                },
+                LayoutNode::If {
+                    id,
+                    header,
+                    then_branch: tn,
+                    else_branch: en,
+                },
             ) => {
                 let mut cur = Cursor::new(*header);
                 let c = self.eval(cond, &mut cur)?;
@@ -482,8 +525,16 @@ impl Interp<'_> {
                 }
             }
             (
-                Stmt::While { cond, max_iter, body },
-                LayoutNode::While { id, header, body: bn },
+                Stmt::While {
+                    cond,
+                    max_iter,
+                    body,
+                },
+                LayoutNode::While {
+                    id,
+                    header,
+                    body: bn,
+                },
             ) => {
                 let mut iters = 0u32;
                 loop {
@@ -507,8 +558,19 @@ impl Interp<'_> {
                 Ok(())
             }
             (
-                Stmt::For { var, from, to, max_iter, body },
-                LayoutNode::For { id, init, iter, body: bn },
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    max_iter,
+                    body,
+                },
+                LayoutNode::For {
+                    id,
+                    init,
+                    iter,
+                    body: bn,
+                },
             ) => {
                 let mut cur = Cursor::new(*init);
                 let lo = self.eval(from, &mut cur)?;
@@ -534,7 +596,10 @@ impl Interp<'_> {
                     self.check_limit()?;
                     i += 1;
                 }
-                self.path.push(Decision::Loop { id: *id, iters: span as u32 });
+                self.path.push(Decision::Loop {
+                    id: *id,
+                    iters: span as u32,
+                });
                 Ok(())
             }
             _ => unreachable!("layout node does not match statement shape"),
@@ -585,7 +650,11 @@ mod tests {
         expected.extend(std::iter::repeat_n(AccessKind::InstrFetch, 7));
         assert_eq!(kinds, expected);
         // Data address = base + 2*4.
-        let read = run.trace.iter().find(|a| a.kind == AccessKind::Read).unwrap();
+        let read = run
+            .trace
+            .iter()
+            .find(|a| a.kind == AccessKind::Read)
+            .unwrap();
         assert_eq!(read.addr.0, p.arrays()[0].base + 8);
     }
 
@@ -615,7 +684,10 @@ mod tests {
 
         let run_t = execute(&p, &Inputs::new().with_var(x, 5)).unwrap();
         assert_eq!(run_t.state.var(y), 1);
-        assert_eq!(run_t.path.decisions(), &[Decision::Branch { id: 0, taken: true }]);
+        assert_eq!(
+            run_t.path.decisions(),
+            &[Decision::Branch { id: 0, taken: true }]
+        );
 
         let run_f = execute(&p, &Inputs::new().with_var(x, -1)).unwrap();
         assert_eq!(run_f.state.var(y), 2);
@@ -688,7 +760,11 @@ mod tests {
         let p = b.build().unwrap();
         assert!(matches!(
             execute(&p, &Inputs::new()).unwrap_err(),
-            InterpError::ForRangeExceedsBound { span: 10, max_iter: 4, .. }
+            InterpError::ForRangeExceedsBound {
+                span: 10,
+                max_iter: 4,
+                ..
+            }
         ));
     }
 
@@ -711,7 +787,10 @@ mod tests {
         let y = b.var("y");
         b.push(Stmt::Assign(x, c(1).div(Expr::var(y))));
         let p = b.build().unwrap();
-        assert_eq!(execute(&p, &Inputs::new()).unwrap_err(), InterpError::DivByZero);
+        assert_eq!(
+            execute(&p, &Inputs::new()).unwrap_err(),
+            InterpError::DivByZero
+        );
     }
 
     #[test]
@@ -733,12 +812,19 @@ mod tests {
         let a = b.array("a", 4);
         let x = b.var("x");
         b.push(Stmt::Assign(x, c(5)));
-        b.push(Stmt::Touch { refs: vec![(a, Expr::var(x))], pad: 1 }); // index 5 wraps to 1
+        b.push(Stmt::Touch {
+            refs: vec![(a, Expr::var(x))],
+            pad: 1,
+        }); // index 5 wraps to 1
         let p = b.build().unwrap();
         let run = execute(&p, &Inputs::new().with_array(a, vec![9, 9, 9, 9])).unwrap();
         assert_eq!(run.state.var(x), 5, "touch must not change state");
         assert_eq!(run.state.array(a), &[9, 9, 9, 9]);
-        let read = run.trace.iter().find(|acc| acc.kind == AccessKind::Read).unwrap();
+        let read = run
+            .trace
+            .iter()
+            .find(|acc| acc.kind == AccessKind::Read)
+            .unwrap();
         assert_eq!(read.addr.0, p.arrays()[0].base + 4, "wrapped to index 1");
         // x = 5 and the touch: one line-quantized span (8 slots) each.
         assert_eq!(run.trace.instr_fetches().count(), 16);
@@ -751,7 +837,11 @@ mod tests {
         let p = b.build().unwrap();
         assert_eq!(
             execute(&p, &Inputs::new().with_array(a, vec![1, 2])).unwrap_err(),
-            InterpError::ArrayLengthMismatch { array: a, expected: 4, got: 2 }
+            InterpError::ArrayLengthMismatch {
+                array: a,
+                expected: 4,
+                got: 2
+            }
         );
     }
 
@@ -759,10 +849,16 @@ mod tests {
     fn trace_limit_enforced() {
         let mut b = ProgramBuilder::new("t");
         let i = b.var("i");
-        b.push(Stmt::for_(i, c(0), c(1000), 1000, vec![Stmt::Nop { count: 10 }]));
+        b.push(Stmt::for_(
+            i,
+            c(0),
+            c(1000),
+            1000,
+            vec![Stmt::Nop { count: 10 }],
+        ));
         let p = b.build().unwrap();
-        let err = execute_with(&p, &Inputs::new(), &InterpConfig { max_trace_len: 100 })
-            .unwrap_err();
+        let err =
+            execute_with(&p, &Inputs::new(), &InterpConfig { max_trace_len: 100 }).unwrap_err();
         assert_eq!(err, InterpError::TraceLimitExceeded { limit: 100 });
     }
 
@@ -777,7 +873,10 @@ mod tests {
             c(0),
             c(8),
             8,
-            vec![Stmt::Assign(s, Expr::var(s).add(Expr::load(a, Expr::var(i))))],
+            vec![Stmt::Assign(
+                s,
+                Expr::var(s).add(Expr::load(a, Expr::var(i))),
+            )],
         ));
         let p = b.build().unwrap();
         let r1 = execute(&p, &Inputs::new()).unwrap();

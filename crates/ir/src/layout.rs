@@ -50,7 +50,11 @@ impl InstrSpan {
     #[inline]
     #[must_use]
     pub fn instr_addr(&self, i: u32) -> u64 {
-        let i = if self.count == 0 { 0 } else { i.min(self.count - 1) };
+        let i = if self.count == 0 {
+            0
+        } else {
+            i.min(self.count - 1)
+        };
         self.addr + u64::from(i) * INSTR_BYTES
     }
 
@@ -129,7 +133,11 @@ pub fn layout_program(p: &Program) -> Layout {
     let mut pc = CODE_BASE;
     let mut next_id = 0u32;
     let nodes = layout_stmts(p.body(), &mut pc, &mut next_id);
-    Layout { nodes, code_end: pc, construct_count: next_id }
+    Layout {
+        nodes,
+        code_end: pc,
+        construct_count: next_id,
+    }
 }
 
 fn take_span(pc: &mut u64, count: u32) -> InstrSpan {
@@ -147,7 +155,11 @@ fn layout_stmts(stmts: &[Stmt], pc: &mut u64, next_id: &mut u32) -> Vec<LayoutNo
             Stmt::Assign(..) | Stmt::Store { .. } | Stmt::Touch { .. } | Stmt::Nop { .. } => {
                 LayoutNode::Leaf(take_span(pc, s.own_instr_count()))
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let id = *next_id;
                 *next_id += 1;
                 let header = take_span(pc, s.own_instr_count());
@@ -165,14 +177,23 @@ fn layout_stmts(stmts: &[Stmt], pc: &mut u64, next_id: &mut u32) -> Vec<LayoutNo
                 *pc = start;
                 let else_nodes = layout_stmts(else_branch, pc, next_id);
                 *pc = (*pc).max(then_end);
-                LayoutNode::If { id, header, then_branch: then_nodes, else_branch: else_nodes }
+                LayoutNode::If {
+                    id,
+                    header,
+                    then_branch: then_nodes,
+                    else_branch: else_nodes,
+                }
             }
             Stmt::While { body, .. } => {
                 let id = *next_id;
                 *next_id += 1;
                 let header = take_span(pc, s.own_instr_count());
                 let body_nodes = layout_stmts(body, pc, next_id);
-                LayoutNode::While { id, header, body: body_nodes }
+                LayoutNode::While {
+                    id,
+                    header,
+                    body: body_nodes,
+                }
             }
             Stmt::For { body, .. } => {
                 let id = *next_id;
@@ -181,7 +202,12 @@ fn layout_stmts(stmts: &[Stmt], pc: &mut u64, next_id: &mut u32) -> Vec<LayoutNo
                 // Increment + compare/branch per iteration check.
                 let iter = take_span(pc, 2);
                 let body_nodes = layout_stmts(body, pc, next_id);
-                LayoutNode::For { id, init, iter, body: body_nodes }
+                LayoutNode::For {
+                    id,
+                    init,
+                    iter,
+                    body: body_nodes,
+                }
             }
         })
         .collect()
@@ -207,20 +233,34 @@ mod tests {
         let p = b.build().unwrap();
         let l = layout_program(&p);
 
-        let LayoutNode::Leaf(first) = &l.nodes[0] else { panic!("leaf expected") };
+        let LayoutNode::Leaf(first) = &l.nodes[0] else {
+            panic!("leaf expected")
+        };
         // x = a[0] is 4 instructions, quantized to one full line (8 slots).
         assert_eq!((first.addr, first.count), (CODE_BASE, 8));
 
-        let LayoutNode::If { id, header, then_branch, else_branch } = &l.nodes[1] else {
+        let LayoutNode::If {
+            id,
+            header,
+            then_branch,
+            else_branch,
+        } = &l.nodes[1]
+        else {
             panic!("if expected")
         };
         assert_eq!(*id, 0);
         assert_eq!(header.addr, first.end());
-        let LayoutNode::Leaf(t0) = &then_branch[0] else { panic!() };
+        let LayoutNode::Leaf(t0) = &then_branch[0] else {
+            panic!()
+        };
         assert_eq!(t0.addr, header.end(), "then-branch follows the header");
-        let LayoutNode::Leaf(e0) = &else_branch[0] else { panic!() };
+        let LayoutNode::Leaf(e0) = &else_branch[0] else {
+            panic!()
+        };
         assert_eq!(e0.addr, t0.addr, "else-branch overlays the then-branch");
-        let LayoutNode::Leaf(e1) = &else_branch[1] else { panic!() };
+        let LayoutNode::Leaf(e1) = &else_branch[1] else {
+            panic!()
+        };
         assert_eq!((e1.addr, e1.count), (e0.end(), 8));
         assert_eq!(l.code_end, e1.end());
         assert_eq!(l.construct_count, 1);
@@ -230,14 +270,27 @@ mod tests {
     fn for_gets_init_and_iter_spans() {
         let mut b = ProgramBuilder::new("t");
         let i = b.var("i");
-        b.push(Stmt::for_(i, Expr::c(0), Expr::c(4), 4, vec![Stmt::Nop { count: 1 }]));
+        b.push(Stmt::for_(
+            i,
+            Expr::c(0),
+            Expr::c(4),
+            4,
+            vec![Stmt::Nop { count: 1 }],
+        ));
         let p = b.build().unwrap();
         let l = layout_program(&p);
-        let LayoutNode::For { init, iter, body, .. } = &l.nodes[0] else { panic!() };
+        let LayoutNode::For {
+            init, iter, body, ..
+        } = &l.nodes[0]
+        else {
+            panic!()
+        };
         assert_eq!(init.count, 8, "li+li+init, quantized to one line");
         assert_eq!(iter.count, 8, "inc+cmp, quantized to one line");
         assert_eq!(iter.addr, init.end());
-        let LayoutNode::Leaf(b0) = &body[0] else { panic!() };
+        let LayoutNode::Leaf(b0) = &body[0] else {
+            panic!()
+        };
         assert_eq!(b0.addr, iter.end());
     }
 
@@ -253,16 +306,25 @@ mod tests {
         b.push(Stmt::if_(Expr::var(x).gt(Expr::c(1)), vec![], vec![]));
         let p = b.build().unwrap();
         let l = layout_program(&p);
-        let LayoutNode::While { id: w, body, .. } = &l.nodes[0] else { panic!() };
-        let LayoutNode::If { id: inner, .. } = &body[0] else { panic!() };
-        let LayoutNode::If { id: outer2, .. } = &l.nodes[1] else { panic!() };
+        let LayoutNode::While { id: w, body, .. } = &l.nodes[0] else {
+            panic!()
+        };
+        let LayoutNode::If { id: inner, .. } = &body[0] else {
+            panic!()
+        };
+        let LayoutNode::If { id: outer2, .. } = &l.nodes[1] else {
+            panic!()
+        };
         assert_eq!((*w, *inner, *outer2), (0, 1, 2));
         assert_eq!(l.construct_count, 3);
     }
 
     #[test]
     fn instr_addr_clamps() {
-        let s = InstrSpan { addr: 100, count: 2 };
+        let s = InstrSpan {
+            addr: 100,
+            count: 2,
+        };
         assert_eq!(s.instr_addr(0), 100);
         assert_eq!(s.instr_addr(1), 104);
         assert_eq!(s.instr_addr(9), 104, "clamped to last slot");

@@ -58,10 +58,10 @@ mod program;
 mod stmt;
 
 pub use expr::{BinOp, Expr, UnOp};
-pub use pretty::pretty_print;
 pub use interp::{execute, execute_with, ExecState, Inputs, InterpConfig, InterpError, Run};
 pub use layout::{layout_program, InstrSpan, Layout, LayoutNode, CODE_ALIGN, INSTRS_PER_LINE};
 pub use paths::{Decision, PathRecord};
+pub use pretty::pretty_print;
 pub use program::{
     ArrayDecl, ArrayId, Program, ProgramBuilder, ProgramError, Var, ARRAY_ALIGN, CODE_BASE,
     DATA_BASE, ELEM_BYTES, INSTR_BYTES,

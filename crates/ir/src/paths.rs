@@ -149,7 +149,10 @@ mod tests {
         let mut a = PathRecord::new();
         a.push(Decision::Branch { id: 0, taken: true });
         let mut b = PathRecord::new();
-        b.push(Decision::Branch { id: 0, taken: false });
+        b.push(Decision::Branch {
+            id: 0,
+            taken: false,
+        });
         assert_ne!(a.path_id(), b.path_id());
         assert_eq!(a.path_id(), a.clone().path_id());
         assert_ne!(PathRecord::new().path_id(), a.path_id());
@@ -158,7 +161,10 @@ mod tests {
     #[test]
     fn branch_and_loop_records_do_not_collide_trivially() {
         let mut a = PathRecord::new();
-        a.push(Decision::Branch { id: 1, taken: false });
+        a.push(Decision::Branch {
+            id: 1,
+            taken: false,
+        });
         let mut b = PathRecord::new();
         b.push(Decision::Loop { id: 1, iters: 0 });
         assert_ne!(a.path_id(), b.path_id());

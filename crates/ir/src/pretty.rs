@@ -70,11 +70,24 @@ fn print_stmt(p: &Program, s: &Stmt, depth: usize, out: &mut String) {
             let name = &p.var_names()[v.0 as usize];
             let _ = writeln!(out, "{name} = {};", expr_str(p, e));
         }
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             let name = &p.arrays()[array.0 as usize].name;
-            let _ = writeln!(out, "{name}[{}] = {};", expr_str(p, index), expr_str(p, value));
+            let _ = writeln!(
+                out,
+                "{name}[{}] = {};",
+                expr_str(p, index),
+                expr_str(p, value)
+            );
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let _ = writeln!(out, "if ({}) {{", expr_str(p, cond));
             print_stmts(p, then_branch, depth + 1, out);
             if else_branch.is_empty() {
@@ -88,13 +101,23 @@ fn print_stmt(p: &Program, s: &Stmt, depth: usize, out: &mut String) {
                 out.push_str("}\n");
             }
         }
-        Stmt::While { cond, max_iter, body } => {
+        Stmt::While {
+            cond,
+            max_iter,
+            body,
+        } => {
             let _ = writeln!(out, "while ({}) {{ // bound {max_iter}", expr_str(p, cond));
             print_stmts(p, body, depth + 1, out);
             indent(out, depth);
             out.push_str("}\n");
         }
-        Stmt::For { var, from, to, max_iter, body } => {
+        Stmt::For {
+            var,
+            from,
+            to,
+            max_iter,
+            body,
+        } => {
             let name = &p.var_names()[var.0 as usize];
             let _ = writeln!(
                 out,
@@ -109,9 +132,7 @@ fn print_stmt(p: &Program, s: &Stmt, depth: usize, out: &mut String) {
         Stmt::Touch { refs, pad } => {
             let targets: Vec<String> = refs
                 .iter()
-                .map(|(a, idx)| {
-                    format!("{}[{}]", p.arrays()[a.0 as usize].name, expr_str(p, idx))
-                })
+                .map(|(a, idx)| format!("{}[{}]", p.arrays()[a.0 as usize].name, expr_str(p, idx)))
                 .collect();
             let _ = writeln!(out, "__pub_touch({}); // +{pad} nops", targets.join(", "));
         }
@@ -161,7 +182,10 @@ mod tests {
     fn renders_pub_statements() {
         let mut b = ProgramBuilder::new("t");
         let a = b.array("a", 4);
-        b.push(Stmt::Touch { refs: vec![(a, Expr::c(0))], pad: 2 });
+        b.push(Stmt::Touch {
+            refs: vec![(a, Expr::c(0))],
+            pad: 2,
+        });
         b.push(Stmt::Nop { count: 3 });
         let text = pretty_print(&b.build().unwrap());
         assert!(text.contains("__pub_touch(a[0]); // +2 nops"));

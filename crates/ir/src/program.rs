@@ -42,7 +42,8 @@ impl ArrayDecl {
     /// interpreter checks).
     #[must_use]
     pub fn elem_addr(&self, index: i64) -> u64 {
-        self.base.wrapping_add((index as u64).wrapping_mul(ELEM_BYTES))
+        self.base
+            .wrapping_add((index as u64).wrapping_mul(ELEM_BYTES))
     }
 }
 
@@ -124,7 +125,10 @@ impl Program {
     /// Looks up a variable by name.
     #[must_use]
     pub fn var_by_name(&self, name: &str) -> Option<Var> {
-        self.var_names.iter().position(|n| n == name).map(|i| Var(i as u32))
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
     }
 
     /// The array declarations (indexed by [`ArrayId`]).
@@ -136,7 +140,10 @@ impl Program {
     /// Looks up an array by name.
     #[must_use]
     pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
-        self.arrays.iter().position(|a| a.name == name).map(|i| ArrayId(i as u32))
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId(i as u32))
     }
 
     /// The top-level statement list.
@@ -205,10 +212,10 @@ impl Program {
     /// Useful for classifying trace accesses back to program objects.
     #[must_use]
     pub fn array_containing(&self, addr: u64) -> Option<ArrayId> {
-        self.arrays.iter().position(|d| {
-            addr >= d.base && addr < d.base + u64::from(d.len) * ELEM_BYTES
-        })
-        .map(|i| ArrayId(i as u32))
+        self.arrays
+            .iter()
+            .position(|d| addr >= d.base && addr < d.base + u64::from(d.len) * ELEM_BYTES)
+            .map(|i| ArrayId(i as u32))
     }
 
     fn validate(&self) -> Result<(), ProgramError> {
@@ -244,26 +251,44 @@ impl Program {
                         }
                         check_expr(e, vars, arrays)?;
                     }
-                    Stmt::Store { array, index, value } => {
+                    Stmt::Store {
+                        array,
+                        index,
+                        value,
+                    } => {
                         if (array.0 as usize) >= arrays {
                             return Err(ProgramError::UnknownArray(array.0));
                         }
                         check_expr(index, vars, arrays)?;
                         check_expr(value, vars, arrays)?;
                     }
-                    Stmt::If { cond, then_branch, else_branch } => {
+                    Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    } => {
                         check_expr(cond, vars, arrays)?;
                         check_stmts(then_branch, vars, arrays)?;
                         check_stmts(else_branch, vars, arrays)?;
                     }
-                    Stmt::While { cond, max_iter, body } => {
+                    Stmt::While {
+                        cond,
+                        max_iter,
+                        body,
+                    } => {
                         if *max_iter == 0 && !body.is_empty() {
                             return Err(ProgramError::ZeroLoopBound);
                         }
                         check_expr(cond, vars, arrays)?;
                         check_stmts(body, vars, arrays)?;
                     }
-                    Stmt::For { var, from, to, max_iter, body } => {
+                    Stmt::For {
+                        var,
+                        from,
+                        to,
+                        max_iter,
+                        body,
+                    } => {
                         if (var.0 as usize) >= vars {
                             return Err(ProgramError::UnknownVar(var.0));
                         }
@@ -363,7 +388,12 @@ impl ProgramBuilder {
             let bytes = u64::from(len) * ELEM_BYTES;
             base += bytes.div_ceil(ARRAY_ALIGN) * ARRAY_ALIGN;
         }
-        let p = Program { name: self.name, var_names: self.var_names, arrays, body: self.body };
+        let p = Program {
+            name: self.name,
+            var_names: self.var_names,
+            arrays,
+            body: self.body,
+        };
         p.validate()?;
         Ok(p)
     }
@@ -414,7 +444,11 @@ mod tests {
     fn validation_rejects_zero_loop_bound() {
         let mut b = ProgramBuilder::new("t");
         let x = b.var("x");
-        b.push(Stmt::while_(Expr::c(0), 0, vec![Stmt::Assign(x, Expr::c(1))]));
+        b.push(Stmt::while_(
+            Expr::c(0),
+            0,
+            vec![Stmt::Assign(x, Expr::c(1))],
+        ));
         assert_eq!(b.build().unwrap_err(), ProgramError::ZeroLoopBound);
     }
 

@@ -85,25 +85,43 @@ impl Stmt {
     /// Convenience constructor for [`Stmt::Store`].
     #[must_use]
     pub fn store(array: ArrayId, index: Expr, value: Expr) -> Stmt {
-        Stmt::Store { array, index, value }
+        Stmt::Store {
+            array,
+            index,
+            value,
+        }
     }
 
     /// Convenience constructor for [`Stmt::If`].
     #[must_use]
     pub fn if_(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_branch, else_branch }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        }
     }
 
     /// Convenience constructor for [`Stmt::While`].
     #[must_use]
     pub fn while_(cond: Expr, max_iter: u32, body: Vec<Stmt>) -> Stmt {
-        Stmt::While { cond, max_iter, body }
+        Stmt::While {
+            cond,
+            max_iter,
+            body,
+        }
     }
 
     /// Convenience constructor for [`Stmt::For`].
     #[must_use]
     pub fn for_(var: Var, from: Expr, to: Expr, max_iter: u32, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { var, from, to, max_iter, body }
+        Stmt::For {
+            var,
+            from,
+            to,
+            max_iter,
+            body,
+        }
     }
 
     /// Number of instructions of the statement itself, excluding nested
@@ -117,9 +135,7 @@ impl Stmt {
     pub fn own_instr_count(&self) -> u32 {
         match self {
             Stmt::Assign(_, e) => e.instr_cost() + 1,
-            Stmt::Store { index, value, .. } => {
-                index.instr_cost() + value.instr_cost() + 2
-            }
+            Stmt::Store { index, value, .. } => index.instr_cost() + value.instr_cost() + 2,
             Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond.instr_cost() + 1,
             Stmt::For { from, to, .. } => from.instr_cost() + to.instr_cost() + 1,
             // One instruction per ref (index evaluation is silent register
@@ -149,7 +165,10 @@ mod tests {
         // RISC cost model: li = 1, load = addr+ld = 2 (+ index code),
         // operator = 1, plus one store/move/branch per statement.
         assert_eq!(Stmt::Assign(v, Expr::c(1)).own_instr_count(), 2);
-        assert_eq!(Stmt::Assign(v, Expr::load(a, Expr::c(0))).own_instr_count(), 4);
+        assert_eq!(
+            Stmt::Assign(v, Expr::load(a, Expr::c(0))).own_instr_count(),
+            4
+        );
         assert_eq!(
             Stmt::store(a, Expr::c(0), Expr::load(a, Expr::c(1))).own_instr_count(),
             6
@@ -160,14 +179,20 @@ mod tests {
         );
         assert_eq!(Stmt::Nop { count: 5 }.own_instr_count(), 5);
         assert_eq!(
-            Stmt::Touch { refs: vec![(a, Expr::c(0)), (a, Expr::c(1))], pad: 3 }
-                .own_instr_count(),
+            Stmt::Touch {
+                refs: vec![(a, Expr::c(0)), (a, Expr::c(1))],
+                pad: 3
+            }
+            .own_instr_count(),
             5
         );
         // Index evaluation inside a touch is silent: still one instruction.
         assert_eq!(
-            Stmt::Touch { refs: vec![(a, Expr::load(a, Expr::c(0)))], pad: 0 }
-                .own_instr_count(),
+            Stmt::Touch {
+                refs: vec![(a, Expr::load(a, Expr::c(0)))],
+                pad: 0
+            }
+            .own_instr_count(),
             1
         );
     }
@@ -175,7 +200,11 @@ mod tests {
     #[test]
     fn innocuous_classification() {
         assert!(Stmt::Nop { count: 1 }.is_innocuous());
-        assert!(Stmt::Touch { refs: vec![], pad: 0 }.is_innocuous());
+        assert!(Stmt::Touch {
+            refs: vec![],
+            pad: 0
+        }
+        .is_innocuous());
         assert!(!Stmt::Assign(Var(0), Expr::c(0)).is_innocuous());
     }
 }

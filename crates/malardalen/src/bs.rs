@@ -153,7 +153,12 @@ mod tests {
         let p = program();
         for k in 0..8 {
             let run = execute(&p, &table_inputs(&p, key_at(2 * k))).unwrap();
-            assert_eq!(run.path.loop_iters(0), Some(MAX_ITERS), "leaf index {}", 2 * k);
+            assert_eq!(
+                run.path.loop_iters(0),
+                Some(MAX_ITERS),
+                "leaf index {}",
+                2 * k
+            );
         }
         // The root (index 7) is found in one probe.
         let run = execute(&p, &table_inputs(&p, key_at(7))).unwrap();
@@ -171,6 +176,9 @@ mod tests {
     #[test]
     fn vector_names_match_paper() {
         let names: Vec<String> = input_vectors().into_iter().map(|n| n.name).collect();
-        assert_eq!(names, vec!["v1", "v3", "v5", "v7", "v9", "v11", "v13", "v15"]);
+        assert_eq!(
+            names,
+            vec!["v1", "v3", "v5", "v7", "v9", "v11", "v13", "v15"]
+        );
     }
 }

@@ -88,9 +88,18 @@ pub fn input_vectors() -> Vec<NamedInput> {
         .collect();
     let neg: Vec<i64> = pos.iter().map(|&v| -v).collect();
     vec![
-        NamedInput { name: "all_positive".into(), inputs: matrix_inputs(&p, pos) },
-        NamedInput { name: "mixed".into(), inputs: matrix_inputs(&p, mixed) },
-        NamedInput { name: "all_negative".into(), inputs: matrix_inputs(&p, neg) },
+        NamedInput {
+            name: "all_positive".into(),
+            inputs: matrix_inputs(&p, pos),
+        },
+        NamedInput {
+            name: "mixed".into(),
+            inputs: matrix_inputs(&p, mixed),
+        },
+        NamedInput {
+            name: "all_negative".into(),
+            inputs: matrix_inputs(&p, neg),
+        },
     ]
 }
 
@@ -116,7 +125,10 @@ mod tests {
         let p = program();
         let run = execute(&p, &default_input()).unwrap();
         let expected_sum: i64 = (0..DIM * DIM).map(|k| i64::from(k * 7 % 19 + 1)).sum();
-        assert_eq!(run.state.var(p.var_by_name("postotal").unwrap()), expected_sum);
+        assert_eq!(
+            run.state.var(p.var_by_name("postotal").unwrap()),
+            expected_sum
+        );
         assert_eq!(run.state.var(p.var_by_name("poscnt").unwrap()), 100);
         assert_eq!(run.state.var(p.var_by_name("negcnt").unwrap()), 0);
     }

@@ -83,9 +83,18 @@ pub fn input_vectors() -> Vec<NamedInput> {
     let p = program();
     let mixed: Vec<i64> = (0..LEN).map(|k| i64::from((k * 37 + 11) % 256)).collect();
     vec![
-        NamedInput { name: "mixed".into(), inputs: message_inputs(&p, mixed) },
-        NamedInput { name: "zeros".into(), inputs: message_inputs(&p, vec![0; LEN as usize]) },
-        NamedInput { name: "ones".into(), inputs: message_inputs(&p, vec![0xFF; LEN as usize]) },
+        NamedInput {
+            name: "mixed".into(),
+            inputs: message_inputs(&p, mixed),
+        },
+        NamedInput {
+            name: "zeros".into(),
+            inputs: message_inputs(&p, vec![0; LEN as usize]),
+        },
+        NamedInput {
+            name: "ones".into(),
+            inputs: message_inputs(&p, vec![0xFF; LEN as usize]),
+        },
     ]
 }
 

@@ -36,8 +36,11 @@ pub fn program() -> Program {
         vec![Stmt::store(
             a,
             Expr::var(i),
-            Expr::load(a, Expr::var(i))
-                .add(Expr::load(bb, Expr::var(i)).mul(Expr::c(18)).shr(Expr::c(15))),
+            Expr::load(a, Expr::var(i)).add(
+                Expr::load(bb, Expr::var(i))
+                    .mul(Expr::c(18))
+                    .shr(Expr::c(15)),
+            ),
         )],
     ));
     // mac: sum += a[i] * b[i]
@@ -77,7 +80,11 @@ pub fn program() -> Program {
             Stmt::store(y, Expr::var(i), Expr::var(acc).shr(Expr::c(3))),
         ],
     ));
-    b.push(Stmt::store(y, Expr::c(i64::from(N) - 1), Expr::var(sum).and(Expr::c(0x7FFF_FFFF))));
+    b.push(Stmt::store(
+        y,
+        Expr::c(i64::from(N) - 1),
+        Expr::var(sum).and(Expr::c(0x7FFF_FFFF)),
+    ));
     b.build().expect("edn is well-formed")
 }
 
@@ -95,7 +102,10 @@ pub fn default_input() -> Inputs {
 /// Single-path: one canonical vector.
 #[must_use]
 pub fn input_vectors() -> Vec<NamedInput> {
-    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+    vec![NamedInput {
+        name: "default".into(),
+        inputs: default_input(),
+    }]
 }
 
 /// The packaged benchmark.

@@ -50,11 +50,40 @@ fn lane_pass(block: ArrayId, lane: Var, t: &Tmp, idx: impl Fn(Expr, i64) -> Expr
             Stmt::Assign(t.s34, l(3).add(l(4))),
             Stmt::Assign(t.d34, l(3).sub(l(4))),
             // AAN: additions first, three multiplications at the end.
-            s(0, Expr::var(t.s07).add(Expr::var(t.s34)).add(Expr::var(t.s16)).add(Expr::var(t.s25))),
-            s(4, Expr::var(t.s07).add(Expr::var(t.s34)).sub(Expr::var(t.s16).add(Expr::var(t.s25)))),
-            s(2, Expr::var(t.s07).sub(Expr::var(t.s34)).mul(Expr::c(A2)).shr(Expr::c(10))),
-            s(6, Expr::var(t.s16).sub(Expr::var(t.s25)).mul(Expr::c(A3)).shr(Expr::c(10))),
-            s(1, Expr::var(t.d07).add(Expr::var(t.d16)).mul(Expr::c(A1)).shr(Expr::c(10))),
+            s(
+                0,
+                Expr::var(t.s07)
+                    .add(Expr::var(t.s34))
+                    .add(Expr::var(t.s16))
+                    .add(Expr::var(t.s25)),
+            ),
+            s(
+                4,
+                Expr::var(t.s07)
+                    .add(Expr::var(t.s34))
+                    .sub(Expr::var(t.s16).add(Expr::var(t.s25))),
+            ),
+            s(
+                2,
+                Expr::var(t.s07)
+                    .sub(Expr::var(t.s34))
+                    .mul(Expr::c(A2))
+                    .shr(Expr::c(10)),
+            ),
+            s(
+                6,
+                Expr::var(t.s16)
+                    .sub(Expr::var(t.s25))
+                    .mul(Expr::c(A3))
+                    .shr(Expr::c(10)),
+            ),
+            s(
+                1,
+                Expr::var(t.d07)
+                    .add(Expr::var(t.d16))
+                    .mul(Expr::c(A1))
+                    .shr(Expr::c(10)),
+            ),
             s(5, Expr::var(t.d25).add(Expr::var(t.d34)).shl(Expr::c(1))),
             s(3, Expr::var(t.d16).sub(Expr::var(t.d25))),
             s(7, Expr::var(t.d34).sub(Expr::var(t.d07))),
@@ -79,8 +108,12 @@ pub fn program() -> Program {
         d34: b.var("d34"),
     };
     let dim = i64::from(DIM);
-    b.push(lane_pass(block, lane, &t, move |i, k| i.mul(Expr::c(dim)).add(Expr::c(k))));
-    b.push(lane_pass(block, lane, &t, move |i, k| Expr::c(k * dim).add(i)));
+    b.push(lane_pass(block, lane, &t, move |i, k| {
+        i.mul(Expr::c(dim)).add(Expr::c(k))
+    }));
+    b.push(lane_pass(block, lane, &t, move |i, k| {
+        Expr::c(k * dim).add(i)
+    }));
     b.build().expect("fdct is well-formed")
 }
 
@@ -91,14 +124,19 @@ pub fn default_input() -> Inputs {
     let block = p.array_by_name("block").expect("block");
     Inputs::new().with_array(
         block,
-        (0..DIM * DIM).map(|k| i64::from(k / DIM) * 16 - 56).collect(),
+        (0..DIM * DIM)
+            .map(|k| i64::from(k / DIM) * 16 - 56)
+            .collect(),
     )
 }
 
 /// Single-path: one canonical vector.
 #[must_use]
 pub fn input_vectors() -> Vec<NamedInput> {
-    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+    vec![NamedInput {
+        name: "default".into(),
+        inputs: default_input(),
+    }]
 }
 
 /// The packaged benchmark.

@@ -61,7 +61,9 @@ pub fn program() -> Program {
 fn signal_inputs(p: &Program, samples: Vec<i64>, taps: Vec<i64>) -> Inputs {
     let input = p.array_by_name("input").expect("input array");
     let coef = p.array_by_name("coef").expect("coef array");
-    Inputs::new().with_array(input, samples).with_array(coef, taps)
+    Inputs::new()
+        .with_array(input, samples)
+        .with_array(coef, taps)
 }
 
 /// Default input: large samples, every output saturates (worst path).
@@ -84,9 +86,18 @@ pub fn input_vectors() -> Vec<NamedInput> {
         .map(|k| if k % 2 == 0 { 4000 } else { 1 })
         .collect();
     vec![
-        NamedInput { name: "saturating".into(), inputs: signal_inputs(&p, hot, taps.clone()) },
-        NamedInput { name: "quiet".into(), inputs: signal_inputs(&p, cold, taps.clone()) },
-        NamedInput { name: "mixed".into(), inputs: signal_inputs(&p, mixed, taps) },
+        NamedInput {
+            name: "saturating".into(),
+            inputs: signal_inputs(&p, hot, taps.clone()),
+        },
+        NamedInput {
+            name: "quiet".into(),
+            inputs: signal_inputs(&p, cold, taps.clone()),
+        },
+        NamedInput {
+            name: "mixed".into(),
+            inputs: signal_inputs(&p, mixed, taps),
+        },
     ]
 }
 

@@ -49,11 +49,7 @@ pub fn program() -> Program {
                     Expr::load(a, Expr::var(j).sub(Expr::c(1))).gt(Expr::load(a, Expr::var(j))),
                     vec![
                         Stmt::Assign(tmp, Expr::load(a, Expr::var(j))),
-                        Stmt::store(
-                            a,
-                            Expr::var(j),
-                            Expr::load(a, Expr::var(j).sub(Expr::c(1))),
-                        ),
+                        Stmt::store(a, Expr::var(j), Expr::load(a, Expr::var(j).sub(Expr::c(1)))),
                         Stmt::store(a, Expr::var(j).sub(Expr::c(1)), Expr::var(tmp)),
                         Stmt::Assign(j, Expr::var(j).sub(Expr::c(1))),
                     ],
@@ -119,7 +115,11 @@ mod tests {
         for v in input_vectors() {
             let run = execute(&p, &v.inputs).unwrap();
             let out = run.state.array(a);
-            assert!(out.windows(2).all(|w| w[0] <= w[1]), "vector {}: {out:?}", v.name);
+            assert!(
+                out.windows(2).all(|w| w[0] <= w[1]),
+                "vector {}: {out:?}",
+                v.name
+            );
         }
     }
 

@@ -48,7 +48,9 @@ pub fn program() -> Program {
                         vec![Stmt::Assign(b, Expr::var(b).add(Expr::c(2)))],
                     ),
                     Stmt::if_(
-                        Expr::var(b).ge(Expr::c(10)).and(Expr::var(b).le(Expr::c(12))),
+                        Expr::var(b)
+                            .ge(Expr::c(10))
+                            .and(Expr::var(b).le(Expr::c(12))),
                         vec![Stmt::Assign(a, Expr::var(a).add(Expr::c(10)))],
                         vec![Stmt::Assign(a, Expr::var(a).add(Expr::c(1)))],
                     ),

@@ -36,12 +36,7 @@ struct Vars {
 /// One DCT pass over the 8 rows (`stride = 1`) or columns (`stride = 8`)
 /// of the block. `idx(i, k)` returns the index expression of element `k`
 /// of lane `i`.
-fn pass(
-    block: ArrayId,
-    lane: Var,
-    v: &Vars,
-    idx: impl Fn(Expr, i64) -> Expr,
-) -> Stmt {
+fn pass(block: ArrayId, lane: Var, v: &Vars, idx: impl Fn(Expr, i64) -> Expr) -> Stmt {
     let l = |k: i64| Expr::load(block, idx(Expr::var(lane), k));
     let s = |k: i64, e: Expr| Stmt::store(block, idx(Expr::var(lane), k), e);
     Stmt::for_(
@@ -59,19 +54,66 @@ fn pass(
             Stmt::Assign(v.d1, l(1).sub(l(6))),
             Stmt::Assign(v.d2, l(2).sub(l(5))),
             Stmt::Assign(v.d3, l(3).sub(l(4))),
-            s(0, Expr::var(v.t0).add(Expr::var(v.t3)).add(Expr::var(v.t1)).add(Expr::var(v.t2)).shl(Expr::c(PASS_SHIFT))),
-            s(4, Expr::var(v.t0).add(Expr::var(v.t3)).sub(Expr::var(v.t1)).sub(Expr::var(v.t2)).shl(Expr::c(PASS_SHIFT))),
+            s(
+                0,
+                Expr::var(v.t0)
+                    .add(Expr::var(v.t3))
+                    .add(Expr::var(v.t1))
+                    .add(Expr::var(v.t2))
+                    .shl(Expr::c(PASS_SHIFT)),
+            ),
+            s(
+                4,
+                Expr::var(v.t0)
+                    .add(Expr::var(v.t3))
+                    .sub(Expr::var(v.t1))
+                    .sub(Expr::var(v.t2))
+                    .shl(Expr::c(PASS_SHIFT)),
+            ),
             Stmt::Assign(
                 v.z1,
-                Expr::var(v.t0).sub(Expr::var(v.t3)).add(Expr::var(v.t1).sub(Expr::var(v.t2))).mul(Expr::c(FIX_0_541)),
+                Expr::var(v.t0)
+                    .sub(Expr::var(v.t3))
+                    .add(Expr::var(v.t1).sub(Expr::var(v.t2)))
+                    .mul(Expr::c(FIX_0_541)),
             ),
-            s(2, Expr::var(v.z1).add(Expr::var(v.t0).sub(Expr::var(v.t3)).mul(Expr::c(FIX_0_765))).shr(Expr::c(13))),
-            s(6, Expr::var(v.z1).sub(Expr::var(v.t1).sub(Expr::var(v.t2)).mul(Expr::c(FIX_1_847))).shr(Expr::c(13))),
+            s(
+                2,
+                Expr::var(v.z1)
+                    .add(Expr::var(v.t0).sub(Expr::var(v.t3)).mul(Expr::c(FIX_0_765)))
+                    .shr(Expr::c(13)),
+            ),
+            s(
+                6,
+                Expr::var(v.z1)
+                    .sub(Expr::var(v.t1).sub(Expr::var(v.t2)).mul(Expr::c(FIX_1_847)))
+                    .shr(Expr::c(13)),
+            ),
             // Odd part (condensed: same loads/stores, representative ops).
-            s(1, Expr::var(v.d0).add(Expr::var(v.d1).mul(Expr::c(FIX_0_541))).shr(Expr::c(11))),
-            s(3, Expr::var(v.d1).sub(Expr::var(v.d2).mul(Expr::c(FIX_0_765))).shr(Expr::c(11))),
-            s(5, Expr::var(v.d2).add(Expr::var(v.d3).mul(Expr::c(FIX_1_847))).shr(Expr::c(11))),
-            s(7, Expr::var(v.d3).sub(Expr::var(v.d0).mul(Expr::c(FIX_0_541))).shr(Expr::c(11))),
+            s(
+                1,
+                Expr::var(v.d0)
+                    .add(Expr::var(v.d1).mul(Expr::c(FIX_0_541)))
+                    .shr(Expr::c(11)),
+            ),
+            s(
+                3,
+                Expr::var(v.d1)
+                    .sub(Expr::var(v.d2).mul(Expr::c(FIX_0_765)))
+                    .shr(Expr::c(11)),
+            ),
+            s(
+                5,
+                Expr::var(v.d2)
+                    .add(Expr::var(v.d3).mul(Expr::c(FIX_1_847)))
+                    .shr(Expr::c(11)),
+            ),
+            s(
+                7,
+                Expr::var(v.d3)
+                    .sub(Expr::var(v.d0).mul(Expr::c(FIX_0_541)))
+                    .shr(Expr::c(11)),
+            ),
         ],
     )
 }
@@ -95,7 +137,9 @@ pub fn program() -> Program {
     };
     let dim = i64::from(DIM);
     // Rows: element k of row i is block[i*8 + k].
-    b.push(pass(block, lane, &v, move |i, k| i.mul(Expr::c(dim)).add(Expr::c(k))));
+    b.push(pass(block, lane, &v, move |i, k| {
+        i.mul(Expr::c(dim)).add(Expr::c(k))
+    }));
     // Columns: element k of column i is block[k*8 + i].
     b.push(pass(block, lane, &v, move |i, k| Expr::c(k * dim).add(i)));
     b.build().expect("jfdc is well-formed")
@@ -108,14 +152,19 @@ pub fn default_input() -> Inputs {
     let block = p.array_by_name("block").expect("block");
     Inputs::new().with_array(
         block,
-        (0..DIM * DIM).map(|k| i64::from(k * 3 % 128) - 64).collect(),
+        (0..DIM * DIM)
+            .map(|k| i64::from(k * 3 % 128) - 64)
+            .collect(),
     )
 }
 
 /// Single-path: one canonical vector.
 #[must_use]
 pub fn input_vectors() -> Vec<NamedInput> {
-    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+    vec![NamedInput {
+        name: "default".into(),
+        inputs: default_input(),
+    }]
 }
 
 /// The packaged benchmark.

@@ -116,8 +116,17 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "bs", "cnt", "fir", "janne", "crc", "edn", "insertsort", "jfdc", "matmult",
-                "fdct", "ns"
+                "bs",
+                "cnt",
+                "fir",
+                "janne",
+                "crc",
+                "edn",
+                "insertsort",
+                "jfdc",
+                "matmult",
+                "fdct",
+                "ns"
             ]
         );
     }
@@ -136,7 +145,10 @@ mod tests {
     #[test]
     fn single_path_benchmarks_have_one_vector_class() {
         use std::collections::HashSet;
-        for b in suite().into_iter().filter(|b| b.class == BenchClass::SinglePath) {
+        for b in suite()
+            .into_iter()
+            .filter(|b| b.class == BenchClass::SinglePath)
+        {
             // "Single path" is a statement about the *default input* (the
             // paper's classification): insertsort and ns have exploratory
             // vectors that deliberately deviate (sortedness / hit position),
@@ -167,6 +179,9 @@ mod tests {
             .iter()
             .map(|b| execute(&b.program, &b.default_input).unwrap().trace.len())
             .collect();
-        assert!(lens.len() >= 10, "benchmarks should have distinct trace lengths");
+        assert!(
+            lens.len() >= 10,
+            "benchmarks should have distinct trace lengths"
+        );
     }
 }

@@ -43,11 +43,9 @@ pub fn program() -> Program {
                     vec![Stmt::Assign(
                         sum,
                         Expr::var(sum).add(
-                            Expr::load(a, Expr::var(i).mul(Expr::c(dim)).add(Expr::var(k)))
-                                .mul(Expr::load(
-                                    bm,
-                                    Expr::var(k).mul(Expr::c(dim)).add(Expr::var(j)),
-                                )),
+                            Expr::load(a, Expr::var(i).mul(Expr::c(dim)).add(Expr::var(k))).mul(
+                                Expr::load(bm, Expr::var(k).mul(Expr::c(dim)).add(Expr::var(j))),
+                            ),
                         ),
                     )],
                 ),
@@ -76,7 +74,10 @@ pub fn default_input() -> Inputs {
 /// Single-path: one canonical vector.
 #[must_use]
 pub fn input_vectors() -> Vec<NamedInput> {
-    vec![NamedInput { name: "default".into(), inputs: default_input() }]
+    vec![NamedInput {
+        name: "default".into(),
+        inputs: default_input(),
+    }]
 }
 
 /// The packaged benchmark.

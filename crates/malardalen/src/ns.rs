@@ -104,8 +104,14 @@ pub fn default_input() -> Inputs {
 pub fn input_vectors() -> Vec<NamedInput> {
     let p = program();
     vec![
-        NamedInput { name: "last".into(), inputs: search_inputs(&p, 9_999) },
-        NamedInput { name: "absent".into(), inputs: search_inputs(&p, -1) },
+        NamedInput {
+            name: "last".into(),
+            inputs: search_inputs(&p, 9_999),
+        },
+        NamedInput {
+            name: "absent".into(),
+            inputs: search_inputs(&p, -1),
+        },
         NamedInput {
             name: "middle".into(),
             inputs: search_inputs(&p, i64::from((TOTAL / 2) * 13 % 1000)),
@@ -135,8 +141,14 @@ mod tests {
         let p = program();
         let run = execute(&p, &default_input()).unwrap();
         assert_eq!(run.state.var(p.var_by_name("found").unwrap()), 1);
-        assert_eq!(run.state.var(p.var_by_name("fi").unwrap()), i64::from(EXTENT) - 1);
-        assert_eq!(run.state.var(p.var_by_name("fj").unwrap()), i64::from(EXTENT) - 1);
+        assert_eq!(
+            run.state.var(p.var_by_name("fi").unwrap()),
+            i64::from(EXTENT) - 1
+        );
+        assert_eq!(
+            run.state.var(p.var_by_name("fj").unwrap()),
+            i64::from(EXTENT) - 1
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub struct ShapeSummary {
 /// Summarizes a trace's shape: fetch count and per-array data access counts.
 #[must_use]
 pub fn shape_summary(trace: &Trace, program: &Program) -> ShapeSummary {
-    let mut s = ShapeSummary { fetches: 0, per_array: vec![0; program.arrays().len()] };
+    let mut s = ShapeSummary {
+        fetches: 0,
+        per_array: vec![0; program.arrays().len()],
+    };
     for a in trace {
         match a.kind {
             AccessKind::InstrFetch => s.fetches += 1,

@@ -63,7 +63,10 @@ impl StmtSig {
 
 fn expr_loads(e: &Expr, out: &mut Vec<DataRef>) {
     e.for_each_load(&mut |array, index| {
-        out.push(DataRef { array, index: index.clone() });
+        out.push(DataRef {
+            array,
+            index: index.clone(),
+        });
     });
 }
 
@@ -91,39 +94,73 @@ fn push_stmt_tokens(s: &Stmt, out: &mut Vec<Token>) {
         Stmt::Assign(_, e) => {
             let mut data = Vec::new();
             expr_loads(e, &mut data);
-            out.push(Token { data, instrs: s.own_instr_count() });
+            out.push(Token {
+                data,
+                instrs: s.own_instr_count(),
+            });
         }
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             let mut data = Vec::new();
             expr_loads(index, &mut data);
             expr_loads(value, &mut data);
-            data.push(DataRef { array: *array, index: index.clone() });
-            out.push(Token { data, instrs: s.own_instr_count() });
+            data.push(DataRef {
+                array: *array,
+                index: index.clone(),
+            });
+            out.push(Token {
+                data,
+                instrs: s.own_instr_count(),
+            });
         }
         Stmt::Touch { refs, .. } => {
             let data = refs
                 .iter()
-                .map(|(array, index)| DataRef { array: *array, index: index.clone() })
+                .map(|(array, index)| DataRef {
+                    array: *array,
+                    index: index.clone(),
+                })
                 .collect();
-            out.push(Token { data, instrs: s.own_instr_count() });
+            out.push(Token {
+                data,
+                instrs: s.own_instr_count(),
+            });
         }
         Stmt::Nop { count } => {
-            out.push(Token { data: Vec::new(), instrs: *count });
+            out.push(Token {
+                data: Vec::new(),
+                instrs: *count,
+            });
         }
-        Stmt::If { cond, then_branch, .. } => {
+        Stmt::If {
+            cond, then_branch, ..
+        } => {
             let mut data = Vec::new();
             expr_loads(cond, &mut data);
-            out.push(Token { data, instrs: s.own_instr_count() });
+            out.push(Token {
+                data,
+                instrs: s.own_instr_count(),
+            });
             // Assumes equalized branches: both flatten identically.
             for inner in then_branch {
                 push_stmt_tokens(inner, out);
             }
         }
-        Stmt::While { cond, max_iter, body } => {
+        Stmt::While {
+            cond,
+            max_iter,
+            body,
+        } => {
             let header = {
                 let mut data = Vec::new();
                 expr_loads(cond, &mut data);
-                Token { data, instrs: s.own_instr_count() }
+                Token {
+                    data,
+                    instrs: s.own_instr_count(),
+                }
             };
             out.push(header.clone());
             for _ in 0..*max_iter {
@@ -133,14 +170,26 @@ fn push_stmt_tokens(s: &Stmt, out: &mut Vec<Token>) {
                 out.push(header.clone());
             }
         }
-        Stmt::For { from, to, max_iter, body, .. } => {
+        Stmt::For {
+            from,
+            to,
+            max_iter,
+            body,
+            ..
+        } => {
             let init = {
                 let mut data = Vec::new();
                 expr_loads(from, &mut data);
                 expr_loads(to, &mut data);
-                Token { data, instrs: s.own_instr_count() }
+                Token {
+                    data,
+                    instrs: s.own_instr_count(),
+                }
             };
-            let iter = Token { data: Vec::new(), instrs: 2 };
+            let iter = Token {
+                data: Vec::new(),
+                instrs: 2,
+            };
             out.push(init);
             out.push(iter.clone());
             for _ in 0..*max_iter {
@@ -271,7 +320,10 @@ mod tests {
         let x = b.var("x");
         let i = b.var("i");
         let assign = Stmt::Assign(x, Expr::load(a, Expr::var(i)));
-        let touch = Stmt::Touch { refs: vec![(a, Expr::var(i))], pad: 2 };
+        let touch = Stmt::Touch {
+            refs: vec![(a, Expr::var(i))],
+            pad: 2,
+        };
         assert_eq!(stmt_sig(&assign), stmt_sig(&touch));
     }
 }

@@ -47,13 +47,19 @@ impl PubConfig {
     /// analysis inputs.
     #[must_use]
     pub fn paper() -> Self {
-        Self { pad_loops: false, widen: WidenPolicy::PathDependent }
+        Self {
+            pad_loops: false,
+            widen: WidenPolicy::PathDependent,
+        }
     }
 
     /// The extended configuration with loop padding.
     #[must_use]
     pub fn with_loop_padding() -> Self {
-        Self { pad_loops: true, widen: WidenPolicy::PathDependent }
+        Self {
+            pad_loops: true,
+            widen: WidenPolicy::PathDependent,
+        }
     }
 }
 
@@ -200,15 +206,27 @@ impl Ctx {
             Stmt::Assign(..) | Stmt::Store { .. } | Stmt::Touch { .. } | Stmt::Nop { .. } => {
                 s.clone()
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let id = self.next_construct;
                 self.next_construct += 1;
                 let then_t = self.transform_stmts(then_branch);
                 let else_t = self.transform_stmts(else_branch);
                 let (then_p, else_p) = self.equalize_if(id, then_t, else_t);
-                Stmt::If { cond: cond.clone(), then_branch: then_p, else_branch: else_p }
+                Stmt::If {
+                    cond: cond.clone(),
+                    then_branch: then_p,
+                    else_branch: else_p,
+                }
             }
-            Stmt::While { cond, max_iter, body } => {
+            Stmt::While {
+                cond,
+                max_iter,
+                body,
+            } => {
                 let _id = self.next_construct;
                 self.next_construct += 1;
                 let body_t = self.transform_stmts(body);
@@ -216,10 +234,20 @@ impl Ctx {
                     self.report.loops_padded += 1;
                     self.pad_while(cond.clone(), *max_iter, body_t)
                 } else {
-                    Stmt::While { cond: cond.clone(), max_iter: *max_iter, body: body_t }
+                    Stmt::While {
+                        cond: cond.clone(),
+                        max_iter: *max_iter,
+                        body: body_t,
+                    }
                 }
             }
-            Stmt::For { var, from, to, max_iter, body } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                max_iter,
+                body,
+            } => {
                 let _id = self.next_construct;
                 self.next_construct += 1;
                 let body_t = self.transform_stmts(body);
@@ -290,7 +318,11 @@ impl Ctx {
             max_iter,
             body: vec![
                 Stmt::Assign(flag, Expr::var(flag).and(cond.ne(Expr::c(0)))),
-                Stmt::If { cond: Expr::var(flag), then_branch: then_p, else_branch: else_p },
+                Stmt::If {
+                    cond: Expr::var(flag),
+                    then_branch: then_p,
+                    else_branch: else_p,
+                },
             ],
         };
         looped.prefixed(vec![Stmt::Assign(flag, Expr::c(1))])
@@ -298,14 +330,7 @@ impl Ctx {
 
     /// `for v in from..to { body }` with loop padding: iterate the full
     /// declared bound, guarding the body with `v < hi`.
-    fn pad_for(
-        &mut self,
-        var: Var,
-        from: Expr,
-        to: Expr,
-        max_iter: u32,
-        body: Vec<Stmt>,
-    ) -> Stmt {
+    fn pad_for(&mut self, var: Var, from: Expr, to: Expr, max_iter: u32, body: Vec<Stmt>) -> Stmt {
         let lo = self.fresh_var("lo");
         let hi = self.fresh_var("hi");
         let i = self.fresh_var("i");
@@ -377,7 +402,11 @@ fn pad_branch(
             out.extend(mat);
         }
     }
-    assert_eq!(ptr, sig.len(), "merged signature must embed the branch (SCS property)");
+    assert_eq!(
+        ptr,
+        sig.len(),
+        "merged signature must embed the branch (SCS property)"
+    );
     (out, inserted, instrs, refs)
 }
 
@@ -415,10 +444,18 @@ mod tests {
     fn branches_get_equal_flat_signatures() {
         let (p, _) = two_branch_program();
         let result = pub_transform(&p, &PubConfig::paper()).unwrap();
-        let Stmt::If { then_branch, else_branch, .. } = &result.program.body()[0] else {
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &result.program.body()[0]
+        else {
             panic!("if expected")
         };
-        assert_eq!(flatten(&seq_sig(then_branch)), flatten(&seq_sig(else_branch)));
+        assert_eq!(
+            flatten(&seq_sig(then_branch)),
+            flatten(&seq_sig(else_branch))
+        );
         // SCS of [A,B] and [B,C] is [A,B,C]: one insertion per branch.
         let rep = &result.report.constructs[0];
         assert_eq!(rep.then_inserted, 1);
@@ -454,7 +491,10 @@ mod tests {
                     need = it.next();
                 }
             }
-            assert!(need.is_none(), "pubbed data lines must embed original (x = {v})");
+            assert!(
+                need.is_none(),
+                "pubbed data lines must embed original (x = {v})"
+            );
         }
     }
 
@@ -571,7 +611,10 @@ mod tests {
 
         let short = execute(&result.program, &Inputs::new().with_var(x, 2)).unwrap();
         let long = execute(&result.program, &Inputs::new().with_var(x, 6)).unwrap();
-        assert_eq!(short.trace.data_lines(32).len(), long.trace.data_lines(32).len());
+        assert_eq!(
+            short.trace.data_lines(32).len(),
+            long.trace.data_lines(32).len()
+        );
         assert_eq!(
             short.trace.instr_fetches().count(),
             long.trace.instr_fetches().count()
@@ -595,7 +638,10 @@ mod tests {
             c(0),
             c(8),
             8,
-            vec![Stmt::Assign(y, Expr::var(y).add(Expr::load(arr, Expr::var(i))))],
+            vec![Stmt::Assign(
+                y,
+                Expr::var(y).add(Expr::load(arr, Expr::var(i))),
+            )],
         ));
         let p = b.build().unwrap();
         let result = pub_transform(&p, &PubConfig::paper()).unwrap();
@@ -605,3 +651,16 @@ mod tests {
         assert_eq!(orig.trace.len(), pubbed.trace.len());
     }
 }
+
+mbcr_json::impl_serialize_struct!(ConstructReport {
+    construct_id,
+    then_inserted,
+    else_inserted,
+    inserted_instrs,
+    inserted_data_refs,
+});
+mbcr_json::impl_serialize_struct!(PubReport {
+    constructs,
+    loops_padded,
+    widened_touches
+});

@@ -54,7 +54,11 @@ fn seed(stmts: &[Stmt], in_branch: bool, tainted: &mut HashSet<Var>) {
                 }
             }
             Stmt::Store { .. } | Stmt::Touch { .. } | Stmt::Nop { .. } => {}
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 seed(then_branch, true, tainted);
                 seed(else_branch, true, tainted);
             }
@@ -88,12 +92,22 @@ fn propagate(stmts: &[Stmt], tainted: &mut HashSet<Var>) {
                 }
             }
             Stmt::Store { .. } | Stmt::Touch { .. } | Stmt::Nop { .. } => {}
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 propagate(then_branch, tainted);
                 propagate(else_branch, tainted);
             }
             Stmt::While { body, .. } => propagate(body, tainted),
-            Stmt::For { var, from, to, body, .. } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
                 if expr_uses_tainted(from, tainted) || expr_uses_tainted(to, tainted) {
                     tainted.insert(*var);
                 }
@@ -117,7 +131,11 @@ fn tainted_arrays_of_stmt(s: &Stmt, tainted: &HashSet<Var>) -> Vec<ArrayId> {
     };
     match s {
         Stmt::Assign(_, e) => visit_expr(e),
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             visit_expr(index);
             visit_expr(value);
             if expr_uses_tainted(index, tainted) && !out.contains(array) {
@@ -160,7 +178,11 @@ pub fn widen_body(
             inserted += 1;
         }
         match s {
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let (t, nt) = widen_body(then_branch, tainted, arrays);
                 let (e, ne) = widen_body(else_branch, tainted, arrays);
                 inserted += nt + ne;
@@ -170,12 +192,26 @@ pub fn widen_body(
                     else_branch: e,
                 });
             }
-            Stmt::While { cond, max_iter, body } => {
+            Stmt::While {
+                cond,
+                max_iter,
+                body,
+            } => {
                 let (b, n) = widen_body(body, tainted, arrays);
                 inserted += n;
-                out.push(Stmt::While { cond: cond.clone(), max_iter: *max_iter, body: b });
+                out.push(Stmt::While {
+                    cond: cond.clone(),
+                    max_iter: *max_iter,
+                    body: b,
+                });
             }
-            Stmt::For { var, from, to, max_iter, body } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                max_iter,
+                body,
+            } => {
                 let (b, n) = widen_body(body, tainted, arrays);
                 inserted += n;
                 out.push(Stmt::For {
@@ -219,7 +255,10 @@ mod tests {
         let tainted = path_dependent_vars(&body);
         assert!(!tainted.contains(&x));
         assert!(tainted.contains(&y));
-        assert!(tainted.contains(&z), "taint must propagate through assignments");
+        assert!(
+            tainted.contains(&z),
+            "taint must propagate through assignments"
+        );
     }
 
     #[test]
@@ -233,10 +272,16 @@ mod tests {
             c(0),
             c(8),
             8,
-            vec![Stmt::Assign(s, Expr::var(s).add(Expr::load(a, Expr::var(i))))],
+            vec![Stmt::Assign(
+                s,
+                Expr::var(s).add(Expr::load(a, Expr::var(i))),
+            )],
         )];
         let tainted = path_dependent_vars(&body);
-        assert!(tainted.is_empty(), "single-path code has no taint: {tainted:?}");
+        assert!(
+            tainted.is_empty(),
+            "single-path code has no taint: {tainted:?}"
+        );
     }
 
     #[test]
@@ -256,7 +301,10 @@ mod tests {
         assert_eq!(inserted, 1);
         // The touch precedes the load and covers indices 0, 8, 16.
         let Stmt::Touch { refs, .. } = &widened[1] else {
-            panic!("expected touch before the tainted access, got {:?}", widened[1]);
+            panic!(
+                "expected touch before the tainted access, got {:?}",
+                widened[1]
+            );
         };
         let idxs: Vec<i64> = refs
             .iter()
@@ -279,7 +327,10 @@ mod tests {
             c(0),
             c(8),
             8,
-            vec![Stmt::Assign(s, Expr::var(s).add(Expr::load(a, Expr::var(i))))],
+            vec![Stmt::Assign(
+                s,
+                Expr::var(s).add(Expr::load(a, Expr::var(i))),
+            )],
         )];
         let p = b.build().unwrap();
         let tainted = path_dependent_vars(&body);

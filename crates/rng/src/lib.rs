@@ -154,7 +154,14 @@ pub trait Rng64 {
 pub fn derive_seed(master: u64, index: u64) -> u64 {
     // Two rounds of mix64 over a golden-ratio-spaced combination: cheap and
     // passes the independence smoke tests below.
-    mix64(master ^ mix64(index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03)))
+    mix64(
+        master
+            ^ mix64(
+                index
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xD1B5_4A32_D192_ED03),
+            ),
+    )
 }
 
 #[cfg(test)]
@@ -239,7 +246,10 @@ mod tests {
         sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sample[n / 2];
         let theory = mu - sigma * (2f64.ln().ln()); // mu - sigma*ln(ln 2)
-        assert!((median - theory).abs() < 0.1, "median = {median}, theory = {theory}");
+        assert!(
+            (median - theory).abs() < 0.1,
+            "median = {median}, theory = {theory}"
+        );
     }
 
     #[test]

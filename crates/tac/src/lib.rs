@@ -248,8 +248,11 @@ pub fn analyze_lines(stream: &[LineId], cfg: &TacConfig) -> TacAnalysis {
 
     // Restrict the stream to hot lines for the interleaving analysis.
     let hot_set: std::collections::HashSet<LineId> = hot.iter().copied().collect();
-    let hot_stream: Vec<LineId> =
-        stream.iter().copied().filter(|l| hot_set.contains(l)).collect();
+    let hot_stream: Vec<LineId> = stream
+        .iter()
+        .copied()
+        .filter(|l| hot_set.contains(l))
+        .collect();
     let matrix = InterleavingMatrix::build(&hot_stream);
 
     // Positions per line for substream extraction.
@@ -310,7 +313,13 @@ pub fn analyze_lines(stream: &[LineId], cfg: &TacConfig) -> TacAnalysis {
     }
     let runs_required = classes.iter().map(|c| c.runs).max().unwrap_or(0);
 
-    TacAnalysis { unique_lines, groups_evaluated, relevant_groups: relevant, classes, runs_required }
+    TacAnalysis {
+        unique_lines,
+        groups_evaluated,
+        relevant_groups: relevant,
+        classes,
+        runs_required,
+    }
 }
 
 /// Convenience entry point for symbolic sequences (paper notation).
@@ -464,7 +473,11 @@ mod tests {
         let a = analyze_symbolic(&seq("ABCDEFA").repeat(1000), &TacConfig::paper_example());
         assert_eq!(a.unique_lines, 6);
         assert_eq!(a.relevant_groups.len(), 6);
-        assert_eq!(a.classes.len(), 1, "six equally-damaging groups form one class");
+        assert_eq!(
+            a.classes.len(),
+            1,
+            "six equally-damaging groups form one class"
+        );
         assert_eq!(a.classes[0].group_count, 6);
         // Paper prints R > 14 138 from p = 0.00146; exact gives 14 137.
         assert_eq!(a.runs_required, 14_137);
@@ -501,7 +514,11 @@ mod tests {
         assert_eq!(small.relevant_groups.len(), 1);
         let expected = runs_for_probability((1.0f64 / 64.0).powi(2), 1e-9);
         assert_eq!(small.runs_required, expected);
-        assert!(small.runs_required > 84_000, "runs = {}", small.runs_required);
+        assert!(
+            small.runs_required > 84_000,
+            "runs = {}",
+            small.runs_required
+        );
     }
 
     #[test]
@@ -538,3 +555,22 @@ mod tests {
         assert_eq!(a.runs_required, 0);
     }
 }
+
+mbcr_json::impl_serialize_struct!(ConflictGroup {
+    lines,
+    prob,
+    extra_misses
+});
+mbcr_json::impl_serialize_struct!(ImpactClass {
+    impact,
+    prob,
+    group_count,
+    runs
+});
+mbcr_json::impl_serialize_struct!(TacAnalysis {
+    unique_lines,
+    groups_evaluated,
+    relevant_groups,
+    classes,
+    runs_required,
+});

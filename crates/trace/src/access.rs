@@ -49,6 +49,12 @@ impl From<u64> for Address {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineId(pub u64);
 
+impl mbcr_json::Serialize for LineId {
+    fn to_json(&self) -> mbcr_json::Json {
+        mbcr_json::Json::UInt(self.0)
+    }
+}
+
 impl fmt::Display for LineId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "L{:#x}", self.0)
@@ -87,19 +93,28 @@ impl Access {
     /// Creates an instruction fetch access.
     #[must_use]
     pub fn fetch(addr: u64) -> Self {
-        Self { addr: Address(addr), kind: AccessKind::InstrFetch }
+        Self {
+            addr: Address(addr),
+            kind: AccessKind::InstrFetch,
+        }
     }
 
     /// Creates a data read access.
     #[must_use]
     pub fn read(addr: u64) -> Self {
-        Self { addr: Address(addr), kind: AccessKind::Read }
+        Self {
+            addr: Address(addr),
+            kind: AccessKind::Read,
+        }
     }
 
     /// Creates a data write access.
     #[must_use]
     pub fn write(addr: u64) -> Self {
-        Self { addr: Address(addr), kind: AccessKind::Write }
+        Self {
+            addr: Address(addr),
+            kind: AccessKind::Write,
+        }
     }
 }
 
@@ -130,7 +145,9 @@ impl Trace {
     /// Creates an empty trace with pre-allocated capacity.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { accesses: Vec::with_capacity(capacity) }
+        Self {
+            accesses: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends one access.
@@ -175,19 +192,26 @@ impl Trace {
     /// Projects the trace onto cache lines of the given size, keeping order.
     #[must_use]
     pub fn lines(&self, line_size: u64) -> Vec<LineId> {
-        self.accesses.iter().map(|a| a.addr.line(line_size)).collect()
+        self.accesses
+            .iter()
+            .map(|a| a.addr.line(line_size))
+            .collect()
     }
 
     /// Projects only the data accesses onto cache lines.
     #[must_use]
     pub fn data_lines(&self, line_size: u64) -> Vec<LineId> {
-        self.data_accesses().map(|a| a.addr.line(line_size)).collect()
+        self.data_accesses()
+            .map(|a| a.addr.line(line_size))
+            .collect()
     }
 
     /// Projects only the instruction fetches onto cache lines.
     #[must_use]
     pub fn instr_lines(&self, line_size: u64) -> Vec<LineId> {
-        self.instr_fetches().map(|a| a.addr.line(line_size)).collect()
+        self.instr_fetches()
+            .map(|a| a.addr.line(line_size))
+            .collect()
     }
 
     /// Number of distinct lines touched (the cache footprint).
@@ -221,7 +245,9 @@ impl Trace {
 
 impl FromIterator<Access> for Trace {
     fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
-        Self { accesses: iter.into_iter().collect() }
+        Self {
+            accesses: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -280,7 +306,10 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.data_accesses().count(), 2);
         assert_eq!(t.instr_fetches().count(), 2);
-        assert_eq!(t.lines(32), vec![LineId(0), LineId(2), LineId(0), LineId(3)]);
+        assert_eq!(
+            t.lines(32),
+            vec![LineId(0), LineId(2), LineId(0), LineId(3)]
+        );
         assert_eq!(t.data_lines(32), vec![LineId(2), LineId(3)]);
         assert_eq!(t.instr_lines(32), vec![LineId(0), LineId(0)]);
         assert_eq!(t.unique_lines(32), 3);
@@ -295,7 +324,10 @@ mod tests {
         assert!(big.is_supersequence_of(&small));
         assert!(!small.is_supersequence_of(&big));
         assert!(big.is_supersequence_of(&big), "reflexive");
-        assert!(big.is_supersequence_of(&Trace::new()), "empty is subsequence");
+        assert!(
+            big.is_supersequence_of(&Trace::new()),
+            "empty is subsequence"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub fn line_stats(lines: &[LineId]) -> Vec<LineStats> {
             }
             None => {
                 index.insert(line, stats.len());
-                stats.push(LineStats { line, count: 1, first_pos: pos, last_pos: pos });
+                stats.push(LineStats {
+                    line,
+                    count: 1,
+                    first_pos: pos,
+                    last_pos: pos,
+                });
             }
         }
     }

@@ -32,8 +32,8 @@
 //! # Ok::<(), mbcr_trace::ParseSymSeqError>(())
 //! ```
 
-pub mod analysis;
 mod access;
+pub mod analysis;
 pub mod scs;
 mod symbolic;
 

@@ -35,7 +35,11 @@ pub struct ParseSymSeqError {
 
 impl fmt::Display for ParseSymSeqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid symbol {:?}: expected ASCII letters A-Z", self.offending)
+        write!(
+            f,
+            "invalid symbol {:?}: expected ASCII letters A-Z",
+            self.offending
+        )
     }
 }
 
@@ -114,7 +118,10 @@ impl SymSeq {
     /// Panics if `position > len`.
     #[must_use]
     pub fn ins(&self, position: usize, x: Symbol) -> SymSeq {
-        assert!(position <= self.symbols.len(), "insert position out of bounds");
+        assert!(
+            position <= self.symbols.len(),
+            "insert position out of bounds"
+        );
         let mut out = Vec::with_capacity(self.symbols.len() + 1);
         out.extend_from_slice(&self.symbols[..position]);
         out.push(x);
@@ -192,7 +199,10 @@ impl SymSeq {
     /// line `k`).
     #[must_use]
     pub fn to_lines(&self) -> Vec<LineId> {
-        self.symbols.iter().map(|s| LineId(u64::from(s.0))).collect()
+        self.symbols
+            .iter()
+            .map(|s| LineId(u64::from(s.0)))
+            .collect()
     }
 }
 
@@ -227,7 +237,9 @@ impl fmt::Display for SymSeq {
 
 impl FromIterator<Symbol> for SymSeq {
     fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
-        Self { symbols: iter.into_iter().collect() }
+        Self {
+            symbols: iter.into_iter().collect(),
+        }
     }
 }
 

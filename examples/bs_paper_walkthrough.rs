@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // paths (Observation 3), so the per-exceedance minimum is the tightest
     // reliable estimate (Corollary 2).
     let cfg = AnalysisConfig::builder().seed(0xB5).quick().build();
-    let named: Vec<(String, Inputs)> =
-        vectors.into_iter().map(|v| (v.name, v.inputs)).collect();
+    let named: Vec<(String, Inputs)> = vectors.into_iter().map(|v| (v.name, v.inputs)).collect();
     let multi = analyze_multipath(&program, &named, &cfg)?;
 
     println!("\nper-path pWCET@1e-12 (pubbed program):");

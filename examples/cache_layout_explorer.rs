@@ -21,8 +21,16 @@ fn explore(bench: &mbcr_malardalen::Benchmark) -> Result<(), Box<dyn std::error:
     );
 
     for (label, stream, geometry) in [
-        ("IL1", run.trace.instr_lines(cfg.platform.il1.line_size()), cfg.platform.il1),
-        ("DL1", run.trace.data_lines(cfg.platform.dl1.line_size()), cfg.platform.dl1),
+        (
+            "IL1",
+            run.trace.instr_lines(cfg.platform.il1.line_size()),
+            cfg.platform.il1,
+        ),
+        (
+            "DL1",
+            run.trace.data_lines(cfg.platform.dl1.line_size()),
+            cfg.platform.dl1,
+        ),
     ] {
         let tac = analyze_lines(&stream, &cfg.tac.for_cache(&geometry, 7));
         println!(

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("2-way LRU   : {orig} -> {lru_orig} misses, {pubbed} -> {lru_pub} misses");
     println!(
         "              inserting an access {} the program under LRU!",
-        if lru_pub < lru_orig { "SPED UP" } else { "did not speed up" }
+        if lru_pub < lru_orig {
+            "SPED UP"
+        } else {
+            "did not speed up"
+        }
     );
 
     // Random replacement: expected misses/time can only grow.

@@ -8,8 +8,8 @@ use mbcr_ir::pretty_print;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "bs".to_string());
-    let bench = mbcr_malardalen::by_name(&name)
-        .ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let bench =
+        mbcr_malardalen::by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
 
     let pubbed = pub_transform(&bench.program, &PubConfig::paper())?;
 
@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "conditional #{:<3}      : +{} stmts into then, +{} into else \
              ({} instrs, {} data refs)",
-            if c.construct_id == u32::MAX { "lp".to_string() } else { c.construct_id.to_string() },
+            if c.construct_id == u32::MAX {
+                "lp".to_string()
+            } else {
+                c.construct_id.to_string()
+            },
             c.then_inserted,
             c.else_inserted,
             c.inserted_instrs,

@@ -1,49 +1,47 @@
-//! Quickstart: estimate a pWCET for a small multipath program with the full
-//! PUB + TAC + MBPTA pipeline.
+//! Quickstart: run a batch pWCET campaign — benchmarks × cache geometries
+//! — through the sweep engine, and read the paper-style Table 2 summary.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use mbcr::prelude::*;
-use mbcr_ir::ProgramBuilder;
+use mbcr_engine::render_rows;
+use mbcr_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A toy control task: scan a sensor buffer, then take one of two
-    // branches depending on the accumulated error.
-    let mut b = ProgramBuilder::new("quickstart");
-    let sensor = b.array("sensor", 64);
-    let gains = b.array("gains", 16);
-    let (i, r, err, cmd) = (b.var("i"), b.var("r"), b.var("err"), b.var("cmd"));
-    // Eight filter passes over the sensor block: the repeated traversal of
-    // 8 data lines is what makes cache-layout variability (and the pWCET
-    // tail) visible.
-    b.push(Stmt::for_(
-        r,
-        Expr::c(0),
-        Expr::c(8),
-        8,
-        vec![Stmt::for_(
-            i,
-            Expr::c(0),
-            Expr::c(64),
-            64,
-            vec![Stmt::Assign(err, Expr::var(err).add(Expr::load(sensor, Expr::var(i))))],
-        )],
-    ));
-    b.push(Stmt::if_(
-        Expr::var(err).gt(Expr::c(100)),
-        vec![Stmt::Assign(cmd, Expr::load(gains, Expr::c(0)).mul(Expr::var(err)))],
-        vec![Stmt::Assign(cmd, Expr::load(gains, Expr::c(8)))],
-    ));
-    let program = b.build()?;
+    // A declarative campaign: two Mälardalen benchmarks, the paper's L1
+    // plus a half-sized variant, every analysis of the paper's pipeline
+    // (original baseline, PUB+TAC, multipath combination). `SweepSpec`
+    // round-trips through JSON, so this could just as well live in a file
+    // passed to `mbcr sweep --spec`.
+    let spec = SweepSpec::new("quickstart")
+        .benchmarks(["bs", "cnt"])
+        .inputs(InputSelection::All)
+        .geometries([GeometrySpec::paper_l1(), GeometrySpec::parse("2048:2:32")?])
+        .seeds([42]);
+    println!("campaign spec:\n{}\n", spec.to_json().to_pretty());
 
-    // Inputs exercising one path (PUB makes the choice irrelevant for the
-    // soundness of the bound — Observation 3 of the paper).
-    let inputs = Inputs::new().with_array(sensor, vec![3; 64]);
+    // The engine expands the spec into a job DAG (multipath combinations
+    // depend on their per-path jobs), executes it on a work-stealing pool,
+    // and persists every result under a content-addressed run directory.
+    let store = ArtifactStore::open(std::env::temp_dir().join("mbcr-quickstart"))?;
+    let registry = Registry::malardalen();
+    let outcome = run_sweep(&spec, &registry, &store, &RunOptions::default())?;
 
-    // The pipeline: PUB -> TAC -> R measurement runs -> MBPTA.
-    let cfg = AnalysisConfig::builder().seed(42).quick().build();
-    let analysis = analyze_pub_tac(&program, &inputs, &cfg)?;
+    println!("{}", render_rows(&outcome.rows));
+    println!(
+        "{} jobs executed, {} served from cache, in {:.1}s",
+        outcome.executed,
+        outcome.skipped,
+        outcome.elapsed.as_secs_f64(),
+    );
+    println!("artifacts: {}", store.root().display());
 
-    println!("{}", mbcr::render_report(program.name(), &analysis));
+    // Re-running the identical spec touches nothing: every job key is
+    // already present in the artifact store.
+    let rerun = run_sweep(&spec, &registry, &store, &RunOptions::default())?;
+    assert_eq!(rerun.executed, 0);
+    println!(
+        "re-run: {} jobs skipped (warm artifact store)",
+        rerun.skipped
+    );
     Ok(())
 }

@@ -19,9 +19,15 @@
 //! ```
 
 pub use mbcr;
+pub use mbcr_engine;
 pub use mbcr_malardalen;
 
-/// Convenience re-exports covering the whole analysis pipeline.
+/// Convenience re-exports covering the whole analysis pipeline and the
+/// batch engine.
 pub mod prelude {
     pub use mbcr::prelude::*;
+    pub use mbcr_engine::{
+        run_sweep, AnalysisKind, ArtifactStore, GeometrySpec, InputSelection, Registry, RunOptions,
+        SweepSpec,
+    };
 }

@@ -1,0 +1,230 @@
+//! End-to-end tests of the batch engine: a small 2-benchmark ×
+//! 2-geometry sweep writes a complete artifact store, a warm re-run skips
+//! every job, and results are deterministic across invocations.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mbcr_engine::{
+    expand, run_sweep, AnalysisKind, ArtifactStore, GeometrySpec, InputSelection, JobStatus,
+    Registry, RunOptions, SweepSpec,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbcr-engine-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny but representative campaign: one multipath benchmark (bs, two
+/// named inputs, so a combine node appears) and one single-path benchmark,
+/// across two geometries. Campaigns are capped hard so the whole test runs
+/// in seconds.
+fn tiny_spec() -> SweepSpec {
+    SweepSpec::new("engine-it")
+        .benchmarks(["bs", "insertsort"])
+        .inputs(InputSelection::Named(vec!["v1".into(), "v3".into()]))
+        .geometries([
+            GeometrySpec::paper_l1(),
+            GeometrySpec::parse("2048:2:32").unwrap(),
+        ])
+        .seeds([11])
+        .analyses([
+            AnalysisKind::Original,
+            AnalysisKind::PubTac,
+            AnalysisKind::Multipath,
+        ])
+}
+
+#[test]
+fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
+    let registry = Registry::malardalen();
+    // insertsort has no vectors named v1/v3 — restrict it via its own
+    // spec? No: bs has v1/v3; insertsort has reversed/sorted/shuffled.
+    // Use per-benchmark-valid selection instead: default inputs for
+    // insertsort would fail Named resolution, so sweep bs alone here and
+    // cover the second benchmark with the default selection below.
+    let spec = SweepSpec {
+        benchmarks: vec!["bs".into()],
+        ..tiny_spec()
+    };
+    let dir = tmp_dir("cold-warm");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let opts = RunOptions {
+        threads: 4,
+        force: false,
+    };
+
+    // Expansion shape: per cell (2 geometries × 1 seed): 1 original +
+    // 2 pub_tac + 1 combine.
+    let graph = expand(&spec, &registry).expect("expand");
+    assert_eq!(graph.len(), 8);
+
+    let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold sweep");
+    assert_eq!(cold.executed, 8);
+    assert_eq!(cold.skipped, 0);
+    assert_eq!(cold.failed, 0);
+
+    // Artifacts: manifest, table2, one JSON per job, samples for pub_tac.
+    assert!(store.manifest_path().is_file(), "manifest.json missing");
+    assert!(store.table2_path().is_file(), "table2.csv missing");
+    for record in &cold.records {
+        assert!(
+            store.has_artifact(&record.key),
+            "artifact missing for {}",
+            record.label
+        );
+    }
+    let sample_csvs = fs::read_dir(dir.join("jobs"))
+        .expect("jobs dir")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .ends_with(".samples.csv")
+        })
+        .count();
+    assert_eq!(sample_csvs, 4, "one sample CSV per pub_tac job");
+
+    // Table 2 layout: one row per (input, geometry) cell, every paper
+    // column populated.
+    assert_eq!(cold.rows.len(), 4);
+    let table2 = fs::read_to_string(store.table2_path()).expect("read table2");
+    assert!(
+        table2.starts_with("benchmark,input,geometry,seed,R_orig,R_pub,R_tac,R_pub_tac,pwcet_orig")
+    );
+    assert_eq!(table2.lines().count(), 1 + 4);
+    for row in &cold.rows {
+        assert!(row.r_orig.is_some(), "R_orig missing: {row:?}");
+        assert!(row.r_pub.is_some(), "R_pub missing: {row:?}");
+        assert!(row.r_tac.is_some(), "R_tac missing: {row:?}");
+        assert!(row.r_pub_tac.is_some(), "R_pub+tac missing: {row:?}");
+        assert!(row.pwcet_pub_tac.is_some(), "pWCET missing: {row:?}");
+        assert!(
+            row.pwcet_multipath.is_some(),
+            "multipath column missing: {row:?}"
+        );
+        assert_eq!(
+            row.r_pub_tac.unwrap(),
+            row.r_pub.unwrap().max(row.r_tac.unwrap())
+        );
+    }
+
+    // Warm re-run: same spec, same store — every job must be served from
+    // the artifact store and the aggregation must be identical.
+    let warm = run_sweep(&spec, &registry, &store, &opts).expect("warm sweep");
+    assert_eq!(warm.executed, 0, "warm re-run must skip all jobs");
+    assert_eq!(warm.skipped, 8);
+    assert_eq!(warm.failed, 0);
+    assert!(warm.records.iter().all(|r| r.status == JobStatus::Skipped));
+    assert_eq!(
+        warm.rows, cold.rows,
+        "cached aggregation must reproduce the cold run"
+    );
+
+    // `force` bypasses the cache.
+    let forced = run_sweep(
+        &spec,
+        &registry,
+        &store,
+        &RunOptions {
+            threads: 4,
+            force: true,
+        },
+    )
+    .expect("forced sweep");
+    assert_eq!(forced.executed, 8);
+    assert_eq!(
+        forced.rows, cold.rows,
+        "forced re-run must be deterministic"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_benchmark_sweep_covers_both_and_changing_spec_invalidates() {
+    let registry = Registry::malardalen();
+    let spec = SweepSpec::new("engine-it-2")
+        .benchmarks(["bs", "insertsort"])
+        .geometries([
+            GeometrySpec::paper_l1(),
+            GeometrySpec::parse("2048:2:32").unwrap(),
+        ])
+        .seeds([3])
+        .analyses([AnalysisKind::PubTac]);
+    let dir = tmp_dir("two-bench");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let opts = RunOptions {
+        threads: 4,
+        force: false,
+    };
+
+    let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
+    assert_eq!(cold.executed, 4, "2 benchmarks × 2 geometries");
+    let benchmarks: std::collections::HashSet<&str> =
+        cold.rows.iter().map(|r| r.benchmark.as_str()).collect();
+    assert_eq!(benchmarks, ["bs", "insertsort"].into_iter().collect());
+
+    // A different seed is a different campaign: nothing may be served from
+    // the warm store.
+    let reseeded = SweepSpec {
+        seeds: vec![4],
+        ..spec.clone()
+    };
+    let rerun = run_sweep(&reseeded, &registry, &store, &opts).expect("reseeded");
+    assert_eq!(
+        rerun.executed, 4,
+        "seed change must invalidate every artifact"
+    );
+    assert_eq!(rerun.skipped, 0);
+
+    // The original spec is still fully cached.
+    let warm = run_sweep(&spec, &registry, &store, &opts).expect("warm");
+    assert_eq!(warm.skipped, 4);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multipath_combination_is_the_min_over_inputs() {
+    let registry = Registry::malardalen();
+    let spec = SweepSpec::new("engine-it-3")
+        .benchmarks(["bs"])
+        .inputs(InputSelection::Named(vec![
+            "v1".into(),
+            "v3".into(),
+            "v5".into(),
+        ]))
+        .seeds([5])
+        .analyses([AnalysisKind::PubTac, AnalysisKind::Multipath]);
+    let dir = tmp_dir("multipath");
+    let store = ArtifactStore::open(&dir).expect("open store");
+
+    let outcome = run_sweep(
+        &spec,
+        &registry,
+        &store,
+        &RunOptions {
+            threads: 2,
+            force: false,
+        },
+    )
+    .expect("sweep");
+    assert_eq!(outcome.failed, 0);
+    let min_pwcet = outcome
+        .rows
+        .iter()
+        .filter_map(|r| r.pwcet_pub_tac)
+        .fold(f64::INFINITY, f64::min);
+    for row in &outcome.rows {
+        assert_eq!(
+            row.pwcet_multipath,
+            Some(min_pwcet),
+            "Corollary 2: combination must be the per-cell minimum"
+        );
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -25,7 +25,9 @@ fn fitted_pwcet_covers_long_run_quantiles() {
     let platform = PlatformConfig::paper_default();
     let b = mbcr_malardalen::bs::benchmark();
     let pubbed = pub_transform(&b.program, &PubConfig::paper()).expect("pub");
-    let trace = execute(&pubbed.program, &b.default_input).expect("run").trace;
+    let trace = execute(&pubbed.program, &b.default_input)
+        .expect("run")
+        .trace;
 
     let long = campaign_parallel(&platform, &trace, 120_000, 0xCAFE, 4);
     let pwcet = fit(&long[..20_000]);
@@ -53,7 +55,9 @@ fn observed_extremes_are_not_ruled_out() {
     let platform = PlatformConfig::paper_default();
     let b = mbcr_malardalen::janne::benchmark();
     let pubbed = pub_transform(&b.program, &PubConfig::paper()).expect("pub");
-    let trace = execute(&pubbed.program, &b.default_input).expect("run").trace;
+    let trace = execute(&pubbed.program, &b.default_input)
+        .expect("run")
+        .trace;
 
     let sample = campaign_parallel(&platform, &trace, 50_000, 0xBEEF, 4);
     let pwcet = fit(&sample[..10_000]);
@@ -97,14 +101,15 @@ fn tac_sized_campaigns_stabilize_the_estimate() {
     let platform = PlatformConfig::paper_default();
     let b = mbcr_malardalen::cnt::benchmark();
     let pubbed = pub_transform(&b.program, &PubConfig::paper()).expect("pub");
-    let trace = execute(&pubbed.program, &b.default_input).expect("run").trace;
+    let trace = execute(&pubbed.program, &b.default_input)
+        .expect("run")
+        .trace;
 
     // TAC requirement for this trace (cnt: ~9k runs, see Table 2).
-    let tac = mbcr_tac::analyze_lines(
-        &trace.instr_lines(32),
-        &mbcr_tac::TacConfig::paper_l1(),
-    );
-    let r_tac = usize::try_from(tac.runs_required).unwrap_or(usize::MAX).clamp(2_000, 40_000);
+    let tac = mbcr_tac::analyze_lines(&trace.instr_lines(32), &mbcr_tac::TacConfig::paper_l1());
+    let r_tac = usize::try_from(tac.runs_required)
+        .unwrap_or(usize::MAX)
+        .clamp(2_000, 40_000);
 
     let estimate = |seed: u64, runs: usize| {
         let sample = campaign_parallel(&platform, &trace, runs, seed, 4);

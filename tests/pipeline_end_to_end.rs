@@ -3,7 +3,11 @@
 use mbcr::prelude::*;
 
 fn quick(seed: u64) -> AnalysisConfig {
-    AnalysisConfig::builder().seed(seed).quick().threads(2).build()
+    AnalysisConfig::builder()
+        .seed(seed)
+        .quick()
+        .threads(2)
+        .build()
 }
 
 #[test]
@@ -105,7 +109,10 @@ fn seeds_change_samples_but_not_structure() {
     let b = mbcr_malardalen::crc::benchmark();
     let a1 = analyze_pub_tac(&b.program, &b.default_input, &quick(7)).expect("a1");
     let a2 = analyze_pub_tac(&b.program, &b.default_input, &quick(8)).expect("a2");
-    assert_ne!(a1.sample, a2.sample, "different seeds, different measurements");
+    assert_ne!(
+        a1.sample, a2.sample,
+        "different seeds, different measurements"
+    );
     assert_eq!(a1.trace_len, a2.trace_len, "same program, same trace");
     assert_eq!(
         a1.pub_report.constructs.len(),

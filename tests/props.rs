@@ -139,7 +139,11 @@ fn build_program(then_spec: &[(u8, i64)], else_spec: &[(u8, i64)]) -> (Program, 
             })
             .collect::<Vec<_>>()
     };
-    b.push(Stmt::if_(Expr::var(x).gt(Expr::c(0)), make(then_spec), make(else_spec)));
+    b.push(Stmt::if_(
+        Expr::var(x).gt(Expr::c(0)),
+        make(then_spec),
+        make(else_spec),
+    ));
     (b.build().expect("valid"), x)
 }
 

@@ -25,12 +25,24 @@ fn every_pubbed_bs_path_dominates_every_original_path() {
 
     let orig: Vec<Eccdf> = vectors
         .iter()
-        .map(|v| eccdf_of(&platform, &execute(&program, &v.inputs).unwrap().trace, runs, 11))
+        .map(|v| {
+            eccdf_of(
+                &platform,
+                &execute(&program, &v.inputs).unwrap().trace,
+                runs,
+                11,
+            )
+        })
         .collect();
     let pubs: Vec<Eccdf> = vectors
         .iter()
         .map(|v| {
-            eccdf_of(&platform, &execute(&pubbed.program, &v.inputs).unwrap().trace, runs, 11)
+            eccdf_of(
+                &platform,
+                &execute(&pubbed.program, &v.inputs).unwrap().trace,
+                runs,
+                11,
+            )
         })
         .collect();
 
@@ -60,7 +72,10 @@ fn pubbed_paths_share_one_architectural_shape() {
     for r in &runs[1..] {
         assert_eq!(data_shape(&r.trace, &pubbed.program), first_shape);
         let s = shape_summary(&r.trace, &pubbed.program);
-        assert_eq!(s.fetches, first_summary.fetches, "equalized instruction counts");
+        assert_eq!(
+            s.fetches, first_summary.fetches,
+            "equalized instruction counts"
+        );
         assert_eq!(s.per_array, first_summary.per_array);
     }
 }
@@ -86,8 +101,16 @@ fn pubbed_trace_embeds_original_trace_per_path() {
                     need = it.next();
                 }
             }
-            assert!(need.is_none(), "{name}:{} pubbed data must embed original", v.name);
-            assert!(pubt.len() >= orig.len(), "{name}:{} pub never shrinks", v.name);
+            assert!(
+                need.is_none(),
+                "{name}:{} pubbed data must embed original",
+                v.name
+            );
+            assert!(
+                pubt.len() >= orig.len(),
+                "{name}:{} pub never shrinks",
+                v.name
+            );
         }
     }
 }
@@ -123,7 +146,10 @@ fn single_path_programs_are_untouched() {
     for name in ["edn", "jfdc", "matmult", "fdct"] {
         let b = mbcr_malardalen::by_name(name).expect("benchmark");
         let pubbed = pub_transform(&b.program, &PubConfig::paper()).expect("pub");
-        assert_eq!(pubbed.report.widened_touches, 0, "{name}: no taint, no widening");
+        assert_eq!(
+            pubbed.report.widened_touches, 0,
+            "{name}: no taint, no widening"
+        );
         assert_eq!(
             pubbed.report.total_inserted_instrs(),
             0,
@@ -172,7 +198,11 @@ fn loop_padding_equalizes_short_paths() {
     let reversed = &b.input_vectors[0];
     let t_sorted = execute(&padded.program, &sorted.inputs).unwrap().trace;
     let t_rev = execute(&padded.program, &reversed.inputs).unwrap().trace;
-    assert_eq!(t_sorted.len(), t_rev.len(), "padded loops equalize path lengths");
+    assert_eq!(
+        t_sorted.len(),
+        t_rev.len(),
+        "padded loops equalize path lengths"
+    );
 
     let e_sorted = eccdf_of(&platform, &t_sorted, 2_000, 31);
     let e_rev = eccdf_of(&platform, &t_rev, 2_000, 31);

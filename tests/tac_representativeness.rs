@@ -14,7 +14,10 @@ fn seq(s: &str) -> SymSeq {
 #[test]
 fn section_31_numbers_match_paper() {
     let cfg = TacConfig::paper_example();
-    assert_eq!(analyze_symbolic(&seq("ABCA").repeat(1000), &cfg).runs_required, 0);
+    assert_eq!(
+        analyze_symbolic(&seq("ABCA").repeat(1000), &cfg).runs_required,
+        0
+    );
     let r1 = analyze_symbolic(&seq("ABCDEA").repeat(1000), &cfg).runs_required;
     let r2 = analyze_symbolic(&seq("ABCDEFA").repeat(1000), &cfg).runs_required;
     // Paper: > 84 875 and > 14 138 (rounded probabilities).
@@ -98,5 +101,9 @@ fn pipeline_r_combines_pub_and_tac() {
     let b = mbcr_malardalen::bs::benchmark();
     let cfg = AnalysisConfig::builder().seed(42).quick().build();
     let a = analyze_pub_tac(&b.program, &b.default_input, &cfg).expect("analyze");
-    assert_eq!(a.r_pub_tac, a.r_tac.max(a.r_pub as u64), "R_p+t = max(R_pub, R_tac)");
+    assert_eq!(
+        a.r_pub_tac,
+        a.r_tac.max(a.r_pub as u64),
+        "R_p+t = max(R_pub, R_tac)"
+    );
 }
