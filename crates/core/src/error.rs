@@ -14,6 +14,10 @@ pub enum AnalyzeError {
     Evt(EvtError),
     /// Program transformation produced an invalid program.
     Program(ProgramError),
+    /// A multipath analysis was asked to combine zero paths.
+    EmptyInputs,
+    /// A stage store failed to persist an intermediate artifact.
+    Store(String),
 }
 
 impl fmt::Display for AnalyzeError {
@@ -22,6 +26,12 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::Interp(e) => write!(f, "program execution failed: {e}"),
             AnalyzeError::Evt(e) => write!(f, "pWCET estimation failed: {e}"),
             AnalyzeError::Program(e) => write!(f, "program transformation failed: {e}"),
+            AnalyzeError::EmptyInputs => {
+                write!(f, "multipath analysis needs at least one input vector")
+            }
+            AnalyzeError::Store(message) => {
+                write!(f, "stage artifact store failed: {message}")
+            }
         }
     }
 }
@@ -32,6 +42,7 @@ impl std::error::Error for AnalyzeError {
             AnalyzeError::Interp(e) => Some(e),
             AnalyzeError::Evt(e) => Some(e),
             AnalyzeError::Program(e) => Some(e),
+            AnalyzeError::EmptyInputs | AnalyzeError::Store(_) => None,
         }
     }
 }

@@ -27,6 +27,12 @@
 //! * [`analyze_multipath`] — several pubbed paths combined per Corollary 2
 //!   (the per-exceedance minimum, trading analysis cost for tightness).
 //!
+//! All three are thin wrappers over the **stage graph** in [`stage`]: the
+//! pipeline decomposed into typed, digest-keyed, resumable stages
+//! (PUB → trace → TAC per cache → convergence → campaign → fit) driven by
+//! [`stage::AnalysisSession`]. Batch drivers schedule and cache at stage
+//! granularity; the wrappers and the staged path are bit-identical.
+//!
 //! The substrate crates are re-exported under [`prelude`] and as modules:
 //! the time-randomized cache simulator (`mbcr-cache`), the in-order CPU
 //! timing model (`mbcr-cpu`), the program IR (`mbcr-ir`), PUB (`mbcr-pub`),
@@ -63,6 +69,7 @@ mod config;
 mod error;
 mod pipeline;
 mod report;
+pub mod stage;
 
 pub use config::{AnalysisConfig, AnalysisConfigBuilder, TacTuning};
 pub use error::AnalyzeError;
@@ -71,6 +78,10 @@ pub use pipeline::{
     PubTacAnalysis,
 };
 pub use report::{render_curve, render_report};
+pub use stage::{
+    campaign_runs_for, AnalysisSession, AnalysisStage, PipelineKind, StageDigests, StageKind,
+    StageStatus, StageStore,
+};
 
 /// One-stop imports for the typical analysis session.
 pub mod prelude {

@@ -1,13 +1,17 @@
 //! The combined PUB + TAC + MBPTA pipeline (paper Figure 3).
+//!
+//! The entry points here are thin wrappers over the stage graph in
+//! [`crate::stage`]: each runs an [`AnalysisSession`] to completion with no
+//! stage store attached. Drivers that want stage-granular scheduling,
+//! caching or resume use the session API directly — both paths produce
+//! bit-identical results.
 
-use mbcr_cpu::{campaign_parallel, campaign_slice};
-use mbcr_evt::{converge, IidReport, Pwcet};
-use mbcr_ir::{execute, Inputs, Program};
-use mbcr_pub::{pub_transform, PubReport};
-use mbcr_rng::derive_seed;
-use mbcr_tac::{analyze_lines, TacAnalysis};
-use mbcr_trace::Trace;
+use mbcr_evt::{IidReport, Pwcet};
+use mbcr_ir::{Inputs, Program};
+use mbcr_pub::PubReport;
+use mbcr_tac::TacAnalysis;
 
+use crate::stage::AnalysisSession;
 use crate::{AnalysisConfig, AnalyzeError};
 
 /// Plain-MBPTA analysis of the original program (the paper's baseline:
@@ -77,30 +81,6 @@ pub struct MultipathAnalysis {
     pub best_input: String,
 }
 
-fn campaign_seed(cfg: &AnalysisConfig) -> u64 {
-    derive_seed(cfg.seed, 0xCA)
-}
-
-fn collect(cfg: &AnalysisConfig, trace: &Trace, runs: usize) -> Vec<u64> {
-    campaign_parallel(&cfg.platform, trace, runs, campaign_seed(cfg), cfg.threads)
-}
-
-fn converge_on_trace(
-    cfg: &AnalysisConfig,
-    trace: &Trace,
-) -> Result<mbcr_evt::ConvergenceOutcome, AnalyzeError> {
-    let mut next = 0usize;
-    let outcome = converge(
-        |count| {
-            let out = campaign_slice(&cfg.platform, trace, next, count, campaign_seed(cfg));
-            next += count;
-            out
-        },
-        &cfg.convergence,
-    )?;
-    Ok(outcome)
-}
-
 /// Analyses the original program with plain MBPTA (no PUB, no TAC): runs
 /// the convergence procedure on the path exercised by `input`.
 ///
@@ -112,16 +92,7 @@ pub fn analyze_original(
     input: &Inputs,
     cfg: &AnalysisConfig,
 ) -> Result<OriginalAnalysis, AnalyzeError> {
-    let run = execute(program, input)?;
-    let outcome = converge_on_trace(cfg, &run.trace)?;
-    Ok(OriginalAnalysis {
-        r_orig: outcome.runs,
-        converged: outcome.converged,
-        pwcet_at_exceedance: outcome.pwcet.quantile(cfg.exceedance),
-        pwcet: outcome.pwcet,
-        iid: outcome.iid,
-        trace_len: run.trace.len(),
-    })
+    AnalysisSession::original(program, input, cfg).finish_original()
 }
 
 /// Runs the paper's full pipeline (Figure 3) on the path of the *pubbed*
@@ -144,63 +115,7 @@ pub fn analyze_pub_tac(
     input: &Inputs,
     cfg: &AnalysisConfig,
 ) -> Result<PubTacAnalysis, AnalyzeError> {
-    let pubbed = pub_transform(program, &cfg.pub_cfg)?;
-    let run = execute(&pubbed.program, input)?;
-
-    // TAC per cache: the address sequences each cache actually sees.
-    let il1_stream = run.trace.instr_lines(cfg.platform.il1.line_size());
-    let dl1_stream = run.trace.data_lines(cfg.platform.dl1.line_size());
-    let tac_il1 = analyze_lines(
-        &il1_stream,
-        &cfg.tac
-            .for_cache(&cfg.platform.il1, derive_seed(cfg.seed, 1)),
-    );
-    let tac_dl1 = analyze_lines(
-        &dl1_stream,
-        &cfg.tac
-            .for_cache(&cfg.platform.dl1, derive_seed(cfg.seed, 2)),
-    );
-    let r_tac = tac_il1.runs_required.max(tac_dl1.runs_required);
-
-    // MBPTA convergence on the pubbed path.
-    let outcome = converge_on_trace(cfg, &run.trace)?;
-    let r_pub = outcome.runs;
-    let pwcet_pub = outcome.pwcet.quantile(cfg.exceedance);
-
-    // Combined requirement, capped for tractability.
-    let r_pub_tac = r_tac.max(r_pub as u64);
-    let campaign_runs = usize::try_from(r_pub_tac)
-        .unwrap_or(usize::MAX)
-        .min(cfg.max_campaign_runs)
-        .max(r_pub.min(cfg.max_campaign_runs));
-    let campaign_capped = (campaign_runs as u64) < r_pub_tac;
-
-    let sample = collect(cfg, &run.trace, campaign_runs);
-    let pwcet = Pwcet::fit(
-        &sample,
-        cfg.convergence.method,
-        &cfg.convergence.tail,
-        cfg.convergence.dither,
-    )?;
-    let float_sample: Vec<f64> = sample.iter().map(|&v| v as f64).collect();
-    let iid = IidReport::evaluate(&float_sample);
-
-    Ok(PubTacAnalysis {
-        pub_report: pubbed.report,
-        r_pub,
-        tac_il1,
-        tac_dl1,
-        r_tac,
-        r_pub_tac,
-        campaign_runs,
-        campaign_capped,
-        pwcet_pub,
-        pwcet_pub_tac: pwcet.quantile(cfg.exceedance),
-        pwcet,
-        iid,
-        sample,
-        trace_len: run.trace.len(),
-    })
+    AnalysisSession::pub_tac(program, input, cfg).finish_pub_tac()
 }
 
 /// Analyses several pubbed paths and combines them per Corollary 2: every
@@ -209,20 +124,16 @@ pub fn analyze_pub_tac(
 ///
 /// # Errors
 ///
-/// See [`AnalyzeError`]. The input list must not be empty.
-///
-/// # Panics
-///
-/// Panics if `inputs` is empty.
+/// See [`AnalyzeError`]; in particular [`AnalyzeError::EmptyInputs`] when
+/// `inputs` is empty (Corollary 2 has nothing to combine).
 pub fn analyze_multipath(
     program: &Program,
     inputs: &[(String, Inputs)],
     cfg: &AnalysisConfig,
 ) -> Result<MultipathAnalysis, AnalyzeError> {
-    assert!(
-        !inputs.is_empty(),
-        "analyze_multipath needs at least one input"
-    );
+    if inputs.is_empty() {
+        return Err(AnalyzeError::EmptyInputs);
+    }
     let mut per_input = Vec::with_capacity(inputs.len());
     for (name, input) in inputs {
         let analysis = analyze_pub_tac(program, input, cfg)?;
@@ -336,6 +247,16 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         assert_eq!(m.best_pwcet, min);
         assert!(m.per_input.iter().any(|(n, _)| *n == m.best_input));
+    }
+
+    #[test]
+    fn multipath_rejects_empty_inputs() {
+        let (p, _) = demo_program();
+        let cfg = quick_cfg();
+        assert!(matches!(
+            analyze_multipath(&p, &[], &cfg),
+            Err(AnalyzeError::EmptyInputs)
+        ));
     }
 
     #[test]

@@ -1,0 +1,1754 @@
+//! The stage graph: the Figure 3 pipeline as first-class, resumable stages.
+//!
+//! The paper's pipeline is inherently staged — PUB transform, path trace,
+//! per-cache TAC requirement, MBPTA convergence, measurement campaign,
+//! pWCET fit — but the classic entry points ([`crate::analyze_original`],
+//! [`crate::analyze_pub_tac`]) expose it as one monolithic call. This
+//! module breaks it into typed stages so batch drivers can schedule,
+//! cache and resume at stage granularity:
+//!
+//! * [`AnalysisStage`] — the stage contract: typed input/output, a stable
+//!   chained digest, and a JSON-serializable intermediate artifact;
+//! * concrete stages [`PubStage`], [`TraceStage`], [`TacStage`] (one per
+//!   cache), [`ConvergeStage`], [`CampaignStage`], [`FitStage`];
+//! * [`AnalysisSession`] — the driver that composes the stages of one
+//!   analysis, memoizes their outputs, and — when given a [`StageStore`] —
+//!   persists/loads artifacts keyed by stage digest so a warm re-run
+//!   resumes mid-analysis;
+//! * [`StageDigests`] — the per-stage content digests, computable without
+//!   executing anything, so schedulers can key jobs up front.
+//!
+//! # Digests and resume semantics
+//!
+//! Every stage digest chains over the *upstream* digest plus exactly the
+//! knobs that stage consumes. Changing [`AnalysisConfig::max_campaign_runs`]
+//! therefore invalidates only the campaign and fit stages — PUB, trace,
+//! TAC and convergence artifacts stay valid and a warm re-run reuses them,
+//! re-executing only the campaign tail and the fit. Changing the master
+//! seed invalidates TAC/convergence/campaign (their seed streams change)
+//! but not the PUB transform or the trace, which are seed-free.
+//!
+//! Artifacts fall in two classes:
+//!
+//! * **expensive, rehydratable** (trace, TAC, convergence, campaign): the
+//!   full output round-trips through JSON, so a resumed session never
+//!   recomputes them;
+//! * **cheap, recomputed** (PUB, fit): the artifact records the result for
+//!   reporting and cross-process sharing, but a resumed session re-derives
+//!   the in-memory value (a deterministic transform or a fit over a cached
+//!   sample) because the full output does not round-trip economically.
+//!
+//! The campaign stage is restart-safe from the convergence boundary: runs
+//! are seeded by absolute index ([`mbcr_cpu::campaign_slice_with`]), so it
+//! prepends the cached convergence sample and simulates only the tail —
+//! bit-identical to a one-shot campaign.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbcr::stage::{AnalysisSession, MemoryStageStore, StageKind, StageStatus};
+//! use mbcr::AnalysisConfig;
+//! use mbcr_ir::{Expr, Inputs, ProgramBuilder, Stmt};
+//!
+//! let mut b = ProgramBuilder::new("toy");
+//! let a = b.array("a", 64);
+//! let (x, i) = (b.var("x"), b.var("i"));
+//! b.push(Stmt::for_(i, Expr::c(0), Expr::c(8), 8, vec![
+//!     Stmt::Assign(x, Expr::var(x).add(Expr::load(a, Expr::var(i)))),
+//! ]));
+//! let program = b.build()?;
+//! let input = Inputs::new();
+//! let cfg = AnalysisConfig::builder().seed(7).quick().build();
+//! let store = MemoryStageStore::default();
+//!
+//! let cold = AnalysisSession::pub_tac(&program, &input, &cfg)
+//!     .with_store(&store)
+//!     .finish_pub_tac()
+//!     .unwrap();
+//! // A second session resumes from the store: the expensive stages load.
+//! let mut warm = AnalysisSession::pub_tac(&program, &input, &cfg).with_store(&store);
+//! warm.advance(StageKind::Campaign).unwrap();
+//! assert_eq!(warm.status(StageKind::Campaign), Some(StageStatus::Cached));
+//! let resumed = warm.finish_pub_tac().unwrap();
+//! assert_eq!(resumed.sample, cold.sample);
+//! # Ok::<(), mbcr_ir::ProgramError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use mbcr_cpu::{campaign_slice, campaign_slice_with, Parallelism, PlatformConfig};
+use mbcr_evt::{converge, ConvergenceConfig, IidReport, Pwcet};
+use mbcr_ir::{execute, Inputs, Program};
+use mbcr_json::{fnv1a, Json, Serialize, FNV_OFFSET};
+use mbcr_pub::{pub_transform, ConstructReport, PubConfig, PubReport, PubResult};
+use mbcr_rng::derive_seed;
+use mbcr_tac::{analyze_lines, ConflictGroup, ImpactClass, TacAnalysis, TacConfig};
+use mbcr_trace::{Access, AccessKind, LineId, Trace};
+
+use crate::{AnalysisConfig, AnalyzeError, OriginalAnalysis, PubTacAnalysis};
+
+/// Schema tag baked into stage artifacts; bump on layout changes to
+/// invalidate old stage stores wholesale.
+pub const STAGE_SCHEMA: &str = "mbcr-stage/1";
+
+/// The stages of the Figure 3 pipeline, in dataflow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// PUB transform of the original program.
+    Pub,
+    /// One execution of the (pubbed) program: the path's address trace.
+    Trace,
+    /// TAC requirement over the instruction-cache line stream.
+    TacIl1,
+    /// TAC requirement over the data-cache line stream.
+    TacDl1,
+    /// MBPTA convergence procedure (`R_pub` / `R_orig`).
+    Converge,
+    /// The full measurement campaign (`min(R_pub+tac, cap)` runs).
+    Campaign,
+    /// The pWCET fit plus i.i.d. evidence over the final sample.
+    Fit,
+}
+
+impl StageKind {
+    /// Stable spelling used in artifacts, job labels and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Pub => "pub",
+            StageKind::Trace => "trace",
+            StageKind::TacIl1 => "tac_il1",
+            StageKind::TacDl1 => "tac_dl1",
+            StageKind::Converge => "converge",
+            StageKind::Campaign => "campaign",
+            StageKind::Fit => "fit",
+        }
+    }
+}
+
+/// Which stage set an analysis runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// Plain MBPTA on the original program: trace → converge → fit.
+    Original,
+    /// The paper's full pipeline: pub → trace → tac×2 → converge →
+    /// campaign → fit.
+    PubTac,
+}
+
+impl PipelineKind {
+    /// The pipeline's stages, in dataflow order.
+    #[must_use]
+    pub fn stages(self) -> &'static [StageKind] {
+        match self {
+            PipelineKind::Original => &[StageKind::Trace, StageKind::Converge, StageKind::Fit],
+            PipelineKind::PubTac => &[
+                StageKind::Pub,
+                StageKind::Trace,
+                StageKind::TacIl1,
+                StageKind::TacDl1,
+                StageKind::Converge,
+                StageKind::Campaign,
+                StageKind::Fit,
+            ],
+        }
+    }
+
+    /// Stable spelling (matches the engine's analysis-kind names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineKind::Original => "original",
+            PipelineKind::PubTac => "pub_tac",
+        }
+    }
+}
+
+/// How a session satisfied one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Executed in this session.
+    Computed,
+    /// Satisfied from the stage store.
+    Cached,
+}
+
+impl StageStatus {
+    /// Stable spelling for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageStatus::Computed => "computed",
+            StageStatus::Cached => "cached",
+        }
+    }
+}
+
+/// Persistence for per-stage intermediate artifacts, keyed by stage
+/// digest. Implementations must tolerate concurrent writers of the *same*
+/// digest (content-addressing makes such writes idempotent).
+pub trait StageStore: Sync {
+    /// Loads the artifact stored under `digest`, if present and parsable.
+    fn load_stage(&self, digest: u64) -> Option<Json>;
+
+    /// Persists an artifact under `digest`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn save_stage(&self, digest: u64, artifact: &Json) -> std::io::Result<()>;
+}
+
+/// An in-memory [`StageStore`] for tests and single-process resume.
+#[derive(Debug, Default)]
+pub struct MemoryStageStore {
+    map: Mutex<HashMap<u64, Json>>,
+}
+
+impl MemoryStageStore {
+    /// Number of stored artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("store poisoned").len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether an artifact exists for `digest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner lock is poisoned.
+    #[must_use]
+    pub fn contains(&self, digest: u64) -> bool {
+        self.map
+            .lock()
+            .expect("store poisoned")
+            .contains_key(&digest)
+    }
+}
+
+impl StageStore for MemoryStageStore {
+    fn load_stage(&self, digest: u64) -> Option<Json> {
+        self.map
+            .lock()
+            .expect("store poisoned")
+            .get(&digest)
+            .cloned()
+    }
+
+    fn save_stage(&self, digest: u64, artifact: &Json) -> std::io::Result<()> {
+        self.map
+            .lock()
+            .expect("store poisoned")
+            .insert(digest, artifact.clone());
+        Ok(())
+    }
+}
+
+/// One stage of the pipeline: typed input/output, a stable digest chained
+/// over the upstream digest, and a JSON artifact for the output.
+///
+/// `decode` is best-effort: stages whose output does not round-trip
+/// economically (the PUB transform carries a whole program; the fit
+/// carries a full pWCET curve that a cheap refit over the cached campaign
+/// sample reproduces exactly) return `None`, and the session recomputes.
+pub trait AnalysisStage<'i> {
+    /// What the stage consumes (borrowed from the session).
+    type Input: 'i;
+    /// What the stage produces.
+    type Output;
+
+    /// Which stage this is.
+    fn kind(&self) -> StageKind;
+
+    /// Chains the stage's result-affecting knobs onto `upstream`.
+    fn digest(&self, upstream: u64) -> u64;
+
+    /// Executes the stage.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyzeError`].
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError>;
+
+    /// The output's JSON artifact (the `data` member of the stored doc).
+    fn encode(&self, output: &Self::Output) -> Json;
+
+    /// Rehydrates an output from its artifact; `None` if the artifact is
+    /// malformed or the stage does not round-trip.
+    fn decode(&self, artifact: &Json) -> Option<Self::Output>;
+}
+
+/// The PUB transform stage. Output: the inflation report (the pubbed
+/// program itself is re-derived on demand — the transform is cheap and
+/// deterministic).
+#[derive(Debug, Clone, Copy)]
+pub struct PubStage<'c> {
+    /// PUB options.
+    pub pub_cfg: &'c PubConfig,
+}
+
+impl<'i, 'c> AnalysisStage<'i> for PubStage<'c> {
+    type Input = &'i Program;
+    type Output = PubReport;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Pub
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(upstream, &format!("|pub|{:?}", self.pub_cfg))
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        Ok(pub_transform(input, self.pub_cfg)?.report)
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        output.to_json()
+    }
+
+    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
+        pub_report_from_json(artifact)
+    }
+}
+
+/// The path-trace stage: one execution of the (pubbed) program under the
+/// session's input vector.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStage {
+    /// Whether the traced program is the original or the pubbed one (part
+    /// of the digest: the two traces are different artifacts).
+    pub pipeline: PipelineKind,
+}
+
+/// Input of [`TraceStage`]: the program to execute and its input vector.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceInput<'i> {
+    /// The (pubbed) program.
+    pub program: &'i Program,
+    /// The input vector selecting the path.
+    pub inputs: &'i Inputs,
+}
+
+impl<'i> AnalysisStage<'i> for TraceStage {
+    type Input = TraceInput<'i>;
+    type Output = Trace;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Trace
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(upstream, &format!("|trace|{}", self.pipeline.name()))
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        Ok(execute(input.program, input.inputs)?.trace)
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        let mut kinds = String::with_capacity(output.len());
+        let mut addrs = Vec::with_capacity(output.len());
+        for access in output {
+            kinds.push(match access.kind {
+                AccessKind::InstrFetch => 'f',
+                AccessKind::Read => 'r',
+                AccessKind::Write => 'w',
+            });
+            addrs.push(Json::UInt(access.addr.0));
+        }
+        Json::Obj(vec![
+            ("len".to_string(), Json::UInt(output.len() as u64)),
+            ("kinds".to_string(), Json::Str(kinds)),
+            ("addrs".to_string(), Json::Arr(addrs)),
+        ])
+    }
+
+    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
+        let len = artifact.get("len")?.as_usize()?;
+        let kinds = artifact.get("kinds")?.as_str()?;
+        let addrs = artifact.get("addrs")?.as_array()?;
+        if kinds.len() != len || addrs.len() != len {
+            return None;
+        }
+        let mut trace = Trace::with_capacity(len);
+        for (kind, addr) in kinds.chars().zip(addrs) {
+            let addr = addr.as_u64()?;
+            trace.push(match kind {
+                'f' => Access::fetch(addr),
+                'r' => Access::read(addr),
+                'w' => Access::write(addr),
+                _ => return None,
+            });
+        }
+        Some(trace)
+    }
+}
+
+/// A per-cache TAC stage over a line stream.
+#[derive(Debug, Clone)]
+pub struct TacStage {
+    /// Which cache's stream this analyses ([`StageKind::TacIl1`] or
+    /// [`StageKind::TacDl1`]).
+    pub stage: StageKind,
+    /// The fully-instantiated TAC configuration (geometry + seed).
+    pub cfg: TacConfig,
+    /// Line size used to project the trace onto this cache's lines.
+    pub line_size: u64,
+}
+
+impl<'i> AnalysisStage<'i> for TacStage {
+    type Input = &'i [LineId];
+    type Output = TacAnalysis;
+
+    fn kind(&self) -> StageKind {
+        self.stage
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(
+            upstream,
+            &format!("|{}|{}|{:?}", self.stage.name(), self.line_size, self.cfg),
+        )
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        Ok(analyze_lines(input, &self.cfg))
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        output.to_json()
+    }
+
+    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
+        tac_from_json(artifact)
+    }
+}
+
+/// Output of [`ConvergeStage`]: the convergence verdict plus the collected
+/// sample (the campaign stage resumes from this prefix).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergeOutput {
+    /// Runs collected when the procedure stopped (`R_pub` / `R_orig`).
+    pub runs: usize,
+    /// Whether convergence was reached within the configured cap.
+    pub converged: bool,
+    /// `(runs, pWCET@p_check)` after each step.
+    pub history: Vec<(usize, f64)>,
+    /// The execution times collected, in run-index order.
+    pub sample: Vec<u64>,
+}
+
+/// The MBPTA convergence stage.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvergeStage<'c> {
+    /// The simulated platform.
+    pub platform: &'c PlatformConfig,
+    /// Convergence procedure settings.
+    pub convergence: &'c ConvergenceConfig,
+    /// Master seed of the campaign's run-seed stream.
+    pub campaign_seed: u64,
+}
+
+impl<'i, 'c> AnalysisStage<'i> for ConvergeStage<'c> {
+    type Input = &'i Trace;
+    type Output = ConvergeOutput;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Converge
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(
+            upstream,
+            &format!(
+                "|converge|{:?}|{:?}|{}",
+                self.platform, self.convergence, self.campaign_seed
+            ),
+        )
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        let mut collected: Vec<u64> = Vec::new();
+        let outcome = converge(
+            |count| {
+                let out = campaign_slice(
+                    self.platform,
+                    input,
+                    collected.len(),
+                    count,
+                    self.campaign_seed,
+                );
+                collected.extend_from_slice(&out);
+                out
+            },
+            self.convergence,
+        )?;
+        Ok(ConvergeOutput {
+            runs: outcome.runs,
+            converged: outcome.converged,
+            history: outcome.history,
+            sample: collected,
+        })
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        Json::Obj(vec![
+            ("runs".to_string(), Json::UInt(output.runs as u64)),
+            ("converged".to_string(), Json::Bool(output.converged)),
+            (
+                "history".to_string(),
+                Json::Arr(
+                    output
+                        .history
+                        .iter()
+                        .map(|&(r, q)| Json::Arr(vec![Json::UInt(r as u64), Json::Num(q)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "sample".to_string(),
+                Json::Arr(output.sample.iter().map(|&v| Json::UInt(v)).collect()),
+            ),
+        ])
+    }
+
+    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
+        let runs = artifact.get("runs")?.as_usize()?;
+        let converged = artifact.get("converged")?.as_bool()?;
+        let history = artifact
+            .get("history")?
+            .as_array()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array()?;
+                Some((pair.first()?.as_usize()?, pair.get(1)?.as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let sample = artifact
+            .get("sample")?
+            .as_array()?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<Vec<_>>>()?;
+        if sample.len() != runs {
+            return None;
+        }
+        Some(ConvergeOutput {
+            runs,
+            converged,
+            history,
+            sample,
+        })
+    }
+}
+
+/// Input of [`CampaignStage`]: the trace to replay, the convergence-stage
+/// prefix to reuse, and the resolved campaign length.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignInput<'i> {
+    /// The trace every run replays.
+    pub trace: &'i Trace,
+    /// The convergence stage's sample — runs `0..prefix.len()` of the same
+    /// seed stream, reused instead of re-simulated.
+    pub prefix: &'i [u64],
+    /// Total campaign length (see [`campaign_runs_for`]).
+    pub runs: usize,
+}
+
+/// The measurement-campaign stage. Restart-safe from the convergence
+/// boundary: runs are seeded by absolute index, so the cached prefix plus
+/// a freshly simulated tail is bit-identical to a one-shot campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignStage<'c> {
+    /// The simulated platform.
+    pub platform: &'c PlatformConfig,
+    /// Master seed of the campaign's run-seed stream.
+    pub campaign_seed: u64,
+    /// The configured campaign cap (part of the digest; the resolved run
+    /// count is derived data).
+    pub max_campaign_runs: usize,
+    /// Intra-campaign parallelism (never affects results).
+    pub parallelism: Parallelism,
+}
+
+impl<'i, 'c> AnalysisStage<'i> for CampaignStage<'c> {
+    type Input = CampaignInput<'i>;
+    type Output = Vec<u64>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Campaign
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(
+            upstream,
+            &format!(
+                "|campaign|{}|{}|{:?}",
+                self.max_campaign_runs, self.campaign_seed, self.platform
+            ),
+        )
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        let take = input.prefix.len().min(input.runs);
+        let mut sample = input.prefix[..take].to_vec();
+        if input.runs > take {
+            sample.extend(campaign_slice_with(
+                self.platform,
+                input.trace,
+                take,
+                input.runs - take,
+                self.campaign_seed,
+                &self.parallelism,
+            ));
+        }
+        Ok(sample)
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        Json::Obj(vec![
+            ("runs".to_string(), Json::UInt(output.len() as u64)),
+            (
+                "sample".to_string(),
+                Json::Arr(output.iter().map(|&v| Json::UInt(v)).collect()),
+            ),
+        ])
+    }
+
+    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
+        let runs = artifact.get("runs")?.as_usize()?;
+        let sample = artifact
+            .get("sample")?
+            .as_array()?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<Vec<_>>>()?;
+        (sample.len() == runs).then_some(sample)
+    }
+}
+
+/// Cross-stage numbers the fit stage carries into the final report (and
+/// into its artifact, so a scheduler can synthesize a result summary from
+/// the fit artifact alone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitMeta {
+    /// Convergence-stage run count (`R_pub` / `R_orig`).
+    pub converge_runs: usize,
+    /// Whether convergence was reached.
+    pub converged: bool,
+    /// Length of the replayed trace.
+    pub trace_len: usize,
+    /// `R_tac = max(IL1, DL1)` (pub_tac pipeline only).
+    pub r_tac: Option<u64>,
+    /// `R_pub+tac = max(R_pub, R_tac)` (pub_tac pipeline only).
+    pub r_pub_tac: Option<u64>,
+    /// Executed campaign length (pub_tac pipeline only).
+    pub campaign_runs: Option<usize>,
+    /// Whether the campaign was truncated by the cap.
+    pub campaign_capped: Option<bool>,
+    /// pWCET at the reporting exceedance from the `R_pub`-run sample.
+    pub pwcet_pub: Option<f64>,
+}
+
+/// Input of [`FitStage`]: the final sample plus the cross-stage numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct FitInput<'i> {
+    /// The sample to fit (campaign sample, or the convergence sample for
+    /// the original pipeline).
+    pub sample: &'i [u64],
+    /// Cross-stage numbers forwarded into the output.
+    pub meta: FitMeta,
+}
+
+/// Output of [`FitStage`].
+#[derive(Debug, Clone)]
+pub struct FitOutput {
+    /// The fitted pWCET curve.
+    pub pwcet: Pwcet,
+    /// i.i.d. evidence over the sample.
+    pub iid: IidReport,
+    /// pWCET at the configured reporting exceedance.
+    pub pwcet_at_exceedance: f64,
+    /// Cross-stage numbers, forwarded.
+    pub meta: FitMeta,
+}
+
+/// The pWCET-fit stage.
+#[derive(Debug, Clone, Copy)]
+pub struct FitStage<'c> {
+    /// Convergence settings (fit method, tail, dither).
+    pub convergence: &'c ConvergenceConfig,
+    /// Reporting exceedance probability.
+    pub exceedance: f64,
+}
+
+impl<'i, 'c> AnalysisStage<'i> for FitStage<'c> {
+    type Input = FitInput<'i>;
+    type Output = FitOutput;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Fit
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(
+            upstream,
+            &format!(
+                "|fit|{:?}|{:?}|{:?}|{}",
+                self.convergence.method,
+                self.convergence.tail,
+                self.convergence.dither,
+                self.exceedance
+            ),
+        )
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        let pwcet = Pwcet::fit(
+            input.sample,
+            self.convergence.method,
+            &self.convergence.tail,
+            self.convergence.dither,
+        )?;
+        let float_sample: Vec<f64> = input.sample.iter().map(|&v| v as f64).collect();
+        let iid = IidReport::evaluate(&float_sample);
+        let pwcet_at_exceedance = pwcet.quantile(self.exceedance);
+        Ok(FitOutput {
+            pwcet,
+            iid,
+            pwcet_at_exceedance,
+            meta: input.meta,
+        })
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        let meta = &output.meta;
+        Json::Obj(vec![
+            (
+                "pwcet_at_exceedance".to_string(),
+                Json::Num(output.pwcet_at_exceedance),
+            ),
+            (
+                "converge_runs".to_string(),
+                Json::UInt(meta.converge_runs as u64),
+            ),
+            ("converged".to_string(), Json::Bool(meta.converged)),
+            ("trace_len".to_string(), Json::UInt(meta.trace_len as u64)),
+            ("r_tac".to_string(), Serialize::to_json(&meta.r_tac)),
+            ("r_pub_tac".to_string(), Serialize::to_json(&meta.r_pub_tac)),
+            (
+                "campaign_runs".to_string(),
+                Serialize::to_json(&meta.campaign_runs),
+            ),
+            (
+                "campaign_capped".to_string(),
+                Serialize::to_json(&meta.campaign_capped),
+            ),
+            ("pwcet_pub".to_string(), Serialize::to_json(&meta.pwcet_pub)),
+        ])
+    }
+
+    fn decode(&self, _artifact: &Json) -> Option<Self::Output> {
+        // The full pWCET curve does not round-trip; a refit over the cached
+        // campaign sample reproduces it exactly.
+        None
+    }
+}
+
+/// The executed campaign length: the combined PUB + TAC requirement capped
+/// at `max_campaign_runs`, but never below the measurements the convergence
+/// stage already collected (themselves capped).
+///
+/// # Examples
+///
+/// ```
+/// use mbcr::stage::campaign_runs_for;
+/// assert_eq!(campaign_runs_for(17_000, 300, 200_000), 17_000);
+/// assert_eq!(campaign_runs_for(17_000, 300, 800), 800); // capped
+/// assert_eq!(campaign_runs_for(250, 300, 200_000), 300); // floor: R_pub
+/// ```
+#[must_use]
+pub fn campaign_runs_for(r_pub_tac: u64, r_pub: usize, max_campaign_runs: usize) -> usize {
+    let capped_requirement = usize::try_from(r_pub_tac)
+        .unwrap_or(usize::MAX)
+        .min(max_campaign_runs);
+    let convergence_floor = r_pub.min(max_campaign_runs);
+    capped_requirement.max(convergence_floor)
+}
+
+/// The per-stage content digests of one analysis, computable without
+/// executing anything. Each digest chains over its upstream digest plus
+/// the knobs the stage consumes, so a knob change invalidates exactly the
+/// downstream stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageDigests {
+    pipeline: PipelineKind,
+    pub_stage: u64,
+    trace: u64,
+    tac_il1: u64,
+    tac_dl1: u64,
+    converge: u64,
+    campaign: u64,
+    fit: u64,
+}
+
+impl StageDigests {
+    /// Computes every stage digest for one (program, input, config)
+    /// analysis.
+    #[must_use]
+    pub fn compute(
+        program: &Program,
+        input: &Inputs,
+        cfg: &AnalysisConfig,
+        pipeline: PipelineKind,
+    ) -> Self {
+        let program_d = fnv1a(FNV_OFFSET, &format!("{STAGE_SCHEMA}|program|{program:?}"));
+        let input_d = fnv1a(FNV_OFFSET, &format!("{STAGE_SCHEMA}|input|{input:?}"));
+        let pub_stage = PubStage {
+            pub_cfg: &cfg.pub_cfg,
+        }
+        .digest(program_d);
+        let trace_base = match pipeline {
+            PipelineKind::Original => program_d,
+            PipelineKind::PubTac => pub_stage,
+        };
+        let trace = TraceStage { pipeline }.digest(fnv1a(trace_base, &format!("|{input_d:016x}")));
+        let tac_il1 = tac_stage(cfg, StageKind::TacIl1).digest(trace);
+        let tac_dl1 = tac_stage(cfg, StageKind::TacDl1).digest(trace);
+        let converge = ConvergeStage {
+            platform: &cfg.platform,
+            convergence: &cfg.convergence,
+            campaign_seed: campaign_seed(cfg),
+        }
+        .digest(trace);
+        let campaign = CampaignStage {
+            platform: &cfg.platform,
+            campaign_seed: campaign_seed(cfg),
+            max_campaign_runs: cfg.max_campaign_runs,
+            parallelism: Parallelism::serial(),
+        }
+        .digest(fnv1a(converge, &format!("|{tac_il1:016x}|{tac_dl1:016x}")));
+        let fit_base = match pipeline {
+            PipelineKind::Original => converge,
+            PipelineKind::PubTac => campaign,
+        };
+        let fit = FitStage {
+            convergence: &cfg.convergence,
+            exceedance: cfg.exceedance,
+        }
+        .digest(fit_base);
+        Self {
+            pipeline,
+            pub_stage,
+            trace,
+            tac_il1,
+            tac_dl1,
+            converge,
+            campaign,
+            fit,
+        }
+    }
+
+    /// The digest of `stage`, or `None` when the pipeline lacks it.
+    #[must_use]
+    pub fn get(&self, stage: StageKind) -> Option<u64> {
+        if !self.pipeline.stages().contains(&stage) {
+            return None;
+        }
+        Some(match stage {
+            StageKind::Pub => self.pub_stage,
+            StageKind::Trace => self.trace,
+            StageKind::TacIl1 => self.tac_il1,
+            StageKind::TacDl1 => self.tac_dl1,
+            StageKind::Converge => self.converge,
+            StageKind::Campaign => self.campaign,
+            StageKind::Fit => self.fit,
+        })
+    }
+
+    /// The pipeline these digests describe.
+    #[must_use]
+    pub fn pipeline(&self) -> PipelineKind {
+        self.pipeline
+    }
+}
+
+/// Extracts the payload of a stored stage artifact after validating its
+/// schema, stage name and digest — a torn or foreign file is never a hit.
+#[must_use]
+pub fn stage_artifact_data(doc: &Json, stage: StageKind, digest: u64) -> Option<&Json> {
+    if doc.get("schema")?.as_str()? != STAGE_SCHEMA {
+        return None;
+    }
+    if doc.get("stage")?.as_str()? != stage.name() {
+        return None;
+    }
+    if doc.get("digest")?.as_u64()? != digest {
+        return None;
+    }
+    doc.get("data")
+}
+
+fn campaign_seed(cfg: &AnalysisConfig) -> u64 {
+    derive_seed(cfg.seed, 0xCA)
+}
+
+fn tac_stage(cfg: &AnalysisConfig, stage: StageKind) -> TacStage {
+    let (geometry, salt) = match stage {
+        StageKind::TacIl1 => (&cfg.platform.il1, 1),
+        StageKind::TacDl1 => (&cfg.platform.dl1, 2),
+        other => unreachable!("{} is not a TAC stage", other.name()),
+    };
+    TacStage {
+        stage,
+        cfg: cfg.tac.for_cache(geometry, derive_seed(cfg.seed, salt)),
+        line_size: geometry.line_size(),
+    }
+}
+
+fn pub_report_from_json(v: &Json) -> Option<PubReport> {
+    let constructs = v
+        .get("constructs")?
+        .as_array()?
+        .iter()
+        .map(|c| {
+            Some(ConstructReport {
+                construct_id: u32::try_from(c.get("construct_id")?.as_u64()?).ok()?,
+                then_inserted: c.get("then_inserted")?.as_usize()?,
+                else_inserted: c.get("else_inserted")?.as_usize()?,
+                inserted_instrs: c.get("inserted_instrs")?.as_u64()?,
+                inserted_data_refs: c.get("inserted_data_refs")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(PubReport {
+        constructs,
+        loops_padded: v.get("loops_padded")?.as_usize()?,
+        widened_touches: v.get("widened_touches")?.as_usize()?,
+    })
+}
+
+fn tac_from_json(v: &Json) -> Option<TacAnalysis> {
+    let relevant_groups = v
+        .get("relevant_groups")?
+        .as_array()?
+        .iter()
+        .map(|g| {
+            Some(ConflictGroup {
+                lines: g
+                    .get("lines")?
+                    .as_array()?
+                    .iter()
+                    .map(|l| l.as_u64().map(LineId))
+                    .collect::<Option<Vec<_>>>()?,
+                prob: g.get("prob")?.as_f64()?,
+                extra_misses: g.get("extra_misses")?.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let classes = v
+        .get("classes")?
+        .as_array()?
+        .iter()
+        .map(|c| {
+            Some(ImpactClass {
+                impact: c.get("impact")?.as_f64()?,
+                prob: c.get("prob")?.as_f64()?,
+                group_count: c.get("group_count")?.as_usize()?,
+                runs: c.get("runs")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(TacAnalysis {
+        unique_lines: v.get("unique_lines")?.as_usize()?,
+        groups_evaluated: v.get("groups_evaluated")?.as_usize()?,
+        relevant_groups,
+        classes,
+        runs_required: v.get("runs_required")?.as_u64()?,
+    })
+}
+
+/// Which cached artifacts a session refuses to load (see
+/// [`AnalysisSession::with_force`] / [`AnalysisSession::with_force_stage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForceScope {
+    /// Load every valid cached artifact (the default).
+    None,
+    /// Ignore all cached artifacts; recompute everything.
+    All,
+    /// Ignore only one stage's cached artifact; upstream stages still
+    /// load.
+    Only(StageKind),
+}
+
+/// Drives the stages of one analysis: memoizes outputs, loads/persists
+/// stage artifacts through an optional [`StageStore`], and assembles the
+/// classic result structs — bit-identical to the monolithic entry points.
+pub struct AnalysisSession<'a> {
+    program: &'a Program,
+    input: &'a Inputs,
+    cfg: &'a AnalysisConfig,
+    pipeline: PipelineKind,
+    store: Option<&'a dyn StageStore>,
+    force: ForceScope,
+    digests: StageDigests,
+    pub_result: Option<PubResult>,
+    pub_report: Option<PubReport>,
+    trace: Option<Trace>,
+    tac_il1: Option<TacAnalysis>,
+    tac_dl1: Option<TacAnalysis>,
+    converge: Option<ConvergeOutput>,
+    campaign: Option<Vec<u64>>,
+    fit: Option<FitOutput>,
+    statuses: Vec<(StageKind, StageStatus)>,
+}
+
+impl<'a> AnalysisSession<'a> {
+    fn new(
+        program: &'a Program,
+        input: &'a Inputs,
+        cfg: &'a AnalysisConfig,
+        pipeline: PipelineKind,
+    ) -> Self {
+        Self {
+            program,
+            input,
+            cfg,
+            pipeline,
+            store: None,
+            force: ForceScope::None,
+            digests: StageDigests::compute(program, input, cfg, pipeline),
+            pub_result: None,
+            pub_report: None,
+            trace: None,
+            tac_il1: None,
+            tac_dl1: None,
+            converge: None,
+            campaign: None,
+            fit: None,
+            statuses: Vec::new(),
+        }
+    }
+
+    /// A session for the paper's full PUB + TAC + MBPTA pipeline.
+    #[must_use]
+    pub fn pub_tac(program: &'a Program, input: &'a Inputs, cfg: &'a AnalysisConfig) -> Self {
+        Self::new(program, input, cfg, PipelineKind::PubTac)
+    }
+
+    /// A session for the plain-MBPTA baseline on the original program.
+    #[must_use]
+    pub fn original(program: &'a Program, input: &'a Inputs, cfg: &'a AnalysisConfig) -> Self {
+        Self::new(program, input, cfg, PipelineKind::Original)
+    }
+
+    /// Attaches a stage store: computed stages persist their artifacts,
+    /// and stages whose artifact is already present load instead of
+    /// recomputing.
+    #[must_use]
+    pub fn with_store(mut self, store: &'a dyn StageStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// When set, cached artifacts are ignored (every stage recomputes and
+    /// overwrites its artifact) — the standalone `--force` semantics.
+    #[must_use]
+    pub fn with_force(mut self, force: bool) -> Self {
+        self.force = if force {
+            ForceScope::All
+        } else {
+            ForceScope::None
+        };
+        self
+    }
+
+    /// Ignores the cached artifact of `stage` only: that one stage
+    /// recomputes and overwrites its artifact while upstream stages still
+    /// load from the store. This is what a stage-granular scheduler wants
+    /// under `--force` — its DAG already guarantees every upstream node
+    /// re-executed first, so re-deriving the whole chain inside each
+    /// node's session would multiply the expensive stages.
+    #[must_use]
+    pub fn with_force_stage(mut self, stage: StageKind) -> Self {
+        self.force = ForceScope::Only(stage);
+        self
+    }
+
+    /// Which pipeline this session runs.
+    #[must_use]
+    pub fn pipeline(&self) -> PipelineKind {
+        self.pipeline
+    }
+
+    /// The session's stage digests.
+    #[must_use]
+    pub fn digests(&self) -> &StageDigests {
+        &self.digests
+    }
+
+    /// The digest of `stage`, when the pipeline has it.
+    #[must_use]
+    pub fn digest(&self, stage: StageKind) -> Option<u64> {
+        self.digests.get(stage)
+    }
+
+    /// How `stage` was satisfied, if the session has touched it.
+    #[must_use]
+    pub fn status(&self, stage: StageKind) -> Option<StageStatus> {
+        self.statuses
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|&(_, status)| status)
+    }
+
+    /// Every stage touched so far, in completion order.
+    #[must_use]
+    pub fn statuses(&self) -> &[(StageKind, StageStatus)] {
+        &self.statuses
+    }
+
+    /// Ensures `stage` (and its upstream stages, transitively) is
+    /// available, loading from the store where possible.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyzeError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is not part of the session's pipeline.
+    pub fn advance(&mut self, stage: StageKind) -> Result<(), AnalyzeError> {
+        assert!(
+            self.pipeline.stages().contains(&stage),
+            "stage '{}' is not part of the '{}' pipeline",
+            stage.name(),
+            self.pipeline.name()
+        );
+        match stage {
+            StageKind::Pub => self.ensure_pub(),
+            StageKind::Trace => self.ensure_trace(),
+            StageKind::TacIl1 | StageKind::TacDl1 => self.ensure_tac(stage),
+            StageKind::Converge => self.ensure_converge(),
+            StageKind::Campaign => self.ensure_campaign(),
+            StageKind::Fit => self.ensure_fit(),
+        }
+    }
+
+    /// The replayed trace's length, once the trace stage has run.
+    #[must_use]
+    pub fn trace_len(&self) -> Option<usize> {
+        self.trace.as_ref().map(Trace::len)
+    }
+
+    /// A TAC analysis, once its stage has run.
+    #[must_use]
+    pub fn tac_analysis(&self, stage: StageKind) -> Option<&TacAnalysis> {
+        match stage {
+            StageKind::TacIl1 => self.tac_il1.as_ref(),
+            StageKind::TacDl1 => self.tac_dl1.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The convergence output, once its stage has run.
+    #[must_use]
+    pub fn converge_output(&self) -> Option<&ConvergeOutput> {
+        self.converge.as_ref()
+    }
+
+    /// The campaign sample, once its stage has run.
+    #[must_use]
+    pub fn campaign_sample(&self) -> Option<&[u64]> {
+        self.campaign.as_deref()
+    }
+
+    /// The fit output, once its stage has run.
+    #[must_use]
+    pub fn fit_output(&self) -> Option<&FitOutput> {
+        self.fit.as_ref()
+    }
+
+    /// The PUB report, once its stage has run.
+    #[must_use]
+    pub fn pub_report(&self) -> Option<&PubReport> {
+        self.pub_report.as_ref()
+    }
+
+    /// Runs the original-program pipeline to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyzeError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was constructed for the pub_tac pipeline.
+    pub fn finish_original(mut self) -> Result<OriginalAnalysis, AnalyzeError> {
+        assert_eq!(
+            self.pipeline,
+            PipelineKind::Original,
+            "finish_original needs an original-pipeline session"
+        );
+        self.ensure_fit()?;
+        let fit = self.fit.take().expect("fit ensured");
+        Ok(OriginalAnalysis {
+            r_orig: fit.meta.converge_runs,
+            converged: fit.meta.converged,
+            pwcet_at_exceedance: fit.pwcet_at_exceedance,
+            pwcet: fit.pwcet,
+            iid: fit.iid,
+            trace_len: fit.meta.trace_len,
+        })
+    }
+
+    /// Runs the PUB + TAC pipeline to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalyzeError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was constructed for the original pipeline.
+    pub fn finish_pub_tac(mut self) -> Result<PubTacAnalysis, AnalyzeError> {
+        assert_eq!(
+            self.pipeline,
+            PipelineKind::PubTac,
+            "finish_pub_tac needs a pub_tac-pipeline session"
+        );
+        self.ensure_fit()?;
+        self.ensure_pub()?;
+        let fit = self.fit.take().expect("fit ensured");
+        let meta = fit.meta;
+        Ok(PubTacAnalysis {
+            pub_report: self.pub_report.take().expect("pub ensured"),
+            r_pub: meta.converge_runs,
+            tac_il1: self.tac_il1.take().expect("tac ensured"),
+            tac_dl1: self.tac_dl1.take().expect("tac ensured"),
+            r_tac: meta.r_tac.expect("pub_tac meta"),
+            r_pub_tac: meta.r_pub_tac.expect("pub_tac meta"),
+            campaign_runs: meta.campaign_runs.expect("pub_tac meta"),
+            campaign_capped: meta.campaign_capped.expect("pub_tac meta"),
+            pwcet_pub: meta.pwcet_pub.expect("pub_tac meta"),
+            pwcet_pub_tac: fit.pwcet_at_exceedance,
+            pwcet: fit.pwcet,
+            iid: fit.iid,
+            sample: self.campaign.take().expect("campaign ensured"),
+            trace_len: meta.trace_len,
+        })
+    }
+
+    fn record(&mut self, stage: StageKind, status: StageStatus) {
+        if !self.statuses.iter().any(|(s, _)| *s == stage) {
+            self.statuses.push((stage, status));
+        }
+    }
+
+    fn load_artifact(&self, stage: StageKind) -> Option<Json> {
+        let forced = match self.force {
+            ForceScope::None => false,
+            ForceScope::All => true,
+            ForceScope::Only(s) => s == stage,
+        };
+        if forced {
+            return None;
+        }
+        let store = self.store?;
+        let digest = self.digests.get(stage)?;
+        let doc = store.load_stage(digest)?;
+        stage_artifact_data(&doc, stage, digest).cloned()
+    }
+
+    fn save_artifact(&mut self, stage: StageKind, data: Json) -> Result<(), AnalyzeError> {
+        let Some(store) = self.store else {
+            return Ok(());
+        };
+        let Some(digest) = self.digests.get(stage) else {
+            return Ok(());
+        };
+        let doc = Json::Obj(vec![
+            ("schema".to_string(), STAGE_SCHEMA.into()),
+            ("stage".to_string(), stage.name().into()),
+            ("digest".to_string(), Json::UInt(digest)),
+            ("data".to_string(), data),
+        ]);
+        store
+            .save_stage(digest, &doc)
+            .map_err(|e| AnalyzeError::Store(format!("{}: {e}", stage.name())))
+    }
+
+    /// The pubbed program, deriving it on demand (cheap, deterministic —
+    /// never persisted).
+    fn pubbed_program(&mut self) -> Result<&Program, AnalyzeError> {
+        if self.pub_result.is_none() {
+            self.pub_result = Some(pub_transform(self.program, &self.cfg.pub_cfg)?);
+        }
+        Ok(&self.pub_result.as_ref().expect("just set").program)
+    }
+
+    fn ensure_pub(&mut self) -> Result<(), AnalyzeError> {
+        if self.pub_report.is_some() {
+            return Ok(());
+        }
+        let cfg = self.cfg;
+        let stage = PubStage {
+            pub_cfg: &cfg.pub_cfg,
+        };
+        if let Some(data) = self.load_artifact(StageKind::Pub) {
+            if let Some(report) = stage.decode(&data) {
+                self.pub_report = Some(report);
+                self.record(StageKind::Pub, StageStatus::Cached);
+                return Ok(());
+            }
+        }
+        let report = match &self.pub_result {
+            Some(r) => r.report.clone(),
+            None => {
+                self.pubbed_program()?;
+                self.pub_result.as_ref().expect("just set").report.clone()
+            }
+        };
+        self.save_artifact(StageKind::Pub, stage.encode(&report))?;
+        self.record(StageKind::Pub, StageStatus::Computed);
+        self.pub_report = Some(report);
+        Ok(())
+    }
+
+    fn ensure_trace(&mut self) -> Result<(), AnalyzeError> {
+        if self.trace.is_some() {
+            return Ok(());
+        }
+        let stage = TraceStage {
+            pipeline: self.pipeline,
+        };
+        if let Some(data) = self.load_artifact(StageKind::Trace) {
+            if let Some(trace) = stage.decode(&data) {
+                self.trace = Some(trace);
+                self.record(StageKind::Trace, StageStatus::Cached);
+                return Ok(());
+            }
+        }
+        let input = self.input;
+        let trace = match self.pipeline {
+            PipelineKind::Original => stage.run(TraceInput {
+                program: self.program,
+                inputs: input,
+            })?,
+            PipelineKind::PubTac => {
+                self.ensure_pub()?;
+                let program = self.pubbed_program()?;
+                stage.run(TraceInput {
+                    program,
+                    inputs: input,
+                })?
+            }
+        };
+        self.save_artifact(StageKind::Trace, stage.encode(&trace))?;
+        self.record(StageKind::Trace, StageStatus::Computed);
+        self.trace = Some(trace);
+        Ok(())
+    }
+
+    fn ensure_tac(&mut self, stage_kind: StageKind) -> Result<(), AnalyzeError> {
+        let present = match stage_kind {
+            StageKind::TacIl1 => self.tac_il1.is_some(),
+            StageKind::TacDl1 => self.tac_dl1.is_some(),
+            other => unreachable!("{} is not a TAC stage", other.name()),
+        };
+        if present {
+            return Ok(());
+        }
+        let stage = tac_stage(self.cfg, stage_kind);
+        let analysis = if let Some(decoded) = self
+            .load_artifact(stage_kind)
+            .and_then(|data| stage.decode(&data))
+        {
+            self.record(stage_kind, StageStatus::Cached);
+            decoded
+        } else {
+            self.ensure_trace()?;
+            let trace = self.trace.as_ref().expect("trace ensured");
+            let lines = match stage_kind {
+                StageKind::TacIl1 => trace.instr_lines(stage.line_size),
+                _ => trace.data_lines(stage.line_size),
+            };
+            let analysis = stage.run(&lines)?;
+            self.save_artifact(stage_kind, stage.encode(&analysis))?;
+            self.record(stage_kind, StageStatus::Computed);
+            analysis
+        };
+        match stage_kind {
+            StageKind::TacIl1 => self.tac_il1 = Some(analysis),
+            _ => self.tac_dl1 = Some(analysis),
+        }
+        Ok(())
+    }
+
+    fn ensure_converge(&mut self) -> Result<(), AnalyzeError> {
+        if self.converge.is_some() {
+            return Ok(());
+        }
+        let cfg = self.cfg;
+        let stage = ConvergeStage {
+            platform: &cfg.platform,
+            convergence: &cfg.convergence,
+            campaign_seed: campaign_seed(cfg),
+        };
+        if let Some(data) = self.load_artifact(StageKind::Converge) {
+            if let Some(output) = stage.decode(&data) {
+                self.converge = Some(output);
+                self.record(StageKind::Converge, StageStatus::Cached);
+                return Ok(());
+            }
+        }
+        self.ensure_trace()?;
+        let output = stage.run(self.trace.as_ref().expect("trace ensured"))?;
+        self.save_artifact(StageKind::Converge, stage.encode(&output))?;
+        self.record(StageKind::Converge, StageStatus::Computed);
+        self.converge = Some(output);
+        Ok(())
+    }
+
+    fn ensure_campaign(&mut self) -> Result<(), AnalyzeError> {
+        if self.campaign.is_some() {
+            return Ok(());
+        }
+        let cfg = self.cfg;
+        let stage = CampaignStage {
+            platform: &cfg.platform,
+            campaign_seed: campaign_seed(cfg),
+            max_campaign_runs: cfg.max_campaign_runs,
+            parallelism: Parallelism::with_threads(cfg.threads),
+        };
+        if let Some(data) = self.load_artifact(StageKind::Campaign) {
+            if let Some(sample) = stage.decode(&data) {
+                self.campaign = Some(sample);
+                self.record(StageKind::Campaign, StageStatus::Cached);
+                return Ok(());
+            }
+        }
+        self.ensure_tac(StageKind::TacIl1)?;
+        self.ensure_tac(StageKind::TacDl1)?;
+        self.ensure_converge()?;
+        // Cached TAC/converge stages do not pull the trace in; the
+        // campaign tail replays it, so ensure it explicitly.
+        self.ensure_trace()?;
+        let r_tac = self.r_tac().expect("tac ensured");
+        let converge = self.converge.as_ref().expect("converge ensured");
+        let r_pub = converge.runs;
+        let runs = campaign_runs_for(r_tac.max(r_pub as u64), r_pub, cfg.max_campaign_runs);
+        let trace = self.trace.as_ref().expect("trace ensured");
+        let sample = stage.run(CampaignInput {
+            trace,
+            prefix: &converge.sample,
+            runs,
+        })?;
+        self.save_artifact(StageKind::Campaign, stage.encode(&sample))?;
+        self.record(StageKind::Campaign, StageStatus::Computed);
+        self.campaign = Some(sample);
+        Ok(())
+    }
+
+    /// `R_tac = max(IL1, DL1)`, once both TAC stages have run.
+    #[must_use]
+    pub fn r_tac(&self) -> Option<u64> {
+        Some(
+            self.tac_il1
+                .as_ref()?
+                .runs_required
+                .max(self.tac_dl1.as_ref()?.runs_required),
+        )
+    }
+
+    fn ensure_fit(&mut self) -> Result<(), AnalyzeError> {
+        if self.fit.is_some() {
+            return Ok(());
+        }
+        // The fit does not rehydrate from its artifact (see FitStage); a
+        // present artifact still marks the stage cached for schedulers.
+        let cached = self.load_artifact(StageKind::Fit).is_some();
+        let cfg = self.cfg;
+        let meta = match self.pipeline {
+            PipelineKind::Original => {
+                self.ensure_converge()?;
+                self.ensure_trace()?;
+                let converge = self.converge.as_ref().expect("converge ensured");
+                FitMeta {
+                    converge_runs: converge.runs,
+                    converged: converge.converged,
+                    trace_len: self.trace.as_ref().expect("trace ensured").len(),
+                    r_tac: None,
+                    r_pub_tac: None,
+                    campaign_runs: None,
+                    campaign_capped: None,
+                    pwcet_pub: None,
+                }
+            }
+            PipelineKind::PubTac => {
+                self.ensure_campaign()?;
+                self.ensure_tac(StageKind::TacIl1)?;
+                self.ensure_tac(StageKind::TacDl1)?;
+                self.ensure_converge()?;
+                self.ensure_trace()?;
+                let converge = self.converge.as_ref().expect("converge ensured");
+                let r_pub = converge.runs;
+                let r_tac = self.r_tac().expect("tac ensured");
+                let r_pub_tac = r_tac.max(r_pub as u64);
+                let campaign_runs = self.campaign.as_ref().expect("campaign ensured").len();
+                // The R_pub-run estimate (the paper's "PUB" column): refit
+                // over the convergence sample — identical to the final fit
+                // the convergence procedure performed.
+                let pub_fit = Pwcet::fit(
+                    &converge.sample,
+                    cfg.convergence.method,
+                    &cfg.convergence.tail,
+                    cfg.convergence.dither,
+                )?;
+                FitMeta {
+                    converge_runs: r_pub,
+                    converged: converge.converged,
+                    trace_len: self.trace.as_ref().expect("trace ensured").len(),
+                    r_tac: Some(r_tac),
+                    r_pub_tac: Some(r_pub_tac),
+                    campaign_runs: Some(campaign_runs),
+                    campaign_capped: Some((campaign_runs as u64) < r_pub_tac),
+                    pwcet_pub: Some(pub_fit.quantile(cfg.exceedance)),
+                }
+            }
+        };
+        let stage = FitStage {
+            convergence: &cfg.convergence,
+            exceedance: cfg.exceedance,
+        };
+        let sample = match self.pipeline {
+            PipelineKind::Original => &self.converge.as_ref().expect("converge ensured").sample,
+            PipelineKind::PubTac => self.campaign.as_ref().expect("campaign ensured"),
+        };
+        let output = stage.run(FitInput { sample, meta })?;
+        if cached {
+            self.record(StageKind::Fit, StageStatus::Cached);
+        } else {
+            let encoded = stage.encode(&output);
+            self.save_artifact(StageKind::Fit, encoded)?;
+            self.record(StageKind::Fit, StageStatus::Computed);
+        }
+        self.fit = Some(output);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbcr_ir::{Expr, ProgramBuilder, Stmt};
+
+    fn demo_program() -> (Program, mbcr_ir::Var) {
+        let mut b = ProgramBuilder::new("stage-demo");
+        let big = b.array("big", 256);
+        let x = b.var("x");
+        let acc = b.var("acc");
+        let i = b.var("i");
+        b.push(Stmt::for_(
+            i,
+            Expr::c(0),
+            Expr::c(32),
+            32,
+            vec![Stmt::Assign(
+                acc,
+                Expr::var(acc).add(Expr::load(big, Expr::var(i).mul(Expr::c(8)))),
+            )],
+        ));
+        b.push(Stmt::if_(
+            Expr::var(x).gt(Expr::c(0)),
+            vec![Stmt::Assign(
+                acc,
+                Expr::var(acc).add(Expr::load(big, Expr::c(7))),
+            )],
+            vec![Stmt::Assign(acc, Expr::var(acc).sub(Expr::c(1)))],
+        ));
+        (b.build().unwrap(), x)
+    }
+
+    fn quick_cfg(seed: u64) -> AnalysisConfig {
+        AnalysisConfig::builder()
+            .seed(seed)
+            .quick()
+            .threads(2)
+            .build()
+    }
+
+    #[test]
+    fn campaign_runs_for_matches_the_legacy_clamp() {
+        // Uncapped: the combined requirement wins.
+        assert_eq!(campaign_runs_for(17_000, 300, 200_000), 17_000);
+        // Cap below the requirement but above R_pub.
+        assert_eq!(campaign_runs_for(17_000, 300, 800), 800);
+        // Cap below R_pub: the campaign still stops at the cap.
+        assert_eq!(campaign_runs_for(17_000, 300, 200), 200);
+        // Requirement below R_pub (TAC asked for less): floor at R_pub.
+        assert_eq!(campaign_runs_for(250, 300, 200_000), 300);
+        // A requirement beyond usize (u64::MAX on 32-bit targets; the
+        // unwrap_or path) still clamps to the cap.
+        assert_eq!(campaign_runs_for(u64::MAX, 300, 800), 800);
+        // Degenerate zero cap.
+        assert_eq!(campaign_runs_for(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn digests_are_stable_and_stage_sensitive() {
+        let (p, _) = demo_program();
+        let cfg = quick_cfg(1);
+        let input = Inputs::new();
+        let a = StageDigests::compute(&p, &input, &cfg, PipelineKind::PubTac);
+        let b = StageDigests::compute(&p, &input, &cfg, PipelineKind::PubTac);
+        assert_eq!(a, b, "digests must be deterministic");
+        let all: Vec<u64> = PipelineKind::PubTac
+            .stages()
+            .iter()
+            .map(|&s| a.get(s).unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), all.len(), "stage digests must differ");
+    }
+
+    #[test]
+    fn max_campaign_runs_invalidates_only_campaign_and_fit() {
+        let (p, _) = demo_program();
+        let input = Inputs::new();
+        let base = quick_cfg(1);
+        let recapped = AnalysisConfig {
+            max_campaign_runs: base.max_campaign_runs + 1,
+            ..base.clone()
+        };
+        let a = StageDigests::compute(&p, &input, &base, PipelineKind::PubTac);
+        let b = StageDigests::compute(&p, &input, &recapped, PipelineKind::PubTac);
+        for stage in [
+            StageKind::Pub,
+            StageKind::Trace,
+            StageKind::TacIl1,
+            StageKind::TacDl1,
+            StageKind::Converge,
+        ] {
+            assert_eq!(a.get(stage), b.get(stage), "{} must survive", stage.name());
+        }
+        assert_ne!(a.get(StageKind::Campaign), b.get(StageKind::Campaign));
+        assert_ne!(a.get(StageKind::Fit), b.get(StageKind::Fit));
+    }
+
+    #[test]
+    fn seed_change_preserves_pub_and_trace_only() {
+        let (p, _) = demo_program();
+        let input = Inputs::new();
+        let a = StageDigests::compute(&p, &input, &quick_cfg(1), PipelineKind::PubTac);
+        let b = StageDigests::compute(&p, &input, &quick_cfg(2), PipelineKind::PubTac);
+        assert_eq!(a.get(StageKind::Pub), b.get(StageKind::Pub));
+        assert_eq!(a.get(StageKind::Trace), b.get(StageKind::Trace));
+        for stage in [
+            StageKind::TacIl1,
+            StageKind::TacDl1,
+            StageKind::Converge,
+            StageKind::Campaign,
+            StageKind::Fit,
+        ] {
+            assert_ne!(a.get(stage), b.get(stage), "{} must reseed", stage.name());
+        }
+    }
+
+    #[test]
+    fn original_pipeline_has_no_pub_or_campaign_digest() {
+        let (p, _) = demo_program();
+        let cfg = quick_cfg(1);
+        let d = StageDigests::compute(&p, &Inputs::new(), &cfg, PipelineKind::Original);
+        assert!(d.get(StageKind::Pub).is_none());
+        assert!(d.get(StageKind::TacIl1).is_none());
+        assert!(d.get(StageKind::Campaign).is_none());
+        assert!(d.get(StageKind::Trace).is_some());
+        assert!(d.get(StageKind::Fit).is_some());
+    }
+
+    #[test]
+    fn trace_artifact_roundtrips() {
+        let stage = TraceStage {
+            pipeline: PipelineKind::PubTac,
+        };
+        let trace: Trace = [
+            Access::fetch(0x40),
+            Access::read(0x8000),
+            Access::write(0x80),
+        ]
+        .into_iter()
+        .collect();
+        let decoded = stage.decode(&stage.encode(&trace)).expect("roundtrip");
+        assert_eq!(decoded, trace);
+        assert!(stage.decode(&Json::Obj(vec![])).is_none(), "torn artifact");
+    }
+
+    #[test]
+    fn session_statuses_track_cold_and_warm_runs() {
+        let (p, x) = demo_program();
+        let cfg = quick_cfg(99);
+        let input = Inputs::new().with_var(x, 1);
+        let store = MemoryStageStore::default();
+
+        let mut cold = AnalysisSession::pub_tac(&p, &input, &cfg).with_store(&store);
+        cold.advance(StageKind::Fit).unwrap();
+        for &(_, status) in cold.statuses() {
+            assert_eq!(status, StageStatus::Computed);
+        }
+        assert_eq!(store.len(), 7, "one artifact per pub_tac stage");
+
+        let mut warm = AnalysisSession::pub_tac(&p, &input, &cfg).with_store(&store);
+        warm.advance(StageKind::Fit).unwrap();
+        for stage in [
+            StageKind::Trace,
+            StageKind::TacIl1,
+            StageKind::TacDl1,
+            StageKind::Converge,
+            StageKind::Campaign,
+            StageKind::Fit,
+        ] {
+            assert_eq!(
+                warm.status(stage),
+                Some(StageStatus::Cached),
+                "{} must load from the store",
+                stage.name()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_stage_artifact_is_recomputed_not_trusted() {
+        let (p, x) = demo_program();
+        let cfg = quick_cfg(5);
+        let input = Inputs::new().with_var(x, 1);
+        let store = MemoryStageStore::default();
+        let digests = StageDigests::compute(&p, &input, &cfg, PipelineKind::PubTac);
+        // Poison the converge slot with a torn/foreign document.
+        store
+            .save_stage(
+                digests.get(StageKind::Converge).unwrap(),
+                &mbcr_json::parse(r#"{"schema": "other/9"}"#).unwrap(),
+            )
+            .unwrap();
+        let mut session = AnalysisSession::pub_tac(&p, &input, &cfg).with_store(&store);
+        session.advance(StageKind::Converge).unwrap();
+        assert_eq!(
+            session.status(StageKind::Converge),
+            Some(StageStatus::Computed),
+            "a torn artifact must not be a cache hit"
+        );
+    }
+}

@@ -325,19 +325,39 @@ pub fn campaign_with(
     master_seed: u64,
     par: &Parallelism,
 ) -> Vec<u64> {
+    campaign_slice_with(cfg, trace, 0, runs, master_seed, par)
+}
+
+/// [`campaign_slice`] under explicit [`Parallelism`] knobs: runs
+/// `start .. start + runs` of the seed stream, in run-index order,
+/// bit-identical to the serial slice at any knob setting.
+///
+/// Because every run is seeded from its absolute index, a campaign can be
+/// restarted from any boundary: a prefix collected by one process (e.g. a
+/// convergence stage) concatenated with this slice equals the full
+/// campaign. Staged drivers rely on this to resume mid-analysis.
+#[must_use]
+pub fn campaign_slice_with(
+    cfg: &PlatformConfig,
+    trace: &Trace,
+    start: usize,
+    runs: usize,
+    master_seed: u64,
+    par: &Parallelism,
+) -> Vec<u64> {
     let threads = par.threads.max(1).min(runs.max(1));
     if threads <= 1 || runs < par.min_parallel_runs.max(2) {
-        return campaign(cfg, trace, runs, master_seed);
+        return campaign_slice(cfg, trace, start, runs, master_seed);
     }
     let mut out = vec![0u64; runs];
     let chunk = runs.div_ceil(threads);
     std::thread::scope(|scope| {
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
+            let first = start + t * chunk;
             scope.spawn(move || {
                 let mut platform = Platform::new(cfg, master_seed);
                 for (off, s) in slot.iter_mut().enumerate() {
-                    let i = (start + off) as u64;
+                    let i = (first + off) as u64;
                     *s = platform.run_randomized(trace, derive_seed(master_seed, i));
                 }
             });
@@ -436,6 +456,45 @@ mod tests {
             ),
             serial
         );
+    }
+
+    #[test]
+    fn parallel_slice_matches_serial_slice() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGHIJ", 20);
+        let serial = campaign_slice(&cfg, &trace, 170, 330, 11);
+        for threads in [2, 3, 8] {
+            let par = Parallelism {
+                threads,
+                min_parallel_runs: 100,
+            };
+            assert_eq!(
+                campaign_slice_with(&cfg, &trace, 170, 330, 11, &par),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_plus_parallel_slice_equals_full_campaign() {
+        // The stage-boundary restart contract: a converge-phase prefix plus
+        // a parallel tail slice must reproduce the one-shot campaign.
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGH", 15);
+        let full = campaign(&cfg, &trace, 500, 23);
+        let mut pieced = campaign_slice(&cfg, &trace, 0, 140, 23);
+        pieced.extend(campaign_slice_with(
+            &cfg,
+            &trace,
+            140,
+            360,
+            23,
+            &Parallelism {
+                threads: 4,
+                min_parallel_runs: 2,
+            },
+        ));
+        assert_eq!(full, pieced);
     }
 
     #[test]

@@ -315,6 +315,16 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         store.root().display(),
     );
     let outcome = run_sweep(&spec, &registry, &store, &RunOptions { threads, force })?;
+    print!(
+        "{}",
+        render_stage_status(
+            outcome
+                .records
+                .iter()
+                .map(|r| (r.label.as_str(), r.status.name()))
+        )
+    );
+    println!();
     print!("{}", render_rows(&outcome.rows));
     println!(
         "\n{} executed, {} cached, {} failed in {:.1}s ({} artifacts under {})",
@@ -381,6 +391,52 @@ fn report(args: &[String]) -> Result<ExitCode, EngineError> {
         counts("skipped"),
         counts("failed"),
     );
+    print!(
+        "{}",
+        render_stage_status(jobs.iter().map(|j| {
+            (
+                j.get("label").and_then(Json::as_str).unwrap_or("?"),
+                j.get("status").and_then(Json::as_str).unwrap_or("?"),
+            )
+        }))
+    );
+    println!();
     print!("{}", render_rows(&aggregate_rows(&summaries)));
     Ok(ExitCode::SUCCESS)
+}
+
+/// Per-stage status: how many nodes of each stage kind executed, came
+/// from cache, or failed — the sweep's resume state at a glance.
+fn render_stage_status<'a>(rows: impl Iterator<Item = (&'a str, &'a str)>) -> String {
+    // Kind name → [executed, cached, failed], in first-seen order.
+    let mut kinds: Vec<(String, [u64; 3])> = Vec::new();
+    for (label, status) in rows {
+        let kind = label.split('/').next().unwrap_or("?").to_string();
+        let at = match kinds.iter().position(|(k, _)| *k == kind) {
+            Some(at) => at,
+            None => {
+                kinds.push((kind, [0; 3]));
+                kinds.len() - 1
+            }
+        };
+        match status {
+            "executed" => kinds[at].1[0] += 1,
+            "skipped" => kinds[at].1[1] += 1,
+            "failed" => kinds[at].1[2] += 1,
+            _ => {}
+        }
+    }
+    let width = kinds
+        .iter()
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(5)
+        .max("stage".len());
+    let mut out = format!("{:<width$}  executed  cached  failed\n", "stage");
+    for (kind, [executed, cached, failed]) in &kinds {
+        out.push_str(&format!(
+            "{kind:<width$}  {executed:>8}  {cached:>6}  {failed:>6}\n"
+        ));
+    }
+    out
 }

@@ -7,6 +7,7 @@
 //! artifact is reusable exactly when a re-run would reproduce it
 //! bit-for-bit, and any knob change invalidates it.
 
+use mbcr::stage::StageKind;
 use mbcr_json::{fnv1a, impl_serialize_struct, Json, FNV_OFFSET};
 use mbcr_rng::derive_seed;
 
@@ -14,30 +15,93 @@ use crate::{AnalysisKind, GeometrySpec};
 
 /// Schema tag baked into job keys and artifacts; bump on layout changes to
 /// invalidate old artifact stores wholesale.
-pub const SCHEMA: &str = "mbcr-engine/1";
+pub const SCHEMA: &str = "mbcr-engine/2";
 
-/// What one job computes.
+/// What one job computes. Since the stage-graph redesign the engine
+/// schedules at *stage* granularity: one node per pipeline stage, plus the
+/// cross-input Corollary 2 combination.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobKind {
-    /// Plain MBPTA on the original program, default input.
-    Original,
-    /// PUB + TAC + MBPTA on the pubbed path selected by the named input.
-    PubTac {
-        /// Input-vector name (`"default"` for the benchmark default).
-        input: String,
+    /// One stage of one analysis.
+    Stage {
+        /// Which analysis the stage belongs to ([`AnalysisKind::Original`]
+        /// or [`AnalysisKind::PubTac`]).
+        analysis: AnalysisKind,
+        /// The pipeline stage.
+        stage: StageKind,
+        /// Input-vector name (`None` for input-independent stages — the
+        /// PUB transform and every original-pipeline stage, which analyses
+        /// the benchmark default input).
+        input: Option<String>,
     },
-    /// Corollary 2 min-combination over the cell's `PubTac` results.
+    /// Corollary 2 min-combination over the cell's per-input fit results.
     MultipathCombine,
 }
 
 impl JobKind {
-    /// Stable spelling for keys, manifests and reports.
+    /// A stage node of the pub_tac pipeline for one input vector.
     #[must_use]
-    pub fn name(&self) -> &'static str {
+    pub fn pub_tac_stage(stage: StageKind, input: impl Into<String>) -> Self {
+        JobKind::Stage {
+            analysis: AnalysisKind::PubTac,
+            stage,
+            input: Some(input.into()),
+        }
+    }
+
+    /// A stage node of the original-program pipeline.
+    #[must_use]
+    pub fn original_stage(stage: StageKind) -> Self {
+        JobKind::Stage {
+            analysis: AnalysisKind::Original,
+            stage,
+            input: None,
+        }
+    }
+
+    /// Stable spelling for keys, manifests and reports
+    /// (`"pub_tac:campaign"`, `"original:converge"`, `"multipath"`).
+    #[must_use]
+    pub fn name(&self) -> String {
         match self {
-            JobKind::Original => AnalysisKind::Original.name(),
-            JobKind::PubTac { .. } => AnalysisKind::PubTac.name(),
-            JobKind::MultipathCombine => AnalysisKind::Multipath.name(),
+            JobKind::Stage {
+                analysis, stage, ..
+            } => format!("{}:{}", analysis.name(), stage.name()),
+            JobKind::MultipathCombine => AnalysisKind::Multipath.name().to_string(),
+        }
+    }
+
+    /// The kind recorded in result summaries: terminal fit stages report
+    /// as their analysis (their summary *is* the complete analysis result,
+    /// which the Table 2 aggregation consumes), everything else as its
+    /// stage-qualified name.
+    #[must_use]
+    pub fn summary_kind(&self) -> String {
+        match self {
+            JobKind::Stage {
+                analysis,
+                stage: StageKind::Fit,
+                ..
+            } => analysis.name().to_string(),
+            other => other.name(),
+        }
+    }
+
+    /// The logical analysis a stage node belongs to.
+    #[must_use]
+    pub fn analysis(&self) -> AnalysisKind {
+        match self {
+            JobKind::Stage { analysis, .. } => *analysis,
+            JobKind::MultipathCombine => AnalysisKind::Multipath,
+        }
+    }
+
+    /// The pipeline stage, for stage nodes.
+    #[must_use]
+    pub fn stage(&self) -> Option<StageKind> {
+        match self {
+            JobKind::Stage { stage, .. } => Some(*stage),
+            JobKind::MultipathCombine => None,
         }
     }
 
@@ -45,8 +109,8 @@ impl JobKind {
     #[must_use]
     pub fn input(&self) -> Option<&str> {
         match self {
-            JobKind::PubTac { input } => Some(input),
-            _ => None,
+            JobKind::Stage { input, .. } => input.as_deref(),
+            JobKind::MultipathCombine => None,
         }
     }
 }
@@ -66,7 +130,7 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// Human-readable identity, unique within a sweep
-    /// (`"pub_tac/bs:v3/4096B-2w-32B/s42"`).
+    /// (`"pub_tac:campaign/bs:v3/4096B-2w-32B/s42"`).
     #[must_use]
     pub fn label(&self) -> String {
         let input = self
@@ -84,15 +148,17 @@ impl JobSpec {
         )
     }
 
-    /// The job's campaign seed: derived from the master seed and the job
-    /// identity with [`mbcr_rng::derive_seed`], so every job draws a
-    /// decorrelated, reproducible seed stream no matter how the sweep is
-    /// scheduled or partitioned.
+    /// The job's campaign seed: derived from the master seed and the job's
+    /// *analysis* identity with [`mbcr_rng::derive_seed`], so every logical
+    /// analysis draws a decorrelated, reproducible seed stream no matter
+    /// how the sweep is scheduled or partitioned. Every stage node of one
+    /// analysis shares this seed — that is what makes their stage digests
+    /// line up into one resumable pipeline.
     #[must_use]
     pub fn job_seed(&self) -> u64 {
         let identity = format!(
             "{}/{}{}{}",
-            self.kind.name(),
+            self.kind.analysis().name(),
             self.benchmark,
             self.kind
                 .input()
@@ -116,14 +182,24 @@ impl JobSpec {
 }
 
 /// The DAG a [`crate::SweepSpec`] expands into: `deps[i]` lists the job
-/// indices that must complete before job `i` may run (multipath combine
-/// jobs depend on their cell's `PubTac` jobs).
+/// indices that must complete before job `i` may run (a campaign node
+/// depends on its converge and TAC nodes; a multipath combine node on its
+/// cell's per-input fit nodes).
+///
+/// The graph is **content-addressed and deduplicated**: `digests[i]` holds
+/// a stage node's content digest (see [`mbcr::stage::StageDigests`]), and
+/// two would-be nodes with the same digest collapse into one — seed-free
+/// stages (the PUB transform, the path trace) are shared across every seed
+/// and geometry of a sweep.
 #[derive(Debug, Clone, Default)]
 pub struct JobGraph {
     /// The jobs, in deterministic expansion order.
     pub jobs: Vec<JobSpec>,
     /// Dependency edges, parallel to `jobs`.
     pub deps: Vec<Vec<usize>>,
+    /// Per-job stage digest (`None` for combine nodes, whose identity is
+    /// the hash of their dependencies' keys).
+    pub digests: Vec<Option<u64>>,
 }
 
 impl JobGraph {
@@ -147,8 +223,11 @@ impl JobGraph {
 pub struct JobSummary {
     /// Artifact key.
     pub key: String,
-    /// Job kind name.
+    /// Job kind name (the analysis name for terminal fit/combine nodes,
+    /// which carry complete results; stage-qualified otherwise).
     pub kind: String,
+    /// The pipeline stage, for stage nodes.
+    pub stage: Option<String>,
     /// Benchmark name.
     pub benchmark: String,
     /// Input-vector name, when the kind has one.
@@ -186,6 +265,7 @@ pub struct JobSummary {
 impl_serialize_struct!(JobSummary {
     key,
     kind,
+    stage,
     benchmark,
     input,
     geometry,
@@ -210,7 +290,8 @@ impl JobSummary {
     pub fn empty(key: String, job: &JobSpec) -> Self {
         Self {
             key,
-            kind: job.kind.name().to_string(),
+            kind: job.kind.summary_kind(),
+            stage: job.kind.stage().map(|s| s.name().to_string()),
             benchmark: job.benchmark.clone(),
             input: job.kind.input().map(str::to_string),
             geometry: job.geometry.label(),
@@ -238,6 +319,7 @@ impl JobSummary {
         Some(Self {
             key: str_field("key")?,
             kind: str_field("kind")?,
+            stage: str_field("stage"),
             benchmark: str_field("benchmark")?,
             input: str_field("input"),
             geometry: str_field("geometry")?,
@@ -273,7 +355,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique_per_dimension() {
-        let a = job(JobKind::PubTac { input: "v1".into() });
+        let a = job(JobKind::pub_tac_stage(StageKind::Campaign, "v1"));
         let mut b = a.clone();
         b.benchmark = "crc".into();
         let mut c = a.clone();
@@ -283,15 +365,17 @@ mod tests {
             line_size: 32,
         };
         let mut d = a.clone();
-        d.kind = JobKind::PubTac { input: "v3".into() };
+        d.kind = JobKind::pub_tac_stage(StageKind::Campaign, "v3");
+        let mut e = a.clone();
+        e.kind = JobKind::pub_tac_stage(StageKind::Fit, "v1");
         let labels: std::collections::HashSet<String> =
-            [&a, &b, &c, &d].iter().map(|j| j.label()).collect();
-        assert_eq!(labels.len(), 4);
+            [&a, &b, &c, &d, &e].iter().map(|j| j.label()).collect();
+        assert_eq!(labels.len(), 5);
     }
 
     #[test]
     fn job_seed_is_deterministic_and_identity_sensitive() {
-        let a = job(JobKind::Original);
+        let a = job(JobKind::original_stage(StageKind::Converge));
         assert_eq!(a.job_seed(), a.job_seed());
         let mut other_bench = a.clone();
         other_bench.benchmark = "fir".into();
@@ -302,8 +386,20 @@ mod tests {
     }
 
     #[test]
+    fn stage_nodes_of_one_analysis_share_the_seed() {
+        // Every stage of one logical analysis must see the same campaign
+        // seed — that is what lines their digests up into one pipeline.
+        let converge = job(JobKind::pub_tac_stage(StageKind::Converge, "v1"));
+        let campaign = job(JobKind::pub_tac_stage(StageKind::Campaign, "v1"));
+        assert_eq!(converge.job_seed(), campaign.job_seed());
+        // ...but a different input is a different analysis.
+        let other = job(JobKind::pub_tac_stage(StageKind::Converge, "v3"));
+        assert_ne!(converge.job_seed(), other.job_seed());
+    }
+
+    #[test]
     fn key_tracks_config_digest() {
-        let a = job(JobKind::Original);
+        let a = job(JobKind::original_stage(StageKind::Fit));
         assert_eq!(a.key(1), a.key(1));
         assert_ne!(a.key(1), a.key(2));
         assert_eq!(a.key(7).len(), 32);
@@ -311,8 +407,25 @@ mod tests {
     }
 
     #[test]
+    fn summary_kind_reports_fit_nodes_as_their_analysis() {
+        assert_eq!(
+            JobKind::pub_tac_stage(StageKind::Fit, "v1").summary_kind(),
+            "pub_tac"
+        );
+        assert_eq!(
+            JobKind::original_stage(StageKind::Fit).summary_kind(),
+            "original"
+        );
+        assert_eq!(
+            JobKind::pub_tac_stage(StageKind::Campaign, "v1").summary_kind(),
+            "pub_tac:campaign"
+        );
+        assert_eq!(JobKind::MultipathCombine.summary_kind(), "multipath");
+    }
+
+    #[test]
     fn summary_json_roundtrip() {
-        let j = job(JobKind::PubTac { input: "v1".into() });
+        let j = job(JobKind::pub_tac_stage(StageKind::Fit, "v1"));
         let mut s = JobSummary::empty(j.key(9), &j);
         s.r_pub = Some(300);
         s.r_tac = Some(17_000);
@@ -325,7 +438,7 @@ mod tests {
 
     #[test]
     fn nan_pwcet_survives_roundtrip_as_nan() {
-        let j = job(JobKind::Original);
+        let j = job(JobKind::original_stage(StageKind::Fit));
         let s = JobSummary::empty(j.key(1), &j);
         let text = mbcr_json::Serialize::to_json(&s).to_compact();
         let back = JobSummary::from_json(&mbcr_json::parse(&text).unwrap()).unwrap();

@@ -7,17 +7,21 @@
 //!
 //! * [`SweepSpec`] — a declarative, JSON-round-trippable campaign
 //!   description;
-//! * [`expand`] — spec → job DAG ([`JobGraph`]): one node per analysis,
-//!   with multipath Corollary 2 combinations depending on their cell's
-//!   per-path jobs;
+//! * [`expand`] — spec → stage-granular job DAG ([`JobGraph`]): one node
+//!   per pipeline stage (`mbcr::stage`), deduplicated by content digest,
+//!   with real data dependencies — campaign nodes wait on their converge
+//!   and TAC nodes, multipath Corollary 2 combinations on their cell's
+//!   per-input fit nodes. Long campaigns therefore overlap TAC discovery
+//!   of later cells;
 //! * [`execute_dag`] — a work-stealing thread pool executing the DAG;
 //! * [`ArtifactStore`] — a content-addressed run directory (manifest,
-//!   per-job JSON, sample CSVs, Table 2 CSV). Job keys hash every
-//!   result-affecting knob, so warm re-runs skip completed jobs and any
-//!   configuration change invalidates exactly the affected artifacts;
-//! * [`run_sweep`] — the end-to-end driver, with per-job seeds derived
-//!   deterministically via [`mbcr_rng::derive_seed`] so results are
-//!   bit-identical at any thread count or scheduling order.
+//!   per-job JSON, sample CSVs, Table 2 CSV, per-stage artifacts). Stage
+//!   digests hash exactly the knobs each stage consumes, so a warm re-run
+//!   resumes mid-analysis: after a `max_campaign_runs` change only the
+//!   campaign and fit stages re-execute;
+//! * [`run_sweep`] — the end-to-end driver, with per-analysis seeds
+//!   derived deterministically via [`mbcr_rng::derive_seed`] so results
+//!   are bit-identical at any thread count or scheduling order.
 //!
 //! The `mbcr` binary in this crate exposes it all on the command line
 //! (`analyze`, `sweep`, `report`, `list-benchmarks`).
@@ -44,6 +48,7 @@ mod store;
 mod sweep;
 
 pub use job::{JobGraph, JobKind, JobSpec, JobSummary, SCHEMA};
+pub use mbcr::stage::{StageKind, StageStatus};
 pub use pool::execute_dag;
 pub use registry::Registry;
 pub use spec::{AnalysisKind, GeometrySpec, InputSelection, SweepSpec};

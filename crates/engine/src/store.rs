@@ -4,20 +4,29 @@
 //!
 //! ```text
 //! <run-dir>/
-//!   manifest.json          # spec + per-job status and summaries
-//!   table2.csv             # the paper's Table 2 layout, one row per cell
-//!   jobs/<key>.json        # full analysis result, keyed by content hash
-//!   jobs/<key>.samples.csv # execution-time sample of the final campaign
+//!   manifest.json            # spec + per-job status and summaries
+//!   table2.csv               # the paper's Table 2 layout, one row per cell
+//!   jobs/<key>.json          # full analysis result, keyed by content hash
+//!   jobs/<key>.samples.csv   # execution-time sample of the final campaign
+//!   stages/<digest>.json     # per-stage intermediate artifacts
 //! ```
 //!
 //! Job keys hash everything result-affecting ([`crate::JobSpec::key`]), so
 //! `has_artifact` is the whole cache policy: a present artifact is, by
-//! construction, the artifact a re-run would produce.
+//! construction, the artifact a re-run would produce. Stage artifacts are
+//! keyed by stage digest ([`mbcr::stage::StageDigests`]) and shared across
+//! sweeps in the same store — a warm re-run after a knob change resumes
+//! from the last stage the change did not invalidate.
+//!
+//! All writes are atomic (unique temp file + rename), so an interrupted
+//! sweep never leaves torn JSON/CSV artifacts behind; readers additionally
+//! validate schema tags before treating any file as a cache hit.
 
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
+use mbcr::stage::StageStore;
 use mbcr_json::{csv_field, Json};
 
 use crate::JobSummary;
@@ -37,6 +46,7 @@ impl ArtifactStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(root.join("jobs"))?;
+        fs::create_dir_all(root.join("stages"))?;
         Ok(Self { root })
     }
 
@@ -56,6 +66,12 @@ impl ArtifactStore {
     #[must_use]
     pub fn sample_path(&self, key: &str) -> PathBuf {
         self.root.join("jobs").join(format!("{key}.samples.csv"))
+    }
+
+    /// Path of a stage artifact (content-addressed by stage digest).
+    #[must_use]
+    pub fn stage_path(&self, digest: u64) -> PathBuf {
+        self.root.join("stages").join(format!("{digest:016x}.json"))
     }
 
     /// Path of the manifest.
@@ -156,7 +172,27 @@ impl ArtifactStore {
     }
 }
 
+impl StageStore for ArtifactStore {
+    /// Loads a stage artifact. Returns `None` when the file is missing or
+    /// does not parse — a torn write is never a cache hit (the caller
+    /// additionally validates the schema/digest envelope).
+    fn load_stage(&self, digest: u64) -> Option<Json> {
+        let text = fs::read_to_string(self.stage_path(digest)).ok()?;
+        mbcr_json::parse(&text).ok()
+    }
+
+    fn save_stage(&self, digest: u64, artifact: &Json) -> io::Result<()> {
+        write_atomic(&self.stage_path(digest), artifact.to_pretty().as_bytes())
+    }
+}
+
 fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Self-healing: a run dir shipped without one of its subdirectories
+    // (e.g. only the content-addressed stages/ tree was copied) grows the
+    // missing directory back instead of failing the job.
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
     // Unique per writer: two pool workers may target the same path (e.g. a
     // spec that names the same cell twice), and sharing one temp file would
     // interleave their bytes.
@@ -257,9 +293,7 @@ mod tests {
             benchmark: "bs".into(),
             geometry: GeometrySpec::paper_l1(),
             master_seed: 1,
-            kind: JobKind::PubTac {
-                input: "default".into(),
-            },
+            kind: JobKind::pub_tac_stage(mbcr::stage::StageKind::Fit, "default"),
         };
         let mut s = JobSummary::empty(store_key.to_string(), &job);
         s.pwcet = 1000.5;
@@ -280,6 +314,43 @@ mod tests {
         assert_eq!(store.load_summary(key).expect("summary"), summary);
         let csv = fs::read_to_string(store.sample_path(key)).expect("csv");
         assert_eq!(csv, "run,cycles\n0,10\n1,20\n2,30\n");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn partial_write_is_not_a_cache_hit() {
+        // Simulate an interrupted writer: a truncated JSON document at the
+        // artifact paths. Readers must treat both as cache misses.
+        let store = tmp_store("torn");
+        let key = "deadbeef";
+        fs::write(store.job_path(key), "{\"schema\": \"mbcr-eng").expect("write");
+        assert!(
+            store.has_artifact(key),
+            "the torn file exists on disk (atomic writes make this state \
+             unreachable in practice, but readers still validate)"
+        );
+        assert!(
+            store.load_summary(key).is_none(),
+            "a torn job artifact must not parse into a summary"
+        );
+        let digest = 0x1234_u64;
+        fs::write(store.stage_path(digest), "{\"schema\": \"mbcr-sta").expect("write");
+        assert!(
+            store.load_stage(digest).is_none(),
+            "a torn stage artifact must not be a cache hit"
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn stage_artifacts_roundtrip_through_the_store() {
+        let store = tmp_store("stage-rt");
+        let digest = 0xABCD_u64;
+        assert!(store.load_stage(digest).is_none());
+        let doc = Json::Obj(vec![("x".to_string(), Json::UInt(7))]);
+        store.save_stage(digest, &doc).expect("save");
+        assert_eq!(store.load_stage(digest), Some(doc));
+        assert!(store.stage_path(digest).is_file());
         let _ = fs::remove_dir_all(store.root());
     }
 

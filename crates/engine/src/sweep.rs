@@ -1,9 +1,21 @@
-//! Sweep execution: spec → job DAG → work-stealing pool → artifact store.
+//! Sweep execution: spec → stage-granular job DAG → work-stealing pool →
+//! artifact store.
+//!
+//! Since the stage-graph redesign, [`expand`] emits one DAG node per
+//! pipeline stage with real data dependencies: a campaign node depends on
+//! its converge and per-cache TAC nodes, a fit node on its campaign, and a
+//! multipath combine node on its cell's per-input fit nodes. Long
+//! campaigns therefore overlap TAC discovery of later cells, and a warm
+//! re-run resumes from the last stage a spec change did not invalidate.
 
+use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use mbcr::{analyze_original, analyze_pub_tac, AnalysisConfig};
+use mbcr::stage::{
+    stage_artifact_data, AnalysisSession, PipelineKind, StageDigests, StageKind, StageStore,
+};
+use mbcr::AnalysisConfig;
 use mbcr_ir::Inputs;
 use mbcr_json::{Json, Serialize};
 use mbcr_malardalen::Benchmark;
@@ -142,10 +154,42 @@ fn dedup_preserving<T: PartialEq + Clone>(items: &[T]) -> Vec<T> {
     out
 }
 
-/// Expands a spec into its job DAG: the full benchmarks × inputs ×
-/// geometries × seeds cross product, with one `MultipathCombine` node per
-/// cell that has at least two pubbed paths to combine (Corollary 2 is the
-/// identity on a single path).
+/// Expansion-time node index: content digest plus the input-vector name.
+/// Keying by name keeps two *named* inputs that happen to resolve to the
+/// same vector as separate pipelines (each keeps its Table 2 row; the
+/// content-addressed stage store still dedups the underlying work), while
+/// the digest part collapses identical stages across seeds and geometries.
+type NodeIndex = HashMap<(u64, Option<String>), usize>;
+
+/// Pushes a stage node, or returns the index of an existing node with the
+/// same content digest and input name — seed-free stages (PUB transform,
+/// path trace) are shared across every seed and geometry of the sweep.
+fn push_stage(
+    graph: &mut JobGraph,
+    by_digest: &mut NodeIndex,
+    job: JobSpec,
+    digest: u64,
+    deps: Vec<usize>,
+) -> usize {
+    let slot = (digest, job.kind.input().map(str::to_string));
+    if let Some(&at) = by_digest.get(&slot) {
+        return at;
+    }
+    let at = graph.jobs.len();
+    graph.jobs.push(job);
+    graph.deps.push(deps);
+    graph.digests.push(Some(digest));
+    by_digest.insert(slot, at);
+    at
+}
+
+/// Expands a spec into its stage-granular job DAG: for every cell of the
+/// benchmarks × inputs × geometries × seeds cross product, one node per
+/// pipeline stage (trace → converge → fit for the original baseline;
+/// pub → trace → tac×2 → converge → campaign → fit per pubbed path), plus
+/// one `MultipathCombine` node per cell with at least two pubbed paths
+/// (Corollary 2 is the identity on a single path). Nodes are deduplicated
+/// by stage digest, so input-invariant stages collapse across cells.
 ///
 /// # Errors
 ///
@@ -160,12 +204,11 @@ pub fn expand(spec: &SweepSpec, registry: &Registry) -> Result<JobGraph, EngineE
     if benchmarks.is_empty() {
         return Err(EngineError::Spec("no benchmarks to sweep".into()));
     }
-    // Duplicate dimension entries would create jobs with identical keys
-    // racing on the same artifacts; one copy carries all the information.
     let geometries = dedup_preserving(&spec.geometries);
     let seeds = dedup_preserving(&spec.seeds);
     let wants = |kind: AnalysisKind| spec.analyses.contains(&kind);
     let mut graph = JobGraph::default();
+    let mut by_digest: NodeIndex = HashMap::new();
     for name in &benchmarks {
         let benchmark = registry
             .get(name)
@@ -180,22 +223,79 @@ pub fn expand(spec: &SweepSpec, registry: &Registry) -> Result<JobGraph, EngineE
                     kind,
                 };
                 if wants(AnalysisKind::Original) {
-                    graph.jobs.push(cell(JobKind::Original));
-                    graph.deps.push(Vec::new());
+                    let probe = cell(JobKind::original_stage(StageKind::Trace));
+                    let cfg = spec.analysis_config(geometry, probe.job_seed())?;
+                    let digests = StageDigests::compute(
+                        &benchmark.program,
+                        &benchmark.default_input,
+                        &cfg,
+                        PipelineKind::Original,
+                    );
+                    let d = |s: StageKind| digests.get(s).expect("original stage");
+                    let node =
+                        |g: &mut JobGraph, bd: &mut NodeIndex, s: StageKind, deps: Vec<usize>| {
+                            push_stage(g, bd, cell(JobKind::original_stage(s)), d(s), deps)
+                        };
+                    let t = node(&mut graph, &mut by_digest, StageKind::Trace, vec![]);
+                    let c = node(&mut graph, &mut by_digest, StageKind::Converge, vec![t]);
+                    node(&mut graph, &mut by_digest, StageKind::Fit, vec![c]);
                 }
-                let mut pub_tac_ids = Vec::new();
+                let mut fit_ids = Vec::new();
                 if wants(AnalysisKind::PubTac) || wants(AnalysisKind::Multipath) {
-                    for input in &inputs {
-                        pub_tac_ids.push(graph.jobs.len());
-                        graph.jobs.push(cell(JobKind::PubTac {
-                            input: input.clone(),
-                        }));
-                        graph.deps.push(Vec::new());
+                    for input_name in &inputs {
+                        let input = resolve_input(benchmark, input_name)?;
+                        let probe =
+                            cell(JobKind::pub_tac_stage(StageKind::Trace, input_name.clone()));
+                        let cfg = spec.analysis_config(geometry, probe.job_seed())?;
+                        let digests = StageDigests::compute(
+                            &benchmark.program,
+                            input,
+                            &cfg,
+                            PipelineKind::PubTac,
+                        );
+                        let d = |s: StageKind| digests.get(s).expect("pub_tac stage");
+                        let node = |g: &mut JobGraph,
+                                    bd: &mut NodeIndex,
+                                    s: StageKind,
+                                    deps: Vec<usize>| {
+                            push_stage(
+                                g,
+                                bd,
+                                cell(JobKind::pub_tac_stage(s, input_name.clone())),
+                                d(s),
+                                deps,
+                            )
+                        };
+                        // The PUB transform is input-independent: one node
+                        // per benchmark × pub-config, shared by every path.
+                        let p = push_stage(
+                            &mut graph,
+                            &mut by_digest,
+                            cell(JobKind::Stage {
+                                analysis: AnalysisKind::PubTac,
+                                stage: StageKind::Pub,
+                                input: None,
+                            }),
+                            d(StageKind::Pub),
+                            vec![],
+                        );
+                        let t = node(&mut graph, &mut by_digest, StageKind::Trace, vec![p]);
+                        let ti = node(&mut graph, &mut by_digest, StageKind::TacIl1, vec![t]);
+                        let td = node(&mut graph, &mut by_digest, StageKind::TacDl1, vec![t]);
+                        let cv = node(&mut graph, &mut by_digest, StageKind::Converge, vec![t]);
+                        let cp = node(
+                            &mut graph,
+                            &mut by_digest,
+                            StageKind::Campaign,
+                            vec![cv, ti, td],
+                        );
+                        fit_ids.push(node(&mut graph, &mut by_digest, StageKind::Fit, vec![cp]));
                     }
                 }
-                if wants(AnalysisKind::Multipath) && pub_tac_ids.len() >= 2 {
+                if wants(AnalysisKind::Multipath) && fit_ids.len() >= 2 {
                     graph.jobs.push(cell(JobKind::MultipathCombine));
-                    graph.deps.push(pub_tac_ids);
+                    graph.deps.push(fit_ids);
+                    graph.digests.push(None);
                 }
             }
         }
@@ -206,9 +306,12 @@ pub fn expand(spec: &SweepSpec, registry: &Registry) -> Result<JobGraph, EngineE
 /// Runs a sweep end-to-end: expand, schedule on the work-stealing pool,
 /// persist artifacts, aggregate Table 2, write the manifest.
 ///
-/// Completed jobs found in `store` are skipped unless
+/// Completed stages found in `store` are skipped unless
 /// [`RunOptions::force`]; a second invocation with an unchanged spec
-/// therefore executes nothing and still reproduces every row.
+/// therefore executes nothing and still reproduces every row, and an
+/// invocation after a partial knob change (say, a new
+/// `max_campaign_runs`) resumes mid-analysis, re-executing only the
+/// campaign and fit stages whose digests the change invalidated.
 ///
 /// # Errors
 ///
@@ -224,8 +327,10 @@ pub fn run_sweep(
     let start = Instant::now();
     let graph = expand(spec, registry)?;
 
-    // Per-job config + content key. Combine jobs have no config of their
-    // own: their key hashes the dependency keys, so invalidation cascades.
+    // Per-job config + content key. Stage jobs are keyed by their stage
+    // digest (so a spec change invalidates exactly the affected stages);
+    // combine jobs have no config of their own: their key hashes the
+    // dependency keys, so invalidation cascades.
     let mut cfgs: Vec<Option<AnalysisConfig>> = Vec::with_capacity(graph.len());
     let mut keys: Vec<String> = Vec::with_capacity(graph.len());
     for (i, job) in graph.jobs.iter().enumerate() {
@@ -238,9 +343,10 @@ pub fn run_sweep(
                 cfgs.push(None);
                 keys.push(job.key(digest));
             }
-            _ => {
+            JobKind::Stage { .. } => {
                 let cfg = spec.analysis_config(&job.geometry, job.job_seed())?;
-                keys.push(job.key(cfg.digest()));
+                let digest = graph.digests[i].expect("stage nodes carry digests");
+                keys.push(job.key(digest));
                 cfgs.push(Some(cfg));
             }
         }
@@ -266,8 +372,24 @@ pub fn run_sweep(
             error,
             summary,
         };
-        if !opts.force && store.has_artifact(key) {
-            if let Some(summary) = store.load_summary(key) {
+        if !opts.force {
+            // Stage jobs are cached by their content-addressed stage
+            // artifact; combine jobs by their legacy job artifact. A fit
+            // node must additionally have its full-result job artifact
+            // (jobs/<key>.json + samples) — a store shipped with only the
+            // stages/ dir regenerates them instead of reporting cached.
+            let cached = match (&job.kind, graph.digests[i]) {
+                (JobKind::Stage { stage, .. }, Some(digest)) => {
+                    load_valid_stage(store, *stage, digest)
+                        .filter(|_| *stage != StageKind::Fit || store.has_artifact(key))
+                        .map(|data| summary_from_stage_artifact(job, key, *stage, &data))
+                }
+                _ => store
+                    .has_artifact(key)
+                    .then(|| store.load_summary(key))
+                    .flatten(),
+            };
+            if let Some(summary) = cached {
                 *slots[i].lock().expect("slot poisoned") = Some(summary.clone());
                 return record(JobStatus::Skipped, None, Some(summary));
             }
@@ -280,6 +402,7 @@ pub fn run_sweep(
             &slots,
             registry,
             store,
+            opts.force,
         ) {
             Ok(summary) => {
                 *slots[i].lock().expect("slot poisoned") = Some(summary.clone());
@@ -329,6 +452,63 @@ pub fn run_sweep(
     })
 }
 
+/// Loads and validates a content-addressed stage artifact; a torn or
+/// foreign file is never a cache hit.
+fn load_valid_stage(store: &ArtifactStore, stage: StageKind, digest: u64) -> Option<Json> {
+    let doc = StageStore::load_stage(store, digest)?;
+    stage_artifact_data(&doc, stage, digest).cloned()
+}
+
+/// Synthesizes the result summary of a cached stage job from its stage
+/// artifact alone (fit artifacts carry every cross-stage number).
+fn summary_from_stage_artifact(
+    job: &JobSpec,
+    key: &str,
+    stage: StageKind,
+    data: &Json,
+) -> JobSummary {
+    let mut s = JobSummary::empty(key.to_string(), job);
+    let original = job.kind.analysis() == AnalysisKind::Original;
+    match stage {
+        StageKind::Pub => {}
+        StageKind::Trace => s.trace_len = data.get("len").and_then(Json::as_u64),
+        StageKind::TacIl1 | StageKind::TacDl1 => {
+            s.r_tac = data.get("runs_required").and_then(Json::as_u64);
+        }
+        StageKind::Converge => {
+            let runs = data.get("runs").and_then(Json::as_u64);
+            if original {
+                s.r_orig = runs;
+                s.converged = data.get("converged").and_then(Json::as_bool);
+            } else {
+                s.r_pub = runs;
+            }
+        }
+        StageKind::Campaign => s.campaign_runs = data.get("runs").and_then(Json::as_u64),
+        StageKind::Fit => {
+            s.pwcet = data
+                .get("pwcet_at_exceedance")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            s.trace_len = data.get("trace_len").and_then(Json::as_u64);
+            s.converged = data.get("converged").and_then(Json::as_bool);
+            let converge_runs = data.get("converge_runs").and_then(Json::as_u64);
+            if original {
+                s.r_orig = converge_runs;
+            } else {
+                s.r_pub = converge_runs;
+                s.r_tac = data.get("r_tac").and_then(Json::as_u64);
+                s.r_pub_tac = data.get("r_pub_tac").and_then(Json::as_u64);
+                s.campaign_runs = data.get("campaign_runs").and_then(Json::as_u64);
+                s.campaign_capped = data.get("campaign_capped").and_then(Json::as_bool);
+                s.pwcet_pub = data.get("pwcet_pub").and_then(Json::as_f64);
+            }
+        }
+    }
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     job: &JobSpec,
     key: &str,
@@ -337,37 +517,88 @@ fn execute_job(
     slots: &[Mutex<Option<JobSummary>>],
     registry: &Registry,
     store: &ArtifactStore,
+    force: bool,
 ) -> Result<JobSummary, EngineError> {
     let benchmark = registry
         .get(&job.benchmark)
         .ok_or_else(|| EngineError::UnknownBenchmark(job.benchmark.clone()))?;
     let mut summary = JobSummary::empty(key.to_string(), job);
     match &job.kind {
-        JobKind::Original => {
-            let cfg = cfg.expect("original jobs carry a config");
-            let analysis = analyze_original(&benchmark.program, &benchmark.default_input, cfg)
-                .map_err(|e| EngineError::Analysis(format!("{}: {e}", job.label())))?;
-            summary.r_orig = Some(analysis.r_orig as u64);
-            summary.converged = Some(analysis.converged);
-            summary.pwcet = analysis.pwcet_at_exceedance;
-            summary.trace_len = Some(analysis.trace_len as u64);
-            store.write_job(key, &summary, analysis.to_json(), None)?;
-        }
-        JobKind::PubTac { input } => {
-            let cfg = cfg.expect("pub_tac jobs carry a config");
-            let inputs = resolve_input(benchmark, input)?;
-            let analysis = analyze_pub_tac(&benchmark.program, inputs, cfg)
-                .map_err(|e| EngineError::Analysis(format!("{}: {e}", job.label())))?;
-            summary.r_pub = Some(analysis.r_pub as u64);
-            summary.r_tac = Some(analysis.r_tac);
-            summary.r_pub_tac = Some(analysis.r_pub_tac);
-            summary.campaign_runs = Some(analysis.campaign_runs as u64);
-            summary.campaign_capped = Some(analysis.campaign_capped);
-            summary.pwcet = analysis.pwcet_pub_tac;
-            summary.pwcet_pub = Some(analysis.pwcet_pub);
-            summary.trace_len = Some(analysis.trace_len as u64);
-            let sample = analysis.sample.clone();
-            store.write_job(key, &summary, analysis.to_json(), Some(&sample))?;
+        JobKind::Stage {
+            analysis,
+            stage,
+            input,
+        } => {
+            let cfg = cfg.expect("stage jobs carry a config");
+            let inputs = match input {
+                Some(name) => resolve_input(benchmark, name)?,
+                None => &benchmark.default_input,
+            };
+            let mut session = match analysis {
+                AnalysisKind::Original => {
+                    AnalysisSession::original(&benchmark.program, inputs, cfg)
+                }
+                AnalysisKind::PubTac => AnalysisSession::pub_tac(&benchmark.program, inputs, cfg),
+                AnalysisKind::Multipath => {
+                    unreachable!("combine jobs are not stage nodes")
+                }
+            }
+            .with_store(store);
+            if force {
+                // Force only this node's own stage: the DAG already
+                // re-executed (and re-saved) every upstream node, so the
+                // session can load those fresh artifacts instead of
+                // re-deriving the whole chain in-process.
+                session = session.with_force_stage(*stage);
+            }
+            let fail =
+                |e: mbcr::AnalyzeError| EngineError::Analysis(format!("{}: {e}", job.label()));
+            session.advance(*stage).map_err(fail)?;
+            match stage {
+                StageKind::Fit if *analysis == AnalysisKind::PubTac => {
+                    // The terminal node: assemble the complete analysis
+                    // (upstream stages load from the store) and persist it
+                    // in the legacy full-result layout.
+                    let analysis = session.finish_pub_tac().map_err(fail)?;
+                    summary.r_pub = Some(analysis.r_pub as u64);
+                    summary.r_tac = Some(analysis.r_tac);
+                    summary.r_pub_tac = Some(analysis.r_pub_tac);
+                    summary.campaign_runs = Some(analysis.campaign_runs as u64);
+                    summary.campaign_capped = Some(analysis.campaign_capped);
+                    summary.pwcet = analysis.pwcet_pub_tac;
+                    summary.pwcet_pub = Some(analysis.pwcet_pub);
+                    summary.trace_len = Some(analysis.trace_len as u64);
+                    let sample = analysis.sample.clone();
+                    store.write_job(key, &summary, analysis.to_json(), Some(&sample))?;
+                }
+                StageKind::Fit => {
+                    let analysis = session.finish_original().map_err(fail)?;
+                    summary.r_orig = Some(analysis.r_orig as u64);
+                    summary.converged = Some(analysis.converged);
+                    summary.pwcet = analysis.pwcet_at_exceedance;
+                    summary.trace_len = Some(analysis.trace_len as u64);
+                    store.write_job(key, &summary, analysis.to_json(), None)?;
+                }
+                StageKind::Trace => {
+                    summary.trace_len = session.trace_len().map(|l| l as u64);
+                }
+                StageKind::TacIl1 | StageKind::TacDl1 => {
+                    summary.r_tac = session.tac_analysis(*stage).map(|t| t.runs_required);
+                }
+                StageKind::Converge => {
+                    let output = session.converge_output().expect("converge advanced");
+                    if *analysis == AnalysisKind::Original {
+                        summary.r_orig = Some(output.runs as u64);
+                        summary.converged = Some(output.converged);
+                    } else {
+                        summary.r_pub = Some(output.runs as u64);
+                    }
+                }
+                StageKind::Campaign => {
+                    summary.campaign_runs = session.campaign_sample().map(|s| s.len() as u64);
+                }
+                StageKind::Pub => {}
+            }
         }
         JobKind::MultipathCombine => {
             // Corollary 2: every pubbed path upper-bounds all original
@@ -549,18 +780,44 @@ mod tests {
             .seeds([1, 2])
     }
 
-    #[test]
-    fn expansion_covers_the_cross_product() {
-        let registry = Registry::malardalen();
-        let graph = expand(&two_geometry_spec(), &registry).unwrap();
-        // Default inputs → one pub_tac per cell, no combine (single path),
-        // plus one original per cell: 2 geometries × 2 seeds × 2 jobs.
-        assert_eq!(graph.len(), 8);
-        assert!(graph.deps.iter().all(Vec::is_empty));
+    fn count_stage(graph: &crate::JobGraph, stage: StageKind) -> usize {
+        graph
+            .jobs
+            .iter()
+            .filter(|j| j.kind.stage() == Some(stage))
+            .count()
     }
 
     #[test]
-    fn multipath_cells_gain_combine_nodes_with_deps() {
+    fn expansion_covers_the_cross_product_at_stage_granularity() {
+        let registry = Registry::malardalen();
+        let graph = expand(&two_geometry_spec(), &registry).unwrap();
+        // 2 geometries × 2 seeds = 4 cells. Seed- and geometry-dependent
+        // stages appear once per cell; the seed-free PUB transform and
+        // path traces deduplicate to one node each (per pipeline).
+        assert_eq!(count_stage(&graph, StageKind::Pub), 1);
+        assert_eq!(count_stage(&graph, StageKind::Trace), 2, "orig + pubbed");
+        assert_eq!(count_stage(&graph, StageKind::TacIl1), 4);
+        assert_eq!(count_stage(&graph, StageKind::TacDl1), 4);
+        assert_eq!(
+            count_stage(&graph, StageKind::Converge),
+            8,
+            "orig + pub_tac"
+        );
+        assert_eq!(count_stage(&graph, StageKind::Campaign), 4);
+        assert_eq!(count_stage(&graph, StageKind::Fit), 8, "orig + pub_tac");
+        assert_eq!(graph.len(), 31);
+        // Real data dependencies: every campaign node waits for its
+        // converge and both TAC nodes.
+        for (i, job) in graph.jobs.iter().enumerate() {
+            if job.kind.stage() == Some(StageKind::Campaign) {
+                assert_eq!(graph.deps[i].len(), 3, "converge + tac_il1 + tac_dl1");
+            }
+        }
+    }
+
+    #[test]
+    fn multipath_cells_gain_combine_nodes_with_fit_deps() {
         let registry = Registry::malardalen();
         let spec = SweepSpec::new("mp")
             .benchmarks(["bs"])
@@ -569,11 +826,19 @@ mod tests {
         let graph = expand(&spec, &registry).unwrap();
         let n_inputs = registry.get("bs").unwrap().input_vectors.len();
         assert!(n_inputs >= 2, "bs is multipath");
-        // original + n pub_tac + combine.
-        assert_eq!(graph.len(), 1 + n_inputs + 1);
+        // original stages (3) + shared pub (1) + 6 stages per input +
+        // combine (1).
+        assert_eq!(graph.len(), 3 + 1 + 6 * n_inputs + 1);
         let combine = graph.len() - 1;
         assert_eq!(graph.jobs[combine].kind, JobKind::MultipathCombine);
         assert_eq!(graph.deps[combine].len(), n_inputs);
+        for &dep in &graph.deps[combine] {
+            assert_eq!(
+                graph.jobs[dep].kind.stage(),
+                Some(StageKind::Fit),
+                "combine depends on per-input fit nodes"
+            );
+        }
     }
 
     #[test]
@@ -585,7 +850,11 @@ mod tests {
             .seeds([1, 1])
             .analyses([AnalysisKind::PubTac]);
         let graph = expand(&spec, &registry).unwrap();
-        assert_eq!(graph.len(), 1, "identical cells must collapse to one job");
+        assert_eq!(
+            graph.len(),
+            7,
+            "identical cells must collapse to one stage pipeline"
+        );
     }
 
     #[test]
@@ -596,13 +865,32 @@ mod tests {
             .seeds([1])
             .analyses([AnalysisKind::PubTac]);
         let graph = expand(&spec, &registry).unwrap();
+        let trace = graph
+            .jobs
+            .iter()
+            .find(|j| j.kind.stage() == Some(StageKind::Trace))
+            .expect("trace node");
         assert_eq!(
-            graph.jobs[0].kind,
-            JobKind::PubTac {
-                input: "default".into()
-            },
+            trace.kind.input(),
+            Some("default"),
             "Default selection must use the same input as Original jobs"
         );
+    }
+
+    #[test]
+    fn stage_digests_are_recorded_for_stage_nodes_only() {
+        let registry = Registry::malardalen();
+        let spec = SweepSpec::new("mp")
+            .benchmarks(["bs"])
+            .inputs(InputSelection::All)
+            .seeds([7]);
+        let graph = expand(&spec, &registry).unwrap();
+        for (i, job) in graph.jobs.iter().enumerate() {
+            match job.kind {
+                JobKind::MultipathCombine => assert!(graph.digests[i].is_none()),
+                JobKind::Stage { .. } => assert!(graph.digests[i].is_some()),
+            }
+        }
     }
 
     #[test]

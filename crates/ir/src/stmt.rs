@@ -126,7 +126,7 @@ impl Stmt {
 
     /// Number of instructions of the statement itself, excluding nested
     /// bodies (loop headers count their per-check instructions once; see
-    /// [`crate::layout`] for how often each span is fetched).
+    /// [`crate::layout_program`] for how often each span is fetched).
     ///
     /// Uses the RISC cost model of [`Expr::instr_cost`]: a statement
     /// compiles to its expressions' code plus one instruction for the

@@ -206,7 +206,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// A length range for [`vec`]: built from `a..b` or `a..=b`.
+        /// A length range for [`vec()`](fn@vec): built from `a..b` or `a..=b`.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             min: usize,

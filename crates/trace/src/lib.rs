@@ -10,7 +10,7 @@
 //! * [`SymSeq`] — symbolic sequences written like the paper's examples
 //!   (`{ABCA}`, `{ABCDEA}^1000`), with the [`SymSeq::ins`] operator and
 //!   supersequence checks;
-//! * [`scs`](crate::scs) — shortest common supersequence, the minimal
+//! * [`scs`] — shortest common supersequence, the minimal
 //!   upper-bounding merge that PUB applies to sibling branches;
 //! * [`analysis`] — reuse distances, stack distances and interleaving
 //!   statistics, the inputs of TAC's conflict-group discovery.

@@ -1,0 +1,78 @@
+//! Stage-graph resume: the Figure 3 pipeline as typed, cached stages.
+//!
+//! A timing engineer rarely gets an analysis right on the first try: the
+//! campaign cap, the reporting exceedance, the seed all get revisited. The
+//! stage graph makes those iterations cheap — every stage persists an
+//! artifact keyed by a content digest over exactly the knobs it consumes,
+//! so a re-run recomputes only what a change actually invalidated.
+//!
+//! This example runs one PUB + TAC + MBPTA analysis cold, then re-runs it
+//! twice: once unchanged (everything loads), once with a tighter campaign
+//! cap (only the campaign tail and the fit re-execute — the campaign
+//! restarts from the convergence boundary of the seed stream, so the
+//! result is still bit-identical to a cold run under the new cap).
+//!
+//! Run with `cargo run --release --example staged_resume`.
+
+use mbcr::stage::{AnalysisSession, MemoryStageStore, StageKind, StageStatus};
+use mbcr::AnalysisConfig;
+
+fn report(tag: &str, session: &AnalysisSession<'_>) {
+    print!("{tag:<28}");
+    for &(stage, status) in session.statuses() {
+        let mark = match status {
+            StageStatus::Computed => "ran",
+            StageStatus::Cached => "cache",
+        };
+        print!("  {}:{mark}", stage.name());
+    }
+    println!();
+}
+
+fn main() {
+    let benchmark = mbcr_malardalen::bs::benchmark();
+    let store = MemoryStageStore::default();
+    let cfg = AnalysisConfig::builder().seed(42).quick().build();
+
+    // Cold: every stage executes and persists its artifact.
+    let mut cold = AnalysisSession::pub_tac(&benchmark.program, &benchmark.default_input, &cfg)
+        .with_store(&store);
+    cold.advance(StageKind::Fit).expect("cold run");
+    report("cold run:", &cold);
+    let cold = cold.finish_pub_tac().expect("finish");
+    println!(
+        "  R_pub = {}, R_tac = {}, campaign = {} runs, pWCET = {:.1}\n",
+        cold.r_pub, cold.r_tac, cold.campaign_runs, cold.pwcet_pub_tac
+    );
+
+    // Warm: the same configuration resumes entirely from the store.
+    let mut warm = AnalysisSession::pub_tac(&benchmark.program, &benchmark.default_input, &cfg)
+        .with_store(&store);
+    warm.advance(StageKind::Fit).expect("warm run");
+    report("warm re-run:", &warm);
+    println!();
+
+    // A tighter campaign cap invalidates only the campaign + fit digests:
+    // PUB, trace, TAC and convergence artifacts are reused, and the
+    // campaign simulates nothing below the convergence boundary.
+    let recapped = AnalysisConfig::builder()
+        .seed(42)
+        .quick()
+        .max_campaign_runs(cold.r_pub + 100)
+        .build();
+    let mut resumed =
+        AnalysisSession::pub_tac(&benchmark.program, &benchmark.default_input, &recapped)
+            .with_store(&store);
+    resumed.advance(StageKind::Fit).expect("resumed run");
+    report("after cap change:", &resumed);
+    let resumed = resumed.finish_pub_tac().expect("finish");
+    println!(
+        "  campaign = {} runs (capped: {}), pWCET = {:.1}",
+        resumed.campaign_runs, resumed.campaign_capped, resumed.pwcet_pub_tac
+    );
+    assert_eq!(
+        &resumed.sample[..cold.r_pub],
+        &cold.sample[..cold.r_pub],
+        "the resumed campaign extends the cold run's seed stream"
+    );
+}

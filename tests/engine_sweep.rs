@@ -1,13 +1,14 @@
-//! End-to-end tests of the batch engine: a small 2-benchmark ×
-//! 2-geometry sweep writes a complete artifact store, a warm re-run skips
-//! every job, and results are deterministic across invocations.
+//! End-to-end tests of the batch engine: a small sweep writes a complete
+//! artifact store at stage granularity, a warm re-run skips every node, a
+//! knob change resumes mid-analysis, and results are deterministic across
+//! invocations.
 
 use std::fs;
 use std::path::PathBuf;
 
 use mbcr_engine::{
     expand, run_sweep, AnalysisKind, ArtifactStore, GeometrySpec, InputSelection, JobStatus,
-    Registry, RunOptions, SweepSpec,
+    Registry, RunOptions, StageKind, SweepSpec,
 };
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -17,12 +18,11 @@ fn tmp_dir(tag: &str) -> PathBuf {
 }
 
 /// A tiny but representative campaign: one multipath benchmark (bs, two
-/// named inputs, so a combine node appears) and one single-path benchmark,
-/// across two geometries. Campaigns are capped hard so the whole test runs
-/// in seconds.
+/// named inputs, so a combine node appears) across two geometries.
+/// Campaigns are capped hard so the whole test runs in seconds.
 fn tiny_spec() -> SweepSpec {
     SweepSpec::new("engine-it")
-        .benchmarks(["bs", "insertsort"])
+        .benchmarks(["bs"])
         .inputs(InputSelection::Named(vec!["v1".into(), "v3".into()]))
         .geometries([
             GeometrySpec::paper_l1(),
@@ -39,15 +39,7 @@ fn tiny_spec() -> SweepSpec {
 #[test]
 fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
     let registry = Registry::malardalen();
-    // insertsort has no vectors named v1/v3 — restrict it via its own
-    // spec? No: bs has v1/v3; insertsort has reversed/sorted/shuffled.
-    // Use per-benchmark-valid selection instead: default inputs for
-    // insertsort would fail Named resolution, so sweep bs alone here and
-    // cover the second benchmark with the default selection below.
-    let spec = SweepSpec {
-        benchmarks: vec!["bs".into()],
-        ..tiny_spec()
-    };
+    let spec = tiny_spec();
     let dir = tmp_dir("cold-warm");
     let store = ArtifactStore::open(&dir).expect("open store");
     let opts = RunOptions {
@@ -55,23 +47,33 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
         force: false,
     };
 
-    // Expansion shape: per cell (2 geometries × 1 seed): 1 original +
-    // 2 pub_tac + 1 combine.
+    // Stage-granular expansion over 2 cells (2 geometries × 1 seed):
+    // shared orig trace (1) + orig converge/fit per cell (4), shared pub
+    // (1) + shared per-input traces (2) + per cell × input: tac×2,
+    // converge, campaign, fit (20) + combine per cell (2).
     let graph = expand(&spec, &registry).expect("expand");
-    assert_eq!(graph.len(), 8);
+    assert_eq!(graph.len(), 30);
 
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold sweep");
-    assert_eq!(cold.executed, 8);
+    assert_eq!(cold.executed, 30);
     assert_eq!(cold.skipped, 0);
     assert_eq!(cold.failed, 0);
 
-    // Artifacts: manifest, table2, one JSON per job, samples for pub_tac.
+    // Artifacts: manifest, table2, a stage artifact per stage node, and
+    // full-result job JSON (plus samples for pub_tac) for terminal nodes.
     assert!(store.manifest_path().is_file(), "manifest.json missing");
     assert!(store.table2_path().is_file(), "table2.csv missing");
+    let stage_artifacts = fs::read_dir(dir.join("stages"))
+        .expect("stages dir")
+        .count();
+    assert_eq!(stage_artifacts, 28, "one artifact per stage node");
     for record in &cold.records {
-        assert!(
+        let stage = record.label.rsplit('/').next().unwrap_or("");
+        let terminal = record.label.starts_with("multipath/") || record.label.contains(":fit/");
+        assert_eq!(
             store.has_artifact(&record.key),
-            "artifact missing for {}",
+            terminal,
+            "full-result JSON exactly for terminal nodes: {} (stage {stage})",
             record.label
         );
     }
@@ -85,7 +87,7 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
                 .ends_with(".samples.csv")
         })
         .count();
-    assert_eq!(sample_csvs, 4, "one sample CSV per pub_tac job");
+    assert_eq!(sample_csvs, 4, "one sample CSV per pub_tac fit node");
 
     // Table 2 layout: one row per (input, geometry) cell, every paper
     // column populated.
@@ -111,11 +113,11 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
         );
     }
 
-    // Warm re-run: same spec, same store — every job must be served from
+    // Warm re-run: same spec, same store — every node must be served from
     // the artifact store and the aggregation must be identical.
     let warm = run_sweep(&spec, &registry, &store, &opts).expect("warm sweep");
-    assert_eq!(warm.executed, 0, "warm re-run must skip all jobs");
-    assert_eq!(warm.skipped, 8);
+    assert_eq!(warm.executed, 0, "warm re-run must skip all nodes");
+    assert_eq!(warm.skipped, 30);
     assert_eq!(warm.failed, 0);
     assert!(warm.records.iter().all(|r| r.status == JobStatus::Skipped));
     assert_eq!(
@@ -134,11 +136,69 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
         },
     )
     .expect("forced sweep");
-    assert_eq!(forced.executed, 8);
+    assert_eq!(forced.executed, 30);
     assert_eq!(
         forced.rows, cold.rows,
         "forced re-run must be deterministic"
     );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The headline resume scenario: changing only `max_campaign_runs` must
+/// reuse cached PUB/trace/TAC/converge artifacts and re-execute exactly
+/// the campaign and fit stages (and the combine, whose key cascades).
+#[test]
+fn campaign_cap_change_resumes_mid_analysis() {
+    let registry = Registry::malardalen();
+    let spec = SweepSpec::new("resume")
+        .benchmarks(["bs"])
+        .inputs(InputSelection::Named(vec!["v1".into(), "v3".into()]))
+        .seeds([21]);
+    let dir = tmp_dir("resume");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let opts = RunOptions {
+        threads: 4,
+        force: false,
+    };
+
+    let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
+    assert_eq!(cold.failed, 0);
+
+    let recapped = SweepSpec {
+        max_campaign_runs: Some(400),
+        ..spec.clone()
+    };
+    let resumed = run_sweep(&recapped, &registry, &store, &opts).expect("resumed");
+    assert_eq!(resumed.failed, 0);
+    for record in &resumed.records {
+        let stage = record.label.split('/').next().unwrap_or("?");
+        let expect_executed = matches!(stage, "pub_tac:campaign" | "pub_tac:fit" | "multipath");
+        let expected = if expect_executed {
+            JobStatus::Executed
+        } else {
+            JobStatus::Skipped
+        };
+        assert_eq!(
+            record.status, expected,
+            "stage '{stage}' after a cap change: {}",
+            record.label
+        );
+    }
+    // The resumed campaign is genuinely capped and still self-consistent.
+    for row in &resumed.rows {
+        assert!(row.r_pub.is_some() && row.r_tac.is_some());
+        assert_eq!(
+            row.r_pub_tac.unwrap(),
+            row.r_pub.unwrap().max(row.r_tac.unwrap())
+        );
+    }
+    // The untouched stages kept their cold-run numbers.
+    for (cold_row, resumed_row) in cold.rows.iter().zip(&resumed.rows) {
+        assert_eq!(cold_row.r_pub, resumed_row.r_pub);
+        assert_eq!(cold_row.r_tac, resumed_row.r_tac);
+        assert_eq!(cold_row.r_orig, resumed_row.r_orig);
+    }
 
     let _ = fs::remove_dir_all(&dir);
 }
@@ -161,28 +221,43 @@ fn two_benchmark_sweep_covers_both_and_changing_spec_invalidates() {
         force: false,
     };
 
+    // Per benchmark: shared pub + trace, then tac×2 + converge +
+    // campaign + fit per geometry cell.
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
-    assert_eq!(cold.executed, 4, "2 benchmarks × 2 geometries");
+    assert_eq!(cold.executed, 2 * (2 + 2 * 5), "2 benchmarks × stage DAG");
     let benchmarks: std::collections::HashSet<&str> =
         cold.rows.iter().map(|r| r.benchmark.as_str()).collect();
     assert_eq!(benchmarks, ["bs", "insertsort"].into_iter().collect());
 
-    // A different seed is a different campaign: nothing may be served from
-    // the warm store.
+    // A different master seed reseeds TAC/converge/campaign/fit, but the
+    // seed-free PUB transform and path trace stay valid — stage-level
+    // caching is finer than whole-job caching.
     let reseeded = SweepSpec {
         seeds: vec![4],
         ..spec.clone()
     };
     let rerun = run_sweep(&reseeded, &registry, &store, &opts).expect("reseeded");
     assert_eq!(
-        rerun.executed, 4,
-        "seed change must invalidate every artifact"
+        rerun.skipped, 4,
+        "pub + trace per benchmark survive a seed change"
     );
-    assert_eq!(rerun.skipped, 0);
+    assert_eq!(rerun.executed, 20, "seeded stages must re-execute");
+    for record in rerun
+        .records
+        .iter()
+        .filter(|r| r.status == JobStatus::Skipped)
+    {
+        let stage = record.label.split('/').next().unwrap_or("?");
+        assert!(
+            matches!(stage, "pub_tac:pub" | "pub_tac:trace"),
+            "only seed-free stages may be cached, got {}",
+            record.label
+        );
+    }
 
     // The original spec is still fully cached.
     let warm = run_sweep(&spec, &registry, &store, &opts).expect("warm");
-    assert_eq!(warm.skipped, 4);
+    assert_eq!(warm.skipped, 24);
 
     let _ = fs::remove_dir_all(&dir);
 }
@@ -225,6 +300,105 @@ fn multipath_combination_is_the_min_over_inputs() {
             "Corollary 2: combination must be the per-cell minimum"
         );
     }
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A store shipped with only the content-addressed `stages/` directory
+/// (the sharding boundary) must regenerate the full-result job artifacts
+/// rather than reporting everything cached while `jobs/` stays empty.
+#[test]
+fn pruned_jobs_dir_regenerates_full_results() {
+    let registry = Registry::malardalen();
+    let spec = SweepSpec::new("pruned")
+        .benchmarks(["insertsort"])
+        .seeds([13])
+        .analyses([AnalysisKind::PubTac]);
+    let dir = tmp_dir("pruned");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let opts = RunOptions {
+        threads: 2,
+        force: false,
+    };
+
+    let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
+    assert_eq!(cold.failed, 0);
+    fs::remove_dir_all(dir.join("jobs")).expect("prune jobs dir");
+
+    let rerun = run_sweep(&spec, &registry, &store, &opts).expect("rerun");
+    assert_eq!(rerun.failed, 0);
+    for record in &rerun.records {
+        let terminal = record.label.contains(":fit/");
+        let expected = if terminal {
+            JobStatus::Executed
+        } else {
+            JobStatus::Skipped
+        };
+        assert_eq!(record.status, expected, "{}", record.label);
+        if terminal {
+            assert!(
+                store.has_artifact(&record.key),
+                "full-result JSON must be regenerated: {}",
+                record.label
+            );
+        }
+    }
+    assert_eq!(rerun.rows, cold.rows, "regeneration reproduces the results");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A torn stage artifact (interrupted writer) must be re-executed, never
+/// trusted as a cache hit.
+#[test]
+fn torn_stage_artifact_is_not_a_cache_hit() {
+    let registry = Registry::malardalen();
+    let spec = SweepSpec::new("torn")
+        .benchmarks(["insertsort"])
+        .seeds([9])
+        .analyses([AnalysisKind::PubTac]);
+    let dir = tmp_dir("torn");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let opts = RunOptions {
+        threads: 2,
+        force: false,
+    };
+
+    let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
+    assert_eq!(cold.failed, 0);
+
+    // Truncate every converge stage artifact mid-file.
+    let graph = expand(&spec, &registry).expect("expand");
+    let mut truncated = 0;
+    for (i, job) in graph.jobs.iter().enumerate() {
+        if job.kind.stage() == Some(StageKind::Converge) {
+            let digest = graph.digests[i].expect("stage digest");
+            let path = store.stage_path(digest);
+            let text = fs::read_to_string(&path).expect("artifact exists");
+            fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+            truncated += 1;
+        }
+    }
+    assert!(truncated >= 1);
+
+    let rerun = run_sweep(&spec, &registry, &store, &opts).expect("rerun");
+    assert_eq!(rerun.failed, 0);
+    let re_executed: Vec<&str> = rerun
+        .records
+        .iter()
+        .filter(|r| r.status == JobStatus::Executed)
+        .map(|r| r.label.as_str())
+        .collect();
+    assert!(
+        re_executed
+            .iter()
+            .any(|l| l.starts_with("pub_tac:converge/")),
+        "the torn converge stage must re-execute, got {re_executed:?}"
+    );
+    assert_eq!(
+        rerun.rows, cold.rows,
+        "recovery must reproduce the original results"
+    );
 
     let _ = fs::remove_dir_all(&dir);
 }
