@@ -99,6 +99,12 @@ pub struct AnalysisConfig {
     pub max_campaign_runs: usize,
     /// Worker threads for the final campaigns.
     pub threads: usize,
+    /// Checkpoint a running measurement campaign to its stage store every
+    /// this many runs (`0`: only when the campaign completes). Purely a
+    /// durability/scheduling knob: the sample is bit-identical at any
+    /// interval, so — like `threads` — it is excluded from
+    /// [`AnalysisConfig::digest`].
+    pub checkpoint_interval: usize,
 }
 
 impl AnalysisConfig {
@@ -153,6 +159,7 @@ impl Default for AnalysisConfigBuilder {
                 seed: 0x6D62_6372, // "mbcr"
                 max_campaign_runs: 200_000,
                 threads: default_threads(),
+                checkpoint_interval: 10_000,
             },
         }
     }
@@ -228,6 +235,14 @@ impl AnalysisConfigBuilder {
         self
     }
 
+    /// Checkpoints running campaigns every `runs` measurements (`0`
+    /// disables intra-campaign checkpoints). Never affects results.
+    #[must_use]
+    pub fn checkpoint_interval(mut self, runs: usize) -> Self {
+        self.cfg.checkpoint_interval = runs;
+        self
+    }
+
     /// Shrinks every campaign for tests and examples: convergence capped at
     /// a few thousand runs, final campaigns at 3 000.
     #[must_use]
@@ -290,6 +305,15 @@ mod tests {
             base.digest(),
             same.digest(),
             "threads must not affect the digest"
+        );
+        let checkpointed = AnalysisConfig::builder()
+            .seed(1)
+            .checkpoint_interval(123)
+            .build();
+        assert_eq!(
+            base.digest(),
+            checkpointed.digest(),
+            "checkpoint interval is durability-only and must not affect the digest"
         );
         let reseeded = AnalysisConfig::builder().seed(2).build();
         assert_ne!(base.digest(), reseeded.digest());

@@ -28,20 +28,28 @@
 //! seed invalidates TAC/convergence/campaign (their seed streams change)
 //! but not the PUB transform or the trace, which are seed-free.
 //!
-//! Artifacts fall in two classes:
+//! Artifacts fall in three classes:
 //!
-//! * **expensive, rehydratable** (trace, TAC, convergence, campaign): the
-//!   full output round-trips through JSON, so a resumed session never
+//! * **expensive, rehydratable** (trace, TAC, convergence): the full
+//!   output round-trips through JSON, so a resumed session never
 //!   recomputes them;
+//! * **stream-backed** (campaign): the sample lives in the store's
+//!   append-only chunk log ([`StageStore::append_samples`]), written one
+//!   [`AnalysisConfig::checkpoint_interval`] at a time; the JSON artifact
+//!   is only a completion marker (`runs` + `checksum`) validated against
+//!   the log on load;
 //! * **cheap, recomputed** (PUB, fit): the artifact records the result for
 //!   reporting and cross-process sharing, but a resumed session re-derives
 //!   the in-memory value (a deterministic transform or a fit over a cached
 //!   sample) because the full output does not round-trip economically.
 //!
-//! The campaign stage is restart-safe from the convergence boundary: runs
-//! are seeded by absolute index ([`mbcr_cpu::campaign_slice_with`]), so it
-//! prepends the cached convergence sample and simulates only the tail —
-//! bit-identical to a one-shot campaign.
+//! The campaign stage is restart-safe at two granularities. Runs are
+//! seeded by absolute index ([`mbcr_cpu::campaign_slice_with`]), so it
+//! prepends the cached convergence sample and simulates only the tail;
+//! and because it checkpoints completed chunks to the sample log as it
+//! goes, a killed campaign resumes from its last checkpoint — losing at
+//! most one interval of simulation — with a final sample bit-identical to
+//! a one-shot campaign.
 //!
 //! # Examples
 //!
@@ -77,7 +85,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use mbcr_cpu::{campaign_slice, campaign_slice_with, Parallelism, PlatformConfig};
+use mbcr_cpu::{campaign_slice, campaign_slice_chunked, Parallelism, PlatformConfig};
 use mbcr_evt::{converge, ConvergenceConfig, IidReport, Pwcet};
 use mbcr_ir::{execute, Inputs, Program};
 use mbcr_json::{fnv1a, Json, Serialize, FNV_OFFSET};
@@ -90,7 +98,7 @@ use crate::{AnalysisConfig, AnalyzeError, OriginalAnalysis, PubTacAnalysis};
 
 /// Schema tag baked into stage artifacts; bump on layout changes to
 /// invalidate old stage stores wholesale.
-pub const STAGE_SCHEMA: &str = "mbcr-stage/1";
+pub const STAGE_SCHEMA: &str = "mbcr-stage/2";
 
 /// The stages of the Figure 3 pipeline, in dataflow order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,6 +196,14 @@ impl StageStatus {
 /// Persistence for per-stage intermediate artifacts, keyed by stage
 /// digest. Implementations must tolerate concurrent writers of the *same*
 /// digest (content-addressing makes such writes idempotent).
+///
+/// Beyond whole artifacts, a store may support **streaming sample logs**
+/// (the campaign stage's intra-stage checkpoints): `append_samples` /
+/// `load_samples` stream a campaign's execution times as append-only,
+/// contiguous chunks keyed by the campaign stage's digest. The default
+/// implementations opt out (no partial state is ever kept), which also
+/// means completed campaigns cannot be *cached* by such a store — the
+/// campaign artifact is only a completion marker referencing the log.
 pub trait StageStore: Sync {
     /// Loads the artifact stored under `digest`, if present and parsable.
     fn load_stage(&self, digest: u64) -> Option<Json>;
@@ -198,12 +214,60 @@ pub trait StageStore: Sync {
     ///
     /// I/O failures of the backing medium.
     fn save_stage(&self, digest: u64, artifact: &Json) -> std::io::Result<()>;
+
+    /// Loads the valid, contiguous prefix of the sample log stored under
+    /// `digest`; `None` when there is no log (or the store does not
+    /// support streaming samples — the default). A torn tail is never
+    /// part of the returned prefix.
+    fn load_samples(&self, digest: u64) -> Option<Vec<u64>> {
+        let _ = digest;
+        None
+    }
+
+    /// Appends `samples` — runs `start .. start + samples.len()` of a
+    /// campaign whose resolved length is `total` — to the sample log under
+    /// `digest`. Must be idempotent under replay: an append entirely
+    /// covered by already-logged runs is a no-op, one partially covered
+    /// keeps the durable prefix and appends only the uncovered tail
+    /// (content-addressing guarantees the overlap carries identical
+    /// values — this is what lets a resume under a *different*
+    /// `checkpoint_interval` extend an existing log), and an append that
+    /// would leave a gap is an error.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium, or a non-contiguous append.
+    fn append_samples(
+        &self,
+        digest: u64,
+        start: usize,
+        total: usize,
+        samples: &[u64],
+    ) -> std::io::Result<()> {
+        let _ = (digest, start, total, samples);
+        Ok(())
+    }
+
+    /// Discards the sample log under `digest` wholesale — the recovery
+    /// path when its content diverges from what the digest demands
+    /// (corruption that slipped past the integrity checks): the rewriting
+    /// campaign recreates it from scratch instead of extending poisoned
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures of the backing medium.
+    fn reset_samples(&self, digest: u64) -> std::io::Result<()> {
+        let _ = digest;
+        Ok(())
+    }
 }
 
 /// An in-memory [`StageStore`] for tests and single-process resume.
 #[derive(Debug, Default)]
 pub struct MemoryStageStore {
     map: Mutex<HashMap<u64, Json>>,
+    samples: Mutex<HashMap<u64, Vec<u64>>>,
 }
 
 impl MemoryStageStore {
@@ -251,6 +315,42 @@ impl StageStore for MemoryStageStore {
             .lock()
             .expect("store poisoned")
             .insert(digest, artifact.clone());
+        Ok(())
+    }
+
+    fn load_samples(&self, digest: u64) -> Option<Vec<u64>> {
+        self.samples
+            .lock()
+            .expect("store poisoned")
+            .get(&digest)
+            .cloned()
+    }
+
+    fn append_samples(
+        &self,
+        digest: u64,
+        start: usize,
+        _total: usize,
+        samples: &[u64],
+    ) -> std::io::Result<()> {
+        let mut map = self.samples.lock().expect("store poisoned");
+        let log = map.entry(digest).or_default();
+        let have = log.len();
+        if have >= start + samples.len() {
+            return Ok(()); // replayed append, already durable
+        }
+        if have < start {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("sample-log gap: have {have} runs, append starts at {start}"),
+            ));
+        }
+        log.extend_from_slice(&samples[have - start..]);
+        Ok(())
+    }
+
+    fn reset_samples(&self, digest: u64) -> std::io::Result<()> {
+        self.samples.lock().expect("store poisoned").remove(&digest);
         Ok(())
     }
 }
@@ -567,9 +667,60 @@ pub struct CampaignInput<'i> {
     pub runs: usize,
 }
 
-/// The measurement-campaign stage. Restart-safe from the convergence
-/// boundary: runs are seeded by absolute index, so the cached prefix plus
-/// a freshly simulated tail is bit-identical to a one-shot campaign.
+/// Intra-stage checkpointing of a running campaign: where to stream
+/// completed sample chunks so an interrupted campaign resumes from its
+/// last checkpoint instead of the convergence boundary.
+///
+/// Purely a durability policy — the sample is bit-identical with or
+/// without it, at any interval — so none of these fields enter the stage
+/// digest.
+#[derive(Clone, Copy)]
+pub struct CampaignCheckpoint<'c> {
+    /// The store receiving sample chunks (and consulted for a resumable
+    /// prefix before simulating anything).
+    pub store: &'c dyn StageStore,
+    /// The campaign stage's content digest — the log's address.
+    pub digest: u64,
+    /// Checkpoint every this many runs; `0` checkpoints only when the
+    /// campaign completes.
+    pub interval: usize,
+    /// Whether to *read* the log for a resumable prefix. Forced stages
+    /// set this `false` — force means re-simulate, not rehydrate — while
+    /// still streaming their checkpoints, so the log ends complete and
+    /// the completion marker they save stays honorable by later runs.
+    pub resume: bool,
+}
+
+impl std::fmt::Debug for CampaignCheckpoint<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignCheckpoint")
+            .field("digest", &format_args!("{:016x}", self.digest))
+            .field("interval", &self.interval)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Output of [`CampaignStage`]: the full sample plus how much of it was
+/// restored from the checkpoint log rather than simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOutput {
+    /// The campaign's execution times, in run-index order.
+    pub sample: Vec<u64>,
+    /// Leading runs restored from the checkpoint sample log (`0` when the
+    /// campaign started from the convergence boundary).
+    pub resumed_runs: usize,
+}
+
+/// The measurement-campaign stage. Restart-safe at two granularities:
+/// runs are seeded by absolute index, so the stage resumes from the
+/// convergence boundary (the cached converge sample is the prefix) and —
+/// when a [`CampaignCheckpoint`] is attached — from the last checkpointed
+/// chunk of a previously interrupted campaign. Either way the final
+/// sample is bit-identical to a one-shot campaign.
+///
+/// The stage's JSON artifact is a completion marker (`runs` + `checksum`)
+/// — the sample itself lives in the store's chunk log, appended one
+/// interval at a time and never rewritten whole.
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignStage<'c> {
     /// The simulated platform.
@@ -581,11 +732,86 @@ pub struct CampaignStage<'c> {
     pub max_campaign_runs: usize,
     /// Intra-campaign parallelism (never affects results).
     pub parallelism: Parallelism,
+    /// Intra-stage checkpointing (never affects results); `None` keeps the
+    /// whole campaign in memory until the stage completes.
+    pub checkpoint: Option<CampaignCheckpoint<'c>>,
+}
+
+/// Streams grid-aligned sample chunks into a checkpoint log as simulation
+/// produces them. Chunk frames cover `[k·interval, (k+1)·interval)` in
+/// absolute run-index space (the final frame ends at the campaign length),
+/// so the log's layout is identical whether the campaign ran once or was
+/// interrupted and resumed at any point.
+struct CheckpointWriter<'c> {
+    checkpoint: Option<CampaignCheckpoint<'c>>,
+    /// Resolved campaign length.
+    runs: usize,
+    /// Absolute index of the first run in `pending`.
+    start: usize,
+    /// Runs not yet durable in the log.
+    pending: Vec<u64>,
+    /// First append failure (appends stop; simulation continues).
+    error: Option<std::io::Error>,
+}
+
+impl<'c> CheckpointWriter<'c> {
+    fn new(
+        checkpoint: Option<CampaignCheckpoint<'c>>,
+        runs: usize,
+        start: usize,
+        backlog: &[u64],
+    ) -> Self {
+        let mut w = Self {
+            checkpoint,
+            runs,
+            start,
+            // Without a checkpoint the writer is inert — don't copy (and
+            // hold) the whole convergence prefix for nothing.
+            pending: if checkpoint.is_some() {
+                backlog.to_vec()
+            } else {
+                Vec::new()
+            },
+            error: None,
+        };
+        w.flush();
+        w
+    }
+
+    fn push(&mut self, chunk: &[u64]) {
+        if self.checkpoint.is_some() && self.error.is_none() {
+            self.pending.extend_from_slice(chunk);
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let Some(cp) = self.checkpoint else { return };
+        while self.error.is_none() && self.start < self.runs {
+            // Framing and simulation share one grid definition — that is
+            // what makes resumed logs byte-identical.
+            let end = mbcr_cpu::next_chunk_boundary(self.start, cp.interval, self.runs);
+            let len = end - self.start;
+            if self.pending.len() < len {
+                break; // incomplete grid cell; wait for more runs
+            }
+            match cp
+                .store
+                .append_samples(cp.digest, self.start, self.runs, &self.pending[..len])
+            {
+                Ok(()) => {
+                    self.pending.drain(..len);
+                    self.start = end;
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+    }
 }
 
 impl<'i, 'c> AnalysisStage<'i> for CampaignStage<'c> {
     type Input = CampaignInput<'i>;
-    type Output = Vec<u64>;
+    type Output = CampaignOutput;
 
     fn kind(&self) -> StageKind {
         StageKind::Campaign
@@ -602,41 +828,129 @@ impl<'i, 'c> AnalysisStage<'i> for CampaignStage<'c> {
     }
 
     fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
-        let take = input.prefix.len().min(input.runs);
-        let mut sample = input.prefix[..take].to_vec();
-        if input.runs > take {
-            sample.extend(campaign_slice_with(
+        let runs = input.runs;
+        let take = input.prefix.len().min(runs);
+        let mut sample: Vec<u64> = Vec::with_capacity(runs);
+        let mut resumed_runs = 0;
+        // Durable-prefix resume: the checkpoint log wins when it reaches
+        // beyond the convergence boundary (its content is digest-addressed
+        // — the same deterministic seed stream — but cross-check the
+        // overlap against the converge sample anyway and fall back to
+        // re-simulation on any mismatch).
+        let mut durable = 0;
+        if let Some(cp) = self.checkpoint.filter(|cp| !cp.resume) {
+            // A forced run never reads the log — but it must not append
+            // *over* one either (appends covered by existing content are
+            // no-ops, so a divergent log would survive under the fresh
+            // marker). Discard it and rewrite from scratch: --force is
+            // the repair tool of last resort.
+            cp.store
+                .reset_samples(cp.digest)
+                .map_err(|e| AnalyzeError::Store(format!("campaign checkpoint reset: {e}")))?;
+        }
+        if let Some(cp) = self.checkpoint.filter(|cp| cp.resume) {
+            if let Some(logged) = cp.store.load_samples(cp.digest) {
+                let n = logged.len().min(runs);
+                let overlap = n.min(take);
+                if logged[..overlap] != input.prefix[..overlap] {
+                    // Divergent content under this digest (corruption
+                    // that slipped past the CRC, or a foreign log).
+                    // Appends would skip the already-"durable" bad
+                    // prefix, so discard the log wholesale and let the
+                    // re-simulation rewrite it from scratch.
+                    cp.store.reset_samples(cp.digest).map_err(|e| {
+                        AnalyzeError::Store(format!("campaign checkpoint reset: {e}"))
+                    })?;
+                } else if n > take {
+                    sample.extend_from_slice(&logged[..n]);
+                    resumed_runs = n;
+                    durable = n;
+                }
+            }
+        }
+        if sample.is_empty() {
+            sample.extend_from_slice(&input.prefix[..take]);
+        }
+        let mut writer = CheckpointWriter::new(self.checkpoint, runs, durable, &sample[durable..]);
+        if writer.error.is_none() && sample.len() < runs {
+            let interval = self.checkpoint.map_or(0, |c| c.interval);
+            let tail = campaign_slice_chunked(
                 self.platform,
                 input.trace,
-                take,
-                input.runs - take,
+                sample.len(),
+                runs - sample.len(),
                 self.campaign_seed,
                 &self.parallelism,
-            ));
+                interval,
+                // An append failure aborts the simulation right away — a
+                // paper-scale campaign must not burn hours producing a
+                // result the error forces us to discard anyway.
+                |_, chunk| {
+                    writer.push(chunk);
+                    writer.error.is_none()
+                },
+            );
+            sample.extend_from_slice(&tail);
         }
-        Ok(sample)
+        if let Some(e) = writer.error {
+            return Err(AnalyzeError::Store(format!("campaign checkpoint: {e}")));
+        }
+        Ok(CampaignOutput {
+            sample,
+            resumed_runs,
+        })
     }
 
     fn encode(&self, output: &Self::Output) -> Json {
         Json::Obj(vec![
-            ("runs".to_string(), Json::UInt(output.len() as u64)),
+            ("runs".to_string(), Json::UInt(output.sample.len() as u64)),
             (
-                "sample".to_string(),
-                Json::Arr(output.iter().map(|&v| Json::UInt(v)).collect()),
+                "checksum".to_string(),
+                Json::UInt(sample_checksum(&output.sample)),
             ),
         ])
     }
 
-    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
-        let runs = artifact.get("runs")?.as_usize()?;
-        let sample = artifact
-            .get("sample")?
-            .as_array()?
-            .iter()
-            .map(Json::as_u64)
-            .collect::<Option<Vec<_>>>()?;
-        (sample.len() == runs).then_some(sample)
+    fn decode(&self, _artifact: &Json) -> Option<Self::Output> {
+        // The artifact is a completion marker; the sample lives in the
+        // store's chunk log, which the session loads and validates.
+        None
     }
+}
+
+/// FNV-1a over the little-endian bytes of a sample — the integrity check
+/// a campaign completion marker carries for its chunk log.
+#[must_use]
+pub fn sample_checksum(sample: &[u64]) -> u64 {
+    sample.iter().fold(FNV_OFFSET, |h, &v| {
+        mbcr_json::fnv1a_bytes(h, &v.to_le_bytes())
+    })
+}
+
+/// Rehydrates a completed campaign from its completion-marker payload
+/// (the `data` member of the stage artifact) plus the store's chunk log:
+/// the log must cover the marker's run count and match its checksum — a
+/// torn, short or divergent log is never a cache hit, and the caller then
+/// re-runs the stage, which itself resumes from whatever valid log prefix
+/// exists.
+///
+/// This is the *only* definition of what a campaign cache hit is: both
+/// [`AnalysisSession`] and the engine scheduler call it, so the two can
+/// never disagree.
+#[must_use]
+pub fn campaign_marker_sample(
+    data: &Json,
+    store: &dyn StageStore,
+    digest: u64,
+) -> Option<Vec<u64>> {
+    let runs = data.get("runs")?.as_usize()?;
+    let checksum = data.get("checksum")?.as_u64()?;
+    let mut logged = store.load_samples(digest)?;
+    if logged.len() < runs {
+        return None;
+    }
+    logged.truncate(runs);
+    (sample_checksum(&logged) == checksum).then_some(logged)
 }
 
 /// Cross-stage numbers the fit stage carries into the final report (and
@@ -838,6 +1152,7 @@ impl StageDigests {
             campaign_seed: campaign_seed(cfg),
             max_campaign_runs: cfg.max_campaign_runs,
             parallelism: Parallelism::serial(),
+            checkpoint: None,
         }
         .digest(fnv1a(converge, &format!("|{tac_il1:016x}|{tac_dl1:016x}")));
         let fit_base = match pipeline {
@@ -1011,6 +1326,7 @@ pub struct AnalysisSession<'a> {
     tac_dl1: Option<TacAnalysis>,
     converge: Option<ConvergeOutput>,
     campaign: Option<Vec<u64>>,
+    campaign_resumed: Option<usize>,
     fit: Option<FitOutput>,
     statuses: Vec<(StageKind, StageStatus)>,
 }
@@ -1037,6 +1353,7 @@ impl<'a> AnalysisSession<'a> {
             tac_dl1: None,
             converge: None,
             campaign: None,
+            campaign_resumed: None,
             fit: None,
             statuses: Vec::new(),
         }
@@ -1175,6 +1492,15 @@ impl<'a> AnalysisSession<'a> {
         self.campaign.as_deref()
     }
 
+    /// How many leading campaign runs were restored from an intra-stage
+    /// checkpoint log instead of simulated — `Some` only when this session
+    /// *computed* the campaign stage (a fully cached campaign has no
+    /// resume notion).
+    #[must_use]
+    pub fn campaign_resumed_runs(&self) -> Option<usize> {
+        self.campaign_resumed
+    }
+
     /// The fit output, once its stage has run.
     #[must_use]
     pub fn fit_output(&self) -> Option<&FitOutput> {
@@ -1257,13 +1583,16 @@ impl<'a> AnalysisSession<'a> {
         }
     }
 
-    fn load_artifact(&self, stage: StageKind) -> Option<Json> {
-        let forced = match self.force {
+    fn is_forced(&self, stage: StageKind) -> bool {
+        match self.force {
             ForceScope::None => false,
             ForceScope::All => true,
             ForceScope::Only(s) => s == stage,
-        };
-        if forced {
+        }
+    }
+
+    fn load_artifact(&self, stage: StageKind) -> Option<Json> {
+        if self.is_forced(stage) {
             return None;
         }
         let store = self.store?;
@@ -1427,19 +1756,36 @@ impl<'a> AnalysisSession<'a> {
             return Ok(());
         }
         let cfg = self.cfg;
-        let stage = CampaignStage {
-            platform: &cfg.platform,
-            campaign_seed: campaign_seed(cfg),
-            max_campaign_runs: cfg.max_campaign_runs,
-            parallelism: Parallelism::with_threads(cfg.threads),
-        };
         if let Some(data) = self.load_artifact(StageKind::Campaign) {
-            if let Some(sample) = stage.decode(&data) {
+            let sample = self
+                .store
+                .zip(self.digests.get(StageKind::Campaign))
+                .and_then(|(store, digest)| campaign_marker_sample(&data, store, digest));
+            if let Some(sample) = sample {
                 self.campaign = Some(sample);
                 self.record(StageKind::Campaign, StageStatus::Cached);
                 return Ok(());
             }
         }
+        let checkpoint = match (self.store, self.digests.get(StageKind::Campaign)) {
+            (Some(store), Some(digest)) => Some(CampaignCheckpoint {
+                store,
+                digest,
+                interval: cfg.checkpoint_interval,
+                // Force means re-simulate, not rehydrate — but the fresh
+                // run still streams its checkpoints, so the log backs the
+                // completion marker it saves.
+                resume: !self.is_forced(StageKind::Campaign),
+            }),
+            _ => None,
+        };
+        let stage = CampaignStage {
+            platform: &cfg.platform,
+            campaign_seed: campaign_seed(cfg),
+            max_campaign_runs: cfg.max_campaign_runs,
+            parallelism: Parallelism::with_threads(cfg.threads),
+            checkpoint,
+        };
         self.ensure_tac(StageKind::TacIl1)?;
         self.ensure_tac(StageKind::TacDl1)?;
         self.ensure_converge()?;
@@ -1451,14 +1797,15 @@ impl<'a> AnalysisSession<'a> {
         let r_pub = converge.runs;
         let runs = campaign_runs_for(r_tac.max(r_pub as u64), r_pub, cfg.max_campaign_runs);
         let trace = self.trace.as_ref().expect("trace ensured");
-        let sample = stage.run(CampaignInput {
+        let output = stage.run(CampaignInput {
             trace,
             prefix: &converge.sample,
             runs,
         })?;
-        self.save_artifact(StageKind::Campaign, stage.encode(&sample))?;
+        self.save_artifact(StageKind::Campaign, stage.encode(&output))?;
         self.record(StageKind::Campaign, StageStatus::Computed);
-        self.campaign = Some(sample);
+        self.campaign_resumed = Some(output.resumed_runs);
+        self.campaign = Some(output.sample);
         Ok(())
     }
 
@@ -1727,6 +2074,238 @@ mod tests {
                 stage.name()
             );
         }
+    }
+
+    /// Clones a store's JSON artifacts (not its sample logs) through the
+    /// public trait — the shape an interrupted process leaves behind when
+    /// its log is torn or partial.
+    fn clone_artifacts(from: &MemoryStageStore, digests: &StageDigests) -> MemoryStageStore {
+        let to = MemoryStageStore::default();
+        for &stage in PipelineKind::PubTac.stages() {
+            let digest = digests.get(stage).unwrap();
+            if let Some(doc) = from.load_stage(digest) {
+                to.save_stage(digest, &doc).unwrap();
+            }
+        }
+        to
+    }
+
+    #[test]
+    fn campaign_stage_checkpoints_stream_to_the_log_and_resume_mid_campaign() {
+        let platform = PlatformConfig::paper_default();
+        let trace: Trace = (0..48).map(|i| Access::read(i * 32)).collect();
+        let seed = 7;
+        let runs = 500;
+        let prefix = campaign_slice(&platform, &trace, 0, 120, seed);
+        let reference = mbcr_cpu::campaign(&platform, &trace, runs, seed);
+        fn stage_at<'c>(
+            platform: &'c PlatformConfig,
+            store: &'c dyn StageStore,
+            seed: u64,
+            runs: usize,
+            interval: usize,
+        ) -> CampaignStage<'c> {
+            CampaignStage {
+                platform,
+                campaign_seed: seed,
+                max_campaign_runs: runs,
+                parallelism: Parallelism::serial(),
+                checkpoint: Some(CampaignCheckpoint {
+                    store,
+                    digest: 0xD1,
+                    interval,
+                    resume: true,
+                }),
+            }
+        }
+
+        // Cold: the whole sample streams into the log, chunk by chunk.
+        let store = MemoryStageStore::default();
+        let cold = stage_at(&platform, &store, seed, runs, 64)
+            .run(CampaignInput {
+                trace: &trace,
+                prefix: &prefix,
+                runs,
+            })
+            .unwrap();
+        assert_eq!(
+            cold.sample, reference,
+            "checkpointing never affects results"
+        );
+        assert_eq!(cold.resumed_runs, 0);
+        assert_eq!(store.load_samples(0xD1).unwrap(), reference);
+
+        // Interrupted after 5 checkpoints (320 runs, past the convergence
+        // prefix): the resumed stage re-simulates only runs 320..500.
+        for (partial_runs, expect_resumed) in [(320, 320), (64, 0)] {
+            let partial = MemoryStageStore::default();
+            partial
+                .append_samples(0xD1, 0, runs, &reference[..partial_runs])
+                .unwrap();
+            let resumed = stage_at(&platform, &partial, seed, runs, 64)
+                .run(CampaignInput {
+                    trace: &trace,
+                    prefix: &prefix,
+                    runs,
+                })
+                .unwrap();
+            assert_eq!(resumed.sample, reference, "resume must be bit-identical");
+            assert_eq!(
+                resumed.resumed_runs, expect_resumed,
+                "a log shorter than the convergence prefix resumes from the \
+                 prefix instead"
+            );
+            assert_eq!(
+                partial.load_samples(0xD1).unwrap(),
+                reference,
+                "the log is completed by appends, never rewritten"
+            );
+        }
+    }
+
+    #[test]
+    fn session_campaign_log_matches_the_sample_and_partial_markers_recompute() {
+        let (p, x) = demo_program();
+        let cfg = AnalysisConfig::builder()
+            .seed(99)
+            .quick()
+            .threads(2)
+            .checkpoint_interval(64)
+            .build();
+        let input = Inputs::new().with_var(x, 1);
+        let store = MemoryStageStore::default();
+        let cold = AnalysisSession::pub_tac(&p, &input, &cfg)
+            .with_store(&store)
+            .finish_pub_tac()
+            .unwrap();
+        let digests = StageDigests::compute(&p, &input, &cfg, PipelineKind::PubTac);
+        let digest = digests.get(StageKind::Campaign).unwrap();
+        let logged = store.load_samples(digest).expect("campaign log written");
+        assert_eq!(logged, cold.sample, "the log is the sample");
+
+        // A junk completion marker over a complete log: recomputed, and
+        // the recomputation costs no simulation (the log covers it all).
+        let partial = clone_artifacts(&store, &digests);
+        partial.save_stage(digest, &Json::Null).unwrap();
+        partial
+            .append_samples(digest, 0, cold.sample.len(), &logged)
+            .unwrap();
+        let mut resumed = AnalysisSession::pub_tac(&p, &input, &cfg).with_store(&partial);
+        resumed.advance(StageKind::Campaign).unwrap();
+        assert_eq!(
+            resumed.status(StageKind::Campaign),
+            Some(StageStatus::Computed),
+            "a junk marker is never a cache hit"
+        );
+        assert_eq!(resumed.campaign_sample(), Some(cold.sample.as_slice()));
+    }
+
+    #[test]
+    fn campaign_artifact_is_a_completion_marker_not_the_sample() {
+        let (p, x) = demo_program();
+        let cfg = quick_cfg(42);
+        let input = Inputs::new().with_var(x, 1);
+        let store = MemoryStageStore::default();
+        let mut session = AnalysisSession::pub_tac(&p, &input, &cfg).with_store(&store);
+        session.advance(StageKind::Campaign).unwrap();
+        let sample = session.campaign_sample().unwrap().to_vec();
+        let digests = StageDigests::compute(&p, &input, &cfg, PipelineKind::PubTac);
+        let doc = store
+            .load_stage(digests.get(StageKind::Campaign).unwrap())
+            .unwrap();
+        let data = stage_artifact_data(
+            &doc,
+            StageKind::Campaign,
+            digests.get(StageKind::Campaign).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(data.get("runs").unwrap().as_usize(), Some(sample.len()));
+        assert_eq!(
+            data.get("checksum").unwrap().as_u64(),
+            Some(sample_checksum(&sample))
+        );
+        assert!(
+            data.get("sample").is_none(),
+            "the sample lives in the chunk log, not the JSON artifact"
+        );
+    }
+
+    #[test]
+    fn short_log_under_a_completion_marker_is_not_a_cache_hit() {
+        let (p, x) = demo_program();
+        let cfg = quick_cfg(5);
+        let input = Inputs::new().with_var(x, 1);
+        let store = MemoryStageStore::default();
+        let cold = AnalysisSession::pub_tac(&p, &input, &cfg)
+            .with_store(&store)
+            .finish_pub_tac()
+            .unwrap();
+        let digests = StageDigests::compute(&p, &input, &cfg, PipelineKind::PubTac);
+        let digest = digests.get(StageKind::Campaign).unwrap();
+
+        // Keep every JSON artifact (including the campaign completion
+        // marker) but hand the session a log that stops short of it.
+        let torn = clone_artifacts(&store, &digests);
+        torn.append_samples(
+            digest,
+            0,
+            cold.sample.len(),
+            &cold.sample[..cold.sample.len() - 1],
+        )
+        .unwrap();
+        let mut warm = AnalysisSession::pub_tac(&p, &input, &cfg).with_store(&torn);
+        warm.advance(StageKind::Campaign).unwrap();
+        assert_eq!(
+            warm.status(StageKind::Campaign),
+            Some(StageStatus::Computed),
+            "a short log must force re-execution of the tail"
+        );
+        assert_eq!(warm.campaign_sample(), Some(cold.sample.as_slice()));
+    }
+
+    #[test]
+    fn forced_campaign_still_streams_its_checkpoints() {
+        let (p, x) = demo_program();
+        let cfg = quick_cfg(31);
+        let input = Inputs::new().with_var(x, 1);
+        let store = MemoryStageStore::default();
+        let cold = AnalysisSession::pub_tac(&p, &input, &cfg)
+            .with_store(&store)
+            .finish_pub_tac()
+            .unwrap();
+        let digests = StageDigests::compute(&p, &input, &cfg, PipelineKind::PubTac);
+        let digest = digests.get(StageKind::Campaign).unwrap();
+        store.reset_samples(digest).unwrap();
+
+        // Force re-executes without rehydrating — but must still stream
+        // the log, or the completion marker it saves would be orphaned
+        // and every later warm run a permanent cache miss.
+        let mut forced = AnalysisSession::pub_tac(&p, &input, &cfg)
+            .with_store(&store)
+            .with_force_stage(StageKind::Campaign);
+        forced.advance(StageKind::Campaign).unwrap();
+        assert_eq!(forced.campaign_resumed_runs(), Some(0), "no rehydration");
+        assert_eq!(
+            store.load_samples(digest).unwrap(),
+            cold.sample,
+            "the forced run must regrow the log"
+        );
+        let mut warm = AnalysisSession::pub_tac(&p, &input, &cfg).with_store(&store);
+        warm.advance(StageKind::Campaign).unwrap();
+        assert_eq!(
+            warm.status(StageKind::Campaign),
+            Some(StageStatus::Cached),
+            "the marker saved by a forced run must stay honorable"
+        );
+    }
+
+    #[test]
+    fn sample_checksum_is_order_and_value_sensitive() {
+        assert_eq!(sample_checksum(&[]), sample_checksum(&[]));
+        assert_eq!(sample_checksum(&[1, 2, 3]), sample_checksum(&[1, 2, 3]));
+        assert_ne!(sample_checksum(&[1, 2, 3]), sample_checksum(&[3, 2, 1]));
+        assert_ne!(sample_checksum(&[1, 2, 3]), sample_checksum(&[1, 2]));
+        assert_ne!(sample_checksum(&[0]), sample_checksum(&[]));
     }
 
     #[test]

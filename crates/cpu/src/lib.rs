@@ -366,6 +366,63 @@ pub fn campaign_slice_with(
     out
 }
 
+/// [`campaign_slice_with`] driven in chunks, for drivers that persist
+/// partial campaigns: simulates runs `start .. start + runs`, invoking
+/// `sink` after each completed chunk with the chunk's absolute start index
+/// and its execution times, and returns the whole slice. `sink` returns
+/// whether to keep going — returning `false` (say, the checkpoint medium
+/// failed) stops the simulation immediately instead of burning through
+/// the rest of a possibly enormous campaign, and the truncated slice is
+/// returned as-is for the caller to discard or salvage.
+///
+/// Chunk boundaries land on multiples of `chunk_runs` in *absolute*
+/// run-index space (the final chunk is whatever remains), so a checkpoint
+/// log fed by `sink` has the same chunk layout no matter where the slice
+/// starts — an interrupted-then-resumed campaign replays the grid, not an
+/// offset of it. `chunk_runs == 0` simulates the slice as one chunk. The
+/// returned sample is bit-identical to [`campaign_slice_with`] for every
+/// chunking and parallelism setting (when the sink never aborts).
+#[allow(clippy::too_many_arguments)]
+pub fn campaign_slice_chunked(
+    cfg: &PlatformConfig,
+    trace: &Trace,
+    start: usize,
+    runs: usize,
+    master_seed: u64,
+    par: &Parallelism,
+    chunk_runs: usize,
+    mut sink: impl FnMut(usize, &[u64]) -> bool,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(runs);
+    let end = start + runs;
+    let mut at = start;
+    while at < end {
+        let next = next_chunk_boundary(at, chunk_runs, end);
+        let slice = campaign_slice_with(cfg, trace, at, next - at, master_seed, par);
+        let keep_going = sink(at, &slice);
+        out.extend_from_slice(&slice);
+        at = next;
+        if !keep_going {
+            break;
+        }
+    }
+    out
+}
+
+/// The absolute index ending the chunk that contains run `at`: the next
+/// multiple of `chunk_runs`, capped at `end`; `chunk_runs == 0` means one
+/// single chunk (`end`). This is the one definition of the checkpoint
+/// grid — [`campaign_slice_chunked`] simulates on it and checkpoint
+/// writers frame on it, which is what makes interrupted-then-resumed logs
+/// byte-identical to uninterrupted ones.
+#[must_use]
+pub fn next_chunk_boundary(at: usize, chunk_runs: usize, end: usize) -> usize {
+    match at.checked_div(chunk_runs) {
+        None => end,
+        Some(cell) => ((cell + 1) * chunk_runs).min(end),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +552,62 @@ mod tests {
             },
         ));
         assert_eq!(full, pieced);
+    }
+
+    #[test]
+    fn chunked_slice_matches_serial_and_aligns_chunks_to_the_grid() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGH", 10);
+        let serial = campaign_slice(&cfg, &trace, 130, 470, 17);
+        for (chunk_runs, threads) in [(0, 1), (100, 1), (100, 3), (64, 4), (1000, 2)] {
+            let par = Parallelism {
+                threads,
+                min_parallel_runs: 50,
+            };
+            let mut seen: Vec<(usize, usize)> = Vec::new();
+            let out = campaign_slice_chunked(&cfg, &trace, 130, 470, 17, &par, chunk_runs, {
+                let seen = &mut seen;
+                move |at, chunk| {
+                    seen.push((at, chunk.len()));
+                    true
+                }
+            });
+            assert_eq!(out, serial, "chunk={chunk_runs} threads={threads}");
+            // The sink covers the slice contiguously and, beyond the first
+            // chunk, starts on absolute multiples of the chunk size.
+            let mut at = 130;
+            for (i, &(chunk_at, len)) in seen.iter().enumerate() {
+                assert_eq!(chunk_at, at);
+                if i > 0 && chunk_runs > 0 {
+                    assert_eq!(chunk_at % chunk_runs, 0, "grid-aligned");
+                }
+                at += len;
+            }
+            assert_eq!(at, 600);
+        }
+    }
+
+    #[test]
+    fn chunked_slice_aborts_when_the_sink_says_stop() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGH", 10);
+        let mut calls = 0;
+        let out = campaign_slice_chunked(
+            &cfg,
+            &trace,
+            0,
+            500,
+            17,
+            &Parallelism::serial(),
+            100,
+            |_, _| {
+                calls += 1;
+                calls < 2
+            },
+        );
+        assert_eq!(calls, 2, "the sink is not called after it aborts");
+        assert_eq!(out.len(), 200, "simulation stops at the aborting chunk");
+        assert_eq!(out, campaign_slice(&cfg, &trace, 0, 200, 17));
     }
 
     #[test]

@@ -53,9 +53,13 @@ SWEEP OPTIONS:
     --out DIR           Artifact store directory (default: mbcr-runs/<name>)
     --threads N         Worker threads (default: one per core)
     --force             Re-execute jobs even when cached artifacts exist
+    --checkpoint-interval N  Checkpoint running campaigns every N runs
+                        (0: only at completion; default: 10000). A killed
+                        sweep resumes from its last campaign checkpoint.
 
 REPORT OPTIONS:
-    --out DIR           Artifact store directory to summarize
+    --out DIR           Artifact store directory to summarize; shows
+                        per-campaign progress even without a manifest
 ";
 
 fn main() -> ExitCode {
@@ -294,6 +298,10 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         Some(text) => parse_u64("--threads", text)? as usize,
         None => 0,
     };
+    let checkpoint_interval = match flags.value("--checkpoint-interval")? {
+        Some(text) => Some(parse_u64("--checkpoint-interval", text)? as usize),
+        None => None,
+    };
     let force = flags.switch("--force");
     flags.reject_unknown()?;
     if let Some(extra) = flags.positionals().first() {
@@ -314,15 +322,28 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         spec.seeds.len(),
         store.root().display(),
     );
-    let outcome = run_sweep(&spec, &registry, &store, &RunOptions { threads, force })?;
+    let outcome = run_sweep(
+        &spec,
+        &registry,
+        &store,
+        &RunOptions {
+            threads,
+            force,
+            checkpoint_interval,
+        },
+    )?;
     print!(
         "{}",
-        render_stage_status(
-            outcome
-                .records
-                .iter()
-                .map(|r| (r.label.as_str(), r.status.name()))
-        )
+        render_stage_status(outcome.records.iter().map(|r| {
+            (
+                r.label.as_str(),
+                r.status.name(),
+                r.summary
+                    .as_ref()
+                    .and_then(|s| s.campaign_resumed)
+                    .unwrap_or(0),
+            )
+        }))
     );
     println!();
     print!("{}", render_rows(&outcome.rows));
@@ -358,9 +379,20 @@ fn report(args: &[String]) -> Result<ExitCode, EngineError> {
     flags.reject_unknown()?;
 
     let store = ArtifactStore::open(&out)?;
-    let manifest = store
-        .load_manifest()
-        .ok_or_else(|| EngineError::Spec(format!("no manifest under '{out}'")))?;
+    let progress = store.campaign_progress();
+    let Some(manifest) = store.load_manifest() else {
+        // A sweep killed before its first completion leaves no manifest —
+        // but its streamed campaign logs still tell how far it got.
+        if progress.is_empty() {
+            return Err(EngineError::Spec(format!("no manifest under '{out}'")));
+        }
+        println!(
+            "no manifest under '{out}' (sweep interrupted before completion?); \
+             streamed campaign state:\n"
+        );
+        print!("{}", render_campaign_progress(&progress));
+        return Ok(ExitCode::SUCCESS);
+    };
     let spec_name = manifest
         .get("spec")
         .and_then(|s| s.get("name"))
@@ -397,32 +429,67 @@ fn report(args: &[String]) -> Result<ExitCode, EngineError> {
             (
                 j.get("label").and_then(Json::as_str).unwrap_or("?"),
                 j.get("status").and_then(Json::as_str).unwrap_or("?"),
+                j.get("summary")
+                    .and_then(|s| s.get("campaign_resumed"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
             )
         }))
     );
+    if !progress.is_empty() {
+        println!();
+        print!("{}", render_campaign_progress(&progress));
+    }
     println!();
     print!("{}", render_rows(&aggregate_rows(&summaries)));
     Ok(ExitCode::SUCCESS)
 }
 
-/// Per-stage status: how many nodes of each stage kind executed, came
-/// from cache, or failed — the sweep's resume state at a glance.
-fn render_stage_status<'a>(rows: impl Iterator<Item = (&'a str, &'a str)>) -> String {
-    // Kind name → [executed, cached, failed], in first-seen order.
-    let mut kinds: Vec<(String, [u64; 3])> = Vec::new();
-    for (label, status) in rows {
+/// Per-campaign progress: how many runs of each streamed campaign are
+/// durable on disk, as a percentage of the campaign's resolved length —
+/// readable mid-sweep, after a kill, or once everything completed.
+fn render_campaign_progress(progress: &[mbcr_engine::CampaignProgress]) -> String {
+    let mut out = String::from("campaign progress:\n");
+    for p in progress {
+        // A frame-less log (killed between magic and first frame) has
+        // total == 0: that is zero progress, not completion.
+        let pct = if p.total == 0 {
+            0.0
+        } else {
+            100.0 * p.collected as f64 / p.total as f64
+        };
+        out.push_str(&format!(
+            "  {:016x}  {:>9} / {:<9} {:>5.1}%\n",
+            p.digest, p.collected, p.total, pct
+        ));
+    }
+    out
+}
+
+/// Per-stage status: how many nodes of each stage kind executed (and, of
+/// those, resumed from an intra-campaign checkpoint), came from cache, or
+/// failed — the sweep's resume state at a glance.
+fn render_stage_status<'a>(rows: impl Iterator<Item = (&'a str, &'a str, u64)>) -> String {
+    // Kind name → [executed, resumed, cached, failed], in first-seen order.
+    let mut kinds: Vec<(String, [u64; 4])> = Vec::new();
+    for (label, status, resumed_runs) in rows {
         let kind = label.split('/').next().unwrap_or("?").to_string();
         let at = match kinds.iter().position(|(k, _)| *k == kind) {
             Some(at) => at,
             None => {
-                kinds.push((kind, [0; 3]));
+                kinds.push((kind, [0; 4]));
                 kinds.len() - 1
             }
         };
         match status {
-            "executed" => kinds[at].1[0] += 1,
-            "skipped" => kinds[at].1[1] += 1,
-            "failed" => kinds[at].1[2] += 1,
+            "executed" => {
+                kinds[at].1[0] += 1;
+                if resumed_runs > 0 {
+                    kinds[at].1[1] += 1;
+                }
+            }
+            "skipped" => kinds[at].1[2] += 1,
+            "failed" => kinds[at].1[3] += 1,
             _ => {}
         }
     }
@@ -432,10 +499,10 @@ fn render_stage_status<'a>(rows: impl Iterator<Item = (&'a str, &'a str)>) -> St
         .max()
         .unwrap_or(5)
         .max("stage".len());
-    let mut out = format!("{:<width$}  executed  cached  failed\n", "stage");
-    for (kind, [executed, cached, failed]) in &kinds {
+    let mut out = format!("{:<width$}  executed  resumed  cached  failed\n", "stage");
+    for (kind, [executed, resumed, cached, failed]) in &kinds {
         out.push_str(&format!(
-            "{kind:<width$}  {executed:>8}  {cached:>6}  {failed:>6}\n"
+            "{kind:<width$}  {executed:>8}  {resumed:>7}  {cached:>6}  {failed:>6}\n"
         ));
     }
     out

@@ -15,7 +15,7 @@ use crate::{AnalysisKind, GeometrySpec};
 
 /// Schema tag baked into job keys and artifacts; bump on layout changes to
 /// invalidate old artifact stores wholesale.
-pub const SCHEMA: &str = "mbcr-engine/2";
+pub const SCHEMA: &str = "mbcr-engine/3";
 
 /// What one job computes. Since the stage-graph redesign the engine
 /// schedules at *stage* granularity: one node per pipeline stage, plus the
@@ -250,6 +250,10 @@ pub struct JobSummary {
     pub campaign_runs: Option<u64>,
     /// Whether the campaign hit the configured cap.
     pub campaign_capped: Option<bool>,
+    /// Leading campaign runs restored from a checkpoint log instead of
+    /// simulated (campaign stage nodes that executed; `0` when the
+    /// campaign started from the convergence boundary).
+    pub campaign_resumed: Option<u64>,
     /// Whether MBPTA convergence was reached (original jobs).
     pub converged: Option<bool>,
     /// Headline pWCET at the spec's exceedance probability.
@@ -277,6 +281,7 @@ impl_serialize_struct!(JobSummary {
     r_pub_tac,
     campaign_runs,
     campaign_capped,
+    campaign_resumed,
     converged,
     pwcet,
     pwcet_pub,
@@ -303,6 +308,7 @@ impl JobSummary {
             r_pub_tac: None,
             campaign_runs: None,
             campaign_capped: None,
+            campaign_resumed: None,
             converged: None,
             pwcet: f64::NAN,
             pwcet_pub: None,
@@ -331,6 +337,7 @@ impl JobSummary {
             r_pub_tac: opt_u64("r_pub_tac"),
             campaign_runs: opt_u64("campaign_runs"),
             campaign_capped: v.get("campaign_capped").and_then(Json::as_bool),
+            campaign_resumed: opt_u64("campaign_resumed"),
             converged: v.get("converged").and_then(Json::as_bool),
             pwcet: v.get("pwcet").and_then(Json::as_f64).unwrap_or(f64::NAN),
             pwcet_pub: v.get("pwcet_pub").and_then(Json::as_f64),

@@ -48,11 +48,11 @@ mod store;
 mod sweep;
 
 pub use job::{JobGraph, JobKind, JobSpec, JobSummary, SCHEMA};
-pub use mbcr::stage::{StageKind, StageStatus};
+pub use mbcr::stage::{StageKind, StageStatus, StageStore};
 pub use pool::execute_dag;
 pub use registry::Registry;
 pub use spec::{AnalysisKind, GeometrySpec, InputSelection, SweepSpec};
-pub use store::{ArtifactStore, Table2Row};
+pub use store::{ArtifactStore, CampaignProgress, SampleLog, SampleLogContents, Table2Row};
 pub use sweep::{
     aggregate_rows, expand, render_rows, run_sweep, JobRecord, JobStatus, RunOptions, SweepOutcome,
 };

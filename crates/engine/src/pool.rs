@@ -100,18 +100,20 @@ where
                 }
                 // Own queue first (LIFO: freshest unblocked work, warm
                 // caches), then steal the oldest entry from a sibling.
-                let job = queues[me]
-                    .lock()
-                    .expect("queue poisoned")
-                    .pop_back()
-                    .or_else(|| {
-                        (1..threads).find_map(|offset| {
-                            queues[(me + offset) % threads]
-                                .lock()
-                                .expect("queue poisoned")
-                                .pop_front()
-                        })
-                    });
+                // The own-queue guard must drop before stealing: chaining
+                // `.or_else` onto the locked pop keeps the guard alive
+                // across the sibling locks, and idle workers stealing in
+                // a ring then deadlock (w0 holds q0 wants q1, w1 holds q1
+                // wants q2, ... wN holds qN wants q0).
+                let own = queues[me].lock().expect("queue poisoned").pop_back();
+                let job = own.or_else(|| {
+                    (1..threads).find_map(|offset| {
+                        queues[(me + offset) % threads]
+                            .lock()
+                            .expect("queue poisoned")
+                            .pop_front()
+                    })
+                });
                 let Some(job) = job else {
                     let guard = idle.0.lock().expect("idle lock poisoned");
                     if remaining.load(Ordering::Acquire) == 0 {
@@ -205,6 +207,30 @@ mod tests {
         let out = execute_dag(&deps, 8, |i| i as u64);
         assert_eq!(out.len(), n);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn idle_workers_stealing_in_a_ring_do_not_deadlock() {
+        // One long chain keeps at most one job runnable, so every other
+        // worker constantly runs dry and goes stealing — the shape that
+        // deadlocked when the own-queue guard was still held across the
+        // sibling locks (reliably so on a single-CPU host). The watchdog
+        // turns a regression into a failure instead of a hung suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for _round in 0..50 {
+                let n = 40;
+                let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+                for (i, d) in deps.iter_mut().enumerate().skip(1) {
+                    *d = vec![i - 1];
+                }
+                let out = execute_dag(&deps, 8, |i| i);
+                assert_eq!(out.len(), n);
+            }
+            tx.send(()).expect("watchdog receiver gone");
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .expect("execute_dag deadlocked under steal contention");
     }
 
     #[test]

@@ -26,13 +26,17 @@ use crate::{
 };
 
 /// Execution options orthogonal to the spec (they never affect results,
-/// only scheduling and caching).
+/// only scheduling, durability and caching).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunOptions {
     /// Worker threads for the job pool; `0` means one per core.
     pub threads: usize,
     /// Re-execute jobs even when a cached artifact exists.
     pub force: bool,
+    /// Override [`mbcr::AnalysisConfig::checkpoint_interval`]: checkpoint
+    /// running campaigns to their chunk log every this many runs (`0`
+    /// checkpoints only at completion). `None` keeps the config default.
+    pub checkpoint_interval: Option<usize>,
 }
 
 /// Terminal state of one job.
@@ -344,7 +348,10 @@ pub fn run_sweep(
                 keys.push(job.key(digest));
             }
             JobKind::Stage { .. } => {
-                let cfg = spec.analysis_config(&job.geometry, job.job_seed())?;
+                let mut cfg = spec.analysis_config(&job.geometry, job.job_seed())?;
+                if let Some(interval) = opts.checkpoint_interval {
+                    cfg.checkpoint_interval = interval;
+                }
                 let digest = graph.digests[i].expect("stage nodes carry digests");
                 keys.push(job.key(digest));
                 cfgs.push(Some(cfg));
@@ -382,6 +389,19 @@ pub fn run_sweep(
                 (JobKind::Stage { stage, .. }, Some(digest)) => {
                     load_valid_stage(store, *stage, digest)
                         .filter(|_| *stage != StageKind::Fit || store.has_artifact(key))
+                        // A campaign completion marker without a chunk log
+                        // that covers it and matches its checksum (torn,
+                        // truncated, pruned, or divergent) is not cached —
+                        // the node re-executes and resumes from whatever
+                        // valid log prefix exists. The validation is the
+                        // session's own (`campaign_marker_sample`), so the
+                        // scheduler and the session can never disagree on
+                        // what a campaign cache hit is.
+                        .filter(|data| {
+                            *stage != StageKind::Campaign
+                                || mbcr::stage::campaign_marker_sample(data, store, digest)
+                                    .is_some()
+                        })
                         .map(|data| summary_from_stage_artifact(job, key, *stage, &data))
                 }
                 _ => store
@@ -596,6 +616,7 @@ fn execute_job(
                 }
                 StageKind::Campaign => {
                     summary.campaign_runs = session.campaign_sample().map(|s| s.len() as u64);
+                    summary.campaign_resumed = session.campaign_resumed_runs().map(|n| n as u64);
                 }
                 StageKind::Pub => {}
             }

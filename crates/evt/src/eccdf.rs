@@ -83,9 +83,20 @@ impl Eccdf {
             "exceedance probability must be in (0, 1]"
         );
         let n = self.sorted.len();
-        // Need #{ > x } <= p*n, i.e. at least n - floor(p*n) samples <= x.
-        let allowed_above = (p * n as f64).floor() as usize;
-        let idx = n - allowed_above.min(n);
+        // Need #{ > x } <= p*n: the largest count k with k/n <= p may
+        // leave more than k samples above x only if x is too small, so
+        // index n - k is the answer. `floor(p * n)` alone under-counts k
+        // when the product lands one ULP below an integer (0.29 * 100 ==
+        // 28.999999999999996), so correct the seed by the exact k/n <= p
+        // comparison in both directions.
+        let mut allowed_above = ((p * n as f64).floor() as usize).min(n);
+        while allowed_above < n && (allowed_above + 1) as f64 / n as f64 <= p {
+            allowed_above += 1;
+        }
+        while allowed_above > 0 && allowed_above as f64 / n as f64 > p {
+            allowed_above -= 1;
+        }
+        let idx = n - allowed_above;
         self.sorted[idx.min(n - 1)]
     }
 
@@ -119,8 +130,10 @@ impl Eccdf {
     pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
         let max_points = max_points.max(2);
-        let step = (n / max_points).max(1);
-        let mut out = Vec::with_capacity(max_points + 1);
+        // Reserve one slot for the appended maximum: ceil(n / step) sampled
+        // points never exceed max_points - 1, so the total honors the cap.
+        let step = n.div_ceil(max_points - 1).max(1);
+        let mut out = Vec::with_capacity(max_points);
         let mut i = 0;
         while i < n {
             out.push((self.sorted[i], (n - i - 1) as f64 / n as f64));
@@ -184,6 +197,33 @@ mod tests {
     }
 
     #[test]
+    fn quantile_survives_floats_that_land_just_below_an_integer() {
+        // 0.29 * 100 == 28.999999999999996: a plain floor would allow only
+        // 28 samples above and return sorted[72] instead of sorted[71].
+        let sample: Vec<u64> = (1..=100).collect();
+        let e = Eccdf::from_u64(&sample);
+        assert_eq!(e.quantile(0.29), 72.0, "29 samples (73..=100) may exceed");
+        assert_eq!(e.exceedance(72.0), 0.28);
+
+        // Adversarial (p, n) pairs checked against an exact integer
+        // reference: the largest k with k/n <= p, found by linear search.
+        for n in [1usize, 3, 7, 10, 50, 100, 1000] {
+            let sample: Vec<u64> = (0..n as u64).collect();
+            let e = Eccdf::from_u64(&sample);
+            for p in [0.01, 0.07, 0.1, 0.13, 0.29, 0.3, 0.58, 0.7, 0.999, 1.0] {
+                let k = (0..=n)
+                    .rev()
+                    .find(|&k| k as f64 / n as f64 <= p)
+                    .expect("k = 0 always qualifies");
+                let expected = e.sorted_values()[(n - k).min(n - 1)];
+                assert_eq!(e.quantile(p), expected, "p={p}, n={n}");
+                // The defining inequality, on the nose.
+                assert!(e.exceedance(e.quantile(p)) <= p, "p={p}, n={n}");
+            }
+        }
+    }
+
+    #[test]
     fn quantile_with_ties() {
         let e = Eccdf::from_u64(&[5, 5, 5, 9]);
         assert_eq!(e.quantile(0.25), 9.0);
@@ -218,12 +258,33 @@ mod tests {
         let sample: Vec<u64> = (0..1000).collect();
         let e = Eccdf::from_u64(&sample);
         let pts = e.points(50);
-        assert!(pts.len() <= 52);
+        assert!(pts.len() <= 50, "the documented cap is a hard bound");
         assert_eq!(pts[0].0, 0.0);
         assert_eq!(pts.last().unwrap().0, 999.0);
         assert_eq!(pts.last().unwrap().1, 0.0);
         // Probabilities non-increasing.
         assert!(pts.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn points_honor_the_cap_for_awkward_sizes() {
+        // Sizes that used to produce max_points + 2 (step truncation plus
+        // the appended extreme), across a spread of caps.
+        for n in [1usize, 2, 3, 49, 50, 51, 52, 100, 101, 999, 1000, 1001] {
+            let sample: Vec<u64> = (0..n as u64).collect();
+            let e = Eccdf::from_u64(&sample);
+            for cap in [2usize, 3, 5, 50, 52] {
+                let pts = e.points(cap);
+                assert!(
+                    pts.len() <= cap,
+                    "n={n}, cap={cap}: got {} points",
+                    pts.len()
+                );
+                assert_eq!(pts[0].0, 0.0, "n={n}, cap={cap}");
+                assert_eq!(pts.last().unwrap().0, (n - 1) as f64, "n={n}, cap={cap}");
+                assert_eq!(pts.last().unwrap().1, 0.0);
+            }
+        }
     }
 
     #[test]

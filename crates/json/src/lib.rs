@@ -678,8 +678,14 @@ impl Parser<'_> {
 /// [`FNV_OFFSET`] (or any prior `fnv1a` output, to chain).
 #[must_use]
 pub fn fnv1a(seed: u64, text: &str) -> u64 {
+    fnv1a_bytes(seed, text.as_bytes())
+}
+
+/// [`fnv1a`] over raw bytes (sample checksums, binary artifacts).
+#[must_use]
+pub fn fnv1a_bytes(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = seed;
-    for b in text.bytes() {
+    for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }

@@ -1,0 +1,403 @@
+//! Mid-campaign checkpoint/resume: the tentpole guarantees of the
+//! streamed campaign chunk log.
+//!
+//! * a torn or truncated final chunk is discarded and is never a cache
+//!   hit — the campaign stage re-executes and resumes from the valid
+//!   prefix;
+//! * an interrupted-then-resumed campaign is bit-identical to an
+//!   uninterrupted `campaign()` at *any* interrupt byte and thread
+//!   count, and even reconstructs the log file byte-for-byte (frames are
+//!   aligned to the absolute checkpoint grid, not to where the resume
+//!   happened to start);
+//! * a killed `mbcr sweep` re-simulates at most one checkpoint interval
+//!   and reproduces every artifact of a never-killed sweep exactly.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mbcr::stage::{AnalysisSession, PipelineKind, StageDigests, StageKind, StageStatus};
+use mbcr::AnalysisConfig;
+use mbcr_engine::{
+    expand, run_sweep, AnalysisKind, ArtifactStore, JobStatus, Registry, RunOptions, SampleLog,
+    StageStore as _, SweepSpec,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbcr-resume-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic byte-offset generator (SplitMix64) so the interrupt
+/// sweep probes reproducible, scattered cut points.
+fn cuts(len: usize, count: usize, mut state: u64) -> Vec<usize> {
+    let mut out = vec![0, 4, 8, 9, len.saturating_sub(1)];
+    for _ in 0..count {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        out.push((z ^ (z >> 31)) as usize % len);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Property: for any interrupt byte offset in the campaign chunk log and
+/// any thread count, a resumed session produces the same sample as the
+/// uninterrupted run — and completes the log to the same bytes.
+#[test]
+fn interrupted_campaign_resumes_bit_identically_at_any_cut_point() {
+    let b = mbcr_malardalen::bs::benchmark();
+    let cfg = AnalysisConfig::builder()
+        .seed(3)
+        .quick()
+        .threads(2)
+        .checkpoint_interval(128)
+        .build();
+
+    // Ground truth: a storeless (never-checkpointed) run.
+    let truth = AnalysisSession::pub_tac(&b.program, &b.default_input, &cfg)
+        .finish_pub_tac()
+        .expect("storeless session");
+    assert!(
+        truth.sample.len() > truth.r_pub,
+        "the cell must have a TAC-extended campaign tail to interrupt"
+    );
+
+    let dir = tmp_dir("any-cut");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let cold = AnalysisSession::pub_tac(&b.program, &b.default_input, &cfg)
+        .with_store(&store)
+        .finish_pub_tac()
+        .expect("cold session");
+    assert_eq!(cold.sample, truth.sample);
+
+    let digests = StageDigests::compute(&b.program, &b.default_input, &cfg, PipelineKind::PubTac);
+    let digest = digests.get(StageKind::Campaign).expect("campaign digest");
+    let log_path = store.stage_samples_path(digest);
+    let pristine = fs::read(&log_path).expect("pristine log bytes");
+
+    for cut in cuts(pristine.len(), 10, 0xC0FFEE) {
+        for threads in [1usize, 3] {
+            fs::write(&log_path, &pristine[..cut]).expect("interrupt the log");
+            let valid_prefix = SampleLog::at(&log_path)
+                .load()
+                .map_or(0, |c| c.samples.len());
+            assert!(
+                valid_prefix <= truth.sample.len(),
+                "a truncated log never decodes beyond the campaign"
+            );
+
+            let recfg = AnalysisConfig {
+                threads,
+                ..cfg.clone()
+            };
+            let mut session =
+                AnalysisSession::pub_tac(&b.program, &b.default_input, &recfg).with_store(&store);
+            session.advance(StageKind::Campaign).expect("resume");
+            assert_eq!(
+                session.status(StageKind::Campaign),
+                Some(StageStatus::Computed),
+                "cut {cut}: a truncated log under the completion marker \
+                 must never be a cache hit"
+            );
+            if valid_prefix > truth.r_pub {
+                assert_eq!(
+                    session.campaign_resumed_runs(),
+                    Some(valid_prefix),
+                    "cut {cut}: the valid log prefix seeds the resume"
+                );
+            }
+            assert_eq!(
+                session.campaign_sample(),
+                Some(truth.sample.as_slice()),
+                "cut {cut}, threads {threads}: resume must be bit-identical"
+            );
+            assert_eq!(
+                fs::read(&log_path).expect("resumed log bytes"),
+                pristine,
+                "cut {cut}, threads {threads}: the completed log must \
+                 reconstruct the uninterrupted byte stream"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Changing `checkpoint_interval` across a resume must never fail or
+/// change results — including the once-lethal shape where the existing
+/// log is shorter than the convergence prefix, so the resumed writer
+/// re-frames runs the old interval already made durable (partial-overlap
+/// appends keep the durable prefix and extend it).
+#[test]
+fn interval_change_across_resume_is_harmless() {
+    let b = mbcr_malardalen::bs::benchmark();
+    let cfg_at = |interval: usize| {
+        AnalysisConfig::builder()
+            .seed(3)
+            .quick()
+            .threads(2)
+            .checkpoint_interval(interval)
+            .build()
+    };
+    let truth = AnalysisSession::pub_tac(&b.program, &b.default_input, &cfg_at(128))
+        .finish_pub_tac()
+        .expect("storeless session");
+
+    let cfg = cfg_at(128);
+    let digests = StageDigests::compute(&b.program, &b.default_input, &cfg, PipelineKind::PubTac);
+    let digest = digests.get(StageKind::Campaign).expect("campaign digest");
+    for (seed_runs, new_interval) in [
+        (128, 300),             // log shorter than the converge prefix, coarser grid
+        (128, 0),               // ... and checkpoints disabled
+        (truth.r_pub + 64, 96), // log past the prefix, misaligned finer grid
+    ] {
+        let dir = tmp_dir(&format!("interval-change-{seed_runs}-{new_interval}"));
+        let store = ArtifactStore::open(&dir).expect("open store");
+        store
+            .append_samples(digest, 0, truth.sample.len(), &truth.sample[..seed_runs])
+            .expect("seed the log under the old interval");
+        let recfg = cfg_at(new_interval);
+        let mut session =
+            AnalysisSession::pub_tac(&b.program, &b.default_input, &recfg).with_store(&store);
+        session
+            .advance(StageKind::Campaign)
+            .expect("an interval change must never fail the campaign");
+        assert_eq!(
+            session.campaign_sample(),
+            Some(truth.sample.as_slice()),
+            "seed_runs={seed_runs}, new_interval={new_interval}"
+        );
+        assert_eq!(
+            store.load_samples(digest).expect("completed log"),
+            truth.sample,
+            "the log ends complete whatever the grids were"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// A CRC-valid log whose *content* diverges from its digest (corruption
+/// past the CRC, a foreign file) is discarded and rewritten from scratch
+/// — not left behind to poison every later warm run.
+#[test]
+fn divergent_log_content_is_reset_and_rewritten() {
+    let b = mbcr_malardalen::bs::benchmark();
+    let cfg = AnalysisConfig::builder()
+        .seed(9)
+        .quick()
+        .threads(2)
+        .checkpoint_interval(256)
+        .build();
+    let dir = tmp_dir("divergent");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let cold = AnalysisSession::pub_tac(&b.program, &b.default_input, &cfg)
+        .with_store(&store)
+        .finish_pub_tac()
+        .expect("cold session");
+    let digests = StageDigests::compute(&b.program, &b.default_input, &cfg, PipelineKind::PubTac);
+    let digest = digests.get(StageKind::Campaign).expect("campaign digest");
+
+    // Plant a well-formed log with wrong sample values under the digest.
+    store.reset_samples(digest).expect("drop the real log");
+    let mut wrong = cold.sample.clone();
+    for v in &mut wrong {
+        *v ^= 1;
+    }
+    store
+        .append_samples(digest, 0, wrong.len(), &wrong)
+        .expect("plant divergent log");
+
+    let mut session =
+        AnalysisSession::pub_tac(&b.program, &b.default_input, &cfg).with_store(&store);
+    session.advance(StageKind::Campaign).expect("recover");
+    assert_eq!(
+        session.status(StageKind::Campaign),
+        Some(StageStatus::Computed),
+        "divergent content is never a cache hit"
+    );
+    assert_eq!(session.campaign_sample(), Some(cold.sample.as_slice()));
+    assert_eq!(
+        store.load_samples(digest).expect("rewritten log"),
+        cold.sample,
+        "the poisoned log must be replaced by the true sample, so the \
+         next warm run is a cache hit again"
+    );
+    let mut warm = AnalysisSession::pub_tac(&b.program, &b.default_input, &cfg).with_store(&store);
+    warm.advance(StageKind::Campaign).expect("warm");
+    assert_eq!(warm.status(StageKind::Campaign), Some(StageStatus::Cached));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The engine-level kill story: a sweep killed mid-campaign re-runs to a
+/// store byte-identical to a never-killed sweep, re-simulating at most
+/// one checkpoint interval.
+#[test]
+fn killed_sweep_resumes_within_one_interval_and_reproduces_artifacts() {
+    const INTERVAL: usize = 256;
+    let registry = Registry::malardalen();
+    let spec = SweepSpec::new("resume-e2e")
+        .benchmarks(["bs"])
+        .seeds([31])
+        .analyses([AnalysisKind::PubTac]);
+    let opts = RunOptions {
+        threads: 4,
+        force: false,
+        checkpoint_interval: Some(INTERVAL),
+    };
+
+    // Reference: a sweep that was never interrupted.
+    let dir_a = tmp_dir("clean");
+    let store_a = ArtifactStore::open(&dir_a).expect("open clean store");
+    let clean = run_sweep(&spec, &registry, &store_a, &opts).expect("clean sweep");
+    assert_eq!(clean.failed, 0);
+
+    // Same sweep in a second store, then simulate a SIGKILL mid-campaign:
+    // tear the chunk log inside its final frame and delete everything the
+    // killed process would not have written yet (the campaign completion
+    // marker, the downstream fit artifacts, manifest and table).
+    let dir_b = tmp_dir("killed");
+    let store_b = ArtifactStore::open(&dir_b).expect("open killed store");
+    run_sweep(&spec, &registry, &store_b, &opts).expect("to-be-killed sweep");
+    let graph = expand(&spec, &registry).expect("expand");
+    let digest_of = |stage: StageKind| {
+        graph
+            .jobs
+            .iter()
+            .enumerate()
+            .find(|(_, j)| j.kind.stage() == Some(stage))
+            .and_then(|(i, _)| graph.digests[i])
+            .expect("stage digest")
+    };
+    let campaign_digest = digest_of(StageKind::Campaign);
+    let log_path = store_b.stage_samples_path(campaign_digest);
+    let pristine = fs::read(&log_path).expect("log bytes");
+    let total = store_b
+        .load_samples(campaign_digest)
+        .expect("complete log")
+        .len();
+    fs::write(&log_path, &pristine[..pristine.len() - 7]).expect("tear the final frame");
+    let valid = store_b
+        .load_samples(campaign_digest)
+        .expect("torn log still loads")
+        .len();
+    assert!(valid < total, "the torn final frame must be discarded");
+    assert!(
+        total - valid <= INTERVAL,
+        "at most one checkpoint interval may be lost"
+    );
+    fs::remove_file(store_b.stage_path(campaign_digest)).expect("drop completion marker");
+    fs::remove_file(store_b.stage_path(digest_of(StageKind::Fit))).expect("drop fit artifact");
+    fs::remove_dir_all(dir_b.join("jobs")).expect("drop job artifacts");
+    fs::remove_file(store_b.manifest_path()).expect("drop manifest");
+    fs::remove_file(store_b.table2_path()).expect("drop table2");
+
+    // The re-run resumes: upstream stages cached, the campaign executes
+    // again but restores everything up to the last checkpoint.
+    let resumed = run_sweep(&spec, &registry, &store_b, &opts).expect("resumed sweep");
+    assert_eq!(resumed.failed, 0);
+    for record in &resumed.records {
+        let stage = record.label.split('/').next().unwrap_or("?");
+        let expect_executed = matches!(stage, "pub_tac:campaign" | "pub_tac:fit");
+        let expected = if expect_executed {
+            JobStatus::Executed
+        } else {
+            JobStatus::Skipped
+        };
+        assert_eq!(record.status, expected, "{}", record.label);
+        if stage == "pub_tac:campaign" {
+            let summary = record.summary.as_ref().expect("campaign summary");
+            assert_eq!(
+                summary.campaign_resumed,
+                Some(valid as u64),
+                "the status table must report the checkpoint resume"
+            );
+        }
+    }
+
+    // Every sample-bearing artifact is byte-identical to the clean run.
+    assert_eq!(
+        fs::read(&log_path).expect("resumed log"),
+        fs::read(store_a.stage_samples_path(campaign_digest)).expect("clean log"),
+        "chunk logs must match byte-for-byte"
+    );
+    let fit_key = &resumed
+        .records
+        .iter()
+        .find(|r| r.label.starts_with("pub_tac:fit/"))
+        .expect("fit record")
+        .key;
+    assert_eq!(
+        fs::read(store_b.sample_path(fit_key)).expect("resumed job log"),
+        fs::read(store_a.sample_path(fit_key)).expect("clean job log"),
+        "job sample logs must match byte-for-byte"
+    );
+    assert_eq!(
+        fs::read_to_string(store_b.table2_path()).expect("resumed table2"),
+        fs::read_to_string(store_a.table2_path()).expect("clean table2"),
+        "the resumed sweep reproduces Table 2 exactly"
+    );
+    assert_eq!(resumed.rows, clean.rows);
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+/// A completion marker whose chunk log disappeared entirely (pruned
+/// `stages/*.samples.slog`) is not a cache hit either: the campaign
+/// re-simulates from the convergence boundary and regrows the log.
+#[test]
+fn pruned_chunk_log_regenerates_instead_of_reporting_cached() {
+    let registry = Registry::malardalen();
+    let spec = SweepSpec::new("pruned-slog")
+        .benchmarks(["bs"])
+        .seeds([17])
+        .analyses([AnalysisKind::PubTac]);
+    let opts = RunOptions {
+        threads: 2,
+        force: false,
+        checkpoint_interval: Some(512),
+    };
+    let dir = tmp_dir("pruned-slog");
+    let store = ArtifactStore::open(&dir).expect("open store");
+    let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
+    assert_eq!(cold.failed, 0);
+
+    let graph = expand(&spec, &registry).expect("expand");
+    let campaign_digest = graph
+        .jobs
+        .iter()
+        .enumerate()
+        .find(|(_, j)| j.kind.stage() == Some(StageKind::Campaign))
+        .and_then(|(i, _)| graph.digests[i])
+        .expect("campaign digest");
+    let before = fs::read(store.stage_samples_path(campaign_digest)).expect("log bytes");
+    fs::remove_file(store.stage_samples_path(campaign_digest)).expect("prune log");
+
+    let rerun = run_sweep(&spec, &registry, &store, &opts).expect("rerun");
+    assert_eq!(rerun.failed, 0);
+    let campaign = rerun
+        .records
+        .iter()
+        .find(|r| r.label.starts_with("pub_tac:campaign/"))
+        .expect("campaign record");
+    assert_eq!(
+        campaign.status,
+        JobStatus::Executed,
+        "a marker without its log must re-execute"
+    );
+    assert_eq!(
+        campaign.summary.as_ref().and_then(|s| s.campaign_resumed),
+        Some(0),
+        "nothing to resume from: the log was gone"
+    );
+    assert_eq!(
+        fs::read(store.stage_samples_path(campaign_digest)).expect("regrown log"),
+        before,
+        "the regrown log is byte-identical"
+    );
+    assert_eq!(rerun.rows, cold.rows);
+    let _ = fs::remove_dir_all(&dir);
+}

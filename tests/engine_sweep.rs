@@ -45,6 +45,7 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
     let opts = RunOptions {
         threads: 4,
         force: false,
+        checkpoint_interval: None,
     };
 
     // Stage-granular expansion over 2 cells (2 geometries × 1 seed):
@@ -63,10 +64,20 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
     // full-result job JSON (plus samples for pub_tac) for terminal nodes.
     assert!(store.manifest_path().is_file(), "manifest.json missing");
     assert!(store.table2_path().is_file(), "table2.csv missing");
-    let stage_artifacts = fs::read_dir(dir.join("stages"))
+    let stage_entries: Vec<String> = fs::read_dir(dir.join("stages"))
         .expect("stages dir")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    let stage_artifacts = stage_entries
+        .iter()
+        .filter(|n| n.ends_with(".json"))
         .count();
     assert_eq!(stage_artifacts, 28, "one artifact per stage node");
+    let stage_logs = stage_entries
+        .iter()
+        .filter(|n| n.ends_with(".samples.slog"))
+        .count();
+    assert_eq!(stage_logs, 4, "one streamed chunk log per campaign node");
     for record in &cold.records {
         let stage = record.label.rsplit('/').next().unwrap_or("");
         let terminal = record.label.starts_with("multipath/") || record.label.contains(":fit/");
@@ -77,17 +88,17 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
             record.label
         );
     }
-    let sample_csvs = fs::read_dir(dir.join("jobs"))
+    let sample_logs = fs::read_dir(dir.join("jobs"))
         .expect("jobs dir")
         .filter(|e| {
             e.as_ref()
                 .unwrap()
                 .file_name()
                 .to_string_lossy()
-                .ends_with(".samples.csv")
+                .ends_with(".samples.slog")
         })
         .count();
-    assert_eq!(sample_csvs, 4, "one sample CSV per pub_tac fit node");
+    assert_eq!(sample_logs, 4, "one sample chunk log per pub_tac fit node");
 
     // Table 2 layout: one row per (input, geometry) cell, every paper
     // column populated.
@@ -133,6 +144,7 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
         &RunOptions {
             threads: 4,
             force: true,
+            checkpoint_interval: None,
         },
     )
     .expect("forced sweep");
@@ -160,6 +172,7 @@ fn campaign_cap_change_resumes_mid_analysis() {
     let opts = RunOptions {
         threads: 4,
         force: false,
+        checkpoint_interval: None,
     };
 
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
@@ -219,6 +232,7 @@ fn two_benchmark_sweep_covers_both_and_changing_spec_invalidates() {
     let opts = RunOptions {
         threads: 4,
         force: false,
+        checkpoint_interval: None,
     };
 
     // Per benchmark: shared pub + trace, then tac×2 + converge +
@@ -284,6 +298,7 @@ fn multipath_combination_is_the_min_over_inputs() {
         &RunOptions {
             threads: 2,
             force: false,
+            checkpoint_interval: None,
         },
     )
     .expect("sweep");
@@ -319,6 +334,7 @@ fn pruned_jobs_dir_regenerates_full_results() {
     let opts = RunOptions {
         threads: 2,
         force: false,
+        checkpoint_interval: None,
     };
 
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
@@ -362,6 +378,7 @@ fn torn_stage_artifact_is_not_a_cache_hit() {
     let opts = RunOptions {
         threads: 2,
         force: false,
+        checkpoint_interval: None,
     };
 
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
