@@ -133,6 +133,22 @@ impl StageKind {
             StageKind::Fit => "fit",
         }
     }
+
+    /// Inverse of [`StageKind::name`] — the wire/manifest deserialization
+    /// used by distributed executors. `None` for unknown spellings.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        Some(match text {
+            "pub" => StageKind::Pub,
+            "trace" => StageKind::Trace,
+            "tac_il1" => StageKind::TacIl1,
+            "tac_dl1" => StageKind::TacDl1,
+            "converge" => StageKind::Converge,
+            "campaign" => StageKind::Campaign,
+            "fit" => StageKind::Fit,
+            _ => return None,
+        })
+    }
 }
 
 /// Which stage set an analysis runs.

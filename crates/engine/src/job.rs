@@ -179,6 +179,54 @@ impl JobSpec {
         let hi = fnv1a(0x6C62_272E_07BB_0142, &canonical);
         format!("{hi:016x}{lo:016x}")
     }
+
+    /// The job's wire form — everything a remote executor needs to
+    /// reconstruct the `JobSpec` (and therefore its
+    /// [`job_seed`](JobSpec::job_seed) and digests) exactly.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("benchmark".to_string(), self.benchmark.as_str().into()),
+            (
+                "geometry".to_string(),
+                mbcr_json::Serialize::to_json(&self.geometry),
+            ),
+            ("master_seed".to_string(), Json::UInt(self.master_seed)),
+            ("analysis".to_string(), self.kind.analysis().name().into()),
+        ];
+        if let JobKind::Stage { stage, input, .. } = &self.kind {
+            members.push(("stage".to_string(), stage.name().into()));
+            members.push(("input".to_string(), mbcr_json::Serialize::to_json(input)));
+        }
+        Json::Obj(members)
+    }
+
+    /// Inverse of [`JobSpec::to_json`]. `None` on missing or malformed
+    /// fields — the receiver treats such a frame as a protocol error.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let benchmark = v.get("benchmark")?.as_str()?.to_string();
+        let geometry = crate::GeometrySpec::from_json(v.get("geometry")?).ok()?;
+        let master_seed = v.get("master_seed")?.as_u64()?;
+        let analysis = crate::AnalysisKind::parse(v.get("analysis")?.as_str()?).ok()?;
+        let kind = match analysis {
+            crate::AnalysisKind::Multipath => JobKind::MultipathCombine,
+            analysis => JobKind::Stage {
+                analysis,
+                stage: StageKind::parse(v.get("stage")?.as_str()?)?,
+                input: match v.get("input") {
+                    None | Some(Json::Null) => None,
+                    Some(other) => Some(other.as_str()?.to_string()),
+                },
+            },
+        };
+        Some(Self {
+            benchmark,
+            geometry,
+            master_seed,
+            kind,
+        })
+    }
 }
 
 /// The DAG a [`crate::SweepSpec`] expands into: `deps[i]` lists the job

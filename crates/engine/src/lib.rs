@@ -43,6 +43,7 @@ use std::fmt;
 mod job;
 mod pool;
 mod registry;
+mod sched;
 mod spec;
 mod store;
 mod sweep;
@@ -51,10 +52,14 @@ pub use job::{JobGraph, JobKind, JobSpec, JobSummary, SCHEMA};
 pub use mbcr::stage::{StageKind, StageStatus, StageStore};
 pub use pool::execute_dag;
 pub use registry::Registry;
+pub use sched::JobScheduler;
 pub use spec::{AnalysisKind, GeometrySpec, InputSelection, SweepSpec};
-pub use store::{ArtifactStore, CampaignProgress, SampleLog, SampleLogContents, Table2Row};
+pub use store::{
+    ArtifactStore, CampaignProgress, MergeStats, SampleLog, SampleLogContents, Table2Row,
+};
 pub use sweep::{
-    aggregate_rows, expand, render_rows, run_sweep, JobRecord, JobStatus, RunOptions, SweepOutcome,
+    aggregate_rows, execute_combine, execute_stage, expand, finalize_sweep, render_rows, run_sweep,
+    JobRecord, JobStatus, RunOptions, StageOutcome, SweepOutcome, SweepPlan,
 };
 
 /// Any failure of the batch engine.

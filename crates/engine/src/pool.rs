@@ -1,15 +1,24 @@
-//! A work-stealing DAG executor on OS threads.
+//! The in-process DAG executor: OS threads over the shared
+//! [`JobScheduler`] state machine.
 //!
-//! Each worker owns a deque: it pushes jobs it unblocks onto its own queue
-//! (locality — a combine job runs where its last dependency finished) and
-//! steals from the back of a sibling's queue when it runs dry. No job runs
-//! before all of its dependencies; results land in submission order, so
-//! output is deterministic regardless of the interleaving.
+//! Scheduling policy — which job may run when, lease bookkeeping, the
+//! malformed-graph checks — lives in [`JobScheduler`], the same state
+//! machine the `mbcr-shard` coordinator drives over TCP. This module adds
+//! only what an in-process pool needs on top: worker threads, a condvar to
+//! park claimers while everything runnable is leased elsewhere, and result
+//! collection in submission order (so output is deterministic regardless
+//! of the interleaving).
+//!
+//! Jobs here are whole analysis stages — milliseconds to minutes each —
+//! so one central queue behind a mutex is the right trade: claims are
+//! vanishingly rare next to job execution, and the earlier per-worker
+//! deque design bought its stealing locality with a deadlock class
+//! (guards held across sibling locks) that this design cannot express.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+
+use crate::JobScheduler;
 
 /// Executes `deps.len()` jobs respecting the dependency edges, with up to
 /// `threads` workers. `run(i)` is called exactly once per job, only after
@@ -19,8 +28,8 @@ use std::time::Duration;
 /// # Panics
 ///
 /// Panics on malformed graphs: out-of-range or self dependencies, or a
-/// dependency cycle (detected as jobs left unexecuted when the pool
-/// drains).
+/// dependency cycle (rejected by [`JobScheduler::new`] before any worker
+/// spawns).
 pub fn execute_dag<R, F>(deps: &[Vec<usize>], threads: usize, run: F) -> Vec<R>
 where
     R: Send,
@@ -31,117 +40,44 @@ where
         return Vec::new();
     }
     let threads = threads.max(1).min(n);
-
-    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut pending_counts = vec![0usize; n];
-    for (i, ds) in deps.iter().enumerate() {
-        for &d in ds {
-            assert!(d < n, "job {i} depends on out-of-range job {d}");
-            assert!(d != i, "job {i} depends on itself");
-            dependents[d].push(i);
-            pending_counts[i] += 1;
-        }
-    }
-    // Kahn pre-check: a cycle would leave the pool spinning forever, so
-    // reject it before spawning workers.
-    {
-        let mut indegree = pending_counts.clone();
-        let mut ready: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-        let mut seen = 0usize;
-        while let Some(i) = ready.pop_front() {
-            seen += 1;
-            for &dependent in &dependents[i] {
-                indegree[dependent] -= 1;
-                if indegree[dependent] == 0 {
-                    ready.push_back(dependent);
-                }
-            }
-        }
-        assert!(
-            seen == n,
-            "dependency cycle: only {seen} of {n} jobs are reachable"
-        );
-    }
-
-    let pending: Vec<AtomicUsize> = pending_counts.into_iter().map(AtomicUsize::new).collect();
+    let sched = Mutex::new(JobScheduler::new(deps));
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-    let remaining = AtomicUsize::new(n);
-    let idle = (Mutex::new(()), Condvar::new());
-
-    // Seed the initially-ready jobs round-robin across the workers.
-    {
-        let mut worker = 0usize;
-        for (i, count) in pending.iter().enumerate() {
-            if count.load(Ordering::Relaxed) == 0 {
-                queues[worker % threads]
-                    .lock()
-                    .expect("queue poisoned")
-                    .push_back(i);
-                worker += 1;
-            }
-        }
-    }
+    let wake = Condvar::new();
 
     std::thread::scope(|scope| {
         for me in 0..threads {
             let run = &run;
-            let queues = &queues;
-            let pending = &pending;
-            let dependents = &dependents;
+            let sched = &sched;
             let results = &results;
-            let remaining = &remaining;
-            let idle = &idle;
+            let wake = &wake;
             scope.spawn(move || loop {
-                if remaining.load(Ordering::Acquire) == 0 {
-                    idle.1.notify_all();
-                    return;
-                }
-                // Own queue first (LIFO: freshest unblocked work, warm
-                // caches), then steal the oldest entry from a sibling.
-                // The own-queue guard must drop before stealing: chaining
-                // `.or_else` onto the locked pop keeps the guard alive
-                // across the sibling locks, and idle workers stealing in
-                // a ring then deadlock (w0 holds q0 wants q1, w1 holds q1
-                // wants q2, ... wN holds qN wants q0).
-                let own = queues[me].lock().expect("queue poisoned").pop_back();
-                let job = own.or_else(|| {
-                    (1..threads).find_map(|offset| {
-                        queues[(me + offset) % threads]
-                            .lock()
-                            .expect("queue poisoned")
-                            .pop_front()
-                    })
-                });
-                let Some(job) = job else {
-                    let guard = idle.0.lock().expect("idle lock poisoned");
-                    if remaining.load(Ordering::Acquire) == 0 {
-                        idle.1.notify_all();
-                        return;
+                let job = {
+                    let mut guard = sched.lock().expect("scheduler poisoned");
+                    loop {
+                        if guard.finished() {
+                            wake.notify_all();
+                            return;
+                        }
+                        if let Some(job) = guard.claim(me as u64) {
+                            break job;
+                        }
+                        // Everything runnable is leased to siblings; park
+                        // until a completion may have unblocked work. The
+                        // timeout is belt-and-braces against a lost wake.
+                        guard = wake
+                            .wait_timeout(guard, Duration::from_millis(2))
+                            .expect("scheduler poisoned")
+                            .0;
                     }
-                    // Timed wait: a sibling may have pushed between our
-                    // steal sweep and this lock.
-                    let _unused = idle
-                        .1
-                        .wait_timeout(guard, Duration::from_millis(2))
-                        .expect("idle lock poisoned");
-                    continue;
                 };
                 let result = run(job);
                 *results[job].lock().expect("result slot poisoned") = Some(result);
-                let mut unblocked = 0usize;
-                for &dependent in &dependents[job] {
-                    if pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
-                        queues[me]
-                            .lock()
-                            .expect("queue poisoned")
-                            .push_back(dependent);
-                        unblocked += 1;
-                    }
-                }
-                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 || unblocked > 0 {
-                    idle.1.notify_all();
+                let (unblocked, finished) = {
+                    let mut guard = sched.lock().expect("scheduler poisoned");
+                    (guard.complete(job), guard.finished())
+                };
+                if unblocked > 0 || finished {
+                    wake.notify_all();
                 }
             });
         }
@@ -152,7 +88,7 @@ where
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot poisoned")
-                .expect("dependency cycle: job never became ready")
+                .expect("scheduler drained without running every job")
         })
         .collect()
 }
@@ -160,7 +96,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn empty_graph_is_fine() {
@@ -210,12 +146,12 @@ mod tests {
     }
 
     #[test]
-    fn idle_workers_stealing_in_a_ring_do_not_deadlock() {
+    fn chains_under_idle_worker_pressure_do_not_deadlock() {
         // One long chain keeps at most one job runnable, so every other
-        // worker constantly runs dry and goes stealing — the shape that
-        // deadlocked when the own-queue guard was still held across the
-        // sibling locks (reliably so on a single-CPU host). The watchdog
-        // turns a regression into a failure instead of a hung suite.
+        // worker constantly runs dry and parks — the shape that deadlocked
+        // the old per-worker-deque pool (reliably so on a single-CPU
+        // host). The watchdog turns a regression into a failure instead
+        // of a hung suite.
         let (tx, rx) = std::sync::mpsc::channel();
         std::thread::spawn(move || {
             for _round in 0..50 {
@@ -230,7 +166,7 @@ mod tests {
             tx.send(()).expect("watchdog receiver gone");
         });
         rx.recv_timeout(std::time::Duration::from_secs(120))
-            .expect("execute_dag deadlocked under steal contention");
+            .expect("execute_dag deadlocked under idle-worker pressure");
     }
 
     #[test]

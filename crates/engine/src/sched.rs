@@ -1,0 +1,339 @@
+//! The job-scheduling state machine shared by every executor.
+//!
+//! [`JobScheduler`] owns the claim/complete/requeue bookkeeping of one job
+//! DAG: which jobs are blocked, ready, leased to a worker, or done. It is
+//! deliberately lock-free *state* — no threads, no sockets, no clocks —
+//! so the in-process work pool ([`crate::execute_dag`]) and the
+//! `mbcr-shard` coordinator drive the exact same transition rules instead
+//! of each keeping a private copy of them:
+//!
+//! * the pool leases jobs to its worker threads and never loses one, so it
+//!   only ever claims and completes;
+//! * the coordinator additionally revokes leases
+//!   ([`JobScheduler::requeue_worker`]) when a worker dies mid-job — the
+//!   job returns to the ready queue for the next claimer, and a late
+//!   completion from a presumed-dead worker is absorbed idempotently
+//!   (first completion wins).
+//!
+//! Jobs unblock their dependents on *completion*, success or failure
+//! alike: a failed stage's dependents still run (and fail or recompute in
+//! their own session), which is the engine's long-standing cascade
+//! semantics.
+
+use std::collections::VecDeque;
+
+/// Where one job is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Waiting on unfinished dependencies.
+    Blocked,
+    /// All dependencies done; queued for a claimer.
+    Ready,
+    /// Claimed by worker `id` and not yet completed.
+    Leased(u64),
+    /// Terminally finished (executed, cached or failed — the scheduler
+    /// does not distinguish: all three unblock dependents).
+    Done,
+}
+
+/// The claim/complete/requeue state machine over one dependency graph.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_engine::JobScheduler;
+///
+/// // 0 -> 1 -> 2
+/// let mut s = JobScheduler::new(&[vec![], vec![0], vec![1]]);
+/// assert_eq!(s.claim(7), Some(0));
+/// assert_eq!(s.claim(8), None, "1 and 2 are still blocked");
+/// s.complete(0);
+/// assert_eq!(s.claim(8), Some(1));
+/// // Worker 8 dies: its lease returns to the queue.
+/// assert_eq!(s.requeue_worker(8), vec![1]);
+/// assert_eq!(s.claim(7), Some(1));
+/// s.complete(1);
+/// let last = s.claim(7).unwrap();
+/// s.complete(last);
+/// assert!(s.finished());
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobScheduler {
+    dependents: Vec<Vec<usize>>,
+    /// Unfinished-dependency counts, parallel to `state`.
+    pending: Vec<usize>,
+    state: Vec<NodeState>,
+    /// Ready-queue of job indices. May hold stale entries for jobs that
+    /// were completed while requeued; `claim` skips them lazily.
+    ready: VecDeque<usize>,
+    remaining: usize,
+}
+
+impl JobScheduler {
+    /// Builds the scheduler for a graph where `deps[i]` lists the jobs
+    /// that must complete before job `i` may be claimed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed graphs: out-of-range or self dependencies, or
+    /// a dependency cycle — a scheduler over such a graph could never
+    /// drain, so the bug is reported at construction.
+    #[must_use]
+    pub fn new(deps: &[Vec<usize>]) -> Self {
+        let n = deps.len();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending = vec![0usize; n];
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                assert!(d < n, "job {i} depends on out-of-range job {d}");
+                assert!(d != i, "job {i} depends on itself");
+                dependents[d].push(i);
+                pending[i] += 1;
+            }
+        }
+        // Kahn pre-check: a cycle would leave the queue spinning forever,
+        // so reject it before any work is claimed.
+        {
+            let mut indegree = pending.clone();
+            let mut reachable: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+            let mut seen = 0usize;
+            while let Some(i) = reachable.pop_front() {
+                seen += 1;
+                for &dependent in &dependents[i] {
+                    indegree[dependent] -= 1;
+                    if indegree[dependent] == 0 {
+                        reachable.push_back(dependent);
+                    }
+                }
+            }
+            assert!(
+                seen == n,
+                "dependency cycle: only {seen} of {n} jobs are reachable"
+            );
+        }
+        let mut state = vec![NodeState::Blocked; n];
+        let ready: VecDeque<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+        for &i in &ready {
+            state[i] = NodeState::Ready;
+        }
+        Self {
+            dependents,
+            pending,
+            state,
+            ready,
+            remaining: n,
+        }
+    }
+
+    /// Number of jobs in the graph.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the graph has no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Jobs not yet completed (leased jobs count as remaining).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether every job has completed.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Leases the oldest ready job to `worker`, or `None` when nothing is
+    /// ready (blocked, all leased, or finished).
+    pub fn claim(&mut self, worker: u64) -> Option<usize> {
+        while let Some(job) = self.ready.pop_front() {
+            // Skip stale queue entries: a requeued job may have been
+            // completed by its original (presumed-dead) worker since.
+            if self.state[job] == NodeState::Ready {
+                self.state[job] = NodeState::Leased(worker);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Marks `job` terminally complete, releasing its lease and
+    /// unblocking dependents; returns how many became ready. Idempotent:
+    /// completing an already-done job (a duplicate report from a
+    /// presumed-dead worker) is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range or still blocked — completing work
+    /// that was never runnable is a driver bug, not a race.
+    pub fn complete(&mut self, job: usize) -> usize {
+        match self.state[job] {
+            NodeState::Done => return 0,
+            NodeState::Blocked => panic!("job {job} completed while still blocked"),
+            NodeState::Ready | NodeState::Leased(_) => {}
+        }
+        self.state[job] = NodeState::Done;
+        self.remaining -= 1;
+        let mut unblocked = 0usize;
+        for at in 0..self.dependents[job].len() {
+            let dependent = self.dependents[job][at];
+            self.pending[dependent] -= 1;
+            if self.pending[dependent] == 0 {
+                self.state[dependent] = NodeState::Ready;
+                self.ready.push_back(dependent);
+                unblocked += 1;
+            }
+        }
+        unblocked
+    }
+
+    /// Returns a leased job to the front of the ready queue (the claimer
+    /// died or gave it back). No-op unless the job is currently leased.
+    pub fn requeue(&mut self, job: usize) {
+        if let NodeState::Leased(_) = self.state[job] {
+            self.state[job] = NodeState::Ready;
+            self.ready.push_front(job);
+        }
+    }
+
+    /// Revokes every lease held by `worker` (it died or was declared
+    /// dead), returning the requeued jobs in index order.
+    pub fn requeue_worker(&mut self, worker: u64) -> Vec<usize> {
+        let held: Vec<usize> = (0..self.state.len())
+            .filter(|&i| self.state[i] == NodeState::Leased(worker))
+            .collect();
+        // Front-pushed in reverse so the queue front ends up in index
+        // order — requeued work runs before fresh work, oldest first.
+        for &job in held.iter().rev() {
+            self.requeue(job);
+        }
+        held
+    }
+
+    /// Whether `job` still waits on unfinished dependencies. Completing
+    /// a blocked job panics, so drivers fed by untrusted peers (the shard
+    /// coordinator) check this first and drop the peer instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    #[must_use]
+    pub fn is_blocked(&self, job: usize) -> bool {
+        self.state[job] == NodeState::Blocked
+    }
+
+    /// The jobs currently leased, with their holders, in index order.
+    #[must_use]
+    pub fn leased(&self) -> Vec<(usize, u64)> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                NodeState::Leased(w) => Some((i, *w)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_a_chain_in_topological_order() {
+        let mut s = JobScheduler::new(&[vec![1], vec![], vec![0]]); // 1 -> 0 -> 2
+        let mut order = Vec::new();
+        while let Some(job) = s.claim(0) {
+            order.push(job);
+            s.complete(job);
+        }
+        assert_eq!(order, vec![1, 0, 2]);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn claim_returns_none_while_everything_runnable_is_leased() {
+        let mut s = JobScheduler::new(&[vec![], vec![0]]);
+        assert_eq!(s.claim(1), Some(0));
+        assert_eq!(s.claim(2), None, "job 1 still blocked on the lease");
+        assert!(!s.finished());
+        assert_eq!(s.complete(0), 1);
+        assert_eq!(s.claim(2), Some(1));
+    }
+
+    #[test]
+    fn dead_worker_leases_requeue_and_rerun() {
+        let mut s = JobScheduler::new(&[vec![], vec![], vec![0, 1]]);
+        assert_eq!(s.claim(7), Some(0));
+        assert_eq!(s.claim(7), Some(1));
+        assert_eq!(s.leased(), vec![(0, 7), (1, 7)]);
+        // Worker 7 dies holding both.
+        assert_eq!(s.requeue_worker(7), vec![0, 1]);
+        assert!(s.leased().is_empty());
+        // A new worker picks them back up; job 2 unblocks as usual.
+        assert_eq!(s.claim(8), Some(0));
+        s.complete(0);
+        assert_eq!(s.claim(8), Some(1));
+        s.complete(1);
+        assert_eq!(s.claim(8), Some(2));
+        s.complete(2);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn late_completion_from_a_presumed_dead_worker_is_absorbed() {
+        let mut s = JobScheduler::new(&[vec![], vec![0]]);
+        assert_eq!(s.claim(7), Some(0));
+        s.requeue_worker(7); // declared dead...
+        s.complete(0); // ...but its report still arrives first
+        assert_eq!(s.remaining(), 1);
+        // The stale ready-queue entry must not hand the job out again.
+        assert_eq!(s.claim(8), Some(1), "only the dependent is claimable");
+        assert_eq!(s.complete(0), 0, "duplicate completion is a no-op");
+        s.complete(1);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn requeue_is_a_noop_for_unleased_jobs() {
+        let mut s = JobScheduler::new(&[vec![], vec![0]]);
+        s.requeue(0); // ready, not leased
+        assert_eq!(s.claim(1), Some(0));
+        s.complete(0);
+        s.requeue(0); // done
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.claim(1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn rejects_out_of_range_dependency() {
+        let _ = JobScheduler::new(&[vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on itself")]
+    fn rejects_self_dependency() {
+        let _ = JobScheduler::new(&[vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn rejects_cycles() {
+        let _ = JobScheduler::new(&[vec![1], vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed while still blocked")]
+    fn rejects_completing_blocked_jobs() {
+        let mut s = JobScheduler::new(&[vec![], vec![0]]);
+        s.complete(1);
+    }
+}

@@ -75,7 +75,13 @@ impl GeometrySpec {
         Ok(spec)
     }
 
-    fn from_json(v: &Json) -> Result<Self, EngineError> {
+    /// Reads a geometry from its [`Serialize`] form (the spec/wire
+    /// layout).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on missing or malformed fields.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
         let field = |k: &str| {
             v.get(k)
                 .and_then(Json::as_u64)

@@ -307,7 +307,154 @@ pub fn expand(spec: &SweepSpec, registry: &Registry) -> Result<JobGraph, EngineE
     Ok(graph)
 }
 
-/// Runs a sweep end-to-end: expand, schedule on the work-stealing pool,
+/// The executable form of one sweep: the expanded stage DAG plus each
+/// node's content key and fully-instantiated analysis config. This is the
+/// shared planning step of every executor — the in-process pool
+/// ([`run_sweep`]) and the `mbcr-shard` coordinator both build one, so a
+/// sharded sweep schedules *exactly* the jobs, keys and configs a
+/// single-process sweep would.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// The stage-granular job DAG.
+    pub graph: JobGraph,
+    /// Per-job content-hash artifact keys, parallel to the graph.
+    pub keys: Vec<String>,
+    /// Per-job analysis configs (`None` for combine nodes).
+    pub cfgs: Vec<Option<AnalysisConfig>>,
+}
+
+impl SweepPlan {
+    /// Expands `spec` and computes every node's key and config.
+    ///
+    /// Stage jobs are keyed by their stage digest (so a spec change
+    /// invalidates exactly the affected stages); combine jobs have no
+    /// config of their own: their key hashes the dependency keys, so
+    /// invalidation cascades.
+    ///
+    /// # Errors
+    ///
+    /// Expansion errors ([`expand`]) and invalid geometries.
+    pub fn new(
+        spec: &SweepSpec,
+        registry: &Registry,
+        opts: &RunOptions,
+    ) -> Result<Self, EngineError> {
+        let graph = expand(spec, registry)?;
+        let mut cfgs: Vec<Option<AnalysisConfig>> = Vec::with_capacity(graph.len());
+        let mut keys: Vec<String> = Vec::with_capacity(graph.len());
+        for (i, job) in graph.jobs.iter().enumerate() {
+            match job.kind {
+                JobKind::MultipathCombine => {
+                    let mut digest = mbcr_json::FNV_OFFSET;
+                    for &dep in &graph.deps[i] {
+                        digest = mbcr_json::fnv1a(digest, &keys[dep]);
+                    }
+                    cfgs.push(None);
+                    keys.push(job.key(digest));
+                }
+                JobKind::Stage { .. } => {
+                    let mut cfg = spec.analysis_config(&job.geometry, job.job_seed())?;
+                    if let Some(interval) = opts.checkpoint_interval {
+                        cfg.checkpoint_interval = interval;
+                    }
+                    let digest = graph.digests[i].expect("stage nodes carry digests");
+                    keys.push(job.key(digest));
+                    cfgs.push(Some(cfg));
+                }
+            }
+        }
+        Ok(Self { graph, keys, cfgs })
+    }
+
+    /// Number of jobs in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the plan has no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The full per-stage digest set of stage node `i` — what a
+    /// distributed executor needs to locate the node's upstream artifacts
+    /// in a store. `None` for combine nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownBenchmark`] / [`EngineError::UnknownInput`]
+    /// on names that do not resolve.
+    pub fn stage_digests(
+        &self,
+        i: usize,
+        registry: &Registry,
+    ) -> Result<Option<StageDigests>, EngineError> {
+        let job = &self.graph.jobs[i];
+        let JobKind::Stage {
+            analysis, input, ..
+        } = &job.kind
+        else {
+            return Ok(None);
+        };
+        let benchmark = registry
+            .get(&job.benchmark)
+            .ok_or_else(|| EngineError::UnknownBenchmark(job.benchmark.clone()))?;
+        let inputs = match input {
+            Some(name) => resolve_input(benchmark, name)?,
+            None => &benchmark.default_input,
+        };
+        let cfg = self.cfgs[i].as_ref().expect("stage jobs carry a config");
+        let pipeline = match analysis {
+            AnalysisKind::Original => PipelineKind::Original,
+            AnalysisKind::PubTac => PipelineKind::PubTac,
+            AnalysisKind::Multipath => unreachable!("combine jobs are not stage nodes"),
+        };
+        Ok(Some(StageDigests::compute(
+            &benchmark.program,
+            inputs,
+            cfg,
+            pipeline,
+        )))
+    }
+
+    /// The cached summary of job `i`, when `store` already holds a valid
+    /// artifact for it — the whole skip-if-cached policy, shared by every
+    /// executor.
+    ///
+    /// Stage jobs are cached by their content-addressed stage artifact;
+    /// combine jobs by their legacy job artifact. A fit node must
+    /// additionally have its full-result job artifact (`jobs/<key>.json`
+    /// plus samples) — a store shipped with only the `stages/` dir
+    /// regenerates them instead of reporting cached. A campaign
+    /// completion marker without a chunk log that covers it and matches
+    /// its checksum (torn, truncated, pruned, or divergent) is not cached
+    /// — the node re-executes and resumes from whatever valid log prefix
+    /// exists. The validation is the session's own
+    /// ([`mbcr::stage::campaign_marker_sample`]), so the scheduler and
+    /// the session can never disagree on what a campaign cache hit is.
+    #[must_use]
+    pub fn cached_summary(&self, i: usize, store: &ArtifactStore) -> Option<JobSummary> {
+        let job = &self.graph.jobs[i];
+        let key = &self.keys[i];
+        match (&job.kind, self.graph.digests[i]) {
+            (JobKind::Stage { stage, .. }, Some(digest)) => load_valid_stage(store, *stage, digest)
+                .filter(|_| *stage != StageKind::Fit || store.has_artifact(key))
+                .filter(|data| {
+                    *stage != StageKind::Campaign
+                        || mbcr::stage::campaign_marker_sample(data, store, digest).is_some()
+                })
+                .map(|data| summary_from_stage_artifact(job, key, *stage, &data)),
+            _ => store
+                .has_artifact(key)
+                .then(|| store.load_summary(key))
+                .flatten(),
+        }
+    }
+}
+
+/// Runs a sweep end-to-end: plan, schedule on the in-process pool,
 /// persist artifacts, aggregate Table 2, write the manifest.
 ///
 /// Completed stages found in `store` are skipped unless
@@ -329,35 +476,7 @@ pub fn run_sweep(
     opts: &RunOptions,
 ) -> Result<SweepOutcome, EngineError> {
     let start = Instant::now();
-    let graph = expand(spec, registry)?;
-
-    // Per-job config + content key. Stage jobs are keyed by their stage
-    // digest (so a spec change invalidates exactly the affected stages);
-    // combine jobs have no config of their own: their key hashes the
-    // dependency keys, so invalidation cascades.
-    let mut cfgs: Vec<Option<AnalysisConfig>> = Vec::with_capacity(graph.len());
-    let mut keys: Vec<String> = Vec::with_capacity(graph.len());
-    for (i, job) in graph.jobs.iter().enumerate() {
-        match job.kind {
-            JobKind::MultipathCombine => {
-                let mut digest = mbcr_json::FNV_OFFSET;
-                for &dep in &graph.deps[i] {
-                    digest = mbcr_json::fnv1a(digest, &keys[dep]);
-                }
-                cfgs.push(None);
-                keys.push(job.key(digest));
-            }
-            JobKind::Stage { .. } => {
-                let mut cfg = spec.analysis_config(&job.geometry, job.job_seed())?;
-                if let Some(interval) = opts.checkpoint_interval {
-                    cfg.checkpoint_interval = interval;
-                }
-                let digest = graph.digests[i].expect("stage nodes carry digests");
-                keys.push(job.key(digest));
-                cfgs.push(Some(cfg));
-            }
-        }
-    }
+    let plan = SweepPlan::new(spec, registry, opts)?;
 
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -366,12 +485,11 @@ pub fn run_sweep(
     };
 
     // Completed summaries, readable by dependents while the pool runs.
-    let slots: Vec<Mutex<Option<JobSummary>>> =
-        (0..graph.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<JobSummary>>> = (0..plan.len()).map(|_| Mutex::new(None)).collect();
 
-    let records = execute_dag(&graph.deps, threads, |i| {
-        let job = &graph.jobs[i];
-        let key = &keys[i];
+    let records = execute_dag(&plan.graph.deps, threads, |i| {
+        let job = &plan.graph.jobs[i];
+        let key = &plan.keys[i];
         let record = |status, error, summary: Option<JobSummary>| JobRecord {
             key: key.clone(),
             label: job.label(),
@@ -380,50 +498,38 @@ pub fn run_sweep(
             summary,
         };
         if !opts.force {
-            // Stage jobs are cached by their content-addressed stage
-            // artifact; combine jobs by their legacy job artifact. A fit
-            // node must additionally have its full-result job artifact
-            // (jobs/<key>.json + samples) — a store shipped with only the
-            // stages/ dir regenerates them instead of reporting cached.
-            let cached = match (&job.kind, graph.digests[i]) {
-                (JobKind::Stage { stage, .. }, Some(digest)) => {
-                    load_valid_stage(store, *stage, digest)
-                        .filter(|_| *stage != StageKind::Fit || store.has_artifact(key))
-                        // A campaign completion marker without a chunk log
-                        // that covers it and matches its checksum (torn,
-                        // truncated, pruned, or divergent) is not cached —
-                        // the node re-executes and resumes from whatever
-                        // valid log prefix exists. The validation is the
-                        // session's own (`campaign_marker_sample`), so the
-                        // scheduler and the session can never disagree on
-                        // what a campaign cache hit is.
-                        .filter(|data| {
-                            *stage != StageKind::Campaign
-                                || mbcr::stage::campaign_marker_sample(data, store, digest)
-                                    .is_some()
-                        })
-                        .map(|data| summary_from_stage_artifact(job, key, *stage, &data))
-                }
-                _ => store
-                    .has_artifact(key)
-                    .then(|| store.load_summary(key))
-                    .flatten(),
-            };
-            if let Some(summary) = cached {
+            if let Some(summary) = plan.cached_summary(i, store) {
                 *slots[i].lock().expect("slot poisoned") = Some(summary.clone());
                 return record(JobStatus::Skipped, None, Some(summary));
             }
         }
-        match execute_job(
-            job,
-            key,
-            cfgs[i].as_ref(),
-            &graph.deps[i],
-            &slots,
-            registry,
-            store,
-            opts.force,
-        ) {
+        let outcome = match &job.kind {
+            JobKind::Stage { .. } => execute_stage(
+                job,
+                key,
+                plan.cfgs[i].as_ref().expect("stage jobs carry a config"),
+                registry,
+                store,
+                opts.force,
+            )
+            .and_then(|out| {
+                if let Some((result, sample)) = out.fit {
+                    store.write_job(key, &out.summary, result, sample.as_deref())?;
+                }
+                Ok(out.summary)
+            }),
+            JobKind::MultipathCombine => {
+                let dep_summaries: Vec<Option<JobSummary>> = plan.graph.deps[i]
+                    .iter()
+                    .map(|&dep| slots[dep].lock().expect("slot poisoned").clone())
+                    .collect();
+                execute_combine(job, key, &dep_summaries).and_then(|(summary, result)| {
+                    store.write_job(key, &summary, result, None)?;
+                    Ok(summary)
+                })
+            }
+        };
+        match outcome {
             Ok(summary) => {
                 *slots[i].lock().expect("slot poisoned") = Some(summary.clone());
                 record(JobStatus::Executed, None, Some(summary))
@@ -432,6 +538,23 @@ pub fn run_sweep(
         }
     });
 
+    finalize_sweep(spec, records, store, start.elapsed())
+}
+
+/// Aggregates per-job records into the sweep outcome and persists the
+/// run-level artifacts: the Table 2 CSV and the manifest. Shared by the
+/// in-process pool and the `mbcr-shard` coordinator, so a sharded sweep
+/// writes a manifest and table byte-identical to a single-process one.
+///
+/// # Errors
+///
+/// [`EngineError::Io`] on store failures.
+pub fn finalize_sweep(
+    spec: &SweepSpec,
+    records: Vec<JobRecord>,
+    store: &ArtifactStore,
+    elapsed: Duration,
+) -> Result<SweepOutcome, EngineError> {
     let executed = records
         .iter()
         .filter(|r| r.status == JobStatus::Executed)
@@ -468,7 +591,7 @@ pub fn run_sweep(
         failed,
         records,
         rows,
-        elapsed: start.elapsed(),
+        elapsed,
     })
 }
 
@@ -528,140 +651,174 @@ fn summary_from_stage_artifact(
     s
 }
 
-#[allow(clippy::too_many_arguments)]
-fn execute_job(
+/// What executing one stage node produced: the summary for the manifest,
+/// plus — for terminal fit nodes — the full-result document and final
+/// sample that belong in the job-artifact layout (`jobs/<key>.json` +
+/// sample log). The *caller* persists those: the in-process pool writes
+/// them into its own store, a shard worker ships them back to the
+/// coordinator.
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// The flat result summary.
+    pub summary: JobSummary,
+    /// `(full result document, final campaign sample)` for fit nodes.
+    pub fit: Option<(Json, Option<Vec<u64>>)>,
+}
+
+/// Executes one stage node against any [`StageStore`] — the single
+/// definition of what a stage job *does*, shared by the in-process pool
+/// and `mbcr-shard` workers (whose store is an in-memory mirror seeded
+/// with the shipped upstream artifacts).
+///
+/// With `force`, only this node's own stage recomputes: the DAG already
+/// re-executed (and re-saved) every upstream node, so the session loads
+/// those fresh artifacts instead of re-deriving the whole chain
+/// in-process.
+///
+/// # Errors
+///
+/// [`EngineError::UnknownBenchmark`] / [`EngineError::UnknownInput`] on
+/// names that do not resolve, [`EngineError::Analysis`] when the
+/// underlying analysis fails.
+///
+/// # Panics
+///
+/// Panics if `job` is not a stage node.
+pub fn execute_stage(
     job: &JobSpec,
     key: &str,
-    cfg: Option<&AnalysisConfig>,
-    deps: &[usize],
-    slots: &[Mutex<Option<JobSummary>>],
+    cfg: &AnalysisConfig,
     registry: &Registry,
-    store: &ArtifactStore,
+    store: &dyn StageStore,
     force: bool,
-) -> Result<JobSummary, EngineError> {
+) -> Result<StageOutcome, EngineError> {
+    let JobKind::Stage {
+        analysis,
+        stage,
+        input,
+    } = &job.kind
+    else {
+        panic!("execute_stage needs a stage node, got {}", job.label());
+    };
     let benchmark = registry
         .get(&job.benchmark)
         .ok_or_else(|| EngineError::UnknownBenchmark(job.benchmark.clone()))?;
     let mut summary = JobSummary::empty(key.to_string(), job);
-    match &job.kind {
-        JobKind::Stage {
-            analysis,
-            stage,
-            input,
-        } => {
-            let cfg = cfg.expect("stage jobs carry a config");
-            let inputs = match input {
-                Some(name) => resolve_input(benchmark, name)?,
-                None => &benchmark.default_input,
-            };
-            let mut session = match analysis {
-                AnalysisKind::Original => {
-                    AnalysisSession::original(&benchmark.program, inputs, cfg)
-                }
-                AnalysisKind::PubTac => AnalysisSession::pub_tac(&benchmark.program, inputs, cfg),
-                AnalysisKind::Multipath => {
-                    unreachable!("combine jobs are not stage nodes")
-                }
-            }
-            .with_store(store);
-            if force {
-                // Force only this node's own stage: the DAG already
-                // re-executed (and re-saved) every upstream node, so the
-                // session can load those fresh artifacts instead of
-                // re-deriving the whole chain in-process.
-                session = session.with_force_stage(*stage);
-            }
-            let fail =
-                |e: mbcr::AnalyzeError| EngineError::Analysis(format!("{}: {e}", job.label()));
-            session.advance(*stage).map_err(fail)?;
-            match stage {
-                StageKind::Fit if *analysis == AnalysisKind::PubTac => {
-                    // The terminal node: assemble the complete analysis
-                    // (upstream stages load from the store) and persist it
-                    // in the legacy full-result layout.
-                    let analysis = session.finish_pub_tac().map_err(fail)?;
-                    summary.r_pub = Some(analysis.r_pub as u64);
-                    summary.r_tac = Some(analysis.r_tac);
-                    summary.r_pub_tac = Some(analysis.r_pub_tac);
-                    summary.campaign_runs = Some(analysis.campaign_runs as u64);
-                    summary.campaign_capped = Some(analysis.campaign_capped);
-                    summary.pwcet = analysis.pwcet_pub_tac;
-                    summary.pwcet_pub = Some(analysis.pwcet_pub);
-                    summary.trace_len = Some(analysis.trace_len as u64);
-                    let sample = analysis.sample.clone();
-                    store.write_job(key, &summary, analysis.to_json(), Some(&sample))?;
-                }
-                StageKind::Fit => {
-                    let analysis = session.finish_original().map_err(fail)?;
-                    summary.r_orig = Some(analysis.r_orig as u64);
-                    summary.converged = Some(analysis.converged);
-                    summary.pwcet = analysis.pwcet_at_exceedance;
-                    summary.trace_len = Some(analysis.trace_len as u64);
-                    store.write_job(key, &summary, analysis.to_json(), None)?;
-                }
-                StageKind::Trace => {
-                    summary.trace_len = session.trace_len().map(|l| l as u64);
-                }
-                StageKind::TacIl1 | StageKind::TacDl1 => {
-                    summary.r_tac = session.tac_analysis(*stage).map(|t| t.runs_required);
-                }
-                StageKind::Converge => {
-                    let output = session.converge_output().expect("converge advanced");
-                    if *analysis == AnalysisKind::Original {
-                        summary.r_orig = Some(output.runs as u64);
-                        summary.converged = Some(output.converged);
-                    } else {
-                        summary.r_pub = Some(output.runs as u64);
-                    }
-                }
-                StageKind::Campaign => {
-                    summary.campaign_runs = session.campaign_sample().map(|s| s.len() as u64);
-                    summary.campaign_resumed = session.campaign_resumed_runs().map(|n| n as u64);
-                }
-                StageKind::Pub => {}
-            }
-        }
-        JobKind::MultipathCombine => {
-            // Corollary 2: every pubbed path upper-bounds all original
-            // paths, so the tightest (lowest) estimate is kept.
-            let mut per_input: Vec<(String, f64)> = Vec::with_capacity(deps.len());
-            for &dep in deps {
-                let dep_summary = slots[dep]
-                    .lock()
-                    .expect("slot poisoned")
-                    .clone()
-                    .ok_or_else(|| {
-                        EngineError::Analysis(format!(
-                            "{}: dependency failed, nothing to combine",
-                            job.label()
-                        ))
-                    })?;
-                per_input.push((dep_summary.input.unwrap_or_default(), dep_summary.pwcet));
-            }
-            let (best_input, best_pwcet) = per_input
-                .iter()
-                .cloned()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("combine jobs have at least two dependencies");
-            summary.pwcet = best_pwcet;
-            summary.best_input = Some(best_input.clone());
-            let result = Json::Obj(vec![
-                (
-                    "per_input".to_string(),
-                    Json::Obj(
-                        per_input
-                            .iter()
-                            .map(|(name, pwcet)| (name.clone(), Json::Num(*pwcet)))
-                            .collect(),
-                    ),
-                ),
-                ("best_input".to_string(), best_input.into()),
-                ("best_pwcet".to_string(), Json::Num(best_pwcet)),
-            ]);
-            store.write_job(key, &summary, result, None)?;
+    let inputs = match input {
+        Some(name) => resolve_input(benchmark, name)?,
+        None => &benchmark.default_input,
+    };
+    let mut session = match analysis {
+        AnalysisKind::Original => AnalysisSession::original(&benchmark.program, inputs, cfg),
+        AnalysisKind::PubTac => AnalysisSession::pub_tac(&benchmark.program, inputs, cfg),
+        AnalysisKind::Multipath => {
+            unreachable!("combine jobs are not stage nodes")
         }
     }
-    Ok(summary)
+    .with_store(store);
+    if force {
+        session = session.with_force_stage(*stage);
+    }
+    let fail = |e: mbcr::AnalyzeError| EngineError::Analysis(format!("{}: {e}", job.label()));
+    session.advance(*stage).map_err(fail)?;
+    let mut fit = None;
+    match stage {
+        StageKind::Fit if *analysis == AnalysisKind::PubTac => {
+            // The terminal node: assemble the complete analysis (upstream
+            // stages load from the store) for the legacy full-result
+            // layout.
+            let analysis = session.finish_pub_tac().map_err(fail)?;
+            summary.r_pub = Some(analysis.r_pub as u64);
+            summary.r_tac = Some(analysis.r_tac);
+            summary.r_pub_tac = Some(analysis.r_pub_tac);
+            summary.campaign_runs = Some(analysis.campaign_runs as u64);
+            summary.campaign_capped = Some(analysis.campaign_capped);
+            summary.pwcet = analysis.pwcet_pub_tac;
+            summary.pwcet_pub = Some(analysis.pwcet_pub);
+            summary.trace_len = Some(analysis.trace_len as u64);
+            let sample = analysis.sample.clone();
+            fit = Some((analysis.to_json(), Some(sample)));
+        }
+        StageKind::Fit => {
+            let analysis = session.finish_original().map_err(fail)?;
+            summary.r_orig = Some(analysis.r_orig as u64);
+            summary.converged = Some(analysis.converged);
+            summary.pwcet = analysis.pwcet_at_exceedance;
+            summary.trace_len = Some(analysis.trace_len as u64);
+            fit = Some((analysis.to_json(), None));
+        }
+        StageKind::Trace => {
+            summary.trace_len = session.trace_len().map(|l| l as u64);
+        }
+        StageKind::TacIl1 | StageKind::TacDl1 => {
+            summary.r_tac = session.tac_analysis(*stage).map(|t| t.runs_required);
+        }
+        StageKind::Converge => {
+            let output = session.converge_output().expect("converge advanced");
+            if *analysis == AnalysisKind::Original {
+                summary.r_orig = Some(output.runs as u64);
+                summary.converged = Some(output.converged);
+            } else {
+                summary.r_pub = Some(output.runs as u64);
+            }
+        }
+        StageKind::Campaign => {
+            summary.campaign_runs = session.campaign_sample().map(|s| s.len() as u64);
+            summary.campaign_resumed = session.campaign_resumed_runs().map(|n| n as u64);
+        }
+        StageKind::Pub => {}
+    }
+    Ok(StageOutcome { summary, fit })
+}
+
+/// Executes a multipath combine node over its dependencies' summaries
+/// (Corollary 2: every pubbed path upper-bounds all original paths, so
+/// the tightest — lowest — estimate is kept). Returns the summary plus
+/// the result document for the job artifact. Shared by the in-process
+/// pool and the coordinator, which runs combines inline — they are a
+/// `min` over numbers already in hand, never worth a network round trip.
+///
+/// # Errors
+///
+/// [`EngineError::Analysis`] when a dependency failed (its summary slot
+/// is `None`).
+pub fn execute_combine(
+    job: &JobSpec,
+    key: &str,
+    dep_summaries: &[Option<JobSummary>],
+) -> Result<(JobSummary, Json), EngineError> {
+    let mut summary = JobSummary::empty(key.to_string(), job);
+    let mut per_input: Vec<(String, f64)> = Vec::with_capacity(dep_summaries.len());
+    for dep_summary in dep_summaries {
+        let dep_summary = dep_summary.clone().ok_or_else(|| {
+            EngineError::Analysis(format!(
+                "{}: dependency failed, nothing to combine",
+                job.label()
+            ))
+        })?;
+        per_input.push((dep_summary.input.unwrap_or_default(), dep_summary.pwcet));
+    }
+    let (best_input, best_pwcet) = per_input
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("combine jobs have at least two dependencies");
+    summary.pwcet = best_pwcet;
+    summary.best_input = Some(best_input.clone());
+    let result = Json::Obj(vec![
+        (
+            "per_input".to_string(),
+            Json::Obj(
+                per_input
+                    .iter()
+                    .map(|(name, pwcet)| (name.clone(), Json::Num(*pwcet)))
+                    .collect(),
+            ),
+        ),
+        ("best_input".to_string(), best_input.into()),
+        ("best_pwcet".to_string(), Json::Num(best_pwcet)),
+    ]);
+    Ok((summary, result))
 }
 
 /// Collapses job summaries into the paper's Table 2 layout: one row per

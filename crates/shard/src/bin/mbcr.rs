@@ -1,24 +1,31 @@
-//! `mbcr` — the command-line front end of the batch analysis engine.
+//! `mbcr` — the command-line front end of the batch analysis engine and
+//! the distributed sharding subsystem.
 //!
 //! ```text
 //! mbcr list-benchmarks
 //! mbcr analyze bs --seed 42
 //! mbcr sweep --benchmarks bs,cnt --geometries 4096:2:32,2048:2:32 --seeds 1,2
 //! mbcr sweep --spec campaign.json --out mbcr-runs/campaign
+//! mbcr sweep --benchmarks bs --shards 4          # self-hosted sharding
+//! mbcr coord --spec campaign.json --listen 127.0.0.1:4870
+//! mbcr worker --connect 127.0.0.1:4870 --jobs 4  # on any host
 //! mbcr report --out mbcr-runs/campaign
 //! ```
 //!
 //! Argument parsing is hand-rolled: the build environment is offline, so
 //! no `clap`.
 
+use std::net::TcpListener;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use mbcr::{analyze_pub_tac, render_report, AnalysisConfig};
 use mbcr_engine::{
     aggregate_rows, render_rows, run_sweep, AnalysisKind, ArtifactStore, EngineError, GeometrySpec,
-    InputSelection, JobSummary, Registry, RunOptions, SweepSpec,
+    InputSelection, JobSummary, Registry, RunOptions, SweepOutcome, SweepSpec,
 };
 use mbcr_json::{Json, Serialize};
+use mbcr_shard::{run_worker, serve, CoordSettings};
 
 const USAGE: &str = "mbcr — batch PUB + TAC + MBPTA analysis engine (DAC'18 reproduction)
 
@@ -29,6 +36,8 @@ COMMANDS:
     list-benchmarks     List the registered benchmarks and their input vectors
     analyze <bench>     One PUB + TAC + MBPTA analysis, report on stdout
     sweep               Run a batch campaign into an artifact store
+    coord               Serve a campaign's stage jobs to TCP workers
+    worker              Execute stage jobs for a coordinator
     report              Re-render the Table 2 summary of an existing run
     help                Show this message
 
@@ -56,6 +65,20 @@ SWEEP OPTIONS:
     --checkpoint-interval N  Checkpoint running campaigns every N runs
                         (0: only at completion; default: 10000). A killed
                         sweep resumes from its last campaign checkpoint.
+    --shards N          Shard across N self-hosted local worker processes
+                        (spawns a coordinator plus N `mbcr worker`s);
+                        results are byte-identical to a plain sweep
+
+COORD OPTIONS (all SWEEP options except --threads/--shards, plus):
+    --listen ADDR       TCP address to bind (e.g. 127.0.0.1:4870; port 0
+                        picks one and prints it)
+    --lease-ttl SECS    Declare a silent worker dead and requeue its jobs
+                        after SECS (default: 30; connection loss requeues
+                        immediately)
+
+WORKER OPTIONS:
+    --connect ADDR      Coordinator address (retries while it comes up)
+    --jobs N            Parallel job slots, one connection each (default 1)
 
 REPORT OPTIONS:
     --out DIR           Artifact store directory to summarize; shows
@@ -78,6 +101,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, EngineError> {
         Some("list-benchmarks") => list_benchmarks(),
         Some("analyze") => analyze(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("coord") => coord(&args[1..]),
+        Some("worker") => worker(&args[1..]),
         Some("report") => report(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
@@ -302,6 +327,10 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         Some(text) => Some(parse_u64("--checkpoint-interval", text)? as usize),
         None => None,
     };
+    let shards = match flags.value("--shards")? {
+        Some(text) => parse_u64("--shards", text)? as usize,
+        None => 0,
+    };
     let force = flags.switch("--force");
     flags.reject_unknown()?;
     if let Some(extra) = flags.positionals().first() {
@@ -311,7 +340,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
     let store = ArtifactStore::open(&out)?;
     let registry = Registry::malardalen();
     println!(
-        "sweep '{}': {} benchmark(s) × {} geometr(ies) × {} seed(s) -> {}",
+        "sweep '{}': {} benchmark(s) × {} geometr(ies) × {} seed(s) -> {}{}",
         spec.name,
         if spec.benchmarks.is_empty() {
             registry.len()
@@ -321,17 +350,152 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         spec.geometries.len(),
         spec.seeds.len(),
         store.root().display(),
+        if shards > 0 {
+            format!(" ({shards} local shard(s))")
+        } else {
+            String::new()
+        },
     );
-    let outcome = run_sweep(
-        &spec,
-        &registry,
-        &store,
-        &RunOptions {
-            threads,
+    let opts = RunOptions {
+        threads,
+        force,
+        checkpoint_interval,
+    };
+    let outcome = if shards > 0 {
+        self_hosted_sharded_sweep(&spec, &registry, &store, &opts, shards)?
+    } else {
+        run_sweep(&spec, &registry, &store, &opts)?
+    };
+    print_outcome(&outcome, &store);
+    Ok(if outcome.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `mbcr sweep --shards N`: bind an ephemeral local coordinator, spawn
+/// `N` worker processes of this same binary against it, serve the sweep,
+/// then reap the fleet. Results are byte-identical to a plain sweep —
+/// the coordinator plans, skips, merges and finalizes with the exact
+/// code a single process runs.
+fn self_hosted_sharded_sweep(
+    spec: &SweepSpec,
+    registry: &Registry,
+    store: &ArtifactStore,
+    opts: &RunOptions,
+    shards: usize,
+) -> Result<SweepOutcome, EngineError> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        children.push(
+            std::process::Command::new(&exe)
+                .args(["worker", "--connect", &addr, "--jobs", "1"])
+                .stdout(std::process::Stdio::null())
+                .spawn()?,
+        );
+    }
+    let settings = CoordSettings {
+        run: *opts,
+        ..CoordSettings::default()
+    };
+    let outcome = serve(spec, registry, store, &settings, &listener);
+    for child in &mut children {
+        // Workers exit on the coordinator's Shutdown; the kill only mops
+        // up stragglers (and the whole fleet when the sweep failed).
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    outcome
+}
+
+fn coord(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let spec = spec_from_flags(&mut flags)?;
+    let out = flags
+        .value("--out")?
+        .map_or_else(|| format!("mbcr-runs/{}", spec.name), str::to_string);
+    let listen = flags
+        .value("--listen")?
+        .ok_or_else(|| EngineError::Spec("coord needs --listen ADDR".into()))?
+        .to_string();
+    let checkpoint_interval = match flags.value("--checkpoint-interval")? {
+        Some(text) => Some(parse_u64("--checkpoint-interval", text)? as usize),
+        None => None,
+    };
+    let lease_ttl = match flags.value("--lease-ttl")? {
+        Some(text) => Duration::from_secs(parse_u64("--lease-ttl", text)?),
+        None => CoordSettings::default().lease_ttl,
+    };
+    let force = flags.switch("--force");
+    flags.reject_unknown()?;
+    if let Some(extra) = flags.positionals().first() {
+        return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
+    }
+
+    let store = ArtifactStore::open(&out)?;
+    let registry = Registry::malardalen();
+    let listener = TcpListener::bind(&listen)?;
+    // Parseable by scripts (and by port-0 users who need the real port).
+    println!("coordinator listening on {}", listener.local_addr()?);
+    let settings = CoordSettings {
+        run: RunOptions {
+            threads: 0,
             force,
             checkpoint_interval,
         },
-    )?;
+        lease_ttl,
+    };
+    let outcome = serve(&spec, &registry, &store, &settings, &listener)?;
+    print_outcome(&outcome, &store);
+    Ok(if outcome.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn worker(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let connect = flags
+        .value("--connect")?
+        .ok_or_else(|| EngineError::Spec("worker needs --connect ADDR".into()))?
+        .to_string();
+    let jobs = match flags.value("--jobs")? {
+        Some(text) => parse_u64("--jobs", text)? as usize,
+        None => 1,
+    };
+    flags.reject_unknown()?;
+    if let Some(extra) = flags.positionals().first() {
+        return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
+    }
+    // Not routed through EngineError: its Io variant renders as an
+    // artifact-store failure, which a refused connection is not.
+    let outcome = match run_worker(&connect, jobs) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("mbcr: worker: {e}");
+            return Ok(ExitCode::from(1));
+        }
+    };
+    println!(
+        "worker done: {} executed, {} failed",
+        outcome.executed, outcome.failed
+    );
+    Ok(if outcome.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// The per-stage status table, Table 2, counts and failures of a
+/// finished sweep — identical output for local, coordinated and
+/// self-hosted sharded runs.
+fn print_outcome(outcome: &SweepOutcome, store: &ArtifactStore) {
     print!(
         "{}",
         render_stage_status(outcome.records.iter().map(|r| {
@@ -363,11 +527,6 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
             record.error.as_deref().unwrap_or("")
         );
     }
-    Ok(if outcome.failed == 0 {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    })
 }
 
 fn report(args: &[String]) -> Result<ExitCode, EngineError> {

@@ -1,0 +1,557 @@
+//! The sweep coordinator: serves ready stage jobs over TCP, streams
+//! campaign checkpoints into its store, merges completed artifacts, and
+//! finalizes a manifest byte-identical to a single-process sweep.
+//!
+//! One coordinator owns one [`SweepPlan`] and one [`ArtifactStore`]. It
+//! drives the same [`JobScheduler`] state machine as the in-process pool:
+//! ready jobs are leased to connected workers, cached jobs are skipped
+//! (the shared [`SweepPlan::cached_summary`] policy), combine nodes run
+//! inline (they are a `min` over numbers already in hand), and everything
+//! else ships as a [`WireJob`] carrying the upstream stage artifacts the
+//! worker's session will need — plus, for campaign work, the chunk-log
+//! prefix already durable here, so a re-leased job *adopts* a dead
+//! worker's in-flight campaign instead of restarting it.
+//!
+//! Worker death is detected two ways: a closed connection requeues the
+//! worker's leases immediately, and a lease TTL ([`CoordSettings::
+//! lease_ttl`]) catches hung-but-connected workers. Duplicate results
+//! from a presumed-dead worker are absorbed: artifacts are
+//! content-addressed (idempotent to re-save) and the scheduler's first
+//! completion wins.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mbcr::stage::StageKind;
+use mbcr_engine::{
+    execute_combine, finalize_sweep, ArtifactStore, EngineError, JobKind, JobRecord, JobScheduler,
+    JobStatus, JobSummary, Registry, RunOptions, StageStore, SweepOutcome, SweepPlan, SweepSpec,
+};
+use mbcr_json::Json;
+
+use crate::lease::LeaseTable;
+use crate::protocol::{self, JobResult, Message, Received, SamplePrefix, WireJob};
+
+/// Coordinator knobs orthogonal to the spec.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordSettings {
+    /// Execution options shared with single-process sweeps (thread count
+    /// is ignored — parallelism is the worker fleet).
+    pub run: RunOptions,
+    /// Declare a silent worker dead (and requeue its leases) after this
+    /// long. Connection loss is detected immediately regardless.
+    pub lease_ttl: Duration,
+}
+
+impl Default for CoordSettings {
+    fn default() -> Self {
+        Self {
+            run: RunOptions::default(),
+            lease_ttl: Duration::from_secs(30),
+        }
+    }
+}
+
+struct State {
+    sched: JobScheduler,
+    records: Vec<Option<JobRecord>>,
+    /// Completed summaries, readable by combine nodes.
+    summaries: Vec<Option<JobSummary>>,
+    leases: LeaseTable,
+    /// Whether any worker ever connected (a coordinator may legitimately
+    /// start before its fleet).
+    ever_connected: bool,
+    /// Last instant at which at least one worker was live (or work was
+    /// still possible without one).
+    last_live: Instant,
+}
+
+struct Coord<'a> {
+    spec: &'a SweepSpec,
+    registry: &'a Registry,
+    store: &'a ArtifactStore,
+    settings: CoordSettings,
+    plan: SweepPlan,
+    state: Mutex<State>,
+    /// Set when the accept loop exits (success or error): handlers wind
+    /// down instead of serving.
+    shutdown: AtomicBool,
+}
+
+/// Runs a sweep by serving its jobs to TCP workers until every node
+/// completes, then finalizes the manifest and Table 2 exactly like
+/// [`mbcr_engine::run_sweep`] — byte-identical outputs are the contract.
+///
+/// The listener should already be bound; workers may connect at any time,
+/// including after a sweep is underway (elastic fleets) or after earlier
+/// workers died (their leases requeue).
+///
+/// # Errors
+///
+/// Planning and store I/O errors, a listener failure, or every worker
+/// disconnecting with work still pending (after a grace of the lease
+/// TTL). Analysis failures do not fail the sweep; they mark jobs failed,
+/// as in a single-process run.
+pub fn serve(
+    spec: &SweepSpec,
+    registry: &Registry,
+    store: &ArtifactStore,
+    settings: &CoordSettings,
+    listener: &TcpListener,
+) -> Result<SweepOutcome, EngineError> {
+    let start = Instant::now();
+    let plan = SweepPlan::new(spec, registry, &settings.run)?;
+    let sched = JobScheduler::new(&plan.graph.deps);
+    let n = plan.len();
+    let coord = Coord {
+        spec,
+        registry,
+        store,
+        settings: *settings,
+        plan,
+        state: Mutex::new(State {
+            sched,
+            records: vec![None; n],
+            summaries: vec![None; n],
+            leases: LeaseTable::new(settings.lease_ttl),
+            ever_connected: false,
+            last_live: Instant::now(),
+        }),
+        shutdown: AtomicBool::new(false),
+    };
+
+    listener.set_nonblocking(true)?;
+    let served: Result<(), EngineError> = std::thread::scope(|scope| {
+        let mut next_worker = 0u64;
+        let result = loop {
+            if coord.finished() {
+                break Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    next_worker += 1;
+                    let worker = next_worker;
+                    let coord = &coord;
+                    scope.spawn(move || handle_connection(coord, stream, worker));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => break Err(EngineError::Io(e)),
+            }
+            let now = Instant::now();
+            coord.reap_expired(now);
+            if let Some(stall) = coord.stalled(now) {
+                break Err(stall);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        // Handlers notice the flag within one read timeout and deliver a
+        // final Shutdown to their worker; the scope then joins them.
+        coord.shutdown.store(true, Ordering::Release);
+        result
+    });
+    served?;
+
+    let state = coord.state.into_inner().expect("state poisoned");
+    let records: Vec<JobRecord> = state
+        .records
+        .into_iter()
+        .map(|r| r.expect("finished sweeps have a record per job"))
+        .collect();
+    finalize_sweep(spec, records, store, start.elapsed())
+}
+
+impl Coord<'_> {
+    fn finished(&self) -> bool {
+        self.state.lock().expect("state poisoned").sched.finished()
+    }
+
+    fn winding_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn register(&self, worker: u64) {
+        let mut state = self.state.lock().expect("state poisoned");
+        state.ever_connected = true;
+        state.leases.touch(worker, Instant::now());
+    }
+
+    fn touch(&self, worker: u64) {
+        let mut state = self.state.lock().expect("state poisoned");
+        state.leases.touch(worker, Instant::now());
+    }
+
+    /// A worker's connection ended: evict it and requeue its leases.
+    fn drop_worker(&self, worker: u64) {
+        let mut state = self.state.lock().expect("state poisoned");
+        state.leases.remove(worker);
+        let requeued = state.sched.requeue_worker(worker);
+        if !requeued.is_empty() {
+            eprintln!(
+                "coordinator: worker {worker} lost with {} leased job(s); requeued",
+                requeued.len()
+            );
+        }
+    }
+
+    /// Requeues the leases of workers whose TTL lapsed (hung process,
+    /// partitioned host — connection loss is handled by `drop_worker`).
+    fn reap_expired(&self, now: Instant) {
+        let mut state = self.state.lock().expect("state poisoned");
+        for worker in state.leases.expired(now) {
+            let requeued = state.sched.requeue_worker(worker);
+            eprintln!(
+                "coordinator: worker {worker} lease expired with {} job(s); requeued",
+                requeued.len()
+            );
+        }
+    }
+
+    /// An error once every worker is gone and stayed gone for a lease TTL
+    /// with work still pending — better than hanging a self-hosted sweep
+    /// forever.
+    fn stalled(&self, now: Instant) -> Option<EngineError> {
+        let mut state = self.state.lock().expect("state poisoned");
+        if state.sched.finished() || !state.ever_connected || state.leases.live() > 0 {
+            state.last_live = now;
+            return None;
+        }
+        let grace = self.settings.lease_ttl.max(Duration::from_secs(5));
+        if now.duration_since(state.last_live) <= grace {
+            return None;
+        }
+        Some(EngineError::Analysis(format!(
+            "all workers disconnected with {} job(s) unfinished",
+            state.sched.remaining()
+        )))
+    }
+
+    /// Records a job's terminal state and completes it in the scheduler.
+    /// Guarded against double recording: if a lease-TTL race let another
+    /// worker finish the job first, the existing record wins and this
+    /// call only releases the (stale) lease.
+    fn record(
+        &self,
+        state: &mut State,
+        job: usize,
+        status: JobStatus,
+        error: Option<String>,
+        summary: Option<JobSummary>,
+    ) {
+        if state.records[job].is_some() {
+            state.sched.complete(job);
+            return;
+        }
+        state.records[job] = Some(JobRecord {
+            key: self.plan.keys[job].clone(),
+            label: self.plan.graph.jobs[job].label(),
+            status,
+            error,
+            summary: summary.clone(),
+        });
+        state.summaries[job] = summary;
+        state.sched.complete(job);
+    }
+
+    fn record_locked(
+        &self,
+        job: usize,
+        status: JobStatus,
+        error: Option<String>,
+        summary: Option<JobSummary>,
+    ) {
+        let mut state = self.state.lock().expect("state poisoned");
+        self.record(&mut state, job, status, error, summary);
+    }
+
+    /// Answers one job request: skips cached nodes, runs combine nodes
+    /// inline, and ships the first stage node that actually needs a
+    /// worker. `Wait` when everything runnable is leased elsewhere,
+    /// `Shutdown` when the sweep is over.
+    ///
+    /// Only the lease transition itself holds the state lock — cache
+    /// probes, combine writes and wire-job assembly all do store I/O and
+    /// must not stall every other worker's request (a paper-scale fit
+    /// job ships a multi-megabyte chunk log). That is safe because the
+    /// claimed node is leased to this worker: nobody else touches it
+    /// until it is recorded or the lease is revoked.
+    fn claim(&self, worker: u64) -> Message {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("state poisoned");
+                if state.sched.finished() || self.winding_down() {
+                    return Message::Shutdown;
+                }
+                match state.sched.claim(worker) {
+                    Some(job) => job,
+                    None => return Message::Wait,
+                }
+            };
+            if !self.settings.run.force {
+                if let Some(summary) = self.plan.cached_summary(job, self.store) {
+                    self.record_locked(job, JobStatus::Skipped, None, Some(summary));
+                    continue;
+                }
+            }
+            match &self.plan.graph.jobs[job].kind {
+                JobKind::MultipathCombine => {
+                    let deps: Vec<Option<JobSummary>> = {
+                        let state = self.state.lock().expect("state poisoned");
+                        self.plan.graph.deps[job]
+                            .iter()
+                            .map(|&dep| state.summaries[dep].clone())
+                            .collect()
+                    };
+                    let outcome =
+                        execute_combine(&self.plan.graph.jobs[job], &self.plan.keys[job], &deps)
+                            .and_then(|(summary, result)| {
+                                self.store.write_job(
+                                    &self.plan.keys[job],
+                                    &summary,
+                                    result,
+                                    None,
+                                )?;
+                                Ok(summary)
+                            });
+                    match outcome {
+                        Ok(summary) => {
+                            self.record_locked(job, JobStatus::Executed, None, Some(summary));
+                        }
+                        Err(e) => {
+                            self.record_locked(job, JobStatus::Failed, Some(e.to_string()), None);
+                        }
+                    }
+                }
+                JobKind::Stage { .. } => match self.build_wire_job(job) {
+                    Ok(wire) => return Message::Job(Box::new(wire)),
+                    Err(e) => {
+                        self.record_locked(job, JobStatus::Failed, Some(e.to_string()), None);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Assembles the shipment for one stage job: every upstream stage
+    /// artifact present in the store (the worker's session loads them
+    /// instead of recomputing), plus the campaign chunk-log prefix when
+    /// the job is at or past the campaign stage — the adoption path for
+    /// re-leased in-flight campaigns, and the cached sample for fit jobs.
+    fn build_wire_job(&self, job: usize) -> Result<WireJob, EngineError> {
+        let spec = self.plan.graph.jobs[job].clone();
+        let target = spec.kind.stage().expect("stage node");
+        let digests = self
+            .plan
+            .stage_digests(job, self.registry)?
+            .expect("stage node");
+        let stages = digests.pipeline().stages();
+        let at = stages
+            .iter()
+            .position(|&s| s == target)
+            .expect("target in pipeline");
+        let mut artifacts = Vec::new();
+        for &stage in &stages[..at] {
+            if let Some(doc) = digests.get(stage).and_then(|d| self.store.load_stage(d)) {
+                artifacts.push(doc);
+            }
+        }
+        let mut prefix = None;
+        if let Some(digest) = digests.get(StageKind::Campaign) {
+            let campaign_at = stages
+                .iter()
+                .position(|&s| s == StageKind::Campaign)
+                .expect("campaign digest implies a campaign stage");
+            if self.settings.run.force && target == StageKind::Campaign {
+                // Force means re-simulate from scratch: discard the log so
+                // the fresh run rewrites it (the single-process repair
+                // semantics), and ship no prefix.
+                self.store.reset_samples(digest)?;
+            } else if at >= campaign_at {
+                prefix = StageStore::load_samples(self.store, digest)
+                    .filter(|samples| !samples.is_empty())
+                    .map(|samples| SamplePrefix { digest, samples });
+            }
+        }
+        Ok(WireJob {
+            job,
+            key: self.plan.keys[job].clone(),
+            spec,
+            artifacts,
+            prefix,
+        })
+    }
+
+    /// Streams a worker's campaign checkpoint chunk into the store's
+    /// chunk log. Append failures are logged, not fatal: a gap (a reset
+    /// raced a zombie writer) only costs the marker its cache-hit, which
+    /// the validation layer already handles.
+    fn chunk(&self, digest: u64, start: usize, total: usize, samples: &[u64]) {
+        if let Err(e) = self.store.append_samples(digest, start, total, samples) {
+            eprintln!("coordinator: chunk append for {digest:016x} failed: {e}");
+        }
+    }
+
+    fn reset_log(&self, digest: u64) {
+        if let Err(e) = self.store.reset_samples(digest) {
+            eprintln!("coordinator: log reset for {digest:016x} failed: {e}");
+        }
+    }
+
+    /// Merges a worker's finished job: persist its stage artifacts
+    /// (content-addressed — racing duplicates are harmless) and fit
+    /// payload, then complete the node. Returns `false` when the result
+    /// is malformed (out-of-range node) and the peer should be dropped.
+    fn complete_remote(&self, result: JobResult) -> bool {
+        if result.job >= self.plan.len() {
+            return false;
+        }
+        let mut error = result.error;
+        let mut summary = result.summary;
+        for doc in &result.stage_docs {
+            let Some(digest) = doc.get("digest").and_then(Json::as_u64) else {
+                continue; // not a stage envelope; ignore
+            };
+            if let Err(e) = self.store.save_stage(digest, doc) {
+                error = Some(format!("persisting stage artifact {digest:016x}: {e}"));
+                summary = None;
+                break;
+            }
+        }
+        if error.is_none() {
+            if let (Some(s), Some((doc, sample))) = (&summary, &result.fit) {
+                if let Err(e) = self.store.write_job(
+                    &self.plan.keys[result.job],
+                    s,
+                    doc.clone(),
+                    sample.as_deref(),
+                ) {
+                    error = Some(format!("persisting job artifact: {e}"));
+                    summary = None;
+                }
+            }
+        }
+        let mut state = self.state.lock().expect("state poisoned");
+        if state.records[result.job].is_some() {
+            return true; // duplicate from a presumed-dead worker
+        }
+        if state.sched.is_blocked(result.job) {
+            return false; // a result for a job never handed out: drop peer
+        }
+        let status = if error.is_none() {
+            JobStatus::Executed
+        } else {
+            JobStatus::Failed
+        };
+        self.record(&mut state, result.job, status, error, summary);
+        true
+    }
+}
+
+fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
+    let _ = stream.set_nodelay(true);
+    // The read timeout only bounds how often this handler checks the
+    // wind-down flag; `receive_or_idle` guarantees a timeout landing
+    // inside a frame resumes the read instead of tearing it.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Handshake: a peer speaking another schema is refused — loudly, so
+    // a misconfigured fleet fails instead of idling — and a connection
+    // that never says hello is dropped after ~20 s.
+    let mut idle_ticks = 0usize;
+    loop {
+        match protocol::receive_or_idle(&mut stream) {
+            Ok(Received::Message(Message::Hello { schema })) => {
+                if schema == protocol::wire_schema() {
+                    break;
+                }
+                let _ = protocol::send(
+                    &mut stream,
+                    &Message::Reject {
+                        reason: format!(
+                            "schema mismatch: worker speaks '{schema}', coordinator '{}'",
+                            protocol::wire_schema()
+                        ),
+                    },
+                );
+                return;
+            }
+            Ok(Received::Idle) => {
+                idle_ticks += 1;
+                if idle_ticks > 40 || coord.winding_down() {
+                    return;
+                }
+            }
+            Ok(Received::Message(_)) => {
+                let _ = protocol::send(
+                    &mut stream,
+                    &Message::Reject {
+                        reason: "handshake must start with hello".to_string(),
+                    },
+                );
+                return;
+            }
+            Ok(Received::Closed) | Err(_) => return,
+        }
+    }
+    coord.register(worker);
+    let welcome = Message::Welcome {
+        schema: protocol::wire_schema(),
+        spec: coord.spec.to_json(),
+        checkpoint_interval: coord.settings.run.checkpoint_interval,
+    };
+    if protocol::send(&mut stream, &welcome).is_err() {
+        coord.drop_worker(worker);
+        return;
+    }
+    loop {
+        match protocol::receive_or_idle(&mut stream) {
+            Ok(Received::Message(message)) => {
+                coord.touch(worker);
+                match message {
+                    Message::Request => {
+                        let response = coord.claim(worker);
+                        let shutdown = matches!(response, Message::Shutdown);
+                        if protocol::send(&mut stream, &response).is_err() || shutdown {
+                            break;
+                        }
+                    }
+                    Message::Chunk {
+                        digest,
+                        start,
+                        total,
+                        samples,
+                    } => coord.chunk(digest, start, total, &samples),
+                    Message::ResetLog { digest } => coord.reset_log(digest),
+                    Message::Heartbeat => {}
+                    Message::Done(result) => {
+                        if !coord.complete_remote(*result) {
+                            break;
+                        }
+                    }
+                    other => {
+                        eprintln!(
+                            "coordinator: worker {worker} sent unexpected {:?} frame; dropping",
+                            other.to_json().get("type")
+                        );
+                        break;
+                    }
+                }
+            }
+            Ok(Received::Idle) => {
+                if coord.winding_down() {
+                    // Idle worker after the sweep ended (or aborted):
+                    // release it and wind the handler down.
+                    let _ = protocol::send(&mut stream, &Message::Shutdown);
+                    break;
+                }
+            }
+            Ok(Received::Closed) => break,
+            Err(e) => {
+                eprintln!("coordinator: worker {worker} connection failed: {e}");
+                break;
+            }
+        }
+    }
+    coord.drop_worker(worker);
+}

@@ -1,0 +1,100 @@
+//! Worker liveness: heartbeat-refreshed leases with a TTL.
+//!
+//! The scheduler ([`mbcr_engine::JobScheduler`]) records *which* jobs a
+//! worker holds; this table records only whether the worker is still
+//! alive. Any frame from a worker — request, chunk, heartbeat, result —
+//! refreshes its lease. A worker whose lease expires (hung process,
+//! partitioned host) is evicted and its jobs requeued; a worker whose
+//! connection drops is evicted immediately, without waiting for the TTL.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Liveness bookkeeping for connected workers.
+#[derive(Debug)]
+pub struct LeaseTable {
+    ttl: Duration,
+    last_seen: HashMap<u64, Instant>,
+}
+
+impl LeaseTable {
+    /// A table declaring workers dead after `ttl` without a frame.
+    #[must_use]
+    pub fn new(ttl: Duration) -> Self {
+        Self {
+            ttl,
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// The configured TTL.
+    #[must_use]
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Records a sign of life from `worker` at `now` (registers it on
+    /// first contact).
+    pub fn touch(&mut self, worker: u64, now: Instant) {
+        self.last_seen.insert(worker, now);
+    }
+
+    /// Evicts `worker` (its connection closed); harmless if unknown.
+    pub fn remove(&mut self, worker: u64) {
+        self.last_seen.remove(&worker);
+    }
+
+    /// Number of live workers.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Evicts and returns every worker whose lease expired by `now`, in
+    /// ascending id order.
+    pub fn expired(&mut self, now: Instant) -> Vec<u64> {
+        let mut dead: Vec<u64> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.duration_since(seen) > self.ttl)
+            .map(|(&w, _)| w)
+            .collect();
+        dead.sort_unstable();
+        for w in &dead {
+            self.last_seen.remove(w);
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeats_keep_a_lease_alive_and_silence_expires_it() {
+        let mut table = LeaseTable::new(Duration::from_secs(10));
+        let t0 = Instant::now();
+        table.touch(1, t0);
+        table.touch(2, t0);
+        assert_eq!(table.live(), 2);
+        // Worker 1 heartbeats at t+8; worker 2 stays silent.
+        table.touch(1, t0 + Duration::from_secs(8));
+        assert!(table.expired(t0 + Duration::from_secs(9)).is_empty());
+        assert_eq!(table.expired(t0 + Duration::from_secs(12)), vec![2]);
+        assert_eq!(table.live(), 1, "the expired worker is evicted");
+        // Expiry reports each worker once.
+        assert!(table.expired(t0 + Duration::from_secs(12)).is_empty());
+        assert_eq!(table.expired(t0 + Duration::from_secs(30)), vec![1]);
+    }
+
+    #[test]
+    fn removal_on_disconnect_beats_the_ttl() {
+        let mut table = LeaseTable::new(Duration::from_secs(10));
+        let t0 = Instant::now();
+        table.touch(7, t0);
+        table.remove(7);
+        assert_eq!(table.live(), 0);
+        assert!(table.expired(t0 + Duration::from_secs(60)).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # mbcr-shard — distributed sweep sharding
+//!
+//! Scales a sweep out at stage boundaries: a **coordinator** expands the
+//! spec through the engine's DAG ([`mbcr_engine::SweepPlan`]), serves
+//! ready stage jobs to TCP **workers** over a length-prefixed
+//! [`mbcr_json`] wire protocol, streams campaign checkpoints back into
+//! its content-addressed store as workers produce them, and merges
+//! completed stage artifacts — deduplicated by digest, so two workers
+//! racing the same shared pub/trace stage is harmless.
+//!
+//! The design leans entirely on what the engine already guarantees:
+//!
+//! * stage digests make every intermediate result location-independent —
+//!   a job ships as its spec plus the upstream artifacts, nothing more;
+//! * campaign chunk logs make *partial* campaign state shippable — a
+//!   coordinator re-leasing a dead worker's campaign hands the next
+//!   worker the durable prefix, which adopts the in-flight campaign and
+//!   re-simulates at most one `checkpoint_interval`;
+//! * the shared [`mbcr_engine::JobScheduler`] state machine and
+//!   [`mbcr_engine::finalize_sweep`] make the merged manifest, Table 2
+//!   CSV and sample logs byte-identical to a single-process `mbcr sweep`
+//!   (test-enforced in `tests/shard_sweep.rs`).
+//!
+//! The `mbcr` binary in this crate fronts everything:
+//!
+//! ```text
+//! mbcr coord  --benchmarks bs --listen 127.0.0.1:4870 --out runs/demo
+//! mbcr worker --connect 127.0.0.1:4870 --jobs 4        # on any host
+//! mbcr sweep  --benchmarks bs --shards 4               # self-hosted
+//! ```
+
+mod coord;
+mod lease;
+pub mod protocol;
+mod worker;
+
+pub use coord::{serve, CoordSettings};
+pub use lease::LeaseTable;
+pub use worker::{run_worker, WorkerOutcome};

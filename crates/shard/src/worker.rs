@@ -1,0 +1,344 @@
+//! The shard worker: a thin loop around the engine's stage executor.
+//!
+//! Each job slot holds its own TCP connection and runs
+//! request → execute → done. A job arrives with the upstream stage
+//! artifacts its session will load (so nothing is recomputed) and, for
+//! campaign work, the chunk-log prefix the coordinator already holds —
+//! the worker seeds a [`WireStore`] with both and then runs the *same*
+//! [`mbcr_engine::execute_stage`] code path as a single-process sweep.
+//! Campaign checkpoints stream back to the coordinator as they are
+//! written locally, so coordinator-side resume granularity equals the
+//! single-process `checkpoint_interval` guarantee; a send failure aborts
+//! the simulation early rather than burning hours on a result nobody can
+//! receive.
+//!
+//! A heartbeat thread per connection keeps the lease alive through long,
+//! otherwise-silent stages (convergence can run minutes without a
+//! checkpoint).
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mbcr::stage::{MemoryStageStore, StageStore};
+use mbcr_engine::{execute_stage, Registry, SweepSpec};
+use mbcr_json::Json;
+
+use crate::protocol::{self, JobResult, Message, WireJob};
+
+/// How often an executing worker proves liveness.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(1000);
+/// Backoff between job requests when nothing is ready.
+const WAIT_BACKOFF: Duration = Duration::from_millis(100);
+/// Connection retry budget: a worker may start before its coordinator.
+const CONNECT_RETRIES: usize = 80;
+const CONNECT_BACKOFF: Duration = Duration::from_millis(250);
+
+/// What one worker process executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// Jobs that executed successfully.
+    pub executed: usize,
+    /// Jobs that failed (reported to the coordinator as failed).
+    pub failed: usize,
+}
+
+/// Runs `slots` parallel job loops against the coordinator at `addr`,
+/// returning the summed outcome once the coordinator shuts the fleet
+/// down.
+///
+/// # Errors
+///
+/// Connection or protocol failures of any slot. A coordinator that
+/// simply closes the socket (it exited after finalizing) ends the slot
+/// cleanly instead.
+pub fn run_worker(addr: &str, slots: usize) -> io::Result<WorkerOutcome> {
+    let slots = slots.max(1);
+    if slots == 1 {
+        return worker_slot(addr);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..slots)
+            .map(|_| scope.spawn(|| worker_slot(addr)))
+            .collect();
+        let mut total = WorkerOutcome::default();
+        let mut first_error = None;
+        for handle in handles {
+            match handle.join().expect("worker slot panicked") {
+                Ok(outcome) => {
+                    total.executed += outcome.executed;
+                    total.failed += outcome.failed;
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    })
+}
+
+fn connect_with_retry(addr: &str) -> io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..CONNECT_RETRIES {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+        std::thread::sleep(CONNECT_BACKOFF);
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("no connection attempt made")))
+}
+
+fn protocol_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
+    let stream = connect_with_retry(addr)?;
+    stream.set_nodelay(true)?;
+    // One socket, two handles: the slot loop reads; every write (requests,
+    // results, chunks, heartbeats) serializes on the writer lock so frames
+    // never interleave.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = stream;
+    send(
+        &writer,
+        &Message::Hello {
+            schema: protocol::wire_schema(),
+        },
+    )?;
+    let (spec, checkpoint_interval) = match protocol::receive(&mut reader)? {
+        Some(Message::Welcome {
+            schema,
+            spec,
+            checkpoint_interval,
+        }) => {
+            if schema != protocol::wire_schema() {
+                return Err(protocol_error(format!(
+                    "coordinator speaks '{schema}', this worker '{}'",
+                    protocol::wire_schema()
+                )));
+            }
+            let spec = SweepSpec::from_json(&spec)
+                .map_err(|e| protocol_error(format!("bad spec in welcome: {e}")))?;
+            (spec, checkpoint_interval)
+        }
+        Some(Message::Reject { reason }) => {
+            return Err(protocol_error(format!(
+                "coordinator refused the handshake: {reason}"
+            )))
+        }
+        Some(other) => {
+            return Err(protocol_error(format!(
+                "expected welcome, got {}",
+                other.to_json().to_compact()
+            )))
+        }
+        // A close before Welcome is a refusal, not a finished fleet — be
+        // loud so misconfiguration never idles silently.
+        None => {
+            return Err(protocol_error(
+                "coordinator closed the connection during the handshake",
+            ))
+        }
+    };
+
+    let registry = Registry::malardalen();
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(HEARTBEAT_EVERY);
+                if stop.load(Ordering::Acquire) || send(&writer, &Message::Heartbeat).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let run = (|| -> io::Result<WorkerOutcome> {
+        let mut outcome = WorkerOutcome::default();
+        loop {
+            send(&writer, &Message::Request)?;
+            match protocol::receive(&mut reader)? {
+                // A vanished coordinator after a finalized sweep is a
+                // normal ending — it may exit before every worker polls.
+                None | Some(Message::Shutdown) => return Ok(outcome),
+                Some(Message::Wait) => std::thread::sleep(WAIT_BACKOFF),
+                Some(Message::Job(job)) => {
+                    let result = run_job(*job, &spec, checkpoint_interval, &registry, &writer);
+                    if result.error.is_none() {
+                        outcome.executed += 1;
+                    } else {
+                        outcome.failed += 1;
+                    }
+                    send(&writer, &Message::Done(Box::new(result)))?;
+                }
+                Some(other) => {
+                    return Err(protocol_error(format!(
+                        "unexpected frame: {}",
+                        other.to_json().to_compact()
+                    )))
+                }
+            }
+        }
+    })();
+    stop.store(true, Ordering::Release);
+    let _ = heartbeat.join();
+    run
+}
+
+fn send(writer: &Mutex<TcpStream>, message: &Message) -> io::Result<()> {
+    let mut stream = writer.lock().expect("writer poisoned");
+    protocol::send(&mut *stream, message)
+}
+
+/// Executes one shipped stage job against a local wire-backed store and
+/// packages the result. Never returns an error: failures travel back in
+/// the [`JobResult`] like any analysis failure.
+fn run_job(
+    wire: WireJob,
+    spec: &SweepSpec,
+    checkpoint_interval: Option<usize>,
+    registry: &Registry,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> JobResult {
+    let fail = |error: String| JobResult {
+        job: wire.job,
+        error: Some(error),
+        summary: None,
+        stage_docs: Vec::new(),
+        fit: None,
+    };
+    let store = WireStore::new(writer);
+    for doc in &wire.artifacts {
+        let Some(digest) = doc.get("digest").and_then(Json::as_u64) else {
+            return fail("shipped artifact without a digest".to_string());
+        };
+        if store.local.save_stage(digest, doc).is_err() {
+            return fail("seeding the local store failed".to_string());
+        }
+    }
+    if let Some(prefix) = &wire.prefix {
+        // Seed the *local* store directly: the coordinator already holds
+        // these runs, so they must not echo back as chunks.
+        if let Err(e) =
+            store
+                .local
+                .append_samples(prefix.digest, 0, prefix.samples.len(), &prefix.samples)
+        {
+            return fail(format!("seeding the campaign prefix failed: {e}"));
+        }
+    }
+    let cfg = match spec.analysis_config(&wire.spec.geometry, wire.spec.job_seed()) {
+        Ok(mut cfg) => {
+            if let Some(interval) = checkpoint_interval {
+                cfg.checkpoint_interval = interval;
+            }
+            cfg
+        }
+        Err(e) => return fail(e.to_string()),
+    };
+    match execute_stage(&wire.spec, &wire.key, &cfg, registry, &store, false) {
+        Ok(outcome) => JobResult {
+            job: wire.job,
+            error: None,
+            summary: Some(outcome.summary),
+            stage_docs: store.computed_docs(),
+            fit: outcome.fit,
+        },
+        Err(e) => JobResult {
+            job: wire.job,
+            error: Some(e.to_string()),
+            summary: None,
+            // Partial progress still ships: upstream stages the session
+            // had to recompute are content-addressed and reusable.
+            stage_docs: store.computed_docs(),
+            fit: None,
+        },
+    }
+}
+
+/// The worker-side [`StageStore`]: an in-memory mirror seeded with the
+/// shipped artifacts, forwarding every sample-log mutation to the
+/// coordinator as it happens. Loads are local (the coordinator shipped
+/// everything the session may read); saves are recorded so the finished
+/// job can ship exactly the artifacts this execution computed.
+struct WireStore<'a> {
+    local: MemoryStageStore,
+    writer: &'a Arc<Mutex<TcpStream>>,
+    computed: Mutex<Vec<u64>>,
+}
+
+impl<'a> WireStore<'a> {
+    fn new(writer: &'a Arc<Mutex<TcpStream>>) -> Self {
+        Self {
+            local: MemoryStageStore::default(),
+            writer,
+            computed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The stage envelopes this execution computed, in completion order.
+    fn computed_docs(&self) -> Vec<Json> {
+        self.computed
+            .lock()
+            .expect("computed poisoned")
+            .iter()
+            .filter_map(|&digest| self.local.load_stage(digest))
+            .collect()
+    }
+}
+
+impl StageStore for WireStore<'_> {
+    fn load_stage(&self, digest: u64) -> Option<Json> {
+        self.local.load_stage(digest)
+    }
+
+    fn save_stage(&self, digest: u64, artifact: &Json) -> io::Result<()> {
+        self.local.save_stage(digest, artifact)?;
+        let mut computed = self.computed.lock().expect("computed poisoned");
+        if !computed.contains(&digest) {
+            computed.push(digest);
+        }
+        Ok(())
+    }
+
+    fn load_samples(&self, digest: u64) -> Option<Vec<u64>> {
+        self.local.load_samples(digest)
+    }
+
+    fn append_samples(
+        &self,
+        digest: u64,
+        start: usize,
+        total: usize,
+        samples: &[u64],
+    ) -> io::Result<()> {
+        self.local.append_samples(digest, start, total, samples)?;
+        // Forward the identical append; the coordinator's log applies the
+        // same idempotent-overlap rules, so replays and adopted prefixes
+        // converge. A send failure aborts the campaign early (the
+        // checkpoint writer treats it like any store failure).
+        send(
+            self.writer,
+            &Message::Chunk {
+                digest,
+                start,
+                total,
+                samples: samples.to_vec(),
+            },
+        )
+    }
+
+    fn reset_samples(&self, digest: u64) -> io::Result<()> {
+        self.local.reset_samples(digest)?;
+        send(self.writer, &Message::ResetLog { digest })
+    }
+}

@@ -21,6 +21,7 @@
 pub use mbcr;
 pub use mbcr_engine;
 pub use mbcr_malardalen;
+pub use mbcr_shard;
 
 /// Convenience re-exports covering the whole analysis pipeline and the
 /// batch engine.

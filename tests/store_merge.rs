@@ -1,0 +1,175 @@
+//! Property tests for [`ArtifactStore::merge`]: over arbitrary disjoint
+//! and overlapping stage sets (JSON artifacts plus chunk-log prefixes of
+//! shared sample streams), merging is idempotent and order-independent —
+//! any permutation of source stores converges on the same artifact and
+//! sample content.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use mbcr_engine::{ArtifactStore, StageStore};
+use mbcr_json::Json;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mbcr-merge-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One generated universe: per-digest stage documents and per-digest
+/// sample streams (the content-addressing contract: every store holding a
+/// digest holds a prefix of the *same* content).
+#[derive(Debug, Clone)]
+struct Universe {
+    docs: Vec<(u64, Json)>,
+    streams: Vec<(u64, Vec<u64>)>,
+}
+
+/// Which slice of the universe one source store holds: a subset of the
+/// docs and, per stream, a (possibly zero) prefix length.
+#[derive(Debug, Clone)]
+struct Holding {
+    docs: Vec<bool>,
+    prefixes: Vec<usize>,
+}
+
+fn build_store(tag: &str, universe: &Universe, holding: &Holding) -> ArtifactStore {
+    let store = ArtifactStore::open(tmp_dir(tag)).expect("open store");
+    for (held, (digest, doc)) in holding.docs.iter().zip(&universe.docs) {
+        if *held {
+            store.save_stage(*digest, doc).expect("save stage");
+        }
+    }
+    for (len, (digest, stream)) in holding.prefixes.iter().zip(&universe.streams) {
+        let len = (*len).min(stream.len());
+        if len > 0 {
+            store
+                .append_samples(*digest, 0, stream.len(), &stream[..len])
+                .expect("seed log");
+        }
+    }
+    store
+}
+
+/// The observable content of a store: every stage doc plus every decoded
+/// sample log, in a canonical order.
+fn content(store: &ArtifactStore, universe: &Universe) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for (digest, _) in &universe.docs {
+        if let Some(doc) = store.load_stage(*digest) {
+            out.insert(format!("doc:{digest:016x}"), doc.to_compact());
+        }
+    }
+    for (digest, _) in &universe.streams {
+        if let Some(samples) = StageStore::load_samples(store, *digest) {
+            out.insert(format!("log:{digest:016x}"), format!("{samples:?}"));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merging any permutation of source stores into a fresh target —
+    /// once or twice — converges on the same content: the union of the
+    /// docs and, per stream, the longest prefix any source held.
+    #[test]
+    fn merge_is_idempotent_and_order_independent(
+        doc_values in prop::collection::vec(0u64..1000, 1..5),
+        stream_lens in prop::collection::vec(1usize..200, 1..4),
+        holdings in prop::collection::vec(
+            (prop::collection::vec(any::<bool>(), 5), prop::collection::vec(0usize..200, 4)),
+            1..4,
+        ),
+        rotate in 0usize..4,
+        case in any::<u64>(),
+    ) {
+        let universe = Universe {
+            docs: doc_values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    (0x1000 + i as u64,
+                     Json::Obj(vec![("v".to_string(), Json::UInt(*v))]))
+                })
+                .collect(),
+            streams: stream_lens
+                .iter()
+                .enumerate()
+                .map(|(i, len)| {
+                    (0x2000 + i as u64,
+                     (0..*len as u64).map(|r| r.wrapping_mul(31).wrapping_add(case)).collect())
+                })
+                .collect(),
+        };
+        let holdings: Vec<Holding> = holdings
+            .into_iter()
+            .map(|(docs, prefixes)| Holding {
+                docs: docs.into_iter().take(universe.docs.len()).collect(),
+                prefixes: prefixes.into_iter().take(universe.streams.len()).collect(),
+            })
+            .collect();
+        let sources: Vec<ArtifactStore> = holdings
+            .iter()
+            .enumerate()
+            .map(|(i, h)| build_store(&format!("src-{case}-{i}"), &universe, h))
+            .collect();
+
+        // Forward order, merged twice (idempotence).
+        let forward = ArtifactStore::open(tmp_dir(&format!("fwd-{case}"))).unwrap();
+        for src in &sources {
+            forward.merge(src).expect("merge");
+        }
+        let once = content(&forward, &universe);
+        let mut noop = true;
+        for src in &sources {
+            noop &= forward.merge(src).expect("re-merge").is_noop();
+        }
+        prop_assert!(noop, "a repeated merge must change nothing");
+        prop_assert_eq!(&content(&forward, &universe), &once);
+
+        // A rotated order converges on the same content.
+        let rotated = ArtifactStore::open(tmp_dir(&format!("rot-{case}"))).unwrap();
+        let n = sources.len();
+        for k in 0..n {
+            rotated.merge(&sources[(k + rotate) % n]).expect("merge");
+        }
+        prop_assert_eq!(&content(&rotated, &universe), &once);
+
+        // The converged content is the union / longest-prefix of the
+        // sources.
+        for (i, (digest, doc)) in universe.docs.iter().enumerate() {
+            let held = holdings.iter().any(|h| h.docs.get(i).copied().unwrap_or(false));
+            let expect = held.then(|| doc.to_compact());
+            prop_assert_eq!(
+                once.get(&format!("doc:{digest:016x}")).map(String::as_str),
+                expect.as_deref()
+            );
+        }
+        for (i, (digest, stream)) in universe.streams.iter().enumerate() {
+            let longest = holdings
+                .iter()
+                .map(|h| h.prefixes.get(i).copied().unwrap_or(0).min(stream.len()))
+                .max()
+                .unwrap_or(0);
+            let merged = StageStore::load_samples(&forward, *digest);
+            if longest == 0 {
+                prop_assert!(merged.is_none());
+            } else {
+                prop_assert_eq!(merged.as_deref(), Some(&stream[..longest]));
+            }
+        }
+
+        for store in sources.iter().chain([&forward, &rotated]) {
+            let _ = fs::remove_dir_all(store.root());
+        }
+    }
+}
