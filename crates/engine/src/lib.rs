@@ -44,6 +44,7 @@ mod job;
 mod pool;
 mod registry;
 mod sched;
+mod service;
 mod spec;
 mod store;
 mod sweep;
@@ -53,7 +54,11 @@ pub use mbcr::stage::{StageKind, StageStatus, StageStore};
 pub use pool::execute_dag;
 pub use registry::Registry;
 pub use sched::JobScheduler;
-pub use spec::{AnalysisKind, GeometrySpec, InputSelection, SweepSpec};
+pub use service::{
+    campaign_progress_for, ServiceClaim, SubmitOptions, SweepRegistry, SweepSnapshot, SweepState,
+    SweepStatus,
+};
+pub use spec::{AnalysisKind, AnalysisKnobs, GeometrySpec, InputSelection, SweepSpec};
 pub use store::{
     ArtifactStore, CampaignProgress, MergeStats, SampleLog, SampleLogContents, Table2Row,
 };

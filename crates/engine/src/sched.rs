@@ -29,6 +29,10 @@ enum NodeState {
     Blocked,
     /// All dependencies done; queued for a claimer.
     Ready,
+    /// All dependencies done, but withheld from claimers by an external
+    /// policy ([`JobScheduler::hold`]) — how a multi-sweep service defers
+    /// a job whose content digest another sweep is already executing.
+    Held,
     /// Claimed by worker `id` and not yet completed.
     Leased(u64),
     /// Terminally finished (executed, cached or failed — the scheduler
@@ -66,6 +70,10 @@ pub struct JobScheduler {
     /// Ready-queue of job indices. May hold stale entries for jobs that
     /// were completed while requeued; `claim` skips them lazily.
     ready: VecDeque<usize>,
+    /// External hold flags, parallel to `state`: a flagged job parks in
+    /// [`NodeState::Held`] instead of [`NodeState::Ready`] when its
+    /// dependencies drain, until [`JobScheduler::release`]d.
+    held: Vec<bool>,
     remaining: usize,
 }
 
@@ -121,6 +129,7 @@ impl JobScheduler {
             pending,
             state,
             ready,
+            held: vec![false; n],
             remaining: n,
         }
     }
@@ -176,7 +185,7 @@ impl JobScheduler {
         match self.state[job] {
             NodeState::Done => return 0,
             NodeState::Blocked => panic!("job {job} completed while still blocked"),
-            NodeState::Ready | NodeState::Leased(_) => {}
+            NodeState::Ready | NodeState::Held | NodeState::Leased(_) => {}
         }
         self.state[job] = NodeState::Done;
         self.remaining -= 1;
@@ -185,12 +194,45 @@ impl JobScheduler {
             let dependent = self.dependents[job][at];
             self.pending[dependent] -= 1;
             if self.pending[dependent] == 0 {
-                self.state[dependent] = NodeState::Ready;
-                self.ready.push_back(dependent);
+                if self.held[dependent] {
+                    self.state[dependent] = NodeState::Held;
+                } else {
+                    self.state[dependent] = NodeState::Ready;
+                    self.ready.push_back(dependent);
+                }
                 unblocked += 1;
             }
         }
         unblocked
+    }
+
+    /// Withholds `job` from claimers even once its dependencies drain —
+    /// it parks in a held state until [`JobScheduler::release`]. Used by
+    /// the multi-sweep service to defer a job whose content digest an
+    /// earlier sweep is already executing: when the owner completes, the
+    /// released job cache-probes the shared store instead of recomputing.
+    /// No-op on completed or leased jobs (too late to withhold).
+    pub fn hold(&mut self, job: usize) {
+        match self.state[job] {
+            NodeState::Done | NodeState::Leased(_) => {}
+            NodeState::Blocked | NodeState::Held => self.held[job] = true,
+            NodeState::Ready => {
+                self.held[job] = true;
+                // Any ready-queue entry goes stale; `claim` skips it.
+                self.state[job] = NodeState::Held;
+            }
+        }
+    }
+
+    /// Clears a hold: a parked job returns to the back of the ready
+    /// queue; a still-blocked one will queue normally when its
+    /// dependencies drain. No-op on jobs never held.
+    pub fn release(&mut self, job: usize) {
+        self.held[job] = false;
+        if self.state[job] == NodeState::Held {
+            self.state[job] = NodeState::Ready;
+            self.ready.push_back(job);
+        }
     }
 
     /// Returns a leased job to the front of the ready queue (the claimer
@@ -310,6 +352,43 @@ mod tests {
         s.requeue(0); // done
         assert_eq!(s.remaining(), 1);
         assert_eq!(s.claim(1), Some(1));
+    }
+
+    #[test]
+    fn held_jobs_skip_the_ready_queue_until_released() {
+        // 0 -> 2, 1 free; 2 held before its dependency drains.
+        let mut s = JobScheduler::new(&[vec![], vec![], vec![0]]);
+        s.hold(2);
+        assert_eq!(s.claim(1), Some(0));
+        s.complete(0);
+        // 2's dependencies are drained, but it parks instead of queueing.
+        assert_eq!(s.claim(1), Some(1));
+        s.complete(1);
+        assert_eq!(s.claim(1), None, "held job must not be claimable");
+        assert!(!s.finished());
+        s.release(2);
+        assert_eq!(s.claim(1), Some(2));
+        s.complete(2);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn holding_a_ready_job_parks_it_and_stale_queue_entries_are_skipped() {
+        let mut s = JobScheduler::new(&[vec![], vec![]]);
+        s.hold(0); // already ready: parked, its queue entry goes stale
+        assert_eq!(s.claim(1), Some(1), "only the unheld job is claimable");
+        assert_eq!(s.claim(1), None);
+        s.release(0);
+        assert_eq!(s.claim(1), Some(0));
+        // Completing a held job directly (e.g. a cancel path) is legal.
+        let mut t = JobScheduler::new(&[vec![]]);
+        t.hold(0);
+        t.complete(0);
+        assert!(t.finished());
+        // hold/release on done jobs are no-ops.
+        t.hold(0);
+        t.release(0);
+        assert!(t.finished());
     }
 
     #[test]

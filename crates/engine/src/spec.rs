@@ -187,6 +187,104 @@ impl AnalysisKind {
     }
 }
 
+/// The result-affecting analysis knobs of one sweep, detached from its
+/// dimensions — everything a sweep-agnostic executor (a shard worker)
+/// needs, together with a job's geometry and derived seed, to rebuild the
+/// exact [`AnalysisConfig`] the sweep's planner used. Ships inside each
+/// wire job so one worker fleet can serve many concurrent sweeps without
+/// per-sweep handshakes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisKnobs {
+    /// Use the shrunk `quick()` campaign preset.
+    pub quick: bool,
+    /// Campaign-length cap override.
+    pub max_campaign_runs: Option<usize>,
+    /// Exceedance probability for headline pWCET values.
+    pub exceedance: f64,
+    /// Checkpoint-interval override (digest-neutral; see
+    /// [`crate::RunOptions::checkpoint_interval`]).
+    pub checkpoint_interval: Option<usize>,
+}
+
+impl AnalysisKnobs {
+    /// Extracts the knobs of `spec`, folding in a run's checkpoint
+    /// override.
+    #[must_use]
+    pub fn from_spec(spec: &SweepSpec, checkpoint_interval: Option<usize>) -> Self {
+        Self {
+            quick: spec.quick,
+            max_campaign_runs: spec.max_campaign_runs,
+            exceedance: spec.exceedance,
+            checkpoint_interval,
+        }
+    }
+
+    /// Instantiates the per-job analysis configuration — the single
+    /// definition shared by the planner ([`crate::SweepPlan`]) and remote
+    /// executors, so their stage digests can never disagree.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] if the geometry is invalid.
+    pub fn config(
+        &self,
+        geometry: &GeometrySpec,
+        job_seed: u64,
+    ) -> Result<AnalysisConfig, EngineError> {
+        let mut b = AnalysisConfig::builder()
+            .seed(job_seed)
+            .l1_geometry(geometry.geometry()?)
+            .exceedance(self.exceedance)
+            .threads(1);
+        if self.quick {
+            b = b.quick();
+        }
+        if let Some(cap) = self.max_campaign_runs {
+            b = b.max_campaign_runs(cap);
+        }
+        let mut cfg = b.build();
+        if let Some(interval) = self.checkpoint_interval {
+            cfg.checkpoint_interval = interval;
+        }
+        Ok(cfg)
+    }
+
+    /// The knobs' wire form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("quick".to_string(), Json::Bool(self.quick)),
+            (
+                "max_campaign_runs".to_string(),
+                Serialize::to_json(&self.max_campaign_runs),
+            ),
+            ("exceedance".to_string(), Json::Num(self.exceedance)),
+            (
+                "checkpoint_interval".to_string(),
+                Serialize::to_json(&self.checkpoint_interval.map(|v| v as u64)),
+            ),
+        ])
+    }
+
+    /// Inverse of [`AnalysisKnobs::to_json`]. `None` on malformed input.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let opt_usize = |k: &str| match v.get(k) {
+            None | Some(Json::Null) => Some(None),
+            Some(other) => other.as_usize().map(Some),
+        };
+        Some(Self {
+            quick: v.get("quick")?.as_bool()?,
+            max_campaign_runs: opt_usize("max_campaign_runs")?,
+            exceedance: v
+                .get("exceedance")?
+                .as_f64()
+                .filter(|p| *p > 0.0 && *p < 1.0)?,
+            checkpoint_interval: opt_usize("checkpoint_interval")?,
+        })
+    }
+}
+
 /// A declarative batch campaign: the cross product the engine expands into
 /// a job DAG.
 ///
@@ -293,18 +391,7 @@ impl SweepSpec {
         geometry: &GeometrySpec,
         job_seed: u64,
     ) -> Result<AnalysisConfig, EngineError> {
-        let mut b = AnalysisConfig::builder()
-            .seed(job_seed)
-            .l1_geometry(geometry.geometry()?)
-            .exceedance(self.exceedance)
-            .threads(1);
-        if self.quick {
-            b = b.quick();
-        }
-        if let Some(cap) = self.max_campaign_runs {
-            b = b.max_campaign_runs(cap);
-        }
-        Ok(b.build())
+        AnalysisKnobs::from_spec(self, None).config(geometry, job_seed)
     }
 
     /// Serializes the spec (round-trips through [`SweepSpec::from_json`]).
@@ -506,6 +593,38 @@ mod tests {
                 SweepSpec::from_json_text(bad).is_err(),
                 "should reject {bad}"
             );
+        }
+    }
+
+    #[test]
+    fn knobs_roundtrip_and_rebuild_the_planner_config() {
+        let spec = SweepSpec {
+            max_campaign_runs: Some(1234),
+            quick: true,
+            ..SweepSpec::new("k")
+        };
+        let knobs = AnalysisKnobs::from_spec(&spec, Some(500));
+        let back =
+            AnalysisKnobs::from_json(&mbcr_json::parse(&knobs.to_json().to_compact()).unwrap())
+                .unwrap();
+        assert_eq!(back, knobs);
+        let geometry = GeometrySpec::paper_l1();
+        let cfg = back.config(&geometry, 77).unwrap();
+        assert_eq!(cfg.checkpoint_interval, 500);
+        assert_eq!(cfg.max_campaign_runs, 1234);
+        // Without the interval override, the knobs' config equals the
+        // spec's (same digest — the resumability contract).
+        let plain = AnalysisKnobs::from_spec(&spec, None).config(&geometry, 77);
+        assert_eq!(
+            plain.unwrap().digest(),
+            spec.analysis_config(&geometry, 77).unwrap().digest()
+        );
+        for bad in [
+            r#"{"quick": true, "exceedance": 0.0}"#,
+            r#"{"quick": 1, "exceedance": 1e-12}"#,
+            r#"{"exceedance": 1e-12}"#,
+        ] {
+            assert!(AnalysisKnobs::from_json(&mbcr_json::parse(bad).unwrap()).is_none());
         }
     }
 

@@ -37,9 +37,20 @@ use mbcr_json::{csv_field, Json};
 use crate::JobSummary;
 
 /// Handle on a run directory.
+///
+/// A store separates two concerns: the **content root** (`jobs/`,
+/// `stages/` — content-addressed, shareable across sweeps) and the **run
+/// scope** (`manifest.json`, `table2.csv` — the description of *one*
+/// sweep). A store opened with [`ArtifactStore::open`] keeps both at the
+/// same directory, which is the single-sweep layout every `mbcr sweep`
+/// run produces. A multi-sweep service derives one scope per submitted
+/// sweep with [`ArtifactStore::run_scope`]: all scopes share the content
+/// root (so identical stages execute once, store-wide), while each keeps
+/// its own manifest and table under `sweeps/<id>/`.
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
+    run_dir: PathBuf,
 }
 
 impl ArtifactStore {
@@ -52,13 +63,55 @@ impl ArtifactStore {
         let root = root.into();
         fs::create_dir_all(root.join("jobs"))?;
         fs::create_dir_all(root.join("stages"))?;
-        Ok(Self { root })
+        let run_dir = root.clone();
+        Ok(Self { root, run_dir })
     }
 
-    /// The run directory.
+    /// A scope over the same content root whose run-level artifacts
+    /// (manifest, Table 2, record journal) live under `sweeps/<id>/` —
+    /// the per-sweep view a multi-sweep service finalizes into. Content
+    /// paths (`jobs/`, `stages/`) are unchanged, so every scope of one
+    /// store shares one content-addressed artifact universe.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the scope directory cannot be created.
+    pub fn run_scope(&self, id: &str) -> io::Result<Self> {
+        let run_dir = self.root.join("sweeps").join(id);
+        fs::create_dir_all(&run_dir)?;
+        Ok(Self {
+            root: self.root.clone(),
+            run_dir,
+        })
+    }
+
+    /// The content root (shared by every run scope of this store).
     #[must_use]
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The run-scope directory holding this scope's manifest and table
+    /// (equals [`ArtifactStore::root`] for stores opened directly).
+    #[must_use]
+    pub fn run_dir(&self) -> &Path {
+        &self.run_dir
+    }
+
+    /// The service queue directory (`queue/` under the content root):
+    /// one JSON entry per submitted sweep, the durable state a killed
+    /// service daemon resumes its whole queue from.
+    #[must_use]
+    pub fn queue_dir(&self) -> PathBuf {
+        self.root.join("queue")
+    }
+
+    /// Path of this scope's completed-job journal: one JSON line per
+    /// terminal job record, appended as the sweep progresses, so a
+    /// restarted daemon resumes mid-sweep with truthful statuses.
+    #[must_use]
+    pub fn records_path(&self) -> PathBuf {
+        self.run_dir.join("records.jsonl")
     }
 
     /// Path of a job's JSON artifact.
@@ -88,16 +141,16 @@ impl ArtifactStore {
             .join(format!("{digest:016x}.samples.slog"))
     }
 
-    /// Path of the manifest.
+    /// Path of the manifest (scoped — see [`ArtifactStore::run_scope`]).
     #[must_use]
     pub fn manifest_path(&self) -> PathBuf {
-        self.root.join("manifest.json")
+        self.run_dir.join("manifest.json")
     }
 
-    /// Path of the Table 2 CSV.
+    /// Path of the Table 2 CSV (scoped — see [`ArtifactStore::run_scope`]).
     #[must_use]
     pub fn table2_path(&self) -> PathBuf {
-        self.root.join("table2.csv")
+        self.run_dir.join("table2.csv")
     }
 
     /// Runs per frame of a job-level sample log.
@@ -787,7 +840,7 @@ pub struct CampaignProgress {
     pub total: u64,
 }
 
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     // Self-healing: a run dir shipped without one of its subdirectories
     // (e.g. only the content-addressed stages/ tree was copied) grows the
     // missing directory back instead of failing the job.
@@ -927,6 +980,38 @@ mod tests {
             .write_job(key, &summary, Json::Obj(vec![]), Some(&[10, 20, 30]))
             .expect("rewrite");
         assert_eq!(fs::read(store.sample_path(key)).expect("log bytes"), before);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn run_scopes_share_content_but_split_run_artifacts() {
+        let store = tmp_store("scopes");
+        let scope = store.run_scope("s000-demo").expect("scope");
+        // Content paths are shared across scopes...
+        assert_eq!(scope.job_path("ab"), store.job_path("ab"));
+        assert_eq!(scope.stage_path(0x1), store.stage_path(0x1));
+        assert_eq!(scope.queue_dir(), store.queue_dir());
+        // ...run-level paths are not.
+        assert_ne!(scope.manifest_path(), store.manifest_path());
+        assert_eq!(
+            scope.manifest_path(),
+            store
+                .root()
+                .join("sweeps")
+                .join("s000-demo")
+                .join("manifest.json")
+        );
+        assert_eq!(store.manifest_path(), store.root().join("manifest.json"));
+        assert!(scope.run_dir().is_dir(), "scope dir is created");
+        // A stage saved through one scope is visible through the other.
+        scope.save_stage(0x42, &Json::Obj(vec![])).expect("save");
+        assert!(store.load_stage(0x42).is_some());
+        // Manifests stay scoped.
+        scope
+            .write_manifest(&Json::Obj(vec![("a".to_string(), Json::UInt(1))]))
+            .expect("manifest");
+        assert!(scope.load_manifest().is_some());
+        assert!(store.load_manifest().is_none());
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -60,6 +60,17 @@ impl JobStatus {
             JobStatus::Failed => "failed",
         }
     }
+
+    /// Inverse of [`JobStatus::name`].
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "executed" => Some(JobStatus::Executed),
+            "skipped" => Some(JobStatus::Skipped),
+            "failed" => Some(JobStatus::Failed),
+            _ => None,
+        }
+    }
 }
 
 /// Per-job outcome, as recorded in the manifest.
@@ -86,6 +97,28 @@ impl Serialize for JobRecord {
             ("error".to_string(), Serialize::to_json(&self.error)),
             ("summary".to_string(), Serialize::to_json(&self.summary)),
         ])
+    }
+}
+
+impl JobRecord {
+    /// Inverse of the [`Serialize`] form (manifests, record journals).
+    /// `None` on malformed input — a torn journal line is skipped, never
+    /// trusted.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            key: v.get("key")?.as_str()?.to_string(),
+            label: v.get("label")?.as_str()?.to_string(),
+            status: JobStatus::parse(v.get("status")?.as_str()?)?,
+            error: match v.get("error") {
+                None | Some(Json::Null) => None,
+                Some(other) => Some(other.as_str()?.to_string()),
+            },
+            summary: match v.get("summary") {
+                None | Some(Json::Null) => None,
+                Some(other) => Some(JobSummary::from_json(other)?),
+            },
+        })
     }
 }
 

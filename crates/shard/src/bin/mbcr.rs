@@ -1,5 +1,5 @@
-//! `mbcr` — the command-line front end of the batch analysis engine and
-//! the distributed sharding subsystem.
+//! `mbcr` — the command-line front end of the batch analysis engine, the
+//! distributed sharding subsystem and the multi-sweep service daemon.
 //!
 //! ```text
 //! mbcr list-benchmarks
@@ -7,7 +7,12 @@
 //! mbcr sweep --benchmarks bs,cnt --geometries 4096:2:32,2048:2:32 --seeds 1,2
 //! mbcr sweep --spec campaign.json --out mbcr-runs/campaign
 //! mbcr sweep --benchmarks bs --shards 4          # self-hosted sharding
-//! mbcr coord --spec campaign.json --listen 127.0.0.1:4870
+//! mbcr serve --listen 127.0.0.1:4870 --out mbcr-runs/service   # daemon
+//! mbcr submit --connect 127.0.0.1:4870 --spec campaign.json
+//! mbcr status --connect 127.0.0.1:4870
+//! mbcr cancel --connect 127.0.0.1:4870 --sweep s001-campaign
+//! mbcr report --connect 127.0.0.1:4870 --follow --sweep s001-campaign
+//! mbcr coord --spec campaign.json --listen 127.0.0.1:4870   # one-shot
 //! mbcr worker --connect 127.0.0.1:4870 --jobs 4  # on any host
 //! mbcr report --out mbcr-runs/campaign
 //! ```
@@ -15,17 +20,20 @@
 //! Argument parsing is hand-rolled: the build environment is offline, so
 //! no `clap`.
 
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::time::Duration;
 
 use mbcr::{analyze_pub_tac, render_report, AnalysisConfig};
 use mbcr_engine::{
     aggregate_rows, render_rows, run_sweep, AnalysisKind, ArtifactStore, EngineError, GeometrySpec,
-    InputSelection, JobSummary, Registry, RunOptions, SweepOutcome, SweepSpec,
+    InputSelection, JobSummary, Registry, RunOptions, SweepOutcome, SweepSnapshot, SweepSpec,
 };
 use mbcr_json::{Json, Serialize};
-use mbcr_shard::{run_worker, serve, CoordSettings};
+use mbcr_shard::{
+    protocol::{self, Message},
+    run_worker, serve, serve_daemon, CoordSettings,
+};
 
 const USAGE: &str = "mbcr — batch PUB + TAC + MBPTA analysis engine (DAC'18 reproduction)
 
@@ -36,9 +44,17 @@ COMMANDS:
     list-benchmarks     List the registered benchmarks and their input vectors
     analyze <bench>     One PUB + TAC + MBPTA analysis, report on stdout
     sweep               Run a batch campaign into an artifact store
-    coord               Serve a campaign's stage jobs to TCP workers
-    worker              Execute stage jobs for a coordinator
-    report              Re-render the Table 2 summary of an existing run
+    serve               Run the multi-sweep service daemon (accepts
+                        submissions from clients, schedules them across one
+                        worker fleet, resumes its queue after a kill)
+    submit              Queue a sweep on a running service daemon
+    status              Show a daemon's sweep queue
+    cancel              Cancel a queued/running sweep on a daemon
+    coord               One-shot: serve a single campaign's stage jobs to
+                        TCP workers, then exit (thin wrapper over serve)
+    worker              Execute stage jobs for a coordinator or daemon
+    report              Re-render the Table 2 summary of an existing run,
+                        or follow a daemon's live progress (--follow)
     help                Show this message
 
 ANALYZE OPTIONS:
@@ -69,6 +85,26 @@ SWEEP OPTIONS:
                         (spawns a coordinator plus N `mbcr worker`s);
                         results are byte-identical to a plain sweep
 
+SERVE OPTIONS:
+    --listen ADDR       TCP address to bind (e.g. 127.0.0.1:4870; port 0
+                        picks one and prints it)
+    --out DIR           The service's artifact store (default:
+                        mbcr-runs/service). Holds the shared content-
+                        addressed jobs/ and stages/, the durable sweep
+                        queue, and one sweeps/<id>/ scope per submission
+    --lease-ttl SECS    Declare a silent worker dead and requeue its jobs
+                        after SECS (default: 30; connection loss requeues
+                        immediately)
+
+SUBMIT OPTIONS (all SWEEP spec options, plus):
+    --connect ADDR      The daemon to submit to
+    --force             Re-execute jobs even when cached artifacts exist
+    --checkpoint-interval N  As for sweep, scoped to this submission
+
+STATUS / CANCEL OPTIONS:
+    --connect ADDR      The daemon to query
+    --sweep ID          Restrict to (status) or target (cancel) one sweep
+
 COORD OPTIONS (all SWEEP options except --threads/--shards, plus):
     --listen ADDR       TCP address to bind (e.g. 127.0.0.1:4870; port 0
                         picks one and prints it)
@@ -77,12 +113,21 @@ COORD OPTIONS (all SWEEP options except --threads/--shards, plus):
                         immediately)
 
 WORKER OPTIONS:
-    --connect ADDR      Coordinator address (retries while it comes up)
+    --connect ADDR      Coordinator address (retries while it comes up).
+                        SIGTERM drains gracefully: the in-flight campaign
+                        chunk is checkpointed and flushed, leases handed
+                        back, and the worker exits cleanly
     --jobs N            Parallel job slots, one connection each (default 1)
 
 REPORT OPTIONS:
     --out DIR           Artifact store directory to summarize; shows
                         per-campaign progress even without a manifest
+    --sweep ID          With --out: summarize one sweeps/<id>/ scope of a
+                        service store. With --connect: pick the sweep
+    --connect ADDR      Ask a running daemon instead of reading a store
+    --follow            With --connect: stream live per-stage/per-campaign
+                        progress, re-rendering the status table until the
+                        sweep(s) complete
 ";
 
 fn main() -> ExitCode {
@@ -101,6 +146,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, EngineError> {
         Some("list-benchmarks") => list_benchmarks(),
         Some("analyze") => analyze(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        Some("status") => status(&args[1..]),
+        Some("cancel") => cancel(&args[1..]),
         Some("coord") => coord(&args[1..]),
         Some("worker") => worker(&args[1..]),
         Some("report") => report(&args[1..]),
@@ -458,6 +507,248 @@ fn coord(args: &[String]) -> Result<ExitCode, EngineError> {
     })
 }
 
+/// `mbcr serve`: the long-lived multi-sweep daemon. Resumes any queue
+/// persisted in the store, then accepts worker and client connections
+/// until killed.
+fn serve_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let listen = flags
+        .value("--listen")?
+        .ok_or_else(|| EngineError::Spec("serve needs --listen ADDR".into()))?
+        .to_string();
+    let out = flags
+        .value("--out")?
+        .unwrap_or("mbcr-runs/service")
+        .to_string();
+    let lease_ttl = match flags.value("--lease-ttl")? {
+        Some(text) => Duration::from_secs(parse_u64("--lease-ttl", text)?),
+        None => CoordSettings::default().lease_ttl,
+    };
+    flags.reject_unknown()?;
+    if let Some(extra) = flags.positionals().first() {
+        return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
+    }
+
+    let store = ArtifactStore::open(&out)?;
+    let registry = Registry::malardalen();
+    let listener = TcpListener::bind(&listen)?;
+    // Parseable by scripts (and by port-0 users who need the real port).
+    println!("service listening on {}", listener.local_addr()?);
+    let settings = CoordSettings {
+        run: RunOptions::default(),
+        lease_ttl,
+    };
+    serve_daemon(&registry, &store, &settings, &listener)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Connects to a daemon and completes the protocol handshake.
+fn client_connect(addr: &str) -> Result<TcpStream, EngineError> {
+    let client_error = |message: String| EngineError::Analysis(message);
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| client_error(format!("connecting to {addr}: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| client_error(e.to_string()))?;
+    protocol::send(
+        &mut stream,
+        &Message::Hello {
+            schema: protocol::wire_schema(),
+        },
+    )
+    .map_err(|e| client_error(format!("handshake with {addr}: {e}")))?;
+    match protocol::receive(&mut stream).map_err(|e| client_error(e.to_string()))? {
+        Some(Message::Welcome { schema }) if schema == protocol::wire_schema() => Ok(stream),
+        Some(Message::Welcome { schema }) => Err(client_error(format!(
+            "service speaks '{schema}', this client '{}'",
+            protocol::wire_schema()
+        ))),
+        Some(Message::Reject { reason }) => Err(client_error(format!(
+            "service refused the handshake: {reason}"
+        ))),
+        Some(other) => Err(client_error(format!(
+            "expected welcome, got {}",
+            other.to_json().to_compact()
+        ))),
+        None => Err(client_error(
+            "service closed the connection during the handshake".to_string(),
+        )),
+    }
+}
+
+/// One request/response exchange with a daemon.
+fn client_request(stream: &mut TcpStream, request: &Message) -> Result<Message, EngineError> {
+    protocol::send(stream, request).map_err(|e| EngineError::Analysis(e.to_string()))?;
+    protocol::receive(stream)
+        .map_err(|e| EngineError::Analysis(e.to_string()))?
+        .ok_or_else(|| EngineError::Analysis("service closed the connection".to_string()))
+}
+
+/// `mbcr submit`: queue a sweep on a running daemon. The sweep id printed
+/// on success is durable — it survives daemon restarts and addresses
+/// `report --follow`, `status` and `cancel`.
+fn submit(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let connect = flags
+        .value("--connect")?
+        .ok_or_else(|| EngineError::Spec("submit needs --connect ADDR".into()))?
+        .to_string();
+    let spec = spec_from_flags(&mut flags)?;
+    let checkpoint_interval = match flags.value("--checkpoint-interval")? {
+        Some(text) => Some(parse_u64("--checkpoint-interval", text)? as usize),
+        None => None,
+    };
+    let force = flags.switch("--force");
+    flags.reject_unknown()?;
+    if let Some(extra) = flags.positionals().first() {
+        return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
+    }
+
+    let mut stream = client_connect(&connect)?;
+    let request = Message::Submit {
+        spec: spec.to_json(),
+        force,
+        checkpoint_interval,
+    };
+    match client_request(&mut stream, &request)? {
+        Message::Submitted { sweep } => {
+            println!("submitted {sweep}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Message::Reject { reason } => {
+            eprintln!("mbcr: submission rejected: {reason}");
+            Ok(ExitCode::from(1))
+        }
+        other => Err(EngineError::Analysis(format!(
+            "unexpected reply: {}",
+            other.to_json().to_compact()
+        ))),
+    }
+}
+
+/// `mbcr status`: one row per sweep in the daemon's queue.
+fn status(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let connect = flags
+        .value("--connect")?
+        .ok_or_else(|| EngineError::Spec("status needs --connect ADDR".into()))?
+        .to_string();
+    let sweep = flags.value("--sweep")?.map(str::to_string);
+    flags.reject_unknown()?;
+
+    let mut stream = client_connect(&connect)?;
+    match client_request(&mut stream, &Message::Status { sweep })? {
+        Message::StatusReport { sweeps } => {
+            println!(
+                "{:<24} {:<20} {:<9} {:>9} {:>9} {:>8} {:>7}",
+                "sweep", "name", "state", "done", "executed", "cached", "failed"
+            );
+            println!("{}", "-".repeat(92));
+            for s in &sweeps {
+                println!(
+                    "{:<24} {:<20} {:<9} {:>5}/{:<3} {:>9} {:>8} {:>7}",
+                    s.id,
+                    s.name,
+                    s.state.name(),
+                    s.done,
+                    s.total,
+                    s.executed,
+                    s.skipped,
+                    s.failed
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Message::Reject { reason } => {
+            eprintln!("mbcr: {reason}");
+            Ok(ExitCode::from(1))
+        }
+        other => Err(EngineError::Analysis(format!(
+            "unexpected reply: {}",
+            other.to_json().to_compact()
+        ))),
+    }
+}
+
+/// `mbcr cancel`: cancel one sweep on a daemon.
+fn cancel(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let connect = flags
+        .value("--connect")?
+        .ok_or_else(|| EngineError::Spec("cancel needs --connect ADDR".into()))?
+        .to_string();
+    let sweep = flags
+        .value("--sweep")?
+        .ok_or_else(|| EngineError::Spec("cancel needs --sweep ID".into()))?
+        .to_string();
+    flags.reject_unknown()?;
+
+    let mut stream = client_connect(&connect)?;
+    match client_request(&mut stream, &Message::Cancel { sweep })? {
+        Message::Cancelled { sweep, state } => {
+            println!("{sweep}: {state}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Message::Reject { reason } => {
+            eprintln!("mbcr: {reason}");
+            Ok(ExitCode::from(1))
+        }
+        other => Err(EngineError::Analysis(format!(
+            "unexpected reply: {}",
+            other.to_json().to_compact()
+        ))),
+    }
+}
+
+/// Renders one live progress snapshot (`report --follow`).
+fn render_snapshot(snapshot: &SweepSnapshot) {
+    println!(
+        "--- {} ({}) [{}]: {}/{} jobs done",
+        snapshot.id,
+        snapshot.name,
+        snapshot.state.name(),
+        snapshot.jobs.len(),
+        snapshot.total,
+    );
+    if !snapshot.jobs.is_empty() {
+        print!(
+            "{}",
+            render_stage_status(snapshot.jobs.iter().map(|(label, status, resumed)| (
+                label.as_str(),
+                status.as_str(),
+                *resumed
+            )))
+        );
+    }
+    if !snapshot.campaigns.is_empty() {
+        print!("{}", render_campaign_progress(&snapshot.campaigns));
+    }
+}
+
+/// `mbcr report --connect --follow`: stream a daemon's progress until the
+/// chosen sweep(s) complete.
+fn follow_daemon(connect: &str, sweep: Option<String>) -> Result<ExitCode, EngineError> {
+    let mut stream = client_connect(connect)?;
+    protocol::send(&mut stream, &Message::Follow { sweep })
+        .map_err(|e| EngineError::Analysis(e.to_string()))?;
+    loop {
+        match protocol::receive(&mut stream).map_err(|e| EngineError::Analysis(e.to_string()))? {
+            Some(Message::Progress(snapshot)) => render_snapshot(&snapshot),
+            Some(Message::FollowEnd) | None => return Ok(ExitCode::SUCCESS),
+            Some(Message::Reject { reason }) => {
+                eprintln!("mbcr: {reason}");
+                return Ok(ExitCode::from(1));
+            }
+            Some(other) => {
+                return Err(EngineError::Analysis(format!(
+                    "unexpected frame: {}",
+                    other.to_json().to_compact()
+                )))
+            }
+        }
+    }
+}
+
 fn worker(args: &[String]) -> Result<ExitCode, EngineError> {
     let mut flags = Flags::new(args);
     let connect = flags
@@ -531,13 +822,63 @@ fn print_outcome(outcome: &SweepOutcome, store: &ArtifactStore) {
 
 fn report(args: &[String]) -> Result<ExitCode, EngineError> {
     let mut flags = Flags::new(args);
-    let out = flags
-        .value("--out")?
-        .ok_or_else(|| EngineError::Spec("report needs --out DIR".into()))?
-        .to_string();
+    let out = flags.value("--out")?.map(str::to_string);
+    let connect = flags.value("--connect")?.map(str::to_string);
+    let sweep = flags.value("--sweep")?.map(str::to_string);
+    let follow = flags.switch("--follow");
     flags.reject_unknown()?;
 
+    if let Some(connect) = connect {
+        if out.is_some() {
+            return Err(EngineError::Spec(
+                "report takes --out or --connect, not both".into(),
+            ));
+        }
+        if follow {
+            return follow_daemon(&connect, sweep);
+        }
+        // A one-shot snapshot of the daemon's queue.
+        let mut stream = client_connect(&connect)?;
+        return match client_request(&mut stream, &Message::Status { sweep })? {
+            Message::StatusReport { sweeps } => {
+                for s in &sweeps {
+                    println!(
+                        "{} ({}) [{}]: {}/{} done — {} executed, {} cached, {} failed",
+                        s.id,
+                        s.name,
+                        s.state.name(),
+                        s.done,
+                        s.total,
+                        s.executed,
+                        s.skipped,
+                        s.failed
+                    );
+                }
+                Ok(ExitCode::SUCCESS)
+            }
+            Message::Reject { reason } => {
+                eprintln!("mbcr: {reason}");
+                Ok(ExitCode::from(1))
+            }
+            other => Err(EngineError::Analysis(format!(
+                "unexpected reply: {}",
+                other.to_json().to_compact()
+            ))),
+        };
+    }
+    if follow {
+        return Err(EngineError::Spec("--follow needs --connect ADDR".into()));
+    }
+    let out = out.ok_or_else(|| EngineError::Spec("report needs --out DIR or --connect".into()))?;
+
     let store = ArtifactStore::open(&out)?;
+    // With --sweep, read the per-sweep scope of a service store (its
+    // manifest and table live under sweeps/<id>/, the content at the
+    // root).
+    let store = match &sweep {
+        Some(id) => store.run_scope(id)?,
+        None => store,
+    };
     let progress = store.campaign_progress();
     let Some(manifest) = store.load_manifest() else {
         // A sweep killed before its first completion leaves no manifest —

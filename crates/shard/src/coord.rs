@@ -1,24 +1,34 @@
-//! The sweep coordinator: serves ready stage jobs over TCP, streams
-//! campaign checkpoints into its store, merges completed artifacts, and
-//! finalizes a manifest byte-identical to a single-process sweep.
+//! The sweep service: a coordinator that owns N concurrent sweeps over
+//! one shared worker fleet and one artifact store.
 //!
-//! One coordinator owns one [`SweepPlan`] and one [`ArtifactStore`]. It
-//! drives the same [`JobScheduler`] state machine as the in-process pool:
-//! ready jobs are leased to connected workers, cached jobs are skipped
-//! (the shared [`SweepPlan::cached_summary`] policy), combine nodes run
-//! inline (they are a `min` over numbers already in hand), and everything
-//! else ships as a [`WireJob`] carrying the upstream stage artifacts the
-//! worker's session will need — plus, for campaign work, the chunk-log
-//! prefix already durable here, so a re-leased job *adopts* a dead
-//! worker's in-flight campaign instead of restarting it.
+//! Since the service redesign there is no one-coordinator-one-sweep
+//! assumption left: the accept loop serves **workers** (request → job →
+//! done, exactly the shard protocol of old) and **clients** (submit /
+//! status / cancel / follow) over the same listener, and all scheduling
+//! state lives in an engine-level [`SweepRegistry`] — fair-share across
+//! sweeps, cross-sweep stage dedup by content digest, the whole queue
+//! persisted in the store so a `kill -9`'d daemon resumes every queued
+//! and mid-campaign sweep.
 //!
-//! Worker death is detected two ways: a closed connection requeues the
-//! worker's leases immediately, and a lease TTL ([`CoordSettings::
-//! lease_ttl`]) catches hung-but-connected workers. Duplicate results
-//! from a presumed-dead worker are absorbed: artifacts are
-//! content-addressed (idempotent to re-save) and the scheduler's first
-//! completion wins.
+//! Two driving modes share every line of the machinery:
+//!
+//! * [`serve`] — the one-shot compatibility path (`mbcr coord`,
+//!   `mbcr sweep --shards N`): submit one ephemeral sweep, drain the
+//!   registry, finalize at the store root (byte-identical to a
+//!   single-process `mbcr sweep`), return its outcome.
+//! * [`serve_daemon`] — `mbcr serve --listen`: resume the persisted
+//!   queue, then run until killed, accepting submissions and streaming
+//!   progress to `mbcr report --follow` clients.
+//!
+//! Worker death is detected three ways: a closed connection requeues the
+//! worker's leases immediately, a [`Message::Drain`] frame (graceful
+//! SIGTERM drain) does the same after the worker flushed its in-flight
+//! campaign chunk, and a lease TTL ([`CoordSettings::lease_ttl`]) catches
+//! hung-but-connected workers. Duplicate results from a presumed-dead
+//! worker are absorbed: artifacts are content-addressed (idempotent to
+//! re-save) and the registry's first record wins.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,19 +37,21 @@ use std::time::{Duration, Instant};
 
 use mbcr::stage::StageKind;
 use mbcr_engine::{
-    execute_combine, finalize_sweep, ArtifactStore, EngineError, JobKind, JobRecord, JobScheduler,
-    JobStatus, JobSummary, Registry, RunOptions, StageStore, SweepOutcome, SweepPlan, SweepSpec,
+    execute_combine, ArtifactStore, EngineError, JobKind, JobRecord, JobStatus, JobSummary,
+    Registry, RunOptions, ServiceClaim, StageStore, SubmitOptions, SweepOutcome, SweepRegistry,
+    SweepSnapshot, SweepSpec,
 };
 use mbcr_json::Json;
 
 use crate::lease::LeaseTable;
 use crate::protocol::{self, JobResult, Message, Received, SamplePrefix, WireJob};
 
-/// Coordinator knobs orthogonal to the spec.
+/// Coordinator knobs orthogonal to any one sweep's spec.
 #[derive(Debug, Clone, Copy)]
 pub struct CoordSettings {
-    /// Execution options shared with single-process sweeps (thread count
-    /// is ignored — parallelism is the worker fleet).
+    /// Execution options for the compatibility submission of [`serve`]
+    /// (thread count is ignored — parallelism is the worker fleet).
+    /// Wire-submitted sweeps carry their own force/checkpoint options.
     pub run: RunOptions,
     /// Declare a silent worker dead (and requeue its leases) after this
     /// long. Connection loss is detected immediately regardless.
@@ -55,11 +67,11 @@ impl Default for CoordSettings {
     }
 }
 
+/// How often a `Follow` stream re-checks for progress.
+const FOLLOW_TICK: Duration = Duration::from_millis(200);
+
 struct State {
-    sched: JobScheduler,
-    records: Vec<Option<JobRecord>>,
-    /// Completed summaries, readable by combine nodes.
-    summaries: Vec<Option<JobSummary>>,
+    sweeps: SweepRegistry,
     leases: LeaseTable,
     /// Whether any worker ever connected (a coordinator may legitimately
     /// start before its fleet).
@@ -69,21 +81,24 @@ struct State {
     last_live: Instant,
 }
 
-struct Coord<'a> {
-    spec: &'a SweepSpec,
+struct Service<'a> {
     registry: &'a Registry,
     store: &'a ArtifactStore,
     settings: CoordSettings,
-    plan: SweepPlan,
+    /// Runs forever accepting submissions (`true`), or drains the
+    /// registry and returns (`false`, the one-shot compatibility mode).
+    daemon: bool,
     state: Mutex<State>,
     /// Set when the accept loop exits (success or error): handlers wind
     /// down instead of serving.
     shutdown: AtomicBool,
 }
 
-/// Runs a sweep by serving its jobs to TCP workers until every node
-/// completes, then finalizes the manifest and Table 2 exactly like
-/// [`mbcr_engine::run_sweep`] — byte-identical outputs are the contract.
+/// Runs one sweep by serving its jobs to TCP workers until every node
+/// completes, then finalizes the manifest and Table 2 at the store root
+/// exactly like [`mbcr_engine::run_sweep`] — byte-identical outputs are
+/// the contract. Any sweeps found persisted in the store's queue resume
+/// alongside (into their own `sweeps/<id>/` scopes).
 ///
 /// The listener should already be bound; workers may connect at any time,
 /// including after a sweep is underway (elastic fleets) or after earlier
@@ -102,70 +117,130 @@ pub fn serve(
     settings: &CoordSettings,
     listener: &TcpListener,
 ) -> Result<SweepOutcome, EngineError> {
-    let start = Instant::now();
-    let plan = SweepPlan::new(spec, registry, &settings.run)?;
-    let sched = JobScheduler::new(&plan.graph.deps);
-    let n = plan.len();
-    let coord = Coord {
-        spec,
+    let mut sweeps = SweepRegistry::open(store, registry)?;
+    let id = sweeps.submit(
+        spec.clone(),
+        SubmitOptions {
+            force: settings.run.force,
+            checkpoint_interval: settings.run.checkpoint_interval,
+            persist: false,
+        },
         registry,
-        store,
-        settings: *settings,
-        plan,
-        state: Mutex::new(State {
-            sched,
-            records: vec![None; n],
-            summaries: vec![None; n],
-            leases: LeaseTable::new(settings.lease_ttl),
-            ever_connected: false,
-            last_live: Instant::now(),
-        }),
-        shutdown: AtomicBool::new(false),
-    };
-
-    listener.set_nonblocking(true)?;
-    let served: Result<(), EngineError> = std::thread::scope(|scope| {
-        let mut next_worker = 0u64;
-        let result = loop {
-            if coord.finished() {
-                break Ok(());
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    next_worker += 1;
-                    let worker = next_worker;
-                    let coord = &coord;
-                    scope.spawn(move || handle_connection(coord, stream, worker));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
-                Err(e) => break Err(EngineError::Io(e)),
-            }
-            let now = Instant::now();
-            coord.reap_expired(now);
-            if let Some(stall) = coord.stalled(now) {
-                break Err(stall);
-            }
-            std::thread::sleep(Duration::from_millis(20));
-        };
-        // Handlers notice the flag within one read timeout and deliver a
-        // final Shutdown to their worker; the scope then joins them.
-        coord.shutdown.store(true, Ordering::Release);
-        result
-    });
-    served?;
-
-    let state = coord.state.into_inner().expect("state poisoned");
-    let records: Vec<JobRecord> = state
-        .records
-        .into_iter()
-        .map(|r| r.expect("finished sweeps have a record per job"))
-        .collect();
-    finalize_sweep(spec, records, store, start.elapsed())
+    )?;
+    let service = Service::new(registry, store, *settings, false, sweeps);
+    service.run(listener)?;
+    let state = service.state.into_inner().expect("state poisoned");
+    state
+        .sweeps
+        .outcome(&id)
+        .cloned()
+        .ok_or_else(|| EngineError::Analysis(format!("sweep {id} never finalized")))
 }
 
-impl Coord<'_> {
+/// Runs the long-lived service daemon (`mbcr serve`): resumes the
+/// store's persisted sweep queue, then accepts worker and client
+/// connections until the process dies. Submissions are durable before
+/// they are acknowledged, so a `kill -9` loses nothing a restart cannot
+/// resume.
+///
+/// # Errors
+///
+/// Queue-resume and listener failures. (Per-sweep analysis failures are
+/// recorded in that sweep's manifest, never fatal to the daemon.)
+pub fn serve_daemon(
+    registry: &Registry,
+    store: &ArtifactStore,
+    settings: &CoordSettings,
+    listener: &TcpListener,
+) -> Result<(), EngineError> {
+    let sweeps = SweepRegistry::open(store, registry)?;
+    let service = Service::new(registry, store, *settings, true, sweeps);
+    service.run(listener)
+}
+
+impl<'a> Service<'a> {
+    fn new(
+        registry: &'a Registry,
+        store: &'a ArtifactStore,
+        settings: CoordSettings,
+        daemon: bool,
+        sweeps: SweepRegistry,
+    ) -> Self {
+        Self {
+            registry,
+            store,
+            settings,
+            daemon,
+            state: Mutex::new(State {
+                sweeps,
+                leases: LeaseTable::new(settings.lease_ttl),
+                ever_connected: false,
+                last_live: Instant::now(),
+            }),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The accept loop: hand each connection to a handler thread, reap
+    /// expired leases, and — in drain mode — stop once the registry has
+    /// no unfinished sweep left.
+    fn run(&self, listener: &TcpListener) -> Result<(), EngineError> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            let mut next_peer = 0u64;
+            let mut next_finalize_retry = Instant::now();
+            let result = loop {
+                if !self.daemon && self.finished() {
+                    break Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        next_peer += 1;
+                        let peer = next_peer;
+                        let service = &*self;
+                        scope.spawn(move || handle_connection(service, stream, peer));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => break Err(EngineError::Io(e)),
+                }
+                let now = Instant::now();
+                self.reap_expired(now);
+                // A drained sweep whose manifest write failed (ENOSPC,
+                // transient store trouble) gets no further records to
+                // retry finalization from — re-attempt it here. One-shot
+                // services propagate the failure (the old `serve`
+                // semantics); daemons log and keep retrying.
+                if now >= next_finalize_retry {
+                    next_finalize_retry = now + Duration::from_secs(2);
+                    if let Err(e) = self.lock().sweeps.retry_finalize() {
+                        if self.daemon {
+                            eprintln!("coordinator: finalization still failing: {e}");
+                        } else {
+                            break Err(e);
+                        }
+                    }
+                }
+                if !self.daemon {
+                    if let Some(stall) = self.stalled(now) {
+                        break Err(stall);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            };
+            // Handlers notice the flag within one read timeout and deliver
+            // a final Shutdown/FollowEnd to their peer; the scope then
+            // joins them.
+            self.shutdown.store(true, Ordering::Release);
+            result
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("state poisoned")
+    }
+
     fn finished(&self) -> bool {
-        self.state.lock().expect("state poisoned").sched.finished()
+        self.lock().sweeps.finished()
     }
 
     fn winding_down(&self) -> bool {
@@ -173,24 +248,25 @@ impl Coord<'_> {
     }
 
     fn register(&self, worker: u64) {
-        let mut state = self.state.lock().expect("state poisoned");
+        let mut state = self.lock();
         state.ever_connected = true;
         state.leases.touch(worker, Instant::now());
     }
 
     fn touch(&self, worker: u64) {
-        let mut state = self.state.lock().expect("state poisoned");
+        let mut state = self.lock();
         state.leases.touch(worker, Instant::now());
     }
 
-    /// A worker's connection ended: evict it and requeue its leases.
-    fn drop_worker(&self, worker: u64) {
-        let mut state = self.state.lock().expect("state poisoned");
+    /// A worker's connection ended (or it drained): evict it and requeue
+    /// its leases across every sweep.
+    fn drop_worker(&self, worker: u64, how: &str) {
+        let mut state = self.lock();
         state.leases.remove(worker);
-        let requeued = state.sched.requeue_worker(worker);
+        let requeued = state.sweeps.requeue_worker(worker);
         if !requeued.is_empty() {
             eprintln!(
-                "coordinator: worker {worker} lost with {} leased job(s); requeued",
+                "coordinator: worker {worker} {how} with {} leased job(s); requeued",
                 requeued.len()
             );
         }
@@ -199,9 +275,9 @@ impl Coord<'_> {
     /// Requeues the leases of workers whose TTL lapsed (hung process,
     /// partitioned host — connection loss is handled by `drop_worker`).
     fn reap_expired(&self, now: Instant) {
-        let mut state = self.state.lock().expect("state poisoned");
+        let mut state = self.lock();
         for worker in state.leases.expired(now) {
-            let requeued = state.sched.requeue_worker(worker);
+            let requeued = state.sweeps.requeue_worker(worker);
             eprintln!(
                 "coordinator: worker {worker} lease expired with {} job(s); requeued",
                 requeued.len()
@@ -210,11 +286,12 @@ impl Coord<'_> {
     }
 
     /// An error once every worker is gone and stayed gone for a lease TTL
-    /// with work still pending — better than hanging a self-hosted sweep
-    /// forever.
+    /// with work still pending — better than hanging a one-shot sweep
+    /// forever. (Daemons never stall out: an empty fleet is a legitimate
+    /// idle state for them.)
     fn stalled(&self, now: Instant) -> Option<EngineError> {
-        let mut state = self.state.lock().expect("state poisoned");
-        if state.sched.finished() || !state.ever_connected || state.leases.live() > 0 {
+        let mut state = self.lock();
+        if state.sweeps.finished() || !state.ever_connected || state.leases.live() > 0 {
             state.last_live = now;
             return None;
         }
@@ -222,112 +299,105 @@ impl Coord<'_> {
         if now.duration_since(state.last_live) <= grace {
             return None;
         }
-        Some(EngineError::Analysis(format!(
-            "all workers disconnected with {} job(s) unfinished",
-            state.sched.remaining()
-        )))
+        Some(EngineError::Analysis(
+            "all workers disconnected with jobs unfinished".to_string(),
+        ))
     }
 
-    /// Records a job's terminal state and completes it in the scheduler.
-    /// Guarded against double recording: if a lease-TTL race let another
-    /// worker finish the job first, the existing record wins and this
-    /// call only releases the (stale) lease.
+    /// Records a job's terminal state in the registry (which unblocks
+    /// dependents and cross-sweep waiters and finalizes the sweep when
+    /// drained). The fsync'd journal append happens *before* the state
+    /// lock is taken, so the fleet never queues behind per-record fsync
+    /// latency.
     fn record(
         &self,
-        state: &mut State,
-        job: usize,
+        claim: &ServiceClaim,
         status: JobStatus,
         error: Option<String>,
         summary: Option<JobSummary>,
     ) {
-        if state.records[job].is_some() {
-            state.sched.complete(job);
-            return;
-        }
-        state.records[job] = Some(JobRecord {
-            key: self.plan.keys[job].clone(),
-            label: self.plan.graph.jobs[job].label(),
+        let record = JobRecord {
+            key: claim.plan.keys[claim.job].clone(),
+            label: claim.plan.graph.jobs[claim.job].label(),
             status,
             error,
-            summary: summary.clone(),
-        });
-        state.summaries[job] = summary;
-        state.sched.complete(job);
+            summary,
+        };
+        self.record_journaled(&claim.sweep, claim.job, claim.persist, record);
     }
 
-    fn record_locked(
-        &self,
-        job: usize,
-        status: JobStatus,
-        error: Option<String>,
-        summary: Option<JobSummary>,
-    ) {
-        let mut state = self.state.lock().expect("state poisoned");
-        self.record(&mut state, job, status, error, summary);
+    /// Journals (outside the lock, persistent sweeps only), then records.
+    fn record_journaled(&self, sweep: &str, job: usize, persist: bool, record: JobRecord) {
+        if persist {
+            if let Err(e) = SweepRegistry::journal_record(self.store, sweep, job, &record) {
+                eprintln!(
+                    "coordinator: journaling job {job} of {sweep} failed: {e} \
+                     (a restart will re-run it)"
+                );
+            }
+        }
+        let mut state = self.lock();
+        if let Err(e) = state.sweeps.record(sweep, job, record, true) {
+            eprintln!("coordinator: finalizing after job {job} of {sweep} failed: {e}");
+        }
     }
 
     /// Answers one job request: skips cached nodes, runs combine nodes
     /// inline, and ships the first stage node that actually needs a
-    /// worker. `Wait` when everything runnable is leased elsewhere,
-    /// `Shutdown` when the sweep is over.
+    /// worker. `Wait` when everything runnable is leased elsewhere (or a
+    /// daemon is idle), `Shutdown` when a one-shot service drained.
     ///
     /// Only the lease transition itself holds the state lock — cache
     /// probes, combine writes and wire-job assembly all do store I/O and
-    /// must not stall every other worker's request (a paper-scale fit
-    /// job ships a multi-megabyte chunk log). That is safe because the
+    /// must not stall every other peer's request (a paper-scale fit job
+    /// ships a multi-megabyte chunk log). That is safe because the
     /// claimed node is leased to this worker: nobody else touches it
     /// until it is recorded or the lease is revoked.
     fn claim(&self, worker: u64) -> Message {
         loop {
-            let job = {
-                let mut state = self.state.lock().expect("state poisoned");
-                if state.sched.finished() || self.winding_down() {
+            let claim = {
+                let mut state = self.lock();
+                if self.winding_down() {
                     return Message::Shutdown;
                 }
-                match state.sched.claim(worker) {
-                    Some(job) => job,
-                    None => return Message::Wait,
+                match state.sweeps.claim(worker) {
+                    Some(claim) => claim,
+                    None => {
+                        if !self.daemon && state.sweeps.finished() {
+                            return Message::Shutdown;
+                        }
+                        return Message::Wait;
+                    }
                 }
             };
-            if !self.settings.run.force {
-                if let Some(summary) = self.plan.cached_summary(job, self.store) {
-                    self.record_locked(job, JobStatus::Skipped, None, Some(summary));
+            if !claim.force {
+                if let Some(summary) = claim.plan.cached_summary(claim.job, self.store) {
+                    self.record(&claim, JobStatus::Skipped, None, Some(summary));
                     continue;
                 }
             }
-            match &self.plan.graph.jobs[job].kind {
+            match &claim.plan.graph.jobs[claim.job].kind {
                 JobKind::MultipathCombine => {
-                    let deps: Vec<Option<JobSummary>> = {
-                        let state = self.state.lock().expect("state poisoned");
-                        self.plan.graph.deps[job]
-                            .iter()
-                            .map(|&dep| state.summaries[dep].clone())
-                            .collect()
-                    };
-                    let outcome =
-                        execute_combine(&self.plan.graph.jobs[job], &self.plan.keys[job], &deps)
-                            .and_then(|(summary, result)| {
-                                self.store.write_job(
-                                    &self.plan.keys[job],
-                                    &summary,
-                                    result,
-                                    None,
-                                )?;
-                                Ok(summary)
-                            });
+                    let deps = self.lock().sweeps.dep_summaries(&claim.sweep, claim.job);
+                    let job = &claim.plan.graph.jobs[claim.job];
+                    let key = &claim.plan.keys[claim.job];
+                    let outcome = execute_combine(job, key, &deps).and_then(|(summary, result)| {
+                        self.store.write_job(key, &summary, result, None)?;
+                        Ok(summary)
+                    });
                     match outcome {
                         Ok(summary) => {
-                            self.record_locked(job, JobStatus::Executed, None, Some(summary));
+                            self.record(&claim, JobStatus::Executed, None, Some(summary));
                         }
                         Err(e) => {
-                            self.record_locked(job, JobStatus::Failed, Some(e.to_string()), None);
+                            self.record(&claim, JobStatus::Failed, Some(e.to_string()), None);
                         }
                     }
                 }
-                JobKind::Stage { .. } => match self.build_wire_job(job) {
+                JobKind::Stage { .. } => match self.build_wire_job(&claim) {
                     Ok(wire) => return Message::Job(Box::new(wire)),
                     Err(e) => {
-                        self.record_locked(job, JobStatus::Failed, Some(e.to_string()), None);
+                        self.record(&claim, JobStatus::Failed, Some(e.to_string()), None);
                     }
                 },
             }
@@ -338,13 +408,14 @@ impl Coord<'_> {
     /// artifact present in the store (the worker's session loads them
     /// instead of recomputing), plus the campaign chunk-log prefix when
     /// the job is at or past the campaign stage — the adoption path for
-    /// re-leased in-flight campaigns, and the cached sample for fit jobs.
-    fn build_wire_job(&self, job: usize) -> Result<WireJob, EngineError> {
-        let spec = self.plan.graph.jobs[job].clone();
+    /// re-leased in-flight campaigns — and the sweep's analysis knobs,
+    /// which keep the worker sweep-agnostic.
+    fn build_wire_job(&self, claim: &ServiceClaim) -> Result<WireJob, EngineError> {
+        let plan = &claim.plan;
+        let spec = plan.graph.jobs[claim.job].clone();
         let target = spec.kind.stage().expect("stage node");
-        let digests = self
-            .plan
-            .stage_digests(job, self.registry)?
+        let digests = plan
+            .stage_digests(claim.job, self.registry)?
             .expect("stage node");
         let stages = digests.pipeline().stages();
         let at = stages
@@ -363,7 +434,7 @@ impl Coord<'_> {
                 .iter()
                 .position(|&s| s == StageKind::Campaign)
                 .expect("campaign digest implies a campaign stage");
-            if self.settings.run.force && target == StageKind::Campaign {
+            if claim.force && target == StageKind::Campaign {
                 // Force means re-simulate from scratch: discard the log so
                 // the fresh run rewrites it (the single-process repair
                 // semantics), and ship no prefix.
@@ -375,9 +446,11 @@ impl Coord<'_> {
             }
         }
         Ok(WireJob {
-            job,
-            key: self.plan.keys[job].clone(),
+            sweep: claim.sweep.clone(),
+            job: claim.job,
+            key: plan.keys[claim.job].clone(),
             spec,
+            knobs: claim.knobs,
             artifacts,
             prefix,
         })
@@ -401,10 +474,19 @@ impl Coord<'_> {
 
     /// Merges a worker's finished job: persist its stage artifacts
     /// (content-addressed — racing duplicates are harmless) and fit
-    /// payload, then complete the node. Returns `false` when the result
-    /// is malformed (out-of-range node) and the peer should be dropped.
+    /// payload, then record it with the registry. Returns `false` when
+    /// the result is malformed (unknown sweep, out-of-range or
+    /// never-leased node) and the peer should be dropped.
     fn complete_remote(&self, result: JobResult) -> bool {
-        if result.job >= self.plan.len() {
+        let (plausible, plan, persist) = {
+            let state = self.lock();
+            (
+                state.sweeps.result_plausible(&result.sweep, result.job),
+                state.sweeps.plan(&result.sweep),
+                state.sweeps.persistent(&result.sweep),
+            )
+        };
+        if plausible != Some(true) {
             return false;
         }
         let mut error = result.error;
@@ -419,37 +501,154 @@ impl Coord<'_> {
                 break;
             }
         }
+        let Some(plan) = plan else {
+            return true; // terminal sweep: absorb the late result
+        };
         if error.is_none() {
             if let (Some(s), Some((doc, sample))) = (&summary, &result.fit) {
-                if let Err(e) = self.store.write_job(
-                    &self.plan.keys[result.job],
-                    s,
-                    doc.clone(),
-                    sample.as_deref(),
-                ) {
+                if let Err(e) =
+                    self.store
+                        .write_job(&plan.keys[result.job], s, doc.clone(), sample.as_deref())
+                {
                     error = Some(format!("persisting job artifact: {e}"));
                     summary = None;
                 }
             }
-        }
-        let mut state = self.state.lock().expect("state poisoned");
-        if state.records[result.job].is_some() {
-            return true; // duplicate from a presumed-dead worker
-        }
-        if state.sched.is_blocked(result.job) {
-            return false; // a result for a job never handed out: drop peer
         }
         let status = if error.is_none() {
             JobStatus::Executed
         } else {
             JobStatus::Failed
         };
-        self.record(&mut state, result.job, status, error, summary);
+        let record = JobRecord {
+            key: plan.keys[result.job].clone(),
+            label: plan.graph.jobs[result.job].label(),
+            status,
+            error,
+            summary,
+        };
+        self.record_journaled(&result.sweep, result.job, persist, record);
         true
+    }
+
+    /// Handles a client submission: durable-then-acknowledged.
+    fn submit(&self, spec: &Json, force: bool, checkpoint_interval: Option<usize>) -> Message {
+        let spec = match SweepSpec::from_json(spec) {
+            Ok(spec) => spec,
+            Err(e) => {
+                return Message::Reject {
+                    reason: format!("bad sweep spec: {e}"),
+                }
+            }
+        };
+        let opts = SubmitOptions {
+            force,
+            checkpoint_interval,
+            persist: true,
+        };
+        let mut state = self.lock();
+        match state.sweeps.submit(spec, opts, self.registry) {
+            Ok(sweep) => Message::Submitted { sweep },
+            Err(e) => Message::Reject {
+                reason: e.to_string(),
+            },
+        }
+    }
+
+    fn status(&self, sweep: Option<&str>) -> Message {
+        let state = self.lock();
+        let mut sweeps = state.sweeps.statuses();
+        if let Some(id) = sweep {
+            sweeps.retain(|s| s.id == id);
+            if sweeps.is_empty() {
+                return Message::Reject {
+                    reason: format!("unknown sweep '{id}'"),
+                };
+            }
+        }
+        Message::StatusReport { sweeps }
+    }
+
+    fn cancel(&self, sweep: &str) -> Message {
+        let mut state = self.lock();
+        match state.sweeps.cancel(sweep) {
+            Ok(result) => Message::Cancelled {
+                sweep: sweep.to_string(),
+                state: result.name().to_string(),
+            },
+            Err(e) => Message::Reject {
+                reason: e.to_string(),
+            },
+        }
+    }
+
+    /// Streams progress snapshots for the chosen sweeps until all of
+    /// them are terminal (or the service winds down): a `Progress` frame
+    /// whenever a snapshot changed — job completions *and* campaign
+    /// chunk-log growth — then `FollowEnd`.
+    ///
+    /// The state lock is held only for in-memory reads, and only on
+    /// ticks where the registry's revision moved; campaign chunk-log
+    /// scans (real disk I/O, one per campaign node) always run *outside*
+    /// the lock, so a follower can never stall the worker fleet.
+    fn follow(&self, stream: &mut TcpStream, sweep: Option<String>) -> io::Result<()> {
+        let targets: Vec<String> = {
+            let state = self.lock();
+            match sweep {
+                Some(id) => {
+                    if !state.sweeps.contains(&id) {
+                        drop(state);
+                        return protocol::send(
+                            stream,
+                            &Message::Reject {
+                                reason: format!("unknown sweep '{id}'"),
+                            },
+                        );
+                    }
+                    vec![id]
+                }
+                None => state.sweeps.ids(),
+            }
+        };
+        let mut sent: HashMap<String, String> = HashMap::new();
+        let mut shells: Vec<(SweepSnapshot, Vec<u64>)> = Vec::new();
+        let mut seen_revision = None;
+        loop {
+            let revision = { self.lock().sweeps.revision() };
+            if seen_revision != Some(revision) {
+                seen_revision = Some(revision);
+                let state = self.lock();
+                shells = targets
+                    .iter()
+                    .filter_map(|id| {
+                        state
+                            .sweeps
+                            .snapshot(id)
+                            .map(|shell| (shell, state.sweeps.campaign_digests(id)))
+                    })
+                    .collect();
+            }
+            let all_terminal = shells.iter().all(|(shell, _)| shell.state.terminal());
+            for (shell, digests) in &shells {
+                let mut snapshot = shell.clone();
+                snapshot.campaigns = mbcr_engine::campaign_progress_for(self.store, digests);
+                let id = snapshot.id.clone();
+                let message = Message::Progress(Box::new(snapshot));
+                let rendered = message.to_json().to_compact();
+                if sent.get(&id) != Some(&rendered) {
+                    protocol::send(stream, &message)?;
+                    sent.insert(id, rendered);
+                }
+            }
+            if all_terminal || self.winding_down() {
+                return protocol::send(stream, &Message::FollowEnd);
+            }
+            std::thread::sleep(FOLLOW_TICK);
+        }
     }
 }
 
-fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
+fn handle_connection(service: &Service<'_>, mut stream: TcpStream, peer: u64) {
     let _ = stream.set_nodelay(true);
     // The read timeout only bounds how often this handler checks the
     // wind-down flag; `receive_or_idle` guarantees a timeout landing
@@ -469,7 +668,7 @@ fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
                     &mut stream,
                     &Message::Reject {
                         reason: format!(
-                            "schema mismatch: worker speaks '{schema}', coordinator '{}'",
+                            "schema mismatch: peer speaks '{schema}', service '{}'",
                             protocol::wire_schema()
                         ),
                     },
@@ -478,7 +677,7 @@ fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
             }
             Ok(Received::Idle) => {
                 idle_ticks += 1;
-                if idle_ticks > 40 || coord.winding_down() {
+                if idle_ticks > 40 || service.winding_down() {
                     return;
                 }
             }
@@ -494,23 +693,41 @@ fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
             Ok(Received::Closed) | Err(_) => return,
         }
     }
-    coord.register(worker);
     let welcome = Message::Welcome {
         schema: protocol::wire_schema(),
-        spec: coord.spec.to_json(),
-        checkpoint_interval: coord.settings.run.checkpoint_interval,
     };
     if protocol::send(&mut stream, &welcome).is_err() {
-        coord.drop_worker(worker);
         return;
     }
+    // Whether this connection has identified as a worker (sent any frame
+    // of the job loop). Clients never enter the lease table, so an idle
+    // fleet check cannot be fooled by a lingering `follow` stream.
+    let mut is_worker = false;
+    let mut drained = false;
     loop {
         match protocol::receive_or_idle(&mut stream) {
             Ok(Received::Message(message)) => {
-                coord.touch(worker);
+                match message {
+                    Message::Request
+                    | Message::Chunk { .. }
+                    | Message::ResetLog { .. }
+                    | Message::Heartbeat
+                    | Message::Done(_)
+                    | Message::Drain
+                        if !is_worker =>
+                    {
+                        is_worker = true;
+                        service.register(peer);
+                        // Re-dispatch below via the worker arms.
+                    }
+                    _ => {}
+                }
+                if is_worker {
+                    service.touch(peer);
+                }
                 match message {
                     Message::Request => {
-                        let response = coord.claim(worker);
+                        let response = service.claim(peer);
                         let shutdown = matches!(response, Message::Shutdown);
                         if protocol::send(&mut stream, &response).is_err() || shutdown {
                             break;
@@ -521,17 +738,47 @@ fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
                         start,
                         total,
                         samples,
-                    } => coord.chunk(digest, start, total, &samples),
-                    Message::ResetLog { digest } => coord.reset_log(digest),
+                    } => service.chunk(digest, start, total, &samples),
+                    Message::ResetLog { digest } => service.reset_log(digest),
                     Message::Heartbeat => {}
                     Message::Done(result) => {
-                        if !coord.complete_remote(*result) {
+                        if !service.complete_remote(*result) {
                             break;
                         }
                     }
+                    Message::Drain => {
+                        drained = true;
+                        break;
+                    }
+                    Message::Submit {
+                        spec,
+                        force,
+                        checkpoint_interval,
+                    } => {
+                        let response = service.submit(&spec, force, checkpoint_interval);
+                        if protocol::send(&mut stream, &response).is_err() {
+                            break;
+                        }
+                    }
+                    Message::Status { sweep } => {
+                        let response = service.status(sweep.as_deref());
+                        if protocol::send(&mut stream, &response).is_err() {
+                            break;
+                        }
+                    }
+                    Message::Cancel { sweep } => {
+                        let response = service.cancel(&sweep);
+                        if protocol::send(&mut stream, &response).is_err() {
+                            break;
+                        }
+                    }
+                    Message::Follow { sweep } => {
+                        let _ = service.follow(&mut stream, sweep);
+                        break;
+                    }
                     other => {
                         eprintln!(
-                            "coordinator: worker {worker} sent unexpected {:?} frame; dropping",
+                            "coordinator: peer {peer} sent unexpected {:?} frame; dropping",
                             other.to_json().get("type")
                         );
                         break;
@@ -539,8 +786,8 @@ fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
                 }
             }
             Ok(Received::Idle) => {
-                if coord.winding_down() {
-                    // Idle worker after the sweep ended (or aborted):
+                if service.winding_down() {
+                    // Idle peer after the service ended (or aborted):
                     // release it and wind the handler down.
                     let _ = protocol::send(&mut stream, &Message::Shutdown);
                     break;
@@ -548,10 +795,12 @@ fn handle_connection(coord: &Coord<'_>, mut stream: TcpStream, worker: u64) {
             }
             Ok(Received::Closed) => break,
             Err(e) => {
-                eprintln!("coordinator: worker {worker} connection failed: {e}");
+                eprintln!("coordinator: peer {peer} connection failed: {e}");
                 break;
             }
         }
     }
-    coord.drop_worker(worker);
+    if is_worker {
+        service.drop_worker(peer, if drained { "drained" } else { "lost" });
+    }
 }

@@ -1,12 +1,15 @@
-//! # mbcr-shard — distributed sweep sharding
+//! # mbcr-shard — distributed sweep sharding and the sweep service
 //!
-//! Scales a sweep out at stage boundaries: a **coordinator** expands the
-//! spec through the engine's DAG ([`mbcr_engine::SweepPlan`]), serves
-//! ready stage jobs to TCP **workers** over a length-prefixed
-//! [`mbcr_json`] wire protocol, streams campaign checkpoints back into
-//! its content-addressed store as workers produce them, and merges
-//! completed stage artifacts — deduplicated by digest, so two workers
-//! racing the same shared pub/trace stage is harmless.
+//! Scales sweeps out at stage boundaries: a **service coordinator**
+//! owns any number of concurrently submitted sweeps (the engine's
+//! [`mbcr_engine::SweepRegistry`]), serves ready stage jobs to TCP
+//! **workers** over a length-prefixed [`mbcr_json`] wire protocol,
+//! answers **clients** (submit / status / cancel / follow) on the same
+//! listener, streams campaign checkpoints back into its
+//! content-addressed store as workers produce them, and merges
+//! completed stage artifacts — deduplicated by digest within *and
+//! across* sweeps, so two sweeps sharing a pub/trace/tac stage execute
+//! it once.
 //!
 //! The design leans entirely on what the engine already guarantees:
 //!
@@ -24,6 +27,9 @@
 //! The `mbcr` binary in this crate fronts everything:
 //!
 //! ```text
+//! mbcr serve  --listen 127.0.0.1:4870 --out runs/service   # daemon
+//! mbcr submit --connect 127.0.0.1:4870 --benchmarks bs
+//! mbcr report --connect 127.0.0.1:4870 --follow            # live stream
 //! mbcr coord  --benchmarks bs --listen 127.0.0.1:4870 --out runs/demo
 //! mbcr worker --connect 127.0.0.1:4870 --jobs 4        # on any host
 //! mbcr sweep  --benchmarks bs --shards 4               # self-hosted
@@ -34,6 +40,6 @@ mod lease;
 pub mod protocol;
 mod worker;
 
-pub use coord::{serve, CoordSettings};
+pub use coord::{serve, serve_daemon, CoordSettings};
 pub use lease::LeaseTable;
 pub use worker::{run_worker, WorkerOutcome};

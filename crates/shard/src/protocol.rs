@@ -17,15 +17,19 @@
 
 use std::io::{self, Read, Write};
 
-use mbcr_engine::{JobSpec, JobSummary};
+use mbcr_engine::{
+    AnalysisKnobs, CampaignProgress, JobSpec, JobSummary, SweepSnapshot, SweepState, SweepStatus,
+};
 use mbcr_json::{fnv1a_bytes, Json, Serialize, FNV_OFFSET};
 
 /// Protocol identity exchanged in the handshake: wire layout + the engine
 /// schema whose artifacts travel over it. Either side rejects a peer with
-/// a different spelling.
+/// a different spelling. (`/2` since the service redesign: jobs are
+/// sweep-tagged and self-describing, and the client conversation —
+/// submit/status/cancel/follow — shares the connection grammar.)
 #[must_use]
 pub fn wire_schema() -> String {
-    format!("mbcr-shard/1|{}", mbcr_engine::SCHEMA)
+    format!("mbcr-shard/2|{}", mbcr_engine::SCHEMA)
 }
 
 /// Magic prefix of every frame.
@@ -206,15 +210,22 @@ pub struct SamplePrefix {
     pub samples: Vec<u64>,
 }
 
-/// One stage job as shipped to a worker.
+/// One stage job as shipped to a worker. Self-describing: with the
+/// [`AnalysisKnobs`] riding along, a worker reconstructs the exact
+/// analysis config without ever knowing which sweep the job belongs to —
+/// one fleet serves any number of concurrent sweeps.
 #[derive(Debug, Clone)]
 pub struct WireJob {
-    /// Node index in the coordinator's plan (echoed in [`Message::Done`]).
+    /// Id of the sweep the job belongs to (echoed in [`Message::Done`]).
+    pub sweep: String,
+    /// Node index in that sweep's plan.
     pub job: usize,
     /// The job's content-hash artifact key.
     pub key: String,
     /// The job spec (benchmark, geometry, seed, kind).
     pub spec: JobSpec,
+    /// The owning sweep's analysis knobs.
+    pub knobs: AnalysisKnobs,
     /// Upstream stage artifacts (full envelopes), in dataflow order.
     pub artifacts: Vec<Json>,
     /// Campaign log prefix to adopt, when the job has one.
@@ -224,6 +235,8 @@ pub struct WireJob {
 /// What a worker produced for one job.
 #[derive(Debug, Clone)]
 pub struct JobResult {
+    /// The sweep id the coordinator shipped.
+    pub sweep: String,
     /// The node index the coordinator shipped.
     pub job: usize,
     /// Failure message; `None` means the job executed.
@@ -237,40 +250,40 @@ pub struct JobResult {
     pub fit: Option<(Json, Option<Vec<u64>>)>,
 }
 
-/// Every message of the coordinator/worker conversation.
+/// Every message of the service conversation. Workers and clients speak
+/// the same framed grammar over the same listener: both open with
+/// [`Message::Hello`], then workers run the request/job/done loop while
+/// clients submit, query, cancel, or follow sweeps.
 #[derive(Debug, Clone)]
 pub enum Message {
-    /// Worker → coordinator: handshake.
+    /// Peer → service: handshake.
     Hello {
         /// Must equal [`wire_schema`].
         schema: String,
     },
-    /// Coordinator → worker: handshake reply carrying everything a worker
-    /// needs to reproduce the coordinator's configs exactly.
+    /// Service → peer: handshake accepted. Jobs are self-describing
+    /// (spec + knobs travel with each one), so the welcome carries only
+    /// the protocol identity.
     Welcome {
         /// Must equal [`wire_schema`].
         schema: String,
-        /// The sweep spec (JSON form of `SweepSpec`).
-        spec: Json,
-        /// The run's checkpoint-interval override, if any.
-        checkpoint_interval: Option<usize>,
     },
-    /// Coordinator → worker: the handshake was refused (schema mismatch,
-    /// malformed hello). The worker reports `reason` and exits nonzero —
-    /// a misconfigured fleet must be loud, not idle.
+    /// Service → peer: the request was refused (schema mismatch,
+    /// malformed hello, unknown sweep id). Workers report `reason` and
+    /// exit nonzero — a misconfigured fleet must be loud, not idle.
     Reject {
         /// Human-readable refusal reason.
         reason: String,
     },
-    /// Worker → coordinator: give me a job.
+    /// Worker → service: give me a job.
     Request,
-    /// Coordinator → worker: run this stage job.
+    /// Service → worker: run this stage job.
     Job(Box<WireJob>),
-    /// Coordinator → worker: nothing is ready; ask again shortly.
+    /// Service → worker: nothing is ready; ask again shortly.
     Wait,
-    /// Coordinator → worker: the sweep is complete; disconnect.
+    /// Service → worker: no further work will come; disconnect.
     Shutdown,
-    /// Worker → coordinator: a campaign checkpoint chunk (runs
+    /// Worker → service: a campaign checkpoint chunk (runs
     /// `start .. start + samples.len()` of a campaign with `total`
     /// resolved runs), streamed as simulation produces it.
     Chunk {
@@ -283,16 +296,71 @@ pub enum Message {
         /// The chunk's execution times.
         samples: Vec<u64>,
     },
-    /// Worker → coordinator: discard the chunk log under `digest` (the
+    /// Worker → service: discard the chunk log under `digest` (the
     /// worker found its content divergent and is rewriting from scratch).
     ResetLog {
         /// The log's digest.
         digest: u64,
     },
-    /// Worker → coordinator: liveness while a long stage executes.
+    /// Worker → service: liveness while a long stage executes.
     Heartbeat,
-    /// Worker → coordinator: job finished (either way).
+    /// Worker → service: job finished (either way).
     Done(Box<JobResult>),
+    /// Worker → service: graceful drain (SIGTERM). The worker has
+    /// flushed its in-flight campaign chunk and is leaving; requeue its
+    /// leases now instead of waiting for the connection or lease TTL.
+    Drain,
+    /// Client → service: queue this sweep.
+    Submit {
+        /// The sweep spec (JSON form of `SweepSpec`).
+        spec: Json,
+        /// Re-execute jobs even when cached artifacts exist.
+        force: bool,
+        /// Checkpoint-interval override for this sweep's campaigns.
+        checkpoint_interval: Option<usize>,
+    },
+    /// Service → client: the submission is durable and scheduled.
+    Submitted {
+        /// The sweep's id (use it to follow or cancel).
+        sweep: String,
+    },
+    /// Client → service: report sweep states (one sweep, or the whole
+    /// queue).
+    Status {
+        /// Restrict to one sweep id.
+        sweep: Option<String>,
+    },
+    /// Service → client: the queue's status rows.
+    StatusReport {
+        /// One row per sweep, in submission order.
+        sweeps: Vec<SweepStatus>,
+    },
+    /// Client → service: cancel a sweep.
+    Cancel {
+        /// The sweep to cancel.
+        sweep: String,
+    },
+    /// Service → client: cancel acknowledged.
+    Cancelled {
+        /// The sweep id.
+        sweep: String,
+        /// Its resulting state (terminal sweeps keep theirs).
+        state: String,
+    },
+    /// Client → service: stream progress snapshots until the target
+    /// sweep(s) complete.
+    Follow {
+        /// One sweep id, or `None` to follow every currently submitted
+        /// sweep.
+        sweep: Option<String>,
+    },
+    /// Service → client: one progress snapshot of one sweep (per-job
+    /// statuses + per-campaign chunk-log progress). Sent whenever
+    /// something changed, and once more in terminal state.
+    Progress(Box<SweepSnapshot>),
+    /// Service → client: everything followed is terminal; the stream
+    /// ends.
+    FollowEnd,
 }
 
 impl Message {
@@ -309,6 +377,16 @@ impl Message {
             Message::ResetLog { .. } => "reset_log",
             Message::Heartbeat => "heartbeat",
             Message::Done(_) => "done",
+            Message::Drain => "drain",
+            Message::Submit { .. } => "submit",
+            Message::Submitted { .. } => "submitted",
+            Message::Status { .. } => "status",
+            Message::StatusReport { .. } => "status_report",
+            Message::Cancel { .. } => "cancel",
+            Message::Cancelled { .. } => "cancelled",
+            Message::Follow { .. } => "follow",
+            Message::Progress(_) => "progress",
+            Message::FollowEnd => "follow_end",
         }
     }
 
@@ -323,23 +401,21 @@ impl Message {
             Message::Reject { reason } => {
                 members.push(("reason".to_string(), reason.as_str().into()));
             }
-            Message::Welcome {
-                schema,
-                spec,
-                checkpoint_interval,
-            } => {
+            Message::Welcome { schema } => {
                 members.push(("schema".to_string(), schema.as_str().into()));
-                members.push(("spec".to_string(), spec.clone()));
-                members.push((
-                    "checkpoint_interval".to_string(),
-                    Serialize::to_json(&checkpoint_interval.map(|v| v as u64)),
-                ));
             }
-            Message::Request | Message::Wait | Message::Shutdown | Message::Heartbeat => {}
+            Message::Request
+            | Message::Wait
+            | Message::Shutdown
+            | Message::Heartbeat
+            | Message::Drain
+            | Message::FollowEnd => {}
             Message::Job(job) => {
+                members.push(("sweep".to_string(), job.sweep.as_str().into()));
                 members.push(("job".to_string(), Json::UInt(job.job as u64)));
                 members.push(("key".to_string(), job.key.as_str().into()));
                 members.push(("spec".to_string(), job.spec.to_json()));
+                members.push(("knobs".to_string(), job.knobs.to_json()));
                 members.push(("artifacts".to_string(), Json::Arr(job.artifacts.clone())));
                 members.push((
                     "prefix".to_string(),
@@ -366,7 +442,42 @@ impl Message {
             Message::ResetLog { digest } => {
                 members.push(("digest".to_string(), Json::UInt(*digest)));
             }
+            Message::Submit {
+                spec,
+                force,
+                checkpoint_interval,
+            } => {
+                members.push(("spec".to_string(), spec.clone()));
+                members.push(("force".to_string(), Json::Bool(*force)));
+                members.push((
+                    "checkpoint_interval".to_string(),
+                    Serialize::to_json(&checkpoint_interval.map(|v| v as u64)),
+                ));
+            }
+            Message::Submitted { sweep } => {
+                members.push(("sweep".to_string(), sweep.as_str().into()));
+            }
+            Message::Status { sweep } | Message::Follow { sweep } => {
+                members.push(("sweep".to_string(), Serialize::to_json(sweep)));
+            }
+            Message::StatusReport { sweeps } => {
+                members.push((
+                    "sweeps".to_string(),
+                    Json::Arr(sweeps.iter().map(status_json).collect()),
+                ));
+            }
+            Message::Cancel { sweep } => {
+                members.push(("sweep".to_string(), sweep.as_str().into()));
+            }
+            Message::Cancelled { sweep, state } => {
+                members.push(("sweep".to_string(), sweep.as_str().into()));
+                members.push(("state".to_string(), state.as_str().into()));
+            }
+            Message::Progress(snapshot) => {
+                members.push(("snapshot".to_string(), snapshot_json(snapshot)));
+            }
             Message::Done(result) => {
+                members.push(("sweep".to_string(), result.sweep.as_str().into()));
                 members.push(("job".to_string(), Json::UInt(result.job as u64)));
                 members.push(("error".to_string(), Serialize::to_json(&result.error)));
                 members.push((
@@ -415,20 +526,19 @@ impl Message {
             },
             "welcome" => Message::Welcome {
                 schema: text("schema")?,
-                spec: v.get("spec")?.clone(),
-                checkpoint_interval: match v.get("checkpoint_interval") {
-                    None | Some(Json::Null) => None,
-                    Some(other) => Some(other.as_usize()?),
-                },
             },
             "request" => Message::Request,
             "wait" => Message::Wait,
             "shutdown" => Message::Shutdown,
             "heartbeat" => Message::Heartbeat,
+            "drain" => Message::Drain,
+            "follow_end" => Message::FollowEnd,
             "job" => Message::Job(Box::new(WireJob {
+                sweep: text("sweep")?,
                 job: v.get("job")?.as_usize()?,
                 key: text("key")?,
                 spec: JobSpec::from_json(v.get("spec")?)?,
+                knobs: AnalysisKnobs::from_json(v.get("knobs")?)?,
                 artifacts: v.get("artifacts")?.as_array()?.to_vec(),
                 prefix: match v.get("prefix") {
                     None | Some(Json::Null) => None,
@@ -438,6 +548,39 @@ impl Message {
                     }),
                 },
             })),
+            "submit" => Message::Submit {
+                spec: v.get("spec")?.clone(),
+                force: v.get("force")?.as_bool()?,
+                checkpoint_interval: match v.get("checkpoint_interval") {
+                    None | Some(Json::Null) => None,
+                    Some(other) => Some(other.as_usize()?),
+                },
+            },
+            "submitted" => Message::Submitted {
+                sweep: text("sweep")?,
+            },
+            "status" => Message::Status {
+                sweep: optional_text(v.get("sweep"))?,
+            },
+            "follow" => Message::Follow {
+                sweep: optional_text(v.get("sweep"))?,
+            },
+            "status_report" => Message::StatusReport {
+                sweeps: v
+                    .get("sweeps")?
+                    .as_array()?
+                    .iter()
+                    .map(status_from_json)
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            "cancel" => Message::Cancel {
+                sweep: text("sweep")?,
+            },
+            "cancelled" => Message::Cancelled {
+                sweep: text("sweep")?,
+                state: text("state")?,
+            },
+            "progress" => Message::Progress(Box::new(snapshot_from_json(v.get("snapshot")?)?)),
             "chunk" => Message::Chunk {
                 digest: v.get("digest")?.as_u64()?,
                 start: v.get("start")?.as_usize()?,
@@ -460,6 +603,7 @@ impl Message {
                     return None; // exactly one of error/summary
                 }
                 Message::Done(Box::new(JobResult {
+                    sweep: text("sweep")?,
                     job: v.get("job")?.as_usize()?,
                     error,
                     summary,
@@ -479,6 +623,114 @@ impl Message {
             _ => return None,
         })
     }
+}
+
+fn optional_text(v: Option<&Json>) -> Option<Option<String>> {
+    match v {
+        None | Some(Json::Null) => Some(None),
+        Some(other) => other.as_str().map(|s| Some(s.to_string())),
+    }
+}
+
+fn status_json(status: &SweepStatus) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), status.id.as_str().into()),
+        ("name".to_string(), status.name.as_str().into()),
+        ("state".to_string(), status.state.name().into()),
+        ("total".to_string(), Json::UInt(status.total as u64)),
+        ("done".to_string(), Json::UInt(status.done as u64)),
+        ("executed".to_string(), Json::UInt(status.executed as u64)),
+        ("skipped".to_string(), Json::UInt(status.skipped as u64)),
+        ("failed".to_string(), Json::UInt(status.failed as u64)),
+    ])
+}
+
+fn status_from_json(v: &Json) -> Option<SweepStatus> {
+    let number = |k: &str| v.get(k).and_then(Json::as_usize);
+    Some(SweepStatus {
+        id: v.get("id")?.as_str()?.to_string(),
+        name: v.get("name")?.as_str()?.to_string(),
+        state: SweepState::parse(v.get("state")?.as_str()?)?,
+        total: number("total")?,
+        done: number("done")?,
+        executed: number("executed")?,
+        skipped: number("skipped")?,
+        failed: number("failed")?,
+    })
+}
+
+fn snapshot_json(snapshot: &SweepSnapshot) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), snapshot.id.as_str().into()),
+        ("name".to_string(), snapshot.name.as_str().into()),
+        ("state".to_string(), snapshot.state.name().into()),
+        ("total".to_string(), Json::UInt(snapshot.total as u64)),
+        (
+            "jobs".to_string(),
+            Json::Arr(
+                snapshot
+                    .jobs
+                    .iter()
+                    .map(|(label, status, resumed)| {
+                        Json::Obj(vec![
+                            ("label".to_string(), label.as_str().into()),
+                            ("status".to_string(), status.as_str().into()),
+                            ("resumed".to_string(), Json::UInt(*resumed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "campaigns".to_string(),
+            Json::Arr(
+                snapshot
+                    .campaigns
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("digest".to_string(), Json::UInt(c.digest)),
+                            ("collected".to_string(), Json::UInt(c.collected as u64)),
+                            ("total".to_string(), Json::UInt(c.total)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn snapshot_from_json(v: &Json) -> Option<SweepSnapshot> {
+    Some(SweepSnapshot {
+        id: v.get("id")?.as_str()?.to_string(),
+        name: v.get("name")?.as_str()?.to_string(),
+        state: SweepState::parse(v.get("state")?.as_str()?)?,
+        total: v.get("total")?.as_usize()?,
+        jobs: v
+            .get("jobs")?
+            .as_array()?
+            .iter()
+            .map(|j| {
+                Some((
+                    j.get("label")?.as_str()?.to_string(),
+                    j.get("status")?.as_str()?.to_string(),
+                    j.get("resumed")?.as_u64()?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        campaigns: v
+            .get("campaigns")?
+            .as_array()?
+            .iter()
+            .map(|c| {
+                Some(CampaignProgress {
+                    digest: c.get("digest")?.as_u64()?,
+                    collected: c.get("collected")?.as_usize()?,
+                    total: c.get("total")?.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
 }
 
 fn samples_json(samples: &[u64]) -> Json {
@@ -544,9 +796,9 @@ mod tests {
             .expect("not EOF")
     }
 
-    #[test]
-    fn frames_roundtrip_every_message_kind() {
-        let job = WireJob {
+    fn demo_job() -> WireJob {
+        WireJob {
+            sweep: "s007-demo".to_string(),
             job: 7,
             key: "ab".repeat(16),
             spec: JobSpec {
@@ -555,33 +807,64 @@ mod tests {
                 master_seed: 42,
                 kind: mbcr_engine::JobKind::pub_tac_stage(mbcr_engine::StageKind::Campaign, "v1"),
             },
+            knobs: AnalysisKnobs {
+                quick: true,
+                max_campaign_runs: Some(60_000),
+                exceedance: 1e-12,
+                checkpoint_interval: Some(500),
+            },
             artifacts: vec![Json::Obj(vec![("digest".to_string(), Json::UInt(9))])],
             prefix: Some(SamplePrefix {
                 digest: 0xD1,
                 samples: vec![u64::MAX, 0, 17],
             }),
-        };
-        match roundtrip(&Message::Job(Box::new(job.clone()))) {
-            Message::Job(back) => {
-                assert_eq!(back.job, job.job);
-                assert_eq!(back.key, job.key);
-                assert_eq!(back.spec, job.spec);
-                assert_eq!(back.artifacts, job.artifacts);
-                assert_eq!(back.prefix, job.prefix);
-            }
-            other => panic!("wrong kind: {other:?}"),
         }
-        for msg in [
+    }
+
+    fn demo_snapshot() -> SweepSnapshot {
+        SweepSnapshot {
+            id: "s001-demo".to_string(),
+            name: "demo".to_string(),
+            state: SweepState::Running,
+            total: 9,
+            jobs: vec![
+                (
+                    "pub_tac:pub/bs/4096B-2w-32B/s1".to_string(),
+                    "executed".to_string(),
+                    0,
+                ),
+                (
+                    "pub_tac:campaign/bs:v1/4096B-2w-32B/s1".to_string(),
+                    "executed".to_string(),
+                    4500,
+                ),
+            ],
+            campaigns: vec![CampaignProgress {
+                digest: 0xBEEF,
+                collected: 120,
+                total: 500,
+            }],
+        }
+    }
+
+    /// Every message kind the protocol knows, with representative payloads.
+    fn every_message() -> Vec<Message> {
+        vec![
             Message::Hello {
+                schema: wire_schema(),
+            },
+            Message::Welcome {
                 schema: wire_schema(),
             },
             Message::Reject {
                 reason: "schema mismatch".to_string(),
             },
             Message::Request,
+            Message::Job(Box::new(demo_job())),
             Message::Wait,
             Message::Shutdown,
             Message::Heartbeat,
+            Message::Drain,
             Message::Chunk {
                 digest: 1,
                 start: 128,
@@ -589,23 +872,170 @@ mod tests {
                 samples: vec![3, 2, 1],
             },
             Message::ResetLog { digest: 5 },
-        ] {
+            Message::Submit {
+                spec: mbcr_engine::SweepSpec::new("wire")
+                    .benchmarks(["bs"])
+                    .to_json(),
+                force: true,
+                checkpoint_interval: Some(256),
+            },
+            Message::Submitted {
+                sweep: "s000-wire".to_string(),
+            },
+            Message::Status { sweep: None },
+            Message::Status {
+                sweep: Some("s000-wire".to_string()),
+            },
+            Message::StatusReport {
+                sweeps: vec![SweepStatus {
+                    id: "s000-wire".to_string(),
+                    name: "wire".to_string(),
+                    state: SweepState::Queued,
+                    total: 7,
+                    done: 3,
+                    executed: 2,
+                    skipped: 1,
+                    failed: 0,
+                }],
+            },
+            Message::Cancel {
+                sweep: "s000-wire".to_string(),
+            },
+            Message::Cancelled {
+                sweep: "s000-wire".to_string(),
+                state: "canceled".to_string(),
+            },
+            Message::Follow { sweep: None },
+            Message::Follow {
+                sweep: Some("s000-wire".to_string()),
+            },
+            Message::Progress(Box::new(demo_snapshot())),
+            Message::FollowEnd,
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_every_message_kind() {
+        let job = demo_job();
+        match roundtrip(&Message::Job(Box::new(job.clone()))) {
+            Message::Job(back) => {
+                assert_eq!(back.sweep, job.sweep);
+                assert_eq!(back.job, job.job);
+                assert_eq!(back.key, job.key);
+                assert_eq!(back.spec, job.spec);
+                assert_eq!(back.knobs, job.knobs);
+                assert_eq!(back.artifacts, job.artifacts);
+                assert_eq!(back.prefix, job.prefix);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match roundtrip(&Message::Progress(Box::new(demo_snapshot()))) {
+            Message::Progress(back) => assert_eq!(*back, demo_snapshot()),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        for msg in every_message() {
             let back = roundtrip(&msg);
             assert_eq!(back.to_json().to_compact(), msg.to_json().to_compact());
         }
     }
 
     #[test]
-    fn clean_eof_is_none_and_mid_frame_eof_is_torn() {
-        let mut bytes = Vec::new();
-        send(&mut bytes, &Message::Heartbeat).expect("send");
-        // Clean boundary.
-        assert!(matches!(receive(&mut Cursor::new(&bytes[..0])), Ok(None)));
-        // Every proper prefix of the frame is torn, never a message and
-        // never a clean EOF.
-        for cut in 1..bytes.len() {
-            let err = receive(&mut Cursor::new(&bytes[..cut])).expect_err("torn");
-            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut {cut}");
+    fn clean_eof_is_none_and_mid_frame_eof_is_torn_for_every_message_kind() {
+        for msg in every_message() {
+            let mut bytes = Vec::new();
+            send(&mut bytes, &msg).expect("send");
+            // Clean boundary.
+            assert!(matches!(receive(&mut Cursor::new(&bytes[..0])), Ok(None)));
+            // Every proper prefix of the frame is torn, never a message
+            // and never a clean EOF.
+            for cut in 1..bytes.len() {
+                let err = receive(&mut Cursor::new(&bytes[..cut])).expect_err("torn");
+                assert_eq!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData,
+                    "{} cut {cut}",
+                    msg.tag()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_flip_is_rejected_for_every_message_kind() {
+        for msg in every_message() {
+            let mut bytes = Vec::new();
+            send(&mut bytes, &msg).expect("send");
+            // Flip one payload byte: the frame hash must catch it (the
+            // header length/hash fields are covered by the other tests).
+            for at in [FRAME_HEADER, bytes.len() - 1] {
+                let mut bad = bytes.clone();
+                bad[at] ^= 0xFF;
+                let err = receive(&mut Cursor::new(bad)).expect_err("corrupt");
+                assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{}", msg.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn new_messages_reject_malformed_fields() {
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        for doc in [
+            // submit without a spec / with a non-bool force
+            obj(vec![("type", "submit".into()), ("force", Json::Bool(true))]),
+            obj(vec![
+                ("type", "submit".into()),
+                ("spec", Json::Obj(vec![])),
+                ("force", Json::UInt(1)),
+            ]),
+            // submitted/cancel/cancelled without their ids
+            obj(vec![("type", "submitted".into())]),
+            obj(vec![("type", "cancel".into())]),
+            obj(vec![("type", "cancelled".into()), ("sweep", "s0".into())]),
+            // status/follow with a non-string sweep
+            obj(vec![("type", "status".into()), ("sweep", Json::UInt(3))]),
+            obj(vec![("type", "follow".into()), ("sweep", Json::UInt(3))]),
+            // status_report with a malformed row (unknown state)
+            obj(vec![
+                ("type", "status_report".into()),
+                (
+                    "sweeps",
+                    Json::Arr(vec![obj(vec![
+                        ("id", "s0".into()),
+                        ("name", "x".into()),
+                        ("state", "nope".into()),
+                        ("total", Json::UInt(1)),
+                        ("done", Json::UInt(0)),
+                        ("executed", Json::UInt(0)),
+                        ("skipped", Json::UInt(0)),
+                        ("failed", Json::UInt(0)),
+                    ])]),
+                ),
+            ]),
+            // progress without a snapshot / with a truncated one
+            obj(vec![("type", "progress".into())]),
+            obj(vec![
+                ("type", "progress".into()),
+                ("snapshot", obj(vec![("id", "s0".into())])),
+            ]),
+            // job without its sweep tag or knobs (the v1 layout)
+            obj(vec![
+                ("type", "job".into()),
+                ("job", Json::UInt(0)),
+                ("key", "ab".into()),
+            ]),
+        ] {
+            assert!(
+                Message::from_json(&doc).is_none(),
+                "must reject {}",
+                doc.to_compact()
+            );
         }
     }
 
@@ -660,15 +1090,33 @@ mod tests {
     }
 
     #[test]
-    fn done_requires_exactly_one_of_error_and_summary() {
-        let neither = Json::Obj(vec![
-            ("type".to_string(), "done".into()),
-            ("job".to_string(), Json::UInt(0)),
-            ("error".to_string(), Json::Null),
-            ("summary".to_string(), Json::Null),
-            ("stage_docs".to_string(), Json::Arr(vec![])),
-            ("fit".to_string(), Json::Null),
+    fn done_requires_a_sweep_tag_and_exactly_one_of_error_and_summary() {
+        let done = |members: Vec<(&str, Json)>| {
+            let mut fields = vec![
+                ("type".to_string(), Json::from("done")),
+                ("job".to_string(), Json::UInt(0)),
+                ("stage_docs".to_string(), Json::Arr(vec![])),
+                ("fit".to_string(), Json::Null),
+            ];
+            fields.extend(members.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Json::Obj(fields)
+        };
+        let neither = done(vec![
+            ("sweep", "s0".into()),
+            ("error", Json::Null),
+            ("summary", Json::Null),
         ]);
         assert!(Message::from_json(&neither).is_none());
+        let untagged = done(vec![("error", "boom".into()), ("summary", Json::Null)]);
+        assert!(
+            Message::from_json(&untagged).is_none(),
+            "sweep tag required"
+        );
+        let ok = done(vec![
+            ("sweep", "s0".into()),
+            ("error", "boom".into()),
+            ("summary", Json::Null),
+        ]);
+        assert!(Message::from_json(&ok).is_some());
     }
 }

@@ -1,16 +1,30 @@
 //! The shard worker: a thin loop around the engine's stage executor.
 //!
 //! Each job slot holds its own TCP connection and runs
-//! request → execute → done. A job arrives with the upstream stage
-//! artifacts its session will load (so nothing is recomputed) and, for
-//! campaign work, the chunk-log prefix the coordinator already holds —
-//! the worker seeds a [`WireStore`] with both and then runs the *same*
+//! request → execute → done. A job arrives **self-describing**: its spec,
+//! the owning sweep's analysis knobs (from which the exact
+//! [`mbcr::AnalysisConfig`] is rebuilt), the upstream stage artifacts its
+//! session will load (so nothing is recomputed) and, for campaign work,
+//! the chunk-log prefix the coordinator already holds — the worker seeds
+//! a [`WireStore`] with all of it and then runs the *same*
 //! [`mbcr_engine::execute_stage`] code path as a single-process sweep.
+//! The worker never knows (or cares) which sweep a job belongs to beyond
+//! echoing its tag, which is what lets one fleet serve many concurrent
+//! sweeps of a service daemon.
+//!
 //! Campaign checkpoints stream back to the coordinator as they are
 //! written locally, so coordinator-side resume granularity equals the
 //! single-process `checkpoint_interval` guarantee; a send failure aborts
 //! the simulation early rather than burning hours on a result nobody can
 //! receive.
+//!
+//! **Graceful drain:** on SIGTERM the worker finishes cheap stages
+//! normally, but an in-flight campaign stops at its next checkpoint
+//! boundary — the boundary chunk is already flushed to the coordinator —
+//! and the slot sends a [`Message::Drain`] frame before disconnecting,
+//! so the coordinator requeues its leases immediately (the next claimer
+//! adopts the campaign from the flushed prefix) instead of waiting for
+//! connection teardown or a lease TTL.
 //!
 //! A heartbeat thread per connection keeps the lease alive through long,
 //! otherwise-silent stages (convergence can run minutes without a
@@ -23,7 +37,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mbcr::stage::{MemoryStageStore, StageStore};
-use mbcr_engine::{execute_stage, Registry, SweepSpec};
+use mbcr_engine::{execute_stage, Registry};
 use mbcr_json::Json;
 
 use crate::protocol::{self, JobResult, Message, WireJob};
@@ -36,6 +50,40 @@ const WAIT_BACKOFF: Duration = Duration::from_millis(100);
 const CONNECT_RETRIES: usize = 80;
 const CONNECT_BACKOFF: Duration = Duration::from_millis(250);
 
+/// The marker a drain-aborted campaign carries in its local error — the
+/// slot recognizes it and deregisters instead of reporting a failure.
+const DRAIN_SENTINEL: &str = "worker draining on SIGTERM";
+
+/// Set by the SIGTERM handler; every slot and checkpoint write checks it.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a graceful drain was requested (SIGTERM received).
+#[must_use]
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::Acquire)
+}
+
+/// Installs the SIGTERM handler that flips the drain flag. The handler
+/// body is a single atomic store — async-signal-safe by construction.
+#[cfg(unix)]
+fn install_drain_handler() {
+    extern "C" fn on_sigterm(_signum: i32) {
+        DRAIN.store(true, Ordering::Release);
+    }
+    // Declared by hand (no libc crate in the offline workspace); libc
+    // itself is already linked by std on every unix target.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_handler() {}
+
 /// What one worker process executed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerOutcome {
@@ -47,7 +95,8 @@ pub struct WorkerOutcome {
 
 /// Runs `slots` parallel job loops against the coordinator at `addr`,
 /// returning the summed outcome once the coordinator shuts the fleet
-/// down.
+/// down — or once a SIGTERM drain completes (in-flight campaigns
+/// checkpointed and flushed, leases handed back).
 ///
 /// # Errors
 ///
@@ -55,6 +104,7 @@ pub struct WorkerOutcome {
 /// simply closes the socket (it exited after finalizing) ends the slot
 /// cleanly instead.
 pub fn run_worker(addr: &str, slots: usize) -> io::Result<WorkerOutcome> {
+    install_drain_handler();
     let slots = slots.max(1);
     if slots == 1 {
         return worker_slot(addr);
@@ -111,21 +161,14 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
             schema: protocol::wire_schema(),
         },
     )?;
-    let (spec, checkpoint_interval) = match protocol::receive(&mut reader)? {
-        Some(Message::Welcome {
-            schema,
-            spec,
-            checkpoint_interval,
-        }) => {
+    match protocol::receive(&mut reader)? {
+        Some(Message::Welcome { schema }) => {
             if schema != protocol::wire_schema() {
                 return Err(protocol_error(format!(
                     "coordinator speaks '{schema}', this worker '{}'",
                     protocol::wire_schema()
                 )));
             }
-            let spec = SweepSpec::from_json(&spec)
-                .map_err(|e| protocol_error(format!("bad spec in welcome: {e}")))?;
-            (spec, checkpoint_interval)
         }
         Some(Message::Reject { reason }) => {
             return Err(protocol_error(format!(
@@ -145,7 +188,7 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
                 "coordinator closed the connection during the handshake",
             ))
         }
-    };
+    }
 
     let registry = Registry::malardalen();
     let stop = Arc::new(AtomicBool::new(false));
@@ -165,6 +208,12 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
     let run = (|| -> io::Result<WorkerOutcome> {
         let mut outcome = WorkerOutcome::default();
         loop {
+            if drain_requested() {
+                // Deregister loudly: the coordinator requeues this slot's
+                // leases now instead of on the lease TTL.
+                let _ = send(&writer, &Message::Drain);
+                return Ok(outcome);
+            }
             send(&writer, &Message::Request)?;
             match protocol::receive(&mut reader)? {
                 // A vanished coordinator after a finalized sweep is a
@@ -172,7 +221,14 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
                 None | Some(Message::Shutdown) => return Ok(outcome),
                 Some(Message::Wait) => std::thread::sleep(WAIT_BACKOFF),
                 Some(Message::Job(job)) => {
-                    let result = run_job(*job, &spec, checkpoint_interval, &registry, &writer);
+                    let result = run_job(*job, &registry, &writer);
+                    if drain_aborted(&result) {
+                        // The campaign stopped at a checkpoint boundary
+                        // and the boundary chunk is already flushed; hand
+                        // the lease back instead of reporting a failure.
+                        let _ = send(&writer, &Message::Drain);
+                        return Ok(outcome);
+                    }
                     if result.error.is_none() {
                         outcome.executed += 1;
                     } else {
@@ -194,6 +250,16 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
     run
 }
 
+/// Whether a job result is the drain sentinel rather than a real
+/// analysis failure.
+fn drain_aborted(result: &JobResult) -> bool {
+    drain_requested()
+        && result
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains(DRAIN_SENTINEL))
+}
+
 fn send(writer: &Mutex<TcpStream>, message: &Message) -> io::Result<()> {
     let mut stream = writer.lock().expect("writer poisoned");
     protocol::send(&mut *stream, message)
@@ -202,14 +268,9 @@ fn send(writer: &Mutex<TcpStream>, message: &Message) -> io::Result<()> {
 /// Executes one shipped stage job against a local wire-backed store and
 /// packages the result. Never returns an error: failures travel back in
 /// the [`JobResult`] like any analysis failure.
-fn run_job(
-    wire: WireJob,
-    spec: &SweepSpec,
-    checkpoint_interval: Option<usize>,
-    registry: &Registry,
-    writer: &Arc<Mutex<TcpStream>>,
-) -> JobResult {
+fn run_job(wire: WireJob, registry: &Registry, writer: &Arc<Mutex<TcpStream>>) -> JobResult {
     let fail = |error: String| JobResult {
+        sweep: wire.sweep.clone(),
         job: wire.job,
         error: Some(error),
         summary: None,
@@ -236,17 +297,13 @@ fn run_job(
             return fail(format!("seeding the campaign prefix failed: {e}"));
         }
     }
-    let cfg = match spec.analysis_config(&wire.spec.geometry, wire.spec.job_seed()) {
-        Ok(mut cfg) => {
-            if let Some(interval) = checkpoint_interval {
-                cfg.checkpoint_interval = interval;
-            }
-            cfg
-        }
+    let cfg = match wire.knobs.config(&wire.spec.geometry, wire.spec.job_seed()) {
+        Ok(cfg) => cfg,
         Err(e) => return fail(e.to_string()),
     };
     match execute_stage(&wire.spec, &wire.key, &cfg, registry, &store, false) {
         Ok(outcome) => JobResult {
+            sweep: wire.sweep,
             job: wire.job,
             error: None,
             summary: Some(outcome.summary),
@@ -254,6 +311,7 @@ fn run_job(
             fit: outcome.fit,
         },
         Err(e) => JobResult {
+            sweep: wire.sweep,
             job: wire.job,
             error: Some(e.to_string()),
             summary: None,
@@ -334,7 +392,14 @@ impl StageStore for WireStore<'_> {
                 total,
                 samples: samples.to_vec(),
             },
-        )
+        )?;
+        // Graceful drain: this checkpoint chunk is durable at the
+        // coordinator, which makes *now* the cheapest possible moment to
+        // stop — the next claimer adopts the campaign from exactly here.
+        if drain_requested() {
+            return Err(io::Error::other(DRAIN_SENTINEL));
+        }
+        Ok(())
     }
 
     fn reset_samples(&self, digest: u64) -> io::Result<()> {
