@@ -55,8 +55,8 @@ pub use pool::execute_dag;
 pub use registry::Registry;
 pub use sched::JobScheduler;
 pub use service::{
-    campaign_progress_for, ServiceClaim, SubmitOptions, SweepRegistry, SweepSnapshot, SweepState,
-    SweepStatus,
+    campaign_progress_for, RegistryMetrics, ServiceClaim, SubmitOptions, SweepMetrics,
+    SweepRegistry, SweepSnapshot, SweepState, SweepStatus,
 };
 pub use spec::{AnalysisKind, AnalysisKnobs, GeometrySpec, InputSelection, SweepSpec};
 pub use store::{

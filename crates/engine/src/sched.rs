@@ -172,6 +172,47 @@ impl JobScheduler {
         None
     }
 
+    /// Leases the ready job `worker` has the strongest affinity for:
+    /// the queued job maximizing `score`, ties broken towards the oldest
+    /// (so a constant score degenerates to [`JobScheduler::claim`]).
+    /// Used by placement-aware drivers to prefer jobs whose upstream
+    /// artifacts a worker already holds. `None` when nothing is ready.
+    pub fn claim_preferred(&mut self, worker: u64, score: impl Fn(usize) -> u64) -> Option<usize> {
+        // Purge stale entries first (completed or held while queued) so
+        // repeated preference scans stay linear in live work.
+        let state = &self.state;
+        self.ready.retain(|&job| state[job] == NodeState::Ready);
+        let mut best: Option<(u64, usize)> = None;
+        for (pos, &job) in self.ready.iter().enumerate() {
+            let s = score(job);
+            if best.is_none_or(|(top, _)| s > top) {
+                best = Some((s, pos));
+            }
+        }
+        let (_, pos) = best?;
+        let job = self.ready.remove(pos).expect("position is in range");
+        self.state[job] = NodeState::Leased(worker);
+        Some(job)
+    }
+
+    /// Jobs currently claimable (ready and queued, not held or leased).
+    #[must_use]
+    pub fn ready_count(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s == NodeState::Ready)
+            .count()
+    }
+
+    /// Jobs currently leased out.
+    #[must_use]
+    pub fn leased_count(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| matches!(s, NodeState::Leased(_)))
+            .count()
+    }
+
     /// Marks `job` terminally complete, releasing its lease and
     /// unblocking dependents; returns how many became ready. Idempotent:
     /// completing an already-done job (a duplicate report from a
@@ -389,6 +430,35 @@ mod tests {
         t.hold(0);
         t.release(0);
         assert!(t.finished());
+    }
+
+    #[test]
+    fn claim_preferred_picks_the_highest_score_and_breaks_ties_oldest_first() {
+        let mut s = JobScheduler::new(&[vec![], vec![], vec![]]);
+        assert_eq!(s.ready_count(), 3);
+        // Highest score wins regardless of queue age...
+        assert_eq!(s.claim_preferred(7, |job| job as u64), Some(2));
+        assert_eq!(s.leased_count(), 1);
+        // ...and a constant score degenerates to oldest-first.
+        assert_eq!(s.claim_preferred(7, |_| 0), Some(0));
+        assert_eq!(s.claim_preferred(7, |_| 0), Some(1));
+        assert_eq!(s.claim_preferred(7, |_| 0), None);
+        assert_eq!(s.ready_count(), 0);
+        assert_eq!(s.leased_count(), 3);
+    }
+
+    #[test]
+    fn claim_preferred_skips_stale_and_held_entries() {
+        let mut s = JobScheduler::new(&[vec![], vec![], vec![]]);
+        s.hold(2); // would otherwise score highest
+        assert_eq!(s.claim_preferred(1, |job| job as u64), Some(1));
+        // A requeued-then-completed job leaves a stale queue entry.
+        assert_eq!(s.claim(1), Some(0));
+        s.requeue(0);
+        s.complete(0);
+        assert_eq!(s.claim_preferred(1, |job| job as u64), None);
+        s.release(2);
+        assert_eq!(s.claim_preferred(1, |job| job as u64), Some(2));
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl SweepState {
 }
 
 /// Per-submission execution options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SubmitOptions {
     /// Re-execute jobs even when cached artifacts exist.
     pub force: bool,
@@ -105,6 +105,24 @@ pub struct SubmitOptions {
     /// alone) and finalizes at the store root, exactly where a
     /// single-process sweep writes its manifest.
     pub persist: bool,
+    /// Fair-share weight (stride scheduling): a priority-3 sweep claims
+    /// three jobs for every one a priority-1 sweep claims while both
+    /// have ready work. `0` is normalized to `1`.
+    pub priority: u32,
+    /// Cap on this sweep's concurrently leased jobs (`None` = no cap).
+    pub max_concurrent: Option<usize>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        Self {
+            force: false,
+            checkpoint_interval: None,
+            persist: false,
+            priority: 1,
+            max_concurrent: None,
+        }
+    }
 }
 
 /// One fair-share scheduling decision: which job of which sweep a worker
@@ -168,6 +186,48 @@ pub struct SweepSnapshot {
     pub campaigns: Vec<CampaignProgress>,
 }
 
+/// Scheduler-level telemetry of the whole registry — what an
+/// autoscaler or load balancer polls (`GET /v1/metrics` on the gateway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryMetrics {
+    /// Claimable jobs across all active sweeps (quota caps not applied).
+    pub ready: usize,
+    /// Jobs currently leased to workers across all active sweeps.
+    pub leased: usize,
+    /// Non-terminal sweeps.
+    pub active: usize,
+    /// Jobs ever parked behind another sweep's in-flight stage digest —
+    /// each is an execution the cross-sweep dedup avoided.
+    pub dedup_parked: u64,
+    /// One row per sweep, in submission order.
+    pub sweeps: Vec<SweepMetrics>,
+}
+
+/// Per-sweep scheduling telemetry (one [`RegistryMetrics`] row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepMetrics {
+    /// Sweep id.
+    pub id: String,
+    /// Life-cycle state.
+    pub state: SweepState,
+    /// Fair-share weight.
+    pub priority: u32,
+    /// Concurrency cap, if any.
+    pub max_concurrent: Option<usize>,
+    /// Jobs claimed from this sweep so far (fairness counter).
+    pub claims: u64,
+    /// Jobs currently claimable.
+    pub ready: usize,
+    /// Jobs currently leased.
+    pub leased: usize,
+    /// Jobs terminal so far.
+    pub done: usize,
+    /// Jobs in the plan.
+    pub total: usize,
+    /// Of the terminal jobs: satisfied from the store (dedup hits).
+    pub skipped: usize,
+}
+
 /// `(executed, skipped, failed)` counts out of a manifest.
 type Counts = (usize, usize, usize);
 
@@ -186,16 +246,32 @@ struct Entry {
     summaries: Vec<Option<JobSummary>>,
     outcome: Option<SweepOutcome>,
     started: Instant,
+    /// Stride-scheduling virtual time: the active sweep with the lowest
+    /// pass claims next; each claim advances it by `STRIDE_ONE/priority`.
+    pass: u64,
+    /// Jobs claimed from this sweep so far (fairness telemetry).
+    claims: u64,
 }
 
 impl Entry {
     fn active(&self) -> bool {
         !self.state.terminal()
     }
+
+    /// The stride one claim advances this sweep's pass by.
+    fn stride(&self) -> u64 {
+        STRIDE_ONE / u64::from(self.opts.priority.max(1))
+    }
 }
 
 /// Schema tag of queue entries and record journals.
 const QUEUE_SCHEMA: &str = "mbcr-queue/1";
+
+/// Stride-scheduling quantum: a priority-`p` sweep's pass advances by
+/// `STRIDE_ONE / p` per claim, so relative claim rates follow priority
+/// ratios. Large enough that integer division keeps distinct strides
+/// for any plausible priority.
+const STRIDE_ONE: u64 = 1 << 20;
 
 /// The multi-sweep scheduling and persistence layer (see the module
 /// docs). One registry owns one store; callers drive it under their own
@@ -211,8 +287,9 @@ pub struct SweepRegistry {
     /// Owner job → the parked `(entry, job)`s released when it lands.
     waiters: HashMap<(usize, usize), Vec<(usize, usize)>>,
     next_seq: u64,
-    cursor: usize,
     revision: u64,
+    /// Jobs ever parked behind another in-flight digest (dedup telemetry).
+    dedup_parked: u64,
 }
 
 impl SweepRegistry {
@@ -235,8 +312,8 @@ impl SweepRegistry {
             owners: HashMap::new(),
             waiters: HashMap::new(),
             next_seq: 0,
-            cursor: 0,
             revision: 0,
+            dedup_parked: 0,
         };
         let mut persisted: Vec<(u64, String, SweepState, SubmitOptions, SweepSpec)> = Vec::new();
         if let Ok(entries) = fs::read_dir(service.store.queue_dir()) {
@@ -268,6 +345,13 @@ impl SweepRegistry {
                             Some(other) => Some(other.as_usize()?),
                         },
                         persist: true,
+                        // Pre-gateway queue entries lack the scheduling
+                        // knobs; default them instead of dropping the sweep.
+                        priority: doc
+                            .get("priority")
+                            .and_then(Json::as_u64)
+                            .map_or(1, |v| u32::try_from(v).unwrap_or(u32::MAX)),
+                        max_concurrent: doc.get("max_concurrent").and_then(Json::as_usize),
                     };
                     Some((seq, id, state, opts, spec))
                 })();
@@ -292,6 +376,8 @@ impl SweepRegistry {
                     summaries: Vec::new(),
                     outcome: None,
                     started: Instant::now(),
+                    pass: 0,
+                    claims: 0,
                 });
                 continue;
             }
@@ -328,6 +414,8 @@ impl SweepRegistry {
                         summaries: Vec::new(),
                         outcome: None,
                         started: Instant::now(),
+                        pass: 0,
+                        claims: 0,
                     });
                 }
             }
@@ -367,11 +455,22 @@ impl SweepRegistry {
                     // and the sequential A→B→C ordering is preserved.
                     sched.hold(job);
                     self.waiters.entry((oe, oj)).or_default().push((at, job));
+                    self.dedup_parked += 1;
                 }
             }
             self.owners.insert(digest, (at, job));
         }
         let n = plan.len();
+        // A new sweep joins at the minimum active pass (the stride-
+        // scheduling convention): it competes fairly from now on instead
+        // of monopolizing claims to "catch up" on time before it existed.
+        let pass = self
+            .entries
+            .iter()
+            .filter(|e| e.active())
+            .map(|e| e.pass)
+            .min()
+            .unwrap_or(0);
         self.entries.push(Entry {
             id,
             seq,
@@ -384,6 +483,8 @@ impl SweepRegistry {
             summaries: vec![None; n],
             outcome: None,
             started: Instant::now(),
+            pass,
+            claims: 0,
         });
         self.revision += 1;
         Ok(at)
@@ -421,40 +522,123 @@ impl SweepRegistry {
         Ok(id)
     }
 
-    /// Leases the next job to `worker`, round-robining across active
-    /// sweeps so no submission starves. `None` when nothing is ready
-    /// anywhere (all blocked, parked, leased, or finished).
+    /// Leases the next job to `worker`, weighted-fair across active
+    /// sweeps (stride scheduling over [`SubmitOptions::priority`], so no
+    /// submission starves and a priority-3 sweep claims three jobs per
+    /// priority-1 job while both have ready work), respecting each
+    /// sweep's [`SubmitOptions::max_concurrent`] quota. `None` when
+    /// nothing is ready anywhere (all blocked, parked, leased, quota-
+    /// capped, or finished).
     pub fn claim(&mut self, worker: u64) -> Option<ServiceClaim> {
-        let n = self.entries.len();
-        for off in 0..n {
-            let at = (self.cursor + off) % n;
-            if !self.entries[at].active() {
-                continue;
-            }
-            let Some(job) = self.entries[at]
+        self.claim_with(worker, None)
+    }
+
+    /// [`SweepRegistry::claim`] with cache-aware placement: when
+    /// `resident` is given, the chosen sweep hands out the ready job with
+    /// the most upstream stage artifacts already resident on the claiming
+    /// worker (`resident(digest)`), ties oldest-first — so a worker that
+    /// just computed `pub` is preferred for the dependent `trace` instead
+    /// of re-shipping the artifact to a cold peer. Placement only ever
+    /// reorders *within* the fair-share winner; priority, quota, and
+    /// dedup semantics are identical to a plain claim, and artifact bytes
+    /// are placement-independent by construction.
+    pub fn claim_with(
+        &mut self,
+        worker: u64,
+        resident: Option<&dyn Fn(u64) -> bool>,
+    ) -> Option<ServiceClaim> {
+        // Stride scheduling: of the sweeps with claimable work and quota
+        // headroom, the lowest virtual time wins (ties oldest-first).
+        let at = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.active())
+            .filter(|(_, e)| {
+                e.sched.as_ref().is_some_and(|s| {
+                    s.ready_count() > 0
+                        && e.opts
+                            .max_concurrent
+                            .is_none_or(|cap| s.leased_count() < cap)
+                })
+            })
+            .min_by_key(|(_, e)| (e.pass, e.seq))
+            .map(|(at, _)| at)?;
+        let plan = Arc::clone(
+            self.entries[at]
+                .plan
+                .as_ref()
+                .expect("active entries carry a plan"),
+        );
+        let sched = self.entries[at]
+            .sched
+            .as_mut()
+            .expect("active entries carry a scheduler");
+        let job = match resident {
+            Some(resident) => sched.claim_preferred(worker, |job| {
+                plan.graph.deps[job]
+                    .iter()
+                    .filter(|&&dep| plan.graph.digests[dep].is_some_and(resident))
+                    .count() as u64
+            }),
+            None => sched.claim(worker),
+        }
+        .expect("a sweep with ready_count > 0 has a claimable job");
+        let stride = self.entries[at].stride();
+        self.entries[at].pass = self.entries[at].pass.saturating_add(stride);
+        self.entries[at].claims += 1;
+        if self.entries[at].state == SweepState::Queued {
+            self.entries[at].state = SweepState::Running;
+            self.revision += 1;
+            let _ = self.persist_entry(at);
+        }
+        let entry = &self.entries[at];
+        Some(ServiceClaim {
+            sweep: entry.id.clone(),
+            job,
+            plan,
+            force: entry.opts.force,
+            persist: entry.opts.persist,
+            knobs: AnalysisKnobs::from_spec(&entry.spec, entry.opts.checkpoint_interval),
+        })
+    }
+
+    /// Scheduler-level telemetry: queue depth, lease counts, per-sweep
+    /// fairness and dedup counters (see [`RegistryMetrics`]). I/O-free —
+    /// safe to call under a driver's state lock.
+    #[must_use]
+    pub fn metrics(&self) -> RegistryMetrics {
+        let mut metrics = RegistryMetrics {
+            ready: 0,
+            leased: 0,
+            active: 0,
+            dedup_parked: self.dedup_parked,
+            sweeps: Vec::with_capacity(self.entries.len()),
+        };
+        for entry in &self.entries {
+            let (ready, leased) = entry
                 .sched
-                .as_mut()
-                .and_then(|s| s.claim(worker))
-            else {
-                continue;
-            };
-            self.cursor = (at + 1) % n;
-            if self.entries[at].state == SweepState::Queued {
-                self.entries[at].state = SweepState::Running;
-                self.revision += 1;
-                let _ = self.persist_entry(at);
-            }
-            let entry = &self.entries[at];
-            return Some(ServiceClaim {
-                sweep: entry.id.clone(),
-                job,
-                plan: Arc::clone(entry.plan.as_ref().expect("active entries carry a plan")),
-                force: entry.opts.force,
-                persist: entry.opts.persist,
-                knobs: AnalysisKnobs::from_spec(&entry.spec, entry.opts.checkpoint_interval),
+                .as_ref()
+                .filter(|_| entry.active())
+                .map_or((0, 0), |s| (s.ready_count(), s.leased_count()));
+            metrics.ready += ready;
+            metrics.leased += leased;
+            metrics.active += usize::from(entry.active());
+            let status = self.status_of(entry);
+            metrics.sweeps.push(SweepMetrics {
+                id: entry.id.clone(),
+                state: entry.state,
+                priority: entry.opts.priority.max(1),
+                max_concurrent: entry.opts.max_concurrent,
+                claims: entry.claims,
+                ready,
+                leased,
+                done: status.done,
+                total: status.total,
+                skipped: status.skipped,
             });
         }
-        None
+        metrics
     }
 
     /// Returns `worker`'s leases across every sweep to their ready
@@ -875,6 +1059,14 @@ impl SweepRegistry {
                 "checkpoint_interval".to_string(),
                 Serialize::to_json(&entry.opts.checkpoint_interval.map(|v| v as u64)),
             ),
+            (
+                "priority".to_string(),
+                Json::UInt(u64::from(entry.opts.priority.max(1))),
+            ),
+            (
+                "max_concurrent".to_string(),
+                Serialize::to_json(&entry.opts.max_concurrent.map(|v| v as u64)),
+            ),
             ("spec".to_string(), entry.spec.to_json()),
         ]);
         let path = self.store.queue_dir().join(format!("{}.json", entry.id));
@@ -1226,6 +1418,192 @@ mod tests {
         // Input `a` executes its pipeline; input `b`'s twin nodes chain
         // behind it and come back cached — deterministic, truthful.
         assert!(status.skipped > 0, "twin-input stages must dedup");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    /// A spec over `benchmark` whose stage digests are disjoint from any
+    /// other benchmark's — for scheduling tests that need two sweeps
+    /// with independent work (no cross-sweep parking).
+    fn disjoint_spec(name: &str, benchmark: &str) -> SweepSpec {
+        SweepSpec {
+            max_campaign_runs: Some(200),
+            ..SweepSpec::new(name)
+                .benchmarks([benchmark])
+                .seeds([7])
+                .analyses([crate::AnalysisKind::PubTac])
+        }
+    }
+
+    /// Completes a claim with a fabricated failed record — scheduling
+    /// tests only care about claim order, never artifact content.
+    fn complete_fake(service: &mut SweepRegistry, claim: &ServiceClaim) {
+        let record = JobRecord {
+            key: claim.plan.keys[claim.job].clone(),
+            label: claim.plan.graph.jobs[claim.job].label(),
+            status: JobStatus::Failed,
+            error: Some("synthetic".to_string()),
+            summary: None,
+        };
+        service
+            .record(&claim.sweep, claim.job, record, false)
+            .unwrap();
+    }
+
+    #[test]
+    fn priority_weights_the_claim_interleaving() {
+        let store = tmp_store("priority");
+        let registry = Registry::malardalen();
+        let mut service = SweepRegistry::open(&store, &registry).unwrap();
+        let a = service
+            .submit(
+                disjoint_spec("slow", "bs"),
+                SubmitOptions {
+                    persist: true,
+                    priority: 1,
+                    ..SubmitOptions::default()
+                },
+                &registry,
+            )
+            .unwrap();
+        let b = service
+            .submit(
+                disjoint_spec("fast", "cnt"),
+                SubmitOptions {
+                    persist: true,
+                    priority: 3,
+                    ..SubmitOptions::default()
+                },
+                &registry,
+            )
+            .unwrap();
+        // Both pipelines are serial chains, so completing each claim
+        // immediately keeps exactly one job of each sweep ready: the
+        // interleaving is pure stride scheduling. Passes tie at 0 →
+        // oldest (a) first; then b claims three times per a claim.
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            let claim = service.claim(1).expect("both sweeps have ready work");
+            order.push(claim.sweep.clone());
+            complete_fake(&mut service, &claim);
+        }
+        assert_eq!(order[0], a, "a pass tie goes to the older submission");
+        let of = |id: &str| order.iter().filter(|s| *s == id).count();
+        assert_eq!(
+            (of(&a), of(&b)),
+            (2, 6),
+            "priority 3 sweep must claim three jobs per priority-1 job"
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn max_concurrent_caps_outstanding_leases_per_sweep() {
+        let store = tmp_store("quota");
+        let registry = Registry::malardalen();
+        let mut service = SweepRegistry::open(&store, &registry).unwrap();
+        let a = service
+            .submit(
+                disjoint_spec("capped", "bs"),
+                SubmitOptions {
+                    persist: true,
+                    max_concurrent: Some(1),
+                    ..SubmitOptions::default()
+                },
+                &registry,
+            )
+            .unwrap();
+        let b = service
+            .submit(
+                disjoint_spec("open", "cnt"),
+                SubmitOptions {
+                    persist: true,
+                    ..SubmitOptions::default()
+                },
+                &registry,
+            )
+            .unwrap();
+        let first = service.claim(1).expect("first claim");
+        assert_eq!(first.sweep, a, "tie on pass goes to the older sweep");
+        // a is at its cap while the lease is outstanding: the next claim
+        // must come from b even though a still has the lower pass.
+        let second = service.claim(2).expect("second claim");
+        assert_eq!(second.sweep, b, "quota-capped sweep must be skipped");
+        // Serial chains: with both heads leased, nothing is claimable.
+        assert!(service.claim(3).is_none());
+        complete_fake(&mut service, &first);
+        let third = service.claim(3).expect("cap freed after completion");
+        assert_eq!(third.sweep, a);
+        let metrics = service.metrics();
+        let row = |id: &str| metrics.sweeps.iter().find(|s| s.id == *id).unwrap().clone();
+        assert_eq!(row(&a).max_concurrent, Some(1));
+        assert_eq!(row(&a).leased, 1);
+        assert_eq!(row(&a).claims, 2);
+        assert_eq!(row(&b).leased, 1);
+        assert_eq!(metrics.leased, 2);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn metrics_count_dedup_parking_and_fairness() {
+        let store = tmp_store("metrics");
+        let registry = Registry::malardalen();
+        let mut service = SweepRegistry::open(&store, &registry).unwrap();
+        let opts = SubmitOptions {
+            persist: true,
+            ..SubmitOptions::default()
+        };
+        let a = service
+            .submit(quick_spec("owner", &[7]), opts, &registry)
+            .unwrap();
+        let b = service
+            .submit(quick_spec("twin", &[7]), opts, &registry)
+            .unwrap();
+        let before = service.metrics();
+        assert!(
+            before.dedup_parked > 0,
+            "the twin sweep must park behind the owner's digests"
+        );
+        assert_eq!(before.active, 2);
+        assert!(before.ready > 0);
+        drain(&mut service, &store, &registry);
+        let after = service.metrics();
+        assert_eq!(after.ready, 0);
+        assert_eq!(after.leased, 0);
+        assert_eq!(after.active, 0);
+        let row = |id: &str| after.sweeps.iter().find(|s| s.id == *id).unwrap();
+        assert!(row(&a).claims > 0);
+        assert_eq!(
+            row(&b).skipped,
+            row(&b).total,
+            "every twin job is a dedup hit"
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn queue_entries_persist_scheduling_knobs_across_restarts() {
+        let store = tmp_store("knobs");
+        let registry = Registry::malardalen();
+        let id = {
+            let mut service = SweepRegistry::open(&store, &registry).unwrap();
+            service
+                .submit(
+                    quick_spec("knobbed", &[3]),
+                    SubmitOptions {
+                        persist: true,
+                        priority: 5,
+                        max_concurrent: Some(2),
+                        ..SubmitOptions::default()
+                    },
+                    &registry,
+                )
+                .unwrap()
+        };
+        let resumed = SweepRegistry::open(&store, &registry).unwrap();
+        let metrics = resumed.metrics();
+        let row = metrics.sweeps.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(row.priority, 5);
+        assert_eq!(row.max_concurrent, Some(2));
         let _ = fs::remove_dir_all(store.root());
     }
 

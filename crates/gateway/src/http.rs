@@ -1,0 +1,337 @@
+//! Server-side HTTP/1.1: hardened request parsing and response writing.
+
+use std::io::{self, Read, Write};
+
+use mbcr_json::Json;
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body.
+pub const MAX_BODY: usize = 8 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Request target; always starts with `/`. Any `?query` suffix is
+    /// kept verbatim — the routes this crate fronts do not use queries.
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Non-UTF-8 or malformed JSON bodies.
+    pub fn json(&self) -> Result<Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| format!("body not UTF-8: {e}"))?;
+        mbcr_json::parse(text).map_err(|e| format!("body not JSON: {e}"))
+    }
+}
+
+fn torn(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("torn request: {what}"))
+}
+
+fn malformed(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// One `\n`-terminated line, hard-capped. `Ok(None)` only when the
+/// stream was cleanly closed before the first byte *and* the caller
+/// allowed it (`start_of_request`); EOF anywhere else is a torn request.
+fn read_line<R: Read>(
+    reader: &mut R,
+    cap: usize,
+    start_of_request: bool,
+) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if start_of_request && line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(torn("EOF mid-line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| malformed("request line is not UTF-8"))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+                if line.len() > cap {
+                    return Err(malformed(format!("line exceeds {cap} bytes")));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads and validates one request off `reader`. `Ok(None)` when the
+/// peer closed cleanly before sending anything; any mid-request EOF,
+/// cap violation, or malformed line is an error (the caller answers
+/// `400` and closes — one request per connection, like the daemon's
+/// binary peers get one handshake).
+///
+/// # Errors
+///
+/// I/O failures and, as [`io::ErrorKind::InvalidData`], every
+/// adversarial shape: torn request lines/headers/bodies, oversized
+/// lines, header floods, bad `Content-Length`, `Transfer-Encoding`.
+pub fn read_request<R: Read>(reader: &mut R) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(reader, MAX_REQUEST_LINE, true)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(malformed(format!("bad request line '{line}'"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported version '{version}'")));
+    }
+    if !path.starts_with('/') {
+        return Err(malformed(format!("bad request target '{path}'")));
+    }
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, MAX_HEADER_LINE, false)?.expect("EOF handled as torn");
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(malformed(format!("more than {MAX_HEADERS} headers")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(malformed(format!("header without a colon: '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(malformed("transfer-encoding is not supported"));
+    }
+    if let Some(length) = request.header("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| malformed(format!("bad content-length '{length}'")))?;
+        if length > MAX_BODY {
+            return Err(malformed(format!(
+                "body of {length} bytes exceeds {MAX_BODY}"
+            )));
+        }
+        let mut body = vec![0u8; length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|_| torn("EOF mid-body"))?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// The standard reason phrase of the status codes the gateway uses.
+#[must_use]
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn respond_bytes<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes a JSON response (compact body, `Connection: close`).
+///
+/// # Errors
+///
+/// Write failures (the peer vanished; callers drop the connection).
+pub fn respond_json<W: Write>(writer: &mut W, status: u16, body: &Json) -> io::Result<()> {
+    respond_bytes(
+        writer,
+        status,
+        "application/json",
+        body.to_compact().as_bytes(),
+    )
+}
+
+/// Writes an `{"error": reason}` JSON response.
+///
+/// # Errors
+///
+/// Write failures.
+pub fn respond_error<W: Write>(writer: &mut W, status: u16, reason: &str) -> io::Result<()> {
+    respond_json(
+        writer,
+        status,
+        &Json::Obj(vec![("error".to_string(), reason.into())]),
+    )
+}
+
+/// Writes a bodyless response.
+///
+/// # Errors
+///
+/// Write failures.
+pub fn respond_empty<W: Write>(writer: &mut W, status: u16) -> io::Result<()> {
+    respond_bytes(writer, status, "application/json", b"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> io::Result<Option<Request>> {
+        read_request(&mut io::Cursor::new(bytes))
+    }
+
+    #[test]
+    fn parses_a_request_with_headers_and_body() {
+        let raw = b"POST /v1/sweeps HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let request = parse(raw).unwrap().unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/sweeps");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.body, b"abcd");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let request = parse(b"GET /v1/healthz HTTP/1.1\nAccept: */*\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.path, "/v1/healthz");
+        assert_eq!(request.header("accept"), Some("*/*"));
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_at_every_byte_is_an_error_never_a_hang_or_a_parse() {
+        let raw: &[u8] = b"POST /v1/sweeps HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"spec\":{}}";
+        assert!(parse(raw).unwrap().is_some(), "the whole request parses");
+        for cut in 1..raw.len() {
+            let err = parse(&raw[..cut]).expect_err("every truncation is torn");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 1));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn header_floods_and_oversized_headers_are_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            raw.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(parse(&raw).is_err(), "one header too many");
+
+        let mut raw = b"GET / HTTP/1.1\r\nh: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'v', MAX_HEADER_LINE + 1));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(parse(&raw).is_err(), "one header line too long");
+    }
+
+    #[test]
+    fn malformed_shapes_are_rejected() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1 extra\r\n\r\n".to_vec(),
+            b"GET /x FTP/1.0\r\n\r\n".to_vec(),
+            b"GET relative HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec(),
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n".to_vec(),
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            b"GET \xff\xfe HTTP/1.1\r\n\r\n".to_vec(),
+        ] {
+            let err = parse(&raw).expect_err("must be rejected");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn responses_render_status_line_length_and_body() {
+        let mut out = Vec::new();
+        respond_json(
+            &mut out,
+            201,
+            &Json::Obj(vec![("ok".to_string(), Json::Bool(true))]),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+
+        let mut out = Vec::new();
+        respond_error(&mut out, 404, "unknown sweep").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"unknown sweep\"}"), "{text}");
+    }
+}

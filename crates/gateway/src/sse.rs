@@ -1,0 +1,143 @@
+//! Server-sent events: response framing (server) and stream parsing
+//! (client).
+
+use std::io::{self, BufRead, Write};
+
+/// Starts an SSE response: status line and headers, stream left open.
+///
+/// # Errors
+///
+/// Write failures.
+pub fn sse_headers<W: Write>(writer: &mut W) -> io::Result<()> {
+    writer.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    writer.flush()
+}
+
+/// Writes one event frame (`event:` + `data:` + blank line) and
+/// flushes, so followers see it immediately. `data` must be one line —
+/// the service plane streams compact JSON, which never embeds newlines.
+///
+/// # Errors
+///
+/// Write failures (the follower disconnected; callers end the stream).
+pub fn sse_event<W: Write>(writer: &mut W, event: &str, data: &str) -> io::Result<()> {
+    debug_assert!(!data.contains('\n'), "SSE data must be a single line");
+    write!(writer, "event: {event}\ndata: {data}\n\n")?;
+    writer.flush()
+}
+
+/// One parsed server-sent event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` field (empty when the server sent none).
+    pub event: String,
+    /// The `data:` field(s), multiple lines joined with `\n`.
+    pub data: String,
+}
+
+/// A client-side SSE stream parser over any buffered reader. The HTTP
+/// response headers must already be consumed (see
+/// [`crate::open_sse`]).
+#[derive(Debug)]
+pub struct SseReader<R> {
+    reader: R,
+}
+
+impl<R: BufRead> SseReader<R> {
+    /// Wraps a reader positioned at the first event.
+    pub fn new(reader: R) -> Self {
+        Self { reader }
+    }
+
+    /// The next event, or `None` when the server closed the stream at
+    /// an event boundary. Comment lines (`:`) and unknown fields are
+    /// skipped, per the SSE format.
+    ///
+    /// # Errors
+    ///
+    /// Read failures, and [`io::ErrorKind::UnexpectedEof`] when the
+    /// stream dies mid-event — the signal `mbcr report --follow` uses
+    /// to reconnect instead of trusting a half-delivered frame.
+    pub fn next_event(&mut self) -> io::Result<Option<SseEvent>> {
+        let mut event = String::new();
+        let mut data: Vec<String> = Vec::new();
+        let mut saw_field = false;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                if saw_field {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream closed mid-event",
+                    ));
+                }
+                return Ok(None);
+            }
+            let line = line.trim_end_matches(['\n', '\r']);
+            if line.is_empty() {
+                if saw_field {
+                    return Ok(Some(SseEvent {
+                        event,
+                        data: data.join("\n"),
+                    }));
+                }
+                continue; // stray keep-alive blank line
+            }
+            saw_field = true;
+            let (field, value) = line.split_once(':').unwrap_or((line, ""));
+            let value = value.strip_prefix(' ').unwrap_or(value);
+            match field {
+                "event" => event = value.to_string(),
+                "data" => data.push(value.to_string()),
+                _ => {} // comments and unknown fields are skipped
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_the_frame_format() {
+        let mut raw = Vec::new();
+        sse_event(&mut raw, "progress", "{\"id\":\"s000\"}").unwrap();
+        sse_event(&mut raw, "end", "{}").unwrap();
+        let mut reader = SseReader::new(io::Cursor::new(raw));
+        assert_eq!(
+            reader.next_event().unwrap(),
+            Some(SseEvent {
+                event: "progress".to_string(),
+                data: "{\"id\":\"s000\"}".to_string(),
+            })
+        );
+        assert_eq!(
+            reader.next_event().unwrap(),
+            Some(SseEvent {
+                event: "end".to_string(),
+                data: "{}".to_string(),
+            })
+        );
+        assert_eq!(reader.next_event().unwrap(), None, "clean end of stream");
+    }
+
+    #[test]
+    fn comments_unknown_fields_and_multiline_data_are_handled() {
+        let raw = b": keep-alive\nretry: 100\nevent: progress\ndata: a\ndata: b\n\n";
+        let mut reader = SseReader::new(io::Cursor::new(raw.to_vec()));
+        let event = reader.next_event().unwrap().unwrap();
+        assert_eq!(event.event, "progress");
+        assert_eq!(event.data, "a\nb");
+    }
+
+    #[test]
+    fn eof_mid_event_is_unexpected_eof_not_a_truncated_event() {
+        let raw = b"event: progress\ndata: {\"half\":";
+        let mut reader = SseReader::new(io::Cursor::new(raw.to_vec()));
+        let err = reader.next_event().expect_err("mid-event EOF must error");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

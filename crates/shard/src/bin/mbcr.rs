@@ -20,19 +20,21 @@
 //! Argument parsing is hand-rolled: the build environment is offline, so
 //! no `clap`.
 
+use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::process::ExitCode;
-use std::time::Duration;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
 
 use mbcr::{analyze_pub_tac, render_report, AnalysisConfig};
 use mbcr_engine::{
     aggregate_rows, render_rows, run_sweep, AnalysisKind, ArtifactStore, EngineError, GeometrySpec,
     InputSelection, JobSummary, Registry, RunOptions, SweepOutcome, SweepSnapshot, SweepSpec,
+    SweepState,
 };
 use mbcr_json::{Json, Serialize};
 use mbcr_shard::{
     protocol::{self, Message},
-    run_worker, serve, serve_daemon, CoordSettings,
+    run_worker, serve, serve_daemon_with, CoordSettings, GatewayOptions,
 };
 
 const USAGE: &str = "mbcr — batch PUB + TAC + MBPTA analysis engine (DAC'18 reproduction)
@@ -55,6 +57,10 @@ COMMANDS:
     worker              Execute stage jobs for a coordinator or daemon
     report              Re-render the Table 2 summary of an existing run,
                         or follow a daemon's live progress (--follow)
+    loadgen             Load-storm bench: spawn a daemon, submit a storm of
+                        overlapping sweeps over HTTP plus many concurrent
+                        SSE followers, report dedup hit rate, time-to-
+                        first-event, fairness spread and affinity savings
     help                Show this message
 
 ANALYZE OPTIONS:
@@ -66,7 +72,8 @@ ANALYZE OPTIONS:
     --json PATH         Also write the full analysis as JSON
 
 SWEEP OPTIONS:
-    --spec FILE         Load the campaign from a JSON spec file
+    --spec FILE         Load the campaign from a JSON spec file ('-' reads
+                        the spec from stdin)
     --name NAME         Campaign name (default: 'sweep')
     --benchmarks A,B    Benchmarks (default: the whole suite)
     --inputs SEL        'default', 'all', or comma-separated vector names
@@ -95,15 +102,26 @@ SERVE OPTIONS:
     --lease-ttl SECS    Declare a silent worker dead and requeue its jobs
                         after SECS (default: 30; connection loss requeues
                         immediately)
+    --http ADDR         Also serve the HTTP/JSON + SSE gateway on ADDR
+                        (POST/GET/DELETE /v1/sweeps, /v1/sweeps/ID/events,
+                        /v1/metrics; port 0 picks one and prints it)
+    --spawn-workers MIN..MAX  Autoscale local worker processes between MIN
+                        and MAX from queue depth (SIGTERM-drained back to
+                        MIN when the queue empties)
 
 SUBMIT OPTIONS (all SWEEP spec options, plus):
     --connect ADDR      The daemon to submit to
     --force             Re-execute jobs even when cached artifacts exist
     --checkpoint-interval N  As for sweep, scoped to this submission
+    --priority N        Fair-share weight (default 1): a priority-3 sweep
+                        is offered claims ~3x as often as a priority-1 one
+    --max-concurrent N  Cap this sweep's concurrently leased jobs
 
 STATUS / CANCEL OPTIONS:
     --connect ADDR      The daemon to query
-    --sweep ID          Restrict to (status) or target (cancel) one sweep
+    --sweep ID          Restrict to (status) or target (cancel) one sweep.
+                        status exits nonzero when the targeted sweep was
+                        canceled or has failed jobs
 
 COORD OPTIONS (all SWEEP options except --threads/--shards, plus):
     --listen ADDR       TCP address to bind (e.g. 127.0.0.1:4870; port 0
@@ -124,10 +142,21 @@ REPORT OPTIONS:
                         per-campaign progress even without a manifest
     --sweep ID          With --out: summarize one sweeps/<id>/ scope of a
                         service store. With --connect: pick the sweep
-    --connect ADDR      Ask a running daemon instead of reading a store
+    --connect ADDR      Ask a running daemon instead of reading a store.
+                        ADDR may be a binary-protocol host:port or an
+                        http://host:port gateway (SSE). Exits nonzero when
+                        a reported sweep was canceled or has failed jobs
     --follow            With --connect: stream live per-stage/per-campaign
-                        progress, re-rendering the status table until the
-                        sweep(s) complete
+                        progress until the sweep(s) complete, reconnecting
+                        with capped backoff across transient stream loss
+
+LOADGEN OPTIONS:
+    --sweeps N          Overlapping sweeps to submit over HTTP (default 6)
+    --followers N       Concurrent SSE followers (default 8)
+    --spawn-workers MIN..MAX  Autoscaling bounds for the spawned daemon
+                        (default 1..2)
+    --out DIR           Scratch store (default mbcr-runs/loadgen)
+    --full              Paper-scale specs instead of the quick preset
 ";
 
 fn main() -> ExitCode {
@@ -153,6 +182,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, EngineError> {
         Some("coord") => coord(&args[1..]),
         Some("worker") => worker(&args[1..]),
         Some("report") => report(&args[1..]),
+        Some("loadgen") => loadgen(&args[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -319,6 +349,13 @@ fn split_list(text: &str) -> Vec<String> {
 
 fn spec_from_flags(flags: &mut Flags<'_>) -> Result<SweepSpec, EngineError> {
     let mut spec = match flags.value("--spec")? {
+        // `--spec -` reads the spec from stdin: `generate-spec | mbcr
+        // submit --spec -` pipelines without touching the filesystem.
+        Some("-") => {
+            let text = io::read_to_string(io::stdin())
+                .map_err(|e| EngineError::Spec(format!("reading the spec from stdin: {e}")))?;
+            SweepSpec::from_json_text(&text)?
+        }
         Some(path) => SweepSpec::load(path)?,
         None => SweepSpec::new("sweep"),
     };
@@ -524,6 +561,11 @@ fn serve_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
         Some(text) => Duration::from_secs(parse_u64("--lease-ttl", text)?),
         None => CoordSettings::default().lease_ttl,
     };
+    let http = flags.value("--http")?.map(str::to_string);
+    let spawn_workers = match flags.value("--spawn-workers")? {
+        Some(text) => Some(parse_spawn_workers(text)?),
+        None => None,
+    };
     flags.reject_unknown()?;
     if let Some(extra) = flags.positionals().first() {
         return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
@@ -534,12 +576,36 @@ fn serve_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
     let listener = TcpListener::bind(&listen)?;
     // Parseable by scripts (and by port-0 users who need the real port).
     println!("service listening on {}", listener.local_addr()?);
+    let http = match http {
+        Some(addr) => {
+            let http = TcpListener::bind(&addr)?;
+            println!("http listening on {}", http.local_addr()?);
+            Some(http)
+        }
+        None => None,
+    };
     let settings = CoordSettings {
         run: RunOptions::default(),
         lease_ttl,
     };
-    serve_daemon(&registry, &store, &settings, &listener)?;
+    let gateway = GatewayOptions {
+        http,
+        spawn_workers,
+    };
+    serve_daemon_with(&registry, &store, &settings, &listener, gateway)?;
     Ok(ExitCode::SUCCESS)
+}
+
+/// Parses `--spawn-workers MIN..MAX` (`0..4`, `2..2`, …).
+fn parse_spawn_workers(text: &str) -> Result<(usize, usize), EngineError> {
+    let bad = || EngineError::Spec(format!("--spawn-workers: '{text}' is not MIN..MAX"));
+    let (min, max) = text.split_once("..").ok_or_else(bad)?;
+    let min: usize = min.parse().map_err(|_| bad())?;
+    let max: usize = max.parse().map_err(|_| bad())?;
+    if max == 0 || max < min {
+        return Err(bad());
+    }
+    Ok((min, max))
 }
 
 /// Connects to a daemon and completes the protocol handshake.
@@ -598,6 +664,14 @@ fn submit(args: &[String]) -> Result<ExitCode, EngineError> {
         Some(text) => Some(parse_u64("--checkpoint-interval", text)? as usize),
         None => None,
     };
+    let priority = match flags.value("--priority")? {
+        Some(text) => u32::try_from(parse_u64("--priority", text)?).unwrap_or(u32::MAX),
+        None => 1,
+    };
+    let max_concurrent = match flags.value("--max-concurrent")? {
+        Some(text) => Some(parse_u64("--max-concurrent", text)? as usize),
+        None => None,
+    };
     let force = flags.switch("--force");
     flags.reject_unknown()?;
     if let Some(extra) = flags.positionals().first() {
@@ -609,6 +683,8 @@ fn submit(args: &[String]) -> Result<ExitCode, EngineError> {
         spec: spec.to_json(),
         force,
         checkpoint_interval,
+        priority,
+        max_concurrent,
     };
     match client_request(&mut stream, &request)? {
         Message::Submitted { sweep } => {
@@ -636,6 +712,7 @@ fn status(args: &[String]) -> Result<ExitCode, EngineError> {
     let sweep = flags.value("--sweep")?.map(str::to_string);
     flags.reject_unknown()?;
 
+    let targeted = sweep.is_some();
     let mut stream = client_connect(&connect)?;
     match client_request(&mut stream, &Message::Status { sweep })? {
         Message::StatusReport { sweeps } => {
@@ -656,6 +733,15 @@ fn status(args: &[String]) -> Result<ExitCode, EngineError> {
                     s.skipped,
                     s.failed
                 );
+            }
+            // Scriptable: `mbcr status --sweep ID` doubles as a health
+            // probe for that sweep.
+            if targeted
+                && sweeps
+                    .iter()
+                    .any(|s| s.state == SweepState::Canceled || s.failed > 0)
+            {
+                return Ok(ExitCode::from(1));
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -725,16 +811,87 @@ fn render_snapshot(snapshot: &SweepSnapshot) {
     }
 }
 
+/// Reconnect pacing for `report --follow`: a lost stream retries with
+/// doubling backoff from 250 ms, capped at 5 s; this many *consecutive*
+/// failures (any received frame resets the count) give up.
+const FOLLOW_RETRY_START: Duration = Duration::from_millis(250);
+const FOLLOW_RETRY_CAP: Duration = Duration::from_secs(5);
+const FOLLOW_RETRY_LIMIT: u32 = 8;
+
+/// The exit code the follow modes end with: nonzero when any followed
+/// sweep was canceled or finished with failed jobs, so `report --follow`
+/// doubles as a wait-for-success in scripts and CI.
+fn follow_exit(outcomes: &std::collections::HashMap<String, (SweepState, usize)>) -> ExitCode {
+    let bad = outcomes
+        .values()
+        .any(|&(state, failed)| state == SweepState::Canceled || failed > 0);
+    if bad {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `mbcr report --connect --follow`: stream a daemon's progress until the
-/// chosen sweep(s) complete.
+/// chosen sweep(s) complete, reconnecting with capped backoff when the
+/// stream dies mid-sweep (daemon restart, transient network) — the
+/// registry is durable, so a reconnect resumes exactly where the queue
+/// stands.
 fn follow_daemon(connect: &str, sweep: Option<String>) -> Result<ExitCode, EngineError> {
+    let mut outcomes = std::collections::HashMap::new();
+    let mut backoff = FOLLOW_RETRY_START;
+    let mut failures = 0u32;
+    loop {
+        match follow_daemon_once(connect, sweep.clone(), &mut outcomes, &mut failures) {
+            Ok(code) => return Ok(code),
+            Err(e) => {
+                failures += 1;
+                if failures > FOLLOW_RETRY_LIMIT {
+                    return Err(e);
+                }
+                eprintln!("mbcr: follow stream lost ({e}); reconnecting in {backoff:?}");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(FOLLOW_RETRY_CAP);
+            }
+        }
+    }
+}
+
+/// One binary-protocol follow attempt. Frames reaching the snapshot
+/// handler reset the caller's consecutive-failure counter; an EOF before
+/// `FollowEnd` is the transient-loss signal the caller retries on.
+fn follow_daemon_once(
+    connect: &str,
+    sweep: Option<String>,
+    outcomes: &mut std::collections::HashMap<String, (SweepState, usize)>,
+    failures: &mut u32,
+) -> Result<ExitCode, EngineError> {
     let mut stream = client_connect(connect)?;
     protocol::send(&mut stream, &Message::Follow { sweep })
         .map_err(|e| EngineError::Analysis(e.to_string()))?;
     loop {
         match protocol::receive(&mut stream).map_err(|e| EngineError::Analysis(e.to_string()))? {
-            Some(Message::Progress(snapshot)) => render_snapshot(&snapshot),
-            Some(Message::FollowEnd) | None => return Ok(ExitCode::SUCCESS),
+            Some(Message::Progress(snapshot)) => {
+                *failures = 0;
+                outcomes.insert(
+                    snapshot.id.clone(),
+                    (
+                        snapshot.state,
+                        snapshot
+                            .jobs
+                            .iter()
+                            .filter(|(_, s, _)| s == "failed")
+                            .count(),
+                    ),
+                );
+                render_snapshot(&snapshot);
+            }
+            Some(Message::FollowEnd) => return Ok(follow_exit(outcomes)),
+            None => {
+                return Err(EngineError::Analysis(
+                    "follow stream closed before the sweep finished".to_string(),
+                ))
+            }
             Some(Message::Reject { reason }) => {
                 eprintln!("mbcr: {reason}");
                 return Ok(ExitCode::from(1));
@@ -747,6 +904,135 @@ fn follow_daemon(connect: &str, sweep: Option<String>) -> Result<ExitCode, Engin
             }
         }
     }
+}
+
+/// `mbcr report --connect http://… --follow`: the same follow loop over
+/// the gateway's SSE stream, with the same capped-backoff reconnects —
+/// [`mbcr_gateway::SseReader`] surfaces a mid-event EOF as
+/// `UnexpectedEof`, which lands in the retry path instead of trusting a
+/// half-delivered frame.
+fn follow_sse(addr: &str, id: &str) -> Result<ExitCode, EngineError> {
+    let mut outcomes = std::collections::HashMap::new();
+    let mut backoff = FOLLOW_RETRY_START;
+    let mut failures = 0u32;
+    loop {
+        match follow_sse_once(addr, id, &mut outcomes, &mut failures) {
+            Ok(code) => return Ok(code),
+            Err(e) => {
+                failures += 1;
+                if failures > FOLLOW_RETRY_LIMIT {
+                    return Err(EngineError::Analysis(e.to_string()));
+                }
+                eprintln!("mbcr: follow stream lost ({e}); reconnecting in {backoff:?}");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(FOLLOW_RETRY_CAP);
+            }
+        }
+    }
+}
+
+fn follow_sse_once(
+    addr: &str,
+    id: &str,
+    outcomes: &mut std::collections::HashMap<String, (SweepState, usize)>,
+    failures: &mut u32,
+) -> io::Result<ExitCode> {
+    let mut events = mbcr_gateway::open_sse(addr, &format!("/v1/sweeps/{id}/events"))?;
+    while let Some(event) = events.next_event()? {
+        match event.event.as_str() {
+            "progress" => {
+                let Some(snapshot) = mbcr_json::parse(&event.data)
+                    .ok()
+                    .as_ref()
+                    .and_then(protocol::snapshot_from_json)
+                else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "malformed progress event",
+                    ));
+                };
+                *failures = 0;
+                outcomes.insert(
+                    snapshot.id.clone(),
+                    (
+                        snapshot.state,
+                        snapshot
+                            .jobs
+                            .iter()
+                            .filter(|(_, s, _)| s == "failed")
+                            .count(),
+                    ),
+                );
+                render_snapshot(&snapshot);
+            }
+            "end" => return Ok(follow_exit(outcomes)),
+            _ => {}
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "follow stream closed before the end event",
+    ))
+}
+
+/// `mbcr report --connect http://…`: the gateway-backed report path.
+/// One-shot mode lists `GET /v1/sweeps`; `--follow` streams
+/// `GET /v1/sweeps/{id}/events`. Output and exit codes match the binary
+/// protocol path row for row.
+fn report_http(url: &str, sweep: Option<String>, follow: bool) -> Result<ExitCode, EngineError> {
+    let (addr, _) = mbcr_gateway::parse_url(url).ok_or_else(|| {
+        EngineError::Spec(format!("'{url}' is not an http://host:port[/path] URL"))
+    })?;
+    if follow {
+        let id = sweep.ok_or_else(|| {
+            EngineError::Spec(
+                "--follow over http needs --sweep ID (one SSE stream per sweep)".into(),
+            )
+        })?;
+        return follow_sse(&addr, &id);
+    }
+    let response = mbcr_gateway::request(&addr, "GET", "/v1/sweeps", None)
+        .map_err(|e| EngineError::Analysis(format!("GET {url}/v1/sweeps: {e}")))?;
+    if response.status != 200 {
+        eprintln!("mbcr: HTTP {}: {}", response.status, response.error_text());
+        return Ok(ExitCode::from(1));
+    }
+    let doc = response
+        .json()
+        .ok_or_else(|| EngineError::Analysis("non-JSON body from /v1/sweeps".to_string()))?;
+    let rows = doc
+        .get("sweeps")
+        .and_then(Json::as_array)
+        .ok_or_else(|| EngineError::Analysis("missing 'sweeps' in /v1/sweeps body".to_string()))?;
+    let mut sweeps: Vec<_> = rows.iter().filter_map(protocol::status_from_json).collect();
+    if let Some(id) = &sweep {
+        sweeps.retain(|s| &s.id == id);
+        if sweeps.is_empty() {
+            eprintln!("mbcr: unknown sweep '{id}'");
+            return Ok(ExitCode::from(1));
+        }
+    }
+    for s in &sweeps {
+        println!(
+            "{} ({}) [{}]: {}/{} done — {} executed, {} cached, {} failed",
+            s.id,
+            s.name,
+            s.state.name(),
+            s.done,
+            s.total,
+            s.executed,
+            s.skipped,
+            s.failed
+        );
+    }
+    if sweep.is_some()
+        && sweeps
+            .iter()
+            .any(|s| s.state == SweepState::Canceled || s.failed > 0)
+    {
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn worker(args: &[String]) -> Result<ExitCode, EngineError> {
@@ -834,10 +1120,17 @@ fn report(args: &[String]) -> Result<ExitCode, EngineError> {
                 "report takes --out or --connect, not both".into(),
             ));
         }
+        // `--connect http://…` goes through the gateway; a bare
+        // `host:port` speaks the binary protocol. Same output, same
+        // exit codes.
+        if connect.starts_with("http://") {
+            return report_http(&connect, sweep, follow);
+        }
         if follow {
             return follow_daemon(&connect, sweep);
         }
         // A one-shot snapshot of the daemon's queue.
+        let targeted = sweep.is_some();
         let mut stream = client_connect(&connect)?;
         return match client_request(&mut stream, &Message::Status { sweep })? {
             Message::StatusReport { sweeps } => {
@@ -853,6 +1146,13 @@ fn report(args: &[String]) -> Result<ExitCode, EngineError> {
                         s.skipped,
                         s.failed
                     );
+                }
+                if targeted
+                    && sweeps
+                        .iter()
+                        .any(|s| s.state == SweepState::Canceled || s.failed > 0)
+                {
+                    return Ok(ExitCode::from(1));
                 }
                 Ok(ExitCode::SUCCESS)
             }
@@ -1005,5 +1305,289 @@ fn render_stage_status<'a>(rows: impl Iterator<Item = (&'a str, &'a str, u64)>) 
             "{kind:<width$}  {executed:>8}  {resumed:>7}  {cached:>6}  {failed:>6}\n"
         ));
     }
+    out
+}
+
+/// `mbcr loadgen`: the service-plane load-storm bench. Spawns a daemon
+/// (`serve --http … --spawn-workers …`), submits a storm of overlapping
+/// sweeps over HTTP while many SSE followers stream their progress, and
+/// reports what the gateway is for: dedup hit rate across the storm,
+/// time-to-first-event under follower load, fair-share claim spread, and
+/// the bytes cache-aware placement kept off the wire.
+fn loadgen(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let sweeps = match flags.value("--sweeps")? {
+        Some(text) => (parse_u64("--sweeps", text)? as usize).max(1),
+        None => 6,
+    };
+    let followers = match flags.value("--followers")? {
+        Some(text) => parse_u64("--followers", text)? as usize,
+        None => 8,
+    };
+    let spawn = flags
+        .value("--spawn-workers")?
+        .unwrap_or("1..2")
+        .to_string();
+    parse_spawn_workers(&spawn)?;
+    let out = flags
+        .value("--out")?
+        .unwrap_or("mbcr-runs/loadgen")
+        .to_string();
+    let full = flags.switch("--full");
+    flags.reject_unknown()?;
+
+    let exe = std::env::current_exe().map_err(|e| EngineError::Analysis(e.to_string()))?;
+    let mut daemon = Command::new(exe)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--http",
+            "127.0.0.1:0",
+            "--spawn-workers",
+            &spawn,
+            "--out",
+            &out,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| EngineError::Analysis(format!("spawning the daemon: {e}")))?;
+    // The daemon under test dies with the bench, success or failure; its
+    // registry is durable, so a re-run against the same --out resumes
+    // rather than redoing finished work.
+    let result = loadgen_run(&mut daemon, sweeps, followers, full);
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    result
+}
+
+fn loadgen_run(
+    daemon: &mut Child,
+    sweeps: usize,
+    followers: usize,
+    full: bool,
+) -> Result<ExitCode, EngineError> {
+    use std::io::BufRead;
+    let fail = |message: String| EngineError::Analysis(message);
+    let stdout = daemon.stdout.take().expect("daemon stdout is piped");
+    let mut lines = io::BufReader::new(stdout);
+    let mut addr = None;
+    let mut line = String::new();
+    while addr.is_none() {
+        line.clear();
+        if lines
+            .read_line(&mut line)
+            .map_err(|e| fail(e.to_string()))?
+            == 0
+        {
+            return Err(fail(
+                "the daemon exited before printing its http address".into(),
+            ));
+        }
+        if let Some(http) = line.trim().strip_prefix("http listening on ") {
+            addr = Some(http.to_string());
+        }
+    }
+    let addr = addr.expect("set by the loop above");
+    // Keep draining the daemon's stdout so it can never block on a full
+    // pipe mid-storm.
+    std::thread::spawn(move || {
+        let _ = io::copy(&mut lines, &mut io::sink());
+    });
+
+    // The storm: overlapping sweeps alternating between two benchmarks.
+    // Seed 11 is shared by every sweep on the same benchmark — that is
+    // the cross-sweep dedup overlap — while the second seed is unique
+    // work that keeps every sweep competing for claims.
+    let cap = if full { 60_000 } else { 600 };
+    let mut ids = Vec::new();
+    for i in 0..sweeps {
+        let mut spec = SweepSpec::new(format!("storm-{i:02}"));
+        spec.benchmarks = vec![if i % 2 == 0 { "bs" } else { "cnt" }.to_string()];
+        spec.seeds = vec![11, 100 + i as u64];
+        spec.analyses = vec![AnalysisKind::PubTac];
+        spec.quick = !full;
+        spec.max_campaign_runs = Some(cap);
+        let body = Json::Obj(vec![
+            ("spec".to_string(), spec.to_json()),
+            ("checkpoint_interval".to_string(), Json::UInt(200)),
+            ("priority".to_string(), Json::UInt((i % 3 + 1) as u64)),
+        ]);
+        let response = mbcr_gateway::request(&addr, "POST", "/v1/sweeps", Some(&body))
+            .map_err(|e| fail(format!("POST /v1/sweeps: {e}")))?;
+        if response.status != 201 {
+            return Err(fail(format!(
+                "POST /v1/sweeps: HTTP {}: {}",
+                response.status,
+                response.error_text()
+            )));
+        }
+        let id = response
+            .json()
+            .as_ref()
+            .and_then(|doc| doc.get("sweep"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("no 'sweep' id in the submit response".into()))?
+            .to_string();
+        ids.push(id);
+    }
+    println!(
+        "loadgen: {} overlapping sweeps submitted over http://{addr}, {} SSE followers",
+        ids.len(),
+        followers
+    );
+
+    // Followers stream while the storm runs; the main thread polls the
+    // status endpoint until every submitted sweep is terminal.
+    let follower_results: Vec<io::Result<(Option<Duration>, u64)>> =
+        std::thread::scope(|scope| -> Result<_, EngineError> {
+            let handles: Vec<_> = (0..followers)
+                .map(|f| {
+                    let addr = addr.clone();
+                    let id = ids[f % ids.len()].clone();
+                    scope.spawn(move || follow_first_event(&addr, &id))
+                })
+                .collect();
+            poll_until_terminal(&addr, &ids)?;
+            Ok(handles
+                .into_iter()
+                .map(|h| h.join().expect("follower panicked"))
+                .collect())
+        })?;
+
+    let metrics = mbcr_gateway::request(&addr, "GET", "/v1/metrics", None)
+        .map_err(|e| fail(format!("GET /v1/metrics: {e}")))?
+        .json()
+        .ok_or_else(|| fail("non-JSON body from /v1/metrics".into()))?;
+    print!("{}", loadgen_report(&metrics, &ids, &follower_results));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One SSE follower of the load storm: time from connect to the first
+/// `progress` event (`None` if the stream ended without one), plus the
+/// number of events received.
+fn follow_first_event(addr: &str, id: &str) -> io::Result<(Option<Duration>, u64)> {
+    let start = Instant::now();
+    let mut events = mbcr_gateway::open_sse(addr, &format!("/v1/sweeps/{id}/events"))?;
+    let mut first = None;
+    let mut count = 0u64;
+    while let Some(event) = events.next_event()? {
+        count += 1;
+        match event.event.as_str() {
+            "progress" if first.is_none() => first = Some(start.elapsed()),
+            "end" => break,
+            _ => {}
+        }
+    }
+    Ok((first, count))
+}
+
+/// Polls `GET /v1/sweeps` until every id in `ids` reports a terminal
+/// state (or ten minutes pass).
+fn poll_until_terminal(addr: &str, ids: &[String]) -> Result<(), EngineError> {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let response = mbcr_gateway::request(addr, "GET", "/v1/sweeps", None)
+            .map_err(|e| EngineError::Analysis(format!("GET /v1/sweeps: {e}")))?;
+        let rows: Vec<_> = response
+            .json()
+            .as_ref()
+            .and_then(|doc| doc.get("sweeps"))
+            .and_then(Json::as_array)
+            .map(|rows| rows.iter().filter_map(protocol::status_from_json).collect())
+            .unwrap_or_default();
+        if ids
+            .iter()
+            .all(|id| rows.iter().any(|s| &s.id == id && s.state.terminal()))
+        {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(EngineError::Analysis(
+                "loadgen timed out waiting for the storm to finish".into(),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Renders the loadgen report from the daemon's `/v1/metrics` document
+/// and the followers' measurements.
+fn loadgen_report(
+    metrics: &Json,
+    ids: &[String],
+    followers: &[io::Result<(Option<Duration>, u64)>],
+) -> String {
+    let empty: [Json; 0] = [];
+    let rows: &[Json] = metrics
+        .get("sweeps")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let field = |row: &Json, key: &str| row.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let (mut total, mut skipped) = (0u64, 0u64);
+    let mut claims: Vec<u64> = Vec::new();
+    for row in rows.iter().filter(|row| {
+        row.get("id")
+            .and_then(Json::as_str)
+            .is_some_and(|id| ids.iter().any(|ours| ours == id))
+    }) {
+        total += field(row, "total");
+        skipped += field(row, "skipped");
+        claims.push(field(row, "claims"));
+    }
+    let parked = metrics
+        .get("dedup_parked")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let affinity = |key: &str| {
+        metrics
+            .get("affinity")
+            .and_then(|a| a.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    let mut firsts: Vec<Duration> = followers
+        .iter()
+        .filter_map(|r| r.as_ref().ok().and_then(|(first, _)| *first))
+        .collect();
+    firsts.sort_unstable();
+    let events: u64 = followers
+        .iter()
+        .filter_map(|r| r.as_ref().ok().map(|(_, n)| *n))
+        .sum();
+    let errors = followers.iter().filter(|r| r.is_err()).count();
+
+    let mut out = String::from("loadgen report:\n");
+    out.push_str(&format!(
+        "  followers: {} streams, {events} events delivered, {errors} stream errors\n",
+        followers.len(),
+    ));
+    match (firsts.first(), firsts.get(firsts.len() / 2), firsts.last()) {
+        (Some(min), Some(median), Some(max)) => out.push_str(&format!(
+            "  time-to-first-event: min {min:?} / median {median:?} / max {max:?}\n"
+        )),
+        _ => out.push_str("  time-to-first-event: no progress events observed\n"),
+    }
+    let pct = if total == 0 {
+        0.0
+    } else {
+        100.0 * skipped as f64 / total as f64
+    };
+    out.push_str(&format!(
+        "  dedup: {skipped}/{total} jobs served from cache ({pct:.1}%), \
+         {parked} claims parked behind in-flight stages\n"
+    ));
+    out.push_str(&format!(
+        "  fairness: claims per sweep min {} / max {}\n",
+        claims.iter().min().copied().unwrap_or(0),
+        claims.iter().max().copied().unwrap_or(0),
+    ));
+    out.push_str(&format!(
+        "  affinity: shipped {} bytes, elided {} bytes\n",
+        affinity("shipped_bytes"),
+        affinity("elided_bytes"),
+    ));
     out
 }

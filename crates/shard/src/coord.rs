@@ -28,10 +28,13 @@
 //! worker are absorbed: artifacts are content-addressed (idempotent to
 //! re-save) and the registry's first record wins.
 
-use std::collections::HashMap;
+mod http;
+mod scale;
+
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -70,6 +73,35 @@ impl Default for CoordSettings {
 /// How often a `Follow` stream re-checks for progress.
 const FOLLOW_TICK: Duration = Duration::from_millis(200);
 
+/// Most artifact digests remembered as resident per worker. FIFO
+/// eviction: an elided-but-evicted artifact merely recomputes on the
+/// worker (deterministically, so byte-identity is untouchable by any
+/// placement decision) — the cap only bounds coordinator memory.
+const RESIDENT_CAP: usize = 256;
+
+/// Which artifact digests one worker is believed to hold (shipped to it
+/// or produced by it). Purely advisory: placement prefers claims whose
+/// inputs are resident, and shipment elides resident artifacts, but a
+/// wrong guess costs a recompute, never a wrong byte.
+#[derive(Default)]
+struct Residency {
+    set: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl Residency {
+    fn insert(&mut self, digest: u64) {
+        if self.set.insert(digest) {
+            self.order.push_back(digest);
+            if self.order.len() > RESIDENT_CAP {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.set.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
 struct State {
     sweeps: SweepRegistry,
     leases: LeaseTable,
@@ -92,6 +124,19 @@ struct Service<'a> {
     /// Set when the accept loop exits (success or error): handlers wind
     /// down instead of serving.
     shutdown: AtomicBool,
+    /// The HTTP/JSON + SSE face (`mbcr serve --http`), polled by the
+    /// same accept loop as the binary listener.
+    http: Option<TcpListener>,
+    /// Local worker autoscaling (`mbcr serve --spawn-workers`).
+    scaler: Option<scale::Autoscaler>,
+    /// Per-worker artifact residency, keyed by peer id. Its own lock,
+    /// taken strictly *outside* (never while holding) the state lock.
+    residency: Mutex<HashMap<u64, Residency>>,
+    /// Upstream-artifact bytes actually shipped in wire jobs.
+    shipped_bytes: AtomicU64,
+    /// Upstream-artifact bytes elided because the claiming worker
+    /// already held them.
+    elided_bytes: AtomicU64,
 }
 
 /// Runs one sweep by serving its jobs to TCP workers until every node
@@ -124,10 +169,18 @@ pub fn serve(
             force: settings.run.force,
             checkpoint_interval: settings.run.checkpoint_interval,
             persist: false,
+            ..SubmitOptions::default()
         },
         registry,
     )?;
-    let service = Service::new(registry, store, *settings, false, sweeps);
+    let service = Service::new(
+        registry,
+        store,
+        *settings,
+        false,
+        sweeps,
+        GatewayOptions::default(),
+    );
     service.run(listener)?;
     let state = service.state.into_inner().expect("state poisoned");
     state
@@ -153,8 +206,43 @@ pub fn serve_daemon(
     settings: &CoordSettings,
     listener: &TcpListener,
 ) -> Result<(), EngineError> {
+    serve_daemon_with(
+        registry,
+        store,
+        settings,
+        listener,
+        GatewayOptions::default(),
+    )
+}
+
+/// Service-plane extras for [`serve_daemon_with`], all off by default
+/// (which makes it exactly [`serve_daemon`]).
+#[derive(Debug, Default)]
+pub struct GatewayOptions {
+    /// A bound listener for the HTTP/JSON + SSE gateway
+    /// (`mbcr serve --http`). Served from the same process and registry
+    /// as the binary protocol — the two planes are views of one queue.
+    pub http: Option<TcpListener>,
+    /// `Some((min, max))` spawns and reaps local worker processes from
+    /// queue depth (`mbcr serve --spawn-workers min..max`).
+    pub spawn_workers: Option<(usize, usize)>,
+}
+
+/// [`serve_daemon`] plus the service-plane extras: an HTTP/SSE gateway
+/// listener and/or a local worker autoscaler.
+///
+/// # Errors
+///
+/// Queue-resume and listener failures, as for [`serve_daemon`].
+pub fn serve_daemon_with(
+    registry: &Registry,
+    store: &ArtifactStore,
+    settings: &CoordSettings,
+    listener: &TcpListener,
+    gateway: GatewayOptions,
+) -> Result<(), EngineError> {
     let sweeps = SweepRegistry::open(store, registry)?;
-    let service = Service::new(registry, store, *settings, true, sweeps);
+    let service = Service::new(registry, store, *settings, true, sweeps, gateway);
     service.run(listener)
 }
 
@@ -165,6 +253,7 @@ impl<'a> Service<'a> {
         settings: CoordSettings,
         daemon: bool,
         sweeps: SweepRegistry,
+        gateway: GatewayOptions,
     ) -> Self {
         Self {
             registry,
@@ -178,6 +267,13 @@ impl<'a> Service<'a> {
                 last_live: Instant::now(),
             }),
             shutdown: AtomicBool::new(false),
+            http: gateway.http,
+            scaler: gateway
+                .spawn_workers
+                .map(|(min, max)| scale::Autoscaler::new(min, max)),
+            residency: Mutex::new(HashMap::new()),
+            shipped_bytes: AtomicU64::new(0),
+            elided_bytes: AtomicU64::new(0),
         }
     }
 
@@ -186,9 +282,23 @@ impl<'a> Service<'a> {
     /// no unfinished sweep left.
     fn run(&self, listener: &TcpListener) -> Result<(), EngineError> {
         listener.set_nonblocking(true)?;
-        std::thread::scope(|scope| {
+        if let Some(http) = &self.http {
+            http.set_nonblocking(true)?;
+        }
+        // Workers the autoscaler spawns connect back over the binary
+        // listener; an unspecified bind address (0.0.0.0) is rewritten
+        // to loopback since those workers are by definition local.
+        let connect = listener.local_addr().map(|addr| {
+            if addr.ip().is_unspecified() {
+                format!("127.0.0.1:{}", addr.port())
+            } else {
+                addr.to_string()
+            }
+        })?;
+        let result = std::thread::scope(|scope| {
             let mut next_peer = 0u64;
             let mut next_finalize_retry = Instant::now();
+            let mut next_scale_tick = Instant::now();
             let result = loop {
                 if !self.daemon && self.finished() {
                     break Ok(());
@@ -203,7 +313,35 @@ impl<'a> Service<'a> {
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
                     Err(e) => break Err(EngineError::Io(e)),
                 }
+                // Drain every pending HTTP connection this tick: a load
+                // storm of short requests must not be throttled to one
+                // accept per 20 ms sleep. Accept errors are logged, not
+                // fatal — the gateway is an auxiliary face of the daemon.
+                while let Some(http) = &self.http {
+                    match http.accept() {
+                        Ok((stream, _)) => {
+                            let service = &*self;
+                            scope.spawn(move || http::handle(service, stream));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) => {
+                            eprintln!("coordinator: http accept failed: {e}");
+                            break;
+                        }
+                    }
+                }
                 let now = Instant::now();
+                if let Some(scaler) = &self.scaler {
+                    if now >= next_scale_tick {
+                        next_scale_tick = now + Duration::from_secs(1);
+                        let (ready, leased) = {
+                            let state = self.lock();
+                            let metrics = state.sweeps.metrics();
+                            (metrics.ready, metrics.leased)
+                        };
+                        scaler.tick(ready, leased, now, &connect);
+                    }
+                }
                 self.reap_expired(now);
                 // A drained sweep whose manifest write failed (ENOSPC,
                 // transient store trouble) gets no further records to
@@ -232,11 +370,43 @@ impl<'a> Service<'a> {
             // joins them.
             self.shutdown.store(true, Ordering::Release);
             result
-        })
+        });
+        if let Some(scaler) = &self.scaler {
+            scaler.shutdown();
+        }
+        result
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
         self.state.lock().expect("state poisoned")
+    }
+
+    fn residency_lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Residency>> {
+        self.residency.lock().expect("residency poisoned")
+    }
+
+    /// A snapshot of the digests believed resident on `worker` (`None`
+    /// when nothing is known). Cloned *before* the state lock is taken,
+    /// so affinity scoring inside the claim never nests the two locks.
+    fn resident_digests(&self, worker: u64) -> Option<HashSet<u64>> {
+        let residency = self.residency_lock();
+        residency
+            .get(&worker)
+            .filter(|r| !r.set.is_empty())
+            .map(|r| r.set.clone())
+    }
+
+    /// Marks `digests` resident on `worker` (shipped to it, or received
+    /// back from it).
+    fn mark_resident(&self, worker: u64, digests: &[u64]) {
+        if digests.is_empty() {
+            return;
+        }
+        let mut residency = self.residency_lock();
+        let entry = residency.entry(worker).or_default();
+        for &digest in digests {
+            entry.insert(digest);
+        }
     }
 
     fn finished(&self) -> bool {
@@ -261,6 +431,7 @@ impl<'a> Service<'a> {
     /// A worker's connection ended (or it drained): evict it and requeue
     /// its leases across every sweep.
     fn drop_worker(&self, worker: u64, how: &str) {
+        self.residency_lock().remove(&worker);
         let mut state = self.lock();
         state.leases.remove(worker);
         let requeued = state.sweeps.requeue_worker(worker);
@@ -355,12 +526,22 @@ impl<'a> Service<'a> {
     /// until it is recorded or the lease is revoked.
     fn claim(&self, worker: u64) -> Message {
         loop {
+            // Residency is cloned before the state lock so the affinity
+            // closure touches no second lock while scoring ready jobs.
+            let resident = self.resident_digests(worker);
             let claim = {
                 let mut state = self.lock();
                 if self.winding_down() {
                     return Message::Shutdown;
                 }
-                match state.sweeps.claim(worker) {
+                let claimed = match &resident {
+                    Some(held) => {
+                        let held = |digest: u64| held.contains(&digest);
+                        state.sweeps.claim_with(worker, Some(&held))
+                    }
+                    None => state.sweeps.claim(worker),
+                };
+                match claimed {
                     Some(claim) => claim,
                     None => {
                         if !self.daemon && state.sweeps.finished() {
@@ -394,7 +575,7 @@ impl<'a> Service<'a> {
                         }
                     }
                 }
-                JobKind::Stage { .. } => match self.build_wire_job(&claim) {
+                JobKind::Stage { .. } => match self.build_wire_job(&claim, worker) {
                     Ok(wire) => return Message::Job(Box::new(wire)),
                     Err(e) => {
                         self.record(&claim, JobStatus::Failed, Some(e.to_string()), None);
@@ -410,7 +591,14 @@ impl<'a> Service<'a> {
     /// the job is at or past the campaign stage — the adoption path for
     /// re-leased in-flight campaigns — and the sweep's analysis knobs,
     /// which keep the worker sweep-agnostic.
-    fn build_wire_job(&self, claim: &ServiceClaim) -> Result<WireJob, EngineError> {
+    ///
+    /// Artifacts already resident on `peer` (shipped to it before, or
+    /// produced by it) are elided from the shipment: the worker's slot
+    /// cache serves them, and if it evicted one, the session recomputes
+    /// it byte-identically — elision can change bytes on the wire, never
+    /// bytes in the store. The campaign chunk-log prefix always ships;
+    /// it is mutable state, not a content-addressed artifact.
+    fn build_wire_job(&self, claim: &ServiceClaim, peer: u64) -> Result<WireJob, EngineError> {
         let plan = &claim.plan;
         let spec = plan.graph.jobs[claim.job].clone();
         let target = spec.kind.stage().expect("stage node");
@@ -422,12 +610,26 @@ impl<'a> Service<'a> {
             .iter()
             .position(|&s| s == target)
             .expect("target in pipeline");
+        let resident = self.resident_digests(peer).unwrap_or_default();
         let mut artifacts = Vec::new();
+        let mut shipped = Vec::new();
         for &stage in &stages[..at] {
-            if let Some(doc) = digests.get(stage).and_then(|d| self.store.load_stage(d)) {
+            let Some(digest) = digests.get(stage) else {
+                continue;
+            };
+            let Some(doc) = self.store.load_stage(digest) else {
+                continue;
+            };
+            let bytes = doc.to_compact().len() as u64;
+            if resident.contains(&digest) {
+                self.elided_bytes.fetch_add(bytes, Ordering::Relaxed);
+            } else {
+                self.shipped_bytes.fetch_add(bytes, Ordering::Relaxed);
+                shipped.push(digest);
                 artifacts.push(doc);
             }
         }
+        self.mark_resident(peer, &shipped);
         let mut prefix = None;
         if let Some(digest) = digests.get(StageKind::Campaign) {
             let campaign_at = stages
@@ -477,7 +679,7 @@ impl<'a> Service<'a> {
     /// payload, then record it with the registry. Returns `false` when
     /// the result is malformed (unknown sweep, out-of-range or
     /// never-leased node) and the peer should be dropped.
-    fn complete_remote(&self, result: JobResult) -> bool {
+    fn complete_remote(&self, result: JobResult, peer: u64) -> bool {
         let (plausible, plan, persist) = {
             let state = self.lock();
             (
@@ -491,6 +693,7 @@ impl<'a> Service<'a> {
         }
         let mut error = result.error;
         let mut summary = result.summary;
+        let mut produced = Vec::new();
         for doc in &result.stage_docs {
             let Some(digest) = doc.get("digest").and_then(Json::as_u64) else {
                 continue; // not a stage envelope; ignore
@@ -500,7 +703,11 @@ impl<'a> Service<'a> {
                 summary = None;
                 break;
             }
+            produced.push(digest);
         }
+        // The worker that computed these artifacts holds them in its
+        // slot cache: future claims on this peer can elide them.
+        self.mark_resident(peer, &produced);
         let Some(plan) = plan else {
             return true; // terminal sweep: absorb the late result
         };
@@ -531,27 +738,22 @@ impl<'a> Service<'a> {
         true
     }
 
-    /// Handles a client submission: durable-then-acknowledged.
-    fn submit(&self, spec: &Json, force: bool, checkpoint_interval: Option<usize>) -> Message {
-        let spec = match SweepSpec::from_json(spec) {
-            Ok(spec) => spec,
-            Err(e) => {
-                return Message::Reject {
-                    reason: format!("bad sweep spec: {e}"),
-                }
-            }
-        };
-        let opts = SubmitOptions {
-            force,
-            checkpoint_interval,
-            persist: true,
-        };
+    /// Handles a client submission: durable-then-acknowledged. Shared by
+    /// the binary protocol and the HTTP gateway — one validation path,
+    /// one durability contract, whatever the wire.
+    fn submit_sweep(&self, spec: &Json, opts: SubmitOptions) -> Result<String, String> {
+        let spec = SweepSpec::from_json(spec).map_err(|e| format!("bad sweep spec: {e}"))?;
         let mut state = self.lock();
-        match state.sweeps.submit(spec, opts, self.registry) {
+        state
+            .sweeps
+            .submit(spec, opts, self.registry)
+            .map_err(|e| e.to_string())
+    }
+
+    fn submit(&self, spec: &Json, opts: SubmitOptions) -> Message {
+        match self.submit_sweep(spec, opts) {
             Ok(sweep) => Message::Submitted { sweep },
-            Err(e) => Message::Reject {
-                reason: e.to_string(),
-            },
+            Err(reason) => Message::Reject { reason },
         }
     }
 
@@ -592,24 +794,41 @@ impl<'a> Service<'a> {
     /// scans (real disk I/O, one per campaign node) always run *outside*
     /// the lock, so a follower can never stall the worker fleet.
     fn follow(&self, stream: &mut TcpStream, sweep: Option<String>) -> io::Result<()> {
-        let targets: Vec<String> = {
-            let state = self.lock();
-            match sweep {
-                Some(id) => {
-                    if !state.sweeps.contains(&id) {
-                        drop(state);
-                        return protocol::send(
-                            stream,
-                            &Message::Reject {
-                                reason: format!("unknown sweep '{id}'"),
-                            },
-                        );
-                    }
-                    vec![id]
-                }
-                None => state.sweeps.ids(),
-            }
+        let targets = match self.follow_targets(sweep) {
+            Ok(targets) => targets,
+            Err(reason) => return protocol::send(stream, &Message::Reject { reason }),
         };
+        self.follow_stream(&targets, &mut |snapshot| {
+            protocol::send(stream, &Message::Progress(Box::new(snapshot)))
+        })?;
+        protocol::send(stream, &Message::FollowEnd)
+    }
+
+    /// Resolves a follow request to the sweep ids it watches.
+    fn follow_targets(&self, sweep: Option<String>) -> Result<Vec<String>, String> {
+        let state = self.lock();
+        match sweep {
+            Some(id) => {
+                if state.sweeps.contains(&id) {
+                    Ok(vec![id])
+                } else {
+                    Err(format!("unknown sweep '{id}'"))
+                }
+            }
+            None => Ok(state.sweeps.ids()),
+        }
+    }
+
+    /// The transport-agnostic follow loop, shared by binary `Follow`
+    /// streams and SSE followers: emit each changed snapshot — job
+    /// completions *and* campaign chunk-log growth — until every target
+    /// is terminal or the service winds down. Emit failures (the peer
+    /// vanished) end the stream.
+    fn follow_stream(
+        &self,
+        targets: &[String],
+        emit: &mut dyn FnMut(SweepSnapshot) -> io::Result<()>,
+    ) -> io::Result<()> {
         let mut sent: HashMap<String, String> = HashMap::new();
         let mut shells: Vec<(SweepSnapshot, Vec<u64>)> = Vec::new();
         let mut seen_revision = None;
@@ -633,15 +852,14 @@ impl<'a> Service<'a> {
                 let mut snapshot = shell.clone();
                 snapshot.campaigns = mbcr_engine::campaign_progress_for(self.store, digests);
                 let id = snapshot.id.clone();
-                let message = Message::Progress(Box::new(snapshot));
-                let rendered = message.to_json().to_compact();
+                let rendered = protocol::snapshot_json(&snapshot).to_compact();
                 if sent.get(&id) != Some(&rendered) {
-                    protocol::send(stream, &message)?;
+                    emit(snapshot)?;
                     sent.insert(id, rendered);
                 }
             }
             if all_terminal || self.winding_down() {
-                return protocol::send(stream, &Message::FollowEnd);
+                return Ok(());
             }
             std::thread::sleep(FOLLOW_TICK);
         }
@@ -742,7 +960,7 @@ fn handle_connection(service: &Service<'_>, mut stream: TcpStream, peer: u64) {
                     Message::ResetLog { digest } => service.reset_log(digest),
                     Message::Heartbeat => {}
                     Message::Done(result) => {
-                        if !service.complete_remote(*result) {
+                        if !service.complete_remote(*result, peer) {
                             break;
                         }
                     }
@@ -754,8 +972,17 @@ fn handle_connection(service: &Service<'_>, mut stream: TcpStream, peer: u64) {
                         spec,
                         force,
                         checkpoint_interval,
+                        priority,
+                        max_concurrent,
                     } => {
-                        let response = service.submit(&spec, force, checkpoint_interval);
+                        let opts = SubmitOptions {
+                            force,
+                            checkpoint_interval,
+                            persist: true,
+                            priority,
+                            max_concurrent,
+                        };
+                        let response = service.submit(&spec, opts);
                         if protocol::send(&mut stream, &response).is_err() {
                             break;
                         }

@@ -1,0 +1,259 @@
+//! The HTTP/JSON + SSE face of the service daemon (`mbcr serve --http`).
+//!
+//! Every route is a thin adapter over the same [`Service`] methods the
+//! binary protocol uses — one registry, one durability contract, two
+//! wire formats. Handlers run in the accept loop's thread scope, one
+//! request per connection (mirroring the daemon's one-handshake binary
+//! peers); a slow or hostile peer can stall only its own handler
+//! thread, never the claim loop, because every route takes the state
+//! lock just long enough for an in-memory read.
+//!
+//! Routes:
+//!
+//! | Method + path               | Action                                 |
+//! |-----------------------------|----------------------------------------|
+//! | `GET /v1/healthz`           | liveness + wire schema                 |
+//! | `GET /v1/metrics`           | queue depth, fairness, dedup, affinity |
+//! | `GET /v1/sweeps`            | status of every sweep                  |
+//! | `POST /v1/sweeps`           | submit (durable before `201`)          |
+//! | `GET /v1/sweeps/{id}`       | one sweep's full snapshot              |
+//! | `DELETE /v1/sweeps/{id}`    | cancel                                 |
+//! | `GET /v1/sweeps/{id}/events`| SSE progress stream until terminal     |
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use mbcr_engine::{SubmitOptions, SweepMetrics};
+use mbcr_gateway::{read_request, respond_error, respond_json, sse_event, sse_headers, Request};
+use mbcr_json::Json;
+
+use super::Service;
+use crate::protocol;
+
+/// Serves one HTTP connection: parse (hardened), route, respond, close.
+/// Malformed requests get a `400` and never disturb the daemon.
+pub(super) fn handle(service: &Service<'_>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // The read timeout bounds header/body dribble; the write timeout is
+    // what guarantees a never-reading SSE follower errors its handler
+    // out instead of pinning it forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let Ok(reading) = stream.try_clone() else {
+        return;
+    };
+    let request = match read_request(&mut BufReader::new(reading)) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // peer connected and left; nothing to answer
+        Err(e) => {
+            let _ = respond_error(&mut stream, 400, &e.to_string());
+            return;
+        }
+    };
+    let _ = route(service, &mut stream, &request);
+}
+
+fn route(service: &Service<'_>, stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let (method, path) = (request.method.as_str(), request.path.as_str());
+    match (method, path) {
+        ("GET", "/v1/healthz") => respond_json(
+            stream,
+            200,
+            &Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("schema".to_string(), protocol::wire_schema().into()),
+            ]),
+        ),
+        ("GET", "/v1/metrics") => respond_json(stream, 200, &metrics_doc(service)),
+        ("GET", "/v1/sweeps") => {
+            let statuses = { service.lock().sweeps.statuses() };
+            let rows = statuses.iter().map(protocol::status_json).collect();
+            respond_json(
+                stream,
+                200,
+                &Json::Obj(vec![("sweeps".to_string(), Json::Arr(rows))]),
+            )
+        }
+        ("POST", "/v1/sweeps") => submit(service, stream, request),
+        (_, "/v1/healthz" | "/v1/metrics" | "/v1/sweeps") => {
+            respond_error(stream, 405, &format!("{method} not allowed on {path}"))
+        }
+        _ => {
+            let Some(rest) = path.strip_prefix("/v1/sweeps/") else {
+                return respond_error(stream, 404, &format!("no route for {path}"));
+            };
+            if let Some(id) = rest.strip_suffix("/events") {
+                return if method == "GET" {
+                    follow_sse(service, stream, id)
+                } else {
+                    respond_error(stream, 405, &format!("{method} not allowed on {path}"))
+                };
+            }
+            if rest.is_empty() || rest.contains('/') {
+                return respond_error(stream, 404, &format!("no route for {path}"));
+            }
+            match method {
+                "GET" => snapshot(service, stream, rest),
+                "DELETE" => cancel(service, stream, rest),
+                _ => respond_error(stream, 405, &format!("{method} not allowed on {path}")),
+            }
+        }
+    }
+}
+
+/// `POST /v1/sweeps`: body `{"spec": …, "force"?, "checkpoint_interval"?,
+/// "priority"?, "max_concurrent"?}` — the exact knobs of the binary
+/// `Submit` frame. Durable before the `201` is written, like every
+/// other submission path.
+fn submit(service: &Service<'_>, stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let body = match request.json() {
+        Ok(body) => body,
+        Err(e) => return respond_error(stream, 400, &e),
+    };
+    let Some(spec) = body.get("spec") else {
+        return respond_error(stream, 400, "missing 'spec'");
+    };
+    let opts = SubmitOptions {
+        force: body.get("force").and_then(Json::as_bool).unwrap_or(false),
+        checkpoint_interval: body.get("checkpoint_interval").and_then(Json::as_usize),
+        persist: true,
+        priority: body
+            .get("priority")
+            .and_then(Json::as_u64)
+            .map_or(1, |p| u32::try_from(p).unwrap_or(u32::MAX)),
+        max_concurrent: body.get("max_concurrent").and_then(Json::as_usize),
+    };
+    match service.submit_sweep(spec, opts) {
+        Ok(sweep) => respond_json(
+            stream,
+            201,
+            &Json::Obj(vec![("sweep".to_string(), sweep.into())]),
+        ),
+        Err(reason) => respond_error(stream, 400, &reason),
+    }
+}
+
+/// `GET /v1/sweeps/{id}`: the same snapshot a binary `Follow` frame
+/// carries, campaigns filled in outside the state lock.
+fn snapshot(service: &Service<'_>, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+    let shell = {
+        let state = service.lock();
+        state
+            .sweeps
+            .snapshot(id)
+            .map(|shell| (shell, state.sweeps.campaign_digests(id)))
+    };
+    let Some((mut snapshot, digests)) = shell else {
+        return respond_error(stream, 404, &format!("unknown sweep '{id}'"));
+    };
+    snapshot.campaigns = mbcr_engine::campaign_progress_for(service.store, &digests);
+    respond_json(stream, 200, &protocol::snapshot_json(&snapshot))
+}
+
+/// `DELETE /v1/sweeps/{id}`: cancel. Unknown ids are `404`; a sweep
+/// that can no longer be canceled (already terminal) is `409`.
+fn cancel(service: &Service<'_>, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+    let result = { service.lock().sweeps.cancel(id) };
+    match result {
+        Ok(state) => respond_json(
+            stream,
+            200,
+            &Json::Obj(vec![
+                ("sweep".to_string(), id.into()),
+                ("state".to_string(), state.name().into()),
+            ]),
+        ),
+        Err(e) => {
+            let reason = e.to_string();
+            let status = if reason.contains("unknown") { 404 } else { 409 };
+            respond_error(stream, status, &reason)
+        }
+    }
+}
+
+/// `GET /v1/sweeps/{id}/events`: an SSE stream of `progress` events
+/// (each one compact-JSON snapshot, byte-equal to the binary follow
+/// payload) until the sweep is terminal, then one `end` event. Shares
+/// [`Service::follow_stream`] with binary followers, so the no-lock-
+/// around-I/O discipline holds here too.
+fn follow_sse(service: &Service<'_>, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+    let targets = match service.follow_targets(Some(id.to_string())) {
+        Ok(targets) => targets,
+        Err(reason) => return respond_error(stream, 404, &reason),
+    };
+    sse_headers(stream)?;
+    service.follow_stream(&targets, &mut |snapshot| {
+        sse_event(
+            stream,
+            "progress",
+            &protocol::snapshot_json(&snapshot).to_compact(),
+        )
+    })?;
+    sse_event(stream, "end", "{}")
+}
+
+/// `GET /v1/metrics`: the autoscaling/observability document — queue
+/// depth, per-sweep fairness counters, dedup and affinity totals.
+fn metrics_doc(service: &Service<'_>) -> Json {
+    let (metrics, connected) = {
+        let state = service.lock();
+        (state.sweeps.metrics(), state.leases.live())
+    };
+    let sweeps = metrics.sweeps.iter().map(sweep_row).collect();
+    Json::Obj(vec![
+        ("schema".to_string(), protocol::wire_schema().into()),
+        ("ready".to_string(), Json::UInt(metrics.ready as u64)),
+        ("leased".to_string(), Json::UInt(metrics.leased as u64)),
+        ("active".to_string(), Json::UInt(metrics.active as u64)),
+        ("dedup_parked".to_string(), Json::UInt(metrics.dedup_parked)),
+        (
+            "workers".to_string(),
+            Json::Obj(vec![
+                ("connected".to_string(), Json::UInt(connected as u64)),
+                (
+                    "spawned".to_string(),
+                    Json::UInt(service.scaler.as_ref().map_or(0, |s| s.spawned()) as u64),
+                ),
+            ]),
+        ),
+        (
+            "affinity".to_string(),
+            Json::Obj(vec![
+                (
+                    "shipped_bytes".to_string(),
+                    Json::UInt(service.shipped_bytes.load(Ordering::Relaxed)),
+                ),
+                (
+                    "elided_bytes".to_string(),
+                    Json::UInt(service.elided_bytes.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        ("sweeps".to_string(), Json::Arr(sweeps)),
+    ])
+}
+
+fn sweep_row(metrics: &SweepMetrics) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), metrics.id.as_str().into()),
+        ("state".to_string(), metrics.state.name().into()),
+        (
+            "priority".to_string(),
+            Json::UInt(u64::from(metrics.priority)),
+        ),
+        (
+            "max_concurrent".to_string(),
+            metrics
+                .max_concurrent
+                .map_or(Json::Null, |cap| Json::UInt(cap as u64)),
+        ),
+        ("claims".to_string(), Json::UInt(metrics.claims)),
+        ("ready".to_string(), Json::UInt(metrics.ready as u64)),
+        ("leased".to_string(), Json::UInt(metrics.leased as u64)),
+        ("done".to_string(), Json::UInt(metrics.done as u64)),
+        ("total".to_string(), Json::UInt(metrics.total as u64)),
+        ("skipped".to_string(), Json::UInt(metrics.skipped as u64)),
+    ])
+}

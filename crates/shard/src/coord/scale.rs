@@ -1,0 +1,145 @@
+//! Local worker autoscaling (`mbcr serve --spawn-workers min..max`).
+//!
+//! A bang-bang policy driven from the daemon's run loop, roughly one
+//! tick per second: any claimable work scales the pool straight to
+//! `max` (queue depth says nothing about per-job cost, so there is no
+//! point creeping), and a queue that has been empty *and* lease-free
+//! for a grace period scales back to `min`. Surplus workers get a
+//! SIGTERM — the worker's graceful-drain path, which finishes the
+//! in-flight job and flushes its campaign chunk before exiting — and
+//! are reaped on later ticks. The policy only ever changes *where* jobs
+//! run, never their bytes.
+
+use std::io;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long the queue must stay empty and lease-free before the pool
+/// shrinks back to `min` — hysteresis against sawtoothing on the gap
+/// between one sweep's last job and the next submission.
+const IDLE_GRACE: Duration = Duration::from_secs(5);
+
+struct Pool {
+    children: Vec<Child>,
+    idle_since: Option<Instant>,
+}
+
+pub(super) struct Autoscaler {
+    min: usize,
+    max: usize,
+    pool: Mutex<Pool>,
+    /// Live child count, mirrored out of the lock for `/v1/metrics`.
+    live: AtomicUsize,
+}
+
+impl Autoscaler {
+    pub(super) fn new(min: usize, max: usize) -> Self {
+        Self {
+            min: min.min(max),
+            max: max.max(min),
+            pool: Mutex::new(Pool {
+                children: Vec::new(),
+                idle_since: None,
+            }),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// Spawned workers currently alive (including ones mid-drain).
+    pub(super) fn spawned(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// One policy step: reap exited children, pick a target size from
+    /// queue depth, then spawn or drain toward it. `connect` is the
+    /// daemon's own binary listener, which spawned workers dial back.
+    pub(super) fn tick(&self, ready: usize, leased: usize, now: Instant, connect: &str) {
+        let mut pool = self.pool.lock().expect("autoscaler poisoned");
+        pool.children
+            .retain_mut(|child| !matches!(child.try_wait(), Ok(Some(_))));
+        if ready > 0 || leased > 0 {
+            pool.idle_since = None;
+        }
+        let current = pool.children.len();
+        let desired = if ready > 0 {
+            self.max
+        } else if leased == 0 {
+            let since = *pool.idle_since.get_or_insert(now);
+            if now.duration_since(since) >= IDLE_GRACE {
+                self.min
+            } else {
+                current.max(self.min)
+            }
+        } else {
+            // Leases outstanding but nothing claimable: keep the pool as
+            // is; draining mid-job would only requeue work.
+            current.max(self.min)
+        };
+        while pool.children.len() < desired {
+            match spawn_worker(connect) {
+                Ok(child) => pool.children.push(child),
+                Err(e) => {
+                    eprintln!("coordinator: spawning a worker failed: {e}");
+                    break;
+                }
+            }
+        }
+        // Re-signalling a child already draining is harmless; it leaves
+        // the vec only once `try_wait` sees it exit.
+        for child in pool.children.iter_mut().skip(desired) {
+            terminate(child);
+        }
+        self.live.store(pool.children.len(), Ordering::Relaxed);
+    }
+
+    /// Drains and reaps the whole pool (service wind-down).
+    pub(super) fn shutdown(&self) {
+        let mut pool = self.pool.lock().expect("autoscaler poisoned");
+        for child in &mut pool.children {
+            terminate(child);
+        }
+        for child in &mut pool.children {
+            let _ = child.wait();
+        }
+        pool.children.clear();
+        self.live.store(0, Ordering::Relaxed);
+    }
+}
+
+fn spawn_worker(connect: &str) -> io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    Command::new(exe)
+        .args(["worker", "--connect", connect, "--jobs", "1"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+/// SIGTERM: the worker's graceful-drain signal (see
+/// `worker::install_drain_handler`) — it finishes the leased job,
+/// flushes its chunk, sends `Drain`, and exits.
+#[cfg(unix)]
+fn terminate(child: &mut Child) {
+    // Declared by hand (no libc crate in the offline workspace); libc
+    // itself is already linked by std on every unix target.
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    let Ok(pid) = i32::try_from(child.id()) else {
+        return;
+    };
+    unsafe {
+        kill(pid, SIGTERM);
+    }
+}
+
+/// Without SIGTERM semantics there is no graceful drain; a hard kill
+/// only requeues the in-flight job (the lease machinery's normal path).
+#[cfg(not(unix))]
+fn terminate(child: &mut Child) {
+    let _ = child.kill();
+}

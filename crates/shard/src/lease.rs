@@ -89,6 +89,29 @@ mod tests {
     }
 
     #[test]
+    fn expiry_is_strict_at_the_ttl_boundary() {
+        // `expired` uses a strict `>`: a worker seen exactly `ttl` ago is
+        // still alive (its heartbeat cadence may equal the TTL under
+        // `--lease-ttl 1`-style tight configs); one nanosecond past it
+        // is dead. Pinning this keeps the boundary from silently
+        // flipping to `>=` and evicting healthy edge-cadence workers.
+        let ttl = Duration::from_secs(10);
+        let mut table = LeaseTable::new(ttl);
+        let t0 = Instant::now();
+        table.touch(1, t0);
+        assert!(
+            table.expired(t0 + ttl).is_empty(),
+            "exactly ttl elapsed is not expired"
+        );
+        assert_eq!(table.live(), 1);
+        assert_eq!(
+            table.expired(t0 + ttl + Duration::from_nanos(1)),
+            vec![1],
+            "any instant past ttl is expired"
+        );
+    }
+
+    #[test]
     fn removal_on_disconnect_beats_the_ttl() {
         let mut table = LeaseTable::new(Duration::from_secs(10));
         let t0 = Instant::now();

@@ -5,7 +5,10 @@
 //! [`mbcr_engine::SweepRegistry`]), serves ready stage jobs to TCP
 //! **workers** over a length-prefixed [`mbcr_json`] wire protocol,
 //! answers **clients** (submit / status / cancel / follow) on the same
-//! listener, streams campaign checkpoints back into its
+//! listener — and, with `--http`, on a zero-dependency HTTP/1.1 + JSON
+//! plane (`mbcr-gateway`) that maps the same four verbs onto
+//! `POST/GET/DELETE /v1/sweeps` plus a Server-Sent-Events follow stream
+//! and a `/v1/metrics` scrape — streams campaign checkpoints back into its
 //! content-addressed store as workers produce them, and merges
 //! completed stage artifacts — deduplicated by digest within *and
 //! across* sweeps, so two sweeps sharing a pub/trace/tac stage execute
@@ -28,11 +31,15 @@
 //!
 //! ```text
 //! mbcr serve  --listen 127.0.0.1:4870 --out runs/service   # daemon
-//! mbcr submit --connect 127.0.0.1:4870 --benchmarks bs
+//! mbcr serve  --listen 127.0.0.1:4870 --http 127.0.0.1:8080 \
+//!             --spawn-workers 1..8                  # + HTTP/SSE plane
+//! mbcr submit --connect 127.0.0.1:4870 --benchmarks bs --priority 3
 //! mbcr report --connect 127.0.0.1:4870 --follow            # live stream
+//! mbcr report --connect http://127.0.0.1:8080 --follow --sweep s000-bs
 //! mbcr coord  --benchmarks bs --listen 127.0.0.1:4870 --out runs/demo
 //! mbcr worker --connect 127.0.0.1:4870 --jobs 4        # on any host
 //! mbcr sweep  --benchmarks bs --shards 4               # self-hosted
+//! mbcr loadgen --sweeps 6 --followers 8                # load-storm bench
 //! ```
 
 mod coord;
@@ -40,6 +47,6 @@ mod lease;
 pub mod protocol;
 mod worker;
 
-pub use coord::{serve, serve_daemon, CoordSettings};
+pub use coord::{serve, serve_daemon, serve_daemon_with, CoordSettings, GatewayOptions};
 pub use lease::LeaseTable;
 pub use worker::{run_worker, WorkerOutcome};

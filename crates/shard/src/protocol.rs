@@ -26,10 +26,12 @@ use mbcr_json::{fnv1a_bytes, Json, Serialize, FNV_OFFSET};
 /// schema whose artifacts travel over it. Either side rejects a peer with
 /// a different spelling. (`/2` since the service redesign: jobs are
 /// sweep-tagged and self-describing, and the client conversation —
-/// submit/status/cancel/follow — shares the connection grammar.)
+/// submit/status/cancel/follow — shares the connection grammar. `/3`
+/// since the gateway: submissions carry priority and concurrency-quota
+/// knobs.)
 #[must_use]
 pub fn wire_schema() -> String {
-    format!("mbcr-shard/2|{}", mbcr_engine::SCHEMA)
+    format!("mbcr-shard/3|{}", mbcr_engine::SCHEMA)
 }
 
 /// Magic prefix of every frame.
@@ -318,6 +320,10 @@ pub enum Message {
         force: bool,
         /// Checkpoint-interval override for this sweep's campaigns.
         checkpoint_interval: Option<usize>,
+        /// Fair-share weight (stride scheduling; `0` normalizes to `1`).
+        priority: u32,
+        /// Cap on the sweep's concurrently leased jobs.
+        max_concurrent: Option<usize>,
     },
     /// Service → client: the submission is durable and scheduled.
     Submitted {
@@ -446,12 +452,19 @@ impl Message {
                 spec,
                 force,
                 checkpoint_interval,
+                priority,
+                max_concurrent,
             } => {
                 members.push(("spec".to_string(), spec.clone()));
                 members.push(("force".to_string(), Json::Bool(*force)));
                 members.push((
                     "checkpoint_interval".to_string(),
                     Serialize::to_json(&checkpoint_interval.map(|v| v as u64)),
+                ));
+                members.push(("priority".to_string(), Json::UInt(u64::from(*priority))));
+                members.push((
+                    "max_concurrent".to_string(),
+                    Serialize::to_json(&max_concurrent.map(|v| v as u64)),
                 ));
             }
             Message::Submitted { sweep } => {
@@ -555,6 +568,14 @@ impl Message {
                     None | Some(Json::Null) => None,
                     Some(other) => Some(other.as_usize()?),
                 },
+                priority: v
+                    .get("priority")?
+                    .as_u64()
+                    .map(|p| u32::try_from(p).unwrap_or(u32::MAX))?,
+                max_concurrent: match v.get("max_concurrent") {
+                    None | Some(Json::Null) => None,
+                    Some(other) => Some(other.as_usize()?),
+                },
             },
             "submitted" => Message::Submitted {
                 sweep: text("sweep")?,
@@ -632,7 +653,11 @@ fn optional_text(v: Option<&Json>) -> Option<Option<String>> {
     }
 }
 
-fn status_json(status: &SweepStatus) -> Json {
+/// JSON form of one [`SweepStatus`] row — shared verbatim by the binary
+/// `StatusReport` frame and the gateway's `GET /v1/sweeps` responses,
+/// so both planes serialize statuses identically.
+#[must_use]
+pub fn status_json(status: &SweepStatus) -> Json {
     Json::Obj(vec![
         ("id".to_string(), status.id.as_str().into()),
         ("name".to_string(), status.name.as_str().into()),
@@ -645,7 +670,9 @@ fn status_json(status: &SweepStatus) -> Json {
     ])
 }
 
-fn status_from_json(v: &Json) -> Option<SweepStatus> {
+/// Inverse of [`status_json`].
+#[must_use]
+pub fn status_from_json(v: &Json) -> Option<SweepStatus> {
     let number = |k: &str| v.get(k).and_then(Json::as_usize);
     Some(SweepStatus {
         id: v.get("id")?.as_str()?.to_string(),
@@ -659,7 +686,10 @@ fn status_from_json(v: &Json) -> Option<SweepStatus> {
     })
 }
 
-fn snapshot_json(snapshot: &SweepSnapshot) -> Json {
+/// JSON form of one [`SweepSnapshot`] — shared verbatim by the binary
+/// `Progress` frame and the gateway's snapshot/SSE payloads.
+#[must_use]
+pub fn snapshot_json(snapshot: &SweepSnapshot) -> Json {
     Json::Obj(vec![
         ("id".to_string(), snapshot.id.as_str().into()),
         ("name".to_string(), snapshot.name.as_str().into()),
@@ -700,7 +730,9 @@ fn snapshot_json(snapshot: &SweepSnapshot) -> Json {
     ])
 }
 
-fn snapshot_from_json(v: &Json) -> Option<SweepSnapshot> {
+/// Inverse of [`snapshot_json`].
+#[must_use]
+pub fn snapshot_from_json(v: &Json) -> Option<SweepSnapshot> {
     Some(SweepSnapshot {
         id: v.get("id")?.as_str()?.to_string(),
         name: v.get("name")?.as_str()?.to_string(),
@@ -878,6 +910,8 @@ mod tests {
                     .to_json(),
                 force: true,
                 checkpoint_interval: Some(256),
+                priority: 3,
+                max_concurrent: Some(2),
             },
             Message::Submitted {
                 sweep: "s000-wire".to_string(),
@@ -987,12 +1021,25 @@ mod tests {
             )
         };
         for doc in [
-            // submit without a spec / with a non-bool force
+            // submit without a spec / with a non-bool force / without a
+            // priority / with a malformed quota
             obj(vec![("type", "submit".into()), ("force", Json::Bool(true))]),
             obj(vec![
                 ("type", "submit".into()),
                 ("spec", Json::Obj(vec![])),
                 ("force", Json::UInt(1)),
+            ]),
+            obj(vec![
+                ("type", "submit".into()),
+                ("spec", Json::Obj(vec![])),
+                ("force", Json::Bool(false)),
+            ]),
+            obj(vec![
+                ("type", "submit".into()),
+                ("spec", Json::Obj(vec![])),
+                ("force", Json::Bool(false)),
+                ("priority", Json::UInt(1)),
+                ("max_concurrent", Json::Bool(true)),
             ]),
             // submitted/cancel/cancelled without their ids
             obj(vec![("type", "submitted".into())]),

@@ -30,6 +30,7 @@
 //! otherwise-silent stages (convergence can run minutes without a
 //! checkpoint).
 
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +54,40 @@ const CONNECT_BACKOFF: Duration = Duration::from_millis(250);
 /// The marker a drain-aborted campaign carries in its local error — the
 /// slot recognizes it and deregisters instead of reporting a failure.
 const DRAIN_SENTINEL: &str = "worker draining on SIGTERM";
+
+/// Most stage envelopes one slot keeps across jobs. FIFO eviction: the
+/// coordinator tracks the same digests (its residency table) and may
+/// elide a shipped artifact this cache already dropped — the session
+/// then recomputes it deterministically, so eviction costs time, never
+/// bytes.
+const SLOT_CACHE_CAP: usize = 256;
+
+/// The slot-persistent artifact cache backing cache-aware placement:
+/// every stage envelope shipped to or computed by this slot, keyed by
+/// content digest. Content addressing makes staleness impossible; the
+/// cap bounds memory on long-lived fleets.
+#[derive(Default)]
+struct SlotCache {
+    docs: HashMap<u64, Json>,
+    order: VecDeque<u64>,
+}
+
+impl SlotCache {
+    fn get(&self, digest: u64) -> Option<Json> {
+        self.docs.get(&digest).cloned()
+    }
+
+    fn put(&mut self, digest: u64, doc: &Json) {
+        if self.docs.insert(digest, doc.clone()).is_none() {
+            self.order.push_back(digest);
+            if self.order.len() > SLOT_CACHE_CAP {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.docs.remove(&evicted);
+                }
+            }
+        }
+    }
+}
 
 /// Set by the SIGTERM handler; every slot and checkpoint write checks it.
 static DRAIN: AtomicBool = AtomicBool::new(false);
@@ -207,6 +242,9 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
 
     let run = (|| -> io::Result<WorkerOutcome> {
         let mut outcome = WorkerOutcome::default();
+        // Survives across jobs on this slot; the coordinator's residency
+        // table for this connection mirrors what lands in here.
+        let cache = Mutex::new(SlotCache::default());
         loop {
             if drain_requested() {
                 // Deregister loudly: the coordinator requeues this slot's
@@ -221,7 +259,7 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
                 None | Some(Message::Shutdown) => return Ok(outcome),
                 Some(Message::Wait) => std::thread::sleep(WAIT_BACKOFF),
                 Some(Message::Job(job)) => {
-                    let result = run_job(*job, &registry, &writer);
+                    let result = run_job(*job, &registry, &writer, &cache);
                     if drain_aborted(&result) {
                         // The campaign stopped at a checkpoint boundary
                         // and the boundary chunk is already flushed; hand
@@ -268,7 +306,12 @@ fn send(writer: &Mutex<TcpStream>, message: &Message) -> io::Result<()> {
 /// Executes one shipped stage job against a local wire-backed store and
 /// packages the result. Never returns an error: failures travel back in
 /// the [`JobResult`] like any analysis failure.
-fn run_job(wire: WireJob, registry: &Registry, writer: &Arc<Mutex<TcpStream>>) -> JobResult {
+fn run_job(
+    wire: WireJob,
+    registry: &Registry,
+    writer: &Arc<Mutex<TcpStream>>,
+    cache: &Mutex<SlotCache>,
+) -> JobResult {
     let fail = |error: String| JobResult {
         sweep: wire.sweep.clone(),
         job: wire.job,
@@ -277,7 +320,7 @@ fn run_job(wire: WireJob, registry: &Registry, writer: &Arc<Mutex<TcpStream>>) -
         stage_docs: Vec::new(),
         fit: None,
     };
-    let store = WireStore::new(writer);
+    let store = WireStore::new(writer, cache);
     for doc in &wire.artifacts {
         let Some(digest) = doc.get("digest").and_then(Json::as_u64) else {
             return fail("shipped artifact without a digest".to_string());
@@ -285,6 +328,7 @@ fn run_job(wire: WireJob, registry: &Registry, writer: &Arc<Mutex<TcpStream>>) -
         if store.local.save_stage(digest, doc).is_err() {
             return fail("seeding the local store failed".to_string());
         }
+        store.remember(digest, doc);
     }
     if let Some(prefix) = &wire.prefix {
         // Seed the *local* store directly: the coordinator already holds
@@ -325,22 +369,35 @@ fn run_job(wire: WireJob, registry: &Registry, writer: &Arc<Mutex<TcpStream>>) -
 
 /// The worker-side [`StageStore`]: an in-memory mirror seeded with the
 /// shipped artifacts, forwarding every sample-log mutation to the
-/// coordinator as it happens. Loads are local (the coordinator shipped
-/// everything the session may read); saves are recorded so the finished
-/// job can ship exactly the artifacts this execution computed.
+/// coordinator as it happens. Loads hit the per-job store first, then
+/// the slot cache (artifacts the coordinator elided because this slot
+/// already held them); anything in neither is recomputed by the session,
+/// byte-identically. Saves are recorded so the finished job can ship
+/// exactly the artifacts this execution computed.
 struct WireStore<'a> {
     local: MemoryStageStore,
     writer: &'a Arc<Mutex<TcpStream>>,
+    cache: &'a Mutex<SlotCache>,
     computed: Mutex<Vec<u64>>,
 }
 
 impl<'a> WireStore<'a> {
-    fn new(writer: &'a Arc<Mutex<TcpStream>>) -> Self {
+    fn new(writer: &'a Arc<Mutex<TcpStream>>, cache: &'a Mutex<SlotCache>) -> Self {
         Self {
             local: MemoryStageStore::default(),
             writer,
+            cache,
             computed: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Caches a doc across jobs without marking it computed (it was
+    /// shipped, not produced here).
+    fn remember(&self, digest: u64, doc: &Json) {
+        self.cache
+            .lock()
+            .expect("slot cache poisoned")
+            .put(digest, doc);
     }
 
     /// The stage envelopes this execution computed, in completion order.
@@ -356,11 +413,25 @@ impl<'a> WireStore<'a> {
 
 impl StageStore for WireStore<'_> {
     fn load_stage(&self, digest: u64) -> Option<Json> {
-        self.local.load_stage(digest)
+        if let Some(doc) = self.local.load_stage(digest) {
+            return Some(doc);
+        }
+        // Elided artifact: the coordinator knows this slot held it. On a
+        // hit, promote it into the per-job store so the session's later
+        // loads stay lock-free; on a miss (evicted), the session simply
+        // recomputes the stage.
+        let doc = self
+            .cache
+            .lock()
+            .expect("slot cache poisoned")
+            .get(digest)?;
+        let _ = self.local.save_stage(digest, &doc);
+        Some(doc)
     }
 
     fn save_stage(&self, digest: u64, artifact: &Json) -> io::Result<()> {
         self.local.save_stage(digest, artifact)?;
+        self.remember(digest, artifact);
         let mut computed = self.computed.lock().expect("computed poisoned");
         if !computed.contains(&digest) {
             computed.push(digest);
@@ -405,5 +476,27 @@ impl StageStore for WireStore<'_> {
     fn reset_samples(&self, digest: u64) -> io::Result<()> {
         self.local.reset_samples(digest)?;
         send(self.writer, &Message::ResetLog { digest })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_cache_is_fifo_capped_and_idempotent_on_reinsert() {
+        let mut cache = SlotCache::default();
+        for digest in 0..(SLOT_CACHE_CAP as u64 + 10) {
+            cache.put(digest, &Json::UInt(digest));
+        }
+        assert_eq!(cache.docs.len(), SLOT_CACHE_CAP);
+        assert_eq!(cache.order.len(), SLOT_CACHE_CAP);
+        assert_eq!(cache.get(0), None, "oldest entries evicted first");
+        assert_eq!(cache.get(10), Some(Json::UInt(10)));
+        // Re-inserting a cached digest must not duplicate its FIFO slot
+        // (which would let `order` grow without bound and evict early).
+        cache.put(20, &Json::UInt(20));
+        assert_eq!(cache.docs.len(), SLOT_CACHE_CAP);
+        assert_eq!(cache.order.len(), SLOT_CACHE_CAP);
     }
 }
