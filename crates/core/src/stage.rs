@@ -87,7 +87,7 @@ use std::sync::Mutex;
 
 use mbcr_cpu::{campaign_slice, campaign_slice_chunked, Parallelism, PlatformConfig};
 use mbcr_evt::{converge, ConvergenceConfig, IidReport, Pwcet};
-use mbcr_ir::{execute, Inputs, Program};
+use mbcr_ir::{execute, group_inputs_by_path, Inputs, PathSpace, Program};
 use mbcr_json::{fnv1a, Json, Serialize, FNV_OFFSET};
 use mbcr_pub::{pub_transform, ConstructReport, PubConfig, PubReport, PubResult};
 use mbcr_rng::derive_seed;
@@ -117,6 +117,9 @@ pub enum StageKind {
     Campaign,
     /// The pWCET fit plus i.i.d. evidence over the final sample.
     Fit,
+    /// Measured-vs-static path coverage over an input set (a per-benchmark
+    /// side stage — not part of either per-analysis pipeline).
+    PathCoverage,
 }
 
 impl StageKind {
@@ -131,6 +134,7 @@ impl StageKind {
             StageKind::Converge => "converge",
             StageKind::Campaign => "campaign",
             StageKind::Fit => "fit",
+            StageKind::PathCoverage => "path_coverage",
         }
     }
 
@@ -146,6 +150,7 @@ impl StageKind {
             "converge" => StageKind::Converge,
             "campaign" => StageKind::Campaign,
             "fit" => StageKind::Fit,
+            "path_coverage" => StageKind::PathCoverage,
             _ => return None,
         })
     }
@@ -1206,6 +1211,7 @@ impl StageDigests {
             StageKind::Converge => self.converge,
             StageKind::Campaign => self.campaign,
             StageKind::Fit => self.fit,
+            StageKind::PathCoverage => return None,
         })
     }
 
@@ -1214,6 +1220,169 @@ impl StageDigests {
     pub fn pipeline(&self) -> PipelineKind {
         self.pipeline
     }
+}
+
+/// Measured-vs-static path coverage of one program over an input set.
+///
+/// `static_paths` comes from Ball–Larus path numbering
+/// ([`mbcr_ir::PathSpace`]); `observed_paths` from grouping the input
+/// vectors by traversed path. `covered` certifies that every observed path
+/// lies in the static path space — the static analysis is a sound superset
+/// of what actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathCoverage {
+    /// Static path count (`u128::MAX` when `saturated`).
+    pub static_paths: u128,
+    /// `true` when the exact static count exceeds 128-bit arithmetic.
+    pub saturated: bool,
+    /// Distinct paths observed over the input set.
+    pub observed_paths: u64,
+    /// Every observed path is a member of the static path space.
+    pub covered: bool,
+}
+
+impl PathCoverage {
+    /// `observed / static` as a float, or `None` when the static count
+    /// saturates (the fraction would round to 0 and mislead).
+    #[must_use]
+    pub fn fraction(&self) -> Option<f64> {
+        if self.saturated || self.static_paths == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(self.observed_paths as f64 / self.static_paths as f64)
+    }
+
+    /// The JSON shape used in stage artifacts, sweep manifests and
+    /// `/v1/metrics` (`static_paths` as a decimal string — it can exceed
+    /// `u64`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "static_paths".to_string(),
+                Json::Str(self.static_paths.to_string()),
+            ),
+            ("saturated".to_string(), Json::Bool(self.saturated)),
+            (
+                "observed_paths".to_string(),
+                Json::UInt(self.observed_paths),
+            ),
+            ("covered".to_string(), Json::Bool(self.covered)),
+            (
+                "fraction".to_string(),
+                self.fraction().map_or(Json::Null, Json::Num),
+            ),
+        ])
+    }
+
+    /// Inverse of [`PathCoverage::to_json`].
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<PathCoverage> {
+        Some(PathCoverage {
+            static_paths: v.get("static_paths")?.as_str()?.parse().ok()?,
+            saturated: v.get("saturated")?.as_bool()?,
+            observed_paths: v.get("observed_paths")?.as_u64()?,
+            covered: v.get("covered")?.as_bool()?,
+        })
+    }
+}
+
+/// Input of [`PathCoverageStage`]: a program and the input vectors whose
+/// paths are measured against the static path space.
+#[derive(Debug, Clone, Copy)]
+pub struct PathCoverageInput<'i> {
+    /// The program (normally the *original* — coverage is a property of
+    /// the source path structure).
+    pub program: &'i Program,
+    /// The input vectors to group by path.
+    pub inputs: &'i [Inputs],
+}
+
+/// The path-coverage side stage: static Ball–Larus path count vs paths
+/// observed over an input set, digest-keyed like every pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathCoverageStage;
+
+impl<'i> AnalysisStage<'i> for PathCoverageStage {
+    type Input = PathCoverageInput<'i>;
+    type Output = PathCoverage;
+
+    fn kind(&self) -> StageKind {
+        StageKind::PathCoverage
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(upstream, "|path_coverage|v1")
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        let space = PathSpace::of(input.program);
+        let groups = group_inputs_by_path(input.program, input.inputs)?;
+        let covered = groups.iter().all(|(record, _)| space.contains(record));
+        Ok(PathCoverage {
+            static_paths: space.num_paths(),
+            saturated: space.is_saturated(),
+            observed_paths: groups.len() as u64,
+            covered,
+        })
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        output.to_json()
+    }
+
+    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
+        PathCoverage::from_json(artifact)
+    }
+}
+
+/// The content digest keying a program + input set's coverage artifact.
+#[must_use]
+pub fn path_coverage_digest(program: &Program, inputs: &[Inputs]) -> u64 {
+    let base = fnv1a(
+        FNV_OFFSET,
+        &format!("{STAGE_SCHEMA}|program|{program:?}|inputs|{inputs:?}"),
+    );
+    PathCoverageStage.digest(base)
+}
+
+/// Computes (or loads) the path coverage of `program` over `inputs`,
+/// persisting the artifact under [`path_coverage_digest`] when a store is
+/// given — the digest-keyed entry point sweep drivers use.
+///
+/// # Errors
+///
+/// Interpreter failures, or a store write failure.
+pub fn path_coverage(
+    program: &Program,
+    inputs: &[Inputs],
+    store: Option<&dyn StageStore>,
+) -> Result<PathCoverage, AnalyzeError> {
+    let stage = PathCoverageStage;
+    let digest = path_coverage_digest(program, inputs);
+    if let Some(store) = store {
+        if let Some(doc) = store.load_stage(digest) {
+            if let Some(out) = stage_artifact_data(&doc, StageKind::PathCoverage, digest)
+                .and_then(|d| stage.decode(d))
+            {
+                return Ok(out);
+            }
+        }
+    }
+    let out = stage.run(PathCoverageInput { program, inputs })?;
+    if let Some(store) = store {
+        let doc = Json::Obj(vec![
+            ("schema".to_string(), STAGE_SCHEMA.into()),
+            ("stage".to_string(), StageKind::PathCoverage.name().into()),
+            ("digest".to_string(), Json::UInt(digest)),
+            ("data".to_string(), stage.encode(&out)),
+        ]);
+        store
+            .save_stage(digest, &doc)
+            .map_err(|e| AnalyzeError::Store(format!("path_coverage: {e}")))?;
+    }
+    Ok(out)
 }
 
 /// Extracts the payload of a stored stage artifact after validating its
@@ -1477,6 +1646,9 @@ impl<'a> AnalysisSession<'a> {
             StageKind::Converge => self.ensure_converge(),
             StageKind::Campaign => self.ensure_campaign(),
             StageKind::Fit => self.ensure_fit(),
+            // Guarded by the assert above: path coverage belongs to no
+            // per-analysis pipeline.
+            StageKind::PathCoverage => unreachable!("path_coverage is not a session stage"),
         }
     }
 
@@ -2345,5 +2517,32 @@ mod tests {
             Some(StageStatus::Computed),
             "a torn artifact must not be a cache hit"
         );
+    }
+
+    #[test]
+    fn path_coverage_counts_and_roundtrips() {
+        let (p, x) = demo_program();
+        let inputs = vec![
+            Inputs::new().with_var(x, 1),
+            Inputs::new().with_var(x, -1),
+            Inputs::new().with_var(x, 2),
+        ];
+        let cov = path_coverage(&p, &inputs, None).unwrap();
+        assert!(cov.covered);
+        assert_eq!(cov.observed_paths, 2);
+        assert!(!cov.saturated);
+        assert_eq!(
+            PathCoverage::from_json(&cov.to_json()),
+            Some(cov),
+            "artifact must round-trip"
+        );
+        // A digest-keyed store caches the artifact.
+        let store = MemoryStageStore::default();
+        let first = path_coverage(&p, &inputs, Some(&store)).unwrap();
+        assert!(store
+            .load_stage(path_coverage_digest(&p, &inputs))
+            .is_some());
+        let second = path_coverage(&p, &inputs, Some(&store)).unwrap();
+        assert_eq!(first, second);
     }
 }

@@ -279,6 +279,9 @@ const STRIDE_ONE: u64 = 1 << 20;
 /// state, so the in-process and TCP-serving drivers share one rule set.
 pub struct SweepRegistry {
     store: ArtifactStore,
+    /// Benchmark registry sweeps were planned against — finalization
+    /// resolves the manifest's path-coverage block against it.
+    benchmarks: Registry,
     entries: Vec<Entry>,
     /// Stage digest → the latest job registered for it. A later sweep
     /// sharing the digest parks behind this job while it is pending and
@@ -308,6 +311,7 @@ impl SweepRegistry {
     pub fn open(store: &ArtifactStore, registry: &Registry) -> Result<Self, EngineError> {
         let mut service = Self {
             store: store.clone(),
+            benchmarks: registry.clone(),
             entries: Vec::new(),
             owners: HashMap::new(),
             waiters: HashMap::new(),
@@ -1033,7 +1037,7 @@ impl SweepRegistry {
         } else {
             self.store.clone()
         };
-        let outcome = finalize_sweep(&spec, records, &scope, elapsed)?;
+        let outcome = finalize_sweep(&spec, records, &self.benchmarks, &scope, elapsed)?;
         self.entries[at].outcome = Some(outcome);
         self.entries[at].state = SweepState::Done;
         self.revision += 1;

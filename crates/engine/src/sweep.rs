@@ -13,7 +13,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mbcr::stage::{
-    stage_artifact_data, AnalysisSession, PipelineKind, StageDigests, StageKind, StageStore,
+    path_coverage, stage_artifact_data, AnalysisSession, PipelineKind, StageDigests, StageKind,
+    StageStore,
 };
 use mbcr::AnalysisConfig;
 use mbcr_ir::Inputs;
@@ -571,11 +572,45 @@ pub fn run_sweep(
         }
     });
 
-    finalize_sweep(spec, records, store, start.elapsed())
+    finalize_sweep(spec, records, registry, store, start.elapsed())
+}
+
+/// Computes the manifest's static-path-coverage block: one entry per swept
+/// benchmark relating the Ball–Larus static path count to the distinct paths
+/// the spec's selected input vectors actually exercise. The underlying
+/// [`mbcr::stage::PathCoverage`] artifacts are digest-keyed in the store, so
+/// warm re-runs (and shard coordinators merging the same sweep) reuse them.
+fn coverage_block(
+    spec: &SweepSpec,
+    registry: &Registry,
+    store: &ArtifactStore,
+) -> Result<Json, EngineError> {
+    let names: Vec<String> = if spec.benchmarks.is_empty() {
+        registry.names().iter().map(ToString::to_string).collect()
+    } else {
+        dedup_preserving(&spec.benchmarks)
+    };
+    let mut entries = Vec::with_capacity(names.len());
+    for name in names {
+        // Unknown names already failed expansion; a registry that shrank
+        // between planning and finalization just drops the entry.
+        let Some(benchmark) = registry.get(&name) else {
+            continue;
+        };
+        let mut inputs = Vec::new();
+        for input in selected_inputs(spec, benchmark)? {
+            inputs.push(resolve_input(benchmark, &input)?.clone());
+        }
+        let coverage = path_coverage(&benchmark.program, &inputs, Some(store))
+            .map_err(|e| EngineError::Analysis(format!("{name}: path coverage: {e}")))?;
+        entries.push((name, coverage.to_json()));
+    }
+    Ok(Json::Obj(entries))
 }
 
 /// Aggregates per-job records into the sweep outcome and persists the
-/// run-level artifacts: the Table 2 CSV and the manifest. Shared by the
+/// run-level artifacts: the Table 2 CSV and the manifest (including its
+/// static-path-coverage block, resolved against `registry`). Shared by the
 /// in-process pool and the `mbcr-shard` coordinator, so a sharded sweep
 /// writes a manifest and table byte-identical to a single-process one.
 ///
@@ -585,6 +620,7 @@ pub fn run_sweep(
 pub fn finalize_sweep(
     spec: &SweepSpec,
     records: Vec<JobRecord>,
+    registry: &Registry,
     store: &ArtifactStore,
     elapsed: Duration,
 ) -> Result<SweepOutcome, EngineError> {
@@ -614,6 +650,10 @@ pub fn finalize_sweep(
                 ("skipped".to_string(), Json::UInt(skipped as u64)),
                 ("failed".to_string(), Json::UInt(failed as u64)),
             ]),
+        ),
+        (
+            "path_coverage".to_string(),
+            coverage_block(spec, registry, store)?,
         ),
         ("jobs".to_string(), Serialize::to_json(&records)),
     ]))?;
@@ -661,6 +701,7 @@ fn summary_from_stage_artifact(
             }
         }
         StageKind::Campaign => s.campaign_runs = data.get("runs").and_then(Json::as_u64),
+        StageKind::PathCoverage => {}
         StageKind::Fit => {
             s.pwcet = data
                 .get("pwcet_at_exceedance")
@@ -800,6 +841,9 @@ pub fn execute_stage(
             summary.campaign_resumed = session.campaign_resumed_runs().map(|n| n as u64);
         }
         StageKind::Pub => {}
+        StageKind::PathCoverage => {
+            unreachable!("path_coverage is not a session stage; sweeps never plan it")
+        }
     }
     Ok(StageOutcome { summary, fit })
 }

@@ -1,0 +1,410 @@
+//! Explicit control-flow graph, lowered from the structured AST.
+//!
+//! The IR's statement tree is fully structured (no `goto`), so the classic
+//! CFG analyses could be read off syntactically — but the static-analysis
+//! layer deliberately goes through an explicit basic-block graph: the
+//! dominator/natural-loop machinery in [`crate::analysis`] then *validates*
+//! the structural assumptions (every loop is natural and single-headed,
+//! every block reachable) instead of assuming them, and the Ball-Larus path
+//! numbering in [`crate::blpath`] is defined over this graph.
+//!
+//! Lowering mirrors [`crate::layout_program`]:
+//!
+//! * straight-line statements accumulate into the current block
+//!   (instruction counts use [`Stmt::own_instr_count`]);
+//! * an `if` terminates the block with a [`Terminator::Branch`] (the
+//!   condition's instructions belong to that block, like the layouter's
+//!   header span) and introduces then/else chains plus a join block;
+//! * a loop gets a dedicated header block holding the per-check
+//!   instructions, terminated by [`Terminator::LoopHead`]; the body chain
+//!   jumps back to the header (the one back edge of the loop);
+//! * conditionals and loops receive the same pre-order construct ids the
+//!   layouter assigns, so CFG nodes, [`crate::PathRecord`] decisions and
+//!   layout spans all share one numbering.
+
+use std::fmt;
+
+use crate::program::Program;
+use crate::stmt::Stmt;
+
+/// Index of a basic block in its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional fall-through.
+    Jump(BlockId),
+    /// Two-way conditional branch (an `if` header).
+    Branch {
+        /// Pre-order construct id (shared with [`crate::layout_program`]).
+        construct: u32,
+        /// Successor when the condition is non-zero.
+        then_to: BlockId,
+        /// Successor when the condition is zero.
+        else_to: BlockId,
+    },
+    /// Loop header check (a `while`/`for` header). The edge back into this
+    /// block from the body's last block is the loop's back edge.
+    LoopHead {
+        /// Pre-order construct id.
+        construct: u32,
+        /// Successor when the loop runs another iteration.
+        body: BlockId,
+        /// Successor when the loop exits.
+        exit: BlockId,
+    },
+    /// Program exit.
+    Return,
+}
+
+impl Terminator {
+    /// Successors in decision order (taken/body first).
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => vec![then_to, else_to],
+            Terminator::LoopHead { body, exit, .. } => vec![body, exit],
+            Terminator::Return => vec![],
+        }
+    }
+}
+
+/// One basic block: a run of straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line instruction count accumulated in this block (loop
+    /// headers carry their per-check instructions; see module docs).
+    pub instrs: u32,
+    /// How control leaves the block.
+    pub term: Terminator,
+}
+
+/// The control-flow graph of a whole program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    entry: BlockId,
+    exit: BlockId,
+    construct_count: u32,
+}
+
+impl Cfg {
+    /// Lowers a program's statement tree to its control-flow graph.
+    #[must_use]
+    pub fn of(program: &Program) -> Cfg {
+        let mut lw = Lowerer {
+            blocks: Vec::new(),
+            next_construct: 0,
+        };
+        let entry = lw.new_block();
+        let out = lw.lower_seq(program.body(), entry);
+        lw.blocks[out.idx()].term = Terminator::Return;
+        Cfg {
+            blocks: lw.blocks,
+            entry,
+            exit: out,
+            construct_count: lw.next_construct,
+        }
+    }
+
+    /// The basic blocks, indexed by [`BlockId`].
+    #[must_use]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the graph has no blocks (never produced by
+    /// [`Cfg::of`], which always emits an entry block).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The entry block.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The exit block (terminated by [`Terminator::Return`]).
+    #[must_use]
+    pub fn exit(&self) -> BlockId {
+        self.exit
+    }
+
+    /// Number of conditionals and loops (= assigned construct ids), equal
+    /// to [`crate::Layout::construct_count`] for the same program.
+    #[must_use]
+    pub fn construct_count(&self) -> u32 {
+        self.construct_count
+    }
+
+    /// Successors of `b` in decision order.
+    #[must_use]
+    pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
+        self.blocks[b.idx()].term.successors()
+    }
+
+    /// Predecessor lists for every block.
+    #[must_use]
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.idx()].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+}
+
+struct Lowerer {
+    blocks: Vec<Block>,
+    next_construct: u32,
+}
+
+impl Lowerer {
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            instrs: 0,
+            term: Terminator::Return,
+        });
+        id
+    }
+
+    fn take_construct(&mut self) -> u32 {
+        let id = self.next_construct;
+        self.next_construct += 1;
+        id
+    }
+
+    /// Lowers a statement sequence starting in `cur`; returns the
+    /// (unterminated) block control flows out of.
+    fn lower_seq(&mut self, stmts: &[Stmt], mut cur: BlockId) -> BlockId {
+        for s in stmts {
+            match s {
+                Stmt::Assign(..) | Stmt::Store { .. } | Stmt::Touch { .. } | Stmt::Nop { .. } => {
+                    self.blocks[cur.idx()].instrs += s.own_instr_count();
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let construct = self.take_construct();
+                    self.blocks[cur.idx()].instrs += s.own_instr_count();
+                    let then_to = self.new_block();
+                    let then_out = self.lower_seq(then_branch, then_to);
+                    let else_to = self.new_block();
+                    let else_out = self.lower_seq(else_branch, else_to);
+                    self.blocks[cur.idx()].term = Terminator::Branch {
+                        construct,
+                        then_to,
+                        else_to,
+                    };
+                    let join = self.new_block();
+                    self.blocks[then_out.idx()].term = Terminator::Jump(join);
+                    self.blocks[else_out.idx()].term = Terminator::Jump(join);
+                    cur = join;
+                }
+                Stmt::While { body, .. } => {
+                    let construct = self.take_construct();
+                    let header = self.new_block();
+                    self.blocks[header.idx()].instrs = s.own_instr_count();
+                    self.blocks[cur.idx()].term = Terminator::Jump(header);
+                    let body_entry = self.new_block();
+                    let body_out = self.lower_seq(body, body_entry);
+                    // Back edge.
+                    self.blocks[body_out.idx()].term = Terminator::Jump(header);
+                    let exit = self.new_block();
+                    self.blocks[header.idx()].term = Terminator::LoopHead {
+                        construct,
+                        body: body_entry,
+                        exit,
+                    };
+                    cur = exit;
+                }
+                Stmt::For { body, .. } => {
+                    let construct = self.take_construct();
+                    // Bounds evaluation belongs to the preceding block,
+                    // like the layouter's `init` span.
+                    self.blocks[cur.idx()].instrs += s.own_instr_count();
+                    let header = self.new_block();
+                    // Per-iteration compare/increment, like the `iter` span.
+                    self.blocks[header.idx()].instrs = 2;
+                    self.blocks[cur.idx()].term = Terminator::Jump(header);
+                    let body_entry = self.new_block();
+                    let body_out = self.lower_seq(body, body_entry);
+                    self.blocks[body_out.idx()].term = Terminator::Jump(header);
+                    let exit = self.new_block();
+                    self.blocks[header.idx()].term = Terminator::LoopHead {
+                        construct,
+                        body: body_entry,
+                        exit,
+                    };
+                    cur = exit;
+                }
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::layout::layout_program;
+    use crate::program::ProgramBuilder;
+
+    fn c(v: i64) -> Expr {
+        Expr::c(v)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        b.push(Stmt::Assign(x, c(1)));
+        b.push(Stmt::Assign(x, Expr::var(x).add(c(1))));
+        let p = b.build().unwrap();
+        let cfg = Cfg::of(&p);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.entry(), cfg.exit());
+        assert_eq!(cfg.blocks()[0].term, Terminator::Return);
+        assert_eq!(cfg.blocks()[0].instrs, 2 + 3);
+        assert_eq!(cfg.construct_count(), 0);
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        b.push(Stmt::if_(
+            Expr::var(x).gt(c(0)),
+            vec![Stmt::Assign(x, c(1))],
+            vec![Stmt::Assign(x, c(2))],
+        ));
+        let p = b.build().unwrap();
+        let cfg = Cfg::of(&p);
+        // entry, then, else, join.
+        assert_eq!(cfg.len(), 4);
+        let Terminator::Branch {
+            construct,
+            then_to,
+            else_to,
+        } = cfg.blocks()[cfg.entry().idx()].term
+        else {
+            panic!("branch terminator expected");
+        };
+        assert_eq!(construct, 0);
+        assert_eq!(cfg.succs(then_to), vec![cfg.exit()]);
+        assert_eq!(cfg.succs(else_to), vec![cfg.exit()]);
+        let preds = cfg.preds();
+        assert_eq!(preds[cfg.exit().idx()].len(), 2);
+    }
+
+    #[test]
+    fn while_produces_back_edge() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i");
+        b.push(Stmt::while_(
+            Expr::var(i).lt(c(3)),
+            3,
+            vec![Stmt::Assign(i, Expr::var(i).add(c(1)))],
+        ));
+        let p = b.build().unwrap();
+        let cfg = Cfg::of(&p);
+        // entry, header, body, exit.
+        assert_eq!(cfg.len(), 4);
+        let header = match cfg.blocks()[cfg.entry().idx()].term {
+            Terminator::Jump(h) => h,
+            ref t => panic!("jump to header expected, got {t:?}"),
+        };
+        let Terminator::LoopHead {
+            construct,
+            body,
+            exit,
+        } = cfg.blocks()[header.idx()].term
+        else {
+            panic!("loop head expected");
+        };
+        assert_eq!(construct, 0);
+        assert_eq!(exit, cfg.exit());
+        assert_eq!(cfg.succs(body), vec![header], "body jumps back to header");
+    }
+
+    #[test]
+    fn construct_ids_match_layout_preorder() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        let i = b.var("i");
+        b.push(Stmt::while_(
+            Expr::var(x).lt(c(2)),
+            2,
+            vec![Stmt::if_(
+                Expr::var(x).gt(c(0)),
+                vec![Stmt::for_(i, c(0), c(2), 2, vec![Stmt::Nop { count: 1 }])],
+                vec![],
+            )],
+        ));
+        b.push(Stmt::if_(Expr::var(x).gt(c(1)), vec![], vec![]));
+        let p = b.build().unwrap();
+        let cfg = Cfg::of(&p);
+        let layout = layout_program(&p);
+        assert_eq!(cfg.construct_count(), layout.construct_count);
+        // Collect CFG construct ids in block order; they must be exactly
+        // 0..construct_count (pre-order assignment).
+        let mut ids: Vec<u32> =
+            cfg.blocks()
+                .iter()
+                .filter_map(|blk| match blk.term {
+                    Terminator::Branch { construct, .. }
+                    | Terminator::LoopHead { construct, .. } => Some(construct),
+                    _ => None,
+                })
+                .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..layout.construct_count).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_init_stays_in_predecessor_block() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i");
+        let x = b.var("x");
+        b.push(Stmt::Assign(x, c(1)));
+        b.push(Stmt::for_(i, c(0), c(4), 4, vec![Stmt::Nop { count: 1 }]));
+        let p = b.build().unwrap();
+        let cfg = Cfg::of(&p);
+        // x=1 (2 instrs) + for init (li+li+set = 3 instrs) share the entry.
+        assert_eq!(cfg.blocks()[cfg.entry().idx()].instrs, 5);
+        let header = cfg.succs(cfg.entry())[0];
+        assert_eq!(cfg.blocks()[header.idx()].instrs, 2);
+    }
+}

@@ -160,6 +160,13 @@ pub enum InterpError {
         /// Provided element count.
         got: usize,
     },
+    /// Two distinct [`crate::PathRecord`]s share one FNV fingerprint
+    /// ([`crate::PathRecord::path_id`]) — grouping by fingerprint would
+    /// silently merge different paths.
+    PathIdCollision {
+        /// The colliding 64-bit fingerprint.
+        path_id: u64,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -192,6 +199,10 @@ impl fmt::Display for InterpError {
                 f,
                 "input for arr{} has {got} elements, declaration says {expected}",
                 array.0
+            ),
+            InterpError::PathIdCollision { path_id } => write!(
+                f,
+                "distinct paths collide on fingerprint {path_id:#018x}; use PathSpace ids"
             ),
         }
     }

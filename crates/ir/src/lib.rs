@@ -49,17 +49,26 @@
 //! # Ok::<(), mbcr_ir::ProgramError>(())
 //! ```
 
+mod analysis;
+mod blpath;
+mod cfg;
 mod expr;
 mod interp;
 mod layout;
+mod pass;
 mod paths;
 mod pretty;
 mod program;
 mod stmt;
+mod verify;
 
+pub use analysis::{const_eval, dominators, reverse_postorder, Analysis, NaturalLoop};
+pub use blpath::{PathError, PathSignature, PathSpace, StaticPath};
+pub use cfg::{Block, BlockId, Cfg, Terminator};
 pub use expr::{BinOp, Expr, UnOp};
 pub use interp::{execute, execute_with, ExecState, Inputs, InterpConfig, InterpError, Run};
 pub use layout::{layout_program, InstrSpan, Layout, LayoutNode, CODE_ALIGN, INSTRS_PER_LINE};
+pub use pass::{fnv1a, Pass, Pipeline, FNV_OFFSET};
 pub use paths::{Decision, PathRecord};
 pub use pretty::pretty_print;
 pub use program::{
@@ -67,6 +76,7 @@ pub use program::{
     DATA_BASE, ELEM_BYTES, INSTR_BYTES,
 };
 pub use stmt::Stmt;
+pub use verify::{verify_balance, verify_pair, DiagCode, Diagnostic, Diagnostics};
 
 /// Runs a program on several input vectors and groups them by traversed path.
 ///
@@ -76,17 +86,34 @@ pub use stmt::Stmt;
 ///
 /// # Errors
 ///
-/// Propagates the first [`InterpError`] encountered.
+/// Propagates the first [`InterpError`] encountered, including
+/// [`InterpError::PathIdCollision`] if two *different* records ever share a
+/// fingerprint — a collision must surface as an error, never as silent
+/// mis-grouping.
 pub fn group_inputs_by_path(
     program: &Program,
     inputs: &[Inputs],
 ) -> Result<Vec<(PathRecord, Vec<usize>)>, InterpError> {
+    // Group by the 64-bit fingerprint (one hash + map lookup per input
+    // instead of a full-record comparison against every known path), but
+    // cross-check record equality so a collision cannot merge two paths.
     let mut groups: Vec<(PathRecord, Vec<usize>)> = Vec::new();
+    let mut by_id: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     for (i, inp) in inputs.iter().enumerate() {
         let run = execute(program, inp)?;
-        match groups.iter_mut().find(|(p, _)| *p == run.path) {
-            Some((_, v)) => v.push(i),
-            None => groups.push((run.path, vec![i])),
+        let id = run.path.path_id();
+        match by_id.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let (known, members) = &mut groups[*e.get()];
+                if *known != run.path {
+                    return Err(InterpError::PathIdCollision { path_id: id });
+                }
+                members.push(i);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push((run.path, vec![i]));
+            }
         }
     }
     Ok(groups)

@@ -1,0 +1,224 @@
+//! A minimal composable pass framework over [`Program`].
+//!
+//! A [`Pass`] is a named, digest-keyed program transformation; a
+//! [`Pipeline`] chains passes, threading each output into the next input
+//! and folding the per-pass digests into one pipeline digest. Digests feed
+//! the artifact-store keys of the analysis stage graph, so a change to any
+//! pass (name or configuration) invalidates exactly the cached results that
+//! depended on it.
+//!
+//! Passes fail with structured [`Diagnostics`] rather than strings, so a
+//! lint driver can report machine-readable codes (`PUB001` …) and map them
+//! to exit status.
+
+use crate::program::Program;
+use crate::verify::Diagnostics;
+
+/// FNV-1a offset basis (64-bit), the conventional digest seed.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a chain starting from `seed`. Matches the
+/// digest convention used across the workspace: chain calls to mix
+/// several fields into one key.
+#[must_use]
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(seed, |h, b| (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME))
+}
+
+/// One program transformation step.
+pub trait Pass {
+    /// Stable, human-readable pass name (shows up in lint output and
+    /// digest chains).
+    fn name(&self) -> &'static str;
+
+    /// Folds this pass's identity (name + configuration) into an upstream
+    /// digest. The default mixes the name only; passes with configuration
+    /// that changes their output must override and mix it in.
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(upstream, self.name().as_bytes())
+    }
+
+    /// Transforms a program, or fails with diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`Diagnostics`] describing every violated invariant.
+    fn run(&self, program: &Program) -> Result<Program, Diagnostics>;
+}
+
+/// An ordered chain of passes.
+#[derive(Default)]
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity transformation).
+    #[must_use]
+    pub fn new() -> Pipeline {
+        Pipeline { passes: Vec::new() }
+    }
+
+    /// Appends a pass, builder-style.
+    #[must_use]
+    pub fn with(mut self, pass: impl Pass + 'static) -> Pipeline {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Number of passes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// `true` when the pipeline holds no passes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// The pass names, in execution order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Folds every pass's digest over `seed`, in execution order.
+    #[must_use]
+    pub fn digest(&self, seed: u64) -> u64 {
+        self.passes.iter().fold(seed, |d, p| p.digest(d))
+    }
+
+    /// Runs the chain, feeding each pass's output into the next.
+    ///
+    /// # Errors
+    ///
+    /// The first failing pass's [`Diagnostics`], unchanged.
+    pub fn run(&self, program: &Program) -> Result<Program, Diagnostics> {
+        let mut cur = program.clone();
+        for pass in &self.passes {
+            cur = pass.run(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("passes", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::program::ProgramBuilder;
+    use crate::stmt::Stmt;
+    use crate::verify::DiagCode;
+
+    struct Rename(&'static str);
+
+    impl Pass for Rename {
+        fn name(&self) -> &'static str {
+            "rename"
+        }
+        fn digest(&self, upstream: u64) -> u64 {
+            fnv1a(fnv1a(upstream, b"rename"), self.0.as_bytes())
+        }
+        fn run(&self, p: &Program) -> Result<Program, Diagnostics> {
+            Ok(p.clone().renamed(self.0))
+        }
+    }
+
+    struct AppendNop;
+
+    impl Pass for AppendNop {
+        fn name(&self) -> &'static str {
+            "append-nop"
+        }
+        fn run(&self, p: &Program) -> Result<Program, Diagnostics> {
+            let mut body = p.body().to_vec();
+            body.push(Stmt::Nop { count: 1 });
+            p.with_body(body).map_err(|e| {
+                let mut d = Diagnostics::new();
+                d.push(DiagCode::InvalidProgram, None, format!("{e:?}"));
+                d
+            })
+        }
+    }
+
+    struct AlwaysFail;
+
+    impl Pass for AlwaysFail {
+        fn name(&self) -> &'static str {
+            "always-fail"
+        }
+        fn run(&self, _: &Program) -> Result<Program, Diagnostics> {
+            let mut d = Diagnostics::new();
+            d.push(DiagCode::Pub001, Some(0), "synthetic failure");
+            Err(d)
+        }
+    }
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        b.push(Stmt::Assign(x, Expr::c(1)));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_threads_outputs() {
+        let pl = Pipeline::new()
+            .with(AppendNop)
+            .with(Rename("t2"))
+            .with(AppendNop);
+        let out = pl.run(&program()).unwrap();
+        assert_eq!(out.name(), "t2");
+        assert_eq!(out.body().len(), 3);
+        assert_eq!(pl.names(), vec!["append-nop", "rename", "append-nop"]);
+    }
+
+    #[test]
+    fn failure_stops_the_chain() {
+        let pl = Pipeline::new().with(AlwaysFail).with(AppendNop);
+        let err = pl.run(&program()).unwrap_err();
+        assert_eq!(err.codes(), vec![DiagCode::Pub001]);
+    }
+
+    #[test]
+    fn digests_depend_on_order_and_config() {
+        let a = Pipeline::new().with(AppendNop).with(Rename("x"));
+        let b = Pipeline::new().with(Rename("x")).with(AppendNop);
+        let c = Pipeline::new().with(AppendNop).with(Rename("y"));
+        let (da, db, dc) = (
+            a.digest(FNV_OFFSET),
+            b.digest(FNV_OFFSET),
+            c.digest(FNV_OFFSET),
+        );
+        assert_ne!(da, db, "order must matter");
+        assert_ne!(da, dc, "configuration must matter");
+        assert_eq!(da, a.digest(FNV_OFFSET), "digests are deterministic");
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let pl = Pipeline::new();
+        assert!(pl.is_empty());
+        let out = pl.run(&program()).unwrap();
+        assert_eq!(out, program());
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests for the Ball–Larus path layer: on randomly generated
+//! programs, the static path space must (a) contain every path the
+//! interpreter actually takes, (b) map observed paths to ids and back
+//! bijectively, and (c) predict each path's access signature exactly.
+//!
+//! Programs are generated from a per-case seed (no fixed corpus): nested
+//! conditionals, bounded `while`/`for` loops (constant and input-dependent
+//! bounds), loads and arithmetic, then executed on a spread of random
+//! input vectors.
+
+use mbcr_ir::{execute, Expr, Inputs, PathSpace, Program, ProgramBuilder, Stmt, Var};
+use proptest::prelude::*;
+
+const ARRAY_LEN: u32 = 16;
+
+/// Deterministic per-case generator (SplitMix64), independent of the shim's
+/// internals so a failing seed reproduces from the panic message alone.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A small arithmetic expression over the program's variables; loads use
+/// constant in-range indices only (the interpreter faults on out-of-range
+/// indices, and these programs must always run).
+fn gen_expr(g: &mut Gen, vars: &[Var], arr: mbcr_ir::ArrayId) -> Expr {
+    match g.below(5) {
+        0 => Expr::c(g.below(9) as i64 - 4),
+        1 | 2 => Expr::var(vars[g.below(vars.len() as u64) as usize]),
+        3 => Expr::var(vars[g.below(vars.len() as u64) as usize]).add(Expr::c(g.below(5) as i64)),
+        _ => Expr::load(arr, Expr::c(g.below(u64::from(ARRAY_LEN)) as i64)),
+    }
+}
+
+/// Variable pools for generation. General variables are fair game as
+/// assignment targets; loop variables (one per nesting depth) are only
+/// ever written by the loop construct that owns them — the interpreter
+/// *faults* on a loop exceeding `max_iter` (it never silently caps), so a
+/// body statement clobbering a live counter would make generated programs
+/// crash instead of exploring paths.
+struct Pools {
+    general: Vec<Var>,
+    loops: Vec<Var>,
+}
+
+fn gen_seq(g: &mut Gen, p: &Pools, arr: mbcr_ir::ArrayId, depth: u32) -> Vec<Stmt> {
+    let len = 1 + g.below(3) as usize;
+    (0..len).map(|_| gen_stmt(g, p, arr, depth)).collect()
+}
+
+fn gen_stmt(g: &mut Gen, p: &Pools, arr: mbcr_ir::ArrayId, depth: u32) -> Stmt {
+    let v = p.general[g.below(p.general.len() as u64) as usize];
+    let choice = if depth == 0 { g.below(3) } else { g.below(6) };
+    match choice {
+        // Straight-line work.
+        0 | 1 => Stmt::Assign(v, gen_expr(g, &p.general, arr)),
+        2 => Stmt::store(
+            arr,
+            Expr::c(g.below(u64::from(ARRAY_LEN)) as i64),
+            Expr::var(v),
+        ),
+        // A data-dependent conditional.
+        3 => Stmt::if_(
+            Expr::var(v).gt(Expr::c(g.below(7) as i64 - 3)),
+            gen_seq(g, p, arr, depth - 1),
+            gen_seq(g, p, arr, depth - 1),
+        ),
+        // A pre-tested loop on a decremented dedicated counter, its seed
+        // value folded into `[-(max_iter), max_iter]`: at most `max_iter`
+        // iterations, input-dependent count.
+        4 => {
+            let counter = p.loops[depth as usize - 1];
+            let max_iter = 2 + g.below(4) as u32;
+            let mut body = gen_seq(g, p, arr, depth - 1);
+            body.push(Stmt::Assign(counter, Expr::var(counter).sub(Expr::c(1))));
+            Stmt::if_(
+                Expr::c(1),
+                vec![
+                    Stmt::Assign(counter, Expr::var(v).rem(Expr::c(i64::from(max_iter) + 1))),
+                    Stmt::while_(Expr::var(counter).gt(Expr::c(0)), max_iter, body),
+                ],
+                vec![],
+            )
+        }
+        // A counted loop: constant bound (an Exact iteration set) or an
+        // input-dependent bound folded under `max_iter` (an UpTo set);
+        // loop-var indexing stays in array range via the bound itself.
+        _ => {
+            let idx = p.loops[depth as usize - 1];
+            let max_iter = 2 + g.below(5) as u32;
+            let to = if g.below(2) == 0 {
+                Expr::c(i64::from(max_iter))
+            } else {
+                Expr::var(v).rem(Expr::c(i64::from(max_iter) + 1))
+            };
+            let mut body = gen_seq(g, p, arr, depth - 1);
+            body.push(Stmt::Assign(
+                p.general[g.below(p.general.len() as u64) as usize],
+                Expr::load(arr, Expr::var(idx)),
+            ));
+            Stmt::for_(idx, Expr::c(0), to, max_iter, body)
+        }
+    }
+}
+
+fn gen_program(seed: u64) -> (Program, Vec<Inputs>) {
+    let mut g = Gen::new(seed);
+    let mut b = ProgramBuilder::new("prop");
+    let arr = b.array("m", ARRAY_LEN);
+    let pools = Pools {
+        general: (0..4).map(|i| b.var(&format!("x{i}"))).collect(),
+        loops: (0..2).map(|i| b.var(&format!("l{i}"))).collect(),
+    };
+    for stmt in gen_seq(&mut g, &pools, arr, 2) {
+        b.push(stmt);
+    }
+    let program = b
+        .build()
+        .expect("generated programs are structurally valid");
+    // Loop-variable loads index `m[i]` with `i < max_iter ≤ 6 < ARRAY_LEN`,
+    // and loop bounds are folded under max_iter at loop entry.
+    let inputs = (0..6)
+        .map(|_| {
+            let mut inp = Inputs::new();
+            for &v in &pools.general {
+                inp = inp.with_var(v, g.below(11) as i64 - 4);
+            }
+            inp
+        })
+        .collect();
+    (program, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Static ⊇ observed, id bijection, and exact signature prediction on
+    /// random programs.
+    #[test]
+    fn observed_paths_lie_in_the_static_space(seed in any::<u64>(),) {
+        let (program, inputs) = gen_program(seed);
+        let space = PathSpace::of(&program);
+        for inp in &inputs {
+            let run = execute(&program, inp)
+                .expect("generated programs execute on generated inputs");
+            prop_assert!(
+                space.contains(&run.path),
+                "observed path escapes the static space (seed {seed:#x})"
+            );
+            let sig = space.signature_of(&run.path).expect("member signature");
+            prop_assert_eq!(
+                sig.instr_fetches + sig.data_accesses,
+                run.trace.len() as u64,
+            );
+            if !space.is_saturated() {
+                let id = space.index_of(&run.path).expect("member index");
+                prop_assert!(id < space.num_paths());
+                prop_assert_eq!(space.record_of(id).expect("roundtrip"), run.path);
+            }
+        }
+    }
+
+    /// `record_of` and `index_of` are mutually inverse over random ids,
+    /// not just over interpreter-produced records.
+    #[test]
+    fn path_ids_roundtrip_from_either_side(seed in any::<u64>(),) {
+        let (program, _) = gen_program(seed);
+        let space = PathSpace::of(&program);
+        if space.is_saturated() || space.num_paths() == 0 {
+            return Ok(());
+        }
+        let mut g = Gen::new(seed ^ 0xD1F3);
+        for _ in 0..16 {
+            let id = u128::from(g.next()) % space.num_paths();
+            let record = space.record_of(id).expect("in-range id decodes");
+            prop_assert_eq!(space.index_of(&record).expect("decoded record encodes"), id);
+            prop_assert!(space.contains(&record));
+        }
+    }
+
+    /// Full enumeration agrees with the index bijection on small spaces.
+    #[test]
+    fn enumeration_is_exhaustive_on_small_spaces(seed in any::<u64>(),) {
+        let (program, inputs) = gen_program(seed);
+        let space = PathSpace::of(&program);
+        if space.is_saturated() || space.num_paths() > 512 {
+            return Ok(());
+        }
+        let all = space.enumerate_paths(512).expect("under the cap");
+        prop_assert_eq!(all.len() as u128, space.num_paths());
+        for path in &all {
+            prop_assert_eq!(space.index_of(&path.record).expect("enumerated member"), path.index);
+        }
+        let ids: std::collections::HashSet<u128> = all.iter().map(|p| p.index).collect();
+        prop_assert_eq!(ids.len() as u128, space.num_paths());
+        for inp in &inputs {
+            let run = execute(&program, inp).expect("runs");
+            let id = space.index_of(&run.path).expect("observed member");
+            prop_assert!(ids.contains(&id), "observed id missing from enumeration");
+        }
+    }
+}

@@ -7,19 +7,26 @@
 //! input-dependent paths faithful to the C originals, with array sizes
 //! scaled where noted so the full campaign suite runs on a laptop:
 //!
-//! | module | original | scaling | paths |
-//! |--------|----------|---------|-------|
-//! | [`bs`] | binary search, 15 entries | unchanged | multipath, 8 max-iteration paths (§3.3) |
-//! | [`cnt`] | 10×10 matrix count/sum | unchanged | multipath, worst path = default input |
-//! | [`fir`] | FIR filter, 700×35 | 64 samples × 8 taps | multipath (saturation), worst = default |
-//! | [`janne`] | janne_complex | unchanged | multipath, worst = default |
-//! | [`crc`] | CRC-CCITT over 40 bytes | unchanged | multipath, worst path unknown |
-//! | [`edn`] | DSP kernels | 64-element vectors | single path |
-//! | [`insertsort`] | 10-element insertion sort | unchanged | single path (reversed default) |
-//! | [`jfdc`] | jfdctint 8×8 | unchanged | single path |
-//! | [`matmult`] | 20×20 matmul | 8×8 | single path |
-//! | [`fdct`] | fdct 8×8 | unchanged | single path |
-//! | [`ns`] | 5⁴ nested search | unchanged | single path (full scan) |
+//! The *static* and *observed* path columns below are **computed**, not
+//! hand-maintained: static counts come from Ball–Larus path numbering
+//! ([`mbcr_ir::PathSpace`]) and observed counts from running every shipped
+//! input vector ([`Benchmark::path_profile`]); a test asserts this table
+//! against both. "> 2^128" marks spaces whose exact count saturates 128-bit
+//! arithmetic (membership is still statically checkable).
+//!
+//! | module | original | scaling | static paths | observed paths |
+//! |--------|----------|---------|--------------|----------------|
+//! | [`bs`] | binary search, 15 entries | unchanged | 121 | 8 max-iteration paths (§3.3) |
+//! | [`cnt`] | 10×10 matrix count/sum | unchanged | 2^100 | 3, worst path = default input |
+//! | [`fir`] | FIR filter, 700×35 | 64 samples × 8 taps | 2^57 | 2 (saturation), worst = default |
+//! | [`janne`] | janne_complex | unchanged | > 2^128 | 4, worst = default |
+//! | [`crc`] | CRC-CCITT over 40 bytes | unchanged | > 2^128 | 3, worst path unknown |
+//! | [`edn`] | DSP kernels | 64-element vectors | 1 | 1 (single path) |
+//! | [`insertsort`] | 10-element insertion sort | unchanged | ≈ 1.23·10^27 | 3 (reversed default) |
+//! | [`jfdc`] | jfdctint 8×8 | unchanged | 1 | 1 (single path) |
+//! | [`matmult`] | 20×20 matmul | 8×8 | 1 | 1 (single path) |
+//! | [`fdct`] | fdct 8×8 | unchanged | 1 | 1 (single path) |
+//! | [`ns`] | 5⁴ nested search | unchanged | > 2^128 | 3 (full scan) |
 //!
 //! # Examples
 //!
@@ -43,7 +50,7 @@ pub mod jfdc;
 pub mod matmult;
 pub mod ns;
 
-use mbcr_ir::{Inputs, Program};
+use mbcr_ir::{group_inputs_by_path, Inputs, InterpError, PathSpace, Program};
 
 /// A named input vector (the paper's `v1`, `v3`, … notation).
 #[derive(Debug, Clone)]
@@ -79,6 +86,54 @@ pub struct Benchmark {
     pub input_vectors: Vec<NamedInput>,
     /// Path-structure class.
     pub class: BenchClass,
+}
+
+/// Computed path statistics of one benchmark: the static (Ball–Larus) path
+/// count against the paths actually exercised by the shipped input vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathProfile {
+    /// Number of static paths ([`PathSpace::num_paths`]); `u128::MAX` when
+    /// `saturated`.
+    pub static_paths: u128,
+    /// `true` when the true static count exceeds 128-bit arithmetic.
+    pub saturated: bool,
+    /// Distinct paths observed across [`Benchmark::input_vectors`].
+    pub default_input_paths: usize,
+}
+
+impl Benchmark {
+    /// Computes the benchmark's [`PathProfile`], cross-checking along the
+    /// way that every observed path lies in the static path space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (cannot happen for shipped vectors).
+    ///
+    /// # Panics
+    ///
+    /// If an observed path falls outside the static enumeration — that
+    /// would mean the static analysis is wrong, never a data problem.
+    pub fn path_profile(&self) -> Result<PathProfile, InterpError> {
+        let space = PathSpace::of(&self.program);
+        let inputs: Vec<Inputs> = self
+            .input_vectors
+            .iter()
+            .map(|v| v.inputs.clone())
+            .collect();
+        let groups = group_inputs_by_path(&self.program, &inputs)?;
+        for (record, members) in &groups {
+            assert!(
+                space.contains(record),
+                "{}: observed path {record} (inputs {members:?}) is outside the static path space",
+                self.name
+            );
+        }
+        Ok(PathProfile {
+            static_paths: space.num_paths(),
+            saturated: space.is_saturated(),
+            default_input_paths: groups.len(),
+        })
+    }
 }
 
 /// The full suite, in the paper's Table 2 order.
@@ -162,6 +217,111 @@ mod tests {
                 .map(|v| execute(&b.program, &v.inputs).unwrap().trace.len())
                 .collect();
             assert_eq!(lens.len(), 1, "{} should be single-path", b.name);
+        }
+    }
+
+    /// The crate-level doc table, as data: (name, static paths — `None`
+    /// means saturated/> 2^128, observed paths over the shipped vectors).
+    const DOC_TABLE: &[(&str, Option<u128>, usize)] = &[
+        ("bs", Some(121), 8),
+        ("cnt", Some(1 << 100), 3),
+        ("fir", Some(1 << 57), 2),
+        ("janne", None, 4),
+        ("crc", None, 3),
+        ("edn", Some(1), 1),
+        ("insertsort", Some(1_227_102_111_503_512_992_112_190_463), 3),
+        ("jfdc", Some(1), 1),
+        ("matmult", Some(1), 1),
+        ("fdct", Some(1), 1),
+        ("ns", None, 3),
+    ];
+
+    #[test]
+    fn doc_table_matches_computed_path_profiles() {
+        for (name, static_paths, observed) in DOC_TABLE {
+            let b = by_name(name).unwrap();
+            let profile = b.path_profile().unwrap();
+            match static_paths {
+                Some(n) => {
+                    assert!(!profile.saturated, "{name} unexpectedly saturated");
+                    assert_eq!(profile.static_paths, *n, "{name} static path count");
+                }
+                None => assert!(profile.saturated, "{name} should exceed u128"),
+            }
+            assert_eq!(
+                profile.default_input_paths, *observed,
+                "{name} observed path count"
+            );
+        }
+        // The paper's §3.3 headline number, spelled out.
+        assert_eq!(
+            by_name("bs")
+                .unwrap()
+                .path_profile()
+                .unwrap()
+                .default_input_paths,
+            8,
+            "bs must expose exactly 8 max-iteration paths"
+        );
+    }
+
+    #[test]
+    fn observed_paths_roundtrip_through_bl_ids() {
+        use mbcr_ir::PathSpace;
+        for b in suite() {
+            let space = PathSpace::of(&b.program);
+            for v in &b.input_vectors {
+                let run = execute(&b.program, &v.inputs).unwrap();
+                assert!(
+                    space.contains(&run.path),
+                    "{}:{} path outside static space",
+                    b.name,
+                    v.name
+                );
+                if !space.is_saturated() {
+                    let id = space.index_of(&run.path).unwrap();
+                    assert_eq!(
+                        space.record_of(id).unwrap(),
+                        run.path,
+                        "{}:{} BL id must roundtrip",
+                        b.name,
+                        v.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bs_static_paths_enumerate_and_cover_observed() {
+        use mbcr_ir::PathSpace;
+        use std::collections::HashSet;
+        let b = by_name("bs").unwrap();
+        let space = PathSpace::of(&b.program);
+        let all = space.enumerate_paths(1024).unwrap();
+        assert_eq!(all.len(), 121);
+        let statics: HashSet<u64> = all.iter().map(|p| p.record.path_id()).collect();
+        for v in &b.input_vectors {
+            let run = execute(&b.program, &v.inputs).unwrap();
+            assert!(
+                statics.contains(&run.path.path_id()),
+                "bs:{} observed path missing from enumeration",
+                v.name
+            );
+            // The static signature predicts the concrete trace exactly.
+            let sig = space.signature_of(&run.path).unwrap();
+            assert_eq!(
+                sig.instr_fetches as usize,
+                run.trace.instr_fetches().count(),
+                "bs:{}",
+                v.name
+            );
+            assert_eq!(
+                sig.instr_fetches + sig.data_accesses,
+                run.trace.len() as u64,
+                "bs:{}",
+                v.name
+            );
         }
     }
 

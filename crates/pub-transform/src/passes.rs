@@ -1,0 +1,247 @@
+//! PUB re-landed as composable [`Pass`]es.
+//!
+//! The legacy [`pub_transform`](crate::pub_transform) entry point is a
+//! monolith: widen, then equalize, with soundness enforced only by an
+//! internal `debug_assert!`. This module exposes the same transformation as
+//! a four-stage pipeline over the `mbcr-ir` pass framework:
+//!
+//! ```text
+//! shape ──▶ widen ──▶ touch-insert ──▶ verify
+//! ```
+//!
+//! * [`ShapePass`] — structural gate: lowers the program to a CFG and
+//!   cross-checks dominators/loops against the AST ([`Analysis::validate`]);
+//! * [`WidenPass`] — inserts full-array touches for path-dependent accesses
+//!   ([`WidenPolicy`]);
+//! * [`TouchInsertPass`] — innermost-first branch equalization (plus loop
+//!   padding when configured), appending scratch variables and the `_pub`
+//!   name suffix;
+//! * [`VerifyPass`] — re-checks the PUB invariants with
+//!   [`mbcr_ir::verify_balance`], failing the pipeline with structured
+//!   diagnostics instead of trusting the transform.
+//!
+//! Both entry points call the same two stage seams internally
+//! ([`widen_program`](crate::transform) / `equalize_program`), so
+//! [`pub_pipeline`] output is **bit-identical** to `pub_transform` — the
+//! workspace test suite enforces this across every Mälardalen benchmark.
+
+use mbcr_ir::{
+    fnv1a, verify_balance, Analysis, Cfg, DiagCode, Diagnostics, Pass, Pipeline, Program,
+    ProgramError,
+};
+
+use crate::transform::{equalize_program, widen_program, PubConfig, WidenPolicy};
+
+fn program_error_diags(e: &ProgramError) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    d.push(DiagCode::InvalidProgram, None, format!("{e:?}"));
+    d
+}
+
+/// Structural gate: validates the program and its CFG lowering (dominator
+/// tree, natural loops, construct numbering) without changing it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShapePass;
+
+impl Pass for ShapePass {
+    fn name(&self) -> &'static str {
+        "pub-shape"
+    }
+
+    fn run(&self, program: &Program) -> Result<Program, Diagnostics> {
+        let cfg = Cfg::of(program);
+        let analysis = Analysis::of(&cfg);
+        let findings = analysis.validate(&cfg, program.body());
+        if findings.is_empty() {
+            Ok(program.clone())
+        } else {
+            let mut d = Diagnostics::new();
+            for f in findings {
+                d.push(DiagCode::InvalidProgram, None, f);
+            }
+            Err(d)
+        }
+    }
+}
+
+/// The widening stage: inserts full-array touches ahead of statements whose
+/// array indices depend on path-dependent variables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WidenPass {
+    /// Which accesses to widen.
+    pub policy: WidenPolicy,
+}
+
+impl Pass for WidenPass {
+    fn name(&self) -> &'static str {
+        "pub-widen"
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        let tag: &[u8] = match self.policy {
+            WidenPolicy::Off => b"off",
+            WidenPolicy::PathDependent => b"path-dependent",
+        };
+        fnv1a(fnv1a(upstream, self.name().as_bytes()), tag)
+    }
+
+    fn run(&self, program: &Program) -> Result<Program, Diagnostics> {
+        widen_program(program, self.policy)
+            .map(|(p, _)| p)
+            .map_err(|e| program_error_diags(&e))
+    }
+}
+
+/// The equalization stage: inflates every conditional's branches to their
+/// token-level shortest common supersequence (innermost-first), pads loops
+/// when configured, and renames the result `<name>_pub`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TouchInsertPass {
+    /// Whether to pad loops to their declared bounds. (The widening policy
+    /// is the [`WidenPass`]'s concern and is ignored here.)
+    pub pad_loops: bool,
+}
+
+impl Pass for TouchInsertPass {
+    fn name(&self) -> &'static str {
+        "pub-touch-insert"
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        let tag: &[u8] = if self.pad_loops {
+            b"pad-loops"
+        } else {
+            b"plain"
+        };
+        fnv1a(fnv1a(upstream, self.name().as_bytes()), tag)
+    }
+
+    fn run(&self, program: &Program) -> Result<Program, Diagnostics> {
+        let cfg = PubConfig {
+            pad_loops: self.pad_loops,
+            widen: WidenPolicy::Off,
+        };
+        equalize_program(program, &cfg)
+            .map(|r| r.program)
+            .map_err(|e| program_error_diags(&e))
+    }
+}
+
+/// The verification stage: re-checks the PUB soundness invariants on the
+/// transformed program and fails with the findings if any are violated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyPass;
+
+impl Pass for VerifyPass {
+    fn name(&self) -> &'static str {
+        "pub-verify"
+    }
+
+    fn run(&self, program: &Program) -> Result<Program, Diagnostics> {
+        let d = verify_balance(program);
+        if d.is_empty() {
+            Ok(program.clone())
+        } else {
+            Err(d)
+        }
+    }
+}
+
+/// The full PUB pipeline for a configuration:
+/// `shape → widen → touch-insert → verify`.
+#[must_use]
+pub fn pub_pipeline(cfg: &PubConfig) -> Pipeline {
+    Pipeline::new()
+        .with(ShapePass)
+        .with(WidenPass { policy: cfg.widen })
+        .with(TouchInsertPass {
+            pad_loops: cfg.pad_loops,
+        })
+        .with(VerifyPass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pub_transform;
+    use mbcr_ir::{Expr, ProgramBuilder, Stmt, FNV_OFFSET};
+
+    fn two_branch_program() -> Program {
+        let mut b = ProgramBuilder::new("fig1b");
+        let arr = b.array("m", 8);
+        let x = b.var("x");
+        let y = b.var("y");
+        b.push(Stmt::if_(
+            Expr::var(x).gt(Expr::c(0)),
+            vec![
+                Stmt::Assign(y, Expr::load(arr, Expr::c(0))),
+                Stmt::Assign(y, Expr::load(arr, Expr::c(1))),
+            ],
+            vec![
+                Stmt::Assign(y, Expr::load(arr, Expr::c(1))),
+                Stmt::Assign(y, Expr::load(arr, Expr::c(2))),
+            ],
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_matches_legacy_entry_point() {
+        let p = two_branch_program();
+        for cfg in [
+            PubConfig::paper(),
+            PubConfig::with_loop_padding(),
+            PubConfig {
+                pad_loops: false,
+                widen: WidenPolicy::Off,
+            },
+        ] {
+            let legacy = pub_transform(&p, &cfg).unwrap().program;
+            let piped = pub_pipeline(&cfg).run(&p).unwrap();
+            assert_eq!(legacy, piped, "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_has_the_documented_stages() {
+        let pl = pub_pipeline(&PubConfig::paper());
+        assert_eq!(
+            pl.names(),
+            vec!["pub-shape", "pub-widen", "pub-touch-insert", "pub-verify"]
+        );
+    }
+
+    #[test]
+    fn digests_distinguish_configs() {
+        let a = pub_pipeline(&PubConfig::paper()).digest(FNV_OFFSET);
+        let b = pub_pipeline(&PubConfig::with_loop_padding()).digest(FNV_OFFSET);
+        let c = pub_pipeline(&PubConfig {
+            pad_loops: false,
+            widen: WidenPolicy::Off,
+        })
+        .digest(FNV_OFFSET);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, pub_pipeline(&PubConfig::paper()).digest(FNV_OFFSET));
+    }
+
+    #[test]
+    fn verify_pass_rejects_an_unbalanced_program() {
+        let mut b = ProgramBuilder::new("bad");
+        let x = b.var("x");
+        b.push(Stmt::if_(
+            Expr::var(x).gt(Expr::c(0)),
+            vec![Stmt::Nop { count: 8 }],
+            vec![],
+        ));
+        let p = b.build().unwrap();
+        let err = VerifyPass.run(&p).unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn shape_pass_is_identity_on_valid_programs() {
+        let p = two_branch_program();
+        assert_eq!(ShapePass.run(&p).unwrap(), p);
+    }
+}

@@ -31,8 +31,11 @@ use mbcr_engine::{
     InputSelection, JobSummary, Registry, RunOptions, SweepOutcome, SweepSnapshot, SweepSpec,
     SweepState,
 };
+use mbcr_ir::{group_inputs_by_path, PathSpace};
 use mbcr_json::{Json, Serialize};
+use mbcr_pub::PubConfig;
 use mbcr_shard::{
+    lint_program,
     protocol::{self, Message},
     run_worker, serve, serve_daemon_with, CoordSettings, GatewayOptions,
 };
@@ -45,6 +48,12 @@ USAGE:
 COMMANDS:
     list-benchmarks     List the registered benchmarks and their input vectors
     analyze <bench>     One PUB + TAC + MBPTA analysis, report on stdout
+    paths <bench>       Static (Ball-Larus) path space of a benchmark: path
+                        counts, per-path access signatures, and which paths
+                        the shipped input vectors exercise
+    lint                Statically verify PUB soundness invariants (CFG
+                        structure, branch balance, innocuous-insertion
+                        pairing); nonzero exit on any finding
     sweep               Run a batch campaign into an artifact store
     serve               Run the multi-sweep service daemon (accepts
                         submissions from clients, schedules them across one
@@ -62,6 +71,14 @@ COMMANDS:
                         SSE followers, report dedup hit rate, time-to-
                         first-event, fairness spread and affinity savings
     help                Show this message
+
+PATHS OPTIONS:
+    --limit N           Enumerate at most N static paths (default 64; spaces
+                        larger than the limit print the summary only)
+
+LINT OPTIONS:
+    --all               Lint every registered benchmark
+    [bench...]          Or lint the named benchmarks only
 
 ANALYZE OPTIONS:
     --input NAME        Input vector (default: the benchmark default)
@@ -174,6 +191,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, EngineError> {
     match args.first().map(String::as_str) {
         Some("list-benchmarks") => list_benchmarks(),
         Some("analyze") => analyze(&args[1..]),
+        Some("paths") => paths_cmd(&args[1..]),
+        Some("lint") => lint_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("submit") => submit(&args[1..]),
@@ -337,6 +356,154 @@ fn analyze(args: &[String]) -> Result<ExitCode, EngineError> {
         println!("\nfull analysis written to {path}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `mbcr paths <bench>`: the static path space, the shipped vectors'
+/// observed paths with their Ball–Larus ids and access signatures, and —
+/// when the space fits under `--limit` — the full enumeration.
+fn paths_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let limit = match flags.value("--limit")? {
+        Some(text) => usize::try_from(parse_u64("--limit", text)?)
+            .map_err(|_| EngineError::Spec("--limit: too large".into()))?,
+        None => 64,
+    };
+    flags.reject_unknown()?;
+    let positionals = flags.positionals();
+    let [bench_name] = positionals.as_slice() else {
+        return Err(EngineError::Spec(
+            "paths needs exactly one benchmark name".into(),
+        ));
+    };
+    let registry = Registry::malardalen();
+    let benchmark = registry
+        .get(bench_name)
+        .ok_or_else(|| EngineError::UnknownBenchmark((*bench_name).to_string()))?;
+
+    let space = PathSpace::of(&benchmark.program);
+    let inputs: Vec<_> = benchmark
+        .input_vectors
+        .iter()
+        .map(|v| v.inputs.clone())
+        .collect();
+    let groups = group_inputs_by_path(&benchmark.program, &inputs)
+        .map_err(|e| EngineError::Analysis(e.to_string()))?;
+
+    let static_text = if space.is_saturated() {
+        "> 2^128 (saturated)".to_string()
+    } else {
+        space.num_paths().to_string()
+    };
+    println!(
+        "{}: {static_text} static paths (Ball-Larus)",
+        benchmark.name
+    );
+    let coverage = if space.is_saturated() || space.num_paths() == 0 {
+        "n/a".to_string()
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        let f = groups.len() as f64 / space.num_paths() as f64;
+        format!("{f:.4}")
+    };
+    println!(
+        "observed: {} distinct path(s) across {} input vector(s), coverage {coverage}\n",
+        groups.len(),
+        inputs.len()
+    );
+
+    println!("{:>24}  {:>8}  {:>6}  vectors", "bl-id", "instrs", "data");
+    for (record, members) in &groups {
+        let id = space
+            .index_of(record)
+            .map_or_else(|_| "-".to_string(), |i| i.to_string());
+        let sig = space
+            .signature_of(record)
+            .map_err(|e| EngineError::Analysis(e.to_string()))?;
+        let names: Vec<&str> = members
+            .iter()
+            .map(|&i| benchmark.input_vectors[i].name.as_str())
+            .collect();
+        println!(
+            "{id:>24}  {:>8}  {:>6}  {}",
+            sig.instr_fetches,
+            sig.data_accesses,
+            names.join(", ")
+        );
+    }
+
+    if space.is_saturated() || space.num_paths() > limit as u128 {
+        println!("\n(enumeration skipped: path space exceeds --limit {limit})");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let observed: std::collections::HashSet<u128> = groups
+        .iter()
+        .filter_map(|(record, _)| space.index_of(record).ok())
+        .collect();
+    let all = space
+        .enumerate_paths(limit)
+        .map_err(|e| EngineError::Analysis(e.to_string()))?;
+    println!("\nenumeration ({} paths):", all.len());
+    println!("{:>24}  {:>8}  {:>6}  observed", "bl-id", "instrs", "data");
+    for path in &all {
+        println!(
+            "{:>24}  {:>8}  {:>6}  {}",
+            path.index,
+            path.signature.instr_fetches,
+            path.signature.data_accesses,
+            if observed.contains(&path.index) {
+                "*"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mbcr lint [--all | bench...]`: static PUB-soundness verification via
+/// [`mbcr_shard::lint_program`]. Exits nonzero when any benchmark has
+/// findings, printing each diagnostic with its stable code.
+fn lint_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let all = flags.switch("--all");
+    flags.reject_unknown()?;
+    let registry = Registry::malardalen();
+    let names: Vec<String> = if all {
+        registry.names().iter().map(ToString::to_string).collect()
+    } else {
+        flags
+            .positionals()
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    };
+    if names.is_empty() {
+        return Err(EngineError::Spec(
+            "lint needs benchmark names or --all".into(),
+        ));
+    }
+    let cfg = PubConfig::paper();
+    let mut findings = 0usize;
+    for name in &names {
+        let benchmark = registry
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownBenchmark(name.clone()))?;
+        let diags = lint_program(&benchmark.program, &cfg);
+        if diags.is_empty() {
+            println!("{name}: ok");
+        } else {
+            findings += diags.len();
+            for d in &diags {
+                println!("{name}: {d}");
+            }
+        }
+    }
+    if findings == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("mbcr lint: {findings} finding(s)");
+        Ok(ExitCode::from(1))
+    }
 }
 
 fn split_list(text: &str) -> Vec<String> {

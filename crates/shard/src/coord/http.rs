@@ -25,6 +25,8 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
+use mbcr::prelude::Inputs;
+use mbcr::stage::{path_coverage, StageStore};
 use mbcr_engine::{SubmitOptions, SweepMetrics};
 use mbcr_gateway::{read_request, respond_error, respond_json, sse_event, sse_headers, Request};
 use mbcr_json::Json;
@@ -232,7 +234,30 @@ fn metrics_doc(service: &Service<'_>) -> Json {
             ]),
         ),
         ("sweeps".to_string(), Json::Arr(sweeps)),
+        ("path_coverage".to_string(), coverage_section(service)),
     ])
+}
+
+/// The static-path-coverage section of `/v1/metrics`: one row per
+/// registered benchmark relating its Ball–Larus static path count to the
+/// paths its shipped input vectors exercise. Computed outside the state
+/// lock; the digest-keyed stage artifacts make repeat scrapes a store
+/// load, not a re-analysis.
+fn coverage_section(service: &Service<'_>) -> Json {
+    let rows = service
+        .registry
+        .iter()
+        .map(|b| {
+            let inputs: Vec<Inputs> = b.input_vectors.iter().map(|v| v.inputs.clone()).collect();
+            let value =
+                match path_coverage(&b.program, &inputs, Some(service.store as &dyn StageStore)) {
+                    Ok(coverage) => coverage.to_json(),
+                    Err(e) => Json::Obj(vec![("error".to_string(), e.to_string().into())]),
+                };
+            (b.name.to_string(), value)
+        })
+        .collect();
+    Json::Obj(rows)
 }
 
 fn sweep_row(metrics: &SweepMetrics) -> Json {

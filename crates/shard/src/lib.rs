@@ -44,9 +44,11 @@
 
 mod coord;
 mod lease;
+pub mod lint;
 pub mod protocol;
 mod worker;
 
 pub use coord::{serve, serve_daemon, serve_daemon_with, CoordSettings, GatewayOptions};
 pub use lease::LeaseTable;
+pub use lint::{lint_pair, lint_program};
 pub use worker::{run_worker, WorkerOutcome};

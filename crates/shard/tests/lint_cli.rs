@@ -1,0 +1,60 @@
+//! End-to-end exit-code contract of `mbcr lint` and `mbcr paths`: clean
+//! benchmarks exit zero, findings and unknown names exit nonzero, and the
+//! printed diagnostics carry the stable codes.
+
+use std::process::Command;
+
+fn mbcr(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mbcr"))
+        .args(args)
+        .output()
+        .expect("mbcr binary runs")
+}
+
+#[test]
+fn lint_all_passes_clean_on_the_shipped_suite() {
+    let out = mbcr(&["lint", "--all"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for bench in ["bs", "cnt", "fir", "janne", "crc", "edn", "insertsort"] {
+        assert!(
+            stdout.contains(&format!("{bench}: ok")),
+            "missing {bench} in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn lint_unknown_benchmark_exits_nonzero() {
+    let out = mbcr(&["lint", "no-such-bench"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn lint_without_targets_exits_nonzero() {
+    let out = mbcr(&["lint"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn paths_reports_the_bs_path_space() {
+    let out = mbcr(&["paths", "bs", "--limit", "121"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("121 static paths"), "got:\n{stdout}");
+    assert!(stdout.contains("8 distinct path(s)"), "got:\n{stdout}");
+    assert!(stdout.contains("enumeration (121 paths)"), "got:\n{stdout}");
+}
+
+#[test]
+fn paths_handles_saturated_spaces() {
+    let out = mbcr(&["paths", "janne"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("> 2^128 (saturated)"), "got:\n{stdout}");
+    assert!(stdout.contains("coverage n/a"), "got:\n{stdout}");
+}

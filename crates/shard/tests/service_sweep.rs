@@ -41,13 +41,20 @@ fn run_ok(args: &[&str]) -> String {
     String::from_utf8_lossy(&output.stdout).into_owned()
 }
 
-/// Every file under a directory, relative path → bytes, sorted.
+/// Every file under a directory, relative path → bytes, sorted. `*.tmpN`
+/// strays a `kill -9`'d writer left mid-`write_atomic` are skipped — the
+/// store contract says scans ignore them; they are not artifacts.
 fn snapshot(root: &Path) -> Vec<(String, Vec<u8>)> {
     fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, Vec<u8>)>) {
         for entry in fs::read_dir(dir).expect("read_dir").flatten() {
             let path = entry.path();
             if path.is_dir() {
                 walk(&path, root, out);
+            } else if path
+                .extension()
+                .is_some_and(|e| e.to_string_lossy().starts_with("tmp"))
+            {
+                continue;
             } else {
                 let rel = path
                     .strip_prefix(root)

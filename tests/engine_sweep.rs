@@ -60,8 +60,9 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
     assert_eq!(cold.skipped, 0);
     assert_eq!(cold.failed, 0);
 
-    // Artifacts: manifest, table2, a stage artifact per stage node, and
-    // full-result job JSON (plus samples for pub_tac) for terminal nodes.
+    // Artifacts: manifest, table2, a stage artifact per stage node (plus
+    // one path-coverage artifact per benchmark, written at finalization),
+    // and full-result job JSON (plus samples for pub_tac) for terminals.
     assert!(store.manifest_path().is_file(), "manifest.json missing");
     assert!(store.table2_path().is_file(), "table2.csv missing");
     let stage_entries: Vec<String> = fs::read_dir(dir.join("stages"))
@@ -72,7 +73,11 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
         .iter()
         .filter(|n| n.ends_with(".json"))
         .count();
-    assert_eq!(stage_artifacts, 28, "one artifact per stage node");
+    assert_eq!(
+        stage_artifacts,
+        28 + 1,
+        "one artifact per stage node + path coverage for bs"
+    );
     let stage_logs = stage_entries
         .iter()
         .filter(|n| n.ends_with(".samples.slog"))
