@@ -59,7 +59,7 @@ fn bench_cold_sweep(c: &mut Criterion) {
     let opts = RunOptions {
         threads: 4,
         force: true,
-        checkpoint_interval: None,
+        ..RunOptions::default()
     };
     let mut group = c.benchmark_group("engine_sweep");
     group.throughput(Throughput::Elements(4));
@@ -81,7 +81,7 @@ fn bench_warm_sweep(c: &mut Criterion) {
     let opts = RunOptions {
         threads: 4,
         force: false,
-        checkpoint_interval: None,
+        ..RunOptions::default()
     };
     let mut group = c.benchmark_group("engine_sweep");
     group.throughput(Throughput::Elements(4));

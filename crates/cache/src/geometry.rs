@@ -140,6 +140,32 @@ impl CacheGeometry {
     pub fn lines(&self) -> u64 {
         self.sets * u64::from(self.ways)
     }
+
+    /// The memory-line id a byte address belongs to (`addr / line_size`).
+    ///
+    /// This is the same quantization [`mbcr_trace::Address::line`] applies;
+    /// exposed here so static analyses share one definition of the
+    /// address → line → set pipeline with the simulator.
+    #[must_use]
+    pub fn line_of_addr(&self, addr: u64) -> u64 {
+        addr / self.line_size
+    }
+
+    /// The set index `line` maps to under deterministic modulo placement
+    /// (`line mod sets`; the set count is a power of two, so this is a
+    /// mask). Random placement replaces this with a seeded hash — see
+    /// [`crate::PlacementPolicy::set_of`].
+    #[must_use]
+    pub fn set_of_line(&self, line: u64) -> u64 {
+        line & (self.sets - 1)
+    }
+
+    /// The tag of `line`: the bits above the set index, i.e. what a
+    /// modulo-placed cache stores to distinguish co-mapped lines.
+    #[must_use]
+    pub fn tag_of_line(&self, line: u64) -> u64 {
+        line >> self.sets.trailing_zeros()
+    }
 }
 
 impl Default for CacheGeometry {
@@ -200,6 +226,21 @@ mod tests {
     fn one_set_cache_is_valid() {
         let g = CacheGeometry::new(64, 2, 32).unwrap();
         assert_eq!(g.sets(), 1);
+    }
+
+    #[test]
+    fn line_set_tag_math() {
+        let g = CacheGeometry::paper_l1(); // 64 sets, 32 B lines
+        assert_eq!(g.line_of_addr(0), 0);
+        assert_eq!(g.line_of_addr(31), 0);
+        assert_eq!(g.line_of_addr(32), 1);
+        assert_eq!(g.set_of_line(0), 0);
+        assert_eq!(g.set_of_line(65), 1, "wraps modulo 64 sets");
+        assert_eq!(g.tag_of_line(65), 1);
+        // line = tag * sets + set reassembles.
+        for line in [0u64, 1, 63, 64, 1000, 123_456] {
+            assert_eq!(g.tag_of_line(line) * g.sets() + g.set_of_line(line), line);
+        }
     }
 
     #[test]

@@ -85,9 +85,12 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use mbcr_cache::CacheGeometry;
 use mbcr_cpu::{campaign_slice, campaign_slice_chunked, Parallelism, PlatformConfig};
 use mbcr_evt::{converge, ConvergenceConfig, IidReport, Pwcet};
-use mbcr_ir::{execute, group_inputs_by_path, Inputs, PathSpace, Program};
+use mbcr_ir::{
+    classify, execute, group_inputs_by_path, Inputs, PathSpace, Program, Rollup, RollupSide,
+};
 use mbcr_json::{fnv1a, Json, Serialize, FNV_OFFSET};
 use mbcr_pub::{pub_transform, ConstructReport, PubConfig, PubReport, PubResult};
 use mbcr_rng::derive_seed;
@@ -120,6 +123,10 @@ pub enum StageKind {
     /// Measured-vs-static path coverage over an input set (a per-benchmark
     /// side stage — not part of either per-analysis pipeline).
     PathCoverage,
+    /// Abstract-interpretation hit/miss classification of every access
+    /// site against one L1 geometry pair (a per-benchmark × geometry side
+    /// stage — not part of either per-analysis pipeline).
+    CacheClass,
 }
 
 impl StageKind {
@@ -135,6 +142,7 @@ impl StageKind {
             StageKind::Campaign => "campaign",
             StageKind::Fit => "fit",
             StageKind::PathCoverage => "path_coverage",
+            StageKind::CacheClass => "cache_class",
         }
     }
 
@@ -151,6 +159,7 @@ impl StageKind {
             "campaign" => StageKind::Campaign,
             "fit" => StageKind::Fit,
             "path_coverage" => StageKind::PathCoverage,
+            "cache_class" => StageKind::CacheClass,
             _ => return None,
         })
     }
@@ -1211,7 +1220,7 @@ impl StageDigests {
             StageKind::Converge => self.converge,
             StageKind::Campaign => self.campaign,
             StageKind::Fit => self.fit,
-            StageKind::PathCoverage => return None,
+            StageKind::PathCoverage | StageKind::CacheClass => return None,
         })
     }
 
@@ -1381,6 +1390,147 @@ pub fn path_coverage(
         store
             .save_stage(digest, &doc)
             .map_err(|e| AnalyzeError::Store(format!("path_coverage: {e}")))?;
+    }
+    Ok(out)
+}
+
+/// The JSON shape of a classification [`Rollup`] used in stage artifacts,
+/// sweep manifests and `/v1/metrics` — per-cache site counts by class.
+#[must_use]
+pub fn rollup_to_json(rollup: &Rollup) -> Json {
+    Json::Obj(vec![
+        ("il1".to_string(), rollup_side_to_json(&rollup.il1)),
+        ("dl1".to_string(), rollup_side_to_json(&rollup.dl1)),
+    ])
+}
+
+/// Inverse of [`rollup_to_json`].
+#[must_use]
+pub fn rollup_from_json(v: &Json) -> Option<Rollup> {
+    Some(Rollup {
+        il1: rollup_side_from_json(v.get("il1")?)?,
+        dl1: rollup_side_from_json(v.get("dl1")?)?,
+    })
+}
+
+fn rollup_side_to_json(side: &RollupSide) -> Json {
+    Json::Obj(vec![
+        ("sites".to_string(), Json::UInt(side.sites as u64)),
+        ("always_hit".to_string(), Json::UInt(side.always_hit as u64)),
+        (
+            "always_miss".to_string(),
+            Json::UInt(side.always_miss as u64),
+        ),
+        ("first_miss".to_string(), Json::UInt(side.first_miss as u64)),
+        (
+            "not_classified".to_string(),
+            Json::UInt(side.not_classified as u64),
+        ),
+    ])
+}
+
+fn rollup_side_from_json(v: &Json) -> Option<RollupSide> {
+    Some(RollupSide {
+        sites: v.get("sites")?.as_usize()?,
+        always_hit: v.get("always_hit")?.as_usize()?,
+        always_miss: v.get("always_miss")?.as_usize()?,
+        first_miss: v.get("first_miss")?.as_usize()?,
+        not_classified: v.get("not_classified")?.as_usize()?,
+    })
+}
+
+/// Input of [`CacheClassStage`]: a program and the L1 geometry pair its
+/// access sites are classified against.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheClassInput<'i> {
+    /// The program (normally the *original* — classification is a property
+    /// of the source access structure, like path coverage).
+    pub program: &'i Program,
+    /// Instruction-cache geometry.
+    pub il1: CacheGeometry,
+    /// Data-cache geometry.
+    pub dl1: CacheGeometry,
+}
+
+/// The cache-classification side stage: the abstract-interpretation
+/// must/may/persistence rollup of one program against one geometry pair
+/// ([`mbcr_ir::classify`]), digest-keyed like every pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheClassStage;
+
+impl<'i> AnalysisStage<'i> for CacheClassStage {
+    type Input = CacheClassInput<'i>;
+    type Output = Rollup;
+
+    fn kind(&self) -> StageKind {
+        StageKind::CacheClass
+    }
+
+    fn digest(&self, upstream: u64) -> u64 {
+        fnv1a(upstream, "|cache_class|v1")
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, AnalyzeError> {
+        Ok(classify(input.program, input.il1, input.dl1).rollup)
+    }
+
+    fn encode(&self, output: &Self::Output) -> Json {
+        rollup_to_json(output)
+    }
+
+    fn decode(&self, artifact: &Json) -> Option<Self::Output> {
+        rollup_from_json(artifact)
+    }
+}
+
+/// The content digest keying a program + geometry pair's classification
+/// artifact. [`CacheGeometry`]'s `Display` spells out size, ways, line
+/// size and set count, so any geometry change re-keys the artifact.
+#[must_use]
+pub fn cache_class_digest(program: &Program, il1: CacheGeometry, dl1: CacheGeometry) -> u64 {
+    let base = fnv1a(
+        FNV_OFFSET,
+        &format!("{STAGE_SCHEMA}|program|{program:?}|il1|{il1}|dl1|{dl1}"),
+    );
+    CacheClassStage.digest(base)
+}
+
+/// Computes (or loads) the hit/miss classification rollup of `program`
+/// under the `il1`/`dl1` geometries, persisting the artifact under
+/// [`cache_class_digest`] when a store is given — the digest-keyed entry
+/// point sweep drivers and the metrics scrape use.
+///
+/// # Errors
+///
+/// A store write failure (the analysis itself is total).
+pub fn cache_class(
+    program: &Program,
+    il1: CacheGeometry,
+    dl1: CacheGeometry,
+    store: Option<&dyn StageStore>,
+) -> Result<Rollup, AnalyzeError> {
+    let stage = CacheClassStage;
+    let digest = cache_class_digest(program, il1, dl1);
+    if let Some(store) = store {
+        if let Some(doc) = store.load_stage(digest) {
+            if let Some(out) = stage_artifact_data(&doc, StageKind::CacheClass, digest)
+                .and_then(|d| stage.decode(d))
+            {
+                return Ok(out);
+            }
+        }
+    }
+    let out = stage.run(CacheClassInput { program, il1, dl1 })?;
+    if let Some(store) = store {
+        let doc = Json::Obj(vec![
+            ("schema".to_string(), STAGE_SCHEMA.into()),
+            ("stage".to_string(), StageKind::CacheClass.name().into()),
+            ("digest".to_string(), Json::UInt(digest)),
+            ("data".to_string(), stage.encode(&out)),
+        ]);
+        store
+            .save_stage(digest, &doc)
+            .map_err(|e| AnalyzeError::Store(format!("cache_class: {e}")))?;
     }
     Ok(out)
 }
@@ -1646,9 +1796,10 @@ impl<'a> AnalysisSession<'a> {
             StageKind::Converge => self.ensure_converge(),
             StageKind::Campaign => self.ensure_campaign(),
             StageKind::Fit => self.ensure_fit(),
-            // Guarded by the assert above: path coverage belongs to no
+            // Guarded by the assert above: the side stages belong to no
             // per-analysis pipeline.
             StageKind::PathCoverage => unreachable!("path_coverage is not a session stage"),
+            StageKind::CacheClass => unreachable!("cache_class is not a session stage"),
         }
     }
 
@@ -2544,5 +2695,39 @@ mod tests {
             .is_some());
         let second = path_coverage(&p, &inputs, Some(&store)).unwrap();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cache_class_rollup_roundtrips_and_caches() {
+        let (p, _) = demo_program();
+        let g = CacheGeometry::paper_l1();
+        let rollup = cache_class(&p, g, g, None).unwrap();
+        assert!(rollup.il1.sites > 0, "the demo program fetches code");
+        assert!(rollup.dl1.sites > 0, "the demo program loads data");
+        assert_eq!(
+            rollup.il1.always_hit
+                + rollup.il1.always_miss
+                + rollup.il1.first_miss
+                + rollup.il1.not_classified,
+            rollup.il1.sites,
+            "classes partition the il1 sites"
+        );
+        assert_eq!(
+            rollup_from_json(&rollup_to_json(&rollup)),
+            Some(rollup),
+            "artifact must round-trip"
+        );
+        // A digest-keyed store caches the artifact; a different geometry
+        // re-keys it.
+        let store = MemoryStageStore::default();
+        let first = cache_class(&p, g, g, Some(&store)).unwrap();
+        assert!(store.load_stage(cache_class_digest(&p, g, g)).is_some());
+        let second = cache_class(&p, g, g, Some(&store)).unwrap();
+        assert_eq!(first, second);
+        let small = CacheGeometry::new(64, 2, 32).unwrap();
+        assert_ne!(
+            cache_class_digest(&p, g, g),
+            cache_class_digest(&p, small, small)
+        );
     }
 }

@@ -51,7 +51,7 @@ mod sweep;
 
 pub use job::{JobGraph, JobKind, JobSpec, JobSummary, SCHEMA};
 pub use mbcr::stage::{StageKind, StageStatus, StageStore};
-pub use pool::execute_dag;
+pub use pool::{execute_dag, execute_dag_prioritized};
 pub use registry::Registry;
 pub use sched::JobScheduler;
 pub use service::{

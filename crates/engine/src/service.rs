@@ -441,6 +441,7 @@ impl SweepRegistry {
             threads: 0,
             force: opts.force,
             checkpoint_interval: opts.checkpoint_interval,
+            prescreen: false,
         };
         let plan = Arc::new(SweepPlan::new(&spec, registry, &run)?);
         let mut sched = JobScheduler::new(&plan.graph.deps);

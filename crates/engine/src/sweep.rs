@@ -13,8 +13,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mbcr::stage::{
-    path_coverage, stage_artifact_data, AnalysisSession, PipelineKind, StageDigests, StageKind,
-    StageStore,
+    cache_class, path_coverage, rollup_to_json, stage_artifact_data, AnalysisSession, PipelineKind,
+    StageDigests, StageKind, StageStore,
 };
 use mbcr::AnalysisConfig;
 use mbcr_ir::Inputs;
@@ -22,8 +22,8 @@ use mbcr_json::{Json, Serialize};
 use mbcr_malardalen::Benchmark;
 
 use crate::{
-    execute_dag, AnalysisKind, ArtifactStore, EngineError, InputSelection, JobGraph, JobKind,
-    JobSpec, JobSummary, Registry, SweepSpec, Table2Row,
+    execute_dag, execute_dag_prioritized, AnalysisKind, ArtifactStore, EngineError, GeometrySpec,
+    InputSelection, JobGraph, JobKind, JobSpec, JobSummary, Registry, SweepSpec, Table2Row,
 };
 
 /// Execution options orthogonal to the spec (they never affect results,
@@ -38,6 +38,12 @@ pub struct RunOptions {
     /// running campaigns to their chunk log every this many runs (`0`
     /// checkpoints only at completion). `None` keeps the config default.
     pub checkpoint_interval: Option<usize>,
+    /// Order ready jobs by the static cache-analysis pre-screen: cells
+    /// whose access sites the abstract classification pins least (the
+    /// widest spread between static best- and worst-case miss bounds)
+    /// are simulated first. Pure scheduling — results are collected in
+    /// submission order, so run artifacts are byte-identical either way.
+    pub prescreen: bool,
 }
 
 /// Terminal state of one job.
@@ -521,7 +527,12 @@ pub fn run_sweep(
     // Completed summaries, readable by dependents while the pool runs.
     let slots: Vec<Mutex<Option<JobSummary>>> = (0..plan.len()).map(|_| Mutex::new(None)).collect();
 
-    let records = execute_dag(&plan.graph.deps, threads, |i| {
+    let priority = if opts.prescreen {
+        Some(prescreen_priorities(&plan, registry)?)
+    } else {
+        None
+    };
+    let runner = |i: usize| {
         let job = &plan.graph.jobs[i];
         let key = &plan.keys[i];
         let record = |status, error, summary: Option<JobSummary>| JobRecord {
@@ -570,9 +581,52 @@ pub fn run_sweep(
             }
             Err(e) => record(JobStatus::Failed, Some(e.to_string()), None),
         }
-    });
+    };
+    let records = match &priority {
+        Some(priority) => execute_dag_prioritized(&plan.graph.deps, threads, priority, runner),
+        None => execute_dag(&plan.graph.deps, threads, runner),
+    };
 
     finalize_sweep(spec, records, registry, store, start.elapsed())
+}
+
+/// The static pre-screen's claim priorities: per job, the fraction of its
+/// benchmark × geometry cell's access sites the abstract classification
+/// leaves *not-classified* (in parts per million, summed over both L1s) —
+/// the spread between the cell's static best- and worst-case miss bounds.
+/// Least-constrained cells score highest and are simulated first, so the
+/// measurements the static analysis says least about arrive earliest.
+/// Combine nodes score zero (they are `min`s over numbers in hand).
+fn prescreen_priorities(plan: &SweepPlan, registry: &Registry) -> Result<Vec<u64>, EngineError> {
+    let mut scores: HashMap<(String, String), u64> = HashMap::new();
+    let mut out = Vec::with_capacity(plan.graph.jobs.len());
+    for job in &plan.graph.jobs {
+        let score = match &job.kind {
+            JobKind::MultipathCombine => 0,
+            JobKind::Stage { .. } => {
+                let key = (job.benchmark.clone(), job.geometry.label());
+                if let Some(&score) = scores.get(&key) {
+                    score
+                } else {
+                    let benchmark = registry
+                        .get(&job.benchmark)
+                        .ok_or_else(|| EngineError::UnknownBenchmark(job.benchmark.clone()))?;
+                    let g = job.geometry.geometry()?;
+                    // No store: the pre-screen must not write artifacts a
+                    // hook-less run would lack.
+                    let rollup = cache_class(&benchmark.program, g, g, None)
+                        .map_err(|e| EngineError::Analysis(format!("{key:?}: cache class: {e}")))?;
+                    let sites = rollup.il1.sites + rollup.dl1.sites;
+                    let nc = rollup.il1.not_classified + rollup.dl1.not_classified;
+                    let score = (nc as u64) * 1_000_000 / (sites.max(1) as u64);
+                    scores.insert(key, score);
+                    score
+                }
+            }
+        };
+        out.push(score);
+    }
+    Ok(out)
 }
 
 /// Computes the manifest's static-path-coverage block: one entry per swept
@@ -604,6 +658,45 @@ fn coverage_block(
         let coverage = path_coverage(&benchmark.program, &inputs, Some(store))
             .map_err(|e| EngineError::Analysis(format!("{name}: path coverage: {e}")))?;
         entries.push((name, coverage.to_json()));
+    }
+    Ok(Json::Obj(entries))
+}
+
+/// Computes the manifest's static cache-classification block: one entry per
+/// swept benchmark × geometry with the abstract-interpretation hit/miss
+/// rollup ([`mbcr::stage::cache_class`]). Digest-keyed in the store like
+/// the coverage artifacts, so warm re-runs and metrics scrapes reuse them.
+fn cache_class_block(
+    spec: &SweepSpec,
+    registry: &Registry,
+    store: &ArtifactStore,
+) -> Result<Json, EngineError> {
+    let names: Vec<String> = if spec.benchmarks.is_empty() {
+        registry.names().iter().map(ToString::to_string).collect()
+    } else {
+        dedup_preserving(&spec.benchmarks)
+    };
+    let mut geometries: Vec<&GeometrySpec> = Vec::new();
+    for g in &spec.geometries {
+        if !geometries.contains(&g) {
+            geometries.push(g);
+        }
+    }
+    let mut entries = Vec::with_capacity(names.len());
+    for name in names {
+        // Unknown names already failed expansion; a registry that shrank
+        // between planning and finalization just drops the entry.
+        let Some(benchmark) = registry.get(&name) else {
+            continue;
+        };
+        let mut per_geometry = Vec::with_capacity(geometries.len());
+        for gspec in &geometries {
+            let g = gspec.geometry()?;
+            let rollup = cache_class(&benchmark.program, g, g, Some(store))
+                .map_err(|e| EngineError::Analysis(format!("{name}: cache class: {e}")))?;
+            per_geometry.push((gspec.label(), rollup_to_json(&rollup)));
+        }
+        entries.push((name, Json::Obj(per_geometry)));
     }
     Ok(Json::Obj(entries))
 }
@@ -655,6 +748,10 @@ pub fn finalize_sweep(
             "path_coverage".to_string(),
             coverage_block(spec, registry, store)?,
         ),
+        (
+            "cache_class".to_string(),
+            cache_class_block(spec, registry, store)?,
+        ),
         ("jobs".to_string(), Serialize::to_json(&records)),
     ]))?;
 
@@ -701,7 +798,7 @@ fn summary_from_stage_artifact(
             }
         }
         StageKind::Campaign => s.campaign_runs = data.get("runs").and_then(Json::as_u64),
-        StageKind::PathCoverage => {}
+        StageKind::PathCoverage | StageKind::CacheClass => {}
         StageKind::Fit => {
             s.pwcet = data
                 .get("pwcet_at_exceedance")
@@ -841,8 +938,8 @@ pub fn execute_stage(
             summary.campaign_resumed = session.campaign_resumed_runs().map(|n| n as u64);
         }
         StageKind::Pub => {}
-        StageKind::PathCoverage => {
-            unreachable!("path_coverage is not a session stage; sweeps never plan it")
+        StageKind::PathCoverage | StageKind::CacheClass => {
+            unreachable!("side stages are never session stages; sweeps never plan them")
         }
     }
     Ok(StageOutcome { summary, fit })
@@ -1170,6 +1267,67 @@ mod tests {
             "terminal table shows the raw name"
         );
         assert!(row.csv_line().starts_with("\"ecu,task\","), "CSV quotes it");
+    }
+
+    #[test]
+    fn prescreen_keeps_run_artifacts_byte_identical() {
+        let registry = Registry::malardalen();
+        let mut spec = SweepSpec::new("prescreen-identity")
+            .benchmarks(["bs"])
+            .seeds([1])
+            .analyses([AnalysisKind::PubTac]);
+        spec.max_campaign_runs = Some(600);
+        let run = |prescreen: bool, tag: &str| {
+            let dir =
+                std::env::temp_dir().join(format!("mbcr-prescreen-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = ArtifactStore::open(&dir).expect("open store");
+            let opts = RunOptions {
+                prescreen,
+                ..RunOptions::default()
+            };
+            let outcome = run_sweep(&spec, &registry, &store, &opts).expect("sweep");
+            assert_eq!(outcome.failed, 0);
+            let manifest = std::fs::read(store.manifest_path()).expect("manifest");
+            let table = std::fs::read(store.table2_path()).expect("table2");
+            let _ = std::fs::remove_dir_all(&dir);
+            (manifest, table)
+        };
+        let off = run(false, "off");
+        let on = run(true, "on");
+        assert_eq!(
+            off, on,
+            "the pre-screen ordering hook must not change run artifacts"
+        );
+    }
+
+    #[test]
+    fn manifest_carries_a_cache_class_block() {
+        let registry = Registry::malardalen();
+        let mut spec = SweepSpec::new("cache-class-manifest")
+            .benchmarks(["bs"])
+            .seeds([1])
+            .analyses([AnalysisKind::PubTac]);
+        spec.max_campaign_runs = Some(600);
+        let dir = std::env::temp_dir().join(format!("mbcr-ccmanifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).expect("open store");
+        run_sweep(&spec, &registry, &store, &RunOptions::default()).expect("sweep");
+        let manifest = store.load_manifest().expect("manifest");
+        let block = manifest
+            .get("cache_class")
+            .expect("manifest has a cache_class block");
+        let rollup = block
+            .get("bs")
+            .and_then(|b| b.get(&GeometrySpec::paper_l1().label()))
+            .expect("bs × paper geometry entry");
+        let sites = rollup
+            .get("il1")
+            .and_then(|s| s.get("sites"))
+            .and_then(Json::as_u64)
+            .expect("il1 site count");
+        assert!(sites > 0, "bs fetches instructions");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

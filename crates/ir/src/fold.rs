@@ -1,0 +1,318 @@
+//! Constant folding on the [`Pass`]/[`Pipeline`] seam.
+//!
+//! [`ConstFold`] rewrites every load-free subexpression with a known
+//! compile-time value into a single [`Expr::Const`] literal, using the
+//! same [`const_eval`] the verifier and the cache analysis trust. The
+//! rewrite is *trace-conservative*: a subtree is folded only when it
+//! contains no [`Expr::Load`] (because `const_eval` refuses anything
+//! else), so the data access sequence of every run is untouched; only
+//! the instruction footprint shrinks. Division by a constant zero also
+//! refuses to fold, preserving the interpreter's faulting behavior.
+//!
+//! The pass is **verify-gated**: a program that enters balance-clean
+//! (no [`verify_balance`] findings) must leave balance-clean. Folding
+//! shrinks each conditional arm by its own foldable slack, and equalized
+//! arms that were balanced by *different* expression shapes can shrink
+//! by different amounts. Rather than emit such a silently-unsound
+//! program, the pass fails with the post-fold diagnostics — the same
+//! contract as any other failing [`Pass`].
+
+use crate::analysis::const_eval;
+use crate::expr::Expr;
+use crate::pass::Pass;
+use crate::program::Program;
+use crate::stmt::Stmt;
+use crate::verify::{verify_balance, DiagCode, Diagnostics};
+
+/// Folds every load-free constant subexpression of `e` to a literal.
+///
+/// The fold is outside-in: the largest foldable subtree collapses in one
+/// step, and unfoldable nodes recurse into their children (so `x + (2*3)`
+/// becomes `x + 6`).
+#[must_use]
+pub fn fold_expr(e: &Expr) -> Expr {
+    if let Some(v) = const_eval(e) {
+        return Expr::Const(v);
+    }
+    match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::Load(a, idx) => Expr::Load(*a, Box::new(fold_expr(idx))),
+        Expr::Un(op, x) => Expr::Un(*op, Box::new(fold_expr(x))),
+        Expr::Bin(op, l, r) => Expr::Bin(*op, Box::new(fold_expr(l)), Box::new(fold_expr(r))),
+    }
+}
+
+fn fold_seq(seq: &[Stmt]) -> Vec<Stmt> {
+    seq.iter().map(fold_stmt).collect()
+}
+
+fn fold_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Assign(v, e) => Stmt::Assign(*v, fold_expr(e)),
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => Stmt::Store {
+            array: *array,
+            index: fold_expr(index),
+            value: fold_expr(value),
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: fold_expr(cond),
+            then_branch: fold_seq(then_branch),
+            else_branch: fold_seq(else_branch),
+        },
+        Stmt::While {
+            cond,
+            max_iter,
+            body,
+        } => Stmt::While {
+            cond: fold_expr(cond),
+            max_iter: *max_iter,
+            body: fold_seq(body),
+        },
+        Stmt::For {
+            var,
+            from,
+            to,
+            max_iter,
+            body,
+        } => Stmt::For {
+            var: *var,
+            from: fold_expr(from),
+            to: fold_expr(to),
+            max_iter: *max_iter,
+            body: fold_seq(body),
+        },
+        Stmt::Touch { refs, pad } => Stmt::Touch {
+            refs: refs.iter().map(|(a, e)| (*a, fold_expr(e))).collect(),
+            pad: *pad,
+        },
+        Stmt::Nop { count } => Stmt::Nop { count: *count },
+    }
+}
+
+/// The constant-folding pass.
+///
+/// Control structure (branches, loop bounds) and the data access
+/// sequence are preserved exactly; only expression code shrinks, so the
+/// Ball–Larus path space of the output is identical to the input's and
+/// every run computes the same final state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&self, program: &Program) -> Result<Program, Diagnostics> {
+        let folded = program.with_body(fold_seq(program.body())).map_err(|e| {
+            let mut d = Diagnostics::new();
+            d.push(
+                DiagCode::InvalidProgram,
+                None,
+                format!("const-fold produced an invalid program: {e:?}"),
+            );
+            d
+        })?;
+        // The verify gate: never turn a balance-clean program into a
+        // dirty one. (A dirty input stays the caller's problem — this
+        // pass may legitimately run pre-PUB.)
+        if verify_balance(program).is_empty() {
+            let after = verify_balance(&folded);
+            if !after.is_empty() {
+                return Err(after);
+            }
+        }
+        Ok(folded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blpath::PathSpace;
+    use crate::cachean::classify;
+    use crate::interp::{execute, Inputs};
+    use crate::pass::{Pipeline, FNV_OFFSET};
+    use crate::program::ProgramBuilder;
+    use crate::verify::DiagCode;
+    use mbcr_cache::CacheGeometry;
+
+    /// A chain of `n` constant additions: `(((1+1)+1)+…)`, instruction
+    /// cost `n + 1`, folding to a single literal of cost 1.
+    fn big_const(n: usize) -> Expr {
+        let mut e = Expr::c(1);
+        for _ in 0..n {
+            e = e.add(Expr::c(1));
+        }
+        e
+    }
+
+    #[test]
+    fn folds_outside_in_and_keeps_loads_and_faults() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        let a = b.array("a", 4);
+        drop(b);
+        // Whole-constant trees collapse to one literal.
+        assert_eq!(
+            fold_expr(&Expr::c(2).mul(Expr::c(3)).add(Expr::c(1))),
+            Expr::c(7)
+        );
+        // Unfoldable roots still fold their constant children.
+        assert_eq!(
+            fold_expr(&Expr::var(x).add(Expr::c(2).mul(Expr::c(3)))),
+            Expr::var(x).add(Expr::c(6))
+        );
+        // Load nodes survive (their index folds; the access stays).
+        assert_eq!(
+            fold_expr(&Expr::load(a, Expr::c(1).add(Expr::c(1)))),
+            Expr::load(a, Expr::c(2))
+        );
+        // Division by a constant zero must keep faulting at runtime.
+        let fault = Expr::c(1).div(Expr::c(0));
+        assert_eq!(fold_expr(&fault), fault);
+    }
+
+    #[test]
+    fn folding_preserves_state_path_and_data_trace() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        let i = b.var("i");
+        let a = b.array("a", 4);
+        b.push(Stmt::for_(
+            i,
+            Expr::c(0),
+            Expr::c(2).add(Expr::c(2)),
+            4,
+            vec![
+                Stmt::Assign(x, Expr::load(a, Expr::var(i)).add(big_const(10))),
+                Stmt::store(a, Expr::var(i), Expr::var(x)),
+            ],
+        ));
+        b.push(Stmt::if_(
+            Expr::var(x).gt(Expr::c(6).sub(Expr::c(1))),
+            vec![Stmt::Assign(y, Expr::c(1))],
+            vec![Stmt::Assign(y, Expr::c(1))],
+        ));
+        let p = b.build().unwrap();
+        let folded = ConstFold.run(&p).unwrap();
+        assert_ne!(folded, p, "something must actually fold");
+
+        let inputs = Inputs::new().with_array(a, vec![3, 1, 4, 1]);
+        let before = execute(&p, &inputs).unwrap();
+        let after = execute(&folded, &inputs).unwrap();
+        assert_eq!(before.state, after.state, "final state must be identical");
+        assert_eq!(before.path, after.path, "decisions must be identical");
+        let data =
+            |r: &crate::interp::Run| -> Vec<_> { r.trace.data_accesses().copied().collect() };
+        assert_eq!(data(&before), data(&after), "data trace must be identical");
+    }
+
+    #[test]
+    fn balance_clean_program_stays_clean_through_the_fold() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        // Identical arms: folding shrinks both by the same amount.
+        b.push(Stmt::if_(
+            Expr::var(x).gt(Expr::c(0)),
+            vec![Stmt::Assign(x, Expr::c(2).add(Expr::c(3)))],
+            vec![Stmt::Assign(x, Expr::c(4).add(Expr::c(1)))],
+        ));
+        let p = b.build().unwrap();
+        assert!(verify_balance(&p).is_empty());
+        let folded = ConstFold.run(&p).unwrap();
+        assert!(verify_balance(&folded).is_empty());
+    }
+
+    #[test]
+    fn gate_refuses_a_fold_that_unbalances_equalized_arms() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        // Both arms cost 4 instructions, but only the then-arm folds
+        // (to cost 2): emitting that program would break PUB001.
+        b.push(Stmt::if_(
+            Expr::var(x).gt(Expr::c(0)),
+            vec![Stmt::Assign(x, Expr::c(2).add(Expr::c(3)))],
+            vec![Stmt::Assign(
+                x,
+                Expr::var(y)
+                    .add(Expr::var(y))
+                    .add(Expr::var(y))
+                    .add(Expr::var(y)),
+            )],
+        ));
+        let p = b.build().unwrap();
+        assert!(verify_balance(&p).is_empty(), "input must be clean");
+        let err = ConstFold.run(&p).unwrap_err();
+        assert!(err.codes().contains(&DiagCode::Pub001), "{err}");
+    }
+
+    /// The tentpole cross-check: folding shrinks a loop body that used to
+    /// overflow a tiny instruction cache, so the static hit/miss bounds
+    /// tighten (or stay put) — they never get looser.
+    #[test]
+    fn fold_then_classify_tightens_or_preserves_bounds() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.var("x");
+        let y = b.var("y");
+        let i = b.var("i");
+        b.push(Stmt::for_(
+            i,
+            Expr::c(0),
+            Expr::c(4),
+            4,
+            vec![
+                Stmt::Assign(x, big_const(40)),
+                Stmt::Assign(y, Expr::var(x)),
+            ],
+        ));
+        let p = b.build().unwrap();
+        let folded = ConstFold.run(&p).unwrap();
+
+        // Control structure is untouched: same Ball–Larus path space.
+        assert_eq!(
+            PathSpace::of(&p).num_paths(),
+            PathSpace::of(&folded).num_paths()
+        );
+
+        // 128 B / 1-way / 32 B lines: four lines of instruction cache.
+        let g = CacheGeometry::new(128, 1, 32).unwrap();
+        let before = classify(&p, g, g).rollup.il1;
+        let after = classify(&folded, g, g).rollup.il1;
+        let miss_bound_frac = |side: crate::cachean::RollupSide| {
+            #[allow(clippy::cast_precision_loss)]
+            let f = (side.always_miss + side.not_classified) as f64 / side.sites.max(1) as f64;
+            f
+        };
+        assert!(
+            after.sites < before.sites,
+            "folding must shrink the footprint"
+        );
+        assert!(
+            miss_bound_frac(after) <= miss_bound_frac(before),
+            "bounds loosened: before {before:?}, after {after:?}"
+        );
+        assert!(
+            miss_bound_frac(after) < miss_bound_frac(before),
+            "this program is built to tighten: before {before:?}, after {after:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_digest_depends_on_the_fold() {
+        let with = Pipeline::new().with(ConstFold).digest(FNV_OFFSET);
+        let without = Pipeline::new().digest(FNV_OFFSET);
+        assert_ne!(with, without);
+        assert_eq!(with, Pipeline::new().with(ConstFold).digest(FNV_OFFSET));
+    }
+}

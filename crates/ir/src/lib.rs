@@ -51,8 +51,10 @@
 
 mod analysis;
 mod blpath;
+mod cachean;
 mod cfg;
 mod expr;
+mod fold;
 mod interp;
 mod layout;
 mod pass;
@@ -64,8 +66,13 @@ mod verify;
 
 pub use analysis::{const_eval, dominators, reverse_postorder, Analysis, NaturalLoop};
 pub use blpath::{PathError, PathSignature, PathSpace, StaticPath};
+pub use cachean::{
+    classify, validate_classification, AccessSite, CacheClassification, Classification,
+    ClassifiedSite, Rollup, RollupSide, Scope, SiteLoc,
+};
 pub use cfg::{Block, BlockId, Cfg, Terminator};
 pub use expr::{BinOp, Expr, UnOp};
+pub use fold::{fold_expr, ConstFold};
 pub use interp::{execute, execute_with, ExecState, Inputs, InterpConfig, InterpError, Run};
 pub use layout::{layout_program, InstrSpan, Layout, LayoutNode, CODE_ALIGN, INSTRS_PER_LINE};
 pub use pass::{fnv1a, Pass, Pipeline, FNV_OFFSET};

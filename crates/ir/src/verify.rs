@@ -19,6 +19,17 @@
 //! | `PUB005` | touch references stay inside their array                     |
 //! | `IR001`  | the program fails structural validation                      |
 //!
+//! The `CCA00x` codes are emitted by the cache analysis' simulator
+//! cross-validation ([`crate::validate_classification`]) rather than by the
+//! checks in this module:
+//!
+//! | code     | invariant                                                    |
+//! |----------|--------------------------------------------------------------|
+//! | `CCA001` | no simulated run misses on a must-analysis *always-hit*      |
+//! | `CCA002` | no simulated run hits on a may-analysis *always-miss*        |
+//! | `CCA003` | a *first-miss* access misses at most once per scope entry    |
+//! | `CCA004` | observed hit/miss totals respect the static guaranteed bounds |
+//!
 //! [`verify_balance`] checks a single program; [`verify_pair`] additionally
 //! embeds the original program into the transformed one to prove nothing
 //! non-innocuous was inserted, dropped, or modified. Expressions have no
@@ -48,6 +59,14 @@ pub enum DiagCode {
     Pub005,
     /// The program fails structural validation.
     InvalidProgram,
+    /// A simulated run missed on an access the must-analysis proved hit.
+    Cca001,
+    /// A simulated run hit on an access the may-analysis proved miss.
+    Cca002,
+    /// A first-miss access missed more than once per persistence scope.
+    Cca003,
+    /// Observed hit/miss totals undercut the static guaranteed bounds.
+    Cca004,
 }
 
 impl DiagCode {
@@ -61,6 +80,10 @@ impl DiagCode {
             DiagCode::Pub004 => "PUB004",
             DiagCode::Pub005 => "PUB005",
             DiagCode::InvalidProgram => "IR001",
+            DiagCode::Cca001 => "CCA001",
+            DiagCode::Cca002 => "CCA002",
+            DiagCode::Cca003 => "CCA003",
+            DiagCode::Cca004 => "CCA004",
         }
     }
 }

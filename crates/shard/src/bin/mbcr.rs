@@ -31,8 +31,11 @@ use mbcr_engine::{
     InputSelection, JobSummary, Registry, RunOptions, SweepOutcome, SweepSnapshot, SweepSpec,
     SweepState,
 };
-use mbcr_ir::{group_inputs_by_path, PathSpace};
+use mbcr_ir::{
+    classify, group_inputs_by_path, validate_classification, Diagnostic, Inputs, PathSpace,
+};
 use mbcr_json::{Json, Serialize};
+use mbcr_malardalen::Benchmark;
 use mbcr_pub::PubConfig;
 use mbcr_shard::{
     lint_program,
@@ -54,6 +57,10 @@ COMMANDS:
     lint                Statically verify PUB soundness invariants (CFG
                         structure, branch balance, innocuous-insertion
                         pairing); nonzero exit on any finding
+    classify            Abstract-interpretation cache analysis: classify
+                        every access site always-hit / always-miss /
+                        first-miss / not-classified, with a simulator
+                        cross-validation; nonzero exit on any CCA finding
     sweep               Run a batch campaign into an artifact store
     serve               Run the multi-sweep service daemon (accepts
                         submissions from clients, schedules them across one
@@ -78,7 +85,19 @@ PATHS OPTIONS:
 
 LINT OPTIONS:
     --all               Lint every registered benchmark
+    --format FMT        'text' (default) or 'json': one machine-readable
+                        object per diagnostic (code, benchmark,
+                        construct, message)
     [bench...]          Or lint the named benchmarks only
+
+CLASSIFY OPTIONS:
+    --all               Classify every registered benchmark
+    --geometry S:W:L    Geometry for both L1 caches, e.g. 4096:2:32
+                        (default: paper)
+    --limit N           Print at most N per-site rows per benchmark
+                        (default 64; the rollup always prints)
+    --format FMT        'text' (default) or 'json'
+    [bench...]          Or classify the named benchmarks only
 
 ANALYZE OPTIONS:
     --input NAME        Input vector (default: the benchmark default)
@@ -102,6 +121,9 @@ SWEEP OPTIONS:
     --out DIR           Artifact store directory (default: mbcr-runs/<name>)
     --threads N         Worker threads (default: one per core)
     --force             Re-execute jobs even when cached artifacts exist
+    --prescreen         Order ready jobs by the static cache analysis
+                        (least-classified cells first); scheduling only —
+                        artifacts stay byte-identical either way
     --checkpoint-interval N  Checkpoint running campaigns every N runs
                         (0: only at completion; default: 10000). A killed
                         sweep resumes from its last campaign checkpoint.
@@ -193,6 +215,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, EngineError> {
         Some("analyze") => analyze(&args[1..]),
         Some("paths") => paths_cmd(&args[1..]),
         Some("lint") => lint_cmd(&args[1..]),
+        Some("classify") => classify_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("submit") => submit(&args[1..]),
@@ -376,9 +399,10 @@ fn paths_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
         ));
     };
     let registry = Registry::malardalen();
-    let benchmark = registry
-        .get(bench_name)
-        .ok_or_else(|| EngineError::UnknownBenchmark((*bench_name).to_string()))?;
+    let benchmark = match benchmark_or_exit2(&registry, bench_name) {
+        Ok(benchmark) => benchmark,
+        Err(code) => return Ok(code),
+    };
 
     let space = PathSpace::of(&benchmark.program);
     let inputs: Vec<_> = benchmark
@@ -460,12 +484,61 @@ fn paths_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Resolves a benchmark name, or prints the exit-2 contract: an unknown
+/// name lists the valid ones on stderr and exits `2`, so scripts can
+/// tell "bad name" (2) from "real findings" (1).
+fn benchmark_or_exit2<'r>(registry: &'r Registry, name: &str) -> Result<&'r Benchmark, ExitCode> {
+    registry.get(name).ok_or_else(|| {
+        eprintln!(
+            "mbcr: unknown benchmark '{name}' (valid: {})",
+            registry.names().join(", ")
+        );
+        ExitCode::from(2)
+    })
+}
+
+/// The machine-readable output format shared by `lint --format json`
+/// and `classify --format json`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+impl OutputFormat {
+    fn from_flags(flags: &mut Flags<'_>) -> Result<OutputFormat, EngineError> {
+        match flags.value("--format")? {
+            None | Some("text") => Ok(OutputFormat::Text),
+            Some("json") => Ok(OutputFormat::Json),
+            Some(other) => Err(EngineError::Spec(format!(
+                "--format: 'text' or 'json', got '{other}'"
+            ))),
+        }
+    }
+}
+
+/// One diagnostics row of the `--format json` documents: the stable
+/// code, which benchmark it fired on, the construct anchor, the text.
+fn diag_json(benchmark: &str, d: &Diagnostic) -> Json {
+    Json::Obj(vec![
+        ("code".to_string(), d.code.as_str().into()),
+        ("benchmark".to_string(), benchmark.into()),
+        (
+            "construct".to_string(),
+            d.construct.map_or(Json::Null, |c| Json::UInt(u64::from(c))),
+        ),
+        ("message".to_string(), d.message.as_str().into()),
+    ])
+}
+
 /// `mbcr lint [--all | bench...]`: static PUB-soundness verification via
 /// [`mbcr_shard::lint_program`]. Exits nonzero when any benchmark has
-/// findings, printing each diagnostic with its stable code.
+/// findings, printing each diagnostic with its stable code (or, with
+/// `--format json`, one document with every diagnostic as an object).
 fn lint_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
     let mut flags = Flags::new(args);
     let all = flags.switch("--all");
+    let format = OutputFormat::from_flags(&mut flags)?;
     flags.reject_unknown()?;
     let registry = Registry::malardalen();
     let names: Vec<String> = if all {
@@ -484,19 +557,38 @@ fn lint_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
     }
     let cfg = PubConfig::paper();
     let mut findings = 0usize;
+    let mut rows = Vec::new();
     for name in &names {
-        let benchmark = registry
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownBenchmark(name.clone()))?;
+        let benchmark = match benchmark_or_exit2(&registry, name) {
+            Ok(benchmark) => benchmark,
+            Err(code) => return Ok(code),
+        };
         let diags = lint_program(&benchmark.program, &cfg);
-        if diags.is_empty() {
-            println!("{name}: ok");
-        } else {
-            findings += diags.len();
-            for d in &diags {
-                println!("{name}: {d}");
+        findings += diags.len();
+        match format {
+            OutputFormat::Text => {
+                if diags.is_empty() {
+                    println!("{name}: ok");
+                } else {
+                    for d in &diags {
+                        println!("{name}: {d}");
+                    }
+                }
             }
+            OutputFormat::Json => rows.extend(diags.iter().map(|d| diag_json(name, d))),
         }
+    }
+    if format == OutputFormat::Json {
+        let doc = Json::Obj(vec![
+            ("schema".to_string(), "mbcr-lint/1".into()),
+            (
+                "benchmarks".to_string(),
+                Json::Arr(names.iter().map(|n| n.as_str().into()).collect()),
+            ),
+            ("findings".to_string(), Json::UInt(findings as u64)),
+            ("diagnostics".to_string(), Json::Arr(rows)),
+        ]);
+        println!("{}", doc.to_pretty());
     }
     if findings == 0 {
         Ok(ExitCode::SUCCESS)
@@ -504,6 +596,181 @@ fn lint_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
         eprintln!("mbcr lint: {findings} finding(s)");
         Ok(ExitCode::from(1))
     }
+}
+
+/// `mbcr classify [--all | bench...]`: per-site hit/miss classification
+/// from the abstract-interpretation cache analysis, cross-validated
+/// against the LRU simulator over the benchmark's shipped input vectors.
+/// Any CCA00x soundness finding exits `1`.
+fn classify_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let all = flags.switch("--all");
+    let geometry = match flags.value("--geometry")? {
+        Some(text) => GeometrySpec::parse(text)?,
+        None => GeometrySpec::paper_l1(),
+    };
+    let limit = match flags.value("--limit")? {
+        Some(text) => usize::try_from(parse_u64("--limit", text)?)
+            .map_err(|_| EngineError::Spec("--limit: too large".into()))?,
+        None => 64,
+    };
+    let format = OutputFormat::from_flags(&mut flags)?;
+    flags.reject_unknown()?;
+    let registry = Registry::malardalen();
+    let names: Vec<String> = if all {
+        registry.names().iter().map(ToString::to_string).collect()
+    } else {
+        flags
+            .positionals()
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    };
+    if names.is_empty() {
+        return Err(EngineError::Spec(
+            "classify needs benchmark names or --all".into(),
+        ));
+    }
+    let g = geometry.geometry()?;
+    let mut findings = 0usize;
+    let mut docs = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let benchmark = match benchmark_or_exit2(&registry, name) {
+            Ok(benchmark) => benchmark,
+            Err(code) => return Ok(code),
+        };
+        let cls = classify(&benchmark.program, g, g);
+        let mut inputs: Vec<Inputs> = benchmark
+            .input_vectors
+            .iter()
+            .map(|v| v.inputs.clone())
+            .collect();
+        if inputs.is_empty() {
+            inputs.push(benchmark.default_input.clone());
+        }
+        let diags = validate_classification(&benchmark.program, &inputs, &cls)
+            .map_err(|e| EngineError::Analysis(format!("{name}: {e}")))?;
+        findings += diags.len();
+        match format {
+            OutputFormat::Text => {
+                if i > 0 {
+                    println!();
+                }
+                print_classification(name, &geometry, &cls, &diags, inputs.len(), limit);
+            }
+            OutputFormat::Json => docs.push((
+                name.clone(),
+                classification_json(name, &cls, &diags, inputs.len()),
+            )),
+        }
+    }
+    if format == OutputFormat::Json {
+        let doc = Json::Obj(vec![
+            ("schema".to_string(), "mbcr-classify/1".into()),
+            ("geometry".to_string(), geometry.label().into()),
+            ("findings".to_string(), Json::UInt(findings as u64)),
+            ("benchmarks".to_string(), Json::Obj(docs)),
+        ]);
+        println!("{}", doc.to_pretty());
+    }
+    if findings == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("mbcr classify: {findings} soundness finding(s)");
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn rollup_side_line(side: &mbcr_ir::RollupSide) -> String {
+    format!(
+        "{} site(s) — AH {}, AM {}, FM {}, NC {}",
+        side.sites, side.always_hit, side.always_miss, side.first_miss, side.not_classified
+    )
+}
+
+/// The human-readable `classify` report: rollup per cache, then the
+/// per-site table (truncated at `limit` rows), then the verdict of the
+/// simulator cross-validation.
+fn print_classification(
+    name: &str,
+    geometry: &GeometrySpec,
+    cls: &mbcr_ir::CacheClassification,
+    diags: &mbcr_ir::Diagnostics,
+    vectors: usize,
+    limit: usize,
+) {
+    println!("{name} @ {}:", geometry.label());
+    println!("  il1: {}", rollup_side_line(&cls.rollup.il1));
+    println!("  dl1: {}", rollup_side_line(&cls.rollup.dl1));
+    println!(
+        "\n  {:>4}  {:<5}  {:<5}  {:>9}  {:<18}  class",
+        "site", "cache", "kind", "construct", "loc"
+    );
+    for row in cls.sites.iter().take(limit) {
+        let construct = row
+            .site
+            .construct
+            .map_or_else(|| "-".to_string(), |c| c.to_string());
+        println!(
+            "  {:>4}  {:<5}  {:<5}  {construct:>9}  {:<18}  {}",
+            row.site.id,
+            row.site.cache_name(),
+            row.site.kind_name(),
+            row.site.loc.to_string(),
+            row.class
+        );
+    }
+    if cls.sites.len() > limit {
+        println!("  ... ({} more; raise --limit)", cls.sites.len() - limit);
+    }
+    if diags.is_empty() {
+        println!("\n  cross-validation: ok ({vectors} input vector(s), no CCA findings)");
+    } else {
+        for d in diags {
+            println!("\n  {name}: {d}");
+        }
+    }
+}
+
+/// One benchmark's entry in the `classify --format json` document.
+fn classification_json(
+    name: &str,
+    cls: &mbcr_ir::CacheClassification,
+    diags: &mbcr_ir::Diagnostics,
+    vectors: usize,
+) -> Json {
+    let sites = cls
+        .sites
+        .iter()
+        .map(|row| {
+            Json::Obj(vec![
+                ("site".to_string(), Json::UInt(u64::from(row.site.id))),
+                ("cache".to_string(), row.site.cache_name().into()),
+                ("kind".to_string(), row.site.kind_name().into()),
+                (
+                    "construct".to_string(),
+                    row.site
+                        .construct
+                        .map_or(Json::Null, |c| Json::UInt(u64::from(c))),
+                ),
+                ("loc".to_string(), row.site.loc.to_string().into()),
+                ("class".to_string(), row.class.code().into()),
+                ("detail".to_string(), row.class.to_string().into()),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "rollup".to_string(),
+            mbcr::stage::rollup_to_json(&cls.rollup),
+        ),
+        ("sites".to_string(), Json::Arr(sites)),
+        ("input_vectors".to_string(), Json::UInt(vectors as u64)),
+        (
+            "diagnostics".to_string(),
+            Json::Arr(diags.iter().map(|d| diag_json(name, d)).collect()),
+        ),
+    ])
 }
 
 fn split_list(text: &str) -> Vec<String> {
@@ -585,6 +852,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         None => 0,
     };
     let force = flags.switch("--force");
+    let prescreen = flags.switch("--prescreen");
     flags.reject_unknown()?;
     if let Some(extra) = flags.positionals().first() {
         return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
@@ -613,6 +881,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         threads,
         force,
         checkpoint_interval,
+        prescreen,
     };
     let outcome = if shards > 0 {
         self_hosted_sharded_sweep(&spec, &registry, &store, &opts, shards)?
@@ -699,6 +968,7 @@ fn coord(args: &[String]) -> Result<ExitCode, EngineError> {
             threads: 0,
             force,
             checkpoint_interval,
+            prescreen: false,
         },
         lease_ttl,
     };

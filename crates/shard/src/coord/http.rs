@@ -25,8 +25,8 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-use mbcr::prelude::Inputs;
-use mbcr::stage::{path_coverage, StageStore};
+use mbcr::prelude::{CacheGeometry, Inputs};
+use mbcr::stage::{cache_class, path_coverage, rollup_to_json, StageStore};
 use mbcr_engine::{SubmitOptions, SweepMetrics};
 use mbcr_gateway::{read_request, respond_error, respond_json, sse_event, sse_headers, Request};
 use mbcr_json::Json;
@@ -235,6 +235,7 @@ fn metrics_doc(service: &Service<'_>) -> Json {
         ),
         ("sweeps".to_string(), Json::Arr(sweeps)),
         ("path_coverage".to_string(), coverage_section(service)),
+        ("cache_class".to_string(), cache_class_section(service)),
     ])
 }
 
@@ -254,6 +255,28 @@ fn coverage_section(service: &Service<'_>) -> Json {
                     Ok(coverage) => coverage.to_json(),
                     Err(e) => Json::Obj(vec![("error".to_string(), e.to_string().into())]),
                 };
+            (b.name.to_string(), value)
+        })
+        .collect();
+    Json::Obj(rows)
+}
+
+/// The static cache-classification section of `/v1/metrics`: one row per
+/// registered benchmark with the abstract-interpretation hit/miss rollup
+/// against the paper's L1 geometry (both caches). Like the coverage
+/// section, digest-keyed stage artifacts make repeat scrapes a store
+/// load.
+fn cache_class_section(service: &Service<'_>) -> Json {
+    let g = CacheGeometry::paper_l1();
+    let rows = service
+        .registry
+        .iter()
+        .map(|b| {
+            let value = match cache_class(&b.program, g, g, Some(service.store as &dyn StageStore))
+            {
+                Ok(rollup) => rollup_to_json(&rollup),
+                Err(e) => Json::Obj(vec![("error".to_string(), e.to_string().into())]),
+            };
             (b.name.to_string(), value)
         })
         .collect();

@@ -246,6 +246,7 @@ fn killed_sweep_resumes_within_one_interval_and_reproduces_artifacts() {
         threads: 4,
         force: false,
         checkpoint_interval: Some(INTERVAL),
+        ..RunOptions::default()
     };
 
     // Reference: a sweep that was never interrupted.
@@ -359,6 +360,7 @@ fn pruned_chunk_log_regenerates_instead_of_reporting_cached() {
         threads: 2,
         force: false,
         checkpoint_interval: Some(512),
+        ..RunOptions::default()
     };
     let dir = tmp_dir("pruned-slog");
     let store = ArtifactStore::open(&dir).expect("open store");

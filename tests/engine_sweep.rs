@@ -46,6 +46,7 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
         threads: 4,
         force: false,
         checkpoint_interval: None,
+        ..RunOptions::default()
     };
 
     // Stage-granular expansion over 2 cells (2 geometries × 1 seed):
@@ -61,8 +62,9 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
     assert_eq!(cold.failed, 0);
 
     // Artifacts: manifest, table2, a stage artifact per stage node (plus
-    // one path-coverage artifact per benchmark, written at finalization),
-    // and full-result job JSON (plus samples for pub_tac) for terminals.
+    // one path-coverage artifact per benchmark and one cache-class
+    // artifact per benchmark × geometry, written at finalization), and
+    // full-result job JSON (plus samples for pub_tac) for terminals.
     assert!(store.manifest_path().is_file(), "manifest.json missing");
     assert!(store.table2_path().is_file(), "table2.csv missing");
     let stage_entries: Vec<String> = fs::read_dir(dir.join("stages"))
@@ -75,8 +77,8 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
         .count();
     assert_eq!(
         stage_artifacts,
-        28 + 1,
-        "one artifact per stage node + path coverage for bs"
+        28 + 1 + 2,
+        "one artifact per stage node + path coverage for bs + cache class per geometry"
     );
     let stage_logs = stage_entries
         .iter()
@@ -150,6 +152,7 @@ fn cold_sweep_writes_artifacts_and_warm_rerun_skips() {
             threads: 4,
             force: true,
             checkpoint_interval: None,
+            ..RunOptions::default()
         },
     )
     .expect("forced sweep");
@@ -178,6 +181,7 @@ fn campaign_cap_change_resumes_mid_analysis() {
         threads: 4,
         force: false,
         checkpoint_interval: None,
+        ..RunOptions::default()
     };
 
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
@@ -238,6 +242,7 @@ fn two_benchmark_sweep_covers_both_and_changing_spec_invalidates() {
         threads: 4,
         force: false,
         checkpoint_interval: None,
+        ..RunOptions::default()
     };
 
     // Per benchmark: shared pub + trace, then tac×2 + converge +
@@ -304,6 +309,7 @@ fn multipath_combination_is_the_min_over_inputs() {
             threads: 2,
             force: false,
             checkpoint_interval: None,
+            ..RunOptions::default()
         },
     )
     .expect("sweep");
@@ -340,6 +346,7 @@ fn pruned_jobs_dir_regenerates_full_results() {
         threads: 2,
         force: false,
         checkpoint_interval: None,
+        ..RunOptions::default()
     };
 
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
@@ -384,6 +391,7 @@ fn torn_stage_artifact_is_not_a_cache_hit() {
         threads: 2,
         force: false,
         checkpoint_interval: None,
+        ..RunOptions::default()
     };
 
     let cold = run_sweep(&spec, &registry, &store, &opts).expect("cold");
