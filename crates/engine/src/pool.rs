@@ -95,6 +95,9 @@ where
             let results = &results;
             let wake = &wake;
             scope.spawn(move || loop {
+                // The claim span covers lock acquisition and any parked
+                // waiting — i.e. this worker's idle time between jobs.
+                let claim_span = mbcr_obs::span(mbcr_obs::SpanKind::SchedulerClaim, "pool-claim");
                 let job = {
                     let mut guard = sched.lock().expect("scheduler poisoned");
                     loop {
@@ -118,7 +121,17 @@ where
                             .0;
                     }
                 };
+                drop(claim_span);
+                let busy_start = if mbcr_obs::enabled() {
+                    Some(mbcr_obs::now_ns())
+                } else {
+                    None
+                };
                 let result = run(job);
+                if let Some(start) = busy_start {
+                    let busy = mbcr_obs::now_ns().saturating_sub(start);
+                    mbcr_obs::observe("mbcr_worker_busy_seconds", &[], busy);
+                }
                 *results[job].lock().expect("result slot poisoned") = Some(result);
                 let (unblocked, finished) = {
                     let mut guard = sched.lock().expect("scheduler poisoned");

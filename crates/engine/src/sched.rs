@@ -19,6 +19,15 @@
 //! alike: a failed stage's dependents still run (and fail or recompute in
 //! their own session), which is the engine's long-standing cascade
 //! semantics.
+//!
+//! # Telemetry
+//!
+//! When `mbcr-obs` collection is on, the scheduler counts claims,
+//! completions and requeues, and records how long each job sat in the
+//! ready queue before being leased (`mbcr_queue_wait_seconds`). This is a
+//! **pure side channel**: the timestamps feed histograms only and never
+//! influence a transition, so the "no clocks" design statement above
+//! still holds for every scheduling decision.
 
 use std::collections::VecDeque;
 
@@ -75,6 +84,10 @@ pub struct JobScheduler {
     /// dependencies drain, until [`JobScheduler::release`]d.
     held: Vec<bool>,
     remaining: usize,
+    /// Telemetry side channel, parallel to `state`: when each job last
+    /// entered the ready queue (`mbcr_obs::now_ns`, 0 = never stamped).
+    /// Written only while collection is on; never read by a transition.
+    ready_at: Vec<u64>,
 }
 
 impl JobScheduler {
@@ -124,13 +137,41 @@ impl JobScheduler {
         for &i in &ready {
             state[i] = NodeState::Ready;
         }
-        Self {
+        let mut scheduler = Self {
             dependents,
             pending,
             state,
             ready,
             held: vec![false; n],
             remaining: n,
+            ready_at: vec![0; n],
+        };
+        if mbcr_obs::enabled() {
+            let now = mbcr_obs::now_ns();
+            for &job in &scheduler.ready {
+                scheduler.ready_at[job] = now;
+            }
+        }
+        scheduler
+    }
+
+    /// Telemetry: stamps when `job` entered the ready queue.
+    fn note_ready(&mut self, job: usize) {
+        if mbcr_obs::enabled() {
+            self.ready_at[job] = mbcr_obs::now_ns();
+        }
+    }
+
+    /// Telemetry: counts a successful claim and records `job`'s
+    /// ready-queue wait.
+    fn note_claimed(&mut self, job: usize) {
+        if !mbcr_obs::enabled() {
+            return;
+        }
+        mbcr_obs::count("mbcr_sched_claims_total", &[], 1);
+        if self.ready_at[job] != 0 {
+            let wait = mbcr_obs::now_ns().saturating_sub(self.ready_at[job]);
+            mbcr_obs::observe("mbcr_queue_wait_seconds", &[], wait);
         }
     }
 
@@ -166,6 +207,7 @@ impl JobScheduler {
             // completed by its original (presumed-dead) worker since.
             if self.state[job] == NodeState::Ready {
                 self.state[job] = NodeState::Leased(worker);
+                self.note_claimed(job);
                 return Some(job);
             }
         }
@@ -192,6 +234,7 @@ impl JobScheduler {
         let (_, pos) = best?;
         let job = self.ready.remove(pos).expect("position is in range");
         self.state[job] = NodeState::Leased(worker);
+        self.note_claimed(job);
         Some(job)
     }
 
@@ -230,6 +273,7 @@ impl JobScheduler {
         }
         self.state[job] = NodeState::Done;
         self.remaining -= 1;
+        mbcr_obs::count("mbcr_sched_completions_total", &[], 1);
         let mut unblocked = 0usize;
         for at in 0..self.dependents[job].len() {
             let dependent = self.dependents[job][at];
@@ -240,6 +284,7 @@ impl JobScheduler {
                 } else {
                     self.state[dependent] = NodeState::Ready;
                     self.ready.push_back(dependent);
+                    self.note_ready(dependent);
                 }
                 unblocked += 1;
             }
@@ -273,6 +318,7 @@ impl JobScheduler {
         if self.state[job] == NodeState::Held {
             self.state[job] = NodeState::Ready;
             self.ready.push_back(job);
+            self.note_ready(job);
         }
     }
 
@@ -282,6 +328,8 @@ impl JobScheduler {
         if let NodeState::Leased(_) = self.state[job] {
             self.state[job] = NodeState::Ready;
             self.ready.push_front(job);
+            self.note_ready(job);
+            mbcr_obs::count("mbcr_sched_requeues_total", &[], 1);
         }
     }
 

@@ -372,6 +372,9 @@ impl StageStore for ArtifactStore {
         total: usize,
         samples: &[u64],
     ) -> io::Result<()> {
+        let _span = mbcr_obs::span(mbcr_obs::SpanKind::CampaignChunk, "store-append")
+            .field("digest", format!("{digest:016x}"))
+            .field("runs", samples.len().to_string());
         SampleLog::at(self.stage_samples_path(digest)).append(start, total, samples)
     }
 

@@ -871,6 +871,12 @@ pub fn execute_stage(
     else {
         panic!("execute_stage needs a stage node, got {}", job.label());
     };
+    // Telemetry side channel: the span name is the low-cardinality stage
+    // kind (one histogram series per kind); the job identity rides along
+    // as fields for the trace timeline only.
+    let _span = mbcr_obs::span(mbcr_obs::SpanKind::StageExecute, job.kind.name())
+        .field("job", job.label())
+        .field("key", key);
     let benchmark = registry
         .get(&job.benchmark)
         .ok_or_else(|| EngineError::UnknownBenchmark(job.benchmark.clone()))?;
@@ -961,6 +967,9 @@ pub fn execute_combine(
     key: &str,
     dep_summaries: &[Option<JobSummary>],
 ) -> Result<(JobSummary, Json), EngineError> {
+    let _span = mbcr_obs::span(mbcr_obs::SpanKind::StageExecute, job.kind.name())
+        .field("job", job.label())
+        .field("key", key);
     let mut summary = JobSummary::empty(key.to_string(), job);
     let mut per_input: Vec<(String, f64)> = Vec::with_capacity(dep_summaries.len());
     for dep_summary in dep_summaries {

@@ -231,6 +231,21 @@ pub fn respond_empty<W: Write>(writer: &mut W, status: u16) -> io::Result<()> {
     respond_bytes(writer, status, "application/json", b"")
 }
 
+/// Writes a plain-text response (`text/plain; version=0.0.4` — the
+/// Prometheus exposition content type, which is also valid generic text).
+///
+/// # Errors
+///
+/// Write failures.
+pub fn respond_text<W: Write>(writer: &mut W, status: u16, body: &str) -> io::Result<()> {
+    respond_bytes(
+        writer,
+        status,
+        "text/plain; version=0.0.4; charset=utf-8",
+        body.as_bytes(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,7 +31,7 @@ mod sse;
 
 pub use client::{open_sse, parse_url, request, Response};
 pub use http::{
-    read_request, respond_empty, respond_error, respond_json, status_reason, Request, MAX_BODY,
-    MAX_HEADERS, MAX_HEADER_LINE, MAX_REQUEST_LINE,
+    read_request, respond_empty, respond_error, respond_json, respond_text, status_reason, Request,
+    MAX_BODY, MAX_HEADERS, MAX_HEADER_LINE, MAX_REQUEST_LINE,
 };
 pub use sse::{sse_event, sse_headers, SseEvent, SseReader};

@@ -1531,8 +1531,7 @@ mod tests {
         let b_read = cls
             .sites
             .iter()
-            .filter(|s| s.site.kind == AccessKind::Read)
-            .next_back()
+            .rfind(|s| s.site.kind == AccessKind::Read)
             .unwrap();
         assert_eq!(b_read.class, Classification::NotClassified);
         let d = validate_classification(&p, &[Inputs::new()], &cls).unwrap();

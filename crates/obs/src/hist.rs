@@ -1,0 +1,337 @@
+//! Log-bucketed histograms and monotonic counters.
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0, bucket `b`
+//! (1 ≤ b ≤ 64) holds values in `[2^(b-1), 2^b - 1]`. That trades ~2×
+//! relative precision for fixed memory and wait-free recording, which is
+//! the right deal for latency telemetry on hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// A wait-free log-bucketed histogram. Recording is a handful of relaxed
+/// atomic ops; quantiles are computed from a [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Safe to call concurrently from any number
+    /// of threads; the sum saturates rather than wrapping.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram state. Concurrent recording
+    /// may skew individual fields against each other by a few in-flight
+    /// observations; each field is itself consistent.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket counts (bucket 0 holds zeros, bucket `b` holds
+    /// `[2^(b-1), 2^b - 1]`).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `index` (0, 1, 3, 7, …, `u64::MAX`).
+    #[must_use]
+    pub fn bucket_upper(index: usize) -> u64 {
+        bucket_upper(index)
+    }
+
+    /// The value at quantile `q` (0.0 ≤ q ≤ 1.0), reported as the upper
+    /// bound of the bucket the quantile falls in, clamped to the observed
+    /// maximum — deterministic, and never more than 2× above the true
+    /// value. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= target {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        bucket_upper(BUCKETS - 1).min(self.max)
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and associative:
+    /// bucket counts add, extrema take min/max, the sum saturates.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[must_use]
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_land_where_documented() {
+        // Bucket b covers [2^(b-1), 2^b - 1]; zero has its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for b in 1..64 {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            assert_eq!(bucket_index(lo), b, "low edge of bucket {b}");
+            assert_eq!(bucket_index(hi), b, "high edge of bucket {b}");
+            assert!(lo >= if b >= 2 { bucket_upper(b - 1) + 1 } else { 1 });
+            assert_eq!(bucket_upper(b), hi);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn zero_and_saturating_durations_record_cleanly() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), u64::MAX);
+        // The sum saturates instead of wrapping.
+        assert_eq!(s.sum(), u64::MAX);
+        assert_eq!(s.buckets()[0], 1);
+        assert_eq!(s.buckets()[64], 2);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum(), 5050);
+        // p50 of 1..=100 falls in bucket [32,63]; the rollup reports the
+        // bucket's upper bound. Tail quantiles land in bucket [64,127]
+        // but clamp to the observed max.
+        assert_eq!(s.quantile(0.5), 63);
+        assert_eq!(s.quantile(0.99), 100);
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        let total = threads * per_thread;
+        assert_eq!(s.count(), total);
+        assert_eq!(s.buckets().iter().sum::<u64>(), total);
+        assert_eq!(s.sum(), total * (total - 1) / 2);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), total - 1);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[0, 1, 5, 1000]);
+        let b = mk(&[2, 2, u64::MAX]);
+        let c = mk(&[77, 3]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        assert_eq!(left.count(), 9);
+        assert_eq!(left.min(), 0);
+        assert_eq!(left.max(), u64::MAX);
+    }
+}

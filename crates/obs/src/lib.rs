@@ -1,0 +1,156 @@
+//! Process-wide telemetry for the mbcr toolchain: span tracing over a
+//! monotonic clock, log-bucketed latency histograms and counters in a
+//! global registry (with Prometheus text exposition), a bounded flight
+//! recorder dumped as JSON on panic or on demand, and a Chrome-trace-event
+//! export for whole-sweep timelines.
+//!
+//! # Design constraints
+//!
+//! Telemetry is a **pure side channel**. Nothing here may influence what
+//! the instrumented code computes: digests, manifests, `table2.csv`, and
+//! sample logs must be byte-identical with tracing on or off (the
+//! workspace enforces this in tests). Recorder and trace output therefore
+//! always lives *outside* the content-addressed `jobs/`/`stages/` store
+//! roots.
+//!
+//! The whole crate sits behind one global switch. When disabled (the
+//! default), every instrumentation site reduces to a single relaxed
+//! atomic load — cheap enough to leave compiled into the hot paths that
+//! the `perf_engine` bench gates.
+//!
+//! # Units
+//!
+//! Durations are recorded in **nanoseconds**. By convention a metric whose
+//! name ends in `_seconds` holds nanosecond observations and is scaled to
+//! seconds at exposition time; all other metrics (bytes, counts) are
+//! exported raw.
+
+mod hist;
+mod recorder;
+mod registry;
+mod span;
+mod trace;
+
+pub use hist::{Counter, Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{dump_now, install_panic_hook, recorder, set_dump_path, FlightRecorder};
+pub use registry::{global, merge_snapshots, MetricSnapshot, Registry, RegistrySnapshot};
+pub use span::{span, SpanEvent, SpanGuard, SpanKind};
+pub use trace::{capture_active, chrome_trace, finish_capture, start_capture};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry is being collected. Every instrumentation site
+/// checks this first; when false the site is a single relaxed load.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process telemetry epoch (first call wins). The
+/// clock is monotonic; it never observes wall time.
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Whole seconds since the telemetry epoch — effectively process uptime
+/// when [`init_from_env`] (or any other telemetry call) ran at startup.
+#[must_use]
+pub fn uptime_seconds() -> u64 {
+    epoch().elapsed().as_secs()
+}
+
+/// Configures telemetry from the environment. `MBCR_OBS=1` enables
+/// collection, `MBCR_OBS=0` forces it off (overriding everything else),
+/// and `MBCR_OBS_DIR=<dir>` enables collection *and* arms the flight
+/// recorder to dump into that directory on panic (and on SIGTERM drain,
+/// where the host process wires that up).
+pub fn init_from_env() {
+    let opted_out = matches!(std::env::var("MBCR_OBS"), Ok(v) if v == "0");
+    if let Ok(v) = std::env::var("MBCR_OBS") {
+        set_enabled(v != "0");
+    }
+    if let Ok(dir) = std::env::var("MBCR_OBS_DIR") {
+        if !dir.is_empty() {
+            recorder::set_dump_path(std::path::Path::new(&dir).join("flight-recorder.json"));
+            recorder::install_panic_hook();
+            if !opted_out {
+                set_enabled(true);
+            }
+        }
+    }
+    let _ = epoch();
+}
+
+/// Enables collection unless the user opted out with `MBCR_OBS=0`.
+/// Long-running daemons (coordinator, worker, service plane) call this so
+/// their metrics endpoints are live by default.
+pub fn enable_for_service() {
+    if !matches!(std::env::var("MBCR_OBS"), Ok(v) if v == "0") {
+        set_enabled(true);
+    }
+    let _ = epoch();
+}
+
+/// Bumps the named counter by `delta`. No-op while telemetry is disabled.
+pub fn count(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if enabled() {
+        global().counter(name, labels).add(delta);
+    }
+}
+
+/// Records one observation into the named histogram. No-op while
+/// telemetry is disabled. Durations go in as nanoseconds (name the metric
+/// `*_seconds`); sizes go in raw (name it `*_bytes` or similar).
+pub fn observe(name: &str, labels: &[(&str, &str)], value: u64) {
+    if enabled() {
+        global().histogram(name, labels).record(value);
+    }
+}
+
+/// Serializes tests that flip the global [`ENABLED`] switch or the global
+/// trace sink — they would race under the parallel test runner otherwise.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_helpers_do_not_register_metrics() {
+        let _lock = test_guard();
+        set_enabled(false);
+        count("mbcr_test_disabled_total", &[], 1);
+        observe("mbcr_test_disabled_seconds", &[], 5);
+        let snap = global().snapshot();
+        assert!(!snap.contains_key(&("mbcr_test_disabled_total".to_string(), Vec::new())));
+        assert!(!snap.contains_key(&("mbcr_test_disabled_seconds".to_string(), Vec::new())));
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

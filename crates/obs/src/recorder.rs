@@ -1,0 +1,198 @@
+//! The flight recorder: a bounded ring of the most recent span events,
+//! dumped as JSON when the process panics, drains on SIGTERM (the host
+//! process calls [`dump_now`] from its drain path — signal handlers
+//! themselves only flip an atomic), or on demand.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use mbcr_json::Json;
+
+use crate::span::SpanEvent;
+use crate::uptime_seconds;
+
+/// How many span events the ring retains. Old events fall off the back;
+/// the dump reports how many were dropped.
+const CAPACITY: usize = 4096;
+
+/// Schema tag stamped into every dump.
+pub const DUMP_SCHEMA: &str = "mbcr-obs/1";
+
+/// The bounded in-memory event ring.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<SpanEvent>>,
+    dropped: AtomicU64,
+}
+
+/// The process-wide recorder.
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| FlightRecorder {
+        ring: Mutex::new(VecDeque::with_capacity(CAPACITY)),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+impl FlightRecorder {
+    /// Appends an event, evicting the oldest once full.
+    pub fn record(&self, event: SpanEvent) {
+        let mut ring = self.ring.lock().expect("recorder poisoned");
+        if ring.len() == CAPACITY {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("recorder poisoned").len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dump document: schema, uptime, drop count, and the retained
+    /// events oldest-first.
+    #[must_use]
+    pub fn dump_json(&self) -> Json {
+        let ring = self.ring.lock().expect("recorder poisoned");
+        Json::Obj(vec![
+            ("schema".into(), DUMP_SCHEMA.into()),
+            ("uptime_seconds".into(), Json::UInt(uptime_seconds())),
+            (
+                "dropped".into(),
+                Json::UInt(self.dropped.load(Ordering::Relaxed)),
+            ),
+            (
+                "events".into(),
+                Json::Arr(ring.iter().map(SpanEvent::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn dump_path() -> &'static Mutex<Option<PathBuf>> {
+    static PATH: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// Arms automatic dumps: panics (via [`install_panic_hook`]) and
+/// [`dump_now`] write here. The path must live **outside** any
+/// content-addressed store root — dumps are diagnostics, not artifacts.
+pub fn set_dump_path(path: PathBuf) {
+    *dump_path().lock().expect("dump path poisoned") = Some(path);
+}
+
+/// Writes the dump to the configured path (creating parent directories),
+/// returning the path written, or `None` when no path is configured.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating directories or writing the file.
+pub fn dump_now() -> std::io::Result<Option<PathBuf>> {
+    let Some(path) = dump_path().lock().expect("dump path poisoned").clone() else {
+        return Ok(None);
+    };
+    dump_to(&path)?;
+    Ok(Some(path))
+}
+
+/// Writes the dump document to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating directories or writing the file.
+pub fn dump_to(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = recorder().dump_json().to_pretty();
+    body.push('\n');
+    std::fs::write(path, body)
+}
+
+/// Chains a panic hook that best-effort writes the flight recorder to the
+/// configured dump path before the previous hook runs. Idempotent.
+pub fn install_panic_hook() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Ok(Some(path)) = dump_now() {
+            eprintln!("mbcr-obs: flight recorder dumped to {}", path.display());
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    fn event(name: &str) -> SpanEvent {
+        SpanEvent {
+            kind: SpanKind::HttpRequest,
+            name: name.to_string(),
+            fields: vec![("k".into(), "v".into())],
+            start_ns: 1,
+            dur_ns: 2,
+            tid: 1,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let r = FlightRecorder {
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        };
+        for i in 0..CAPACITY + 10 {
+            r.record(event(&format!("e{i}")));
+        }
+        assert_eq!(r.len(), CAPACITY);
+        assert_eq!(r.dropped.load(Ordering::Relaxed), 10);
+        let dump = r.dump_json();
+        assert_eq!(dump.get("schema"), Some(&Json::Str(DUMP_SCHEMA.into())));
+        assert_eq!(dump.get("dropped"), Some(&Json::UInt(10)));
+        match dump.get("events") {
+            Some(Json::Arr(events)) => {
+                assert_eq!(events.len(), CAPACITY);
+                // Oldest-first: the survivors start at e10.
+                assert_eq!(events[0].get("name"), Some(&Json::Str("e10".into())));
+            }
+            other => panic!("events should be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dump_round_trips_through_the_parser() {
+        let r = FlightRecorder {
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        };
+        r.record(event("only"));
+        let text = r.dump_json().to_pretty();
+        let parsed = mbcr_json::parse(&text).expect("dump parses");
+        match parsed.get("events") {
+            Some(Json::Arr(events)) => {
+                assert_eq!(events.len(), 1);
+                assert_eq!(
+                    events[0].get("kind"),
+                    Some(&Json::Str("http-request".into()))
+                );
+            }
+            other => panic!("events should be an array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The global metric registry: named histograms and counters, each
+//! optionally carrying a small set of `key=value` labels, with Prometheus
+//! text exposition and JSON rollups.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mbcr_json::Json;
+
+use crate::hist::{Counter, Histogram, HistogramSnapshot, BUCKETS};
+
+/// A metric series key: name plus sorted labels. Labels must be **low
+/// cardinality** (route patterns, stage kinds — never job keys or seeds).
+type Series = (String, Vec<(String, String)>);
+
+fn series(name: &str, labels: &[(&str, &str)]) -> Series {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+/// Snapshot of one series, either a histogram or a counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSnapshot {
+    Histogram(HistogramSnapshot),
+    Counter(u64),
+}
+
+/// Snapshot of a whole registry, keyed by series.
+pub type RegistrySnapshot = BTreeMap<Series, MetricSnapshot>;
+
+/// Merges two registry snapshots series-by-series. Like
+/// [`HistogramSnapshot::merge`] this is commutative and associative, so
+/// rollups from several processes can be folded in any order. A series
+/// that is a histogram on one side and a counter on the other keeps the
+/// left-hand variant (it indicates a naming bug upstream).
+#[must_use]
+pub fn merge_snapshots(mut left: RegistrySnapshot, right: &RegistrySnapshot) -> RegistrySnapshot {
+    for (key, theirs) in right {
+        match (left.get_mut(key), theirs) {
+            (Some(MetricSnapshot::Histogram(mine)), MetricSnapshot::Histogram(h)) => {
+                mine.merge(h);
+            }
+            (Some(MetricSnapshot::Counter(mine)), MetricSnapshot::Counter(c)) => {
+                *mine = mine.saturating_add(*c);
+            }
+            (Some(_), _) => {}
+            (None, theirs) => {
+                left.insert(key.clone(), theirs.clone());
+            }
+        }
+    }
+    left
+}
+
+/// A collection of named metrics. Most code uses the process-wide
+/// [`global`] instance; tests construct their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    hists: Mutex<BTreeMap<Series, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<Series, Arc<Counter>>>,
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+impl Registry {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram for `name` + `labels`, created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut hists = self.hists.lock().expect("registry poisoned");
+        Arc::clone(
+            hists
+                .entry(series(name, labels))
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// The counter for `name` + `labels`, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            counters
+                .entry(series(name, labels))
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// A point-in-time copy of every series.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut out = RegistrySnapshot::new();
+        for (key, h) in self.hists.lock().expect("registry poisoned").iter() {
+            out.insert(key.clone(), MetricSnapshot::Histogram(h.snapshot()));
+        }
+        for (key, c) in self.counters.lock().expect("registry poisoned").iter() {
+            out.insert(key.clone(), MetricSnapshot::Counter(c.get()));
+        }
+        out
+    }
+
+    /// Drops every series. Test-only affordance; concurrent holders of an
+    /// `Arc<Histogram>` keep recording into the detached instance.
+    pub fn reset(&self) {
+        self.hists.lock().expect("registry poisoned").clear();
+        self.counters.lock().expect("registry poisoned").clear();
+    }
+
+    /// Prometheus text exposition (version 0.0.4). Metrics named
+    /// `*_seconds` are recorded in nanoseconds and scaled here; histograms
+    /// emit cumulative `_bucket{le=…}` series for non-empty buckets plus
+    /// `+Inf`, `_sum`, and `_count`.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let snapshot = self.snapshot();
+        prometheus_exposition(&snapshot)
+    }
+
+    /// JSON rollup of every series: histograms as
+    /// `{count,sum,min,max,p50,p95,p99}`, counters as bare integers.
+    /// Duration metrics stay in nanoseconds (the names say `_seconds` for
+    /// the Prometheus side; JSON consumers get exact integers).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let snapshot = self.snapshot();
+        let mut members = Vec::new();
+        for ((name, labels), metric) in &snapshot {
+            let key = if labels.is_empty() {
+                name.clone()
+            } else {
+                let rendered: Vec<String> =
+                    labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{name}{{{}}}", rendered.join(","))
+            };
+            members.push((key, metric_json(metric)));
+        }
+        Json::Obj(members)
+    }
+}
+
+fn metric_json(metric: &MetricSnapshot) -> Json {
+    match metric {
+        MetricSnapshot::Counter(v) => Json::UInt(*v),
+        MetricSnapshot::Histogram(h) => Json::Obj(vec![
+            ("count".into(), Json::UInt(h.count())),
+            ("sum".into(), Json::UInt(h.sum())),
+            ("min".into(), Json::UInt(h.min())),
+            ("max".into(), Json::UInt(h.max())),
+            ("p50".into(), Json::UInt(h.quantile(0.50))),
+            ("p95".into(), Json::UInt(h.quantile(0.95))),
+            ("p99".into(), Json::UInt(h.quantile(0.99))),
+        ]),
+    }
+}
+
+/// Scale factor applied at exposition: `*_seconds` metrics hold
+/// nanoseconds internally.
+fn exposition_scale(name: &str) -> f64 {
+    if name.ends_with("_seconds") {
+        1e-9
+    } else {
+        1.0
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prometheus_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn prometheus_escape(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn prometheus_exposition(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for ((name, labels), metric) in snapshot {
+        if last_name != Some(name.as_str()) {
+            let kind = match metric {
+                MetricSnapshot::Histogram(_) => "histogram",
+                MetricSnapshot::Counter(_) => "counter",
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_name = Some(name.as_str());
+        }
+        match metric {
+            MetricSnapshot::Counter(v) => {
+                out.push_str(&format!("{name}{} {v}\n", label_block(labels, None)));
+            }
+            MetricSnapshot::Histogram(h) => {
+                let scale = exposition_scale(name);
+                let mut cumulative = 0u64;
+                for (index, &n) in h.buckets().iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    // The last bucket's bound is +Inf below, not 2^64.
+                    if index == BUCKETS - 1 {
+                        continue;
+                    }
+                    let le = HistogramSnapshot::bucket_upper(index) as f64 * scale;
+                    let le = format!("{le}");
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cumulative}\n",
+                        label_block(labels, Some(("le", &le)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{} {}\n",
+                    label_block(labels, Some(("le", "+Inf"))),
+                    h.count()
+                ));
+                out.push_str(&format!(
+                    "{name}_sum{} {}\n",
+                    label_block(labels, None),
+                    h.sum() as f64 * scale
+                ));
+                out.push_str(&format!(
+                    "{name}_count{} {}\n",
+                    label_block(labels, None),
+                    h.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_stable_across_label_order() {
+        let r = Registry::new();
+        let a = r.counter("mbcr_x_total", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("mbcr_x_total", &[("b", "2"), ("a", "1")]);
+        a.add(1);
+        b.add(1);
+        assert_eq!(a.get(), 2, "label order must not split the series");
+    }
+
+    #[test]
+    fn prometheus_exposition_has_histogram_invariants() {
+        let r = Registry::new();
+        let h = r.histogram("mbcr_demo_seconds", &[("route", "/v1/metrics")]);
+        h.record(1_000_000); // 1ms
+        h.record(2_000_000);
+        h.record(0);
+        r.counter("mbcr_demo_total", &[]).add(7);
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE mbcr_demo_seconds histogram"));
+        assert!(text.contains("# TYPE mbcr_demo_total counter"));
+        assert!(text.contains("mbcr_demo_total 7"));
+        assert!(text.contains("le=\"+Inf\"} 3"));
+        assert!(text.contains("mbcr_demo_seconds_count{route=\"/v1/metrics\"} 3"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "cumulative bucket counts must not drop");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn registry_merge_is_associative() {
+        let mk = |hist_values: &[u64], counter: u64| {
+            let r = Registry::new();
+            for &v in hist_values {
+                r.histogram("mbcr_m_seconds", &[]).record(v);
+            }
+            r.counter("mbcr_m_total", &[]).add(counter);
+            r.snapshot()
+        };
+        let a = mk(&[1, 2, 3], 5);
+        let b = mk(&[10, 20], 7);
+        let c = mk(&[100], 11);
+        let left = merge_snapshots(merge_snapshots(a.clone(), &b), &c);
+        let right = merge_snapshots(a, &merge_snapshots(b.clone(), &c));
+        assert_eq!(left, right);
+        match &left[&("mbcr_m_total".to_string(), Vec::new())] {
+            MetricSnapshot::Counter(v) => assert_eq!(*v, 23),
+            MetricSnapshot::Histogram(_) => panic!("counter series became a histogram"),
+        }
+        match &left[&("mbcr_m_seconds".to_string(), Vec::new())] {
+            MetricSnapshot::Histogram(h) => assert_eq!(h.count(), 6),
+            MetricSnapshot::Counter(_) => panic!("histogram series became a counter"),
+        }
+    }
+
+    #[test]
+    fn json_rollup_reports_quantiles() {
+        let r = Registry::new();
+        for v in [8u64, 8, 8, 8, 1000] {
+            r.histogram("mbcr_j_seconds", &[]).record(v);
+        }
+        let json = r.to_json();
+        let h = json.get("mbcr_j_seconds").expect("series present");
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(h.get("p50").and_then(Json::as_f64), Some(15.0));
+    }
+}

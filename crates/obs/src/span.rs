@@ -1,0 +1,223 @@
+//! Span tracing: RAII guards over the monotonic clock, kept on
+//! thread-local stacks so nested spans know their depth, fanning out on
+//! completion to the metric registry, the flight recorder, and (while a
+//! capture is active) the Chrome-trace sink.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mbcr_json::Json;
+
+use crate::{enabled, now_ns, recorder, registry, trace};
+
+/// What a span measures. The set is closed on purpose: every kind maps to
+/// one histogram, keeping metric cardinality bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One engine stage executing (`mbcr-engine`'s `execute_stage`).
+    StageExecute,
+    /// A worker waiting to claim work from the scheduler (idle time).
+    SchedulerClaim,
+    /// One wire frame encoded and sent, or received and decoded.
+    WireFrame,
+    /// One HTTP request handled by the service plane.
+    HttpRequest,
+    /// One SSE event rendered and written to a follower.
+    SseEmit,
+    /// One campaign sample chunk appended to a store.
+    CampaignChunk,
+}
+
+impl SpanKind {
+    /// The kind's wire name (used as the Chrome-trace category).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::StageExecute => "stage-execute",
+            SpanKind::SchedulerClaim => "scheduler-claim",
+            SpanKind::WireFrame => "wire-frame",
+            SpanKind::HttpRequest => "http-request",
+            SpanKind::SseEmit => "sse-emit",
+            SpanKind::CampaignChunk => "campaign-chunk",
+        }
+    }
+
+    /// The histogram this kind's durations land in.
+    #[must_use]
+    pub fn metric(self) -> &'static str {
+        match self {
+            SpanKind::StageExecute => "mbcr_stage_execute_seconds",
+            SpanKind::SchedulerClaim => "mbcr_scheduler_claim_seconds",
+            SpanKind::WireFrame => "mbcr_wire_frame_seconds",
+            SpanKind::HttpRequest => "mbcr_http_request_seconds",
+            SpanKind::SseEmit => "mbcr_sse_emit_seconds",
+            SpanKind::CampaignChunk => "mbcr_campaign_chunk_seconds",
+        }
+    }
+
+    fn all() -> &'static [SpanKind] {
+        &[
+            SpanKind::StageExecute,
+            SpanKind::SchedulerClaim,
+            SpanKind::WireFrame,
+            SpanKind::HttpRequest,
+            SpanKind::SseEmit,
+            SpanKind::CampaignChunk,
+        ]
+    }
+
+    /// Parses a wire name back into a kind.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<SpanKind> {
+        SpanKind::all().iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// Small per-thread identity for timeline grouping: threads get ordinals
+/// in the order they first record a span.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+thread_local! {
+    /// Depth of the thread-local span stack (how many guards are live).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A finished span, as stored in the flight recorder and trace sink.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    pub kind: SpanKind,
+    /// Low-cardinality name (stage kind, route pattern, frame direction).
+    /// Doubles as the metric label and the Chrome-trace event name.
+    pub name: String,
+    /// Free-form key/value details (job labels, byte counts, digests).
+    pub fields: Vec<(String, String)>,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Thread ordinal (see the timeline `tid`).
+    pub tid: u64,
+    /// Nesting depth on its thread's span stack at start (0 = root).
+    pub depth: u32,
+}
+
+impl SpanEvent {
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), self.kind.name().into()),
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "fields".into(),
+                Json::Obj(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("start_ns".into(), Json::UInt(self.start_ns)),
+            ("dur_ns".into(), Json::UInt(self.dur_ns)),
+            ("tid".into(), Json::UInt(self.tid)),
+            ("depth".into(), Json::UInt(u64::from(self.depth))),
+        ])
+    }
+}
+
+/// Opens a span of `kind`. `name` must be low cardinality — it becomes a
+/// metric label. High-cardinality detail goes in [`SpanGuard::field`].
+/// While telemetry is disabled this returns an inert guard whose whole
+/// lifecycle is one atomic load.
+#[must_use]
+pub fn span(kind: SpanKind, name: impl Into<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard(Some(SpanEvent {
+        kind,
+        name: name.into(),
+        fields: Vec::new(),
+        start_ns: now_ns(),
+        dur_ns: 0,
+        tid: thread_ordinal(),
+        depth,
+    }))
+}
+
+/// RAII handle for an open span; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard(Option<SpanEvent>);
+
+impl SpanGuard {
+    /// Attaches a key/value field. No-op on inert guards.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<String>) -> Self {
+        if let Some(event) = self.0.as_mut() {
+            event.fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(mut event) = self.0.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        event.dur_ns = now_ns().saturating_sub(event.start_ns);
+        registry::global()
+            .histogram(event.kind.metric(), &[("name", &event.name)])
+            .record(event.dur_ns);
+        trace::sink_event(&event);
+        recorder::recorder().record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_enabled;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in SpanKind::all() {
+            assert_eq!(SpanKind::parse(kind.name()), Some(*kind));
+        }
+        assert_eq!(SpanKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert_and_balance_depth() {
+        let _lock = crate::test_guard();
+        set_enabled(false);
+        let before = DEPTH.with(Cell::get);
+        {
+            let _g = span(SpanKind::HttpRequest, "/v1/test").field("k", "v");
+        }
+        assert_eq!(DEPTH.with(Cell::get), before);
+    }
+
+    #[test]
+    fn nested_spans_report_depth() {
+        let _lock = crate::test_guard();
+        set_enabled(true);
+        let outer = span(SpanKind::HttpRequest, "outer-depth-test");
+        let inner = span(SpanKind::SseEmit, "inner-depth-test");
+        let inner_depth = inner.0.as_ref().unwrap().depth;
+        let outer_depth = outer.0.as_ref().unwrap().depth;
+        assert_eq!(inner_depth, outer_depth + 1);
+        drop(inner);
+        drop(outer);
+        set_enabled(false);
+    }
+}

@@ -1,0 +1,146 @@
+//! Whole-run trace capture and Chrome-trace-event export.
+//!
+//! While a capture is active every completed span is appended to a global
+//! sink (bounded, drop-counted). [`chrome_trace`] renders the collected
+//! events as a Chrome trace document (the `{"traceEvents": […]}` JSON
+//! format), loadable in `chrome://tracing` or Perfetto: one complete
+//! (`"ph":"X"`) event per span, with thread ordinals as `tid` so spans
+//! from all workers merge onto one timeline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use mbcr_json::Json;
+
+use crate::span::SpanEvent;
+
+/// Hard cap on captured events; beyond it events are counted, not kept.
+const CAPACITY: usize = 1 << 20;
+
+static CAPTURING: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn sink() -> &'static Mutex<Vec<SpanEvent>> {
+    static SINK: OnceLock<Mutex<Vec<SpanEvent>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Whether a capture is currently collecting spans.
+#[must_use]
+pub fn capture_active() -> bool {
+    CAPTURING.load(Ordering::Relaxed)
+}
+
+/// Begins collecting completed spans (clearing any previous capture).
+pub fn start_capture() {
+    sink().lock().expect("trace sink poisoned").clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    CAPTURING.store(true, Ordering::Relaxed);
+}
+
+/// Stops collecting and returns the captured events along with how many
+/// were dropped once the sink filled.
+pub fn finish_capture() -> (Vec<SpanEvent>, u64) {
+    CAPTURING.store(false, Ordering::Relaxed);
+    let events = std::mem::take(&mut *sink().lock().expect("trace sink poisoned"));
+    (events, DROPPED.swap(0, Ordering::Relaxed))
+}
+
+/// Called from the span drop path.
+pub(crate) fn sink_event(event: &SpanEvent) {
+    if !capture_active() {
+        return;
+    }
+    let mut sink = sink().lock().expect("trace sink poisoned");
+    if sink.len() == CAPACITY {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    sink.push(event.clone());
+}
+
+/// Renders events as a Chrome trace document. Timestamps and durations
+/// are microseconds (fractional, preserving nanosecond detail); `pid` is
+/// constant 1 and `tid` is the recording thread's ordinal.
+#[must_use]
+pub fn chrome_trace(events: &[SpanEvent]) -> Json {
+    #[allow(clippy::cast_precision_loss)]
+    let micros = |ns: u64| Json::Num(ns as f64 / 1000.0);
+    let trace_events: Vec<Json> = events
+        .iter()
+        .map(|event| {
+            let mut args: Vec<(String, Json)> = event
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect();
+            args.push(("depth".into(), Json::UInt(u64::from(event.depth))));
+            Json::Obj(vec![
+                ("name".into(), Json::Str(event.name.clone())),
+                ("cat".into(), event.kind.name().into()),
+                ("ph".into(), "X".into()),
+                ("ts".into(), micros(event.start_ns)),
+                ("dur".into(), micros(event.dur_ns)),
+                ("pid".into(), Json::UInt(1)),
+                ("tid".into(), Json::UInt(event.tid)),
+                ("args".into(), Json::Obj(args)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(trace_events)),
+        ("displayTimeUnit".into(), "ms".into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_enabled;
+    use crate::span::{span, SpanKind};
+
+    #[test]
+    fn capture_collects_spans_and_exports_chrome_events() {
+        let _lock = crate::test_guard();
+        set_enabled(true);
+        start_capture();
+        {
+            let _g = span(SpanKind::StageExecute, "pub:trace").field("job", "demo");
+        }
+        let (events, dropped) = finish_capture();
+        set_enabled(false);
+        assert_eq!(dropped, 0);
+        let ours: Vec<_> = events.iter().filter(|e| e.name == "pub:trace").collect();
+        assert_eq!(ours.len(), 1);
+
+        let doc = chrome_trace(&events);
+        let text = doc.to_compact();
+        let parsed = mbcr_json::parse(&text).expect("chrome trace parses");
+        match parsed.get("traceEvents") {
+            Some(Json::Arr(items)) => {
+                let item = items
+                    .iter()
+                    .find(|i| i.get("name") == Some(&Json::Str("pub:trace".into())))
+                    .expect("our span exported");
+                assert_eq!(item.get("ph"), Some(&Json::Str("X".into())));
+                assert_eq!(item.get("cat"), Some(&Json::Str("stage-execute".into())));
+                assert!(item.get("dur").and_then(Json::as_f64).is_some());
+            }
+            other => panic!("traceEvents should be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finished_capture_stops_collecting() {
+        let _lock = crate::test_guard();
+        set_enabled(true);
+        start_capture();
+        let (_, _) = finish_capture();
+        {
+            let _g = span(SpanKind::SseEmit, "after-capture");
+        }
+        set_enabled(false);
+        let (events, _) = finish_capture();
+        assert!(events.iter().all(|e| e.name != "after-capture"));
+    }
+}

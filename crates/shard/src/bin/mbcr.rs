@@ -62,6 +62,9 @@ COMMANDS:
                         first-miss / not-classified, with a simulator
                         cross-validation; nonzero exit on any CCA finding
     sweep               Run a batch campaign into an artifact store
+    trace               Run a sweep with span tracing on and export the
+                        merged timeline as Chrome-trace-event JSON
+                        (chrome://tracing / Perfetto loadable)
     serve               Run the multi-sweep service daemon (accepts
                         submissions from clients, schedules them across one
                         worker fleet, resumes its queue after a kill)
@@ -131,6 +134,18 @@ SWEEP OPTIONS:
                         (spawns a coordinator plus N `mbcr worker`s);
                         results are byte-identical to a plain sweep
 
+TRACE OPTIONS (all SWEEP spec options, plus):
+    --out FILE          Trace output file (default: trace.json); written
+                        outside the artifact store, which stays
+                        byte-identical to an untraced sweep
+    --store DIR         Artifact store directory for the traced sweep
+                        (default: mbcr-runs/<name>)
+    --threads N         Worker threads (default: one per core)
+    --force             Re-execute jobs even when cached artifacts exist
+                        (cached jobs emit no stage-execute spans)
+    --format FMT        'chrome' (default): Chrome trace event JSON;
+                        'events': raw span-event dump (mbcr-obs/1)
+
 SERVE OPTIONS:
     --listen ADDR       TCP address to bind (e.g. 127.0.0.1:4870; port 0
                         picks one and prints it)
@@ -199,6 +214,10 @@ LOADGEN OPTIONS:
 ";
 
 fn main() -> ExitCode {
+    // Telemetry first: MBCR_OBS=1 turns collection on for any command,
+    // MBCR_OBS_DIR arms the flight recorder's panic dump. A pure side
+    // channel either way — artifacts are byte-identical on or off.
+    mbcr_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(code) => code,
@@ -217,6 +236,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, EngineError> {
         Some("lint") => lint_cmd(&args[1..]),
         Some("classify") => classify_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("submit") => submit(&args[1..]),
         Some("status") => status(&args[1..]),
@@ -506,13 +526,17 @@ enum OutputFormat {
 }
 
 impl OutputFormat {
-    fn from_flags(flags: &mut Flags<'_>) -> Result<OutputFormat, EngineError> {
+    /// Same exit-2 contract as [`benchmark_or_exit2`]: an unknown format
+    /// lists the valid ones on stderr and exits `2`, so scripts can tell
+    /// "bad flag" (2) from "real findings" (1).
+    fn from_flags(flags: &mut Flags<'_>) -> Result<Result<OutputFormat, ExitCode>, EngineError> {
         match flags.value("--format")? {
-            None | Some("text") => Ok(OutputFormat::Text),
-            Some("json") => Ok(OutputFormat::Json),
-            Some(other) => Err(EngineError::Spec(format!(
-                "--format: 'text' or 'json', got '{other}'"
-            ))),
+            None | Some("text") => Ok(Ok(OutputFormat::Text)),
+            Some("json") => Ok(Ok(OutputFormat::Json)),
+            Some(other) => {
+                eprintln!("mbcr: --format: unknown format '{other}' (valid: text, json)");
+                Ok(Err(ExitCode::from(2)))
+            }
         }
     }
 }
@@ -538,7 +562,10 @@ fn diag_json(benchmark: &str, d: &Diagnostic) -> Json {
 fn lint_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
     let mut flags = Flags::new(args);
     let all = flags.switch("--all");
-    let format = OutputFormat::from_flags(&mut flags)?;
+    let format = match OutputFormat::from_flags(&mut flags)? {
+        Ok(format) => format,
+        Err(code) => return Ok(code),
+    };
     flags.reject_unknown()?;
     let registry = Registry::malardalen();
     let names: Vec<String> = if all {
@@ -614,7 +641,10 @@ fn classify_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
             .map_err(|_| EngineError::Spec("--limit: too large".into()))?,
         None => 64,
     };
-    let format = OutputFormat::from_flags(&mut flags)?;
+    let format = match OutputFormat::from_flags(&mut flags)? {
+        Ok(format) => format,
+        Err(code) => return Ok(code),
+    };
     flags.reject_unknown()?;
     let registry = Registry::malardalen();
     let names: Vec<String> = if all {
@@ -934,6 +964,100 @@ fn self_hosted_sharded_sweep(
     outcome
 }
 
+/// The trace export formats: Chrome trace events (the default, loadable
+/// in `chrome://tracing` and Perfetto) or the raw span-event dump.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Events,
+}
+
+impl TraceFormat {
+    /// Exit-2 contract as for [`OutputFormat::from_flags`]: unknown
+    /// formats list the valid ones on stderr and exit `2`.
+    fn from_flags(flags: &mut Flags<'_>) -> Result<Result<TraceFormat, ExitCode>, EngineError> {
+        match flags.value("--format")? {
+            None | Some("chrome") => Ok(Ok(TraceFormat::Chrome)),
+            Some("events") => Ok(Ok(TraceFormat::Events)),
+            Some(other) => {
+                eprintln!("mbcr: --format: unknown format '{other}' (valid: chrome, events)");
+                Ok(Err(ExitCode::from(2)))
+            }
+        }
+    }
+}
+
+/// `mbcr trace`: run a sweep with span tracing on and export the merged
+/// timeline of every span (stage executions, scheduler claims, campaign
+/// chunks) to `--out`. The trace file lands outside the artifact store,
+/// which stays byte-identical to an untraced run of the same spec.
+fn trace_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
+    let mut flags = Flags::new(args);
+    let spec = spec_from_flags(&mut flags)?;
+    let out = flags.value("--out")?.unwrap_or("trace.json").to_string();
+    let store_dir = flags
+        .value("--store")?
+        .map_or_else(|| format!("mbcr-runs/{}", spec.name), str::to_string);
+    let threads = match flags.value("--threads")? {
+        Some(text) => parse_u64("--threads", text)? as usize,
+        None => 0,
+    };
+    let force = flags.switch("--force");
+    let format = match TraceFormat::from_flags(&mut flags)? {
+        Ok(format) => format,
+        Err(code) => return Ok(code),
+    };
+    flags.reject_unknown()?;
+    if let Some(extra) = flags.positionals().first() {
+        return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
+    }
+
+    let store = ArtifactStore::open(&store_dir)?;
+    let registry = Registry::malardalen();
+    mbcr_obs::set_enabled(true);
+    mbcr_obs::start_capture();
+    let opts = RunOptions {
+        threads,
+        force,
+        checkpoint_interval: None,
+        prescreen: false,
+    };
+    let outcome = run_sweep(&spec, &registry, &store, &opts)?;
+    let (events, dropped) = mbcr_obs::finish_capture();
+    let doc = match format {
+        TraceFormat::Chrome => mbcr_obs::chrome_trace(&events),
+        TraceFormat::Events => Json::Obj(vec![
+            ("schema".to_string(), "mbcr-obs/1".into()),
+            ("dropped".to_string(), Json::UInt(dropped)),
+            (
+                "events".to_string(),
+                Json::Arr(events.iter().map(mbcr_obs::SpanEvent::to_json).collect()),
+            ),
+        ]),
+    };
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out, format!("{}\n", doc.to_compact()))?;
+    print_outcome(&outcome, &store);
+    println!(
+        "trace: {} span event(s){} -> {out}",
+        events.len(),
+        if dropped > 0 {
+            format!(" ({dropped} dropped)")
+        } else {
+            String::new()
+        },
+    );
+    Ok(if outcome.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
 fn coord(args: &[String]) -> Result<ExitCode, EngineError> {
     let mut flags = Flags::new(args);
     let spec = spec_from_flags(&mut flags)?;
@@ -958,6 +1082,8 @@ fn coord(args: &[String]) -> Result<ExitCode, EngineError> {
         return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
     }
 
+    // Long-lived process: metrics live by default (MBCR_OBS=0 opts out).
+    mbcr_obs::enable_for_service();
     let store = ArtifactStore::open(&out)?;
     let registry = Registry::malardalen();
     let listener = TcpListener::bind(&listen)?;
@@ -1008,6 +1134,9 @@ fn serve_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
         return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
     }
 
+    // Long-lived daemon: metrics live by default (MBCR_OBS=0 opts out),
+    // so /v1/metrics?format=prometheus has data to scrape.
+    mbcr_obs::enable_for_service();
     let store = ArtifactStore::open(&out)?;
     let registry = Registry::malardalen();
     let listener = TcpListener::bind(&listen)?;
@@ -1236,11 +1365,14 @@ fn render_snapshot(snapshot: &SweepSnapshot) {
     if !snapshot.jobs.is_empty() {
         print!(
             "{}",
-            render_stage_status(snapshot.jobs.iter().map(|(label, status, resumed)| (
-                label.as_str(),
-                status.as_str(),
-                *resumed
-            )))
+            render_stage_status(
+                snapshot.jobs.iter().map(|(label, status, resumed)| (
+                    label.as_str(),
+                    status.as_str(),
+                    *resumed
+                )),
+                &[],
+            )
         );
     }
     if !snapshot.campaigns.is_empty() {
@@ -1486,6 +1618,9 @@ fn worker(args: &[String]) -> Result<ExitCode, EngineError> {
     if let Some(extra) = flags.positionals().first() {
         return Err(EngineError::Spec(format!("unexpected argument '{extra}'")));
     }
+    // Workers dump their flight recorder on SIGTERM drain; keep
+    // collection on unless the user opted out.
+    mbcr_obs::enable_for_service();
     // Not routed through EngineError: its Io variant renders as an
     // artifact-store failure, which a refused connection is not.
     let outcome = match run_worker(&connect, jobs) {
@@ -1512,16 +1647,19 @@ fn worker(args: &[String]) -> Result<ExitCode, EngineError> {
 fn print_outcome(outcome: &SweepOutcome, store: &ArtifactStore) {
     print!(
         "{}",
-        render_stage_status(outcome.records.iter().map(|r| {
-            (
-                r.label.as_str(),
-                r.status.name(),
-                r.summary
-                    .as_ref()
-                    .and_then(|s| s.campaign_resumed)
-                    .unwrap_or(0),
-            )
-        }))
+        render_stage_status(
+            outcome.records.iter().map(|r| {
+                (
+                    r.label.as_str(),
+                    r.status.name(),
+                    r.summary
+                        .as_ref()
+                        .and_then(|s| s.campaign_resumed)
+                        .unwrap_or(0),
+                )
+            }),
+            &stage_wall_times(),
+        )
     );
     println!();
     print!("{}", render_rows(&outcome.rows));
@@ -1662,16 +1800,19 @@ fn report(args: &[String]) -> Result<ExitCode, EngineError> {
     );
     print!(
         "{}",
-        render_stage_status(jobs.iter().map(|j| {
-            (
-                j.get("label").and_then(Json::as_str).unwrap_or("?"),
-                j.get("status").and_then(Json::as_str).unwrap_or("?"),
-                j.get("summary")
-                    .and_then(|s| s.get("campaign_resumed"))
-                    .and_then(Json::as_u64)
-                    .unwrap_or(0),
-            )
-        }))
+        render_stage_status(
+            jobs.iter().map(|j| {
+                (
+                    j.get("label").and_then(Json::as_str).unwrap_or("?"),
+                    j.get("status").and_then(Json::as_str).unwrap_or("?"),
+                    j.get("summary")
+                        .and_then(|s| s.get("campaign_resumed"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                )
+            }),
+            &stage_wall_times(),
+        )
     );
     if !progress.is_empty() {
         println!();
@@ -1703,10 +1844,34 @@ fn render_campaign_progress(progress: &[mbcr_engine::CampaignProgress]) -> Strin
     out
 }
 
+/// Per-stage-kind wall time from the live telemetry registry: the summed
+/// `mbcr_stage_execute_seconds{name=<kind>}` observations in nanoseconds.
+/// Empty when tracing is off or nothing executed in this process — the
+/// table's wall column renders `-` for kinds with no data.
+fn stage_wall_times() -> Vec<(String, u64)> {
+    let mut walls = Vec::new();
+    for ((name, labels), metric) in &mbcr_obs::global().snapshot() {
+        if name != "mbcr_stage_execute_seconds" {
+            continue;
+        }
+        if let mbcr_obs::MetricSnapshot::Histogram(h) = metric {
+            if let Some((_, kind)) = labels.iter().find(|(key, _)| key == "name") {
+                walls.push((kind.clone(), h.sum()));
+            }
+        }
+    }
+    walls
+}
+
 /// Per-stage status: how many nodes of each stage kind executed (and, of
 /// those, resumed from an intra-campaign checkpoint), came from cache, or
-/// failed — the sweep's resume state at a glance.
-fn render_stage_status<'a>(rows: impl Iterator<Item = (&'a str, &'a str, u64)>) -> String {
+/// failed — the sweep's resume state at a glance. `walls` (stage kind →
+/// summed execute time in nanoseconds, from [`stage_wall_times`]) fills
+/// the wall column; kinds it does not cover render `-`.
+fn render_stage_status<'a>(
+    rows: impl Iterator<Item = (&'a str, &'a str, u64)>,
+    walls: &[(String, u64)],
+) -> String {
     // Kind name → [executed, resumed, cached, failed], in first-seen order.
     let mut kinds: Vec<(String, [u64; 4])> = Vec::new();
     for (label, status, resumed_runs) in rows {
@@ -1736,13 +1901,35 @@ fn render_stage_status<'a>(rows: impl Iterator<Item = (&'a str, &'a str, u64)>) 
         .max()
         .unwrap_or(5)
         .max("stage".len());
-    let mut out = format!("{:<width$}  executed  resumed  cached  failed\n", "stage");
+    let mut out = format!(
+        "{:<width$}  executed  resumed  cached  failed  wall\n",
+        "stage"
+    );
     for (kind, [executed, resumed, cached, failed]) in &kinds {
+        let wall = walls
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map_or_else(|| "-".to_string(), |&(_, ns)| fmt_dur_ns(ns));
         out.push_str(&format!(
-            "{kind:<width$}  {executed:>8}  {resumed:>7}  {cached:>6}  {failed:>6}\n"
+            "{kind:<width$}  {executed:>8}  {resumed:>7}  {cached:>6}  {failed:>6}  {wall:>8}\n"
         ));
     }
     out
+}
+
+/// Renders a nanosecond duration human-readably (`412ns`, `3.2us`,
+/// `18ms`, `2.41s`).
+fn fmt_dur_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
 }
 
 /// `mbcr loadgen`: the service-plane load-storm bench. Spawns a daemon
@@ -1833,6 +2020,10 @@ fn loadgen_run(
         let _ = io::copy(&mut lines, &mut io::sink());
     });
 
+    // Request latencies go through mbcr-obs histograms so the report can
+    // quote real quantiles instead of min/median/max over a tiny sample.
+    let http_hist = mbcr_obs::Histogram::new();
+
     // The storm: overlapping sweeps alternating between two benchmarks.
     // Seed 11 is shared by every sweep on the same benchmark — that is
     // the cross-sweep dedup overlap — while the second seed is unique
@@ -1851,8 +2042,10 @@ fn loadgen_run(
             ("checkpoint_interval".to_string(), Json::UInt(200)),
             ("priority".to_string(), Json::UInt((i % 3 + 1) as u64)),
         ]);
+        let posted = Instant::now();
         let response = mbcr_gateway::request(&addr, "POST", "/v1/sweeps", Some(&body))
             .map_err(|e| fail(format!("POST /v1/sweeps: {e}")))?;
+        http_hist.record(dur_ns(posted.elapsed()));
         if response.status != 201 {
             return Err(fail(format!(
                 "POST /v1/sweeps: HTTP {}: {}",
@@ -1886,19 +2079,40 @@ fn loadgen_run(
                     scope.spawn(move || follow_first_event(&addr, &id))
                 })
                 .collect();
-            poll_until_terminal(&addr, &ids)?;
+            poll_until_terminal(&addr, &ids, &http_hist)?;
             Ok(handles
                 .into_iter()
                 .map(|h| h.join().expect("follower panicked"))
                 .collect())
         })?;
 
+    let ttfe_hist = mbcr_obs::Histogram::new();
+    for result in follower_results.iter().flatten() {
+        if let (Some(first), _) = result {
+            ttfe_hist.record(dur_ns(*first));
+        }
+    }
+
     let metrics = mbcr_gateway::request(&addr, "GET", "/v1/metrics", None)
         .map_err(|e| fail(format!("GET /v1/metrics: {e}")))?
         .json()
         .ok_or_else(|| fail("non-JSON body from /v1/metrics".into()))?;
-    print!("{}", loadgen_report(&metrics, &ids, &follower_results));
+    print!(
+        "{}",
+        loadgen_report(
+            &metrics,
+            &ids,
+            &follower_results,
+            &http_hist.snapshot(),
+            &ttfe_hist.snapshot(),
+        )
+    );
     Ok(ExitCode::SUCCESS)
+}
+
+/// A `Duration` as the nanosecond unit mbcr-obs histograms record.
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// One SSE follower of the load storm: time from connect to the first
@@ -1921,12 +2135,18 @@ fn follow_first_event(addr: &str, id: &str) -> io::Result<(Option<Duration>, u64
 }
 
 /// Polls `GET /v1/sweeps` until every id in `ids` reports a terminal
-/// state (or ten minutes pass).
-fn poll_until_terminal(addr: &str, ids: &[String]) -> Result<(), EngineError> {
+/// state (or ten minutes pass), recording each request's latency.
+fn poll_until_terminal(
+    addr: &str,
+    ids: &[String],
+    http_hist: &mbcr_obs::Histogram,
+) -> Result<(), EngineError> {
     let deadline = Instant::now() + Duration::from_secs(600);
     loop {
+        let sent = Instant::now();
         let response = mbcr_gateway::request(addr, "GET", "/v1/sweeps", None)
             .map_err(|e| EngineError::Analysis(format!("GET /v1/sweeps: {e}")))?;
+        http_hist.record(dur_ns(sent.elapsed()));
         let rows: Vec<_> = response
             .json()
             .as_ref()
@@ -1949,12 +2169,14 @@ fn poll_until_terminal(addr: &str, ids: &[String]) -> Result<(), EngineError> {
     }
 }
 
-/// Renders the loadgen report from the daemon's `/v1/metrics` document
-/// and the followers' measurements.
+/// Renders the loadgen report from the daemon's `/v1/metrics` document,
+/// the followers' measurements, and the bench's latency histograms.
 fn loadgen_report(
     metrics: &Json,
     ids: &[String],
     followers: &[io::Result<(Option<Duration>, u64)>],
+    http: &mbcr_obs::HistogramSnapshot,
+    ttfe: &mbcr_obs::HistogramSnapshot,
 ) -> String {
     let empty: [Json; 0] = [];
     let rows: &[Json] = metrics
@@ -1985,11 +2207,6 @@ fn loadgen_report(
             .unwrap_or(0)
     };
 
-    let mut firsts: Vec<Duration> = followers
-        .iter()
-        .filter_map(|r| r.as_ref().ok().and_then(|(first, _)| *first))
-        .collect();
-    firsts.sort_unstable();
     let events: u64 = followers
         .iter()
         .filter_map(|r| r.as_ref().ok().map(|(_, n)| *n))
@@ -2001,12 +2218,27 @@ fn loadgen_report(
         "  followers: {} streams, {events} events delivered, {errors} stream errors\n",
         followers.len(),
     ));
-    match (firsts.first(), firsts.get(firsts.len() / 2), firsts.last()) {
-        (Some(min), Some(median), Some(max)) => out.push_str(&format!(
-            "  time-to-first-event: min {min:?} / median {median:?} / max {max:?}\n"
-        )),
-        _ => out.push_str("  time-to-first-event: no progress events observed\n"),
+    // Quantiles are log-bucket upper bounds from mbcr-obs — coarse by
+    // design, stable across sample counts.
+    if ttfe.count() == 0 {
+        out.push_str("  time-to-first-event: no progress events observed\n");
+    } else {
+        out.push_str(&format!(
+            "  time-to-first-event: p50 {} / p95 {} / p99 {} over {} follower(s), max {}\n",
+            fmt_dur_ns(ttfe.quantile(0.5)),
+            fmt_dur_ns(ttfe.quantile(0.95)),
+            fmt_dur_ns(ttfe.quantile(0.99)),
+            ttfe.count(),
+            fmt_dur_ns(ttfe.max()),
+        ));
     }
+    out.push_str(&format!(
+        "  http requests: {} sent, latency p50 {} / p95 {} / p99 {}\n",
+        http.count(),
+        fmt_dur_ns(http.quantile(0.5)),
+        fmt_dur_ns(http.quantile(0.95)),
+        fmt_dur_ns(http.quantile(0.99)),
+    ));
     let pct = if total == 0 {
         0.0
     } else {

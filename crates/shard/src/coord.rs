@@ -436,6 +436,7 @@ impl<'a> Service<'a> {
         state.leases.remove(worker);
         let requeued = state.sweeps.requeue_worker(worker);
         if !requeued.is_empty() {
+            mbcr_obs::count("mbcr_lease_requeues_total", &[], requeued.len() as u64);
             eprintln!(
                 "coordinator: worker {worker} {how} with {} leased job(s); requeued",
                 requeued.len()
@@ -449,6 +450,7 @@ impl<'a> Service<'a> {
         let mut state = self.lock();
         for worker in state.leases.expired(now) {
             let requeued = state.sweeps.requeue_worker(worker);
+            mbcr_obs::count("mbcr_lease_requeues_total", &[], requeued.len() as u64);
             eprintln!(
                 "coordinator: worker {worker} lease expired with {} job(s); requeued",
                 requeued.len()
@@ -958,7 +960,7 @@ fn handle_connection(service: &Service<'_>, mut stream: TcpStream, peer: u64) {
                         samples,
                     } => service.chunk(digest, start, total, &samples),
                     Message::ResetLog { digest } => service.reset_log(digest),
-                    Message::Heartbeat => {}
+                    Message::Heartbeat => mbcr_obs::count("mbcr_heartbeats_total", &[], 1),
                     Message::Done(result) => {
                         if !service.complete_remote(*result, peer) {
                             break;

@@ -12,8 +12,9 @@
 //!
 //! | Method + path               | Action                                 |
 //! |-----------------------------|----------------------------------------|
-//! | `GET /v1/healthz`           | liveness + wire schema                 |
+//! | `GET /v1/healthz`           | liveness: uptime, schemas, worker count|
 //! | `GET /v1/metrics`           | queue depth, fairness, dedup, affinity |
+//! | `GET /v1/metrics?format=prometheus` | text exposition of `mbcr-obs`  |
 //! | `GET /v1/sweeps`            | status of every sweep                  |
 //! | `POST /v1/sweeps`           | submit (durable before `201`)          |
 //! | `GET /v1/sweeps/{id}`       | one sweep's full snapshot              |
@@ -28,7 +29,9 @@ use std::time::Duration;
 use mbcr::prelude::{CacheGeometry, Inputs};
 use mbcr::stage::{cache_class, path_coverage, rollup_to_json, StageStore};
 use mbcr_engine::{SubmitOptions, SweepMetrics};
-use mbcr_gateway::{read_request, respond_error, respond_json, sse_event, sse_headers, Request};
+use mbcr_gateway::{
+    read_request, respond_error, respond_json, respond_text, sse_event, sse_headers, Request,
+};
 use mbcr_json::Json;
 
 use super::Service;
@@ -58,17 +61,19 @@ pub(super) fn handle(service: &Service<'_>, mut stream: TcpStream) {
 }
 
 fn route(service: &Service<'_>, stream: &mut TcpStream, request: &Request) -> io::Result<()> {
-    let (method, path) = (request.method.as_str(), request.path.as_str());
+    let method = request.method.as_str();
+    // `Request.path` keeps any query suffix verbatim; only `/v1/metrics`
+    // interprets one (`?format=`), every other route ignores it.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.path.as_str(), None),
+    };
+    // Per-route request latency: the span name is the route *pattern*
+    // (never the raw path — sweep ids would explode the cardinality).
+    let _span = mbcr_obs::span(mbcr_obs::SpanKind::HttpRequest, route_pattern(method, path));
     match (method, path) {
-        ("GET", "/v1/healthz") => respond_json(
-            stream,
-            200,
-            &Json::Obj(vec![
-                ("ok".to_string(), Json::Bool(true)),
-                ("schema".to_string(), protocol::wire_schema().into()),
-            ]),
-        ),
-        ("GET", "/v1/metrics") => respond_json(stream, 200, &metrics_doc(service)),
+        ("GET", "/v1/healthz") => respond_json(stream, 200, &healthz_doc(service)),
+        ("GET", "/v1/metrics") => metrics(service, stream, query),
         ("GET", "/v1/sweeps") => {
             let statuses = { service.lock().sweeps.statuses() };
             let rows = statuses.iter().map(protocol::status_json).collect();
@@ -103,6 +108,112 @@ fn route(service: &Service<'_>, stream: &mut TcpStream, request: &Request) -> io
             }
         }
     }
+}
+
+/// The low-cardinality route pattern a request matched, for metric
+/// labels: sweep ids collapse to `{id}`, unmatched paths to `{other}`.
+fn route_pattern(method: &str, path: &str) -> String {
+    let pattern = match path {
+        "/v1/healthz" | "/v1/metrics" | "/v1/sweeps" => path,
+        _ => match path.strip_prefix("/v1/sweeps/") {
+            Some(rest) if rest.ends_with("/events") => "/v1/sweeps/{id}/events",
+            Some(_) => "/v1/sweeps/{id}",
+            None => "{other}",
+        },
+    };
+    format!("{method} {pattern}")
+}
+
+/// `GET /v1/healthz`: liveness plus enough identity to triage a fleet —
+/// uptime, the wire/engine schemas this daemon speaks, and how many
+/// workers are currently connected.
+fn healthz_doc(service: &Service<'_>) -> Json {
+    let workers = { service.lock().leases.live() };
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        (
+            "uptime_seconds".to_string(),
+            Json::UInt(mbcr_obs::uptime_seconds()),
+        ),
+        ("schema".to_string(), protocol::wire_schema().into()),
+        ("engine_schema".to_string(), mbcr_engine::SCHEMA.into()),
+        ("workers".to_string(), Json::UInt(workers as u64)),
+    ])
+}
+
+/// `GET /v1/metrics[?format=json|prometheus]`: the JSON gauge document by
+/// default, or the Prometheus text exposition of the `mbcr-obs` registry
+/// plus the service gauges. Unknown formats are a `400` listing the
+/// valid ones (mirroring the CLI's unknown-`--format` convention).
+fn metrics(service: &Service<'_>, stream: &mut TcpStream, query: Option<&str>) -> io::Result<()> {
+    let format = query
+        .unwrap_or("")
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("format="))
+        .unwrap_or("json");
+    match format {
+        "json" => respond_json(stream, 200, &metrics_doc(service)),
+        "prometheus" => respond_text(stream, 200, &prometheus_page(service)),
+        other => respond_error(
+            stream,
+            400,
+            &format!("unknown format '{other}' (valid: json, prometheus)"),
+        ),
+    }
+}
+
+/// The Prometheus exposition: every `mbcr-obs` histogram and counter,
+/// followed by the service's point-in-time gauges.
+fn prometheus_page(service: &Service<'_>) -> String {
+    let (metrics, connected) = {
+        let state = service.lock();
+        (state.sweeps.metrics(), state.leases.live())
+    };
+    let mut out = mbcr_obs::global().prometheus();
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    };
+    gauge(
+        "mbcr_ready_jobs",
+        "jobs ready to claim",
+        metrics.ready as u64,
+    );
+    gauge(
+        "mbcr_leased_jobs",
+        "jobs leased to workers",
+        metrics.leased as u64,
+    );
+    gauge(
+        "mbcr_active_sweeps",
+        "sweeps not yet terminal",
+        metrics.active as u64,
+    );
+    gauge(
+        "mbcr_dedup_parked_jobs",
+        "jobs parked behind an equivalent digest",
+        metrics.dedup_parked,
+    );
+    gauge(
+        "mbcr_workers_connected",
+        "worker connections currently live",
+        connected as u64,
+    );
+    gauge(
+        "mbcr_affinity_shipped_bytes",
+        "artifact bytes shipped to workers",
+        service.shipped_bytes.load(Ordering::Relaxed),
+    );
+    gauge(
+        "mbcr_affinity_elided_bytes",
+        "artifact bytes elided by placement affinity",
+        service.elided_bytes.load(Ordering::Relaxed),
+    );
+    gauge("mbcr_uptime_seconds", "seconds since process start", {
+        mbcr_obs::uptime_seconds()
+    });
+    out
 }
 
 /// `POST /v1/sweeps`: body `{"spec": …, "force"?, "checkpoint_interval"?,
@@ -186,13 +297,22 @@ fn follow_sse(service: &Service<'_>, stream: &mut TcpStream, id: &str) -> io::Re
         Err(reason) => return respond_error(stream, 404, &reason),
     };
     sse_headers(stream)?;
-    service.follow_stream(&targets, &mut |snapshot| {
+    let streamed = service.follow_stream(&targets, &mut |snapshot| {
+        // The span measures render + write — i.e. how far this follower
+        // lags behind the sweep's progress feed.
+        let _span = mbcr_obs::span(mbcr_obs::SpanKind::SseEmit, "progress");
         sse_event(
             stream,
             "progress",
             &protocol::snapshot_json(&snapshot).to_compact(),
         )
-    })?;
+    });
+    if streamed.is_err() {
+        // The follower hung up (or stalled past the write timeout)
+        // mid-stream.
+        mbcr_obs::count("mbcr_sse_disconnects_total", &[], 1);
+    }
+    streamed?;
     sse_event(stream, "end", "{}")
 }
 

@@ -54,6 +54,7 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// I/O failures of the underlying stream, or a message beyond
 /// [`MAX_FRAME`].
 pub fn write_frame(to: &mut impl Write, message: &Json) -> io::Result<()> {
+    let span = mbcr_obs::span(mbcr_obs::SpanKind::WireFrame, "send");
     let payload = message.to_compact();
     let payload = payload.as_bytes();
     if payload.len() > MAX_FRAME {
@@ -62,6 +63,13 @@ pub fn write_frame(to: &mut impl Write, message: &Json) -> io::Result<()> {
             format!("frame payload of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
+    let _span = span.field("bytes", payload.len().to_string());
+    mbcr_obs::count("mbcr_wire_frames_sent_total", &[], 1);
+    mbcr_obs::observe(
+        "mbcr_wire_frame_sent_bytes",
+        &[],
+        (FRAME_HEADER + payload.len()) as u64,
+    );
     let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
     frame.extend_from_slice(FRAME_MAGIC);
     frame.extend_from_slice(&u32::try_from(payload.len()).expect("checked").to_le_bytes());
@@ -164,6 +172,16 @@ fn read_frame_raw(from: &mut impl Read) -> io::Result<RawFrame> {
         return Err(bad_frame(&format!("frame length {len} exceeds MAX_FRAME")));
     }
     let want = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    // The span starts once the header is in hand, so it measures payload
+    // transfer + verify + decode — not time spent blocked between frames.
+    let _span =
+        mbcr_obs::span(mbcr_obs::SpanKind::WireFrame, "receive").field("bytes", len.to_string());
+    mbcr_obs::count("mbcr_wire_frames_received_total", &[], 1);
+    mbcr_obs::observe(
+        "mbcr_wire_frame_received_bytes",
+        &[],
+        (FRAME_HEADER + len) as u64,
+    );
     let mut payload = vec![0u8; len];
     match fill(from, &mut payload, &mut frame_started, &mut stalls)? {
         Fill::Done => {}

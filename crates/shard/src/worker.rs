@@ -142,9 +142,11 @@ pub fn run_worker(addr: &str, slots: usize) -> io::Result<WorkerOutcome> {
     install_drain_handler();
     let slots = slots.max(1);
     if slots == 1 {
-        return worker_slot(addr);
+        let outcome = worker_slot(addr);
+        dump_recorder_on_drain();
+        return outcome;
     }
-    std::thread::scope(|scope| {
+    let outcome = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..slots)
             .map(|_| scope.spawn(|| worker_slot(addr)))
             .collect();
@@ -163,7 +165,20 @@ pub fn run_worker(addr: &str, slots: usize) -> io::Result<WorkerOutcome> {
             Some(e) => Err(e),
             None => Ok(total),
         }
-    })
+    });
+    dump_recorder_on_drain();
+    outcome
+}
+
+/// Persists the flight recorder after a SIGTERM drain completes, if a
+/// dump path is configured (`MBCR_OBS_DIR`). This runs on the normal
+/// drain exit path — the signal handler itself only flips an atomic.
+fn dump_recorder_on_drain() {
+    if drain_requested() {
+        if let Ok(Some(path)) = mbcr_obs::dump_now() {
+            eprintln!("worker: flight recorder dumped to {}", path.display());
+        }
+    }
 }
 
 fn connect_with_retry(addr: &str) -> io::Result<TcpStream> {
@@ -236,6 +251,7 @@ fn worker_slot(addr: &str) -> io::Result<WorkerOutcome> {
                 if stop.load(Ordering::Acquire) || send(&writer, &Message::Heartbeat).is_err() {
                     break;
                 }
+                mbcr_obs::count("mbcr_heartbeats_sent_total", &[], 1);
             }
         })
     };
@@ -450,6 +466,9 @@ impl StageStore for WireStore<'_> {
         total: usize,
         samples: &[u64],
     ) -> io::Result<()> {
+        let _span = mbcr_obs::span(mbcr_obs::SpanKind::CampaignChunk, "wire-append")
+            .field("digest", format!("{digest:016x}"))
+            .field("runs", samples.len().to_string());
         self.local.append_samples(digest, start, total, samples)?;
         // Forward the identical append; the coordinator's log applies the
         // same idempotent-overlap rules, so replays and adopted prefixes

@@ -1,0 +1,135 @@
+//! The cardinal telemetry constraint: tracing is a pure side channel.
+//! A sweep run with span capture, histograms and the flight recorder all
+//! live must produce an artifact store byte-identical to an untraced run
+//! of the same spec — manifest, table2.csv, every job/stage artifact,
+//! every sample log. Recorder output must land outside the store.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mbcr_engine::{
+    run_sweep, AnalysisKind, ArtifactStore, GeometrySpec, InputSelection, Registry, RunOptions,
+    SweepSpec,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbcr-obs-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small but exercises every span source: a multipath benchmark (combine
+/// node), a pub_tac campaign (campaign-chunk spans from sample appends),
+/// multiple threads (scheduler-claim spans from the pool).
+fn spec() -> SweepSpec {
+    SweepSpec::new("obs-it")
+        .benchmarks(["bs"])
+        .inputs(InputSelection::Named(vec!["v1".into(), "v3".into()]))
+        .geometries([GeometrySpec::paper_l1()])
+        .seeds([11])
+        .analyses([AnalysisKind::PubTac, AnalysisKind::Multipath])
+}
+
+/// Every file under `root`, keyed by its path relative to `root`.
+fn collect_files(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, files: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).expect("read_dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                walk(root, &path, files);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                files.insert(rel, fs::read(&path).expect("read file"));
+            }
+        }
+    }
+    let mut files = BTreeMap::new();
+    walk(root, root, &mut files);
+    files
+}
+
+#[test]
+fn traced_sweep_is_byte_identical_to_untraced() {
+    let registry = Registry::malardalen();
+    let spec = spec();
+    let opts = RunOptions {
+        threads: 4,
+        ..RunOptions::default()
+    };
+
+    // Untraced baseline.
+    mbcr_obs::set_enabled(false);
+    let dir_plain = tmp_dir("plain");
+    let store = ArtifactStore::open(&dir_plain).expect("open plain store");
+    let plain = run_sweep(&spec, &registry, &store, &opts).expect("untraced sweep");
+    assert_eq!(plain.failed, 0);
+
+    // Same spec with the full telemetry stack live: collection on, trace
+    // capture running, recorder armed to dump outside the store.
+    let recorder_dir = tmp_dir("recorder");
+    mbcr_obs::set_dump_path(recorder_dir.join("flight-recorder.json"));
+    mbcr_obs::set_enabled(true);
+    mbcr_obs::start_capture();
+    let dir_traced = tmp_dir("traced");
+    let store = ArtifactStore::open(&dir_traced).expect("open traced store");
+    let traced = run_sweep(&spec, &registry, &store, &opts).expect("traced sweep");
+    let (events, dropped) = mbcr_obs::finish_capture();
+    let dump = mbcr_obs::dump_now().expect("recorder dump");
+    mbcr_obs::set_enabled(false);
+    assert_eq!(traced.failed, 0);
+    assert_eq!(traced.executed, plain.executed);
+
+    // The stores are byte-identical, file for file.
+    let plain_files = collect_files(&dir_plain);
+    let traced_files = collect_files(&dir_traced);
+    let plain_names: Vec<&String> = plain_files.keys().collect();
+    let traced_names: Vec<&String> = traced_files.keys().collect();
+    assert_eq!(plain_names, traced_names, "store file sets differ");
+    for (name, bytes) in &plain_files {
+        assert_eq!(
+            bytes, &traced_files[name],
+            "'{name}' differs between the traced and untraced store"
+        );
+    }
+
+    // The capture actually saw the sweep: at least one span per executed
+    // stage, claims from the pool, and campaign chunks from the appends.
+    assert_eq!(dropped, 0, "trace sink overflowed on a tiny sweep");
+    let count = |kind: mbcr_obs::SpanKind| events.iter().filter(|e| e.kind == kind).count();
+    assert!(
+        count(mbcr_obs::SpanKind::StageExecute) >= traced.executed,
+        "expected a stage-execute span per executed job"
+    );
+    assert!(count(mbcr_obs::SpanKind::SchedulerClaim) > 0);
+    assert!(count(mbcr_obs::SpanKind::CampaignChunk) > 0);
+
+    // The Chrome export is one complete event per span.
+    let chrome = mbcr_obs::chrome_trace(&events);
+    let rendered = chrome.to_compact();
+    let parsed = mbcr_json::parse(&rendered).expect("chrome trace parses");
+    let rows = parsed
+        .get("traceEvents")
+        .and_then(mbcr_json::Json::as_array)
+        .expect("traceEvents array");
+    assert_eq!(rows.len(), events.len());
+
+    // The recorder dumped outside both stores, and its dump parses.
+    let dump = dump.expect("a dump path was set");
+    assert!(dump.starts_with(&recorder_dir));
+    assert!(!dump.starts_with(&dir_plain) && !dump.starts_with(&dir_traced));
+    let doc = mbcr_json::parse(&fs::read_to_string(&dump).expect("read dump"))
+        .expect("recorder dump parses");
+    assert_eq!(
+        doc.get("schema").and_then(mbcr_json::Json::as_str),
+        Some("mbcr-obs/1")
+    );
+
+    for dir in [dir_plain, dir_traced, recorder_dir] {
+        let _ = fs::remove_dir_all(dir);
+    }
+}
