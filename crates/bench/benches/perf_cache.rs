@@ -3,10 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use mbcr_cache::{Cache, CacheGeometry, PlacementPolicy, ReplacementPolicy};
-use mbcr_cpu::{campaign, PlatformConfig};
+use mbcr_cpu::{campaign, campaign_slice_with, Parallelism, PlatformConfig, DEFAULT_BATCH_WIDTH};
 use mbcr_ir::execute;
+use mbcr_json::Json;
 use mbcr_trace::{LineId, SymSeq};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn line_stream(n: usize) -> Vec<LineId> {
     // A mix of reuse and streaming, 64 distinct lines.
@@ -59,10 +61,84 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs batched campaign throughput on a `table2_runs`-shaped
+/// workload (bs trace, paper-default geometry), written to
+/// `BENCH_campaign.json` at the workspace root.
+///
+/// Timing is best-of-`reps` wall clock over the full slice, not
+/// criterion samples, so the JSON record carries runs/sec directly.
+/// Under `MBCR_PERF_SMOKE=1` the campaign shrinks to a CI-sized run
+/// count and the process exits non-zero if the batched path is slower
+/// than the serial one — the perf regression gate.
+fn bench_campaign_batched(_c: &mut Criterion) {
+    let smoke = std::env::var("MBCR_PERF_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let runs = if smoke { 300 } else { 2_000 };
+    let reps = 3;
+    let width = DEFAULT_BATCH_WIDTH;
+    let bench = mbcr_malardalen::bs::benchmark();
+    let trace = execute(&bench.program, &bench.default_input)
+        .expect("run bs")
+        .trace;
+    let cfg = PlatformConfig::paper_default();
+    let serial = Parallelism::with_threads(1).batch_width(1);
+    let batched = Parallelism::with_threads(1).batch_width(width);
+
+    // Warm-up doubles as the bit-identity check the batched path promises.
+    let a = campaign_slice_with(&cfg, &trace, 0, runs, 7, &serial);
+    let b = campaign_slice_with(&cfg, &trace, 0, runs, 7, &batched);
+    assert_eq!(a, b, "batched campaign must be bit-identical to serial");
+
+    let best_of = |par: &Parallelism| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(campaign_slice_with(&cfg, &trace, 0, runs, 7, par));
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let serial_s = best_of(&serial);
+    let batched_s = best_of(&batched);
+    let serial_rps = runs as f64 / serial_s;
+    let batched_rps = runs as f64 / batched_s;
+    let speedup = serial_s / batched_s;
+    println!(
+        "campaign_batched/bs_{runs}_runs             serial {serial_rps:.0} runs/s, \
+         batched(W={width}) {batched_rps:.0} runs/s, speedup {speedup:.2}x"
+    );
+
+    let record = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("bs".into())),
+        ("geometry".into(), Json::Str("paper_l1".into())),
+        ("trace_ops".into(), Json::UInt(trace.len() as u64)),
+        ("runs".into(), Json::UInt(runs as u64)),
+        ("batch_width".into(), Json::UInt(width as u64)),
+        ("reps".into(), Json::UInt(reps as u64)),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("serial_runs_per_sec".into(), Json::Num(serial_rps)),
+        ("batched_runs_per_sec".into(), Json::Num(batched_rps)),
+        ("speedup".into(), Json::Num(speedup)),
+    ]);
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_campaign.json");
+    std::fs::write(&path, record.to_pretty() + "\n").expect("write BENCH_campaign.json");
+    println!("wrote {}", path.display());
+
+    if smoke && speedup < 1.0 {
+        eprintln!(
+            "perf-smoke FAILED: batched campaign ({batched_rps:.0} runs/s) slower than \
+             serial ({serial_rps:.0} runs/s)"
+        );
+        std::process::exit(1);
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache_access, bench_campaign
+    targets = bench_cache_access, bench_campaign, bench_campaign_batched
 }
 criterion_main!(benches);
 

@@ -1,0 +1,430 @@
+//! Struct-of-arrays simulation of many independent cache layouts at once.
+//!
+//! A measurement campaign replays one trace under `R` random layouts. Run
+//! as `R` independent [`Cache`](crate::Cache) simulations the trace is
+//! re-walked `R` times; [`BatchCache`] instead holds `W` layouts side by
+//! side — `W` placement seeds, `W` replacement RNG streams, one contiguous
+//! `tags[layout * lines + set * ways + way]` allocation — and advances all
+//! of them per trace access, so the trace (and its memory traffic) is paid
+//! once per `W` runs.
+//!
+//! Each layout's observable behaviour is *bit-identical* to a standalone
+//! `Cache` seeded the same way: layouts share no state, each draws from its
+//! own RNG stream only when a standalone cache would (conflict miss with no
+//! empty way under random replacement), and each keeps its own LRU/FIFO
+//! clock. The equivalence is enforced by the tests below and by the
+//! property suite in `mbcr-cpu`.
+
+use mbcr_rng::{derive_seed, mix64, Rng64, Xoshiro256PlusPlus};
+use mbcr_trace::LineId;
+
+use crate::{CacheGeometry, CacheStats, PlacementPolicy, ReplacementPolicy};
+
+const INVALID: u64 = u64::MAX;
+
+/// `W` independent cache layouts advanced in lockstep over one line stream.
+///
+/// # Examples
+///
+/// ```
+/// use mbcr_cache::{BatchCache, Cache, CacheGeometry, PlacementPolicy, ReplacementPolicy};
+/// use mbcr_trace::LineId;
+///
+/// let g = CacheGeometry::paper_l1();
+/// let (p, r) = (PlacementPolicy::RandomHash, ReplacementPolicy::Random);
+/// let seeds = [11, 22, 33];
+/// let mut batch = BatchCache::new(g, p, r, &seeds);
+/// let mut solo: Vec<Cache> = seeds.iter().map(|&s| Cache::new(g, p, r, s)).collect();
+/// let mut cycles = vec![0u64; 3];
+/// for line in (0..100).map(LineId) {
+///     batch.access_line_accum(line, 1, 100, &mut cycles);
+///     for c in &mut solo {
+///         c.access_line(line);
+///     }
+/// }
+/// for (l, c) in solo.iter().enumerate() {
+///     assert_eq!(batch.stats(l), c.stats());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchCache {
+    geometry: CacheGeometry,
+    placement: PlacementPolicy,
+    replacement: ReplacementPolicy,
+    width: usize,
+    /// Entries per layout (`sets * ways`).
+    lines: usize,
+    placement_seeds: Vec<u64>,
+    rngs: Vec<Xoshiro256PlusPlus>,
+    /// Tag store, layout-major: `tags[layout * lines + set * ways + way]`.
+    tags: Vec<u64>,
+    /// Per-way metadata (LRU timestamps / FIFO insertion order), same shape.
+    meta: Vec<u64>,
+    clocks: Vec<u64>,
+    stats: Vec<CacheStats>,
+}
+
+impl BatchCache {
+    /// Creates `seeds.len()` layouts; layout `l` is state-identical to
+    /// `Cache::new(geometry, placement, replacement, seeds[l])`.
+    #[must_use]
+    pub fn new(
+        geometry: CacheGeometry,
+        placement: PlacementPolicy,
+        replacement: ReplacementPolicy,
+        seeds: &[u64],
+    ) -> Self {
+        let mut batch = Self {
+            geometry,
+            placement,
+            replacement,
+            width: 0,
+            lines: geometry.lines() as usize,
+            placement_seeds: Vec::new(),
+            rngs: Vec::new(),
+            tags: Vec::new(),
+            meta: Vec::new(),
+            clocks: Vec::new(),
+            stats: Vec::new(),
+        };
+        batch.reseed(seeds);
+        batch
+    }
+
+    /// Re-randomizes the batch for a fresh pass: `seeds.len()` flushed
+    /// layouts, layout `l` state-identical to a standalone cache after
+    /// `reseed(seeds[l])`. Allocations are reused across passes, so a
+    /// campaign driver pays for the state once per peak width.
+    pub fn reseed(&mut self, seeds: &[u64]) {
+        self.width = seeds.len();
+        self.placement_seeds.clear();
+        self.placement_seeds
+            .extend(seeds.iter().map(|&s| derive_seed(s, 0)));
+        self.rngs.clear();
+        self.rngs.extend(
+            seeds
+                .iter()
+                .map(|&s| Xoshiro256PlusPlus::from_seed(derive_seed(s, 1))),
+        );
+        let entries = self.width * self.lines;
+        self.tags.clear();
+        self.tags.resize(entries, INVALID);
+        self.meta.clear();
+        self.meta.resize(entries, 0);
+        self.clocks.clear();
+        self.clocks.resize(self.width, 0);
+        self.stats.clear();
+        self.stats.resize(self.width, CacheStats::default());
+    }
+
+    /// Number of layouts in the batch.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The geometry all layouts share.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Hit/miss counters of layout `layout`.
+    #[must_use]
+    pub fn stats(&self, layout: usize) -> CacheStats {
+        self.stats[layout]
+    }
+
+    /// Accesses `line` in every layout, adding `hit_cost` or `miss_cost`
+    /// cycles into `cycles[layout]` according to each layout's outcome.
+    ///
+    /// Per layout this reproduces `Cache::access_line` exactly: clock tick,
+    /// hit scan (LRU touch on hit), then fill-empty-way or evict per policy
+    /// — random replacement draws from *that layout's* RNG stream only on a
+    /// conflict miss, so the stream consumption matches a standalone run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles.len()` differs from [`width`](Self::width).
+    pub fn access_line_accum(
+        &mut self,
+        line: LineId,
+        hit_cost: u64,
+        miss_cost: u64,
+        cycles: &mut [u64],
+    ) {
+        assert_eq!(cycles.len(), self.width, "one accumulator per layout");
+        if self.replacement == ReplacementPolicy::Random {
+            // Random replacement never reads `meta` or the clock (the victim
+            // comes from the RNG stream), so the hot paper-default path skips
+            // both: less state traffic per layout, identical observable
+            // behaviour (stats, contents, RNG consumption).
+            self.accum_random(line, hit_cost, miss_cost, cycles);
+        } else {
+            self.accum_ordered(line, hit_cost, miss_cost, cycles);
+        }
+    }
+
+    /// [`access_line_accum`](Self::access_line_accum) specialized for
+    /// [`ReplacementPolicy::Random`].
+    fn accum_random(&mut self, line: LineId, hit_cost: u64, miss_cost: u64, cycles: &mut [u64]) {
+        let ways = self.geometry.ways() as usize;
+        if ways == 2 {
+            // The paper's platform is 2-way; the dedicated loop below is
+            // branch-free on the hit path, which is what lets the CPU keep
+            // several independent layouts in flight.
+            self.accum_random_2way(line, hit_cost, miss_cost, cycles);
+            return;
+        }
+        let sets = self.geometry.sets();
+        let placement = self.placement;
+        for (((seed, rng), stats), (cyc, tags)) in self
+            .placement_seeds
+            .iter()
+            .zip(self.rngs.iter_mut())
+            .zip(self.stats.iter_mut())
+            .zip(
+                cycles
+                    .iter_mut()
+                    .zip(self.tags.chunks_exact_mut(self.lines)),
+            )
+        {
+            let base = placement.set_of(line, sets, *seed) * ways;
+            let set_tags = &mut tags[base..base + ways];
+            if set_tags.contains(&line.0) {
+                stats.hits += 1;
+                *cyc += hit_cost;
+                continue;
+            }
+            stats.misses += 1;
+            let victim = match set_tags.iter().position(|&t| t == INVALID) {
+                Some(w) => w,
+                None => rng.below_usize(ways),
+            };
+            set_tags[victim] = line.0;
+            *cyc += miss_cost;
+        }
+    }
+
+    /// [`accum_random`](Self::accum_random) for 2-way sets (the paper's
+    /// geometry): both ways are inspected unconditionally and the victim is
+    /// selected with arithmetic, so the only data-dependent branch left is
+    /// the conflict-miss RNG draw. Observable behaviour is identical to the
+    /// generic loop — on a hit the "fill" rewrites the hit way with the tag
+    /// it already holds.
+    fn accum_random_2way(
+        &mut self,
+        line: LineId,
+        hit_cost: u64,
+        miss_cost: u64,
+        cycles: &mut [u64],
+    ) {
+        let sets = self.geometry.sets();
+        debug_assert!(sets.is_power_of_two());
+        let mask = sets - 1;
+        let placement = self.placement;
+        for (((seed, rng), stats), (cyc, tags)) in self
+            .placement_seeds
+            .iter()
+            .zip(self.rngs.iter_mut())
+            .zip(self.stats.iter_mut())
+            .zip(
+                cycles
+                    .iter_mut()
+                    .zip(self.tags.chunks_exact_mut(self.lines)),
+            )
+        {
+            let set = match placement {
+                PlacementPolicy::Modulo => (line.0 & mask) as usize,
+                PlacementPolicy::RandomHash => (mix64(line.0 ^ seed) & mask) as usize,
+            };
+            let pair = &mut tags[set * 2..set * 2 + 2];
+            let (t0, t1) = (pair[0], pair[1]);
+            let (hit0, hit1) = (t0 == line.0, t1 == line.0);
+            let hit = hit0 | hit1;
+            let (empty0, empty1) = (t0 == INVALID, t1 == INVALID);
+            // Same priority as the scan: hit way, else first empty way,
+            // else a random victim (the only RNG-stream consumption).
+            let victim = if hit {
+                usize::from(!hit0)
+            } else if empty0 | empty1 {
+                usize::from(!empty0)
+            } else {
+                rng.below_usize(2)
+            };
+            pair[victim] = line.0;
+            stats.hits += u64::from(hit);
+            stats.misses += u64::from(!hit);
+            *cyc += if hit { hit_cost } else { miss_cost };
+        }
+    }
+
+    /// [`access_line_accum`](Self::access_line_accum) for the clock-ordered
+    /// policies (LRU/FIFO), which maintain `meta` timestamps.
+    fn accum_ordered(&mut self, line: LineId, hit_cost: u64, miss_cost: u64, cycles: &mut [u64]) {
+        let ways = self.geometry.ways() as usize;
+        let sets = self.geometry.sets();
+        for (l, cyc) in cycles.iter_mut().enumerate() {
+            let set = self.placement.set_of(line, sets, self.placement_seeds[l]);
+            let base = l * self.lines + set * ways;
+            self.clocks[l] += 1;
+            let clock = self.clocks[l];
+
+            // Hit check.
+            let mut hit_way = None;
+            for w in 0..ways {
+                if self.tags[base + w] == line.0 {
+                    hit_way = Some(w);
+                    break;
+                }
+            }
+            if let Some(w) = hit_way {
+                self.stats[l].hits += 1;
+                if self.replacement == ReplacementPolicy::Lru {
+                    self.meta[base + w] = clock;
+                }
+                *cyc += hit_cost;
+                continue;
+            }
+
+            // Miss: fill an empty way if available, otherwise evict.
+            self.stats[l].misses += 1;
+            let victim = match (0..ways).find(|&w| self.tags[base + w] == INVALID) {
+                Some(w) => w,
+                None => match self.replacement {
+                    ReplacementPolicy::Random => self.rngs[l].below_usize(ways),
+                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo => (0..ways)
+                        .min_by_key(|&w| self.meta[base + w])
+                        .expect("ways > 0"),
+                },
+            };
+            self.tags[base + victim] = line.0;
+            self.meta[base + victim] = clock;
+            *cyc += miss_cost;
+        }
+    }
+
+    /// Accesses `line` in every layout, updating state and stats only.
+    pub fn access_line(&mut self, line: LineId) {
+        let mut sink = vec![0u64; self.width];
+        self.access_line_accum(line, 0, 0, &mut sink);
+    }
+
+    /// Returns `true` if `line` is currently cached in layout `layout`.
+    #[must_use]
+    pub fn contains(&self, layout: usize, line: LineId) -> bool {
+        let ways = self.geometry.ways() as usize;
+        let set = self
+            .placement
+            .set_of(line, self.geometry.sets(), self.placement_seeds[layout]);
+        let base = layout * self.lines + set * ways;
+        (0..ways).any(|w| self.tags[base + w] == line.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cache;
+    use mbcr_rng::SplitMix64;
+
+    fn policies() -> Vec<(PlacementPolicy, ReplacementPolicy)> {
+        let placements = [PlacementPolicy::Modulo, PlacementPolicy::RandomHash];
+        let replacements = [
+            ReplacementPolicy::Random,
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+        ];
+        placements
+            .iter()
+            .flat_map(|&p| replacements.iter().map(move |&r| (p, r)))
+            .collect()
+    }
+
+    /// Per-access lockstep equivalence: after every access, every layout's
+    /// stats and membership match a standalone `Cache` fed the same stream.
+    #[test]
+    fn batch_matches_standalone_caches_per_access() {
+        let geometries = [
+            CacheGeometry::new(256, 2, 32).unwrap(), // 4 sets: conflicts; 2-way fast path
+            CacheGeometry::new(512, 4, 32).unwrap(), // 4 sets, 4-way: generic path
+        ];
+        let seeds = [3u64, 1441, 0, u64::MAX];
+        for (g, (p, r)) in geometries
+            .into_iter()
+            .flat_map(|g| policies().into_iter().map(move |pr| (g, pr)))
+        {
+            let mut batch = BatchCache::new(g, p, r, &seeds);
+            let mut solo: Vec<Cache> = seeds.iter().map(|&s| Cache::new(g, p, r, s)).collect();
+            let mut stream = SplitMix64::new(7);
+            let mut cycles = vec![0u64; seeds.len()];
+            for _ in 0..2000 {
+                let line = LineId(stream.next_u64() % 23);
+                batch.access_line_accum(line, 1, 100, &mut cycles);
+                for (l, c) in solo.iter_mut().enumerate() {
+                    c.access_line(line);
+                    assert_eq!(batch.stats(l), c.stats(), "{p:?}/{r:?} layout {l}");
+                    assert_eq!(
+                        batch.contains(l, line),
+                        c.contains(line),
+                        "{p:?}/{r:?} layout {l}"
+                    );
+                }
+            }
+            // The accumulated cycles decompose into per-layout hit/miss sums.
+            for (l, c) in solo.iter().enumerate() {
+                let want = c.stats().hits + 100 * c.stats().misses;
+                assert_eq!(cycles[l], want, "{p:?}/{r:?} layout {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_matches_fresh_construction() {
+        let g = CacheGeometry::paper_l1();
+        let (p, r) = (PlacementPolicy::RandomHash, ReplacementPolicy::Random);
+        let mut recycled = BatchCache::new(g, p, r, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut warm = vec![0u64; 8];
+        for i in 0..500 {
+            recycled.access_line_accum(LineId(i % 90), 1, 100, &mut warm);
+        }
+        recycled.reseed(&[10, 20]); // narrower than the first pass
+        let mut fresh = BatchCache::new(g, p, r, &[10, 20]);
+        let (mut a, mut b) = (vec![0u64; 2], vec![0u64; 2]);
+        for i in 0..500 {
+            recycled.access_line_accum(LineId(i % 90), 1, 100, &mut a);
+            fresh.access_line_accum(LineId(i % 90), 1, 100, &mut b);
+        }
+        assert_eq!(a, b);
+        assert_eq!(recycled.stats(0), fresh.stats(0));
+        assert_eq!(recycled.stats(1), fresh.stats(1));
+    }
+
+    #[test]
+    fn width_zero_batch_is_inert() {
+        let g = CacheGeometry::paper_l1();
+        let mut batch = BatchCache::new(
+            g,
+            PlacementPolicy::RandomHash,
+            ReplacementPolicy::Random,
+            &[],
+        );
+        assert_eq!(batch.width(), 0);
+        batch.access_line(LineId(1));
+        batch.access_line_accum(LineId(2), 1, 100, &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "one accumulator per layout")]
+    fn accumulator_length_mismatch_panics() {
+        let g = CacheGeometry::paper_l1();
+        let mut batch = BatchCache::new(
+            g,
+            PlacementPolicy::RandomHash,
+            ReplacementPolicy::Random,
+            &[1, 2],
+        );
+        let mut short = vec![0u64; 1];
+        batch.access_line_accum(LineId(0), 1, 100, &mut short);
+    }
+}

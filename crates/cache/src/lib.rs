@@ -17,6 +17,8 @@
 //! * [`Cache`] — the simulator; [`Cache::reseed`] flushes and re-randomizes
 //!   between runs, exactly like the paper's per-run cache flush + new memory
 //!   layout.
+//! * [`BatchCache`] — W independent layouts in struct-of-arrays state,
+//!   advanced in lockstep so a campaign walks the trace once per W runs.
 //! * [`single_set`] — the focused one-set simulation TAC uses to estimate the
 //!   miss impact of a conflict group.
 //!
@@ -43,11 +45,13 @@
 //! assert_eq!((misses_orig, misses_pub), (4, 3)); // inserting A *helped* LRU
 //! ```
 
+mod batch;
 mod cache;
 mod geometry;
 mod placement;
 pub mod single_set;
 
+pub use batch::BatchCache;
 pub use cache::{AccessOutcome, Cache, CacheStats};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use placement::PlacementPolicy;

@@ -105,6 +105,11 @@ pub struct AnalysisConfig {
     /// interval, so — like `threads` — it is excluded from
     /// [`AnalysisConfig::digest`].
     pub checkpoint_interval: usize,
+    /// Cache layouts simulated per trace pass in measurement campaigns
+    /// (`mbcr_cpu::Parallelism::batch_width`). Samples are bit-identical at
+    /// every width, so — like `threads` — this is a pure throughput knob,
+    /// excluded from [`AnalysisConfig::digest`].
+    pub batch_width: usize,
 }
 
 impl AnalysisConfig {
@@ -160,6 +165,7 @@ impl Default for AnalysisConfigBuilder {
                 max_campaign_runs: 200_000,
                 threads: default_threads(),
                 checkpoint_interval: 10_000,
+                batch_width: mbcr_cpu::DEFAULT_BATCH_WIDTH,
             },
         }
     }
@@ -243,6 +249,14 @@ impl AnalysisConfigBuilder {
         self
     }
 
+    /// Sets the campaign layouts-per-pass width (clamped to at least 1).
+    /// Never affects results.
+    #[must_use]
+    pub fn batch_width(mut self, width: usize) -> Self {
+        self.cfg.batch_width = width.max(1);
+        self
+    }
+
     /// Shrinks every campaign for tests and examples: convergence capped at
     /// a few thousand runs, final campaigns at 3 000.
     #[must_use]
@@ -314,6 +328,12 @@ mod tests {
             base.digest(),
             checkpointed.digest(),
             "checkpoint interval is durability-only and must not affect the digest"
+        );
+        let batched = AnalysisConfig::builder().seed(1).batch_width(64).build();
+        assert_eq!(
+            base.digest(),
+            batched.digest(),
+            "batch width is throughput-only and must not affect the digest"
         );
         let reseeded = AnalysisConfig::builder().seed(2).build();
         assert_ne!(base.digest(), reseeded.digest());

@@ -2122,7 +2122,7 @@ impl<'a> AnalysisSession<'a> {
             platform: &cfg.platform,
             campaign_seed: campaign_seed(cfg),
             max_campaign_runs: cfg.max_campaign_runs,
-            parallelism: Parallelism::with_threads(cfg.threads),
+            parallelism: Parallelism::with_threads(cfg.threads).batch_width(cfg.batch_width),
             checkpoint,
         };
         self.ensure_tac(StageKind::TacIl1)?;

@@ -17,7 +17,11 @@
 //!   layout — exactly the MBPTA setting;
 //! * a [`campaign`] collects `R` execution times with per-run seeds derived
 //!   deterministically from one master seed (bit-identical results whether
-//!   run serially or with [`campaign_parallel`]).
+//!   run serially or with [`campaign_parallel`]);
+//! * the campaign drivers resolve the trace to line ids once per campaign
+//!   ([`ResolvedTrace`]) and sweep up to [`Parallelism::batch_width`]
+//!   layouts per trace pass ([`BatchPlatform`]) — pure throughput knobs:
+//!   the sample is bit-identical at every thread count and batch width.
 //!
 //! # Examples
 //!
@@ -37,6 +41,13 @@
 use mbcr_cache::{Cache, CacheGeometry, PlacementPolicy, ReplacementPolicy};
 use mbcr_rng::derive_seed;
 use mbcr_trace::{AccessKind, Trace};
+
+mod batch;
+mod fastpath;
+mod resolved;
+
+pub use batch::BatchPlatform;
+pub use resolved::{ResolvedOp, ResolvedTrace};
 
 /// Access latencies (cycles) of the in-order pipeline.
 ///
@@ -163,6 +174,31 @@ impl Platform {
         }
     }
 
+    /// Builds a platform already flushed and seeded for measurement run
+    /// `run_seed` — state-identical to [`Platform::new`] followed by the
+    /// reseed [`run_randomized`](Platform::run_randomized) performs, without
+    /// deriving (and immediately discarding) a construction-time RNG state.
+    /// Campaign drivers build their platform this way from the first run
+    /// seed and [`reseed`](Platform::reseed) for subsequent runs.
+    #[must_use]
+    pub fn for_run(cfg: &PlatformConfig, run_seed: u64) -> Self {
+        Self {
+            il1: Cache::new(
+                cfg.il1,
+                cfg.placement,
+                cfg.replacement,
+                derive_seed(run_seed, 0),
+            ),
+            dl1: Cache::new(
+                cfg.dl1,
+                cfg.placement,
+                cfg.replacement,
+                derive_seed(run_seed, 1),
+            ),
+            latency: cfg.latency,
+        }
+    }
+
     /// The instruction cache.
     #[must_use]
     pub fn il1(&self) -> &Cache {
@@ -201,13 +237,63 @@ impl Platform {
         cycles
     }
 
+    /// Executes a pre-resolved trace with the *current* cache state (no
+    /// flush) — the hot-loop form of [`run`](Platform::run), with every
+    /// `Address → LineId` division already paid by
+    /// [`ResolvedTrace::resolve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rt` was resolved for different cache line sizes.
+    pub fn run_resolved(&mut self, rt: &ResolvedTrace) -> u64 {
+        assert!(
+            rt.matches(
+                self.il1.geometry().line_size(),
+                self.dl1.geometry().line_size()
+            ),
+            "trace resolved for a different geometry"
+        );
+        let mut cycles = 0u64;
+        for op in rt.ops() {
+            if op.instr {
+                cycles += self.latency.issue_cycles;
+                cycles += if self.il1.access_line(op.line).is_hit() {
+                    self.latency.il1_hit
+                } else {
+                    self.latency.il1_miss
+                };
+            } else {
+                cycles += if self.dl1.access_line(op.line).is_hit() {
+                    self.latency.dl1_hit
+                } else {
+                    self.latency.dl1_miss
+                };
+            }
+        }
+        cycles
+    }
+
+    /// Flushes both caches and re-randomizes their placement/replacement
+    /// streams for measurement run `run_seed` (IL1 and DL1 receive
+    /// independent derived streams).
+    pub fn reseed(&mut self, run_seed: u64) {
+        self.il1.reseed(derive_seed(run_seed, 0));
+        self.dl1.reseed(derive_seed(run_seed, 1));
+    }
+
     /// One *measurement run* in the paper's sense: flush both caches,
     /// re-randomize their placement with streams derived from `run_seed`,
     /// then execute the trace and return its execution time in cycles.
     pub fn run_randomized(&mut self, trace: &Trace, run_seed: u64) -> u64 {
-        self.il1.reseed(derive_seed(run_seed, 0));
-        self.dl1.reseed(derive_seed(run_seed, 1));
+        self.reseed(run_seed);
         self.run(trace)
+    }
+
+    /// [`run_randomized`](Platform::run_randomized) over a pre-resolved
+    /// trace.
+    pub fn run_randomized_resolved(&mut self, rt: &ResolvedTrace, run_seed: u64) -> u64 {
+        self.reseed(run_seed);
+        self.run_resolved(rt)
     }
 }
 
@@ -219,10 +305,7 @@ impl Platform {
 /// requires of its input measurements.
 #[must_use]
 pub fn campaign(cfg: &PlatformConfig, trace: &Trace, runs: usize, master_seed: u64) -> Vec<u64> {
-    let mut platform = Platform::new(cfg, master_seed);
-    (0..runs)
-        .map(|i| platform.run_randomized(trace, derive_seed(master_seed, i as u64)))
-        .collect()
+    campaign_slice(cfg, trace, 0, runs, master_seed)
 }
 
 /// Collects the execution times of runs `start .. start + runs` of the seed
@@ -238,10 +321,84 @@ pub fn campaign_slice(
     runs: usize,
     master_seed: u64,
 ) -> Vec<u64> {
-    let mut platform = Platform::new(cfg, master_seed);
-    (start..start + runs)
-        .map(|i| platform.run_randomized(trace, derive_seed(master_seed, i as u64)))
-        .collect()
+    let rt = ResolvedTrace::resolve(cfg, trace);
+    campaign_slice_resolved(cfg, &rt, start, runs, master_seed)
+}
+
+/// The serial (one layout at a time) campaign loop over a pre-resolved
+/// trace — the reference stream every batched/parallel variant must match
+/// bit for bit. The platform is built directly from the first run seed
+/// ([`Platform::for_run`]) and reseeded in place for subsequent runs.
+fn campaign_slice_resolved(
+    cfg: &PlatformConfig,
+    rt: &ResolvedTrace,
+    start: usize,
+    runs: usize,
+    master_seed: u64,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(runs);
+    if runs == 0 {
+        return out;
+    }
+    let mut platform = Platform::for_run(cfg, derive_seed(master_seed, start as u64));
+    out.push(platform.run_resolved(rt));
+    for i in start + 1..start + runs {
+        out.push(platform.run_randomized_resolved(rt, derive_seed(master_seed, i as u64)));
+    }
+    out
+}
+
+/// The batched campaign loop: simulates runs `start .. start + runs` in
+/// passes of up to `batch_width` layouts over one batched engine (reseeded
+/// between passes), recording each realized pass width in the
+/// `mbcr_campaign_layouts_per_pass` histogram. Bit-identical to
+/// [`campaign_slice_resolved`] for every width.
+///
+/// Paper-shaped configurations (2-way caches with random replacement) run
+/// on the specialized [`fastpath::FastCampaign`] kernel; everything else —
+/// and width-1 requests, where batching buys nothing — falls back to the
+/// general [`BatchPlatform`].
+fn campaign_slice_resolved_batched(
+    cfg: &PlatformConfig,
+    rt: &ResolvedTrace,
+    start: usize,
+    runs: usize,
+    master_seed: u64,
+    batch_width: usize,
+) -> Vec<u64> {
+    let width = batch_width.max(1);
+    if width == 1 || runs < 2 {
+        return campaign_slice_resolved(cfg, rt, start, runs, master_seed);
+    }
+    let mut fast =
+        fastpath::FastCampaign::try_new(cfg, rt).filter(|fast| fast.supports_width(width));
+    let mut out = Vec::with_capacity(runs);
+    let end = start + runs;
+    let mut seeds = Vec::with_capacity(width.min(runs));
+    let mut platform: Option<BatchPlatform> = None;
+    let mut at = start;
+    while at < end {
+        let pass = width.min(end - at);
+        seeds.clear();
+        seeds.extend((at..at + pass).map(|i| derive_seed(master_seed, i as u64)));
+        mbcr_obs::observe("mbcr_campaign_layouts_per_pass", &[], pass as u64);
+        if let Some(fast) = fast.as_mut() {
+            let base = out.len();
+            out.resize(base + pass, 0);
+            fast.run_pass(&seeds, &mut out[base..]);
+        } else {
+            let batch = match platform.as_mut() {
+                Some(batch) => {
+                    batch.reseed(&seeds);
+                    batch
+                }
+                None => platform.insert(BatchPlatform::new(cfg, &seeds)),
+            };
+            out.extend_from_slice(batch.run_resolved(rt));
+        }
+        at += pass;
+    }
+    out
 }
 
 /// Campaign parallelism knobs, exposed so batch drivers (the sweep engine)
@@ -254,7 +411,18 @@ pub struct Parallelism {
     /// Campaigns shorter than this run serially: below a few hundred runs
     /// the thread spawn cost dominates the simulation itself.
     pub min_parallel_runs: usize,
+    /// Layouts simulated per trace pass ([`BatchPlatform`]), clamped to at
+    /// least 1; `1` is the classic one-layout-at-a-time loop. Output is
+    /// bit-identical for every width, so this is a pure throughput knob —
+    /// digest-neutral in every campaign driver.
+    pub batch_width: usize,
 }
+
+/// Default [`Parallelism::batch_width`]: wide enough to amortize the trace
+/// walk, small enough that the batched IL1+DL1 state of the paper-default
+/// geometry stays cache-resident (~`2 × 4 KB × 2 × 16` = 256 KB of
+/// tags+meta).
+pub const DEFAULT_BATCH_WIDTH: usize = 16;
 
 impl Parallelism {
     /// One campaign per core (the one-shot CLI default).
@@ -264,16 +432,19 @@ impl Parallelism {
         Self {
             threads,
             min_parallel_runs: 256,
+            batch_width: DEFAULT_BATCH_WIDTH,
         }
     }
 
-    /// Strictly serial campaigns — what a batch engine wants when it already
-    /// runs one job per core.
+    /// Single-threaded campaigns — what a batch engine wants when it
+    /// already runs one job per core. Layout batching stays on (it needs no
+    /// extra threads and changes no output).
     #[must_use]
     pub fn serial() -> Self {
         Self {
             threads: 1,
             min_parallel_runs: usize::MAX,
+            batch_width: DEFAULT_BATCH_WIDTH,
         }
     }
 
@@ -283,7 +454,15 @@ impl Parallelism {
         Self {
             threads: threads.max(1),
             min_parallel_runs: 256,
+            batch_width: DEFAULT_BATCH_WIDTH,
         }
+    }
+
+    /// Replaces the layouts-per-pass width (clamped to at least 1).
+    #[must_use]
+    pub fn batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width.max(1);
+        self
     }
 }
 
@@ -345,9 +524,24 @@ pub fn campaign_slice_with(
     master_seed: u64,
     par: &Parallelism,
 ) -> Vec<u64> {
+    let rt = ResolvedTrace::resolve(cfg, trace);
+    campaign_slice_resolved_with(cfg, &rt, start, runs, master_seed, par)
+}
+
+/// [`campaign_slice_with`] over a pre-resolved trace — the form the chunked
+/// driver uses so the trace is resolved once per campaign, not once per
+/// chunk.
+fn campaign_slice_resolved_with(
+    cfg: &PlatformConfig,
+    rt: &ResolvedTrace,
+    start: usize,
+    runs: usize,
+    master_seed: u64,
+    par: &Parallelism,
+) -> Vec<u64> {
     let threads = par.threads.max(1).min(runs.max(1));
     if threads <= 1 || runs < par.min_parallel_runs.max(2) {
-        return campaign_slice(cfg, trace, start, runs, master_seed);
+        return campaign_slice_resolved_batched(cfg, rt, start, runs, master_seed, par.batch_width);
     }
     let mut out = vec![0u64; runs];
     let chunk = runs.div_ceil(threads);
@@ -355,11 +549,15 @@ pub fn campaign_slice_with(
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
             let first = start + t * chunk;
             scope.spawn(move || {
-                let mut platform = Platform::new(cfg, master_seed);
-                for (off, s) in slot.iter_mut().enumerate() {
-                    let i = (first + off) as u64;
-                    *s = platform.run_randomized(trace, derive_seed(master_seed, i));
-                }
+                let part = campaign_slice_resolved_batched(
+                    cfg,
+                    rt,
+                    first,
+                    slot.len(),
+                    master_seed,
+                    par.batch_width,
+                );
+                slot.copy_from_slice(&part);
             });
         }
     });
@@ -379,7 +577,10 @@ pub fn campaign_slice_with(
 /// run-index space (the final chunk is whatever remains), so a checkpoint
 /// log fed by `sink` has the same chunk layout no matter where the slice
 /// starts — an interrupted-then-resumed campaign replays the grid, not an
-/// offset of it. `chunk_runs == 0` simulates the slice as one chunk. The
+/// offset of it. `chunk_runs == 0` simulates the slice as one chunk. Each
+/// chunk is simulated independently (layout batches never straddle a chunk
+/// boundary, so [`Parallelism::batch_width`] clamps to the checkpoint grid
+/// for free), and the trace is resolved once for the whole slice. The
 /// returned sample is bit-identical to [`campaign_slice_with`] for every
 /// chunking and parallelism setting (when the sink never aborts).
 #[allow(clippy::too_many_arguments)]
@@ -393,12 +594,24 @@ pub fn campaign_slice_chunked(
     chunk_runs: usize,
     mut sink: impl FnMut(usize, &[u64]) -> bool,
 ) -> Vec<u64> {
+    let rt = ResolvedTrace::resolve(cfg, trace);
     let mut out = Vec::with_capacity(runs);
     let end = start + runs;
     let mut at = start;
     while at < end {
         let next = next_chunk_boundary(at, chunk_runs, end);
-        let slice = campaign_slice_with(cfg, trace, at, next - at, master_seed, par);
+        let slice = {
+            // Spans the chunk's simulation; `batch_width` is the realized
+            // layouts-per-pass after clamping to the chunk.
+            let _span = mbcr_obs::span(mbcr_obs::SpanKind::CampaignChunk, "simulate-chunk")
+                .field("start", at.to_string())
+                .field("runs", (next - at).to_string())
+                .field(
+                    "batch_width",
+                    par.batch_width.max(1).min(next - at).to_string(),
+                );
+            campaign_slice_resolved_with(cfg, &rt, at, next - at, master_seed, par)
+        };
         let keep_going = sink(at, &slice);
         out.extend_from_slice(&slice);
         at = next;
@@ -508,7 +721,8 @@ mod tests {
                 5,
                 &Parallelism {
                     threads: 4,
-                    min_parallel_runs: 100
+                    min_parallel_runs: 100,
+                    batch_width: 5,
                 }
             ),
             serial
@@ -524,6 +738,7 @@ mod tests {
             let par = Parallelism {
                 threads,
                 min_parallel_runs: 100,
+                batch_width: threads * 3,
             };
             assert_eq!(
                 campaign_slice_with(&cfg, &trace, 170, 330, 11, &par),
@@ -549,6 +764,7 @@ mod tests {
             &Parallelism {
                 threads: 4,
                 min_parallel_runs: 2,
+                batch_width: 7,
             },
         ));
         assert_eq!(full, pieced);
@@ -559,10 +775,17 @@ mod tests {
         let cfg = PlatformConfig::paper_default();
         let trace = sym_trace("ABCDEFGH", 10);
         let serial = campaign_slice(&cfg, &trace, 130, 470, 17);
-        for (chunk_runs, threads) in [(0, 1), (100, 1), (100, 3), (64, 4), (1000, 2)] {
+        for (chunk_runs, threads, batch_width) in [
+            (0, 1, 1),
+            (100, 1, 16),
+            (100, 3, 4),
+            (64, 4, 64),
+            (1000, 2, 3),
+        ] {
             let par = Parallelism {
                 threads,
                 min_parallel_runs: 50,
+                batch_width,
             };
             let mut seen: Vec<(usize, usize)> = Vec::new();
             let out = campaign_slice_chunked(&cfg, &trace, 130, 470, 17, &par, chunk_runs, {
@@ -572,7 +795,10 @@ mod tests {
                     true
                 }
             });
-            assert_eq!(out, serial, "chunk={chunk_runs} threads={threads}");
+            assert_eq!(
+                out, serial,
+                "chunk={chunk_runs} threads={threads} width={batch_width}"
+            );
             // The sink covers the slice contiguously and, beyond the first
             // chunk, starts on absolute multiples of the chunk size.
             let mut at = 130;
@@ -608,6 +834,94 @@ mod tests {
         assert_eq!(calls, 2, "the sink is not called after it aborts");
         assert_eq!(out.len(), 200, "simulation stops at the aborting chunk");
         assert_eq!(out, campaign_slice(&cfg, &trace, 0, 200, 17));
+    }
+
+    #[test]
+    fn for_run_matches_new_plus_reseed() {
+        // The satellite fix: building from the run seed directly must be
+        // state-identical to the old `Platform::new(master)` + reseed path.
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGHIJKLMNOP", 25);
+        let master = 99u64;
+        let run_seed = derive_seed(master, 0);
+        let mut old_style = Platform::new(&cfg, master);
+        let old = old_style.run_randomized(&trace, run_seed);
+        let mut new_style = Platform::for_run(&cfg, run_seed);
+        assert_eq!(new_style.run(&trace), old);
+    }
+
+    #[test]
+    fn resolved_run_matches_unresolved() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCADEFBGH", 40);
+        let rt = ResolvedTrace::resolve(&cfg, &trace);
+        assert_eq!(rt.len(), trace.as_slice().len());
+        let mut a = Platform::new(&cfg, 4);
+        let mut b = Platform::new(&cfg, 4);
+        for seed in [0u64, 7, u64::MAX] {
+            assert_eq!(
+                a.run_randomized(&trace, seed),
+                b.run_randomized_resolved(&rt, seed)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn resolved_trace_rejects_mismatched_geometry() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("AB", 1);
+        let rt = ResolvedTrace::resolve(&cfg, &trace);
+        let mut other = cfg;
+        other.dl1 = CacheGeometry::new(4096, 2, 64).unwrap();
+        Platform::new(&other, 0).run_resolved(&rt);
+    }
+
+    #[test]
+    fn batch_platform_matches_serial_runs() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGHIJKLMNOPQRSTUVWXYZ", 12);
+        let rt = ResolvedTrace::resolve(&cfg, &trace);
+        let seeds: Vec<u64> = (0..9).map(|i| derive_seed(31, i)).collect();
+        let mut batch = BatchPlatform::new(&cfg, &seeds);
+        let batched = batch.run_resolved(&rt).to_vec();
+        let mut platform = Platform::new(&cfg, 0);
+        let serial: Vec<u64> = seeds
+            .iter()
+            .map(|&s| platform.run_randomized(&trace, s))
+            .collect();
+        assert_eq!(batched, serial);
+        // Reseeding the same batch for the next pass stays equivalent.
+        let seeds2: Vec<u64> = (9..12).map(|i| derive_seed(31, i)).collect();
+        batch.reseed(&seeds2);
+        assert_eq!(batch.width(), 3);
+        let batched2 = batch.run_resolved(&rt).to_vec();
+        let serial2: Vec<u64> = seeds2
+            .iter()
+            .map(|&s| platform.run_randomized(&trace, s))
+            .collect();
+        assert_eq!(batched2, serial2);
+    }
+
+    #[test]
+    fn batched_campaign_matches_serial_at_every_width() {
+        let cfg = PlatformConfig::paper_default();
+        let trace = sym_trace("ABCDEFGHIJKLMNOPQRST", 15);
+        let serial = campaign_slice(&cfg, &trace, 40, 100, 77);
+        for width in [1, 2, 3, 7, 16, 64, 1000] {
+            let par = Parallelism::serial().batch_width(width);
+            assert_eq!(
+                campaign_slice_with(&cfg, &trace, 40, 100, 77, &par),
+                serial,
+                "width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_width_builder_clamps_to_one() {
+        assert_eq!(Parallelism::serial().batch_width(0).batch_width, 1);
+        assert_eq!(Parallelism::default().batch_width, DEFAULT_BATCH_WIDTH);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Traces pre-resolved to cache lines.
+//!
+//! Every access in a [`Trace`] names a byte [`Address`](mbcr_trace::Address);
+//! the simulator only ever needs the [`LineId`] it maps to, and that
+//! conversion is an integer division by the cache line size. A campaign
+//! replays the same trace `R` times, so doing the division inside the run
+//! loop pays it `R × len` times. [`ResolvedTrace`] does it once per campaign
+//! — fetches quantized by the IL1 line size, loads/stores by the DL1's —
+//! and both the serial and batched campaign paths replay the resolved
+//! stream.
+
+use mbcr_trace::{AccessKind, LineId, Trace};
+
+use crate::PlatformConfig;
+
+/// One trace access quantized to the cache line it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedOp {
+    /// The line the access maps to (IL1 lines for fetches, DL1 for data).
+    pub line: LineId,
+    /// `true` for instruction fetches (IL1), `false` for loads/stores (DL1).
+    pub instr: bool,
+}
+
+/// A [`Trace`] with every `Address → LineId` conversion done up front for a
+/// specific pair of cache geometries.
+#[derive(Debug, Clone)]
+pub struct ResolvedTrace {
+    ops: Vec<ResolvedOp>,
+    il1_line_size: u64,
+    dl1_line_size: u64,
+}
+
+impl ResolvedTrace {
+    /// Resolves `trace` against `cfg`'s IL1/DL1 line sizes.
+    #[must_use]
+    pub fn resolve(cfg: &PlatformConfig, trace: &Trace) -> Self {
+        let il1_line_size = cfg.il1.line_size();
+        let dl1_line_size = cfg.dl1.line_size();
+        let ops = trace
+            .iter()
+            .map(|access| match access.kind {
+                AccessKind::InstrFetch => ResolvedOp {
+                    line: access.addr.line(il1_line_size),
+                    instr: true,
+                },
+                AccessKind::Read | AccessKind::Write => ResolvedOp {
+                    line: access.addr.line(dl1_line_size),
+                    instr: false,
+                },
+            })
+            .collect();
+        Self {
+            ops,
+            il1_line_size,
+            dl1_line_size,
+        }
+    }
+
+    /// The resolved access stream, in trace order.
+    #[must_use]
+    pub fn ops(&self) -> &[ResolvedOp] {
+        &self.ops
+    }
+
+    /// Number of accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` for an empty trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Returns `true` if this resolution is valid for caches with the given
+    /// line sizes — replaying it against any other geometry would silently
+    /// touch the wrong lines, so the run entry points assert this.
+    #[must_use]
+    pub fn matches(&self, il1_line_size: u64, dl1_line_size: u64) -> bool {
+        self.il1_line_size == il1_line_size && self.dl1_line_size == dl1_line_size
+    }
+}

@@ -98,6 +98,8 @@ pub struct SubmitOptions {
     pub force: bool,
     /// Checkpoint-interval override for this sweep's campaigns.
     pub checkpoint_interval: Option<usize>,
+    /// Campaign layouts-per-pass override for this sweep (digest-neutral).
+    pub batch_width: Option<usize>,
     /// Persist the submission (queue entry + record journal) and
     /// finalize into `sweeps/<id>/`. `false` is the compatibility mode
     /// for the one-shot `coord` / `sweep --shards` paths: the sweep is
@@ -118,6 +120,7 @@ impl Default for SubmitOptions {
         Self {
             force: false,
             checkpoint_interval: None,
+            batch_width: None,
             persist: false,
             priority: 1,
             max_concurrent: None,
@@ -348,6 +351,7 @@ impl SweepRegistry {
                             None | Some(Json::Null) => None,
                             Some(other) => Some(other.as_usize()?),
                         },
+                        batch_width: doc.get("batch_width").and_then(Json::as_usize),
                         persist: true,
                         // Pre-gateway queue entries lack the scheduling
                         // knobs; default them instead of dropping the sweep.
@@ -441,6 +445,7 @@ impl SweepRegistry {
             threads: 0,
             force: opts.force,
             checkpoint_interval: opts.checkpoint_interval,
+            batch_width: opts.batch_width,
             prescreen: false,
         };
         let plan = Arc::new(SweepPlan::new(&spec, registry, &run)?);
@@ -604,7 +609,11 @@ impl SweepRegistry {
             plan,
             force: entry.opts.force,
             persist: entry.opts.persist,
-            knobs: AnalysisKnobs::from_spec(&entry.spec, entry.opts.checkpoint_interval),
+            knobs: AnalysisKnobs::from_spec(
+                &entry.spec,
+                entry.opts.checkpoint_interval,
+                entry.opts.batch_width,
+            ),
         })
     }
 
@@ -1063,6 +1072,10 @@ impl SweepRegistry {
             (
                 "checkpoint_interval".to_string(),
                 Serialize::to_json(&entry.opts.checkpoint_interval.map(|v| v as u64)),
+            ),
+            (
+                "batch_width".to_string(),
+                Serialize::to_json(&entry.opts.batch_width.map(|v| v as u64)),
             ),
             (
                 "priority".to_string(),

@@ -204,18 +204,26 @@ pub struct AnalysisKnobs {
     /// Checkpoint-interval override (digest-neutral; see
     /// [`crate::RunOptions::checkpoint_interval`]).
     pub checkpoint_interval: Option<usize>,
+    /// Campaign layouts-per-pass override (digest-neutral; see
+    /// [`crate::RunOptions::batch_width`]).
+    pub batch_width: Option<usize>,
 }
 
 impl AnalysisKnobs {
-    /// Extracts the knobs of `spec`, folding in a run's checkpoint
-    /// override.
+    /// Extracts the knobs of `spec`, folding in a run's digest-neutral
+    /// checkpoint and batching overrides.
     #[must_use]
-    pub fn from_spec(spec: &SweepSpec, checkpoint_interval: Option<usize>) -> Self {
+    pub fn from_spec(
+        spec: &SweepSpec,
+        checkpoint_interval: Option<usize>,
+        batch_width: Option<usize>,
+    ) -> Self {
         Self {
             quick: spec.quick,
             max_campaign_runs: spec.max_campaign_runs,
             exceedance: spec.exceedance,
             checkpoint_interval,
+            batch_width,
         }
     }
 
@@ -246,6 +254,9 @@ impl AnalysisKnobs {
         if let Some(interval) = self.checkpoint_interval {
             cfg.checkpoint_interval = interval;
         }
+        if let Some(width) = self.batch_width {
+            cfg.batch_width = width.max(1);
+        }
         Ok(cfg)
     }
 
@@ -262,6 +273,10 @@ impl AnalysisKnobs {
             (
                 "checkpoint_interval".to_string(),
                 Serialize::to_json(&self.checkpoint_interval.map(|v| v as u64)),
+            ),
+            (
+                "batch_width".to_string(),
+                Serialize::to_json(&self.batch_width.map(|v| v as u64)),
             ),
         ])
     }
@@ -281,6 +296,8 @@ impl AnalysisKnobs {
                 .as_f64()
                 .filter(|p| *p > 0.0 && *p < 1.0)?,
             checkpoint_interval: opt_usize("checkpoint_interval")?,
+            // Absent on frames from pre-batching peers: the tuned default.
+            batch_width: opt_usize("batch_width")?,
         })
     }
 }
@@ -391,7 +408,7 @@ impl SweepSpec {
         geometry: &GeometrySpec,
         job_seed: u64,
     ) -> Result<AnalysisConfig, EngineError> {
-        AnalysisKnobs::from_spec(self, None).config(geometry, job_seed)
+        AnalysisKnobs::from_spec(self, None, None).config(geometry, job_seed)
     }
 
     /// Serializes the spec (round-trips through [`SweepSpec::from_json`]).
@@ -603,7 +620,7 @@ mod tests {
             quick: true,
             ..SweepSpec::new("k")
         };
-        let knobs = AnalysisKnobs::from_spec(&spec, Some(500));
+        let knobs = AnalysisKnobs::from_spec(&spec, Some(500), Some(32));
         let back =
             AnalysisKnobs::from_json(&mbcr_json::parse(&knobs.to_json().to_compact()).unwrap())
                 .unwrap();
@@ -614,7 +631,7 @@ mod tests {
         assert_eq!(cfg.max_campaign_runs, 1234);
         // Without the interval override, the knobs' config equals the
         // spec's (same digest — the resumability contract).
-        let plain = AnalysisKnobs::from_spec(&spec, None).config(&geometry, 77);
+        let plain = AnalysisKnobs::from_spec(&spec, None, None).config(&geometry, 77);
         assert_eq!(
             plain.unwrap().digest(),
             spec.analysis_config(&geometry, 77).unwrap().digest()

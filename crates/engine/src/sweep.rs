@@ -38,6 +38,11 @@ pub struct RunOptions {
     /// running campaigns to their chunk log every this many runs (`0`
     /// checkpoints only at completion). `None` keeps the config default.
     pub checkpoint_interval: Option<usize>,
+    /// Override [`mbcr::AnalysisConfig::batch_width`]: cache layouts
+    /// simulated per trace pass in measurement campaigns. Digest-neutral —
+    /// samples are bit-identical at every width. `None` keeps the tuned
+    /// config default.
+    pub batch_width: Option<usize>,
     /// Order ready jobs by the static cache-analysis pre-screen: cells
     /// whose access sites the abstract classification pins least (the
     /// widest spread between static best- and worst-case miss bounds)
@@ -396,6 +401,9 @@ impl SweepPlan {
                     let mut cfg = spec.analysis_config(&job.geometry, job.job_seed())?;
                     if let Some(interval) = opts.checkpoint_interval {
                         cfg.checkpoint_interval = interval;
+                    }
+                    if let Some(width) = opts.batch_width {
+                        cfg.batch_width = width.max(1);
                     }
                     let digest = graph.digests[i].expect("stage nodes carry digests");
                     keys.push(job.key(digest));

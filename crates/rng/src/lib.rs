@@ -55,6 +55,7 @@ pub trait Rng64 {
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below() requires a positive bound");
         // Lemire (2019): fast random integer generation in an interval.
@@ -77,6 +78,7 @@ pub trait Rng64 {
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     fn below_usize(&mut self, bound: usize) -> usize {
         self.below(bound as u64) as usize
     }

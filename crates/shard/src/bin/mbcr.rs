@@ -130,6 +130,11 @@ SWEEP OPTIONS:
     --checkpoint-interval N  Checkpoint running campaigns every N runs
                         (0: only at completion; default: 10000). A killed
                         sweep resumes from its last campaign checkpoint.
+    --batch-width W     Cache layouts simulated per trace pass in
+                        measurement campaigns (default: 16; 1 restores the
+                        one-layout-at-a-time loop). Pure throughput knob:
+                        samples and artifacts are byte-identical at every
+                        width. Also accepted by coord.
     --shards N          Shard across N self-hosted local worker processes
                         (spawns a coordinator plus N `mbcr worker`s);
                         results are byte-identical to a plain sweep
@@ -877,6 +882,10 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         Some(text) => Some(parse_u64("--checkpoint-interval", text)? as usize),
         None => None,
     };
+    let batch_width = match flags.value("--batch-width")? {
+        Some(text) => Some(parse_u64("--batch-width", text)? as usize),
+        None => None,
+    };
     let shards = match flags.value("--shards")? {
         Some(text) => parse_u64("--shards", text)? as usize,
         None => 0,
@@ -911,6 +920,7 @@ fn sweep(args: &[String]) -> Result<ExitCode, EngineError> {
         threads,
         force,
         checkpoint_interval,
+        batch_width,
         prescreen,
     };
     let outcome = if shards > 0 {
@@ -1020,6 +1030,7 @@ fn trace_cmd(args: &[String]) -> Result<ExitCode, EngineError> {
         threads,
         force,
         checkpoint_interval: None,
+        batch_width: None,
         prescreen: false,
     };
     let outcome = run_sweep(&spec, &registry, &store, &opts)?;
@@ -1072,6 +1083,10 @@ fn coord(args: &[String]) -> Result<ExitCode, EngineError> {
         Some(text) => Some(parse_u64("--checkpoint-interval", text)? as usize),
         None => None,
     };
+    let batch_width = match flags.value("--batch-width")? {
+        Some(text) => Some(parse_u64("--batch-width", text)? as usize),
+        None => None,
+    };
     let lease_ttl = match flags.value("--lease-ttl")? {
         Some(text) => Duration::from_secs(parse_u64("--lease-ttl", text)?),
         None => CoordSettings::default().lease_ttl,
@@ -1094,6 +1109,7 @@ fn coord(args: &[String]) -> Result<ExitCode, EngineError> {
             threads: 0,
             force,
             checkpoint_interval,
+            batch_width,
             prescreen: false,
         },
         lease_ttl,

@@ -168,6 +168,7 @@ pub fn serve(
         SubmitOptions {
             force: settings.run.force,
             checkpoint_interval: settings.run.checkpoint_interval,
+            batch_width: settings.run.batch_width,
             persist: false,
             ..SubmitOptions::default()
         },
@@ -980,6 +981,10 @@ fn handle_connection(service: &Service<'_>, mut stream: TcpStream, peer: u64) {
                         let opts = SubmitOptions {
                             force,
                             checkpoint_interval,
+                            // The binary Submit frame carries no batching
+                            // knob; daemon-submitted sweeps use the tuned
+                            // default width (results are identical).
+                            batch_width: None,
                             persist: true,
                             priority,
                             max_concurrent,

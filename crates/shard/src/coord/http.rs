@@ -231,6 +231,7 @@ fn submit(service: &Service<'_>, stream: &mut TcpStream, request: &Request) -> i
     let opts = SubmitOptions {
         force: body.get("force").and_then(Json::as_bool).unwrap_or(false),
         checkpoint_interval: body.get("checkpoint_interval").and_then(Json::as_usize),
+        batch_width: body.get("batch_width").and_then(Json::as_usize),
         persist: true,
         priority: body
             .get("priority")

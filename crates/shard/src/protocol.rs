@@ -862,6 +862,7 @@ mod tests {
                 max_campaign_runs: Some(60_000),
                 exceedance: 1e-12,
                 checkpoint_interval: Some(500),
+                batch_width: Some(8),
             },
             artifacts: vec![Json::Obj(vec![("digest".to_string(), Json::UInt(9))])],
             prefix: Some(SamplePrefix {

@@ -116,7 +116,9 @@ fn classify_json_carries_sites_rollup_and_empty_diagnostics() {
 #[test]
 fn classify_rejects_a_bad_format() {
     let out = mbcr(&["classify", "bs", "--format", "yaml"]);
-    assert_eq!(out.status.code(), Some(1));
+    // Unknown formats are a usage error (exit 2) since the
+    // OutputFormat::from_flags contract landed.
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--format"), "{stderr}");
 }

@@ -1,0 +1,159 @@
+//! Layout batching is a pure throughput knob: `--batch-width` must never
+//! change a single artifact byte.
+//!
+//! * a sweep at any batch width produces a store byte-identical to the
+//!   width-1 (classic one-layout-at-a-time) sweep — chunk log, job sample
+//!   logs and the rendered Table 2;
+//! * that equivalence survives a mid-campaign kill: a batched sweep torn
+//!   inside its final chunk frame and resumed at a *different* batch
+//!   width still reconstructs the serial store exactly.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mbcr::stage::StageKind;
+use mbcr_engine::{
+    expand, run_sweep, AnalysisKind, ArtifactStore, JobStatus, Registry, RunOptions,
+    StageStore as _, SweepSpec,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbcr-batch-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec::new("batch-e2e")
+        .benchmarks(["bs"])
+        .seeds([23])
+        .analyses([AnalysisKind::PubTac])
+}
+
+fn opts(batch_width: usize) -> RunOptions {
+    RunOptions {
+        threads: 2,
+        force: false,
+        checkpoint_interval: Some(256),
+        batch_width: Some(batch_width),
+        ..RunOptions::default()
+    }
+}
+
+fn campaign_digest(spec: &SweepSpec, registry: &Registry) -> u64 {
+    let graph = expand(spec, registry).expect("expand");
+    graph
+        .jobs
+        .iter()
+        .enumerate()
+        .find(|(_, j)| j.kind.stage() == Some(StageKind::Campaign))
+        .and_then(|(i, _)| graph.digests[i])
+        .expect("campaign digest")
+}
+
+/// Byte-compares every sample-bearing artifact of two completed stores.
+fn assert_stores_identical(a: &ArtifactStore, b: &ArtifactStore, what: &str) {
+    let registry = Registry::malardalen();
+    let digest = campaign_digest(&spec(), &registry);
+    assert_eq!(
+        fs::read(a.stage_samples_path(digest)).expect("log a"),
+        fs::read(b.stage_samples_path(digest)).expect("log b"),
+        "{what}: campaign chunk logs must match byte-for-byte"
+    );
+    assert_eq!(
+        fs::read_to_string(a.table2_path()).expect("table2 a"),
+        fs::read_to_string(b.table2_path()).expect("table2 b"),
+        "{what}: rendered Table 2 must match exactly"
+    );
+}
+
+/// Sweeping `--batch-width` (1, a non-dividing 7, the default 16) leaves
+/// every artifact byte-identical, and a warm re-run at yet another width
+/// is a full cache hit — the knob is digest-neutral.
+#[test]
+fn batch_width_sweep_reproduces_the_serial_store_exactly() {
+    let registry = Registry::malardalen();
+    let dir_serial = tmp_dir("serial");
+    let store_serial = ArtifactStore::open(&dir_serial).expect("open serial store");
+    let serial = run_sweep(&spec(), &registry, &store_serial, &opts(1)).expect("serial sweep");
+    assert_eq!(serial.failed, 0);
+
+    for width in [7usize, 16] {
+        let dir = tmp_dir(&format!("w{width}"));
+        let store = ArtifactStore::open(&dir).expect("open batched store");
+        let batched = run_sweep(&spec(), &registry, &store, &opts(width)).expect("batched sweep");
+        assert_eq!(batched.failed, 0);
+        assert_eq!(batched.rows, serial.rows, "W={width}");
+        assert_stores_identical(&store_serial, &store, &format!("W={width}"));
+
+        // Digest-neutrality: re-running the same store at another width
+        // must be a pure cache hit, not a re-execution.
+        let warm = run_sweep(&spec(), &registry, &store, &opts(width * 2)).expect("warm sweep");
+        assert!(
+            warm.records.iter().all(|r| r.status == JobStatus::Skipped),
+            "W={width}: a batch-width change alone must never invalidate the cache"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+    let _ = fs::remove_dir_all(&dir_serial);
+}
+
+/// The kill story under batching: tear the chunk log of a batched sweep
+/// inside its final frame, drop everything a killed process would not
+/// have written, resume at a different batch width — and still get the
+/// width-1 store back byte-for-byte.
+#[test]
+fn killed_batched_sweep_resumes_to_the_serial_store() {
+    let registry = Registry::malardalen();
+    let dir_serial = tmp_dir("kill-serial");
+    let store_serial = ArtifactStore::open(&dir_serial).expect("open serial store");
+    let serial = run_sweep(&spec(), &registry, &store_serial, &opts(1)).expect("serial sweep");
+    assert_eq!(serial.failed, 0);
+
+    let dir = tmp_dir("kill-batched");
+    let store = ArtifactStore::open(&dir).expect("open batched store");
+    run_sweep(&spec(), &registry, &store, &opts(16)).expect("to-be-killed sweep");
+
+    let graph = expand(&spec(), &registry).expect("expand");
+    let digest_of = |stage: StageKind| {
+        graph
+            .jobs
+            .iter()
+            .enumerate()
+            .find(|(_, j)| j.kind.stage() == Some(stage))
+            .and_then(|(i, _)| graph.digests[i])
+            .expect("stage digest")
+    };
+    let digest = digest_of(StageKind::Campaign);
+    let log_path = store.stage_samples_path(digest);
+    let pristine = fs::read(&log_path).expect("log bytes");
+    let total = store.load_samples(digest).expect("complete log").len();
+    fs::write(&log_path, &pristine[..pristine.len() - 7]).expect("tear the final frame");
+    let valid = store.load_samples(digest).expect("torn log loads").len();
+    assert!(valid < total, "the torn final frame must be discarded");
+    fs::remove_file(store.stage_path(digest)).expect("drop completion marker");
+    fs::remove_file(store.stage_path(digest_of(StageKind::Fit))).expect("drop fit artifact");
+    fs::remove_dir_all(dir.join("jobs")).expect("drop job artifacts");
+    fs::remove_file(store.manifest_path()).expect("drop manifest");
+    fs::remove_file(store.table2_path()).expect("drop table2");
+
+    // Resume at a different width than the killed run used.
+    let resumed = run_sweep(&spec(), &registry, &store, &opts(32)).expect("resumed sweep");
+    assert_eq!(resumed.failed, 0);
+    let campaign = resumed
+        .records
+        .iter()
+        .find(|r| r.label.starts_with("pub_tac:campaign/"))
+        .expect("campaign record");
+    assert_eq!(campaign.status, JobStatus::Executed);
+    assert_eq!(
+        campaign.summary.as_ref().and_then(|s| s.campaign_resumed),
+        Some(valid as u64),
+        "the valid log prefix seeds the resume"
+    );
+    assert_eq!(resumed.rows, serial.rows);
+    assert_stores_identical(&store_serial, &store, "killed+resumed W=16→32");
+
+    let _ = fs::remove_dir_all(&dir_serial);
+    let _ = fs::remove_dir_all(&dir);
+}
